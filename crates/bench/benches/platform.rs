@@ -1,0 +1,135 @@
+//! Criterion benches: runtime of the platform's heavy paths.
+//!
+//! The paper's only runtime claim is the Fig. 1 insertion flow ("a new
+//! SOC design with DFT will be ready in minutes... in 5 minutes, using a
+//! SUN Blade 1000"); `full_flow` and `dft_insertion` measure our
+//! equivalents. The rest characterise the substrates.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use steac::flow::{run_flow, CoreSource, FlowInput};
+use steac::insert::{insert_dft, InsertSpec};
+use steac_dsc::{build_chip, core_stil, dsc_brains, dsc_chip_config, TABLE1};
+use steac_membist::faultsim::{fault_coverage, random_fault_list};
+use steac_membist::{MarchAlgorithm, SramConfig};
+use steac_sched::{schedule_nonsession, schedule_sessions};
+use steac_stil::{parse_stil, to_stil_string};
+use steac_wrapper::{balance_fixed, WrapOptions};
+
+fn dsc_flow_input() -> FlowInput {
+    let (_, params) = build_chip().expect("chip builds");
+    FlowInput {
+        cores: params
+            .iter()
+            .zip(&TABLE1)
+            .map(|(p, row)| {
+                CoreSource::new(row.core, &to_stil_string(&core_stil(row, p)))
+            })
+            .collect(),
+        config: dsc_chip_config(),
+        bist: Some(dsc_brains()),
+        bist_powers: vec![1.3, 0.6],
+    }
+}
+
+fn bench_full_flow(c: &mut Criterion) {
+    let input = dsc_flow_input();
+    c.bench_function("full_flow_dsc", |b| {
+        b.iter(|| run_flow(&input).expect("flow runs"))
+    });
+}
+
+fn bench_dft_insertion(c: &mut Criterion) {
+    c.bench_function("dft_insertion_dsc", |b| {
+        b.iter_batched(
+            || build_chip().expect("chip builds"),
+            |(mut design, params)| {
+                let specs = vec![
+                    InsertSpec {
+                        core_module: "usb_core".to_string(),
+                        wrap: WrapOptions {
+                            clock_port: Some("ck0".to_string()),
+                            scan_si: params[0].scan_si.clone(),
+                            scan_so: params[0].scan_so.clone(),
+                            scan_se: params[0].scan_enable.clone(),
+                            passthrough_inputs: params[0].clocks[1..]
+                                .iter()
+                                .chain(&params[0].resets)
+                                .chain(&params[0].test_enables)
+                                .cloned()
+                                .collect(),
+                            passthrough_outputs: vec![],
+                        },
+                        plan: balance_fixed(
+                            TABLE1[0].scan_chains,
+                            TABLE1[0].pi,
+                            TABLE1[0].po,
+                            2,
+                        ),
+                        sessions_active: vec![1],
+                        tam_offset: 0,
+                    },
+                    InsertSpec {
+                        core_module: "jpeg_core".to_string(),
+                        wrap: WrapOptions {
+                            clock_port: Some("ck".to_string()),
+                            ..WrapOptions::default()
+                        },
+                        plan: balance_fixed(&[], TABLE1[2].pi, TABLE1[2].po, 2),
+                        sessions_active: vec![2],
+                        tam_offset: 2,
+                    },
+                ];
+                insert_dft(&mut design, &specs, 3, 8).expect("insertion succeeds")
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let tasks = steac_dsc::dsc_test_tasks();
+    let config = dsc_chip_config();
+    c.bench_function("schedule_sessions_dsc", |b| {
+        b.iter(|| schedule_sessions(&tasks, &config))
+    });
+    c.bench_function("schedule_nonsession_dsc", |b| {
+        b.iter(|| schedule_nonsession(&tasks, &config))
+    });
+}
+
+fn bench_stil_parse(c: &mut Criterion) {
+    let (_, params) = build_chip().expect("chip builds");
+    let text = to_stil_string(&core_stil(&TABLE1[0], &params[0]));
+    c.bench_function("stil_parse_usb", |b| {
+        b.iter(|| parse_stil(&text).expect("parses"))
+    });
+}
+
+fn bench_wrapper_balance(c: &mut Criterion) {
+    c.bench_function("wrapper_balance_usb_w8", |b| {
+        b.iter(|| balance_fixed(TABLE1[0].scan_chains, TABLE1[0].pi, TABLE1[0].po, 8))
+    });
+}
+
+fn bench_march_faultsim(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let cfg = SramConfig::single_port(64, 4);
+    let mut rng = StdRng::seed_from_u64(7);
+    let faults = random_fault_list(&cfg, 20, &mut rng);
+    let alg = MarchAlgorithm::march_c_minus();
+    c.bench_function("march_c_minus_faultsim_64x4_120f", |b| {
+        b.iter(|| fault_coverage(&alg, &cfg, &faults))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_full_flow,
+    bench_dft_insertion,
+    bench_scheduler,
+    bench_stil_parse,
+    bench_wrapper_balance,
+    bench_march_faultsim
+);
+criterion_main!(benches);

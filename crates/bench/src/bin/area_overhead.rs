@@ -1,0 +1,42 @@
+//! Regenerates the paper's §3 area figures: WBR cell 26 NAND2-equiv,
+//! Test Controller ~371 gates, TAM multiplexer ~132 gates, overhead
+//! ~0.3% of the chip logic.
+
+use steac_bench::{compare_row, header};
+use steac_dsc::DSC_CHIP_LOGIC_GE;
+use steac_netlist::AreaReport;
+use steac_tam::{controller_module, tam_mux_module, ControllerSpec, TamCoreSpec, TamSpec};
+use steac_wrapper::cell::{wbr_cell_area_ge, wbr_cell_module};
+
+fn main() {
+    println!("{}", header("§3 DFT area (gate equivalents, NAND2 = 1.0)"));
+    let wbr = wbr_cell_area_ge();
+    println!("{}", compare_row("WBR cell (GE)", 26.0, wbr));
+
+    let controller = controller_module(&ControllerSpec::dsc()).expect("controller");
+    let ctl_ge = AreaReport::for_module(&controller).total_ge();
+    println!("{}", compare_row("Test Controller (GE)", 371.0, ctl_ge));
+
+    // The DSC TAM: 16 wires, 3 sessions, the three cores multiplexed.
+    let tam = TamSpec {
+        width: 16,
+        sessions: 3,
+        cores: vec![
+            TamCoreSpec { name: "usb".into(), wires: 12, offset: 0, session: 0 },
+            TamCoreSpec { name: "tv".into(), wires: 4, offset: 12, session: 0 },
+            TamCoreSpec { name: "tv2".into(), wires: 16, offset: 0, session: 1 },
+            TamCoreSpec { name: "jpeg".into(), wires: 16, offset: 0, session: 2 },
+        ],
+    };
+    let mux = tam_mux_module(&tam).expect("tam mux");
+    let mux_ge = AreaReport::for_module(&mux).total_ge();
+    println!("{}", compare_row("TAM multiplexer (GE)", 132.0, mux_ge));
+
+    let overhead = 100.0 * (ctl_ge + mux_ge) / DSC_CHIP_LOGIC_GE;
+    println!("{}", compare_row("controller+mux overhead (%)", 0.3, overhead));
+
+    println!("\nWBR cell netlist breakdown:");
+    println!("{}", AreaReport::for_module(&wbr_cell_module().unwrap()));
+    println!("Controller breakdown:");
+    println!("{}", AreaReport::for_module(&controller));
+}

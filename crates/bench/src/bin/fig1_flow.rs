@@ -1,0 +1,116 @@
+//! Fig. 1: the full STEAC flow on the DSC chip — STIL parse, BRAINS,
+//! scheduling, netlist-level test insertion and pattern accounting —
+//! with wall-clock timings (the paper: "in 5 minutes, using a SUN Blade
+//! 1000 workstation with dual 750MHz processors and 2GB RAM").
+
+use std::time::Instant;
+use steac::flow::{run_flow, CoreSource, FlowInput};
+use steac::insert::{insert_dft, InsertSpec};
+use steac::report::{render_flow, render_insertion};
+use steac_bench::header;
+use steac_dsc::{
+    build_chip, core_stil, dsc_brains, dsc_chip_config, DSC_CHIP_LOGIC_GE, TABLE1,
+};
+use steac_stil::to_stil_string;
+use steac_tam::{ControlClass, ControlSignal};
+use steac_wrapper::{balance_fixed, WrapOptions};
+
+fn main() {
+    println!("{}", header("Fig. 1: STEAC test integration flow on the DSC"));
+    let wall = Instant::now();
+
+    // ATPG role: emit the STIL files.
+    let (mut design, params) = build_chip().expect("chip builds");
+    let stil_texts: Vec<String> = params
+        .iter()
+        .zip(&TABLE1)
+        .map(|(p, row)| to_stil_string(&core_stil(row, p)))
+        .collect();
+
+    // Control inventories (paper §3 detail).
+    let usb_controls: Vec<ControlSignal> = (0..4)
+        .map(|i| ControlSignal::new("USB", &format!("ck{i}"), ControlClass::Clock { freq_mhz: 48 }))
+        .chain((0..3).map(|i| ControlSignal::new("USB", &format!("rst{i}"), ControlClass::Reset)))
+        .chain(std::iter::once(ControlSignal::new("USB", "se", ControlClass::ScanEnable)))
+        .chain((0..6).map(|i| ControlSignal::new("USB", &format!("test{i}"), ControlClass::TestEnable)))
+        .collect();
+
+    let input = FlowInput {
+        cores: vec![
+            CoreSource::new("USB", &stil_texts[0])
+                .with_powers(1.0, 1.0)
+                .with_controls(usb_controls),
+            CoreSource::new("TV", &stil_texts[1]).with_powers(0.3, 1.1),
+            CoreSource::new("JPEG", &stil_texts[2]).with_powers(1.0, 1.4),
+        ],
+        config: dsc_chip_config(),
+        bist: Some(dsc_brains()),
+        bist_powers: vec![1.3, 0.6],
+    };
+    let result = run_flow(&input).expect("flow runs");
+    println!("{}", render_flow(&result));
+
+    // Test insertion on the real netlists, using the schedule's widths.
+    let t0 = Instant::now();
+    let specs = vec![
+        InsertSpec {
+            core_module: "usb_core".to_string(),
+            wrap: WrapOptions {
+                clock_port: Some("ck0".to_string()),
+                scan_si: params[0].scan_si.clone(),
+                scan_so: params[0].scan_so.clone(),
+                scan_se: params[0].scan_enable.clone(),
+                passthrough_inputs: params[0]
+                    .clocks[1..]
+                    .iter()
+                    .chain(&params[0].resets)
+                    .chain(&params[0].test_enables)
+                    .cloned()
+                    .collect(),
+                passthrough_outputs: vec![],
+            },
+            plan: balance_fixed(TABLE1[0].scan_chains, TABLE1[0].pi, TABLE1[0].po, 2),
+            sessions_active: vec![1],
+            tam_offset: 0,
+        },
+        InsertSpec {
+            core_module: "tv_core".to_string(),
+            wrap: WrapOptions {
+                clock_port: Some("ck".to_string()),
+                scan_si: params[1].scan_si.clone(),
+                scan_so: params[1].scan_so.clone(),
+                scan_se: params[1].scan_enable.clone(),
+                passthrough_inputs: params[1]
+                    .resets
+                    .iter()
+                    .chain(&params[1].test_enables)
+                    .cloned()
+                    .collect(),
+                // q[39] doubles as chain 1's scan-out.
+                passthrough_outputs: vec![],
+            },
+            // PO count excludes the shared scan-out pin.
+            plan: balance_fixed(TABLE1[1].scan_chains, TABLE1[1].pi, TABLE1[1].po - 1, 3),
+            sessions_active: vec![0],
+            tam_offset: 2,
+        },
+        InsertSpec {
+            core_module: "jpeg_core".to_string(),
+            wrap: WrapOptions {
+                clock_port: Some("ck".to_string()),
+                ..WrapOptions::default()
+            },
+            plan: balance_fixed(&[], TABLE1[2].pi, TABLE1[2].po, 2),
+            sessions_active: vec![2],
+            tam_offset: 5,
+        },
+    ];
+    let report = insert_dft(&mut design, &specs, 3, 16).expect("insertion succeeds");
+    let insert_elapsed = t0.elapsed();
+    println!("{}", render_insertion(&report, DSC_CHIP_LOGIC_GE));
+    println!("insertion wall-clock: {insert_elapsed:?}");
+    println!(
+        "\ntotal flow wall-clock: {:?} (paper: ~5 minutes on a 2002 SUN Blade 1000)",
+        wall.elapsed()
+    );
+}

@@ -1,0 +1,33 @@
+//! Fig. 2: the shared memory-BIST architecture — one controller, one
+//! sequencer per group, one TPG per memory, 7-signal tester interface.
+
+use steac_bench::header;
+use steac_dsc::dsc_brains;
+use steac_membist::{BIST_IF_SIGNALS, MarchAlgorithm};
+
+fn main() {
+    println!("{}", header("Fig. 2: BIST architecture for multiple memory cores"));
+    let brains = dsc_brains();
+    let design = brains.compile().expect("BIST compiles");
+    println!("tester interface ({} signals): {}", BIST_IF_SIGNALS.len(), BIST_IF_SIGNALS.join(" "));
+    println!("algorithm: {}", MarchAlgorithm::march_c_minus());
+    println!();
+    println!("{design}");
+    println!(
+        "area: controller {:.0} GE + sequencers {:.0} GE + TPGs {:.0} GE = {:.0} GE",
+        design.controller_area,
+        design.sequencer_area,
+        design.tpg_area,
+        design.total_area_ge()
+    );
+    println!(
+        "test time: serial {} cycles, parallel {} cycles ({}x speedup)",
+        design.total_cycles_serial,
+        design.total_cycles_parallel,
+        design.total_cycles_serial as f64 / design.total_cycles_parallel.max(1) as f64
+    );
+    println!("\nmeasured fault coverage (sampled fault lists):");
+    for r in brains.evaluate_coverage(25, 2005) {
+        println!("  {r}");
+    }
+}

@@ -1,0 +1,24 @@
+//! Fig. 3: the DSC test-chip block diagram.
+
+use steac_bench::header;
+use steac_dsc::{build_chip, ChipInventory, DSC_CHIP_LOGIC_GE};
+use steac_netlist::AreaReport;
+
+fn main() {
+    println!("{}", header("Fig. 3: block diagram of the DSC test chip"));
+    let inv = ChipInventory::new();
+    println!("{}", inv.render());
+    println!("declared chip logic: {:.0} GE", inv.total_logic_ge());
+    assert_eq!(inv.total_logic_ge(), DSC_CHIP_LOGIC_GE);
+    println!("\nembedded SRAMs:");
+    for (name, geom) in &inv.memories {
+        println!("  {name:<10} {geom}");
+    }
+    let (design, _) = build_chip().expect("chip builds");
+    let area = AreaReport::for_design(&design, "dsc_chip").expect("area");
+    println!(
+        "\nassembled netlist: {} explicit cells, {:.0} GE total (incl. declared)",
+        area.cell_count(),
+        area.total_ge()
+    );
+}

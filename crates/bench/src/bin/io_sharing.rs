@@ -1,0 +1,35 @@
+//! Regenerates the paper's §3 test-IO analysis: "The total test IOs of
+//! the three large cores are 19, including 6 clock signals, 4 reset
+//! signals, 7 test enable signals, and 2 SE signals. With shared test
+//! IOs, the test control IO counts are reduced."
+
+use steac_bench::header;
+use steac_tam::share::dsc_control_inventory;
+use steac_tam::{share_controls, ControlClass, PinBudget, SharePolicy};
+
+fn main() {
+    println!("{}", header("§3 test control IOs and sharing"));
+    let inv = dsc_control_inventory();
+    let count = |f: fn(&ControlClass) -> bool| inv.iter().filter(|s| f(&s.class)).count();
+    println!(
+        "unshared inventory: {} total = {} clocks + {} resets + {} test enables + {} SE",
+        inv.len(),
+        count(|c| matches!(c, ControlClass::Clock { .. })),
+        count(|c| matches!(c, ControlClass::Reset)),
+        count(|c| matches!(c, ControlClass::TestEnable)),
+        count(|c| matches!(c, ControlClass::ScanEnable)),
+    );
+    println!("(paper: 19 = 6 + 4 + 7 + 2)\n");
+
+    let unshared = share_controls(&inv, &SharePolicy::unshared());
+    let shared = share_controls(&inv, &SharePolicy::dsc(3));
+    println!("-- unshared --\n{unshared}");
+    println!("-- shared (PLL clocks, controller-decoded TEs, 3 sessions) --\n{shared}");
+
+    let budget = PinBudget::with_reserved(280, 2);
+    println!(
+        "TAM width available: unshared {} wires, shared {} wires",
+        budget.tam_width(4 + unshared.shared_pins()),
+        budget.tam_width(4 + shared.shared_pins())
+    );
+}

@@ -1,0 +1,37 @@
+//! Ablation: March algorithm trade-off — test time vs measured fault
+//! coverage (the BRAINS "evaluate the memory test efficiency among
+//! different designs" feature).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use steac_bench::header;
+use steac_membist::faultsim::{fault_coverage, random_fault_list};
+use steac_membist::{MarchAlgorithm, SramConfig};
+
+fn main() {
+    println!("{}", header("Ablation: March algorithm time/coverage trade-off"));
+    let cfg = SramConfig::single_port(64, 4);
+    let mut rng = StdRng::seed_from_u64(2005);
+    let faults = random_fault_list(&cfg, 80, &mut rng);
+    println!(
+        "{:<10} {:>5} {:>12} {:>10}  escapes by class",
+        "algorithm", "kN", "cycles@8K", "coverage"
+    );
+    for alg in MarchAlgorithm::library() {
+        let rep = fault_coverage(&alg, &cfg, &faults);
+        let escapes: Vec<String> = rep
+            .escapes_by_class
+            .iter()
+            .map(|(c, n)| format!("{c}={n}"))
+            .collect();
+        println!(
+            "{:<10} {:>4}N {:>12} {:>9.2}%  {}",
+            alg.name,
+            alg.complexity(),
+            alg.cycles(8192),
+            rep.coverage_percent(),
+            escapes.join(" ")
+        );
+    }
+    println!("\n({} faults sampled per run: SAF/TF/CFin/CFid/CFst/AF classes)", faults.len());
+}

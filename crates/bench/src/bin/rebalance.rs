@@ -1,0 +1,31 @@
+//! Ablation: soft-core scan-chain rebalancing ("If the IP is a soft
+//! core, the scan chains can be reconfigured. The Core Test Scheduler
+//! will then rebalance scan chains for each assigned TAM width.")
+//!
+//! The USB core's fixed 1629-flop chain dominates its scan time at every
+//! width; rebalancing the same 2045 flops removes the wall.
+
+use steac_bench::header;
+use steac_dsc::TABLE1;
+use steac_wrapper::chain::width_sweep;
+
+fn main() {
+    println!("{}", header("Ablation: fixed chains vs soft-core rebalancing (USB core)"));
+    let usb = &TABLE1[0];
+    let fixed = width_sweep(usb.scan_chains, usb.pi, usb.po, usb.scan_patterns, false, 8);
+    let soft = width_sweep(usb.scan_chains, usb.pi, usb.po, usb.scan_patterns, true, 8);
+    println!("{:>6} {:>14} {:>14} {:>8}", "width", "fixed (cyc)", "soft (cyc)", "gain");
+    for ((w, tf), (_, ts)) in fixed.iter().zip(&soft) {
+        println!(
+            "{w:>6} {tf:>14} {ts:>14} {:>7.2}x",
+            *tf as f64 / *ts as f64
+        );
+    }
+    println!("\nTV encoder for comparison (balanced 577/576 chains gain little):");
+    let tv = &TABLE1[1];
+    let fixed = width_sweep(tv.scan_chains, tv.pi, tv.po, tv.scan_patterns, false, 4);
+    let soft = width_sweep(tv.scan_chains, tv.pi, tv.po, tv.scan_patterns, true, 4);
+    for ((w, tf), (_, ts)) in fixed.iter().zip(&soft) {
+        println!("{w:>6} {tf:>14} {ts:>14} {:>7.2}x", *tf as f64 / *ts as f64);
+    }
+}

@@ -1,0 +1,42 @@
+//! Regenerates the paper's §3 scheduling experiment: session-based
+//! (3 sessions, 4,371,194 cycles) vs non-session (4,713,935 cycles).
+
+use steac_bench::{compare_row, header};
+use steac_dsc::{dsc_chip_config, dsc_test_tasks, PAPER_NONSESSION_CYCLES, PAPER_SESSION_CYCLES};
+use steac_sched::report::{render_nonsession, render_sessions};
+use steac_sched::{schedule_nonsession, schedule_serial, schedule_sessions};
+
+fn main() {
+    println!("{}", header("§3 scheduling: session-based vs non-session"));
+    let tasks = dsc_test_tasks();
+    let config = dsc_chip_config();
+    let s = schedule_sessions(&tasks, &config);
+    let ns = schedule_nonsession(&tasks, &config);
+    let serial = schedule_serial(&tasks, &config);
+
+    println!("{}", render_sessions(&s, &tasks));
+    println!("{}", render_nonsession(&ns, &tasks));
+    println!("serial reference: {} cycles\n", serial.makespan);
+
+    println!(
+        "{}",
+        compare_row(
+            "session-based total (cycles)",
+            PAPER_SESSION_CYCLES as f64,
+            s.total_cycles as f64
+        )
+    );
+    println!(
+        "{}",
+        compare_row(
+            "non-session total (cycles)",
+            PAPER_NONSESSION_CYCLES as f64,
+            ns.makespan as f64
+        )
+    );
+    let paper_gain = 100.0 * (PAPER_NONSESSION_CYCLES - PAPER_SESSION_CYCLES) as f64
+        / PAPER_NONSESSION_CYCLES as f64;
+    let our_gain = 100.0 * (ns.makespan - s.total_cycles) as f64 / ns.makespan as f64;
+    println!("session-based saves: paper {paper_gain:.1}%  measured {our_gain:.1}%");
+    println!("sessions used: paper 3  measured {}", s.sessions.len());
+}

@@ -1,0 +1,29 @@
+//! Ablation: how the session budget changes the DSC schedule (the paper
+//! picked 3 sessions after "trying several scheduling approaches").
+
+use steac_bench::header;
+use steac_dsc::{dsc_chip_config, dsc_test_tasks};
+use steac_sched::schedule_sessions;
+
+fn main() {
+    println!("{}", header("Ablation: session-count sweep on the DSC instance"));
+    let tasks = dsc_test_tasks();
+    println!("{:>12} {:>14} {:>10}", "max sessions", "total cycles", "used");
+    for max_sessions in 1..=6 {
+        let config = steac_sched::ChipConfig {
+            max_sessions,
+            ..dsc_chip_config()
+        };
+        let s = schedule_sessions(&tasks, &config);
+        if s.total_cycles == u64::MAX {
+            println!("{max_sessions:>12} {:>14} {:>10}", "infeasible", "-");
+        } else {
+            println!(
+                "{max_sessions:>12} {:>14} {:>10}",
+                s.total_cycles,
+                s.sessions.len()
+            );
+        }
+    }
+    println!("\n(the paper's chosen point is 3 sessions)");
+}

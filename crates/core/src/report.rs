@@ -1,0 +1,107 @@
+//! Integration reports: the numbers the paper's §3 quotes, rendered for
+//! humans and for the experiment harness.
+
+use crate::flow::FlowResult;
+use crate::insert::InsertionReport;
+use std::fmt::Write as _;
+use steac_sched::report::{render_nonsession, render_sessions};
+
+/// Renders the flow result: Table-1-style core info, the schedules, the
+/// BIST summary and stage timings (Fig. 1 trace).
+#[must_use]
+pub fn render_flow(result: &FlowResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== STEAC flow report ===");
+    let _ = writeln!(out, "-- core test information (STIL Parser) --");
+    for info in &result.infos {
+        let _ = writeln!(out, "  {info}");
+    }
+    let _ = writeln!(out, "-- schedules (Core Test Scheduler) --");
+    out.push_str(&render_sessions(&result.schedule, &result.tasks));
+    out.push_str(&render_nonsession(&result.nonsession, &result.tasks));
+    let _ = writeln!(
+        out,
+        "serial reference: {} cycles",
+        result.serial.makespan
+    );
+    if let Some(bist) = &result.bist {
+        let _ = writeln!(out, "-- BRAINS (Fig. 4 integration) --");
+        out.push_str(&bist.to_string());
+    }
+    let _ = writeln!(out, "-- stage timings --");
+    for t in &result.timings {
+        let _ = writeln!(out, "  {:<16} {:?}", t.stage, t.elapsed);
+    }
+    let _ = writeln!(out, "  total            {:?}", result.total_runtime());
+    out
+}
+
+/// Renders the insertion report against the paper's §3 area figures.
+#[must_use]
+pub fn render_insertion(report: &InsertionReport, chip_logic_ge: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== test insertion report ===");
+    let _ = writeln!(
+        out,
+        "WBR cell: {:.1} GE (paper: 26 NAND2-equivalents)",
+        report.wbr_cell_ge
+    );
+    let _ = writeln!(
+        out,
+        "WBR cells inserted: {} ({:.0} GE total)",
+        report.wbr_cells,
+        report.wbr_total_ge()
+    );
+    let _ = writeln!(
+        out,
+        "Test Controller: {:.0} GE (paper: ~371 gates)",
+        report.controller_ge
+    );
+    let _ = writeln!(
+        out,
+        "TAM multiplexer: {:.0} GE (paper: ~132 gates)",
+        report.tam_mux_ge
+    );
+    let _ = writeln!(
+        out,
+        "controller + mux overhead: {:.2}% of {:.0} GE chip logic (paper: ~0.3%)",
+        report.overhead_percent(chip_logic_ge),
+        chip_logic_ge
+    );
+    for w in &report.wrapped {
+        let _ = writeln!(
+            out,
+            "  {}: {} chains, {} boundary cells",
+            w.module_name,
+            w.width,
+            w.boundary_cells
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::flow::{run_flow, CoreSource, FlowInput};
+
+    #[test]
+    fn flow_report_contains_all_sections() {
+        let stil = r#"
+STIL 1.0;
+Signals { ck In; d In; q Out; si In { ScanIn; } so Out { ScanOut; } se In; }
+SignalGroups { clocks = 'ck'; scan_enables = 'se'; pi = 'd'; po = 'q'; }
+ScanStructures { ScanChain "c" { ScanLength 8; ScanIn si; ScanOut so; } }
+Procedures { "load_unload" { Shift { V { si=#; ck=P; } } } }
+Pattern p { Loop 5 { Call "load_unload"; } }
+"#;
+        let input = FlowInput {
+            cores: vec![CoreSource::new("tiny", stil)],
+            ..FlowInput::default()
+        };
+        let r = run_flow(&input).unwrap();
+        let text = super::render_flow(&r);
+        assert!(text.contains("STIL Parser"), "{text}");
+        assert!(text.contains("session-based schedule"), "{text}");
+        assert!(text.contains("stage timings"), "{text}");
+    }
+}

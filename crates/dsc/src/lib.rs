@@ -1,0 +1,58 @@
+//! The DSC controller test-chip model — the paper's evaluation vehicle.
+//!
+//! "A DSC test chip has been implemented and fabricated to verify the
+//! proposed approach. This test chip is implemented with a standard
+//! 0.25 µm CMOS technology. The major digital part of the chip includes a
+//! processor, JPEG codec, TV encoder, USB, external memory interface, and
+//! tens of single-port and two-port synchronous SRAMs with different
+//! sizes" (Fig. 3).
+//!
+//! We do not have the fabricated silicon, so this crate provides the
+//! synthetic equivalent (see DESIGN.md §1): gate-level cores whose
+//! *interfaces, scan structures and pattern counts reproduce Table 1
+//! exactly*, a calibrated SRAM inventory, STIL test-information files for
+//! each core, and the scheduling instance whose session-based/non-session
+//! comparison reproduces the paper's §3 numbers.
+//!
+//! | Core | TI | TO | PI | PO | Scan chains (lengths) | Patterns |
+//! |------|----|----|----|----|------------------------|----------|
+//! | USB  | 18 | 4  | 221| 104| 4 (1629, 78, 293, 45)  | 716 scan |
+//! | TV   | 6  | 1  | 25 | 40 | 2 (577, 576)           | 229 scan + 202,673 func |
+//! | JPEG | 1  | 0  | 165| 104| none                   | 235,696 func |
+
+pub mod chip;
+pub mod cores;
+pub mod memories;
+pub mod stilgen;
+pub mod tasks;
+
+pub use chip::{build_chip, ChipInventory, DSC_CHIP_LOGIC_GE};
+pub use cores::{jpeg_core, tv_core, usb_core, CoreParams, Table1Row, TABLE1};
+pub use memories::{dsc_memory_inventory, dsc_brains};
+pub use stilgen::core_stil;
+pub use tasks::{dsc_chip_config, dsc_test_tasks, PAPER_NONSESSION_CYCLES, PAPER_SESSION_CYCLES};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_is_the_paper_table() {
+        let usb = &TABLE1[0];
+        assert_eq!(
+            (usb.ti, usb.to, usb.pi, usb.po),
+            (18, 4, 221, 104),
+            "USB row"
+        );
+        assert_eq!(usb.scan_chains, &[1629, 78, 293, 45]);
+        assert_eq!(usb.scan_patterns, 716);
+        let tv = &TABLE1[1];
+        assert_eq!((tv.ti, tv.to, tv.pi, tv.po), (6, 1, 25, 40), "TV row");
+        assert_eq!(tv.scan_patterns, 229);
+        assert_eq!(tv.functional_patterns, 202_673);
+        let jpeg = &TABLE1[2];
+        assert_eq!((jpeg.ti, jpeg.to, jpeg.pi, jpeg.po), (1, 0, 165, 104));
+        assert_eq!(jpeg.functional_patterns, 235_696);
+        assert!(jpeg.scan_chains.is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! The DSC's embedded SRAM inventory ("tens of single-port and two-port
+//! synchronous SRAMs with different sizes") and its BRAINS configuration.
+//!
+//! The companion papers carry the exact sizes; this inventory is the
+//! synthetic equivalent, calibrated so the March C− BIST time of the two
+//! sequencer groups reproduces the paper's §3 scheduling arithmetic
+//! (DESIGN.md §4): the single-port group sums to 296,640 distinct words
+//! (2,966,400 cycles at 10N) and the two-port group to 90,000 words
+//! (900,000 cycles).
+
+use steac_membist::{Brains, MemorySpec, SequencerPolicy, SramConfig};
+
+/// Single-port sequencer group (group 0): distinct word counts sum to
+/// 296,640.
+const SP_SIZES: [(usize, usize); 13] = [
+    // (words, width) — frame buffers, DMA, caches, line buffers.
+    (131_072, 16),
+    (65_536, 16),
+    (34_624, 32), // frame-strip buffer (the calibration residual)
+    (32_768, 32),
+    (16_384, 32),
+    (8_192, 32),
+    (4_096, 16),
+    (2_048, 16),
+    (1_024, 8),
+    (512, 8),
+    (256, 8),
+    (128, 8),
+    (131_072, 16), // second instance of the big buffer (broadcast pair)
+];
+
+/// Two-port sequencer group (group 1): distinct word counts sum to
+/// 90,000.
+const TP_SIZES: [(usize, usize); 9] = [
+    (65_536, 16),
+    (16_384, 16),
+    (4_096, 32),
+    (2_048, 32),
+    (1_024, 16),
+    (512, 16),
+    (256, 8),
+    (144, 8), // video FIFO
+    (1_024, 16), // second instance (broadcast pair)
+];
+
+/// Builds the full memory inventory (22 instances: 13 SP + 9 2P).
+#[must_use]
+pub fn dsc_memory_inventory() -> Vec<MemorySpec> {
+    let mut v = Vec::new();
+    for (i, &(words, width)) in SP_SIZES.iter().enumerate() {
+        v.push(MemorySpec::new(
+            &format!("sp_ram{i}"),
+            SramConfig::single_port(words, width),
+            0,
+        ));
+    }
+    for (i, &(words, width)) in TP_SIZES.iter().enumerate() {
+        v.push(MemorySpec::new(
+            &format!("tp_ram{i}"),
+            SramConfig::two_port(words, width),
+            1,
+        ));
+    }
+    v
+}
+
+/// The DSC BRAINS configuration: March C−, one sequencer per port-kind
+/// group, groups run in parallel (Fig. 2).
+#[must_use]
+pub fn dsc_brains() -> Brains {
+    let mut b = Brains::new();
+    for m in dsc_memory_inventory() {
+        b.add_memory(m);
+    }
+    b.policy(SequencerPolicy::PerGroup).parallel(true);
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn inventory_is_tens_of_memories() {
+        let inv = dsc_memory_inventory();
+        assert_eq!(inv.len(), 22);
+        let sp = inv.iter().filter(|m| m.group == 0).count();
+        let tp = inv.iter().filter(|m| m.group == 1).count();
+        assert_eq!((sp, tp), (13, 9));
+    }
+
+    #[test]
+    fn calibrated_group_words() {
+        let distinct = |group: usize| -> usize {
+            let mut seen = BTreeSet::new();
+            dsc_memory_inventory()
+                .iter()
+                .filter(|m| m.group == group)
+                .filter(|m| seen.insert((m.config.words, m.config.width)))
+                .map(|m| m.config.words)
+                .sum()
+        };
+        assert_eq!(distinct(0), 296_640, "SP group calibration");
+        assert_eq!(distinct(1), 90_000, "2P group calibration");
+    }
+
+    #[test]
+    fn brains_compile_matches_calibration() {
+        let d = dsc_brains().compile().unwrap();
+        assert_eq!(d.sequencer_count(), 2);
+        assert_eq!(d.sequencer_cycles[0], 2_966_400);
+        assert_eq!(d.sequencer_cycles[1], 900_000);
+        assert_eq!(d.total_cycles_parallel, 2_966_400);
+        assert_eq!(d.total_cycles_serial, 3_866_400);
+        assert_eq!(d.per_memory.len(), 22);
+    }
+
+    #[test]
+    fn coverage_on_the_inventory_is_full() {
+        let reports = dsc_brains().evaluate_coverage(8, 2005);
+        assert!(!reports.is_empty());
+        for r in &reports {
+            assert_eq!(r.coverage_percent(), 100.0, "{r}");
+        }
+    }
+}

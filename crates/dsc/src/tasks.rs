@@ -1,0 +1,197 @@
+//! The calibrated DSC scheduling instance — the paper's §3 experiment.
+//!
+//! "In the DSC case, we tried several scheduling approaches, and found
+//! that the session-based approach (with three test sessions) has the
+//! shortest total test time — 4,371,194 clock cycles as opposed to
+//! 4,713,935 cycles by non-session-based approach."
+//!
+//! The instance below reproduces that comparison with this workspace's
+//! models: Table 1 drives the scan/functional tasks, the calibrated
+//! memory inventory drives the two BIST tasks, and the chip configuration
+//! puts the pin budget exactly where the paper's observation bites — the
+//! JPEG functional test fits at full width only when control IOs are
+//! session-scoped. Power figures follow the usual ordering (at-speed
+//! functional and large-array BIST are the hungriest; slow-clock scan the
+//! tamest) and are chosen within the calibration freedom DESIGN.md §4
+//! documents.
+
+use crate::cores::TABLE1;
+use crate::memories::dsc_brains;
+use steac_sched::{ChipConfig, TestTask};
+use steac_tam::{ControlClass, ControlSignal, PinBudget, SharePolicy};
+
+/// The paper's session-based total test time in cycles.
+pub const PAPER_SESSION_CYCLES: u64 = 4_371_194;
+/// The paper's non-session total test time in cycles.
+pub const PAPER_NONSESSION_CYCLES: u64 = 4_713_935;
+
+/// USB control inventory: 4 clock domains, 3 resets, 1 SE, 6 test
+/// signals (14 signals; with its 4 dedicated scan-ins TI = 18).
+fn usb_controls() -> Vec<ControlSignal> {
+    let mut v = Vec::new();
+    for (i, f) in [48u32, 12, 480, 60].iter().enumerate() {
+        v.push(ControlSignal::new(
+            "USB",
+            &format!("ck{i}"),
+            ControlClass::Clock { freq_mhz: *f },
+        ));
+    }
+    for i in 0..3 {
+        v.push(ControlSignal::new(
+            "USB",
+            &format!("rst{i}"),
+            ControlClass::Reset,
+        ));
+    }
+    v.push(ControlSignal::new("USB", "se", ControlClass::ScanEnable));
+    for i in 0..6 {
+        v.push(ControlSignal::new(
+            "USB",
+            &format!("test{i}"),
+            ControlClass::TestEnable,
+        ));
+    }
+    v
+}
+
+fn tv_controls() -> Vec<ControlSignal> {
+    vec![
+        ControlSignal::new("TV", "ck", ControlClass::Clock { freq_mhz: 27 }),
+        ControlSignal::new("TV", "rst", ControlClass::Reset),
+        ControlSignal::new("TV", "se", ControlClass::ScanEnable),
+        ControlSignal::new("TV", "te", ControlClass::TestEnable),
+    ]
+}
+
+/// The DSC chip configuration for scheduling.
+///
+/// 280 test-usable pins (2 reserved), 4 global test pins, power cap 2.2
+/// units, at most 3 sessions (the paper's result uses exactly 3), PLL
+/// clocks and controller-decoded test enables in the session
+/// architecture; per-core test enables in the static baseline.
+#[must_use]
+pub fn dsc_chip_config() -> ChipConfig {
+    ChipConfig {
+        budget: PinBudget::with_reserved(280, 2),
+        global_pins: 4,
+        power_limit: 2.2,
+        max_sessions: 3,
+        session_share: SharePolicy::dsc(3),
+        static_share: SharePolicy {
+            te_via_controller: false,
+            ..SharePolicy::dsc(1)
+        },
+    }
+}
+
+/// The six DSC test tasks: USB scan, TV scan, TV functional, JPEG
+/// functional, and the two BIST sequencer groups.
+#[must_use]
+pub fn dsc_test_tasks() -> Vec<TestTask> {
+    let usb = &TABLE1[0];
+    let tv = &TABLE1[1];
+    let jpeg = &TABLE1[2];
+    let bist = dsc_brains().compile().expect("DSC BIST compiles");
+    vec![
+        TestTask::scan(
+            "usb",
+            usb.scan_patterns,
+            usb.scan_chains,
+            usb.pi,
+            usb.po,
+            false,
+        )
+        .with_controls(usb_controls())
+        .with_power(1.0),
+        TestTask::scan(
+            "tv",
+            tv.scan_patterns,
+            tv.scan_chains,
+            tv.pi,
+            tv.po,
+            false,
+        )
+        .with_controls(tv_controls())
+        .with_power(0.3),
+        TestTask::functional("tv", tv.functional_patterns, tv.pi, tv.po)
+            .with_controls(vec![
+                ControlSignal::new("TV", "ck", ControlClass::Clock { freq_mhz: 27 }),
+                ControlSignal::new("TV", "te", ControlClass::TestEnable),
+            ])
+            .with_power(1.1),
+        TestTask::functional("jpeg", jpeg.functional_patterns, jpeg.pi, jpeg.po)
+            .with_controls(vec![ControlSignal::new(
+                "JPEG",
+                "ck",
+                ControlClass::Clock { freq_mhz: 54 },
+            )])
+            .with_power(1.4),
+        TestTask::bist("sp_group", bist.sequencer_cycles[0]).with_power(1.3),
+        TestTask::bist("tp_group", bist.sequencer_cycles[1]).with_power(0.6),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steac_sched::{schedule_nonsession, schedule_serial, schedule_sessions};
+
+    #[test]
+    fn control_inventory_sums_to_19() {
+        // 6 clocks + 4 resets + 7 TEs + 2 SEs across the three cores.
+        let tasks = dsc_test_tasks();
+        let mut all: Vec<(String, String)> = Vec::new();
+        for t in &tasks {
+            for c in &t.controls {
+                let key = (c.core.clone(), c.name.clone());
+                if !all.contains(&key) {
+                    all.push(key);
+                }
+            }
+        }
+        assert_eq!(all.len(), 19, "paper: 19 control IOs unshared");
+    }
+
+    /// The headline reproduction: session-based (3 sessions) beats
+    /// non-session, with totals in the paper's band.
+    #[test]
+    fn session_schedule_reproduces_paper_shape() {
+        let tasks = dsc_test_tasks();
+        let config = dsc_chip_config();
+        let s = schedule_sessions(&tasks, &config);
+        assert_eq!(s.sessions.len(), 3, "paper: three test sessions");
+        let ns = schedule_nonsession(&tasks, &config);
+        assert!(
+            s.total_cycles < ns.makespan,
+            "session {} must beat non-session {}",
+            s.total_cycles,
+            ns.makespan
+        );
+        // Within 5% of the paper's absolute numbers (the substrate is a
+        // model, not the authors' testbed).
+        let close = |ours: u64, paper: u64| {
+            (ours as f64 - paper as f64).abs() / (paper as f64) < 0.05
+        };
+        assert!(
+            close(s.total_cycles, PAPER_SESSION_CYCLES),
+            "session {} vs paper {}",
+            s.total_cycles,
+            PAPER_SESSION_CYCLES
+        );
+        assert!(
+            close(ns.makespan, PAPER_NONSESSION_CYCLES),
+            "non-session {} vs paper {}",
+            ns.makespan,
+            PAPER_NONSESSION_CYCLES
+        );
+    }
+
+    #[test]
+    fn serial_is_worst() {
+        let tasks = dsc_test_tasks();
+        let config = dsc_chip_config();
+        let s = schedule_sessions(&tasks, &config);
+        let serial = schedule_serial(&tasks, &config);
+        assert!(serial.makespan > s.total_cycles);
+    }
+}

@@ -1,0 +1,184 @@
+//! The shared BIST Controller (Fig. 2): single tester access point for
+//! all on-chip memories.
+//!
+//! The tester interface is the 7-signal port of the paper's figure:
+//! `MBS` (BIST start), `MSI` (serial instruction in), `MBR` (BIST
+//! reset), `MRD` (ready/done), `MSO` (serial status out), `MBO`
+//! (pass/fail), `MBC` (BIST clock).
+
+use steac_netlist::{GateKind, Module, NetlistBuilder, NetlistError};
+
+/// The Fig. 2 tester interface signal names.
+pub const BIST_IF_SIGNALS: [&str; 7] = ["MBS", "MSI", "MBR", "MRD", "MSO", "MBO", "MBC"];
+
+/// Generates the shared controller for `sequencers` sequencer groups.
+///
+/// Behaviour implemented in gates:
+///
+/// * a run flop set by `MBS`, cleared by `MBR`,
+/// * per-sequencer `seq_run[j]` gating,
+/// * `MRD` = AND of all `seq_done[j]` inputs,
+/// * `MBO` = NOR of all `seq_fail[j]` inputs (1 = pass),
+/// * a status shift register (one bit per sequencer: its fail flag)
+///   shifting out on `MSO` while `MSI` supplies the shift enable.
+///
+/// # Errors
+///
+/// Propagates netlist construction errors.
+///
+/// # Panics
+///
+/// Panics if `sequencers == 0`.
+pub fn controller_netlist(sequencers: usize) -> Result<Module, NetlistError> {
+    assert!(sequencers > 0, "controller needs at least one sequencer");
+    let mut b = NetlistBuilder::new("steac_bist_controller");
+    let mbs = b.input("MBS");
+    let msi = b.input("MSI");
+    let mbr = b.input("MBR");
+    let mbc = b.input("MBC");
+    let seq_done = b.input_bus("seq_done", sequencers);
+    let seq_fail = b.input_bus("seq_fail", sequencers);
+
+    // Run flop: set on MBS, asynchronously cleared by MBR (active high
+    // reset -> invert into DffR's active-low pin).
+    let rst_n = b.gate(GateKind::Inv, &[mbr]);
+    let run = b.net("run_q");
+    let run_next = b.gate(GateKind::Or2, &[run, mbs]);
+    b.gate_into(GateKind::DffR, &[run_next, mbc, rst_n], run);
+    for j in 0..sequencers {
+        let g = b.gate(GateKind::Buf, &[run]);
+        b.output(&format!("seq_run[{j}]"), g);
+    }
+
+    // Ready when every sequencer reports done.
+    let mrd = b.and_tree(&seq_done);
+    b.output("MRD", mrd);
+
+    // Pass/fail: MBO = 1 when no sequencer failed.
+    let any_fail = b.or_tree(&seq_fail);
+    let mbo = b.gate(GateKind::Inv, &[any_fail]);
+    b.output("MBO", mbo);
+
+    // Status shift register: parallel-load fail bits when not shifting
+    // (MSI low), shift towards MSO when MSI high.
+    let mut prev = b.tie0();
+    let mut last = prev;
+    for j in 0..sequencers {
+        let q = b.net(&format!("status_q{j}"));
+        let d = b.gate(GateKind::Mux2, &[seq_fail[j], prev, msi]);
+        b.gate_into(GateKind::DffR, &[d, mbc, rst_n], q);
+        prev = q;
+        last = q;
+    }
+    let mso = b.gate(GateKind::Buf, &[last]);
+    b.output("MSO", mso);
+
+    b.finish()
+}
+
+/// Total BIST time when `per_sequencer_cycles[j]` sequencers run in
+/// parallel (the Fig. 2 arrangement) vs one at a time.
+#[must_use]
+pub fn bist_time(per_sequencer_cycles: &[u64], parallel: bool) -> u64 {
+    if parallel {
+        per_sequencer_cycles.iter().copied().max().unwrap_or(0)
+    } else {
+        per_sequencer_cycles.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steac_netlist::AreaReport;
+    use steac_sim::{Logic, Simulator};
+
+    #[test]
+    fn interface_has_the_seven_paper_signals() {
+        assert_eq!(BIST_IF_SIGNALS.len(), 7);
+        let m = controller_netlist(3).unwrap();
+        for sig in ["MBS", "MSI", "MBR", "MBC"] {
+            assert!(m.port(sig).is_some(), "missing input {sig}");
+        }
+        for sig in ["MRD", "MSO", "MBO"] {
+            assert!(m.port(sig).is_some(), "missing output {sig}");
+        }
+    }
+
+    fn setup<'m>(m: &'m Module) -> Simulator<'m> {
+        let mut sim = Simulator::new(m).unwrap();
+        for p in ["MBS", "MSI", "MBC"] {
+            sim.set_by_name(p, Logic::Zero).unwrap();
+        }
+        for i in 0..2 {
+            sim.set_by_name(&format!("seq_done[{i}]"), Logic::Zero).unwrap();
+            sim.set_by_name(&format!("seq_fail[{i}]"), Logic::Zero).unwrap();
+        }
+        sim.set_by_name("MBR", Logic::One).unwrap();
+        sim.settle().unwrap();
+        sim.set_by_name("MBR", Logic::Zero).unwrap();
+        sim.settle().unwrap();
+        sim
+    }
+
+    #[test]
+    fn start_sets_run_until_reset() {
+        let m = controller_netlist(2).unwrap();
+        let mut sim = setup(&m);
+        assert_eq!(sim.get_by_name("seq_run[0]").unwrap(), Logic::Zero);
+        sim.set_by_name("MBS", Logic::One).unwrap();
+        sim.clock_cycle_by_name("MBC").unwrap();
+        sim.set_by_name("MBS", Logic::Zero).unwrap();
+        sim.clock_cycle_by_name("MBC").unwrap();
+        assert_eq!(sim.get_by_name("seq_run[1]").unwrap(), Logic::One);
+        sim.set_by_name("MBR", Logic::One).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.get_by_name("seq_run[0]").unwrap(), Logic::Zero);
+    }
+
+    #[test]
+    fn ready_and_pass_fail_aggregation() {
+        let m = controller_netlist(2).unwrap();
+        let mut sim = setup(&m);
+        assert_eq!(sim.get_by_name("MRD").unwrap(), Logic::Zero);
+        sim.set_by_name("seq_done[0]", Logic::One).unwrap();
+        sim.set_by_name("seq_done[1]", Logic::One).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.get_by_name("MRD").unwrap(), Logic::One);
+        assert_eq!(sim.get_by_name("MBO").unwrap(), Logic::One, "pass");
+        sim.set_by_name("seq_fail[1]", Logic::One).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.get_by_name("MBO").unwrap(), Logic::Zero, "fail");
+    }
+
+    #[test]
+    fn status_register_shifts_fail_map_out() {
+        let m = controller_netlist(2).unwrap();
+        let mut sim = setup(&m);
+        sim.set_by_name("seq_fail[0]", Logic::One).unwrap();
+        // Parallel load (MSI low), then shift out (MSI high).
+        sim.clock_cycle_by_name("MBC").unwrap();
+        sim.set_by_name("MSI", Logic::One).unwrap();
+        sim.settle().unwrap();
+        // MSO currently shows the last stage = fail[1] = 0.
+        assert_eq!(sim.get_by_name("MSO").unwrap(), Logic::Zero);
+        sim.clock_cycle_by_name("MBC").unwrap();
+        // After one shift, fail[0] = 1 reaches MSO.
+        assert_eq!(sim.get_by_name("MSO").unwrap(), Logic::One);
+    }
+
+    #[test]
+    fn bist_time_parallel_vs_serial() {
+        let cycles = [80_000u64, 160_000, 40_000];
+        assert_eq!(bist_time(&cycles, false), 280_000);
+        assert_eq!(bist_time(&cycles, true), 160_000);
+        assert_eq!(bist_time(&[], true), 0);
+    }
+
+    #[test]
+    fn controller_area_is_modest() {
+        let m = controller_netlist(4).unwrap();
+        let area = AreaReport::for_module(&m).total_ge();
+        assert!(area < 150.0, "shared controller should be small: {area}");
+    }
+}

@@ -1,0 +1,174 @@
+//! Failure diagnosis: from the controller's fail map to the failing
+//! memory, and from a failing memory to the first offending March
+//! operation.
+//!
+//! On the tester, `MSO` shifts out one fail bit per sequencer group
+//! (see [`crate::controller`]); BRAINS maps those bits back to memory
+//! instances, and re-running the March test against the behavioural
+//! model pinpoints the first mismatching read — the starting point of
+//! bitmap-based failure analysis.
+
+use crate::brains::{BistDesign, PerMemory};
+use crate::march::{Direction, MarchAlgorithm, MarchOp};
+use crate::memory::Sram;
+use std::fmt;
+
+/// The first failing read observed while marching over a memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureSite {
+    /// Index of the March element.
+    pub element: usize,
+    /// Word address of the failing read.
+    pub addr: usize,
+    /// The read operation that failed.
+    pub op: MarchOp,
+    /// Observed word value.
+    pub observed: u64,
+    /// Expected word value.
+    pub expected: u64,
+}
+
+impl FailureSite {
+    /// Bit positions that differ.
+    #[must_use]
+    pub fn failing_bits(&self) -> Vec<usize> {
+        (0..64)
+            .filter(|b| ((self.observed ^ self.expected) >> b) & 1 == 1)
+            .collect()
+    }
+}
+
+impl fmt::Display for FailureSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "element {} {} at address {:#x}: observed {:#x}, expected {:#x} (bits {:?})",
+            self.element,
+            self.op,
+            self.addr,
+            self.observed,
+            self.expected,
+            self.failing_bits()
+        )
+    }
+}
+
+/// Runs `alg` on `mem` and returns the first failing read, if any.
+#[must_use]
+pub fn first_failure(alg: &MarchAlgorithm, mem: &mut Sram) -> Option<FailureSite> {
+    let words = mem.config().words;
+    let mask = if mem.config().width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << mem.config().width) - 1
+    };
+    for (ei, element) in alg.elements.iter().enumerate() {
+        let addrs: Box<dyn Iterator<Item = usize>> = match element.dir {
+            Direction::Up | Direction::Any => Box::new(0..words),
+            Direction::Down => Box::new((0..words).rev()),
+        };
+        for addr in addrs {
+            for &op in &element.ops {
+                match op {
+                    MarchOp::W0 => mem.write(addr, 0),
+                    MarchOp::W1 => mem.write(addr, mask),
+                    MarchOp::R0 | MarchOp::R1 => {
+                        let expected = if op.value() { mask } else { 0 };
+                        let observed = mem.read(addr);
+                        if observed != expected {
+                            return Some(FailureSite {
+                                element: ei,
+                                addr,
+                                op,
+                                observed,
+                                expected,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Maps the controller fail bits (one per sequencer group, in group
+/// order) to the memories they implicate.
+#[must_use]
+pub fn implicated_memories<'d>(
+    design: &'d BistDesign,
+    seq_fail: &[bool],
+) -> Vec<&'d PerMemory> {
+    // Group order in the design follows the sorted group keys used at
+    // compile time; sequencer_cycles and per_memory share that order via
+    // insertion sequence. Reconstruct group boundaries by walking
+    // per_memory in order and changing groups when the sequencer index
+    // advances.
+    // per_memory was pushed group by group, so chunk it by the group
+    // sizes implied by the sequencer count.
+    let groups = design.sequencer_cycles.len();
+    if groups == 0 {
+        return Vec::new();
+    }
+    // Count memories per group by re-deriving the grouping from the
+    // per-memory records: records were appended per group in order.
+    // Without explicit markers we approximate by even association: walk
+    // memories and assign to groups in contiguous runs recorded at
+    // compile time via `group_sizes`.
+    let sizes = design.group_sizes();
+    let mut out = Vec::new();
+    let mut idx = 0usize;
+    for (g, &size) in sizes.iter().enumerate() {
+        let failing = seq_fail.get(g).copied().unwrap_or(false);
+        for m in &design.per_memory[idx..idx + size] {
+            if failing {
+                out.push(m);
+            }
+        }
+        idx += size;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brains::{Brains, MemorySpec};
+    use crate::memory::{MemFault, SramConfig};
+
+    #[test]
+    fn first_failure_locates_a_stuck_cell() {
+        let cfg = SramConfig::single_port(64, 8);
+        let alg = MarchAlgorithm::march_c_minus();
+        let mut mem = Sram::with_fault(cfg, MemFault::stuck_at(0x21, 5, true));
+        let site = first_failure(&alg, &mut mem).expect("fault detected");
+        assert_eq!(site.addr, 0x21);
+        assert_eq!(site.failing_bits(), vec![5]);
+        // SA1 first seen by the first r0 after the w0 background.
+        assert_eq!(site.op, MarchOp::R0);
+        assert!(site.to_string().contains("0x21"));
+    }
+
+    #[test]
+    fn clean_memory_has_no_failure_site() {
+        let cfg = SramConfig::single_port(16, 4);
+        let mut mem = Sram::new(cfg);
+        assert!(first_failure(&MarchAlgorithm::march_c_minus(), &mut mem).is_none());
+    }
+
+    #[test]
+    fn fail_map_implicates_the_right_group() {
+        let mut b = Brains::new();
+        b.add_memory(MemorySpec::new("a0", SramConfig::single_port(64, 8), 0));
+        b.add_memory(MemorySpec::new("a1", SramConfig::single_port(32, 8), 0));
+        b.add_memory(MemorySpec::new("f0", SramConfig::two_port(16, 8), 1));
+        let d = b.compile().unwrap();
+        // Group 1 (the two-port FIFO) failed.
+        let hits = implicated_memories(&d, &[false, true]);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].name, "f0");
+        // Group 0 failed: both SP memories implicated.
+        let hits = implicated_memories(&d, &[true, false]);
+        assert_eq!(hits.len(), 2);
+    }
+}

@@ -1,0 +1,340 @@
+//! March fault simulation: runs an algorithm against a faulty memory
+//! model and grades coverage over a fault list.
+
+use crate::march::{Direction, MarchAlgorithm, MarchOp};
+use crate::memory::{MemFault, Sram, SramConfig};
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Runs `alg` on `mem`; returns `true` if any read mismatches its
+/// expected background value (fault detected).
+#[must_use]
+pub fn run_march(alg: &MarchAlgorithm, mem: &mut Sram) -> bool {
+    let words = mem.config().words;
+    let mask = if mem.config().width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << mem.config().width) - 1
+    };
+    for element in &alg.elements {
+        let addrs: Box<dyn Iterator<Item = usize>> = match element.dir {
+            Direction::Up | Direction::Any => Box::new(0..words),
+            Direction::Down => Box::new((0..words).rev()),
+        };
+        for addr in addrs {
+            for &op in &element.ops {
+                match op {
+                    MarchOp::W0 => mem.write(addr, 0),
+                    MarchOp::W1 => mem.write(addr, mask),
+                    MarchOp::R0 => {
+                        if mem.read(addr) != 0 {
+                            return true;
+                        }
+                    }
+                    MarchOp::R1 => {
+                        if mem.read(addr) != mask {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Coverage of an algorithm over a fault list on one memory geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemCoverageReport {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Memory geometry description.
+    pub memory: String,
+    /// Total faults simulated.
+    pub total: usize,
+    /// Faults detected.
+    pub detected: usize,
+    /// Escapes per fault class.
+    pub escapes_by_class: BTreeMap<&'static str, usize>,
+    /// The escaped faults (for diagnosis).
+    pub escaped: Vec<MemFault>,
+}
+
+impl MemCoverageReport {
+    /// Coverage in percent (100 for an empty list).
+    #[must_use]
+    pub fn coverage_percent(&self) -> f64 {
+        if self.total == 0 {
+            100.0
+        } else {
+            100.0 * self.detected as f64 / self.total as f64
+        }
+    }
+}
+
+impl fmt::Display for MemCoverageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {}: {}/{} detected ({:.2}%)",
+            self.algorithm,
+            self.memory,
+            self.detected,
+            self.total,
+            self.coverage_percent()
+        )?;
+        if !self.escapes_by_class.is_empty() {
+            write!(f, " escapes:")?;
+            for (class, n) in &self.escapes_by_class {
+                write!(f, " {class}={n}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Simulates every fault in `faults` (single-fault assumption) under
+/// `alg` and reports coverage.
+#[must_use]
+pub fn fault_coverage(
+    alg: &MarchAlgorithm,
+    config: &SramConfig,
+    faults: &[MemFault],
+) -> MemCoverageReport {
+    let mut detected = 0usize;
+    let mut escaped = Vec::new();
+    let mut escapes_by_class: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for &fault in faults {
+        let mut mem = Sram::with_fault(*config, fault);
+        if run_march(alg, &mut mem) {
+            detected += 1;
+        } else {
+            *escapes_by_class.entry(fault.class()).or_insert(0) += 1;
+            escaped.push(fault);
+        }
+    }
+    MemCoverageReport {
+        algorithm: alg.name.clone(),
+        memory: config.to_string(),
+        total: faults.len(),
+        detected,
+        escaped,
+        escapes_by_class,
+    }
+}
+
+/// Generates a random fault list over all classes with `per_class`
+/// faults each (deduplicated cells are not required — the single-fault
+/// assumption means every entry is simulated independently).
+pub fn random_fault_list<R: Rng>(
+    config: &SramConfig,
+    per_class: usize,
+    rng: &mut R,
+) -> Vec<MemFault> {
+    let mut out = Vec::with_capacity(per_class * 6);
+    let cell = |rng: &mut R| -> (usize, usize) {
+        (rng.gen_range(0..config.words), rng.gen_range(0..config.width))
+    };
+    for _ in 0..per_class {
+        let (a, b) = cell(rng);
+        out.push(MemFault::StuckAt {
+            addr: a,
+            bit: b,
+            value: rng.gen(),
+        });
+    }
+    for _ in 0..per_class {
+        let (a, b) = cell(rng);
+        out.push(MemFault::Transition {
+            addr: a,
+            bit: b,
+            rising: rng.gen(),
+        });
+    }
+    // Inter-word pairs only: intra-word coupling faults are not
+    // guaranteed detectable with the solid data backgrounds March tests
+    // use (word-oriented memories need multiple backgrounds for those —
+    // see the dedicated escape test), so the theory-grade fault list
+    // sticks to the classically covered class.
+    let distinct_pair = |rng: &mut R| -> ((usize, usize), (usize, usize)) {
+        loop {
+            let a = cell(rng);
+            let v = cell(rng);
+            if a.0 != v.0 {
+                return (a, v);
+            }
+        }
+    };
+    for _ in 0..per_class {
+        let (a, v) = distinct_pair(rng);
+        out.push(MemFault::CouplingInversion {
+            aggressor: a,
+            victim: v,
+            rising: rng.gen(),
+        });
+    }
+    for _ in 0..per_class {
+        let (a, v) = distinct_pair(rng);
+        out.push(MemFault::CouplingIdempotent {
+            aggressor: a,
+            victim: v,
+            rising: rng.gen(),
+            forced: rng.gen(),
+        });
+    }
+    for _ in 0..per_class {
+        let (a, v) = distinct_pair(rng);
+        out.push(MemFault::CouplingState {
+            aggressor: a,
+            victim: v,
+            state: rng.gen(),
+            forced: rng.gen(),
+        });
+    }
+    if config.words >= 2 {
+        for _ in 0..per_class {
+            let a = rng.gen_range(0..config.words);
+            let mut b = rng.gen_range(0..config.words);
+            while b == a {
+                b = rng.gen_range(0..config.words);
+            }
+            out.push(match rng.gen_range(0..3) {
+                0 => MemFault::AfNoAccess { addr: a },
+                1 => MemFault::AfMultiAccess { addr: a, also: b },
+                _ => MemFault::AfOtherAccess { addr: a, other: b },
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const CFG: SramConfig = SramConfig {
+        words: 64,
+        width: 4,
+        ports: crate::memory::PortKind::SinglePort,
+    };
+
+    #[test]
+    fn clean_memory_passes_every_algorithm() {
+        for alg in MarchAlgorithm::library() {
+            let mut m = Sram::new(CFG);
+            assert!(!run_march(&alg, &mut m), "{} false alarm", alg.name);
+        }
+    }
+
+    #[test]
+    fn march_c_minus_detects_all_standard_unlinked_faults() {
+        let alg = MarchAlgorithm::march_c_minus();
+        let mut rng = StdRng::seed_from_u64(42);
+        let faults = random_fault_list(&CFG, 60, &mut rng);
+        let rep = fault_coverage(&alg, &CFG, &faults);
+        assert_eq!(
+            rep.coverage_percent(),
+            100.0,
+            "March C- must detect all unlinked SAF/TF/CF/AF: {rep}"
+        );
+    }
+
+    #[test]
+    fn march_ss_also_reaches_full_coverage() {
+        let alg = MarchAlgorithm::march_ss();
+        let mut rng = StdRng::seed_from_u64(7);
+        let faults = random_fault_list(&CFG, 40, &mut rng);
+        let rep = fault_coverage(&alg, &CFG, &faults);
+        assert_eq!(rep.coverage_percent(), 100.0, "{rep}");
+    }
+
+    #[test]
+    fn mats_plus_catches_saf_and_af_but_misses_couplings() {
+        let alg = MarchAlgorithm::mats_plus();
+        let mut rng = StdRng::seed_from_u64(3);
+        // SAFs and AFs: full detection.
+        let safs: Vec<MemFault> = random_fault_list(&CFG, 50, &mut rng)
+            .into_iter()
+            .filter(|f| f.class() == "SAF" || f.class() == "AF")
+            .collect();
+        let rep = fault_coverage(&alg, &CFG, &safs);
+        assert_eq!(rep.coverage_percent(), 100.0, "{rep}");
+        // Couplings: escapes expected (MATS+ is only 5N).
+        let cfs: Vec<MemFault> = random_fault_list(&CFG, 80, &mut rng)
+            .into_iter()
+            .filter(|f| f.class().starts_with("CF"))
+            .collect();
+        let rep = fault_coverage(&alg, &CFG, &cfs);
+        assert!(
+            rep.coverage_percent() < 100.0,
+            "MATS+ should not catch every coupling fault: {rep}"
+        );
+        assert!(!rep.escaped.is_empty());
+    }
+
+    #[test]
+    fn cheaper_algorithms_never_beat_march_ss() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let faults = random_fault_list(&CFG, 30, &mut rng);
+        let ss = fault_coverage(&MarchAlgorithm::march_ss(), &CFG, &faults);
+        for alg in [MarchAlgorithm::mats_plus(), MarchAlgorithm::march_x()] {
+            let rep = fault_coverage(&alg, &CFG, &faults);
+            assert!(
+                rep.detected <= ss.detected,
+                "{} outperformed March SS",
+                alg.name
+            );
+        }
+    }
+
+    /// Word-oriented-memory theory: an intra-word CFid whose forced value
+    /// equals the background written to the victim has no observable
+    /// effect under solid backgrounds — no solid-background March can
+    /// see it (multi-background extensions exist for exactly this).
+    #[test]
+    fn intra_word_masked_cfid_escapes_solid_background_march() {
+        let fault = MemFault::CouplingIdempotent {
+            aggressor: (5, 0),
+            victim: (5, 1), // same word
+            rising: true,
+            forced: true, // matches the 1-background written alongside
+        };
+        for alg in MarchAlgorithm::library() {
+            let mut m = Sram::with_fault(CFG, fault);
+            assert!(
+                !run_march(&alg, &mut m),
+                "{} claimed to detect a masked intra-word CFid",
+                alg.name
+            );
+        }
+        // The unmasked polarity (forced value opposite to the written
+        // background) IS caught, because the disturbance follows the
+        // write.
+        let visible = MemFault::CouplingIdempotent {
+            aggressor: (5, 0),
+            victim: (5, 1),
+            rising: true,
+            forced: false,
+        };
+        let mut m = Sram::with_fault(CFG, visible);
+        assert!(run_march(&MarchAlgorithm::march_c_minus(), &mut m));
+    }
+
+    #[test]
+    fn report_display_contains_classes() {
+        let alg = MarchAlgorithm::mats_plus();
+        let faults = vec![MemFault::CouplingState {
+            aggressor: (0, 0),
+            victim: (1, 0),
+            state: true,
+            forced: true,
+        }];
+        let rep = fault_coverage(&alg, &CFG, &faults);
+        if rep.detected == 0 {
+            assert!(rep.to_string().contains("CFst"), "{rep}");
+        }
+    }
+}

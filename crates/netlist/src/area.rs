@@ -1,0 +1,165 @@
+//! Gate-equivalent area accounting.
+//!
+//! Reproduces the paper's cost metric: "The area of the WBR cell is
+//! equivalent to 26 two-input NAND gates. The Test Controller and TAM
+//! multiplexer require about 371 and 132 gates, respectively — their
+//! hardware overhead is only about 0.3%."
+
+use crate::gate::GateKind;
+use crate::module::{CellContents, Design, Module};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Human-readable documentation of the GE table used throughout the
+/// workspace (NAND-decomposition convention of 0.25 µm standard-cell
+/// libraries).
+pub const GE_TABLE_DOC: &str = "INV 0.5, BUF 1.0, NAND2/NOR2 1.0, NAND3/NOR3 1.5, NAND4 2.0, \
+     AND2/OR2 1.5, AND3/OR3 2.0, XOR2/XNOR2 2.5, MUX2 3.5, LATCH 3.5, \
+     DFF 6.0, DFFR 7.0, SDFF 9.5, SDFFR 10.5, TIE 0.5 (all in NAND2 \
+     gate equivalents)";
+
+/// Per-module area breakdown in gate equivalents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaReport {
+    /// Module the report describes.
+    pub module: String,
+    /// GE contributed by explicit primitive cells.
+    pub explicit_ge: f64,
+    /// GE declared for abstracted logic (see
+    /// [`Module::declared_extra_ge`]).
+    pub declared_ge: f64,
+    /// Cell-count histogram per gate kind.
+    pub histogram: BTreeMap<GateKind, usize>,
+}
+
+impl AreaReport {
+    /// Computes the report for a flat module (instances contribute zero;
+    /// flatten first or use [`AreaReport::for_design`]).
+    #[must_use]
+    pub fn for_module(m: &Module) -> Self {
+        let mut histogram: BTreeMap<GateKind, usize> = BTreeMap::new();
+        let mut explicit_ge = 0.0;
+        for cell in &m.cells {
+            if let CellContents::Gate { kind, .. } = &cell.contents {
+                *histogram.entry(*kind).or_insert(0) += 1;
+                explicit_ge += kind.area_ge();
+            }
+        }
+        AreaReport {
+            module: m.name.clone(),
+            explicit_ge,
+            declared_ge: m.declared_extra_ge,
+            histogram,
+        }
+    }
+
+    /// Computes the report for `top` in `design`, flattening hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flattening errors (unknown module / port).
+    pub fn for_design(design: &Design, top: &str) -> Result<Self, crate::NetlistError> {
+        let flat = design.flatten(top)?;
+        Ok(Self::for_module(&flat))
+    }
+
+    /// Total area: explicit + declared GE.
+    #[must_use]
+    pub fn total_ge(&self) -> f64 {
+        self.explicit_ge + self.declared_ge
+    }
+
+    /// Overhead of this module relative to a base size, in percent —
+    /// the quantity the paper reports as "about 0.3%".
+    #[must_use]
+    pub fn overhead_percent(&self, base_ge: f64) -> f64 {
+        if base_ge <= 0.0 {
+            return 0.0;
+        }
+        100.0 * self.total_ge() / base_ge
+    }
+
+    /// Number of primitive cells.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.histogram.values().sum()
+    }
+}
+
+impl fmt::Display for AreaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "module {}: {:.1} GE ({} cells, {:.1} GE declared)",
+            self.module,
+            self.total_ge(),
+            self.cell_count(),
+            self.declared_ge
+        )?;
+        for (kind, count) in &self.histogram {
+            writeln!(
+                f,
+                "  {:>6} x{:<5} = {:>8.1} GE",
+                kind.cell_name(),
+                count,
+                kind.area_ge() * *count as f64
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    #[test]
+    fn area_sums_gate_table() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a");
+        let c = b.input("b");
+        let n = b.gate(GateKind::Nand2, &[a, c]); // 1.0
+        let x = b.gate(GateKind::Xor2, &[a, n]); // 2.5
+        let y = b.gate(GateKind::Inv, &[x]); // 0.5
+        b.output("y", y);
+        let m = b.finish().unwrap();
+        let r = AreaReport::for_module(&m);
+        assert!((r.total_ge() - 4.0).abs() < 1e-9);
+        assert_eq!(r.cell_count(), 3);
+    }
+
+    #[test]
+    fn declared_extra_ge_counts_toward_total() {
+        let mut b = NetlistBuilder::new("legacy");
+        let a = b.input("a");
+        b.output("y", a);
+        b.declare_extra_ge(1234.5);
+        let m = b.finish().unwrap();
+        let r = AreaReport::for_module(&m);
+        assert!((r.total_ge() - 1234.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_percent_matches_definition() {
+        let mut b = NetlistBuilder::new("dft");
+        let a = b.input("a");
+        let y = b.gate(GateKind::Nand2, &[a, a]);
+        b.output("y", y);
+        let r = AreaReport::for_module(&b.finish().unwrap());
+        // 1 GE over a 1000 GE chip = 0.1%.
+        assert!((r.overhead_percent(1000.0) - 0.1).abs() < 1e-9);
+        assert_eq!(r.overhead_percent(0.0), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_every_kind_used() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a");
+        let y = b.gate(GateKind::Mux2, &[a, a, a]);
+        b.output("y", y);
+        let r = AreaReport::for_module(&b.finish().unwrap());
+        let text = r.to_string();
+        assert!(text.contains("MUX2"), "{text}");
+    }
+}

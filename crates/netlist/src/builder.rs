@@ -1,0 +1,417 @@
+//! Ergonomic construction of gate-level modules.
+//!
+//! [`NetlistBuilder`] is the single entry point used by every generator in
+//! the workspace (wrapper cells, TAM muxes, controller FSMs, BIST logic).
+//! It auto-names nets and cells, validates pin counts eagerly and checks
+//! driver rules at [`finish`](NetlistBuilder::finish) time.
+
+use crate::gate::GateKind;
+use crate::module::{Cell, CellContents, Instance, Module, NetId, Port, PortDir};
+use crate::NetlistError;
+use std::collections::BTreeSet;
+
+/// Incremental builder for a [`Module`].
+///
+/// # Example
+///
+/// ```
+/// use steac_netlist::{NetlistBuilder, GateKind};
+///
+/// # fn main() -> Result<(), steac_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("mux_tree");
+/// let sel = b.input("sel");
+/// let a = b.input_bus("a", 4);
+/// let c = b.input_bus("b", 4);
+/// for i in 0..4 {
+///     let y = b.gate(GateKind::Mux2, &[a[i], c[i], sel]);
+///     b.output(&format!("y[{i}]"), y);
+/// }
+/// let m = b.finish()?;
+/// assert_eq!(m.gate_count(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetlistBuilder {
+    module: Module,
+    names: BTreeSet<String>,
+    errors: Vec<NetlistError>,
+    next_gate: usize,
+}
+
+impl NetlistBuilder {
+    /// Starts building a module with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        NetlistBuilder {
+            module: Module::new(name),
+            names: BTreeSet::new(),
+            errors: Vec::new(),
+            next_gate: 0,
+        }
+    }
+
+    fn unique_name(&mut self, base: &str) -> String {
+        if self.names.insert(base.to_string()) {
+            return base.to_string();
+        }
+        let mut i = 1usize;
+        loop {
+            let cand = format!("{base}_{i}");
+            if self.names.insert(cand.clone()) {
+                return cand;
+            }
+            i += 1;
+        }
+    }
+
+    /// Creates a fresh named net.
+    pub fn net(&mut self, name: &str) -> NetId {
+        let n = self.unique_name(name);
+        self.module.add_net(n)
+    }
+
+    /// Creates `width` nets named `name[0]..name[width-1]`.
+    pub fn bus(&mut self, name: &str, width: usize) -> Vec<NetId> {
+        (0..width).map(|i| self.net(&format!("{name}[{i}]"))).collect()
+    }
+
+    /// Declares an input port and returns its net.
+    pub fn input(&mut self, name: &str) -> NetId {
+        let net = self.net(name);
+        self.module.ports.push(Port {
+            name: self.module.nets[net.index()].name.clone(),
+            dir: PortDir::Input,
+            net,
+        });
+        net
+    }
+
+    /// Declares an input bus `name[0..width]`, returning its nets.
+    pub fn input_bus(&mut self, name: &str, width: usize) -> Vec<NetId> {
+        (0..width).map(|i| self.input(&format!("{name}[{i}]"))).collect()
+    }
+
+    /// Declares an output port bound to an existing net.
+    pub fn output(&mut self, name: &str, net: NetId) {
+        self.module.ports.push(Port {
+            name: name.to_string(),
+            dir: PortDir::Output,
+            net,
+        });
+    }
+
+    /// Declares an output bus bound to existing nets.
+    pub fn output_bus(&mut self, name: &str, nets: &[NetId]) {
+        for (i, &n) in nets.iter().enumerate() {
+            self.output(&format!("{name}[{i}]"), n);
+        }
+    }
+
+    /// Instantiates a primitive gate, returning its output net.
+    ///
+    /// Pin-count errors are recorded and reported by
+    /// [`finish`](Self::finish); the returned net is valid either way so
+    /// construction code can stay linear.
+    pub fn gate(&mut self, kind: GateKind, inputs: &[NetId]) -> NetId {
+        let out = self.net(&format!("w{}", self.next_gate));
+        self.gate_into(kind, inputs, out);
+        out
+    }
+
+    /// Instantiates a primitive gate driving an existing net.
+    pub fn gate_into(&mut self, kind: GateKind, inputs: &[NetId], output: NetId) {
+        if inputs.len() != kind.input_count() {
+            self.errors.push(NetlistError::PinCount {
+                kind,
+                expected: kind.input_count(),
+                got: inputs.len(),
+            });
+        }
+        let name = self.unique_name(&format!("g{}", self.next_gate));
+        self.next_gate += 1;
+        self.module.cells.push(Cell {
+            name,
+            contents: CellContents::Gate {
+                kind,
+                inputs: inputs.to_vec(),
+                output,
+            },
+        });
+    }
+
+    /// Instantiates a primitive gate with an explicit instance name.
+    pub fn named_gate(
+        &mut self,
+        name: &str,
+        kind: GateKind,
+        inputs: &[NetId],
+        output: NetId,
+    ) {
+        if inputs.len() != kind.input_count() {
+            self.errors.push(NetlistError::PinCount {
+                kind,
+                expected: kind.input_count(),
+                got: inputs.len(),
+            });
+        }
+        let name = self.unique_name(name);
+        self.next_gate += 1;
+        self.module.cells.push(Cell {
+            name,
+            contents: CellContents::Gate {
+                kind,
+                inputs: inputs.to_vec(),
+                output,
+            },
+        });
+    }
+
+    /// Instantiates a child module.
+    pub fn instance(&mut self, name: &str, module: &str, connections: &[(&str, NetId)]) {
+        let name = self.unique_name(name);
+        self.module.cells.push(Cell {
+            name,
+            contents: CellContents::Inst(Instance {
+                module: module.to_string(),
+                connections: connections
+                    .iter()
+                    .map(|(p, n)| ((*p).to_string(), *n))
+                    .collect(),
+            }),
+        });
+    }
+
+    /// Constant 0 net (one `TIE0` cell per call).
+    pub fn tie0(&mut self) -> NetId {
+        self.gate(GateKind::Tie0, &[])
+    }
+
+    /// Constant 1 net (one `TIE1` cell per call).
+    pub fn tie1(&mut self) -> NetId {
+        self.gate(GateKind::Tie1, &[])
+    }
+
+    /// Builds a balanced AND tree over `inputs` (returns a tie-1 for empty
+    /// input, the net itself for a single input).
+    pub fn and_tree(&mut self, inputs: &[NetId]) -> NetId {
+        self.tree(GateKind::And2, inputs, true)
+    }
+
+    /// Builds a balanced OR tree over `inputs` (tie-0 for empty input).
+    pub fn or_tree(&mut self, inputs: &[NetId]) -> NetId {
+        self.tree(GateKind::Or2, inputs, false)
+    }
+
+    fn tree(&mut self, kind: GateKind, inputs: &[NetId], empty_is_one: bool) -> NetId {
+        match inputs.len() {
+            0 => {
+                if empty_is_one {
+                    self.tie1()
+                } else {
+                    self.tie0()
+                }
+            }
+            1 => inputs[0],
+            _ => {
+                let mut level: Vec<NetId> = inputs.to_vec();
+                while level.len() > 1 {
+                    let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                    for pair in level.chunks(2) {
+                        if pair.len() == 2 {
+                            next.push(self.gate(kind, &[pair[0], pair[1]]));
+                        } else {
+                            next.push(pair[0]);
+                        }
+                    }
+                    level = next;
+                }
+                level[0]
+            }
+        }
+    }
+
+    /// Builds an N-to-1 one-hot-select multiplexer from 2-to-1 muxes using
+    /// the binary-encoded select bus `sel` (LSB first). `inputs.len()` must
+    /// be at least 1; missing leaves are padded with the last input.
+    pub fn mux_tree(&mut self, inputs: &[NetId], sel: &[NetId]) -> NetId {
+        assert!(!inputs.is_empty(), "mux_tree needs at least one input");
+        let mut level: Vec<NetId> = inputs.to_vec();
+        for &s in sel {
+            if level.len() == 1 {
+                break;
+            }
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            let mut i = 0;
+            while i < level.len() {
+                if i + 1 < level.len() {
+                    next.push(self.gate(GateKind::Mux2, &[level[i], level[i + 1], s]));
+                } else {
+                    next.push(level[i]);
+                }
+                i += 2;
+            }
+            level = next;
+        }
+        level[0]
+    }
+
+    /// Number of cells added so far.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.module.cells.len()
+    }
+
+    /// Records extra gate-equivalents attributed to the module without
+    /// explicit cells (declared size of abstracted logic).
+    pub fn declare_extra_ge(&mut self, ge: f64) {
+        self.module.declared_extra_ge += ge;
+    }
+
+    /// Validates and returns the module.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first recorded construction error, a
+    /// [`NetlistError::MultipleDrivers`] conflict, or a
+    /// [`NetlistError::Undriven`] net (nets that are neither driven by a
+    /// gate, bound to an input port, nor connected to an instance are
+    /// rejected — instance output resolution happens at design level).
+    pub fn finish(mut self) -> Result<Module, NetlistError> {
+        if let Some(e) = self.errors.drain(..).next() {
+            return Err(e);
+        }
+        let drivers = self.module.drivers(None)?;
+        let mut driven = vec![false; self.module.nets.len()];
+        for (i, d) in drivers.iter().enumerate() {
+            if d.is_some() {
+                driven[i] = true;
+            }
+        }
+        for p in self.module.ports_with_dir(PortDir::Input) {
+            driven[p.net.index()] = true;
+        }
+        // Nets touched by instances may be driven by the child module;
+        // resolution requires the full design, so grant them amnesty.
+        for c in &self.module.cells {
+            if let CellContents::Inst(inst) = &c.contents {
+                for (_, n) in &inst.connections {
+                    driven[n.index()] = true;
+                }
+            }
+        }
+        // Only nets actually consumed (gate input or output port) must be
+        // driven.
+        let mut used = vec![false; self.module.nets.len()];
+        for c in &self.module.cells {
+            if let CellContents::Gate { inputs, .. } = &c.contents {
+                for n in inputs {
+                    used[n.index()] = true;
+                }
+            }
+        }
+        for p in self.module.ports_with_dir(PortDir::Output) {
+            used[p.net.index()] = true;
+        }
+        for i in 0..self.module.nets.len() {
+            if used[i] && !driven[i] {
+                return Err(NetlistError::Undriven {
+                    net: crate::module::NetId(i as u32),
+                    name: self.module.nets[i].name.clone(),
+                });
+            }
+        }
+        Ok(self.module)
+    }
+
+    /// Returns the module without validation. Intended for tests that
+    /// construct deliberately broken netlists.
+    #[must_use]
+    pub fn finish_unchecked(self) -> Module {
+        self.module
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_names_are_unique() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a");
+        let n1 = b.gate(GateKind::Inv, &[a]);
+        let n2 = b.gate(GateKind::Inv, &[a]);
+        b.output("y1", n1);
+        b.output("y2", n2);
+        let m = b.finish().unwrap();
+        let mut names: Vec<_> = m.cells.iter().map(|c| c.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), m.cells.len());
+    }
+
+    #[test]
+    fn pin_count_error_is_deferred_to_finish() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a");
+        let y = b.gate(GateKind::Nand2, &[a]); // missing one pin
+        b.output("y", y);
+        assert!(matches!(
+            b.finish(),
+            Err(NetlistError::PinCount { got: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn undriven_used_net_is_rejected() {
+        let mut b = NetlistBuilder::new("m");
+        let ghost = b.net("ghost");
+        let y = b.gate(GateKind::Inv, &[ghost]);
+        b.output("y", y);
+        assert!(matches!(b.finish(), Err(NetlistError::Undriven { .. })));
+    }
+
+    #[test]
+    fn unused_floating_net_is_fine() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a");
+        let _floating = b.net("nc");
+        let y = b.gate(GateKind::Buf, &[a]);
+        b.output("y", y);
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn and_tree_sizes() {
+        let mut b = NetlistBuilder::new("m");
+        let ins = b.input_bus("a", 7);
+        let y = b.and_tree(&ins);
+        b.output("y", y);
+        let m = b.finish().unwrap();
+        // 7 leaves need 6 two-input gates.
+        assert_eq!(m.gate_count(), 6);
+    }
+
+    #[test]
+    fn mux_tree_collapses_to_single_net_for_one_input() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a");
+        let s = b.input("s");
+        let y = b.mux_tree(&[a], &[s]);
+        assert_eq!(y, a);
+        b.output("y", y);
+        assert_eq!(b.finish().unwrap().gate_count(), 0);
+    }
+
+    #[test]
+    fn mux_tree_full_binary() {
+        let mut b = NetlistBuilder::new("m");
+        let ins = b.input_bus("a", 4);
+        let sel = b.input_bus("s", 2);
+        let y = b.mux_tree(&ins, &sel);
+        b.output("y", y);
+        let m = b.finish().unwrap();
+        assert_eq!(m.gate_count(), 3); // 2 + 1 muxes
+    }
+}

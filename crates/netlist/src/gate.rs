@@ -1,0 +1,305 @@
+//! Primitive gate library with gate-equivalent (GE) areas.
+//!
+//! The paper reports DFT hardware cost in "gates", i.e. two-input NAND gate
+//! equivalents ("The area of the WBR cell is equivalent to 26 two-input NAND
+//! gates"). All generated test circuitry in this reproduction is an actual
+//! netlist of these primitives, and area is obtained by summing their GE
+//! figures (see [`crate::area`]).
+
+use std::fmt;
+
+/// The role a pin plays on a primitive gate.
+///
+/// Used by the simulator and by netlist transformations (e.g. scan
+/// stitching needs to know which pin is the clock and which is the data
+/// input).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PinRole {
+    /// Ordinary combinational data input.
+    Data,
+    /// Clock input of a sequential element (rising-edge triggered).
+    Clock,
+    /// Active-low asynchronous reset.
+    ResetN,
+    /// Scan-data input of a scan flip-flop.
+    ScanIn,
+    /// Scan-enable input of a scan flip-flop.
+    ScanEnable,
+    /// Latch transparent-enable input.
+    Enable,
+}
+
+/// Primitive gate kinds available to generated netlists.
+///
+/// The selection mirrors what a small 0.25 µm standard-cell library offers
+/// and is sufficient to express every structure STEAC generates (wrapper
+/// boundary cells, instruction registers, TAM multiplexers, controller
+/// FSMs, BIST sequencers and TPGs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum GateKind {
+    /// Inverter.
+    Inv,
+    /// Non-inverting buffer.
+    Buf,
+    /// 2-input NAND — the unit of area (1.0 GE).
+    Nand2,
+    /// 3-input NAND.
+    Nand3,
+    /// 4-input NAND.
+    Nand4,
+    /// 2-input NOR.
+    Nor2,
+    /// 3-input NOR.
+    Nor3,
+    /// 2-input AND.
+    And2,
+    /// 3-input AND.
+    And3,
+    /// 2-input OR.
+    Or2,
+    /// 3-input OR.
+    Or3,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2-to-1 multiplexer; pins are `(a, b, sel)`, output is `a` when
+    /// `sel = 0` and `b` when `sel = 1`.
+    Mux2,
+    /// Rising-edge D flip-flop; pins are `(d, ck)`.
+    Dff,
+    /// Rising-edge D flip-flop with active-low async reset; pins are
+    /// `(d, ck, rstn)`.
+    DffR,
+    /// Scan D flip-flop; pins are `(d, si, se, ck)` — captures `d` when
+    /// `se = 0`, shifts `si` when `se = 1`.
+    Sdff,
+    /// Scan D flip-flop with active-low async reset; pins are
+    /// `(d, si, se, ck, rstn)`.
+    SdffR,
+    /// Level-sensitive latch; pins are `(d, en)`, transparent while
+    /// `en = 1`.
+    Latch,
+    /// Constant logic 0.
+    Tie0,
+    /// Constant logic 1.
+    Tie1,
+}
+
+impl GateKind {
+    /// Number of input pins the gate expects.
+    #[must_use]
+    pub fn input_count(self) -> usize {
+        match self {
+            GateKind::Tie0 | GateKind::Tie1 => 0,
+            GateKind::Inv | GateKind::Buf => 1,
+            GateKind::Nand2
+            | GateKind::Nor2
+            | GateKind::And2
+            | GateKind::Or2
+            | GateKind::Xor2
+            | GateKind::Xnor2
+            | GateKind::Dff
+            | GateKind::Latch => 2,
+            GateKind::Nand3 | GateKind::Nor3 | GateKind::And3 | GateKind::Or3 | GateKind::Mux2 => 3,
+            GateKind::DffR => 3,
+            GateKind::Sdff => 4,
+            GateKind::SdffR => 5,
+            GateKind::Nand4 => 4,
+        }
+    }
+
+    /// Pin roles, in pin order. The slice length equals
+    /// [`input_count`](Self::input_count).
+    #[must_use]
+    pub fn pin_roles(self) -> &'static [PinRole] {
+        use PinRole::*;
+        match self {
+            GateKind::Tie0 | GateKind::Tie1 => &[],
+            GateKind::Inv | GateKind::Buf => &[Data],
+            GateKind::Nand2
+            | GateKind::Nor2
+            | GateKind::And2
+            | GateKind::Or2
+            | GateKind::Xor2
+            | GateKind::Xnor2 => &[Data, Data],
+            GateKind::Nand3 | GateKind::Nor3 | GateKind::And3 | GateKind::Or3 | GateKind::Mux2 => {
+                &[Data, Data, Data]
+            }
+            GateKind::Nand4 => &[Data, Data, Data, Data],
+            GateKind::Dff => &[Data, Clock],
+            GateKind::DffR => &[Data, Clock, ResetN],
+            GateKind::Sdff => &[Data, ScanIn, ScanEnable, Clock],
+            GateKind::SdffR => &[Data, ScanIn, ScanEnable, Clock, ResetN],
+            GateKind::Latch => &[Data, Enable],
+        }
+    }
+
+    /// Gate-equivalent area (NAND2 = 1.0).
+    ///
+    /// The table follows the usual NAND-decomposition convention of
+    /// standard-cell datasheets of the 0.25 µm era; it is documented in
+    /// [`crate::area::GE_TABLE_DOC`].
+    #[must_use]
+    pub fn area_ge(self) -> f64 {
+        match self {
+            GateKind::Inv => 0.5,
+            GateKind::Buf => 1.0,
+            GateKind::Nand2 | GateKind::Nor2 => 1.0,
+            GateKind::Nand3 | GateKind::Nor3 => 1.5,
+            GateKind::Nand4 => 2.0,
+            GateKind::And2 | GateKind::Or2 => 1.5,
+            GateKind::And3 | GateKind::Or3 => 2.0,
+            GateKind::Xor2 | GateKind::Xnor2 => 2.5,
+            GateKind::Mux2 => 3.5,
+            GateKind::Dff => 6.0,
+            GateKind::DffR => 7.0,
+            GateKind::Sdff => 9.5,
+            GateKind::SdffR => 10.5,
+            GateKind::Latch => 3.5,
+            GateKind::Tie0 | GateKind::Tie1 => 0.5,
+        }
+    }
+
+    /// `true` for flip-flops and latches (elements with state).
+    #[must_use]
+    pub fn is_sequential(self) -> bool {
+        matches!(
+            self,
+            GateKind::Dff | GateKind::DffR | GateKind::Sdff | GateKind::SdffR | GateKind::Latch
+        )
+    }
+
+    /// `true` for edge-triggered flip-flops (excludes latches).
+    #[must_use]
+    pub fn is_flop(self) -> bool {
+        matches!(
+            self,
+            GateKind::Dff | GateKind::DffR | GateKind::Sdff | GateKind::SdffR
+        )
+    }
+
+    /// `true` for scan-capable flip-flops.
+    #[must_use]
+    pub fn is_scan_flop(self) -> bool {
+        matches!(self, GateKind::Sdff | GateKind::SdffR)
+    }
+
+    /// Short library cell name used in Verilog output, e.g. `NAND2`.
+    #[must_use]
+    pub fn cell_name(self) -> &'static str {
+        match self {
+            GateKind::Inv => "INV",
+            GateKind::Buf => "BUF",
+            GateKind::Nand2 => "NAND2",
+            GateKind::Nand3 => "NAND3",
+            GateKind::Nand4 => "NAND4",
+            GateKind::Nor2 => "NOR2",
+            GateKind::Nor3 => "NOR3",
+            GateKind::And2 => "AND2",
+            GateKind::And3 => "AND3",
+            GateKind::Or2 => "OR2",
+            GateKind::Or3 => "OR3",
+            GateKind::Xor2 => "XOR2",
+            GateKind::Xnor2 => "XNOR2",
+            GateKind::Mux2 => "MUX2",
+            GateKind::Dff => "DFF",
+            GateKind::DffR => "DFFR",
+            GateKind::Sdff => "SDFF",
+            GateKind::SdffR => "SDFFR",
+            GateKind::Latch => "LATCH",
+            GateKind::Tie0 => "TIE0",
+            GateKind::Tie1 => "TIE1",
+        }
+    }
+
+    /// All gate kinds, for iteration in tests and reports.
+    #[must_use]
+    pub fn all() -> &'static [GateKind] {
+        &[
+            GateKind::Inv,
+            GateKind::Buf,
+            GateKind::Nand2,
+            GateKind::Nand3,
+            GateKind::Nand4,
+            GateKind::Nor2,
+            GateKind::Nor3,
+            GateKind::And2,
+            GateKind::And3,
+            GateKind::Or2,
+            GateKind::Or3,
+            GateKind::Xor2,
+            GateKind::Xnor2,
+            GateKind::Mux2,
+            GateKind::Dff,
+            GateKind::DffR,
+            GateKind::Sdff,
+            GateKind::SdffR,
+            GateKind::Latch,
+            GateKind::Tie0,
+            GateKind::Tie1,
+        ]
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.cell_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_roles_match_input_count() {
+        for &k in GateKind::all() {
+            assert_eq!(
+                k.pin_roles().len(),
+                k.input_count(),
+                "pin role table inconsistent for {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn nand2_is_the_unit_of_area() {
+        assert_eq!(GateKind::Nand2.area_ge(), 1.0);
+    }
+
+    #[test]
+    fn areas_are_positive() {
+        for &k in GateKind::all() {
+            assert!(k.area_ge() > 0.0, "{k} has non-positive area");
+        }
+    }
+
+    #[test]
+    fn scan_flop_costs_more_than_plain_flop() {
+        assert!(GateKind::Sdff.area_ge() > GateKind::Dff.area_ge());
+        assert!(GateKind::SdffR.area_ge() > GateKind::DffR.area_ge());
+    }
+
+    #[test]
+    fn sequential_classification() {
+        assert!(GateKind::Dff.is_sequential());
+        assert!(GateKind::Latch.is_sequential());
+        assert!(!GateKind::Latch.is_flop());
+        assert!(GateKind::Sdff.is_scan_flop());
+        assert!(!GateKind::Nand2.is_sequential());
+    }
+
+    #[test]
+    fn clock_pin_identified_on_all_flops() {
+        for &k in GateKind::all() {
+            if k.is_flop() {
+                assert!(
+                    k.pin_roles().contains(&PinRole::Clock),
+                    "{k} lacks a clock pin"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Gate-level netlist substrate for the STEAC SOC test-integration platform.
+//!
+//! The DATE 2005 paper inserts test structures (IEEE 1500-style wrappers, a
+//! TAM bus, a test controller, and memory-BIST blocks) into a gate-level SOC
+//! netlist and reports their cost in *gate equivalents* (NAND2 = 1.0 GE).
+//! This crate provides everything those flows need from an EDA netlist
+//! database:
+//!
+//! * a primitive [`GateKind`] library with per-gate GE areas ([`gate`]),
+//! * flat-with-instances [`Module`]s collected in a [`Design`] ([`module`]),
+//! * a convenient [`NetlistBuilder`] ([`builder`]),
+//! * connectivity queries, topological sort and loop detection ([`visit`]),
+//! * scan-chain stitching used by DFT insertion ([`stitch`]),
+//! * GE area accounting ([`area`]) and structural Verilog emission
+//!   ([`verilog`]).
+//!
+//! # Example
+//!
+//! ```
+//! use steac_netlist::{NetlistBuilder, GateKind};
+//!
+//! # fn main() -> Result<(), steac_netlist::NetlistError> {
+//! let mut b = NetlistBuilder::new("half_adder");
+//! let a = b.input("a");
+//! let c = b.input("b");
+//! let sum = b.gate(GateKind::Xor2, &[a, c]);
+//! let carry = b.gate(GateKind::And2, &[a, c]);
+//! b.output("sum", sum);
+//! b.output("carry", carry);
+//! let module = b.finish()?;
+//! assert_eq!(module.gate_count(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod area;
+pub mod builder;
+pub mod gate;
+pub mod module;
+pub mod stitch;
+pub mod verilog;
+pub mod visit;
+
+pub use area::{AreaReport, GE_TABLE_DOC};
+pub use builder::NetlistBuilder;
+pub use gate::{GateKind, PinRole};
+pub use module::{
+    Cell, CellContents, CellId, Design, Instance, Module, Net, NetId, Port, PortDir, PortId,
+};
+pub use stitch::{stitch_scan, ScanStitchReport, StitchConfig};
+pub use visit::{combinational_order, detect_comb_loop, FanTables};
+
+use std::fmt;
+
+/// Errors produced while constructing or transforming netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A gate was created with the wrong number of input pins.
+    PinCount {
+        /// Gate kind that was being instantiated.
+        kind: GateKind,
+        /// Number of inputs expected by the gate.
+        expected: usize,
+        /// Number of inputs actually supplied.
+        got: usize,
+    },
+    /// Two drivers were connected to the same net.
+    MultipleDrivers {
+        /// The net that ended up with more than one driver.
+        net: NetId,
+    },
+    /// A net is referenced but has no driver and is not a module input.
+    Undriven {
+        /// The floating net.
+        net: NetId,
+        /// Name of the net if it has one.
+        name: String,
+    },
+    /// A combinational feedback loop was detected.
+    CombLoop {
+        /// One cell on the loop, for diagnostics.
+        witness: CellId,
+    },
+    /// A referenced module is missing from the design.
+    UnknownModule {
+        /// Name of the missing module.
+        name: String,
+    },
+    /// An instance connection references a port that does not exist.
+    UnknownPort {
+        /// Module that was being instantiated.
+        module: String,
+        /// The port name that could not be resolved.
+        port: String,
+    },
+    /// A duplicate name was registered where uniqueness is required.
+    DuplicateName {
+        /// The clashing name.
+        name: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::PinCount {
+                kind,
+                expected,
+                got,
+            } => write!(
+                f,
+                "gate {kind} expects {expected} input pins but {got} were supplied"
+            ),
+            NetlistError::MultipleDrivers { net } => {
+                write!(f, "net {net} has more than one driver")
+            }
+            NetlistError::Undriven { net, name } => {
+                write!(f, "net {net} ({name}) has no driver and is not an input")
+            }
+            NetlistError::CombLoop { witness } => {
+                write!(f, "combinational loop passing through cell {witness}")
+            }
+            NetlistError::UnknownModule { name } => write!(f, "unknown module `{name}`"),
+            NetlistError::UnknownPort { module, port } => {
+                write!(f, "module `{module}` has no port `{port}`")
+            }
+            NetlistError::DuplicateName { name } => write!(f, "duplicate name `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = NetlistError::PinCount {
+            kind: GateKind::Nand2,
+            expected: 2,
+            got: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("NAND2"), "{msg}");
+        assert!(msg.contains('3'), "{msg}");
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

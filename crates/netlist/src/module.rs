@@ -1,0 +1,576 @@
+//! Netlist data model: designs, modules, cells, nets and ports.
+//!
+//! A [`Design`] is a set of named [`Module`]s. Each module is flat except
+//! that a [`Cell`] may be an [`Instance`] of another module; [`Design::flatten`]
+//! inlines instances recursively, which is how the simulator and the area
+//! reporter consume inserted SOCs.
+
+use crate::gate::GateKind;
+use crate::NetlistError;
+use std::collections::BTreeMap;
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Index into the owning module's storage vector.
+            #[must_use]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a net within one [`Module`].
+    NetId,
+    "n"
+);
+id_type!(
+    /// Identifier of a cell within one [`Module`].
+    CellId,
+    "c"
+);
+id_type!(
+    /// Identifier of a port within one [`Module`].
+    PortId,
+    "p"
+);
+
+/// Direction of a module port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortDir {
+    /// Driven from outside the module.
+    Input,
+    /// Driven by the module.
+    Output,
+}
+
+impl fmt::Display for PortDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortDir::Input => f.write_str("input"),
+            PortDir::Output => f.write_str("output"),
+        }
+    }
+}
+
+/// A single-bit module port bound to a net.
+///
+/// Buses are modelled as families of single-bit ports named `bus[i]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    /// Port name, unique within the module.
+    pub name: String,
+    /// Direction seen from inside the module.
+    pub dir: PortDir,
+    /// The net the port is bound to.
+    pub net: NetId,
+}
+
+/// A named single-bit net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// Net name, unique within the module.
+    pub name: String,
+}
+
+/// Instantiation of another module inside a parent module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    /// Name of the instantiated module (looked up in the [`Design`]).
+    pub module: String,
+    /// Connections `(child port name, parent net)`.
+    pub connections: Vec<(String, NetId)>,
+}
+
+/// What a cell is: a primitive gate or a module instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellContents {
+    /// A primitive gate with ordered input nets and one output net.
+    Gate {
+        /// The primitive kind.
+        kind: GateKind,
+        /// Input nets in pin order (see [`GateKind::pin_roles`]).
+        inputs: Vec<NetId>,
+        /// The single output net.
+        output: NetId,
+    },
+    /// A hierarchical instance.
+    Inst(Instance),
+}
+
+/// A cell: named occurrence of a gate or an instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// Instance name, unique within the module.
+    pub name: String,
+    /// Gate or hierarchical contents.
+    pub contents: CellContents,
+}
+
+impl Cell {
+    /// The gate kind if this cell is a primitive.
+    #[must_use]
+    pub fn gate_kind(&self) -> Option<GateKind> {
+        match &self.contents {
+            CellContents::Gate { kind, .. } => Some(*kind),
+            CellContents::Inst(_) => None,
+        }
+    }
+}
+
+/// A flat-with-instances netlist module.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    /// Module name, unique within a [`Design`].
+    pub name: String,
+    /// Ports in declaration order.
+    pub ports: Vec<Port>,
+    /// Net storage; a [`NetId`] indexes this vector.
+    pub nets: Vec<Net>,
+    /// Cell storage; a [`CellId`] indexes this vector.
+    pub cells: Vec<Cell>,
+    /// Extra gate-equivalents attributed to this module but not present as
+    /// explicit cells (e.g. the declared size of a synthesized legacy block
+    /// whose internals are not modelled). Used by area accounting.
+    pub declared_extra_ge: f64,
+}
+
+impl Module {
+    /// Creates an empty module with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            ..Module::default()
+        }
+    }
+
+    /// Number of primitive gate cells (instances are not counted).
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.contents, CellContents::Gate { .. }))
+            .count()
+    }
+
+    /// Number of flip-flops (scan and non-scan) among the primitive cells.
+    #[must_use]
+    pub fn flop_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.gate_kind().is_some_and(GateKind::is_flop))
+            .count()
+    }
+
+    /// Iterator over ports with the given direction.
+    pub fn ports_with_dir(&self, dir: PortDir) -> impl Iterator<Item = &Port> {
+        self.ports.iter().filter(move |p| p.dir == dir)
+    }
+
+    /// Number of input ports.
+    #[must_use]
+    pub fn input_count(&self) -> usize {
+        self.ports_with_dir(PortDir::Input).count()
+    }
+
+    /// Number of output ports.
+    #[must_use]
+    pub fn output_count(&self) -> usize {
+        self.ports_with_dir(PortDir::Output).count()
+    }
+
+    /// Looks up a port by name.
+    #[must_use]
+    pub fn port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    /// Looks up a net id by name (linear scan; fine for test structures).
+    #[must_use]
+    pub fn net_by_name(&self, name: &str) -> Option<NetId> {
+        self.nets
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| NetId(i as u32))
+    }
+
+    /// Looks up a cell id by name.
+    #[must_use]
+    pub fn cell_by_name(&self, name: &str) -> Option<CellId> {
+        self.cells
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| CellId(i as u32))
+    }
+
+    /// Adds a net, returning its id. Names need not be unique here;
+    /// [`crate::NetlistBuilder`] enforces uniqueness at construction time.
+    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(Net { name: name.into() });
+        id
+    }
+
+    /// The driver cell and output pin of each net, or an error if a net has
+    /// multiple drivers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::MultipleDrivers`] on driver conflicts.
+    /// Instance cells are treated as driving their connected nets only if
+    /// `design` resolves the instance's ports; pass `None` to treat
+    /// instance connections as non-driving (useful mid-construction).
+    pub fn drivers(
+        &self,
+        design: Option<&Design>,
+    ) -> Result<Vec<Option<CellId>>, NetlistError> {
+        let mut driver: Vec<Option<CellId>> = vec![None; self.nets.len()];
+        for (i, cell) in self.cells.iter().enumerate() {
+            let cid = CellId(i as u32);
+            match &cell.contents {
+                CellContents::Gate { output, .. } => {
+                    if driver[output.index()].is_some() {
+                        return Err(NetlistError::MultipleDrivers { net: *output });
+                    }
+                    driver[output.index()] = Some(cid);
+                }
+                CellContents::Inst(inst) => {
+                    if let Some(d) = design {
+                        if let Some(m) = d.module(&inst.module) {
+                            for (port_name, net) in &inst.connections {
+                                if let Some(p) = m.port(port_name) {
+                                    if p.dir == PortDir::Output {
+                                        if driver[net.index()].is_some() {
+                                            return Err(NetlistError::MultipleDrivers {
+                                                net: *net,
+                                            });
+                                        }
+                                        driver[net.index()] = Some(cid);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(driver)
+    }
+}
+
+/// A collection of modules forming a design.
+#[derive(Debug, Clone, Default)]
+pub struct Design {
+    modules: Vec<Module>,
+    index: BTreeMap<String, usize>,
+}
+
+impl Design {
+    /// Creates an empty design.
+    #[must_use]
+    pub fn new() -> Self {
+        Design::default()
+    }
+
+    /// Adds a module; the name must be unique within the design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if a module with the same
+    /// name already exists.
+    pub fn add_module(&mut self, module: Module) -> Result<(), NetlistError> {
+        if self.index.contains_key(&module.name) {
+            return Err(NetlistError::DuplicateName {
+                name: module.name.clone(),
+            });
+        }
+        self.index.insert(module.name.clone(), self.modules.len());
+        self.modules.push(module);
+        Ok(())
+    }
+
+    /// Looks up a module by name.
+    #[must_use]
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.index.get(name).map(|&i| &self.modules[i])
+    }
+
+    /// Mutable lookup by name.
+    pub fn module_mut(&mut self, name: &str) -> Option<&mut Module> {
+        self.index.get(name).copied().map(move |i| &mut self.modules[i])
+    }
+
+    /// Iterator over all modules.
+    pub fn iter(&self) -> impl Iterator<Item = &Module> {
+        self.modules.iter()
+    }
+
+    /// Number of modules.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// `true` if the design holds no modules.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.modules.is_empty()
+    }
+
+    /// Recursively inlines all instances of `top`, producing a single flat
+    /// module containing only primitive gates.
+    ///
+    /// Instance-internal nets and cells are prefixed with
+    /// `"<instance name>/"`, matching common EDA flattening conventions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownModule`] or
+    /// [`NetlistError::UnknownPort`] if hierarchy references are broken.
+    pub fn flatten(&self, top: &str) -> Result<Module, NetlistError> {
+        let top_mod = self
+            .module(top)
+            .ok_or_else(|| NetlistError::UnknownModule {
+                name: top.to_string(),
+            })?;
+        let mut out = Module::new(format!("{}_flat", top_mod.name));
+        out.declared_extra_ge = 0.0;
+        // Copy top nets and ports verbatim.
+        for net in &top_mod.nets {
+            out.add_net(net.name.clone());
+        }
+        for port in &top_mod.ports {
+            out.ports.push(port.clone());
+        }
+        self.flatten_into(top_mod, &mut out, "", &(0..top_mod.nets.len())
+            .map(|i| NetId(i as u32))
+            .collect::<Vec<_>>())?;
+        Ok(out)
+    }
+
+    fn flatten_into(
+        &self,
+        m: &Module,
+        out: &mut Module,
+        prefix: &str,
+        net_map: &[NetId],
+    ) -> Result<(), NetlistError> {
+        out.declared_extra_ge += m.declared_extra_ge;
+        for cell in &m.cells {
+            match &cell.contents {
+                CellContents::Gate {
+                    kind,
+                    inputs,
+                    output,
+                } => {
+                    let mapped = CellContents::Gate {
+                        kind: *kind,
+                        inputs: inputs.iter().map(|n| net_map[n.index()]).collect(),
+                        output: net_map[output.index()],
+                    };
+                    out.cells.push(Cell {
+                        name: format!("{prefix}{}", cell.name),
+                        contents: mapped,
+                    });
+                }
+                CellContents::Inst(inst) => {
+                    let child =
+                        self.module(&inst.module)
+                            .ok_or_else(|| NetlistError::UnknownModule {
+                                name: inst.module.clone(),
+                            })?;
+                    let child_prefix = format!("{prefix}{}/", cell.name);
+                    // Build child net map: every child net becomes a fresh
+                    // net in `out`, except nets bound to connected ports,
+                    // which map to the parent nets.
+                    let mut child_map: Vec<NetId> = Vec::with_capacity(child.nets.len());
+                    for (i, net) in child.nets.iter().enumerate() {
+                        let _ = i;
+                        child_map.push(out.add_net(format!("{child_prefix}{}", net.name)));
+                    }
+                    // A child net may surface on several ports (a module
+                    // output aliased to a scan-out, or an input-to-output
+                    // feedthrough). The first connection claims the
+                    // mapping; further output-port connections become
+                    // alias buffers so every parent net stays driven.
+                    let mut mapped = vec![false; child.nets.len()];
+                    for (port_name, parent_net) in &inst.connections {
+                        let port =
+                            child
+                                .port(port_name)
+                                .ok_or_else(|| NetlistError::UnknownPort {
+                                    module: inst.module.clone(),
+                                    port: port_name.clone(),
+                                })?;
+                        let idx = port.net.index();
+                        let pnet = net_map[parent_net.index()];
+                        if !mapped[idx] {
+                            child_map[idx] = pnet;
+                            mapped[idx] = true;
+                        } else if child_map[idx] != pnet {
+                            match port.dir {
+                                PortDir::Output => {
+                                    out.cells.push(Cell {
+                                        name: format!("{child_prefix}alias_{port_name}"),
+                                        contents: CellContents::Gate {
+                                            kind: GateKind::Buf,
+                                            inputs: vec![child_map[idx]],
+                                            output: pnet,
+                                        },
+                                    });
+                                }
+                                PortDir::Input => {
+                                    // Two different parent drivers onto
+                                    // one child net: genuinely ambiguous.
+                                    return Err(NetlistError::MultipleDrivers { net: pnet });
+                                }
+                            }
+                        }
+                    }
+                    self.flatten_into(child, out, &child_prefix, &child_map)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn inverter_module() -> Module {
+        let mut b = NetlistBuilder::new("inv_mod");
+        let a = b.input("a");
+        let y = b.gate(GateKind::Inv, &[a]);
+        b.output("y", y);
+        b.finish().expect("valid module")
+    }
+
+    #[test]
+    fn module_counts() {
+        let m = inverter_module();
+        assert_eq!(m.gate_count(), 1);
+        assert_eq!(m.input_count(), 1);
+        assert_eq!(m.output_count(), 1);
+        assert_eq!(m.flop_count(), 0);
+    }
+
+    #[test]
+    fn design_rejects_duplicate_module_names() {
+        let mut d = Design::new();
+        d.add_module(inverter_module()).unwrap();
+        let err = d.add_module(inverter_module()).unwrap_err();
+        assert!(matches!(err, NetlistError::DuplicateName { .. }));
+    }
+
+    #[test]
+    fn flatten_inlines_instances() {
+        let mut d = Design::new();
+        d.add_module(inverter_module()).unwrap();
+
+        let mut b = NetlistBuilder::new("top");
+        let a = b.input("a");
+        let mid = b.net("mid");
+        let y = b.net("y");
+        b.instance("u0", "inv_mod", &[("a", a), ("y", mid)]);
+        b.instance("u1", "inv_mod", &[("a", mid), ("y", y)]);
+        b.output("y", y);
+        d.add_module(b.finish().unwrap()).unwrap();
+
+        let flat = d.flatten("top").unwrap();
+        assert_eq!(flat.gate_count(), 2);
+        assert!(flat.cells.iter().any(|c| c.name == "u0/g0"));
+        assert!(flat.cells.iter().any(|c| c.name == "u1/g0"));
+        // The two inverters must be chained through `mid`.
+        let drv = flat.drivers(None).unwrap();
+        let mid_id = flat.net_by_name("mid").unwrap();
+        assert!(drv[mid_id.index()].is_some());
+    }
+
+    #[test]
+    fn flatten_reports_unknown_module() {
+        let mut b = NetlistBuilder::new("top");
+        let a = b.input("a");
+        b.instance("u0", "nope", &[("a", a)]);
+        let mut d = Design::new();
+        d.add_module(b.finish_unchecked()).unwrap();
+        let err = d.flatten("top").unwrap_err();
+        assert!(matches!(err, NetlistError::UnknownModule { .. }));
+    }
+
+    #[test]
+    fn flatten_aliases_multi_port_nets() {
+        // A child whose single flop output surfaces on two ports (`q`
+        // and `so`), plus an input-to-output feedthrough (`a` -> `thru`).
+        let mut b = NetlistBuilder::new("child");
+        let a = b.input("a");
+        let ck = b.input("ck");
+        let q = b.gate(GateKind::Dff, &[a, ck]);
+        b.output("q", q);
+        b.output("so", q);
+        b.output("thru", a);
+        let mut d = Design::new();
+        d.add_module(b.finish().unwrap()).unwrap();
+
+        let mut top = NetlistBuilder::new("top");
+        let a = top.input("a");
+        let ck = top.input("ck");
+        let q = top.net("q_top");
+        let so = top.net("so_top");
+        let thru = top.net("thru_top");
+        top.instance(
+            "u0",
+            "child",
+            &[("a", a), ("ck", ck), ("q", q), ("so", so), ("thru", thru)],
+        );
+        top.output("q", q);
+        top.output("so", so);
+        top.output("thru", thru);
+        d.add_module(top.finish().unwrap()).unwrap();
+
+        let flat = d.flatten("top").unwrap();
+        // Both q_top and so_top must be driven (one direct, one via an
+        // alias buffer), and thru_top via a feedthrough buffer.
+        let drv = flat.drivers(None).unwrap();
+        for name in ["q_top", "so_top", "thru_top"] {
+            let id = flat.net_by_name(name).unwrap();
+            assert!(drv[id.index()].is_some(), "{name} undriven after flatten");
+        }
+    }
+
+    #[test]
+    fn drivers_detects_conflicts() {
+        let mut m = Module::new("bad");
+        let n = m.add_net("x");
+        for i in 0..2 {
+            m.cells.push(Cell {
+                name: format!("t{i}"),
+                contents: CellContents::Gate {
+                    kind: GateKind::Tie0,
+                    inputs: vec![],
+                    output: n,
+                },
+            });
+        }
+        assert!(matches!(
+            m.drivers(None),
+            Err(NetlistError::MultipleDrivers { .. })
+        ));
+    }
+}

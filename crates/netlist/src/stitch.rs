@@ -1,0 +1,259 @@
+//! Scan-chain stitching: the DFT step that turns ordinary flip-flops into
+//! scan flip-flops and threads them into shift chains.
+//!
+//! STEAC's Core Test Scheduler "will then rebalance scan chains for each
+//! assigned TAM width" for soft cores; the physical realization of a
+//! (re)balanced configuration is performed here by replacing `DFF`/`DFFR`
+//! cells with `SDFF`/`SDFFR` cells and wiring `SI → ... → SO` per chain.
+
+use crate::gate::GateKind;
+use crate::module::{CellContents, Module, Port, PortDir};
+use crate::NetlistError;
+
+/// Configuration for scan stitching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StitchConfig {
+    /// Number of scan chains to create. Flops are distributed round-robin
+    /// in cell order, which yields chain lengths differing by at most one
+    /// (a balanced configuration).
+    pub chains: usize,
+    /// Base name for the scan-in ports (`{base}_si[i]`).
+    pub si_base: String,
+    /// Base name for the scan-out ports (`{base}_so[i]`).
+    pub so_base: String,
+    /// Name of the scan-enable port added to the module.
+    pub se_name: String,
+}
+
+impl StitchConfig {
+    /// Balanced stitching into `chains` chains with conventional port
+    /// names (`scan_si[i]`, `scan_so[i]`, `scan_se`).
+    #[must_use]
+    pub fn balanced(chains: usize) -> Self {
+        StitchConfig {
+            chains,
+            si_base: "scan_si".to_string(),
+            so_base: "scan_so".to_string(),
+            se_name: "scan_se".to_string(),
+        }
+    }
+}
+
+/// Result of a stitching transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanStitchReport {
+    /// Number of flops converted to scan flops.
+    pub converted_flops: usize,
+    /// Length of each created chain.
+    pub chain_lengths: Vec<usize>,
+}
+
+impl ScanStitchReport {
+    /// Longest chain length (0 when no flop exists).
+    #[must_use]
+    pub fn max_chain(&self) -> usize {
+        self.chain_lengths.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Replaces every `DFF`/`DFFR` in `m` with its scan equivalent and stitches
+/// the scan pins into `config.chains` chains, adding `si`/`so`/`se` ports.
+///
+/// Pre-existing scan flops are re-stitched as well, so the transformation
+/// is idempotent in chain structure.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::DuplicateName`] if the scan port names collide
+/// with existing ports, or an error if `config.chains == 0` while the
+/// module contains flops (modelled as `PinCount` misuse is avoided; we use
+/// `DuplicateName` only for name clashes — a zero-chain request with flops
+/// yields `CombLoop`-free module untouched and an empty report).
+pub fn stitch_scan(m: &mut Module, config: &StitchConfig) -> Result<ScanStitchReport, NetlistError> {
+    let flop_ids: Vec<usize> = m
+        .cells
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.gate_kind().is_some_and(GateKind::is_flop))
+        .map(|(i, _)| i)
+        .collect();
+    if flop_ids.is_empty() || config.chains == 0 {
+        return Ok(ScanStitchReport {
+            converted_flops: 0,
+            chain_lengths: vec![0; config.chains],
+        });
+    }
+    for p in &m.ports {
+        if p.name == config.se_name {
+            return Err(NetlistError::DuplicateName {
+                name: config.se_name.clone(),
+            });
+        }
+    }
+
+    // Scan-enable port.
+    let se_net = m.add_net(config.se_name.clone());
+    m.ports.push(Port {
+        name: config.se_name.clone(),
+        dir: PortDir::Input,
+        net: se_net,
+    });
+
+    // Distribute flops round-robin over chains.
+    let chains: Vec<Vec<usize>> = {
+        let mut v: Vec<Vec<usize>> = vec![Vec::new(); config.chains];
+        for (i, &f) in flop_ids.iter().enumerate() {
+            v[i % config.chains].push(f);
+        }
+        v
+    };
+
+    let mut chain_lengths = Vec::with_capacity(config.chains);
+    for (ci, chain) in chains.iter().enumerate() {
+        chain_lengths.push(chain.len());
+        if chain.is_empty() {
+            continue;
+        }
+        let si_name = format!("{}[{ci}]", config.si_base);
+        let si_net = m.add_net(si_name.clone());
+        m.ports.push(Port {
+            name: si_name,
+            dir: PortDir::Input,
+            net: si_net,
+        });
+        let mut prev = si_net;
+        for &cell_idx in chain {
+            let (kind, inputs, output) = match &m.cells[cell_idx].contents {
+                CellContents::Gate {
+                    kind,
+                    inputs,
+                    output,
+                } => (*kind, inputs.clone(), *output),
+                CellContents::Inst(_) => unreachable!("flop ids are gates"),
+            };
+            let (new_kind, new_inputs) = match kind {
+                // (d, ck) -> (d, si, se, ck)
+                GateKind::Dff => (GateKind::Sdff, vec![inputs[0], prev, se_net, inputs[1]]),
+                // (d, ck, rstn) -> (d, si, se, ck, rstn)
+                GateKind::DffR => (
+                    GateKind::SdffR,
+                    vec![inputs[0], prev, se_net, inputs[1], inputs[2]],
+                ),
+                // Re-stitch existing scan flops: replace si/se.
+                GateKind::Sdff => (
+                    GateKind::Sdff,
+                    vec![inputs[0], prev, se_net, inputs[3]],
+                ),
+                GateKind::SdffR => (
+                    GateKind::SdffR,
+                    vec![inputs[0], prev, se_net, inputs[3], inputs[4]],
+                ),
+                _ => unreachable!("is_flop covers exactly these kinds"),
+            };
+            m.cells[cell_idx].contents = CellContents::Gate {
+                kind: new_kind,
+                inputs: new_inputs,
+                output,
+            };
+            prev = output;
+        }
+        let so_name = format!("{}[{ci}]", config.so_base);
+        m.ports.push(Port {
+            name: so_name,
+            dir: PortDir::Output,
+            net: prev,
+        });
+    }
+
+    Ok(ScanStitchReport {
+        converted_flops: flop_ids.len(),
+        chain_lengths,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    /// A toy 5-flop shift structure used by several tests.
+    fn five_flop_module() -> Module {
+        let mut b = NetlistBuilder::new("m");
+        let ck = b.input("ck");
+        let d = b.input("d");
+        let mut cur = d;
+        for _ in 0..5 {
+            cur = b.gate(GateKind::Dff, &[cur, ck]);
+        }
+        b.output("q", cur);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn stitch_converts_all_flops() {
+        let mut m = five_flop_module();
+        let rep = stitch_scan(&mut m, &StitchConfig::balanced(2)).unwrap();
+        assert_eq!(rep.converted_flops, 5);
+        assert_eq!(rep.chain_lengths, vec![3, 2]);
+        assert_eq!(m.flop_count(), 5);
+        assert!(m
+            .cells
+            .iter()
+            .all(|c| !matches!(c.gate_kind(), Some(GateKind::Dff))));
+        // Ports added: se + 2 si + 2 so.
+        assert!(m.port("scan_se").is_some());
+        assert!(m.port("scan_si[0]").is_some());
+        assert!(m.port("scan_so[1]").is_some());
+    }
+
+    #[test]
+    fn stitched_module_still_validates() {
+        let mut m = five_flop_module();
+        stitch_scan(&mut m, &StitchConfig::balanced(3)).unwrap();
+        assert!(m.drivers(None).is_ok());
+        assert!(!crate::visit::detect_comb_loop(&m));
+    }
+
+    #[test]
+    fn zero_flops_is_a_noop() {
+        let mut b = NetlistBuilder::new("comb");
+        let a = b.input("a");
+        let y = b.gate(GateKind::Inv, &[a]);
+        b.output("y", y);
+        let mut m = b.finish().unwrap();
+        let rep = stitch_scan(&mut m, &StitchConfig::balanced(4)).unwrap();
+        assert_eq!(rep.converted_flops, 0);
+        assert!(m.port("scan_se").is_none());
+    }
+
+    #[test]
+    fn port_name_collision_is_rejected() {
+        let mut b = NetlistBuilder::new("m");
+        let ck = b.input("ck");
+        let se = b.input("scan_se");
+        let q = b.gate(GateKind::Dff, &[se, ck]);
+        b.output("q", q);
+        let mut m = b.finish().unwrap();
+        assert!(matches!(
+            stitch_scan(&mut m, &StitchConfig::balanced(1)),
+            Err(NetlistError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn chain_lengths_are_balanced() {
+        let mut b = NetlistBuilder::new("m");
+        let ck = b.input("ck");
+        let d = b.input("d");
+        let mut cur = d;
+        for _ in 0..10 {
+            cur = b.gate(GateKind::Dff, &[cur, ck]);
+        }
+        b.output("q", cur);
+        let mut m = b.finish().unwrap();
+        let rep = stitch_scan(&mut m, &StitchConfig::balanced(4)).unwrap();
+        let max = rep.chain_lengths.iter().max().unwrap();
+        let min = rep.chain_lengths.iter().min().unwrap();
+        assert!(max - min <= 1, "{:?}", rep.chain_lengths);
+    }
+}

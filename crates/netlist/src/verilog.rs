@@ -1,0 +1,184 @@
+//! Structural Verilog emission.
+//!
+//! STEAC's Test Insertion step produces a "DFT-ready netlist"; this module
+//! renders any [`Module`] (or whole [`Design`]) as structural Verilog-1995
+//! so generated wrappers/TAM/controllers can be inspected or handed to
+//! external tools.
+
+use crate::module::{CellContents, Design, Module, PortDir};
+use std::fmt::Write as _;
+
+/// Escape a netlist name into a valid Verilog identifier.
+///
+/// Bus-bit names like `a[3]` and hierarchical names like `u0/g1` are turned
+/// into escaped identifiers per the Verilog standard (leading `\`,
+/// trailing space) when they contain characters outside `[A-Za-z0-9_$]`.
+#[must_use]
+pub fn escape_ident(name: &str) -> String {
+    let plain = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$')
+        && !name.chars().next().unwrap().is_ascii_digit();
+    if plain {
+        name.to_string()
+    } else {
+        format!("\\{name} ")
+    }
+}
+
+/// Renders one module as structural Verilog.
+#[must_use]
+pub fn module_to_verilog(m: &Module) -> String {
+    let mut s = String::new();
+    let port_list: Vec<String> = m.ports.iter().map(|p| escape_ident(&p.name)).collect();
+    let _ = writeln!(s, "module {} ({});", escape_ident(&m.name), port_list.join(", "));
+    for p in &m.ports {
+        let dir = match p.dir {
+            PortDir::Input => "input",
+            PortDir::Output => "output",
+        };
+        let _ = writeln!(s, "  {dir} {};", escape_ident(&p.name));
+    }
+    // Declare internal wires (nets that are not ports).
+    let port_nets: std::collections::BTreeSet<usize> =
+        m.ports.iter().map(|p| p.net.index()).collect();
+    for (i, net) in m.nets.iter().enumerate() {
+        if !port_nets.contains(&i) {
+            let _ = writeln!(s, "  wire {};", escape_ident(&net.name));
+        }
+    }
+    for cell in &m.cells {
+        match &cell.contents {
+            CellContents::Gate {
+                kind,
+                inputs,
+                output,
+            } => {
+                let mut pins: Vec<String> = Vec::with_capacity(inputs.len() + 1);
+                pins.push(format!(
+                    ".Y({})",
+                    escape_ident(&m.nets[output.index()].name)
+                ));
+                for (i, n) in inputs.iter().enumerate() {
+                    pins.push(format!(
+                        ".{}({})",
+                        pin_name(i, inputs.len(), *kind),
+                        escape_ident(&m.nets[n.index()].name)
+                    ));
+                }
+                let _ = writeln!(
+                    s,
+                    "  {} {} ({});",
+                    kind.cell_name(),
+                    escape_ident(&cell.name),
+                    pins.join(", ")
+                );
+            }
+            CellContents::Inst(inst) => {
+                let pins: Vec<String> = inst
+                    .connections
+                    .iter()
+                    .map(|(p, n)| {
+                        format!(
+                            ".{}({})",
+                            escape_ident(p),
+                            escape_ident(&m.nets[n.index()].name)
+                        )
+                    })
+                    .collect();
+                let _ = writeln!(
+                    s,
+                    "  {} {} ({});",
+                    escape_ident(&inst.module),
+                    escape_ident(&cell.name),
+                    pins.join(", ")
+                );
+            }
+        }
+    }
+    let _ = writeln!(s, "endmodule");
+    s
+}
+
+fn pin_name(i: usize, _n: usize, kind: crate::GateKind) -> String {
+    use crate::gate::PinRole;
+    let roles = kind.pin_roles();
+    match roles.get(i) {
+        Some(PinRole::Clock) => "CK".to_string(),
+        Some(PinRole::ResetN) => "RN".to_string(),
+        Some(PinRole::ScanIn) => "SI".to_string(),
+        Some(PinRole::ScanEnable) => "SE".to_string(),
+        Some(PinRole::Enable) => "EN".to_string(),
+        _ => {
+            // Data pins: A, B, C, D... except the flop data pin, named D.
+            if kind.is_sequential() && i == 0 {
+                "D".to_string()
+            } else {
+                char::from(b'A' + i as u8).to_string()
+            }
+        }
+    }
+}
+
+/// Renders a whole design, one module after another (children first so the
+/// file elaborates without forward references).
+#[must_use]
+pub fn design_to_verilog(d: &Design) -> String {
+    let mut out = String::new();
+    for m in d.iter() {
+        out.push_str(&module_to_verilog(m));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::gate::GateKind;
+
+    #[test]
+    fn plain_names_unescaped() {
+        assert_eq!(escape_ident("abc_1$"), "abc_1$");
+    }
+
+    #[test]
+    fn special_names_escaped() {
+        assert_eq!(escape_ident("a[3]"), "\\a[3] ");
+        assert_eq!(escape_ident("u0/g1"), "\\u0/g1 ");
+        assert_eq!(escape_ident("9lives"), "\\9lives ");
+    }
+
+    #[test]
+    fn emits_module_skeleton() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a");
+        let ck = b.input("ck");
+        let q = b.gate(GateKind::Dff, &[a, ck]);
+        b.output("q", q);
+        let v = module_to_verilog(&b.finish().unwrap());
+        assert!(v.contains("module m (a, ck, q);"), "{v}");
+        assert!(v.contains("input a;"), "{v}");
+        assert!(v.contains("output q;"), "{v}");
+        assert!(v.contains("DFF"), "{v}");
+        assert!(v.contains(".CK(ck)"), "{v}");
+        assert!(v.trim_end().ends_with("endmodule"), "{v}");
+    }
+
+    #[test]
+    fn scan_flop_pins_are_named() {
+        let mut b = NetlistBuilder::new("m");
+        let d = b.input("d");
+        let si = b.input("si");
+        let se = b.input("se");
+        let ck = b.input("ck");
+        let q = b.gate(GateKind::Sdff, &[d, si, se, ck]);
+        b.output("q", q);
+        let v = module_to_verilog(&b.finish().unwrap());
+        assert!(v.contains(".SI(si)"), "{v}");
+        assert!(v.contains(".SE(se)"), "{v}");
+        assert!(v.contains(".D(d)"), "{v}");
+    }
+}

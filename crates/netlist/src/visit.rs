@@ -1,0 +1,197 @@
+//! Connectivity queries, topological ordering and loop detection.
+
+use crate::module::{CellContents, CellId, Module, NetId};
+use crate::NetlistError;
+
+/// Precomputed fanin/fanout tables for a flat module.
+///
+/// Instance cells are ignored; run [`crate::Design::flatten`] first when a
+/// hierarchical module must be analysed.
+#[derive(Debug, Clone)]
+pub struct FanTables {
+    /// For each net: the cells reading it (as gate inputs).
+    pub net_readers: Vec<Vec<CellId>>,
+    /// For each net: the cell driving it, if any.
+    pub net_driver: Vec<Option<CellId>>,
+}
+
+impl FanTables {
+    /// Builds the tables for a flat module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::MultipleDrivers`] when two gates drive one
+    /// net.
+    pub fn build(m: &Module) -> Result<Self, NetlistError> {
+        let mut net_readers: Vec<Vec<CellId>> = vec![Vec::new(); m.nets.len()];
+        let net_driver = m.drivers(None)?;
+        for (i, cell) in m.cells.iter().enumerate() {
+            if let CellContents::Gate { inputs, .. } = &cell.contents {
+                for n in inputs {
+                    net_readers[n.index()].push(CellId(i as u32));
+                }
+            }
+        }
+        Ok(FanTables {
+            net_readers,
+            net_driver,
+        })
+    }
+
+    /// Cells in the transitive fanout of `net` (combinational and
+    /// sequential), breadth-first.
+    #[must_use]
+    pub fn transitive_fanout(&self, m: &Module, net: NetId) -> Vec<CellId> {
+        let mut seen = vec![false; m.cells.len()];
+        let mut queue: Vec<NetId> = vec![net];
+        let mut out = Vec::new();
+        while let Some(n) = queue.pop() {
+            for &c in &self.net_readers[n.index()] {
+                if !seen[c.index()] {
+                    seen[c.index()] = true;
+                    out.push(c);
+                    if let CellContents::Gate { kind, output, .. } = &m.cells[c.index()].contents
+                    {
+                        if !kind.is_sequential() {
+                            queue.push(*output);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Returns the combinational gates of `m` in topological (evaluation)
+/// order. Sequential elements act as sources/sinks and are excluded.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombLoop`] if the combinational part of the
+/// module is cyclic, or [`NetlistError::MultipleDrivers`] on driver
+/// conflicts.
+pub fn combinational_order(m: &Module) -> Result<Vec<CellId>, NetlistError> {
+    let tables = FanTables::build(m)?;
+    // Kahn's algorithm over combinational gates only.
+    let mut indeg = vec![0usize; m.cells.len()];
+    let mut is_comb = vec![false; m.cells.len()];
+    for (i, cell) in m.cells.iter().enumerate() {
+        if let CellContents::Gate { kind, inputs, .. } = &cell.contents {
+            if !kind.is_sequential() {
+                is_comb[i] = true;
+                for n in inputs {
+                    if let Some(d) = tables.net_driver[n.index()] {
+                        if let CellContents::Gate { kind: dk, .. } =
+                            &m.cells[d.index()].contents
+                        {
+                            if !dk.is_sequential() {
+                                indeg[i] += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut order = Vec::new();
+    let mut stack: Vec<usize> = (0..m.cells.len())
+        .filter(|&i| is_comb[i] && indeg[i] == 0)
+        .collect();
+    while let Some(i) = stack.pop() {
+        order.push(CellId(i as u32));
+        if let CellContents::Gate { output, .. } = &m.cells[i].contents {
+            for &r in &tables.net_readers[output.index()] {
+                if is_comb[r.index()] {
+                    indeg[r.index()] -= 1;
+                    if indeg[r.index()] == 0 {
+                        stack.push(r.index());
+                    }
+                }
+            }
+        }
+    }
+    let comb_total = is_comb.iter().filter(|&&b| b).count();
+    if order.len() != comb_total {
+        let witness = (0..m.cells.len())
+            .find(|&i| is_comb[i] && indeg[i] > 0)
+            .map(|i| CellId(i as u32))
+            .unwrap_or(CellId(0));
+        return Err(NetlistError::CombLoop { witness });
+    }
+    Ok(order)
+}
+
+/// Convenience predicate: does the module contain a combinational loop?
+#[must_use]
+pub fn detect_comb_loop(m: &Module) -> bool {
+    matches!(combinational_order(m), Err(NetlistError::CombLoop { .. }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::gate::GateKind;
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a");
+        let x = b.gate(GateKind::Inv, &[a]);
+        let y = b.gate(GateKind::Inv, &[x]);
+        let z = b.gate(GateKind::And2, &[x, y]);
+        b.output("z", z);
+        let m = b.finish().unwrap();
+        let order = combinational_order(&m).unwrap();
+        let pos = |name: &str| {
+            let id = m.cell_by_name(name).unwrap();
+            order.iter().position(|&c| c == id).unwrap()
+        };
+        assert!(pos("g0") < pos("g1"));
+        assert!(pos("g1") < pos("g2"));
+    }
+
+    #[test]
+    fn flops_break_cycles() {
+        // A classic counter bit: q -> inv -> d -> flop -> q is fine.
+        let mut b = NetlistBuilder::new("m");
+        let ck = b.input("ck");
+        let q = b.net("q");
+        let d = b.gate(GateKind::Inv, &[q]);
+        b.gate_into(GateKind::Dff, &[d, ck], q);
+        b.output("q", q);
+        let m = b.finish().unwrap();
+        assert!(!detect_comb_loop(&m));
+        assert_eq!(combinational_order(&m).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn pure_combinational_cycle_is_detected() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a");
+        let x = b.net("x");
+        let y = b.gate(GateKind::And2, &[a, x]);
+        b.gate_into(GateKind::Inv, &[y], x);
+        b.output("y", y);
+        let m = b.finish().unwrap();
+        assert!(detect_comb_loop(&m));
+    }
+
+    #[test]
+    fn transitive_fanout_stops_at_flops() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a");
+        let ck = b.input("ck");
+        let x = b.gate(GateKind::Inv, &[a]);
+        let q = b.gate(GateKind::Dff, &[x, ck]);
+        let z = b.gate(GateKind::Inv, &[q]);
+        b.output("z", z);
+        let m = b.finish().unwrap();
+        let t = FanTables::build(&m).unwrap();
+        let a_id = m.net_by_name("a").unwrap();
+        let fan = t.transitive_fanout(&m, a_id);
+        // Reaches INV and the DFF, but not past the DFF.
+        assert_eq!(fan.len(), 2);
+    }
+}

@@ -1,0 +1,94 @@
+//! ATE text export: renders cycle patterns in a WGL-style tabular format
+//! with repeat compression, plus the statistics the tester floor cares
+//! about.
+
+use crate::cycle::CyclePattern;
+use std::fmt::Write as _;
+
+/// Export statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AteStats {
+    /// Tester cycles represented.
+    pub cycles: u64,
+    /// Emitted vector lines (after repeat compression).
+    pub lines: u64,
+    /// Number of compare operations.
+    pub compares: u64,
+}
+
+/// Renders the pattern; returns the text and its statistics.
+///
+/// Identical consecutive rows collapse into `REPEAT n` annotations,
+/// which is how cycle-based ATE formats keep `Loop`-generated functional
+/// blocks (the DSC's 235,696 JPEG patterns) manageable.
+#[must_use]
+pub fn export_ate(name: &str, pattern: &CyclePattern) -> (String, AteStats) {
+    let mut out = String::new();
+    let _ = writeln!(out, "pattern {name};");
+    let _ = writeln!(out, "pins {};", pattern.pins.join(" "));
+    let mut lines = 0u64;
+    let mut compares = 0u64;
+    let mut i = 0usize;
+    while i < pattern.cycles.len() {
+        let row = &pattern.cycles[i];
+        let mut run = 1usize;
+        while i + run < pattern.cycles.len() && pattern.cycles[i + run] == *row {
+            run += 1;
+        }
+        let chars: String = row.iter().map(|s| s.to_char()).collect();
+        compares += row.iter().filter(|s| s.expect().is_some()).count() as u64 * run as u64;
+        if run > 1 {
+            let _ = writeln!(out, "v {chars} repeat {run};");
+        } else {
+            let _ = writeln!(out, "v {chars};");
+        }
+        lines += 1;
+        i += run;
+    }
+    let _ = writeln!(out, "end;");
+    (
+        out,
+        AteStats {
+            cycles: pattern.cycle_count(),
+            lines,
+            compares,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycle::PinState;
+
+    #[test]
+    fn repeat_compression_collapses_runs() {
+        let mut p = CyclePattern::new(vec!["a".to_string()]);
+        for _ in 0..100 {
+            p.push_cycle(vec![PinState::Drive1]).unwrap();
+        }
+        p.push_cycle(vec![PinState::Drive0]).unwrap();
+        let (text, stats) = export_ate("t", &p);
+        assert_eq!(stats.cycles, 101);
+        assert_eq!(stats.lines, 2);
+        assert!(text.contains("repeat 100"), "{text}");
+    }
+
+    #[test]
+    fn compare_counting_scales_with_repeats() {
+        let mut p = CyclePattern::new(vec!["a".to_string(), "y".to_string()]);
+        for _ in 0..10 {
+            p.push_cycle(vec![PinState::Drive1, PinState::ExpectH]).unwrap();
+        }
+        let (_, stats) = export_ate("t", &p);
+        assert_eq!(stats.compares, 10);
+    }
+
+    #[test]
+    fn header_lists_pins() {
+        let p = CyclePattern::new(vec!["ck".to_string(), "d".to_string()]);
+        let (text, _) = export_ate("quick", &p);
+        assert!(text.starts_with("pattern quick;"), "{text}");
+        assert!(text.contains("pins ck d;"), "{text}");
+    }
+}

@@ -1,0 +1,56 @@
+//! Core-level scan vectors, as ATPG would emit them.
+
+use steac_sim::Logic;
+
+/// One core-level scan test vector.
+///
+/// Bit ordering follows the workspace scan convention: bit `k` of a
+/// chain's load/unload stream corresponds to flop `L-1-k` of that chain
+/// (first bit shifted in travels to the deepest flop).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScanVector {
+    /// Stimulus per internal chain (index = chain index).
+    pub loads: Vec<Vec<Logic>>,
+    /// Primary-input values, indexed like the core's functional inputs.
+    pub pi: Vec<Logic>,
+    /// Expected primary-output values, indexed like the core's
+    /// functional outputs (`X` = masked).
+    pub expect_po: Vec<Logic>,
+    /// Expected capture values per internal chain.
+    pub expect_unload: Vec<Vec<Logic>>,
+}
+
+impl ScanVector {
+    /// Creates a vector shaped for the given chain lengths and pin
+    /// counts, all entries `X`.
+    #[must_use]
+    pub fn shaped(chain_lengths: &[usize], pi: usize, po: usize) -> Self {
+        ScanVector {
+            loads: chain_lengths.iter().map(|&l| vec![Logic::X; l]).collect(),
+            pi: vec![Logic::X; pi],
+            expect_po: vec![Logic::X; po],
+            expect_unload: chain_lengths.iter().map(|&l| vec![Logic::X; l]).collect(),
+        }
+    }
+
+    /// Total scan cells loaded by this vector.
+    #[must_use]
+    pub fn total_load_bits(&self) -> usize {
+        self.loads.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shaped_dimensions() {
+        let v = ScanVector::shaped(&[5, 3], 4, 2);
+        assert_eq!(v.loads.len(), 2);
+        assert_eq!(v.loads[0].len(), 5);
+        assert_eq!(v.pi.len(), 4);
+        assert_eq!(v.expect_po.len(), 2);
+        assert_eq!(v.total_load_bits(), 8);
+    }
+}

@@ -1,0 +1,358 @@
+//! Cycle-based patterns and the ATE cycle player.
+
+use crate::PatternError;
+use std::fmt;
+use steac_sim::{Logic, Simulator};
+
+/// Per-pin state in one tester cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PinState {
+    /// Drive logic 0.
+    Drive0,
+    /// Drive logic 1.
+    Drive1,
+    /// Release (high impedance).
+    DriveZ,
+    /// Don't care / keep previous.
+    #[default]
+    DontCare,
+    /// Apply a full clock pulse (0 → 1 → 0) this cycle.
+    Pulse,
+    /// Compare for logic 0.
+    ExpectL,
+    /// Compare for logic 1.
+    ExpectH,
+}
+
+impl PinState {
+    /// STIL-style pattern character.
+    #[must_use]
+    pub fn to_char(self) -> char {
+        match self {
+            PinState::Drive0 => '0',
+            PinState::Drive1 => '1',
+            PinState::DriveZ => 'Z',
+            PinState::DontCare => 'X',
+            PinState::Pulse => 'P',
+            PinState::ExpectL => 'L',
+            PinState::ExpectH => 'H',
+        }
+    }
+
+    /// Parses a pattern character (case-insensitive).
+    #[must_use]
+    pub fn from_char(c: char) -> Option<Self> {
+        match c.to_ascii_uppercase() {
+            '0' => Some(PinState::Drive0),
+            '1' => Some(PinState::Drive1),
+            'Z' => Some(PinState::DriveZ),
+            'X' => Some(PinState::DontCare),
+            'P' => Some(PinState::Pulse),
+            'L' => Some(PinState::ExpectL),
+            'H' => Some(PinState::ExpectH),
+            _ => None,
+        }
+    }
+
+    /// Drive value, if this state drives.
+    #[must_use]
+    pub fn drive(self) -> Option<Logic> {
+        match self {
+            PinState::Drive0 => Some(Logic::Zero),
+            PinState::Drive1 => Some(Logic::One),
+            PinState::DriveZ => Some(Logic::Z),
+            _ => None,
+        }
+    }
+
+    /// Expected value, if this state compares.
+    #[must_use]
+    pub fn expect(self) -> Option<Logic> {
+        match self {
+            PinState::ExpectL => Some(Logic::Zero),
+            PinState::ExpectH => Some(Logic::One),
+            _ => None,
+        }
+    }
+
+    /// Converts a stimulus logic value into a drive state.
+    #[must_use]
+    pub fn from_drive(v: Logic) -> Self {
+        match v {
+            Logic::Zero => PinState::Drive0,
+            Logic::One => PinState::Drive1,
+            Logic::Z => PinState::DriveZ,
+            Logic::X => PinState::DontCare,
+        }
+    }
+
+    /// Converts an expected logic value into a compare state.
+    #[must_use]
+    pub fn from_expect(v: Logic) -> Self {
+        match v {
+            Logic::Zero => PinState::ExpectL,
+            Logic::One => PinState::ExpectH,
+            _ => PinState::DontCare,
+        }
+    }
+}
+
+impl fmt::Display for PinState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+/// A cycle-based pattern: a pin list and one row of [`PinState`]s per
+/// tester cycle.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CyclePattern {
+    /// Pin names, fixed for all cycles.
+    pub pins: Vec<String>,
+    /// Cycle rows; each row has `pins.len()` states.
+    pub cycles: Vec<Vec<PinState>>,
+}
+
+impl CyclePattern {
+    /// Creates an empty pattern over the given pins.
+    #[must_use]
+    pub fn new(pins: Vec<String>) -> Self {
+        CyclePattern {
+            pins,
+            cycles: Vec::new(),
+        }
+    }
+
+    /// Appends one cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatternError::Shape`] if the row width differs from the
+    /// pin list.
+    pub fn push_cycle(&mut self, row: Vec<PinState>) -> Result<(), PatternError> {
+        if row.len() != self.pins.len() {
+            return Err(PatternError::Shape {
+                context: "cycle row",
+                expected: self.pins.len(),
+                got: row.len(),
+            });
+        }
+        self.cycles.push(row);
+        Ok(())
+    }
+
+    /// Index of a pin.
+    #[must_use]
+    pub fn pin_index(&self, name: &str) -> Option<usize> {
+        self.pins.iter().position(|p| p == name)
+    }
+
+    /// Number of tester cycles.
+    #[must_use]
+    pub fn cycle_count(&self) -> u64 {
+        self.cycles.len() as u64
+    }
+
+    /// Appends all cycles of `other` (pin lists must match).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatternError::Shape`] on pin-list mismatch.
+    pub fn append(&mut self, other: &CyclePattern) -> Result<(), PatternError> {
+        if self.pins != other.pins {
+            return Err(PatternError::Shape {
+                context: "pattern concatenation",
+                expected: self.pins.len(),
+                got: other.pins.len(),
+            });
+        }
+        self.cycles.extend(other.cycles.iter().cloned());
+        Ok(())
+    }
+}
+
+/// Result of playing a pattern against the simulator.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MismatchReport {
+    /// `(cycle, pin, expected, observed)` for every failed compare.
+    pub mismatches: Vec<(usize, String, char, char)>,
+    /// Number of compares performed.
+    pub compares: u64,
+}
+
+impl MismatchReport {
+    /// `true` when every compare passed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+impl fmt::Display for MismatchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} compares, {} mismatches",
+            self.compares,
+            self.mismatches.len()
+        )?;
+        for (cyc, pin, exp, obs) in self.mismatches.iter().take(10) {
+            write!(f, "\n  cycle {cyc}: {pin} expected {exp} observed {obs}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Plays a cycle pattern on the simulator, exactly as an ATE would:
+/// drive states are applied, `P` pins get a full clock pulse after the
+/// other pins settle, and `L`/`H` pins are compared at the end of the
+/// cycle (before the next cycle's drives).
+///
+/// # Errors
+///
+/// Returns [`PatternError::UnknownPin`] for pins missing on the module
+/// and propagates simulator errors.
+pub fn apply_cycle_pattern(
+    sim: &mut Simulator<'_>,
+    pattern: &CyclePattern,
+) -> Result<MismatchReport, PatternError> {
+    // Resolve pins up front.
+    let mut nets = Vec::with_capacity(pattern.pins.len());
+    for name in &pattern.pins {
+        let port = sim
+            .module()
+            .port(name)
+            .ok_or_else(|| PatternError::UnknownPin { name: name.clone() })?;
+        nets.push(port.net);
+    }
+    let mut report = MismatchReport::default();
+    for (ci, row) in pattern.cycles.iter().enumerate() {
+        // Drive phase.
+        let mut pulses = Vec::new();
+        for (pi, state) in row.iter().enumerate() {
+            if let Some(v) = state.drive() {
+                sim.set(nets[pi], v);
+            } else if *state == PinState::Pulse {
+                sim.set(nets[pi], Logic::Zero);
+                pulses.push(nets[pi]);
+            }
+        }
+        sim.settle()?;
+        // Clock phase.
+        if !pulses.is_empty() {
+            sim.clock_cycle_multi(&pulses)?;
+        }
+        // Compare phase.
+        for (pi, state) in row.iter().enumerate() {
+            if let Some(expected) = state.expect() {
+                report.compares += 1;
+                let observed = sim.get(nets[pi]);
+                if observed.is_known() && observed != expected {
+                    report.mismatches.push((
+                        ci,
+                        pattern.pins[pi].clone(),
+                        PinState::from_expect(expected).to_char(),
+                        observed.to_char(),
+                    ));
+                } else if !observed.is_known() {
+                    // An unknown where a value is expected is a fail on
+                    // real ATE too.
+                    report.mismatches.push((
+                        ci,
+                        pattern.pins[pi].clone(),
+                        PinState::from_expect(expected).to_char(),
+                        observed.to_char(),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steac_netlist::{GateKind, NetlistBuilder};
+
+    #[test]
+    fn char_round_trip() {
+        for s in [
+            PinState::Drive0,
+            PinState::Drive1,
+            PinState::DriveZ,
+            PinState::DontCare,
+            PinState::Pulse,
+            PinState::ExpectL,
+            PinState::ExpectH,
+        ] {
+            assert_eq!(PinState::from_char(s.to_char()), Some(s));
+        }
+        assert_eq!(PinState::from_char('q'), None);
+    }
+
+    #[test]
+    fn push_cycle_validates_width() {
+        let mut p = CyclePattern::new(vec!["a".to_string(), "b".to_string()]);
+        assert!(p.push_cycle(vec![PinState::Drive0]).is_err());
+        assert!(p
+            .push_cycle(vec![PinState::Drive0, PinState::ExpectH])
+            .is_ok());
+        assert_eq!(p.cycle_count(), 1);
+    }
+
+    #[test]
+    fn player_runs_a_flop_pattern() {
+        let mut b = NetlistBuilder::new("m");
+        let d = b.input("d");
+        let ck = b.input("ck");
+        let q = b.gate(GateKind::Dff, &[d, ck]);
+        b.output("q", q);
+        let m = b.finish().unwrap();
+        let mut sim = Simulator::new(&m).unwrap();
+
+        let mut p = CyclePattern::new(vec![
+            "d".to_string(),
+            "ck".to_string(),
+            "q".to_string(),
+        ]);
+        use PinState::*;
+        p.push_cycle(vec![Drive1, Pulse, ExpectH]).unwrap();
+        p.push_cycle(vec![Drive0, Pulse, ExpectL]).unwrap();
+        p.push_cycle(vec![Drive1, DontCare, ExpectL]).unwrap(); // no clock: q holds
+        let rep = apply_cycle_pattern(&mut sim, &p).unwrap();
+        assert!(rep.passed(), "{rep}");
+        assert_eq!(rep.compares, 3);
+    }
+
+    #[test]
+    fn player_reports_mismatches_with_location() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a");
+        let y = b.gate(GateKind::Inv, &[a]);
+        b.output("y", y);
+        let m = b.finish().unwrap();
+        let mut sim = Simulator::new(&m).unwrap();
+        let mut p = CyclePattern::new(vec!["a".to_string(), "y".to_string()]);
+        use PinState::*;
+        p.push_cycle(vec![Drive1, ExpectH]).unwrap(); // wrong: INV(1)=0
+        let rep = apply_cycle_pattern(&mut sim, &p).unwrap();
+        assert!(!rep.passed());
+        assert_eq!(rep.mismatches[0].0, 0);
+        assert_eq!(rep.mismatches[0].1, "y");
+    }
+
+    #[test]
+    fn unknown_pin_is_an_error() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a");
+        b.output("y", a);
+        let m = b.finish().unwrap();
+        let mut sim = Simulator::new(&m).unwrap();
+        let p = CyclePattern::new(vec!["ghost".to_string()]);
+        assert!(matches!(
+            apply_cycle_pattern(&mut sim, &p),
+            Err(PatternError::UnknownPin { .. })
+        ));
+    }
+}

@@ -1,0 +1,182 @@
+//! Pin allocation within one test session (water-filling).
+//!
+//! Given the session's data-pin budget, every task first receives its
+//! minimum allocation; remaining pins are then granted iteratively to the
+//! current bottleneck task (the one defining the session makespan) until
+//! it can no longer improve — the standard water-filling argument: only
+//! shrinking the argmax shrinks the max.
+
+use crate::task::TestTask;
+use std::collections::BTreeSet;
+
+/// Result of allocating pins to a set of concurrent tasks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allocation {
+    /// Data pins granted per task (parallel to the input slice).
+    pub pins: Vec<usize>,
+    /// Resulting per-task times.
+    pub times: Vec<u64>,
+    /// Fixed pins charged for shared interfaces (counted once per group).
+    pub fixed_pins: usize,
+}
+
+impl Allocation {
+    /// Session makespan: the slowest task.
+    #[must_use]
+    pub fn makespan(&self) -> u64 {
+        self.times.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total data pins consumed (allocated + fixed).
+    #[must_use]
+    pub fn total_pins(&self) -> usize {
+        self.pins.iter().sum::<usize>() + self.fixed_pins
+    }
+}
+
+/// Charges fixed pins, counting each pin group once.
+fn fixed_pin_cost(tasks: &[&TestTask]) -> usize {
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    let mut cost = 0usize;
+    for t in tasks {
+        match &t.pin_group {
+            Some(g) => {
+                if seen.insert(g.as_str()) {
+                    cost += t.fixed_pins;
+                }
+            }
+            None => cost += t.fixed_pins,
+        }
+    }
+    cost
+}
+
+/// Allocates `data_pins` among `tasks` running concurrently.
+///
+/// Returns `None` if even the minimum allocations do not fit.
+#[must_use]
+pub fn allocate_session(tasks: &[&TestTask], data_pins: usize) -> Option<Allocation> {
+    let fixed = fixed_pin_cost(tasks);
+    let mut pins: Vec<usize> = tasks.iter().map(|t| t.min_pins()).collect();
+    let used: usize = pins.iter().sum::<usize>() + fixed;
+    if used > data_pins {
+        return None;
+    }
+    let mut spare = data_pins - used;
+    let mut times: Vec<u64> = tasks
+        .iter()
+        .zip(&pins)
+        .map(|(t, &p)| t.time(p))
+        .collect();
+
+    // Water-filling, slowest task first. When the bottleneck saturates
+    // (its staircase has no reachable improvement), spare pins flow to the
+    // next-slowest improvable task: harmless for the session makespan and
+    // required when the same allocation is reused as a *static* width
+    // assignment by the non-session baseline.
+    loop {
+        let mut order: Vec<usize> = (0..tasks.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(times[i]));
+        let mut granted = false;
+        for &idx in &order {
+            let step = tasks[idx].pin_step();
+            if step == 0 || step > spare {
+                continue;
+            }
+            // Find the next allocation at which this task strictly
+            // improves.
+            let mut extra = step;
+            let mut improved = None;
+            while pins[idx] + extra <= tasks[idx].max_pins() && extra <= spare {
+                let t = tasks[idx].time(pins[idx] + extra);
+                if t < times[idx] {
+                    improved = Some((extra, t));
+                    break;
+                }
+                extra += step;
+            }
+            if let Some((extra, t)) = improved {
+                pins[idx] += extra;
+                spare -= extra;
+                times[idx] = t;
+                granted = true;
+                break;
+            }
+        }
+        if !granted {
+            break;
+        }
+    }
+
+    Some(Allocation {
+        pins,
+        times,
+        fixed_pins: fixed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TestTask;
+
+    #[test]
+    fn single_task_gets_as_much_as_it_can_use() {
+        let t = TestTask::scan("x", 100, &[100, 100, 100, 100], 10, 10, false);
+        let alloc = allocate_session(&[&t], 100).unwrap();
+        assert!(alloc.pins[0] >= 8, "{alloc:?}");
+        assert!(alloc.total_pins() <= 100);
+    }
+
+    #[test]
+    fn infeasible_when_minimums_exceed_budget() {
+        let a = TestTask::functional("a", 10, 50, 50);
+        let b = TestTask::functional("b", 10, 50, 50);
+        assert!(allocate_session(&[&a, &b], 10).is_none());
+    }
+
+    #[test]
+    fn bottleneck_is_served_before_others() {
+        // With pins for only one task to saturate, the slow task wins.
+        let slow = TestTask::scan("slow", 1000, &[2000], 10, 10, true);
+        let fast = TestTask::scan("fast", 10, &[20], 2, 2, true);
+        let alloc = allocate_session(&[&slow, &fast], 10).unwrap();
+        assert!(
+            alloc.pins[0] > alloc.pins[1],
+            "slow task should get more pins: {:?}",
+            alloc.pins
+        );
+        // With room for both, spare pins also flow to the fast task.
+        let roomy = allocate_session(&[&slow, &fast], 24).unwrap();
+        assert!(roomy.pins[1] >= alloc.pins[1]);
+        assert!(roomy.makespan() <= alloc.makespan());
+    }
+
+    #[test]
+    fn shared_pin_group_charged_once() {
+        let b1 = TestTask::bist("a", 100);
+        let b2 = TestTask::bist("b", 200);
+        let alloc = allocate_session(&[&b1, &b2], 10).unwrap();
+        assert_eq!(alloc.fixed_pins, 7);
+        assert_eq!(alloc.makespan(), 200);
+    }
+
+    #[test]
+    fn makespan_is_max_of_times() {
+        let a = TestTask::bist("a", 100);
+        let f = TestTask::functional("f", 10, 8, 8);
+        let alloc = allocate_session(&[&a, &f], 30).unwrap();
+        assert_eq!(alloc.makespan(), alloc.times.iter().copied().max().unwrap());
+    }
+
+    #[test]
+    fn allocation_never_exceeds_budget() {
+        let tasks = crate::task::dsc_like_tasks();
+        let refs: Vec<&TestTask> = tasks.iter().collect();
+        for budget in [20, 40, 80, 160] {
+            if let Some(a) = allocate_session(&refs, budget) {
+                assert!(a.total_pins() <= budget, "budget {budget}: {a:?}");
+            }
+        }
+    }
+}

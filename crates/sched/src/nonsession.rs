@@ -1,0 +1,273 @@
+//! Baselines: non-session scheduling and pure-serial scheduling.
+//!
+//! A non-session architecture has neither a session controller nor a
+//! session-reconfigured TAM multiplexer, which costs it twice:
+//!
+//! 1. **Static control IOs** — every core's control signals (and all
+//!    shared interfaces) stay pinned for the whole test; test enables
+//!    cannot be session-decoded.
+//! 2. **Static TAM widths** — without the TAM mux, each core's wrapper
+//!    terminals occupy *dedicated* chip pins, so the width split is fixed
+//!    at design time across **all** cores, not per concurrent group.
+//!
+//! The ATE can still sequence tests in time (driving test enables), so
+//! placement remains free subject to the power cap. This is the
+//! architecture the paper compares against: its session-based schedule
+//! (4,371,194 cycles) beat the non-session one (4,713,935 cycles) on the
+//! DSC chip.
+
+use crate::alloc::allocate_session;
+use crate::task::{ChipConfig, TestTask};
+use steac_tam::{share_controls, ControlSignal};
+
+/// A placed task in a non-session schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// Index into the input task slice.
+    pub task_index: usize,
+    /// Start cycle.
+    pub start: u64,
+    /// Duration in cycles.
+    pub cycles: u64,
+    /// Data pins statically dedicated to this task.
+    pub pins: usize,
+}
+
+impl Placement {
+    /// End cycle (exclusive).
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.start + self.cycles
+    }
+}
+
+/// A non-session (statically pinned) schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NonSessionSchedule {
+    /// Task placements.
+    pub placements: Vec<Placement>,
+    /// Total test time.
+    pub makespan: u64,
+    /// Static control pins held for the whole test.
+    pub control_pins: usize,
+    /// Data pins available for the static width split.
+    pub data_pins_available: usize,
+}
+
+/// Static pin accounting shared by both baselines: all control signals of
+/// all tasks are pinned simultaneously. Shared data interfaces (pin
+/// groups such as the BIST port) are charged by the allocator inside the
+/// data budget, exactly as in the session path.
+fn static_budget(tasks: &[TestTask], config: &ChipConfig) -> (usize, usize) {
+    let signals: Vec<ControlSignal> = tasks
+        .iter()
+        .flat_map(|t| t.controls.iter().cloned())
+        .collect();
+    let control = share_controls(&signals, &config.static_share).shared_pins();
+    let data = config.budget.data_pins(config.global_pins + control);
+    (control, data)
+}
+
+/// Schedules the non-session baseline: static widths via water-filling
+/// over the whole task set, then earliest-feasible placement (longest
+/// first) under the power cap.
+#[must_use]
+pub fn schedule_nonsession(tasks: &[TestTask], config: &ChipConfig) -> NonSessionSchedule {
+    let (control_pins, data) = static_budget(tasks, config);
+    let refs: Vec<&TestTask> = tasks.iter().collect();
+    let Some(alloc) = allocate_session(&refs, data) else {
+        return NonSessionSchedule {
+            placements: vec![],
+            makespan: u64::MAX,
+            control_pins,
+            data_pins_available: data,
+        };
+    };
+
+    let mut order: Vec<usize> = (0..tasks.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(alloc.times[i]));
+
+    let mut placed: Vec<Placement> = Vec::with_capacity(tasks.len());
+    for &ti in &order {
+        let cycles = alloc.times[ti];
+        let power = tasks[ti].power;
+        if power > config.power_limit + 1e-9 {
+            return NonSessionSchedule {
+                placements: vec![],
+                makespan: u64::MAX,
+                control_pins,
+                data_pins_available: data,
+            };
+        }
+        let mut candidates: Vec<u64> = vec![0];
+        candidates.extend(placed.iter().map(Placement::end));
+        candidates.sort_unstable();
+        candidates.dedup();
+        let start = candidates
+            .into_iter()
+            .find(|&s| power_fits(&placed, tasks, s, cycles, power, config))
+            .expect("the end of the last task is always feasible");
+        placed.push(Placement {
+            task_index: ti,
+            start,
+            cycles,
+            pins: alloc.pins[ti],
+        });
+    }
+    let makespan = placed.iter().map(Placement::end).max().unwrap_or(0);
+    NonSessionSchedule {
+        placements: placed,
+        makespan,
+        control_pins,
+        data_pins_available: data,
+    }
+}
+
+fn power_fits(
+    placed: &[Placement],
+    tasks: &[TestTask],
+    start: u64,
+    cycles: u64,
+    power: f64,
+    config: &ChipConfig,
+) -> bool {
+    let end = start + cycles;
+    let mut boundaries: Vec<u64> = vec![start];
+    for p in placed {
+        if p.start < end && p.end() > start {
+            boundaries.push(p.start.max(start));
+        }
+    }
+    for &t0 in &boundaries {
+        let mut pw = power;
+        for p in placed {
+            if p.start <= t0 && p.end() > t0 {
+                pw += tasks[p.task_index].power;
+            }
+        }
+        if pw > config.power_limit + 1e-9 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Pure-serial reference: one test at a time, each receiving every
+/// available data pin (an idealised fully-reconfigurable serial tester),
+/// under the same static control allocation.
+#[must_use]
+pub fn schedule_serial(tasks: &[TestTask], config: &ChipConfig) -> NonSessionSchedule {
+    let (control_pins, data) = static_budget(tasks, config);
+    let mut placements = Vec::with_capacity(tasks.len());
+    let mut clock = 0u64;
+    for (i, t) in tasks.iter().enumerate() {
+        let pins = t.max_pins().min(data).max(t.min_pins());
+        let cycles = if data >= t.min_pins() {
+            t.time(pins.max(1))
+        } else {
+            u64::MAX
+        };
+        placements.push(Placement {
+            task_index: i,
+            start: clock,
+            cycles,
+            pins,
+        });
+        clock = clock.saturating_add(cycles);
+    }
+    NonSessionSchedule {
+        placements,
+        makespan: clock,
+        control_pins,
+        data_pins_available: data,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::dsc_like_tasks;
+
+    #[test]
+    fn static_widths_fit_the_dedicated_budget() {
+        let tasks = dsc_like_tasks();
+        let config = ChipConfig::default();
+        let s = schedule_nonsession(&tasks, &config);
+        assert!(s.makespan < u64::MAX, "feasible schedule expected");
+        let total: usize = s.placements.iter().map(|p| p.pins).sum();
+        assert!(
+            total + 7 <= s.data_pins_available + 7,
+            "static split {total} exceeds data budget {}",
+            s.data_pins_available
+        );
+    }
+
+    #[test]
+    fn power_cap_respected_at_all_times() {
+        let tasks = dsc_like_tasks();
+        let config = ChipConfig::default();
+        let s = schedule_nonsession(&tasks, &config);
+        for p in &s.placements {
+            let t0 = p.start;
+            let pw: f64 = s
+                .placements
+                .iter()
+                .filter(|q| q.start <= t0 && q.end() > t0)
+                .map(|q| tasks[q.task_index].power)
+                .sum();
+            assert!(pw <= config.power_limit + 1e-9, "power {pw} at {t0}");
+        }
+    }
+
+    #[test]
+    fn all_tasks_placed_once() {
+        let tasks = dsc_like_tasks();
+        let s = schedule_nonsession(&tasks, &ChipConfig::default());
+        let mut seen: Vec<usize> = s.placements.iter().map(|p| p.task_index).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..tasks.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn static_control_exceeds_session_control() {
+        // The whole point: the non-session baseline pins more controls.
+        let tasks = dsc_like_tasks();
+        let config = ChipConfig::default();
+        let (ctl, _) = static_budget(&tasks, &config);
+        let s = crate::session::schedule_sessions(&tasks, &config);
+        for sess in &s.sessions {
+            assert!(
+                sess.control_pins <= ctl,
+                "session control {} > static {}",
+                sess.control_pins,
+                ctl
+            );
+        }
+    }
+
+    #[test]
+    fn nonsession_beats_idealised_serial_here() {
+        // With power room for overlap, packing beats pure serial even
+        // though serial gets full width per test.
+        let tasks = dsc_like_tasks();
+        let config = ChipConfig::default();
+        let ns = schedule_nonsession(&tasks, &config);
+        let serial = schedule_serial(&tasks, &config);
+        assert!(ns.makespan <= serial.makespan);
+    }
+
+    #[test]
+    fn makespan_is_last_end() {
+        let tasks = dsc_like_tasks();
+        let s = schedule_nonsession(&tasks, &ChipConfig::default());
+        let last = s.placements.iter().map(Placement::end).max().unwrap();
+        assert_eq!(s.makespan, last);
+    }
+
+    #[test]
+    fn overpowered_single_task_is_infeasible() {
+        let tasks = vec![crate::task::TestTask::bist("b", 10).with_power(99.0)];
+        let s = schedule_nonsession(&tasks, &ChipConfig::default());
+        assert_eq!(s.makespan, u64::MAX);
+    }
+}

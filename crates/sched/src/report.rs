@@ -1,0 +1,116 @@
+//! Schedule rendering: tables and text Gantt charts for reports,
+//! examples and the experiment harness.
+
+use crate::nonsession::NonSessionSchedule;
+use crate::session::SessionSchedule;
+use crate::task::TestTask;
+use std::fmt::Write as _;
+
+/// Renders a session schedule as a table.
+#[must_use]
+pub fn render_sessions(s: &SessionSchedule, tasks: &[TestTask]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "session-based schedule: {} sessions, {} cycles total",
+        s.sessions.len(),
+        s.total_cycles
+    );
+    for (i, sess) in s.sessions.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  session {i}: makespan {:>9} cycles | control {} pins | data {} pins | power {:.1}",
+            sess.makespan, sess.control_pins, sess.data_pins_available, sess.power
+        );
+        for t in &sess.tasks {
+            let _ = writeln!(
+                out,
+                "    {:<14} {:>9} cycles on {:>3} pins",
+                tasks[t.task_index].name, t.cycles, t.pins
+            );
+        }
+    }
+    out
+}
+
+/// Renders a non-session schedule as a table plus a Gantt chart.
+#[must_use]
+pub fn render_nonsession(s: &NonSessionSchedule, tasks: &[TestTask]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "non-session schedule: makespan {} cycles (control {} pins, data {} pins)",
+        s.makespan, s.control_pins, s.data_pins_available
+    );
+    for p in &s.placements {
+        let _ = writeln!(
+            out,
+            "  {:<14} [{:>9}, {:>9}) on {:>3} pins",
+            tasks[p.task_index].name,
+            p.start,
+            p.end(),
+            p.pins
+        );
+    }
+    out.push_str(&gantt(s, tasks, 60));
+    out
+}
+
+/// A fixed-width text Gantt chart of a non-session schedule.
+#[must_use]
+pub fn gantt(s: &NonSessionSchedule, tasks: &[TestTask], columns: usize) -> String {
+    if s.makespan == 0 || s.makespan == u64::MAX || columns == 0 {
+        return String::new();
+    }
+    let mut out = String::new();
+    let scale = s.makespan as f64 / columns as f64;
+    for p in &s.placements {
+        let start_col = (p.start as f64 / scale).round() as usize;
+        let end_col = ((p.end() as f64 / scale).round() as usize).clamp(start_col + 1, columns);
+        let mut line = String::with_capacity(columns + 20);
+        let _ = write!(line, "{:<14} |", tasks[p.task_index].name);
+        for c in 0..columns {
+            line.push(if c >= start_col && c < end_col { '#' } else { ' ' });
+        }
+        line.push('|');
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{dsc_like_tasks, ChipConfig};
+    use crate::{schedule_nonsession, schedule_sessions};
+
+    #[test]
+    fn session_report_lists_all_tasks() {
+        let tasks = dsc_like_tasks();
+        let s = schedule_sessions(&tasks, &ChipConfig::default());
+        let text = render_sessions(&s, &tasks);
+        for t in &tasks {
+            assert!(text.contains(&t.name), "{} missing in:\n{text}", t.name);
+        }
+    }
+
+    #[test]
+    fn gantt_has_one_row_per_task() {
+        let tasks = dsc_like_tasks();
+        let s = schedule_nonsession(&tasks, &ChipConfig::default());
+        let chart = gantt(&s, &tasks, 40);
+        assert_eq!(chart.lines().count(), tasks.len());
+        assert!(chart.contains('#'));
+    }
+
+    #[test]
+    fn gantt_handles_degenerate_inputs() {
+        let s = NonSessionSchedule {
+            placements: vec![],
+            makespan: 0,
+            control_pins: 0,
+            data_pins_available: 0,
+        };
+        assert!(gantt(&s, &[], 40).is_empty());
+    }
+}

@@ -1,0 +1,334 @@
+//! Test tasks and the chip-level resource configuration.
+
+use steac_tam::{ControlClass, ControlSignal, PinBudget, SharePolicy};
+use steac_wrapper::chain::{balance_fixed, balance_soft};
+
+/// What kind of test a task applies, with its time model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TestKind {
+    /// Scan test through a wrapper: time follows the wrapper-chain balance
+    /// for the width bought with the allocated pins (2 pins per TAM wire).
+    Scan {
+        /// Number of scan patterns.
+        patterns: u64,
+        /// Internal chain lengths (hard cores) — for soft cores the total
+        /// is redistributed.
+        internal_chains: Vec<usize>,
+        /// Wrapped functional inputs.
+        inputs: usize,
+        /// Wrapped functional outputs.
+        outputs: usize,
+        /// Soft core: chains may be rebalanced per assigned width.
+        soft: bool,
+    },
+    /// Functional test applied through multiplexed chip pins: each pattern
+    /// needs `ceil((pi + po) / pins)` tester cycles.
+    Functional {
+        /// Number of functional patterns.
+        patterns: u64,
+        /// Functional input pins of the core.
+        pi: usize,
+        /// Functional output pins of the core.
+        po: usize,
+    },
+    /// Memory BIST: runs autonomously for a fixed cycle count; chip-pin
+    /// cost is the shared BIST tester interface.
+    Bist {
+        /// Total BIST cycles.
+        cycles: u64,
+    },
+}
+
+/// A schedulable test task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestTask {
+    /// Task name (usually `<core>:<kind>`).
+    pub name: String,
+    /// The time model.
+    pub kind: TestKind,
+    /// Control signals needed on chip pins while this task runs.
+    pub controls: Vec<ControlSignal>,
+    /// Fixed data pins needed while active; tasks sharing a
+    /// [`pin_group`](Self::pin_group) pay this once per session.
+    pub fixed_pins: usize,
+    /// Name of the shared pin interface (e.g. the 7-signal memory-BIST
+    /// port of Fig. 2), if any.
+    pub pin_group: Option<String>,
+    /// Power units consumed while running (session sum is capped).
+    pub power: f64,
+}
+
+impl TestTask {
+    /// Creates a scan task. Control signals default to one clock, one
+    /// reset, one SE and one TE for the core; customize `controls` for
+    /// multi-domain cores.
+    #[must_use]
+    pub fn scan(
+        core: &str,
+        patterns: u64,
+        internal_chains: &[usize],
+        inputs: usize,
+        outputs: usize,
+        soft: bool,
+    ) -> Self {
+        TestTask {
+            name: format!("{core}:scan"),
+            kind: TestKind::Scan {
+                patterns,
+                internal_chains: internal_chains.to_vec(),
+                inputs,
+                outputs,
+                soft,
+            },
+            controls: default_controls(core),
+            fixed_pins: 0,
+            pin_group: None,
+            power: 1.0,
+        }
+    }
+
+    /// Creates a functional task (one clock + one TE by default).
+    #[must_use]
+    pub fn functional(core: &str, patterns: u64, pi: usize, po: usize) -> Self {
+        TestTask {
+            name: format!("{core}:func"),
+            kind: TestKind::Functional { patterns, pi, po },
+            controls: vec![
+                ControlSignal::new(core, "ck", ControlClass::Clock { freq_mhz: 100 }),
+                ControlSignal::new(core, "te", ControlClass::TestEnable),
+            ],
+            fixed_pins: 0,
+            pin_group: None,
+            power: 1.0,
+        }
+    }
+
+    /// Creates a BIST task on the shared `mbist` interface (7 pins, the
+    /// Fig. 2 tester port: MBS MSI MBR MRD MSO MBO MBC).
+    #[must_use]
+    pub fn bist(group: &str, cycles: u64) -> Self {
+        TestTask {
+            name: format!("bist:{group}"),
+            kind: TestKind::Bist { cycles },
+            controls: vec![],
+            fixed_pins: 7,
+            pin_group: Some("mbist".to_string()),
+            power: 0.5,
+        }
+    }
+
+    /// Builder-style: replace the control signal list.
+    #[must_use]
+    pub fn with_controls(mut self, controls: Vec<ControlSignal>) -> Self {
+        self.controls = controls;
+        self
+    }
+
+    /// Builder-style: set power.
+    #[must_use]
+    pub fn with_power(mut self, power: f64) -> Self {
+        self.power = power;
+        self
+    }
+
+    /// Minimum data pins this task can run with.
+    #[must_use]
+    pub fn min_pins(&self) -> usize {
+        match &self.kind {
+            TestKind::Scan { .. } => 2, // one TAM wire = si + so pin
+            TestKind::Functional { .. } => 8,
+            TestKind::Bist { .. } => 0, // interface cost is in fixed_pins
+        }
+    }
+
+    /// Largest useful data-pin allocation (more pins stop helping here).
+    #[must_use]
+    pub fn max_pins(&self) -> usize {
+        match &self.kind {
+            TestKind::Scan {
+                internal_chains,
+                inputs,
+                outputs,
+                ..
+            } => {
+                // One wire per internal chain plus boundary-only wires
+                // stop helping beyond the cell counts.
+                let useful = (internal_chains.len() + 2).max(4).min(32);
+                let cap = (inputs + outputs).max(2).min(64);
+                2 * useful.min(cap)
+            }
+            TestKind::Functional { pi, po, .. } => (pi + po).max(8),
+            TestKind::Bist { .. } => 0,
+        }
+    }
+
+    /// Allocation granularity (scan widths grow in wire pairs).
+    #[must_use]
+    pub fn pin_step(&self) -> usize {
+        match &self.kind {
+            TestKind::Scan { .. } => 2,
+            TestKind::Functional { .. } => 1,
+            TestKind::Bist { .. } => 1,
+        }
+    }
+
+    /// Test time in tester cycles with `pins` allocated data pins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pins` is below [`min_pins`](Self::min_pins) for a task
+    /// kind that needs pins.
+    #[must_use]
+    pub fn time(&self, pins: usize) -> u64 {
+        match &self.kind {
+            TestKind::Scan {
+                patterns,
+                internal_chains,
+                inputs,
+                outputs,
+                soft,
+            } => {
+                assert!(pins >= 2, "scan task needs at least one TAM wire");
+                let width = pins / 2;
+                let plan = if *soft {
+                    balance_soft(internal_chains.iter().sum(), *inputs, *outputs, width)
+                } else {
+                    balance_fixed(internal_chains, *inputs, *outputs, width)
+                };
+                plan.test_time(*patterns)
+            }
+            TestKind::Functional { patterns, pi, po } => {
+                assert!(pins > 0, "functional task needs pins");
+                let per = ((pi + po) as u64).div_ceil(pins as u64).max(1);
+                patterns * per
+            }
+            TestKind::Bist { cycles } => *cycles,
+        }
+    }
+
+    /// Shortest achievable time (at max pins).
+    #[must_use]
+    pub fn best_time(&self) -> u64 {
+        self.time(self.max_pins().max(self.min_pins()))
+    }
+}
+
+fn default_controls(core: &str) -> Vec<ControlSignal> {
+    vec![
+        ControlSignal::new(core, "ck", ControlClass::Clock { freq_mhz: 100 }),
+        ControlSignal::new(core, "rst", ControlClass::Reset),
+        ControlSignal::new(core, "se", ControlClass::ScanEnable),
+        ControlSignal::new(core, "te", ControlClass::TestEnable),
+    ]
+}
+
+/// Chip-level scheduling configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipConfig {
+    /// Test-usable pin budget.
+    pub budget: PinBudget,
+    /// Pins permanently taken by the global test interface (`tck`,
+    /// `trst_n`, `test_mode`, `next_session`).
+    pub global_pins: usize,
+    /// Session power cap (sum of active task powers).
+    pub power_limit: f64,
+    /// Maximum number of sessions the controller supports.
+    pub max_sessions: usize,
+    /// Control sharing available to the session-based architecture
+    /// (session-scoped TEs via the controller).
+    pub session_share: SharePolicy,
+    /// Control sharing available to the non-session baseline (no session
+    /// counter: test enables stay per-core and every core's controls
+    /// must be pinned for the whole test).
+    pub static_share: SharePolicy,
+}
+
+impl Default for ChipConfig {
+    /// A DSC-like operating point: the pin budget sits just above what the
+    /// largest functional test needs when controls are session-scoped, and
+    /// just below it when every core's controls are statically pinned —
+    /// the regime in which the paper's observation bites.
+    fn default() -> Self {
+        ChipConfig {
+            budget: PinBudget::with_reserved(285, 2),
+            global_pins: 4,
+            power_limit: 2.2,
+            max_sessions: 4,
+            session_share: SharePolicy::dsc(4),
+            static_share: SharePolicy {
+                te_via_controller: false,
+                ..SharePolicy::dsc(1)
+            },
+        }
+    }
+}
+
+/// A DSC-like task set (Table 1 cores plus a calibrated BIST load) used by
+/// unit tests; the exact calibrated instance for the paper's experiment
+/// lives in `steac-dsc`.
+///
+/// Powers reflect the usual ordering: at-speed functional tests and BIST
+/// are the hungriest, slow-clock scan the tamest.
+#[must_use]
+pub fn dsc_like_tasks() -> Vec<TestTask> {
+    vec![
+        TestTask::scan("usb", 716, &[1629, 78, 293, 45], 221, 104, false).with_power(1.0),
+        TestTask::scan("tv", 229, &[577, 576], 25, 40, false).with_power(0.4),
+        TestTask::functional("tv", 202_673, 25, 40).with_power(1.2),
+        TestTask::functional("jpeg", 235_696, 165, 104).with_power(1.4),
+        TestTask::bist("bank0", 1_300_000).with_power(0.9),
+        TestTask::bist("bank1", 1_300_000).with_power(0.9),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_time_decreases_with_width_for_soft_cores() {
+        let t = TestTask::scan("x", 100, &[1000], 50, 50, true);
+        let narrow = t.time(2);
+        let wide = t.time(8);
+        assert!(wide < narrow, "{wide} !< {narrow}");
+    }
+
+    #[test]
+    fn scan_time_matches_wrapper_model() {
+        let t = TestTask::scan("x", 5, &[10], 2, 3, false);
+        // Width 1: si=12, so=13 -> (1+13)*5+12 = 82 (see wrapper tests).
+        assert_eq!(t.time(2), 82);
+    }
+
+    #[test]
+    fn functional_time_scales_with_pin_multiplexing() {
+        let t = TestTask::functional("jpeg", 1000, 165, 104);
+        // 269 pins through 100 -> 3 cycles per pattern.
+        assert_eq!(t.time(100), 3000);
+        // Full pins -> 1 cycle per pattern.
+        assert_eq!(t.time(269), 1000);
+    }
+
+    #[test]
+    fn bist_time_is_pin_independent() {
+        let t = TestTask::bist("b", 42);
+        assert_eq!(t.time(0), 42);
+        assert_eq!(t.min_pins(), 0);
+        assert_eq!(t.fixed_pins, 7, "Fig. 2 interface is 7 signals");
+    }
+
+    #[test]
+    fn max_pins_bounds_are_consistent() {
+        for t in dsc_like_tasks() {
+            assert!(t.max_pins() >= t.min_pins(), "{}", t.name);
+            let _ = t.best_time();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one TAM wire")]
+    fn scan_with_zero_pins_panics() {
+        let t = TestTask::scan("x", 1, &[1], 1, 1, false);
+        let _ = t.time(0);
+    }
+}

@@ -1,0 +1,565 @@
+//! The simulation engine: levelized 4-value evaluation with clock-edge
+//! detection, asynchronous resets, transparent latches and net forcing
+//! (used for fault injection).
+
+use crate::logic::Logic;
+use crate::SimError;
+use steac_netlist::{combinational_order, CellContents, GateKind, Module, NetId, PortDir};
+
+/// Iteration budget for latch/feedback fixpoints within one settle call.
+const MAX_SETTLE_ITERS: usize = 1024;
+
+/// Gate-level simulator over a flat [`Module`].
+///
+/// The simulator owns per-net values and per-flop state. Clocks are just
+/// nets: after every [`settle`](Simulator::settle) the engine compares each
+/// flop's clock-net value against the previous settled value and captures
+/// on rising edges, so gated clocks, divided clocks and ripple counters
+/// simulate correctly.
+#[derive(Debug, Clone)]
+pub struct Simulator<'m> {
+    module: &'m Module,
+    values: Vec<Logic>,
+    forced: Vec<Option<Logic>>,
+    flop_state: Vec<Logic>,
+    latch_state: Vec<Logic>,
+    prev_ck: Vec<Logic>,
+    initialized: bool,
+    comb_order: Vec<usize>,
+    flops: Vec<usize>,
+    /// Total rising-edge captures performed (statistics).
+    captures: u64,
+}
+
+impl<'m> Simulator<'m> {
+    /// Prepares a simulator for a flat module (no [`CellContents::Inst`]
+    /// cells; flatten hierarchical designs first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Netlist`] if the module has multiple drivers or
+    /// a combinational loop.
+    pub fn new(module: &'m Module) -> Result<Self, SimError> {
+        let order = combinational_order(module)?;
+        let mut flops = Vec::new();
+        for (i, c) in module.cells.iter().enumerate() {
+            if let CellContents::Gate { kind, .. } = &c.contents {
+                if kind.is_flop() {
+                    flops.push(i);
+                }
+            }
+        }
+        Ok(Simulator {
+            module,
+            values: vec![Logic::X; module.nets.len()],
+            forced: vec![None; module.nets.len()],
+            flop_state: vec![Logic::X; module.cells.len()],
+            latch_state: vec![Logic::X; module.cells.len()],
+            prev_ck: vec![Logic::X; module.cells.len()],
+            initialized: false,
+            comb_order: order.iter().map(|c| c.index()).collect(),
+            flops,
+            captures: 0,
+        })
+    }
+
+    /// The module being simulated.
+    #[must_use]
+    pub fn module(&self) -> &Module {
+        self.module
+    }
+
+    /// Number of rising-edge captures performed so far.
+    #[must_use]
+    pub fn capture_count(&self) -> u64 {
+        self.captures
+    }
+
+    /// Sets a net value directly (normally an input-port net). A forced
+    /// net (see [`force`](Simulator::force)) keeps its forced value.
+    pub fn set(&mut self, net: NetId, v: Logic) {
+        self.values[net.index()] = self.forced[net.index()].unwrap_or(v);
+    }
+
+    /// Sets an input by port name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownName`] if no such port exists.
+    pub fn set_by_name(&mut self, name: &str, v: Logic) -> Result<(), SimError> {
+        let port = self
+            .module
+            .port(name)
+            .ok_or_else(|| SimError::UnknownName {
+                name: name.to_string(),
+            })?;
+        let net = port.net;
+        self.set(net, v);
+        Ok(())
+    }
+
+    /// Reads a net value.
+    #[must_use]
+    pub fn get(&self, net: NetId) -> Logic {
+        self.values[net.index()]
+    }
+
+    /// Reads a value by port name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownName`] if no such port exists.
+    pub fn get_by_name(&self, name: &str) -> Result<Logic, SimError> {
+        let port = self
+            .module
+            .port(name)
+            .ok_or_else(|| SimError::UnknownName {
+                name: name.to_string(),
+            })?;
+        Ok(self.values[port.net.index()])
+    }
+
+    /// Forces a net to a value until [`unforce`](Simulator::unforce) — the
+    /// mechanism used for stuck-at fault injection. Takes effect
+    /// immediately and overrides both drivers and [`set`](Simulator::set).
+    pub fn force(&mut self, net: NetId, v: Logic) {
+        self.forced[net.index()] = Some(v);
+        self.values[net.index()] = v;
+    }
+
+    /// Removes a force.
+    pub fn unforce(&mut self, net: NetId) {
+        self.forced[net.index()] = None;
+    }
+
+    /// Reads all output-port values in port order.
+    #[must_use]
+    pub fn outputs(&self) -> Vec<Logic> {
+        self.module
+            .ports_with_dir(PortDir::Output)
+            .map(|p| self.values[p.net.index()])
+            .collect()
+    }
+
+    fn eval_gate(&self, kind: GateKind, inputs: &[NetId], cell_idx: usize) -> Logic {
+        let v = |i: usize| self.values[inputs[i].index()];
+        match kind {
+            GateKind::Inv => v(0).not(),
+            GateKind::Buf => match v(0) {
+                Logic::Z => Logic::X,
+                x => x,
+            },
+            GateKind::Nand2 => v(0).and(v(1)).not(),
+            GateKind::Nand3 => v(0).and(v(1)).and(v(2)).not(),
+            GateKind::Nand4 => v(0).and(v(1)).and(v(2)).and(v(3)).not(),
+            GateKind::Nor2 => v(0).or(v(1)).not(),
+            GateKind::Nor3 => v(0).or(v(1)).or(v(2)).not(),
+            GateKind::And2 => v(0).and(v(1)),
+            GateKind::And3 => v(0).and(v(1)).and(v(2)),
+            GateKind::Or2 => v(0).or(v(1)),
+            GateKind::Or3 => v(0).or(v(1)).or(v(2)),
+            GateKind::Xor2 => v(0).xor(v(1)),
+            GateKind::Xnor2 => v(0).xor(v(1)).not(),
+            GateKind::Mux2 => Logic::mux(v(0), v(1), v(2)),
+            GateKind::Tie0 => Logic::Zero,
+            GateKind::Tie1 => Logic::One,
+            GateKind::Dff | GateKind::DffR | GateKind::Sdff | GateKind::SdffR => {
+                self.flop_state[cell_idx]
+            }
+            GateKind::Latch => self.latch_state[cell_idx],
+            _ => Logic::X,
+        }
+    }
+
+    fn write_net(&mut self, net: NetId, v: Logic) -> bool {
+        let v = self.forced[net.index()].unwrap_or(v);
+        if self.values[net.index()] != v {
+            self.values[net.index()] = v;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// One evaluation sweep; returns whether any net changed.
+    fn sweep(&mut self) -> bool {
+        let mut changed = false;
+        // Apply asynchronous resets and drive flop/latch outputs first.
+        for idx in 0..self.module.cells.len() {
+            if let CellContents::Gate {
+                kind,
+                inputs,
+                output,
+            } = &self.module.cells[idx].contents
+            {
+                match kind {
+                    GateKind::DffR | GateKind::SdffR => {
+                        let rstn = self.values[inputs[inputs.len() - 1].index()];
+                        if rstn == Logic::Zero {
+                            self.flop_state[idx] = Logic::Zero;
+                        } else if !rstn.is_known() && self.flop_state[idx] != Logic::Zero {
+                            self.flop_state[idx] = Logic::X;
+                        }
+                        changed |= self.write_net(*output, self.flop_state[idx]);
+                    }
+                    GateKind::Dff | GateKind::Sdff => {
+                        changed |= self.write_net(*output, self.flop_state[idx]);
+                    }
+                    GateKind::Latch => {
+                        let d = self.values[inputs[0].index()];
+                        let en = self.values[inputs[1].index()];
+                        match en {
+                            Logic::One => self.latch_state[idx] = d,
+                            Logic::Zero => {}
+                            _ => {
+                                if self.latch_state[idx] != d {
+                                    self.latch_state[idx] = Logic::X;
+                                }
+                            }
+                        }
+                        changed |= self.write_net(*output, self.latch_state[idx]);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Combinational gates in topological order.
+        for oi in 0..self.comb_order.len() {
+            let idx = self.comb_order[oi];
+            if let CellContents::Gate {
+                kind,
+                inputs,
+                output,
+            } = &self.module.cells[idx].contents
+            {
+                let v = self.eval_gate(*kind, inputs, idx);
+                changed |= self.write_net(*output, v);
+            }
+        }
+        changed
+    }
+
+    /// Evaluates the netlist to a fixpoint, then performs rising-edge
+    /// captures on flip-flops, repeating until globally stable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unstable`] if a feedback structure oscillates.
+    pub fn settle(&mut self) -> Result<(), SimError> {
+        for _ in 0..MAX_SETTLE_ITERS {
+            // Inner fixpoint: combinational + latches.
+            let mut stable = false;
+            for _ in 0..MAX_SETTLE_ITERS {
+                if !self.sweep() {
+                    stable = true;
+                    break;
+                }
+            }
+            if !stable {
+                return Err(SimError::Unstable {
+                    iterations: MAX_SETTLE_ITERS,
+                });
+            }
+            // Edge detection.
+            let mut any_capture = false;
+            for fi in 0..self.flops.len() {
+                let idx = self.flops[fi];
+                if let CellContents::Gate { kind, inputs, .. } =
+                    &self.module.cells[idx].contents
+                {
+                    let ck_pin = match kind {
+                        GateKind::Dff | GateKind::DffR => 1,
+                        GateKind::Sdff | GateKind::SdffR => 3,
+                        _ => unreachable!(),
+                    };
+                    let now = self.values[inputs[ck_pin].index()];
+                    let prev = self.prev_ck[idx];
+                    let capture = if !self.initialized {
+                        None
+                    } else if prev == Logic::Zero && now == Logic::One {
+                        // True rising edge: sample D (or SI under scan).
+                        let d = self.values[inputs[0].index()];
+                        let next = match kind {
+                            GateKind::Dff | GateKind::DffR => d,
+                            GateKind::Sdff | GateKind::SdffR => {
+                                let si = self.values[inputs[1].index()];
+                                let se = self.values[inputs[2].index()];
+                                Logic::mux(d, si, se)
+                            }
+                            _ => unreachable!(),
+                        };
+                        Some(next)
+                    } else if (prev == Logic::Zero && !now.is_known())
+                        || (!prev.is_known() && now == Logic::One)
+                    {
+                        Some(Logic::X)
+                    } else {
+                        None
+                    };
+                    if prev != now {
+                        self.prev_ck[idx] = now;
+                    }
+                    if let Some(next) = capture {
+                        // Async reset dominates the clock.
+                        let reset_active = matches!(kind, GateKind::DffR | GateKind::SdffR)
+                            && self.values[inputs[inputs.len() - 1].index()] == Logic::Zero;
+                        if !reset_active && self.flop_state[idx] != next {
+                            self.flop_state[idx] = next;
+                            any_capture = true;
+                        }
+                        self.captures += 1;
+                    }
+                }
+            }
+            if !self.initialized {
+                self.initialized = true;
+                // Seed prev_ck with the settled values so the first real
+                // clock pulse is a clean 0->1 edge.
+                continue;
+            }
+            if !any_capture {
+                return Ok(());
+            }
+        }
+        Err(SimError::Unstable {
+            iterations: MAX_SETTLE_ITERS,
+        })
+    }
+
+    /// Applies a full clock cycle on `clock`: drive 0, settle, drive 1,
+    /// settle (captures happen here), drive 0, settle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::Unstable`].
+    pub fn clock_cycle(&mut self, clock: NetId) -> Result<(), SimError> {
+        self.set(clock, Logic::Zero);
+        self.settle()?;
+        self.set(clock, Logic::One);
+        self.settle()?;
+        self.set(clock, Logic::Zero);
+        self.settle()
+    }
+
+    /// [`clock_cycle`](Self::clock_cycle) by port name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownName`] for a bad name and propagates
+    /// [`SimError::Unstable`].
+    pub fn clock_cycle_by_name(&mut self, name: &str) -> Result<(), SimError> {
+        let net = self
+            .module
+            .port(name)
+            .ok_or_else(|| SimError::UnknownName {
+                name: name.to_string(),
+            })?
+            .net;
+        self.clock_cycle(net)
+    }
+
+    /// Applies one clock cycle on several clocks simultaneously (multi
+    /// clock-domain step): all low, settle, all high, settle, all low.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::Unstable`].
+    pub fn clock_cycle_multi(&mut self, clocks: &[NetId]) -> Result<(), SimError> {
+        for &c in clocks {
+            self.set(c, Logic::Zero);
+        }
+        self.settle()?;
+        for &c in clocks {
+            self.set(c, Logic::One);
+        }
+        self.settle()?;
+        for &c in clocks {
+            self.set(c, Logic::Zero);
+        }
+        self.settle()
+    }
+
+    /// Resets all state (net values, flop/latch state) to `X`.
+    pub fn reset_to_x(&mut self) {
+        self.values.fill(Logic::X);
+        self.flop_state.fill(Logic::X);
+        self.latch_state.fill(Logic::X);
+        self.prev_ck.fill(Logic::X);
+        self.initialized = false;
+        self.captures = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steac_netlist::NetlistBuilder;
+
+    #[test]
+    fn combinational_evaluation() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.gate(GateKind::Nand2, &[a, c]);
+        b.output("y", y);
+        let m = b.finish().unwrap();
+        let mut sim = Simulator::new(&m).unwrap();
+        sim.set_by_name("a", Logic::One).unwrap();
+        sim.set_by_name("b", Logic::One).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.get_by_name("y").unwrap(), Logic::Zero);
+        sim.set_by_name("b", Logic::Zero).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.get_by_name("y").unwrap(), Logic::One);
+    }
+
+    #[test]
+    fn dff_captures_on_rising_edge_only() {
+        let mut b = NetlistBuilder::new("m");
+        let d = b.input("d");
+        let ck = b.input("ck");
+        let q = b.gate(GateKind::Dff, &[d, ck]);
+        b.output("q", q);
+        let m = b.finish().unwrap();
+        let mut sim = Simulator::new(&m).unwrap();
+        sim.set_by_name("d", Logic::One).unwrap();
+        sim.set_by_name("ck", Logic::Zero).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.get_by_name("q").unwrap(), Logic::X); // not clocked yet
+        sim.clock_cycle_by_name("ck").unwrap();
+        assert_eq!(sim.get_by_name("q").unwrap(), Logic::One);
+        // Falling edge must not capture.
+        sim.set_by_name("d", Logic::Zero).unwrap();
+        sim.set_by_name("ck", Logic::Zero).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.get_by_name("q").unwrap(), Logic::One);
+    }
+
+    #[test]
+    fn async_reset_dominates() {
+        let mut b = NetlistBuilder::new("m");
+        let d = b.input("d");
+        let ck = b.input("ck");
+        let rstn = b.input("rstn");
+        let q = b.gate(GateKind::DffR, &[d, ck, rstn]);
+        b.output("q", q);
+        let m = b.finish().unwrap();
+        let mut sim = Simulator::new(&m).unwrap();
+        sim.set_by_name("d", Logic::One).unwrap();
+        sim.set_by_name("rstn", Logic::Zero).unwrap();
+        sim.clock_cycle_by_name("ck").unwrap();
+        assert_eq!(sim.get_by_name("q").unwrap(), Logic::Zero);
+        sim.set_by_name("rstn", Logic::One).unwrap();
+        sim.clock_cycle_by_name("ck").unwrap();
+        assert_eq!(sim.get_by_name("q").unwrap(), Logic::One);
+    }
+
+    #[test]
+    fn ripple_counter_divides_clock() {
+        // Two DFFRs in ripple configuration: q1 clocks on falling q0 via
+        // inverter. After 4 input cycles, q1 has toggled twice.
+        let mut b = NetlistBuilder::new("m");
+        let ck = b.input("ck");
+        let rstn = b.input("rstn");
+        let q0 = b.net("q0");
+        let d0 = b.gate(GateKind::Inv, &[q0]);
+        b.gate_into(GateKind::DffR, &[d0, ck, rstn], q0);
+        let ck1 = b.gate(GateKind::Inv, &[q0]);
+        let q1 = b.net("q1");
+        let d1 = b.gate(GateKind::Inv, &[q1]);
+        b.gate_into(GateKind::DffR, &[d1, ck1, rstn], q1);
+        b.output("q0", q0);
+        b.output("q1", q1);
+        let m = b.finish().unwrap();
+        let mut sim = Simulator::new(&m).unwrap();
+        sim.set_by_name("rstn", Logic::Zero).unwrap();
+        sim.set_by_name("ck", Logic::Zero).unwrap();
+        sim.settle().unwrap();
+        sim.set_by_name("rstn", Logic::One).unwrap();
+        sim.settle().unwrap();
+        let mut seq = Vec::new();
+        for _ in 0..4 {
+            sim.clock_cycle_by_name("ck").unwrap();
+            seq.push((
+                sim.get_by_name("q0").unwrap(),
+                sim.get_by_name("q1").unwrap(),
+            ));
+        }
+        use Logic::{One, Zero};
+        assert_eq!(
+            seq,
+            vec![(One, Zero), (Zero, One), (One, One), (Zero, Zero)]
+        );
+    }
+
+    #[test]
+    fn scan_flop_shifts_under_se() {
+        let mut b = NetlistBuilder::new("m");
+        let d = b.input("d");
+        let si = b.input("si");
+        let se = b.input("se");
+        let ck = b.input("ck");
+        let q = b.gate(GateKind::Sdff, &[d, si, se, ck]);
+        b.output("q", q);
+        let m = b.finish().unwrap();
+        let mut sim = Simulator::new(&m).unwrap();
+        sim.set_by_name("d", Logic::Zero).unwrap();
+        sim.set_by_name("si", Logic::One).unwrap();
+        sim.set_by_name("se", Logic::One).unwrap();
+        sim.clock_cycle_by_name("ck").unwrap();
+        assert_eq!(sim.get_by_name("q").unwrap(), Logic::One); // shifted si
+        sim.set_by_name("se", Logic::Zero).unwrap();
+        sim.clock_cycle_by_name("ck").unwrap();
+        assert_eq!(sim.get_by_name("q").unwrap(), Logic::Zero); // captured d
+    }
+
+    #[test]
+    fn forced_net_overrides_driver() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a");
+        let y = b.gate(GateKind::Buf, &[a]);
+        b.output("y", y);
+        let m = b.finish().unwrap();
+        let mut sim = Simulator::new(&m).unwrap();
+        let y_net = m.port("y").unwrap().net;
+        sim.force(y_net, Logic::One);
+        sim.set_by_name("a", Logic::Zero).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.get_by_name("y").unwrap(), Logic::One);
+        sim.unforce(y_net);
+        sim.settle().unwrap();
+        assert_eq!(sim.get_by_name("y").unwrap(), Logic::Zero);
+    }
+
+    #[test]
+    fn latch_is_transparent_when_enabled() {
+        let mut b = NetlistBuilder::new("m");
+        let d = b.input("d");
+        let en = b.input("en");
+        let q = b.gate(GateKind::Latch, &[d, en]);
+        b.output("q", q);
+        let m = b.finish().unwrap();
+        let mut sim = Simulator::new(&m).unwrap();
+        sim.set_by_name("d", Logic::One).unwrap();
+        sim.set_by_name("en", Logic::One).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.get_by_name("q").unwrap(), Logic::One);
+        sim.set_by_name("en", Logic::Zero).unwrap();
+        sim.set_by_name("d", Logic::Zero).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.get_by_name("q").unwrap(), Logic::One); // held
+    }
+
+    #[test]
+    fn unknown_pin_is_an_error() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a");
+        b.output("y", a);
+        let m = b.finish().unwrap();
+        let mut sim = Simulator::new(&m).unwrap();
+        assert!(matches!(
+            sim.set_by_name("bogus", Logic::One),
+            Err(SimError::UnknownName { .. })
+        ));
+    }
+}

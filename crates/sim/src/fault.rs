@@ -1,0 +1,219 @@
+//! Single-stuck-at fault simulation.
+//!
+//! Used to check that generated DFT structures are themselves testable and
+//! to grade scan/functional pattern sets in the examples and benches. The
+//! memory-specific fault models (SAF/TF/CF/...) live in `steac-membist`;
+//! this module covers the logic side.
+
+use crate::engine::Simulator;
+use crate::logic::Logic;
+use crate::SimError;
+use std::fmt;
+use steac_netlist::{Module, NetId};
+
+/// Stuck-at polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StuckAt {
+    /// Stuck-at-0.
+    Zero,
+    /// Stuck-at-1.
+    One,
+}
+
+impl StuckAt {
+    /// The logic value the fault forces.
+    #[must_use]
+    pub fn value(self) -> Logic {
+        match self {
+            StuckAt::Zero => Logic::Zero,
+            StuckAt::One => Logic::One,
+        }
+    }
+}
+
+impl fmt::Display for StuckAt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StuckAt::Zero => f.write_str("SA0"),
+            StuckAt::One => f.write_str("SA1"),
+        }
+    }
+}
+
+/// A single stuck-at fault on a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fault {
+    /// Faulty net.
+    pub net: NetId,
+    /// Polarity.
+    pub stuck: StuckAt,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.stuck, self.net)
+    }
+}
+
+/// Enumerates the collapsed-free fault list: every net stuck-at-0 and
+/// stuck-at-1.
+#[must_use]
+pub fn enumerate_faults(m: &Module) -> Vec<Fault> {
+    let mut v = Vec::with_capacity(m.nets.len() * 2);
+    for i in 0..m.nets.len() {
+        v.push(Fault {
+            net: NetId(i as u32),
+            stuck: StuckAt::Zero,
+        });
+        v.push(Fault {
+            net: NetId(i as u32),
+            stuck: StuckAt::One,
+        });
+    }
+    v
+}
+
+/// Result of grading a pattern set against a fault list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageReport {
+    /// Number of faults simulated.
+    pub total: usize,
+    /// Number of detected faults.
+    pub detected: usize,
+    /// Faults that escaped, for diagnosis.
+    pub undetected: Vec<Fault>,
+}
+
+impl CoverageReport {
+    /// Fault coverage in percent (100 for an empty fault list).
+    #[must_use]
+    pub fn coverage_percent(&self) -> f64 {
+        if self.total == 0 {
+            100.0
+        } else {
+            100.0 * self.detected as f64 / self.total as f64
+        }
+    }
+}
+
+impl fmt::Display for CoverageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} faults detected ({:.2}%)",
+            self.detected,
+            self.total,
+            self.coverage_percent()
+        )
+    }
+}
+
+/// Serial fault simulation.
+///
+/// `run_test` drives the simulator through the complete test (set inputs,
+/// clock, scan, ...) and returns the stream of observed values (whatever
+/// the test observes: PO samples, scan-out bits...). The fault is detected
+/// if any position of the faulty response differs from the good response
+/// at a position where the good value is known.
+///
+/// # Errors
+///
+/// Propagates errors from `run_test`; the good-machine run is performed
+/// first.
+pub fn fault_coverage<F>(
+    m: &Module,
+    faults: &[Fault],
+    mut run_test: F,
+) -> Result<CoverageReport, SimError>
+where
+    F: FnMut(&mut Simulator<'_>) -> Result<Vec<Logic>, SimError>,
+{
+    let mut good_sim = Simulator::new(m)?;
+    let good = run_test(&mut good_sim)?;
+    let mut detected = 0usize;
+    let mut undetected = Vec::new();
+    for &fault in faults {
+        let mut sim = Simulator::new(m)?;
+        sim.force(fault.net, fault.stuck.value());
+        let observed = run_test(&mut sim)?;
+        let diff = good.iter().zip(observed.iter()).any(|(g, o)| {
+            g.is_known() && o.is_known() && g != o
+        });
+        if diff {
+            detected += 1;
+        } else {
+            undetected.push(fault);
+        }
+    }
+    Ok(CoverageReport {
+        total: faults.len(),
+        detected,
+        undetected,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steac_netlist::{GateKind, NetlistBuilder};
+
+    /// Exhaustive 2-input test of an AND gate detects every stuck-at.
+    #[test]
+    fn exhaustive_patterns_give_full_coverage_on_and2() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.gate(GateKind::And2, &[a, c]);
+        b.output("y", y);
+        let m = b.finish().unwrap();
+        let faults = enumerate_faults(&m);
+        let rep = fault_coverage(&m, &faults, |sim| {
+            let mut obs = Vec::new();
+            for (va, vb) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                sim.set_by_name("a", Logic::from(va == 1))?;
+                sim.set_by_name("b", Logic::from(vb == 1))?;
+                sim.settle()?;
+                obs.push(sim.get_by_name("y")?);
+            }
+            Ok(obs)
+        })
+        .unwrap();
+        assert_eq!(rep.coverage_percent(), 100.0, "{rep}");
+    }
+
+    /// A single pattern cannot catch everything on an XOR cone.
+    #[test]
+    fn single_pattern_leaves_escapes() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.gate(GateKind::Xor2, &[a, c]);
+        b.output("y", y);
+        let m = b.finish().unwrap();
+        let faults = enumerate_faults(&m);
+        let rep = fault_coverage(&m, &faults, |sim| {
+            sim.set_by_name("a", Logic::One)?;
+            sim.set_by_name("b", Logic::Zero)?;
+            sim.settle()?;
+            Ok(vec![sim.get_by_name("y")?])
+        })
+        .unwrap();
+        assert!(rep.detected > 0);
+        assert!(rep.detected < rep.total, "{rep}");
+        assert_eq!(rep.undetected.len(), rep.total - rep.detected);
+    }
+
+    #[test]
+    fn coverage_of_empty_fault_list_is_100() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a");
+        b.output("y", a);
+        let m = b.finish().unwrap();
+        let rep = fault_coverage(&m, &[], |sim| {
+            sim.settle()?;
+            Ok(vec![])
+        })
+        .unwrap();
+        assert_eq!(rep.coverage_percent(), 100.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Four-value gate-level logic simulation for the STEAC platform.
+//!
+//! The paper applies cycle-based test patterns from an external ATE to the
+//! fabricated DSC chip. In this reproduction the [`Simulator`] plays the
+//! role of the silicon + ATE: it evaluates flattened
+//! [`steac_netlist::Module`]s under 0/1/X/Z logic, detects clock edges
+//! (including gated and divided clocks), applies scan shift/capture
+//! sequences, and measures single-stuck-at fault coverage of pattern sets.
+//!
+//! # Example
+//!
+//! ```
+//! use steac_netlist::{NetlistBuilder, GateKind};
+//! use steac_sim::{Logic, Simulator};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = NetlistBuilder::new("toggler");
+//! let ck = b.input("ck");
+//! let rstn = b.input("rstn");
+//! let q = b.net("q");
+//! let d = b.gate(GateKind::Inv, &[q]);
+//! b.gate_into(GateKind::DffR, &[d, ck, rstn], q);
+//! b.output("q", q);
+//! let m = b.finish()?;
+//!
+//! let mut sim = Simulator::new(&m)?;
+//! sim.set_by_name("rstn", Logic::Zero)?;
+//! sim.settle()?;
+//! sim.set_by_name("rstn", Logic::One)?;
+//! sim.clock_cycle_by_name("ck")?;
+//! assert_eq!(sim.get_by_name("q")?, Logic::One);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod engine;
+pub mod fault;
+pub mod logic;
+pub mod scan;
+
+pub use engine::Simulator;
+pub use fault::{enumerate_faults, fault_coverage, CoverageReport, Fault, StuckAt};
+pub use logic::Logic;
+pub use scan::ScanPorts;
+
+use std::fmt;
+
+/// Errors produced by simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A referenced pin/net name does not exist in the module.
+    UnknownName {
+        /// The missing name.
+        name: String,
+    },
+    /// The value of an output net never stabilised (oscillation).
+    Unstable {
+        /// Iteration budget that was exhausted.
+        iterations: usize,
+    },
+    /// The underlying netlist is malformed.
+    Netlist(steac_netlist::NetlistError),
+    /// A vector string had the wrong length for the pin set.
+    VectorLength {
+        /// Expected number of pin characters.
+        expected: usize,
+        /// Supplied number.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownName { name } => write!(f, "unknown pin or net `{name}`"),
+            SimError::Unstable { iterations } => {
+                write!(f, "netlist did not stabilise after {iterations} iterations")
+            }
+            SimError::Netlist(e) => write!(f, "netlist error: {e}"),
+            SimError::VectorLength { expected, got } => {
+                write!(f, "vector has {got} characters, pin list has {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<steac_netlist::NetlistError> for SimError {
+    fn from(e: steac_netlist::NetlistError) -> Self {
+        SimError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_error_display() {
+        let e = SimError::UnknownName {
+            name: "ck".to_string(),
+        };
+        assert!(e.to_string().contains("ck"));
+    }
+
+    #[test]
+    fn netlist_error_is_source() {
+        use std::error::Error as _;
+        let e = SimError::Netlist(steac_netlist::NetlistError::DuplicateName {
+            name: "x".to_string(),
+        });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,299 @@
+//! Abstract syntax tree for the STIL subset.
+
+use std::fmt;
+
+/// Direction of a signal as declared in the `Signals` block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalDir {
+    /// `In`
+    In,
+    /// `Out`
+    Out,
+    /// `InOut`
+    InOut,
+}
+
+impl fmt::Display for SignalDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignalDir::In => f.write_str("In"),
+            SignalDir::Out => f.write_str("Out"),
+            SignalDir::InOut => f.write_str("InOut"),
+        }
+    }
+}
+
+/// One declared signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signal {
+    /// Signal name.
+    pub name: String,
+    /// Direction.
+    pub dir: SignalDir,
+    /// `ScanIn` attribute present in the signal's brace block.
+    pub scan_in: bool,
+    /// `ScanOut` attribute present in the signal's brace block.
+    pub scan_out: bool,
+}
+
+impl Signal {
+    /// A plain signal without scan attributes.
+    #[must_use]
+    pub fn new(name: impl Into<String>, dir: SignalDir) -> Self {
+        Signal {
+            name: name.into(),
+            dir,
+            scan_in: false,
+            scan_out: false,
+        }
+    }
+}
+
+/// A named group of signals (`SignalGroups` entry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignalGroup {
+    /// Group name.
+    pub name: String,
+    /// Member signal names, in declaration order.
+    pub signals: Vec<String>,
+}
+
+/// One `ScanChain` entry of a `ScanStructures` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanChain {
+    /// Chain name.
+    pub name: String,
+    /// `ScanLength`: number of scan cells.
+    pub length: usize,
+    /// `ScanIn` signal name.
+    pub scan_in: String,
+    /// `ScanOut` signal name.
+    pub scan_out: String,
+    /// Optional `ScanEnable` signal name.
+    pub scan_enable: Option<String>,
+    /// Optional `ScanClock` signal name.
+    pub scan_clock: Option<String>,
+}
+
+/// One event of a waveform: `(time in ns, waveform character)`.
+///
+/// Waveform characters follow STIL conventions: `D` (drive low), `U`
+/// (drive high), `Z` (release), `P` (pulse), `L`/`H`/`X` (compare low /
+/// high / don't-care).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaveEvent {
+    /// Event time within the period, in nanoseconds.
+    pub time_ns: u32,
+    /// Event character.
+    pub event: char,
+}
+
+/// A `WaveformTable` inside `Timing`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaveformTable {
+    /// Table name.
+    pub name: String,
+    /// Tester period in nanoseconds.
+    pub period_ns: u32,
+    /// Per-signal waveforms: `(signal or group name, WFC label, events)`.
+    pub waveforms: Vec<(String, char, Vec<WaveEvent>)>,
+}
+
+/// A pattern statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternStmt {
+    /// `W table;` — select the active waveform table.
+    Waveform(String),
+    /// `C { sig=data; ... }` — condition (background) values.
+    Condition(Vec<(String, String)>),
+    /// `V { sig=data; ... }` — one tester cycle.
+    Vector(Vec<(String, String)>),
+    /// `Call proc { sig=data; ... }` — invoke a procedure with data
+    /// substitutions (the classic `load_unload` scan call).
+    Call {
+        /// Procedure name.
+        proc: String,
+        /// Arguments: `(signal, data string)`.
+        args: Vec<(String, String)>,
+    },
+    /// `Shift { ... }` — repeated application of the body, once per scan
+    /// bit (inside procedures).
+    Shift(Vec<PatternStmt>),
+    /// `Loop n { ... }` — repeat the body `n` times.
+    Loop(u64, Vec<PatternStmt>),
+}
+
+impl PatternStmt {
+    /// Number of tester cycles this statement expands to, given a scan
+    /// `shift_length` used for `Shift` bodies and a resolver for `Call`
+    /// cycle counts.
+    #[must_use]
+    pub fn cycle_count(&self, shift_length: u64, call_cycles: &dyn Fn(&str) -> u64) -> u64 {
+        match self {
+            PatternStmt::Waveform(_) | PatternStmt::Condition(_) => 0,
+            PatternStmt::Vector(_) => 1,
+            PatternStmt::Call { proc, .. } => call_cycles(proc),
+            PatternStmt::Shift(body) => {
+                let per: u64 = body
+                    .iter()
+                    .map(|s| s.cycle_count(shift_length, call_cycles))
+                    .sum();
+                per * shift_length
+            }
+            PatternStmt::Loop(n, body) => {
+                let per: u64 = body
+                    .iter()
+                    .map(|s| s.cycle_count(shift_length, call_cycles))
+                    .sum();
+                per * n
+            }
+        }
+    }
+}
+
+/// A named procedure (`Procedures` entry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Procedure {
+    /// Procedure name.
+    pub name: String,
+    /// Body statements.
+    pub stmts: Vec<PatternStmt>,
+}
+
+/// A `Pattern` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    /// Pattern block name.
+    pub name: String,
+    /// Statements in order.
+    pub stmts: Vec<PatternStmt>,
+}
+
+/// A parsed STIL file.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StilFile {
+    /// Version string from `STIL x.y;` (e.g. `"1.0"`).
+    pub version: String,
+    /// `Title` from the header, if present.
+    pub title: Option<String>,
+    /// `Date` from the header, if present.
+    pub date: Option<String>,
+    /// `Source` from the header, if present.
+    pub source: Option<String>,
+    /// Declared signals.
+    pub signals: Vec<Signal>,
+    /// Declared signal groups.
+    pub signal_groups: Vec<SignalGroup>,
+    /// Scan chains.
+    pub scan_chains: Vec<ScanChain>,
+    /// Waveform tables (across all `Timing` blocks).
+    pub waveform_tables: Vec<WaveformTable>,
+    /// Pattern bursts: `(name, pattern names)`.
+    pub pattern_bursts: Vec<(String, Vec<String>)>,
+    /// Pattern execs: `(timing name, burst name)`.
+    pub pattern_execs: Vec<(Option<String>, String)>,
+    /// Procedures.
+    pub procedures: Vec<Procedure>,
+    /// Pattern blocks.
+    pub patterns: Vec<Pattern>,
+}
+
+impl StilFile {
+    /// Looks up a signal by name.
+    #[must_use]
+    pub fn signal(&self, name: &str) -> Option<&Signal> {
+        self.signals.iter().find(|s| s.name == name)
+    }
+
+    /// Looks up a signal group by name.
+    #[must_use]
+    pub fn group(&self, name: &str) -> Option<&SignalGroup> {
+        self.signal_groups.iter().find(|g| g.name == name)
+    }
+
+    /// Looks up a procedure by name.
+    #[must_use]
+    pub fn procedure(&self, name: &str) -> Option<&Procedure> {
+        self.procedures.iter().find(|p| p.name == name)
+    }
+
+    /// The longest scan chain length (0 if no scan).
+    #[must_use]
+    pub fn max_scan_length(&self) -> usize {
+        self.scan_chains.iter().map(|c| c.length).max().unwrap_or(0)
+    }
+
+    /// Total tester cycles of all pattern blocks, expanding `Shift` bodies
+    /// with the longest chain length and `Call`s with their procedure's
+    /// cycle count.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        let shift_len = self.max_scan_length() as u64;
+        let call_cycles = |name: &str| -> u64 {
+            self.procedure(name)
+                .map(|p| {
+                    p.stmts
+                        .iter()
+                        .map(|s| s.cycle_count(shift_len, &|_| 0))
+                        .sum()
+                })
+                .unwrap_or(0)
+        };
+        self.patterns
+            .iter()
+            .flat_map(|p| &p.stmts)
+            .map(|s| s.cycle_count(shift_len, &call_cycles))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_count_vector_and_loop() {
+        let v = PatternStmt::Vector(vec![]);
+        assert_eq!(v.cycle_count(0, &|_| 0), 1);
+        let l = PatternStmt::Loop(5, vec![PatternStmt::Vector(vec![])]);
+        assert_eq!(l.cycle_count(0, &|_| 0), 5);
+    }
+
+    #[test]
+    fn cycle_count_shift_scales_with_chain() {
+        let s = PatternStmt::Shift(vec![PatternStmt::Vector(vec![])]);
+        assert_eq!(s.cycle_count(577, &|_| 0), 577);
+    }
+
+    #[test]
+    fn total_cycles_resolves_calls() {
+        let mut f = StilFile::default();
+        f.scan_chains.push(ScanChain {
+            name: "c0".to_string(),
+            length: 10,
+            scan_in: "si".to_string(),
+            scan_out: "so".to_string(),
+            scan_enable: None,
+            scan_clock: None,
+        });
+        f.procedures.push(Procedure {
+            name: "load_unload".to_string(),
+            stmts: vec![
+                PatternStmt::Vector(vec![]),
+                PatternStmt::Shift(vec![PatternStmt::Vector(vec![])]),
+            ],
+        });
+        f.patterns.push(Pattern {
+            name: "p".to_string(),
+            stmts: vec![
+                PatternStmt::Call {
+                    proc: "load_unload".to_string(),
+                    args: vec![],
+                },
+                PatternStmt::Vector(vec![]),
+            ],
+        });
+        // Call = 1 + 10 cycles, plus 1 vector.
+        assert_eq!(f.total_cycles(), 12);
+    }
+}

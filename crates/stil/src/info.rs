@@ -1,0 +1,363 @@
+//! Core test information extraction — the record the paper's Table 1
+//! reports per core (TI, TO, PI, PO, scan chains and lengths, pattern
+//! counts) and the input to STEAC's Core Test Scheduler.
+//!
+//! # Conventions
+//!
+//! STIL itself does not classify pins into "test" and "functional"; ATPG
+//! flows encode this in signal groups. The STEAC platform uses the
+//! well-known group names of [`WellKnownGroups`]: `clocks`, `resets`,
+//! `scan_enables`, `test_enables`, `pi`, `po`. The Table 1 arithmetic is
+//! then:
+//!
+//! * `TI` = clocks + resets + scan enables + test enables + *dedicated*
+//!   scan-in pins (scan-ins that are not shared with functional `pi`),
+//! * `TO` = *dedicated* scan-out pins (the paper's TV encoder has two
+//!   chains but `TO = 1` because one chain shares its output with a
+//!   functional output),
+//! * `PI`/`PO` = the functional pin groups.
+
+use crate::ast::{PatternStmt, StilFile};
+use crate::StilError;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Names of the signal groups the platform understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WellKnownGroups;
+
+impl WellKnownGroups {
+    /// Clock pins group.
+    pub const CLOCKS: &'static str = "clocks";
+    /// Reset pins group.
+    pub const RESETS: &'static str = "resets";
+    /// Scan-enable pins group.
+    pub const SCAN_ENABLES: &'static str = "scan_enables";
+    /// Test-enable / test-mode pins group.
+    pub const TEST_ENABLES: &'static str = "test_enables";
+    /// Functional inputs group.
+    pub const PI: &'static str = "pi";
+    /// Functional outputs group.
+    pub const PO: &'static str = "po";
+}
+
+/// Per-core test information (one row of the paper's Table 1).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CoreTestInfo {
+    /// Core name.
+    pub name: String,
+    /// Dedicated test inputs (TI).
+    pub test_inputs: usize,
+    /// Dedicated test outputs (TO).
+    pub test_outputs: usize,
+    /// Functional inputs (PI).
+    pub functional_inputs: usize,
+    /// Functional outputs (PO).
+    pub functional_outputs: usize,
+    /// Scan chain lengths, in declaration order.
+    pub scan_chains: Vec<usize>,
+    /// Number of scan test patterns.
+    pub scan_patterns: u64,
+    /// Number of functional test patterns (tester cycles of functional
+    /// vectors).
+    pub functional_patterns: u64,
+    /// Clock pin names.
+    pub clocks: Vec<String>,
+    /// Reset pin names.
+    pub resets: Vec<String>,
+    /// Scan-enable pin names.
+    pub scan_enables: Vec<String>,
+    /// Test-enable pin names.
+    pub test_enables: Vec<String>,
+    /// Scan-in pin names (per chain, deduplicated).
+    pub scan_in_pins: Vec<String>,
+    /// Scan-out pin names (per chain, deduplicated).
+    pub scan_out_pins: Vec<String>,
+    /// Scan-out pins shared with functional outputs.
+    pub shared_scan_outs: usize,
+    /// Scan-in pins shared with functional inputs.
+    pub shared_scan_ins: usize,
+}
+
+impl CoreTestInfo {
+    /// Extracts the record from a parsed STIL file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StilError::Unresolved`] if a scan chain references a
+    /// signal that is not declared.
+    pub fn from_stil(core_name: &str, f: &StilFile) -> Result<Self, StilError> {
+        let group_members = |g: &str| -> Vec<String> {
+            f.group(g).map(|g| g.signals.clone()).unwrap_or_default()
+        };
+        let clocks = group_members(WellKnownGroups::CLOCKS);
+        let resets = group_members(WellKnownGroups::RESETS);
+        let scan_enables = group_members(WellKnownGroups::SCAN_ENABLES);
+        let test_enables = group_members(WellKnownGroups::TEST_ENABLES);
+        let pi: BTreeSet<String> = group_members(WellKnownGroups::PI).into_iter().collect();
+        let po: BTreeSet<String> = group_members(WellKnownGroups::PO).into_iter().collect();
+
+        let mut scan_in_pins: Vec<String> = Vec::new();
+        let mut scan_out_pins: Vec<String> = Vec::new();
+        for chain in &f.scan_chains {
+            for pin in [&chain.scan_in, &chain.scan_out] {
+                if !pin.is_empty() && f.signal(pin).is_none() {
+                    return Err(StilError::Unresolved {
+                        name: pin.clone(),
+                        context: format!("ScanChain \"{}\"", chain.name),
+                    });
+                }
+            }
+            if !scan_in_pins.contains(&chain.scan_in) {
+                scan_in_pins.push(chain.scan_in.clone());
+            }
+            if !scan_out_pins.contains(&chain.scan_out) {
+                scan_out_pins.push(chain.scan_out.clone());
+            }
+        }
+        let shared_scan_ins = scan_in_pins.iter().filter(|p| pi.contains(*p)).count();
+        let shared_scan_outs = scan_out_pins.iter().filter(|p| po.contains(*p)).count();
+
+        let dedicated_scan_ins = scan_in_pins.len() - shared_scan_ins;
+        let dedicated_scan_outs = scan_out_pins.len() - shared_scan_outs;
+
+        let test_inputs = clocks.len()
+            + resets.len()
+            + scan_enables.len()
+            + test_enables.len()
+            + dedicated_scan_ins;
+
+        let (scan_patterns, functional_patterns) = count_patterns(f);
+
+        Ok(CoreTestInfo {
+            name: core_name.to_string(),
+            test_inputs,
+            test_outputs: dedicated_scan_outs,
+            functional_inputs: pi.len(),
+            functional_outputs: po.len(),
+            scan_chains: f.scan_chains.iter().map(|c| c.length).collect(),
+            scan_patterns,
+            functional_patterns,
+            clocks,
+            resets,
+            scan_enables,
+            test_enables,
+            scan_in_pins,
+            scan_out_pins,
+            shared_scan_outs,
+            shared_scan_ins,
+        })
+    }
+
+    /// `true` if the core has scan chains.
+    #[must_use]
+    pub fn has_scan(&self) -> bool {
+        !self.scan_chains.is_empty()
+    }
+
+    /// Longest internal scan chain (0 without scan).
+    #[must_use]
+    pub fn max_chain(&self) -> usize {
+        self.scan_chains.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Sum of all scan chain lengths — the number of scan cells, which is
+    /// what soft-core rebalancing redistributes.
+    #[must_use]
+    pub fn total_scan_cells(&self) -> usize {
+        self.scan_chains.iter().sum()
+    }
+
+    /// Total control pins (clocks + resets + SE + TE), the quantity the
+    /// paper sums to 19 over the three DSC cores.
+    #[must_use]
+    pub fn control_pins(&self) -> usize {
+        self.clocks.len() + self.resets.len() + self.scan_enables.len() + self.test_enables.len()
+    }
+}
+
+impl fmt::Display for CoreTestInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let chains = if self.scan_chains.is_empty() {
+            "No scan".to_string()
+        } else {
+            format!(
+                "{} ({})",
+                self.scan_chains.len(),
+                self.scan_chains
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        };
+        write!(
+            f,
+            "{}: TI={} TO={} PI={} PO={} chains={} scan_pats={} func_pats={}",
+            self.name,
+            self.test_inputs,
+            self.test_outputs,
+            self.functional_inputs,
+            self.functional_outputs,
+            chains,
+            self.scan_patterns,
+            self.functional_patterns
+        )
+    }
+}
+
+/// Counts `(scan, functional)` patterns in all `Pattern` blocks.
+///
+/// A *scan pattern* is a `Call` to a procedure whose body contains a
+/// `Shift` statement; everything else that consumes a tester cycle (`V`)
+/// is a functional pattern. `Loop` multiplies its body counts.
+fn count_patterns(f: &StilFile) -> (u64, u64) {
+    let is_scan_proc = |name: &str| -> bool {
+        f.procedure(name)
+            .map(|p| contains_shift(&p.stmts))
+            .unwrap_or(false)
+    };
+    let mut scan = 0u64;
+    let mut func = 0u64;
+    for p in &f.patterns {
+        let (s, v) = count_stmts(&p.stmts, &is_scan_proc);
+        scan += s;
+        func += v;
+    }
+    (scan, func)
+}
+
+fn contains_shift(stmts: &[PatternStmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        PatternStmt::Shift(_) => true,
+        PatternStmt::Loop(_, body) => contains_shift(body),
+        _ => false,
+    })
+}
+
+fn count_stmts(stmts: &[PatternStmt], is_scan_proc: &dyn Fn(&str) -> bool) -> (u64, u64) {
+    let mut scan = 0u64;
+    let mut func = 0u64;
+    for s in stmts {
+        match s {
+            PatternStmt::Vector(_) => func += 1,
+            PatternStmt::Call { proc, .. } => {
+                if is_scan_proc(proc) {
+                    scan += 1;
+                } else {
+                    func += 1;
+                }
+            }
+            PatternStmt::Loop(n, body) => {
+                let (s2, f2) = count_stmts(body, is_scan_proc);
+                scan += n * s2;
+                func += n * f2;
+            }
+            PatternStmt::Shift(body) => {
+                let (s2, f2) = count_stmts(body, is_scan_proc);
+                scan += s2;
+                func += f2;
+            }
+            PatternStmt::Waveform(_) | PatternStmt::Condition(_) => {}
+        }
+    }
+    (scan, func)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_stil;
+
+    /// A miniature version of the paper's TV encoder: 2 chains, one scan
+    /// output shared with a functional output.
+    const TV_LIKE: &str = r#"
+STIL 1.0;
+Signals {
+  ck In; rst In; se In; te In;
+  d0 In; d1 In; q0 Out; q1 Out;
+  si0 In { ScanIn; } si1 In { ScanIn; }
+  so0 Out { ScanOut; }
+}
+SignalGroups {
+  clocks = 'ck';
+  resets = 'rst';
+  scan_enables = 'se';
+  test_enables = 'te';
+  pi = 'd0 + d1';
+  po = 'q0 + q1';
+}
+ScanStructures {
+  ScanChain "c0" { ScanLength 577; ScanIn si0; ScanOut so0; }
+  ScanChain "c1" { ScanLength 576; ScanIn si1; ScanOut q1; }
+}
+Procedures { "load_unload" { Shift { V { si0=#; si1=#; ck=P; } } } }
+Pattern scan { Loop 229 { Call "load_unload"; } }
+Pattern func { Loop 202673 { V { d0=0; ck=P; } } }
+"#;
+
+    #[test]
+    fn tv_like_core_matches_table1_shape() {
+        let f = parse_stil(TV_LIKE).unwrap();
+        let info = CoreTestInfo::from_stil("TV", &f).unwrap();
+        // TI = 1 clock + 1 reset + 1 SE + 1 TE + 2 dedicated scan-ins = 6.
+        assert_eq!(info.test_inputs, 6);
+        // TO = 1: chain c1's output is shared with functional q1.
+        assert_eq!(info.test_outputs, 1);
+        assert_eq!(info.functional_inputs, 2);
+        assert_eq!(info.functional_outputs, 2);
+        assert_eq!(info.scan_chains, vec![577, 576]);
+        assert_eq!(info.scan_patterns, 229);
+        assert_eq!(info.functional_patterns, 202_673);
+        assert_eq!(info.shared_scan_outs, 1);
+        assert_eq!(info.control_pins(), 4);
+        assert_eq!(info.max_chain(), 577);
+        assert_eq!(info.total_scan_cells(), 1153);
+    }
+
+    #[test]
+    fn functional_only_core() {
+        let src = r#"
+STIL 1.0;
+Signals { ck In; d In; q Out; }
+SignalGroups { clocks = 'ck'; pi = 'd'; po = 'q'; }
+Pattern func { Loop 100 { V { d=1; ck=P; } } }
+"#;
+        let f = parse_stil(src).unwrap();
+        let info = CoreTestInfo::from_stil("JPEG-ish", &f).unwrap();
+        assert_eq!(info.test_inputs, 1); // just the clock
+        assert_eq!(info.test_outputs, 0);
+        assert!(!info.has_scan());
+        assert_eq!(info.scan_patterns, 0);
+        assert_eq!(info.functional_patterns, 100);
+    }
+
+    #[test]
+    fn undeclared_scan_pin_is_an_error() {
+        let src = r#"
+STIL 1.0;
+Signals { ck In; }
+ScanStructures { ScanChain "c" { ScanLength 5; ScanIn ghost; ScanOut ck; } }
+"#;
+        let f = parse_stil(src).unwrap();
+        let err = CoreTestInfo::from_stil("x", &f).unwrap_err();
+        assert!(matches!(err, StilError::Unresolved { .. }));
+    }
+
+    #[test]
+    fn display_row_mentions_key_fields() {
+        let f = parse_stil(TV_LIKE).unwrap();
+        let info = CoreTestInfo::from_stil("TV", &f).unwrap();
+        let row = info.to_string();
+        assert!(row.contains("TI=6"), "{row}");
+        assert!(row.contains("577"), "{row}");
+    }
+
+    #[test]
+    fn missing_groups_default_to_empty() {
+        let f = parse_stil("STIL 1.0; Signals { a In; }").unwrap();
+        let info = CoreTestInfo::from_stil("bare", &f).unwrap();
+        assert_eq!(info.test_inputs, 0);
+        assert_eq!(info.functional_inputs, 0);
+    }
+}

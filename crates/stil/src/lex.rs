@@ -1,0 +1,373 @@
+//! Tokenizer for the STIL subset.
+//!
+//! STIL is line-noise-light: identifiers/data strings, `"` strings,
+//! `'`-quoted expressions, braces, `;`, `=`, `+` and comments (`//`,
+//! `/* */`) plus annotation blocks `{* ... *}` which are skipped as
+//! trivia.
+
+use crate::{Loc, StilError};
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Bare word: identifiers, keywords, numbers and pattern data
+    /// (`Signals`, `1629`, `0101LHX`, `ck`, ...).
+    Word(String),
+    /// Double-quoted string (content without quotes).
+    DqString(String),
+    /// Single-quoted expression (content without quotes), e.g. `'ck + d'`
+    /// or `'100ns'`.
+    SqString(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `=`
+    Eq,
+    /// `+`
+    Plus,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description for error messages.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Word(w) => format!("`{w}`"),
+            TokenKind::DqString(s) => format!("\"{s}\""),
+            TokenKind::SqString(s) => format!("'{s}'"),
+            TokenKind::LBrace => "`{`".to_string(),
+            TokenKind::RBrace => "`}`".to_string(),
+            TokenKind::Semi => "`;`".to_string(),
+            TokenKind::Eq => "`=`".to_string(),
+            TokenKind::Plus => "`+`".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+        }
+    }
+}
+
+/// A token with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it started.
+    pub loc: Loc,
+}
+
+/// Streaming tokenizer.
+#[derive(Debug, Clone)]
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    #[must_use]
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn loc(&self) -> Loc {
+        Loc {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), StilError> {
+        loop {
+            match (self.peek(), self.peek2()) {
+                (Some(c), _) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                (Some(b'/'), Some(b'/')) => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                (Some(b'/'), Some(b'*')) => {
+                    let start = self.loc();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(StilError::Unterminated {
+                                    loc: start,
+                                    what: "comment",
+                                })
+                            }
+                        }
+                    }
+                }
+                // Annotation block {* ... *} — STIL trivia.
+                (Some(b'{'), Some(b'*')) => {
+                    let start = self.loc();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'}')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(StilError::Unterminated {
+                                    loc: start,
+                                    what: "annotation",
+                                })
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn is_word_byte(c: u8) -> bool {
+        c.is_ascii_alphanumeric() || matches!(c, b'_' | b'.' | b'[' | b']' | b'#' | b'%' | b'!')
+    }
+
+    /// Produces the next token.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StilError::Lex`] on an unexpected character or
+    /// [`StilError::Unterminated`] on an open string/comment.
+    pub fn next_token(&mut self) -> Result<Token, StilError> {
+        self.skip_trivia()?;
+        let loc = self.loc();
+        let Some(c) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                loc,
+            });
+        };
+        let kind = match c {
+            b'{' => {
+                self.bump();
+                TokenKind::LBrace
+            }
+            b'}' => {
+                self.bump();
+                TokenKind::RBrace
+            }
+            b';' => {
+                self.bump();
+                TokenKind::Semi
+            }
+            b'=' => {
+                self.bump();
+                TokenKind::Eq
+            }
+            b'+' => {
+                self.bump();
+                TokenKind::Plus
+            }
+            b'"' => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some(b'"') => break,
+                        Some(ch) => s.push(ch as char),
+                        None => {
+                            return Err(StilError::Unterminated {
+                                loc,
+                                what: "string",
+                            })
+                        }
+                    }
+                }
+                TokenKind::DqString(s)
+            }
+            b'\'' => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some(b'\'') => break,
+                        Some(ch) => s.push(ch as char),
+                        None => {
+                            return Err(StilError::Unterminated {
+                                loc,
+                                what: "string",
+                            })
+                        }
+                    }
+                }
+                TokenKind::SqString(s)
+            }
+            c if Self::is_word_byte(c) => {
+                let mut s = String::new();
+                while let Some(c) = self.peek() {
+                    if Self::is_word_byte(c) {
+                        s.push(c as char);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                TokenKind::Word(s)
+            }
+            other => {
+                return Err(StilError::Lex {
+                    loc,
+                    ch: other as char,
+                })
+            }
+        };
+        Ok(Token { kind, loc })
+    }
+
+    /// Lexes the whole input into a vector (including the final `Eof`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first lexing error.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, StilError> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_token()?;
+            let done = t.kind == TokenKind::Eof;
+            out.push(t);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_basic_statement() {
+        let ks = kinds("STIL 1.0;");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Word("STIL".to_string()),
+                TokenKind::Word("1.0".to_string()),
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_and_expressions() {
+        let ks = kinds("ScanChain \"c0\" { ScanIn si; } g = 'a + b';");
+        assert!(ks.contains(&TokenKind::DqString("c0".to_string())));
+        assert!(ks.contains(&TokenKind::SqString("a + b".to_string())));
+    }
+
+    #[test]
+    fn skips_comments_and_annotations() {
+        let ks = kinds("a // line\n /* block\nmore */ b {* Ann content *} c");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Word("a".to_string()),
+                TokenKind::Word("b".to_string()),
+                TokenKind::Word("c".to_string()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn pattern_data_is_one_word() {
+        let ks = kinds("si=0101LHXZ;");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Word("si".to_string()),
+                TokenKind::Eq,
+                TokenKind::Word("0101LHXZ".to_string()),
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = Lexer::new("a\nb\n  c").tokenize().unwrap();
+        assert_eq!(toks[0].loc.line, 1);
+        assert_eq!(toks[1].loc.line, 2);
+        assert_eq!(toks[2].loc.line, 3);
+        assert_eq!(toks[2].loc.col, 3);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        let err = Lexer::new("\"abc").tokenize().unwrap_err();
+        assert!(matches!(err, StilError::Unterminated { .. }));
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        let err = Lexer::new("a @ b").tokenize().unwrap_err();
+        assert!(matches!(err, StilError::Lex { ch: '@', .. }));
+    }
+}

@@ -1,0 +1,617 @@
+//! Recursive-descent parser for the STIL subset.
+
+use crate::ast::{
+    Pattern, PatternStmt, Procedure, ScanChain, Signal, SignalDir, SignalGroup, StilFile,
+    WaveEvent, WaveformTable,
+};
+use crate::lex::{Lexer, Token, TokenKind};
+use crate::{Loc, StilError};
+
+/// Parses STIL source text into a [`StilFile`].
+///
+/// # Errors
+///
+/// Returns a [`StilError`] with the location of the first problem.
+///
+/// # Example
+///
+/// ```
+/// let file = steac_stil::parse_stil("STIL 1.0;")?;
+/// assert_eq!(file.version, "1.0");
+/// # Ok::<(), steac_stil::StilError>(())
+/// ```
+pub fn parse_stil(src: &str) -> Result<StilFile, StilError> {
+    let tokens = Lexer::new(src).tokenize()?;
+    Parser { tokens, pos: 0 }.file()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn unexpected(&self, expected: &str) -> StilError {
+        let t = self.peek();
+        StilError::Unexpected {
+            loc: t.loc,
+            found: t.kind.describe(),
+            expected: expected.to_string(),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), StilError> {
+        if &self.peek().kind == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.unexpected(what))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A name: bare word or quoted string.
+    fn name(&mut self, what: &str) -> Result<String, StilError> {
+        match self.peek().kind.clone() {
+            TokenKind::Word(w) => {
+                self.bump();
+                Ok(w)
+            }
+            TokenKind::DqString(s) => {
+                self.bump();
+                Ok(s)
+            }
+            _ => Err(self.unexpected(what)),
+        }
+    }
+
+    fn word(&mut self, what: &str) -> Result<(String, Loc), StilError> {
+        match self.peek().kind.clone() {
+            TokenKind::Word(w) => {
+                let loc = self.peek().loc;
+                self.bump();
+                Ok((w, loc))
+            }
+            _ => Err(self.unexpected(what)),
+        }
+    }
+
+    fn number(&mut self, what: &str) -> Result<u64, StilError> {
+        let (w, loc) = self.word(what)?;
+        w.parse::<u64>().map_err(|_| StilError::BadNumber {
+            loc,
+            text: w.clone(),
+        })
+    }
+
+    fn time_ns(&mut self, raw: &str, loc: Loc) -> Result<u32, StilError> {
+        let trimmed = raw.trim().trim_end_matches("ns").trim();
+        trimmed.parse::<u32>().map_err(|_| StilError::BadNumber {
+            loc,
+            text: raw.to_string(),
+        })
+    }
+
+    fn file(&mut self) -> Result<StilFile, StilError> {
+        let mut f = StilFile::default();
+        // `STIL 1.0;`
+        let (kw, _) = self.word("`STIL` keyword")?;
+        if kw != "STIL" {
+            return Err(self.unexpected("`STIL` keyword"));
+        }
+        let (v, _) = self.word("a STIL version")?;
+        f.version = v;
+        self.expect(&TokenKind::Semi, "`;` after version")?;
+
+        loop {
+            let t = self.peek().clone();
+            match &t.kind {
+                TokenKind::Eof => break,
+                TokenKind::Word(w) => match w.as_str() {
+                    "Header" => {
+                        self.bump();
+                        self.header(&mut f)?;
+                    }
+                    "Signals" => {
+                        self.bump();
+                        self.signals(&mut f)?;
+                    }
+                    "SignalGroups" => {
+                        self.bump();
+                        self.signal_groups(&mut f)?;
+                    }
+                    "ScanStructures" => {
+                        self.bump();
+                        self.scan_structures(&mut f)?;
+                    }
+                    "Timing" => {
+                        self.bump();
+                        self.timing(&mut f)?;
+                    }
+                    "PatternBurst" => {
+                        self.bump();
+                        self.pattern_burst(&mut f)?;
+                    }
+                    "PatternExec" => {
+                        self.bump();
+                        self.pattern_exec(&mut f)?;
+                    }
+                    "Procedures" => {
+                        self.bump();
+                        self.procedures(&mut f)?;
+                    }
+                    "Pattern" => {
+                        self.bump();
+                        let name = self.name("a pattern name")?;
+                        self.expect(&TokenKind::LBrace, "`{` opening the pattern")?;
+                        let stmts = self.stmts()?;
+                        f.patterns.push(Pattern { name, stmts });
+                    }
+                    _ => return Err(self.unexpected("a top-level STIL block")),
+                },
+                _ => return Err(self.unexpected("a top-level STIL block")),
+            }
+        }
+        Ok(f)
+    }
+
+    fn header(&mut self, f: &mut StilFile) -> Result<(), StilError> {
+        self.expect(&TokenKind::LBrace, "`{` opening Header")?;
+        while !self.eat(&TokenKind::RBrace) {
+            let (key, _) = self.word("a header field")?;
+            let val = match self.peek().kind.clone() {
+                TokenKind::DqString(s) => {
+                    self.bump();
+                    s
+                }
+                TokenKind::Word(w) => {
+                    self.bump();
+                    w
+                }
+                _ => return Err(self.unexpected("a header value")),
+            };
+            self.expect(&TokenKind::Semi, "`;` after header field")?;
+            match key.as_str() {
+                "Title" => f.title = Some(val),
+                "Date" => f.date = Some(val),
+                "Source" => f.source = Some(val),
+                _ => {} // tolerate unknown header fields
+            }
+        }
+        Ok(())
+    }
+
+    fn signals(&mut self, f: &mut StilFile) -> Result<(), StilError> {
+        self.expect(&TokenKind::LBrace, "`{` opening Signals")?;
+        while !self.eat(&TokenKind::RBrace) {
+            let name = self.name("a signal name")?;
+            let (dir_word, _) = self.word("a signal direction (In/Out/InOut)")?;
+            let dir = match dir_word.as_str() {
+                "In" => SignalDir::In,
+                "Out" => SignalDir::Out,
+                "InOut" => SignalDir::InOut,
+                _ => return Err(self.unexpected("`In`, `Out` or `InOut`")),
+            };
+            let mut sig = Signal::new(name, dir);
+            if self.eat(&TokenKind::LBrace) {
+                while !self.eat(&TokenKind::RBrace) {
+                    let (attr, _) = self.word("a signal attribute")?;
+                    match attr.as_str() {
+                        "ScanIn" => sig.scan_in = true,
+                        "ScanOut" => sig.scan_out = true,
+                        _ => {} // tolerate unknown attributes
+                    }
+                    self.expect(&TokenKind::Semi, "`;` after signal attribute")?;
+                }
+            } else {
+                self.expect(&TokenKind::Semi, "`;` after signal")?;
+            }
+            f.signals.push(sig);
+        }
+        Ok(())
+    }
+
+    fn signal_groups(&mut self, f: &mut StilFile) -> Result<(), StilError> {
+        self.expect(&TokenKind::LBrace, "`{` opening SignalGroups")?;
+        while !self.eat(&TokenKind::RBrace) {
+            let name = self.name("a group name")?;
+            self.expect(&TokenKind::Eq, "`=` in group definition")?;
+            let expr = match self.peek().kind.clone() {
+                TokenKind::SqString(s) => {
+                    self.bump();
+                    s
+                }
+                _ => return Err(self.unexpected("a quoted signal expression")),
+            };
+            self.expect(&TokenKind::Semi, "`;` after group definition")?;
+            let signals: Vec<String> = expr
+                .split('+')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            f.signal_groups.push(SignalGroup { name, signals });
+        }
+        Ok(())
+    }
+
+    fn scan_structures(&mut self, f: &mut StilFile) -> Result<(), StilError> {
+        self.expect(&TokenKind::LBrace, "`{` opening ScanStructures")?;
+        while !self.eat(&TokenKind::RBrace) {
+            let (kw, _) = self.word("`ScanChain`")?;
+            if kw != "ScanChain" {
+                return Err(self.unexpected("`ScanChain`"));
+            }
+            let name = self.name("a chain name")?;
+            self.expect(&TokenKind::LBrace, "`{` opening ScanChain")?;
+            let mut chain = ScanChain {
+                name,
+                length: 0,
+                scan_in: String::new(),
+                scan_out: String::new(),
+                scan_enable: None,
+                scan_clock: None,
+            };
+            while !self.eat(&TokenKind::RBrace) {
+                let (key, _) = self.word("a ScanChain field")?;
+                match key.as_str() {
+                    "ScanLength" => chain.length = self.number("a scan length")? as usize,
+                    "ScanIn" => chain.scan_in = self.name("a signal name")?,
+                    "ScanOut" => chain.scan_out = self.name("a signal name")?,
+                    "ScanEnable" => chain.scan_enable = Some(self.name("a signal name")?),
+                    "ScanClock" => chain.scan_clock = Some(self.name("a signal name")?),
+                    _ => {
+                        // Tolerate and skip unknown single-value fields.
+                        let _ = self.name("a field value")?;
+                    }
+                }
+                self.expect(&TokenKind::Semi, "`;` after ScanChain field")?;
+            }
+            f.scan_chains.push(chain);
+        }
+        Ok(())
+    }
+
+    fn timing(&mut self, f: &mut StilFile) -> Result<(), StilError> {
+        // Optional timing block name.
+        if !matches!(self.peek().kind, TokenKind::LBrace) {
+            let _ = self.name("a timing name")?;
+        }
+        self.expect(&TokenKind::LBrace, "`{` opening Timing")?;
+        while !self.eat(&TokenKind::RBrace) {
+            let (kw, _) = self.word("`WaveformTable`")?;
+            if kw != "WaveformTable" {
+                return Err(self.unexpected("`WaveformTable`"));
+            }
+            let name = self.name("a waveform table name")?;
+            self.expect(&TokenKind::LBrace, "`{` opening WaveformTable")?;
+            let mut wft = WaveformTable {
+                name,
+                period_ns: 0,
+                waveforms: Vec::new(),
+            };
+            while !self.eat(&TokenKind::RBrace) {
+                let (key, loc) = self.word("`Period` or `Waveforms`")?;
+                match key.as_str() {
+                    "Period" => {
+                        let raw = match self.peek().kind.clone() {
+                            TokenKind::SqString(s) => {
+                                self.bump();
+                                s
+                            }
+                            _ => return Err(self.unexpected("a quoted period")),
+                        };
+                        wft.period_ns = self.time_ns(&raw, loc)?;
+                        self.expect(&TokenKind::Semi, "`;` after Period")?;
+                    }
+                    "Waveforms" => {
+                        self.expect(&TokenKind::LBrace, "`{` opening Waveforms")?;
+                        while !self.eat(&TokenKind::RBrace) {
+                            let signal = self.name("a signal name")?;
+                            self.expect(&TokenKind::LBrace, "`{` opening waveform")?;
+                            while !self.eat(&TokenKind::RBrace) {
+                                let (wfc, _) = self.word("a waveform character")?;
+                                let label = wfc.chars().next().unwrap_or('?');
+                                self.expect(&TokenKind::LBrace, "`{` opening events")?;
+                                let mut events = Vec::new();
+                                while !self.eat(&TokenKind::RBrace) {
+                                    let (raw, eloc) = match self.peek().kind.clone() {
+                                        TokenKind::SqString(s) => {
+                                            let l = self.peek().loc;
+                                            self.bump();
+                                            (s, l)
+                                        }
+                                        _ => return Err(self.unexpected("a quoted event time")),
+                                    };
+                                    let t = self.time_ns(&raw, eloc)?;
+                                    let (ev, _) = self.word("an event character")?;
+                                    self.expect(&TokenKind::Semi, "`;` after event")?;
+                                    events.push(WaveEvent {
+                                        time_ns: t,
+                                        event: ev.chars().next().unwrap_or('?'),
+                                    });
+                                }
+                                wft.waveforms.push((signal.clone(), label, events));
+                            }
+                        }
+                    }
+                    _ => return Err(self.unexpected("`Period` or `Waveforms`")),
+                }
+            }
+            f.waveform_tables.push(wft);
+        }
+        Ok(())
+    }
+
+    fn pattern_burst(&mut self, f: &mut StilFile) -> Result<(), StilError> {
+        let name = self.name("a burst name")?;
+        self.expect(&TokenKind::LBrace, "`{` opening PatternBurst")?;
+        let mut pats = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            let (kw, _) = self.word("`PatList`")?;
+            if kw != "PatList" {
+                return Err(self.unexpected("`PatList`"));
+            }
+            self.expect(&TokenKind::LBrace, "`{` opening PatList")?;
+            while !self.eat(&TokenKind::RBrace) {
+                let p = self.name("a pattern name")?;
+                self.expect(&TokenKind::Semi, "`;` after pattern name")?;
+                pats.push(p);
+            }
+        }
+        f.pattern_bursts.push((name, pats));
+        Ok(())
+    }
+
+    fn pattern_exec(&mut self, f: &mut StilFile) -> Result<(), StilError> {
+        // Optional exec name.
+        if !matches!(self.peek().kind, TokenKind::LBrace) {
+            let _ = self.name("an exec name")?;
+        }
+        self.expect(&TokenKind::LBrace, "`{` opening PatternExec")?;
+        let mut timing = None;
+        let mut burst = None;
+        while !self.eat(&TokenKind::RBrace) {
+            let (key, _) = self.word("`Timing` or `PatternBurst`")?;
+            let val = self.name("a name")?;
+            self.expect(&TokenKind::Semi, "`;`")?;
+            match key.as_str() {
+                "Timing" => timing = Some(val),
+                "PatternBurst" => burst = Some(val),
+                _ => return Err(self.unexpected("`Timing` or `PatternBurst`")),
+            }
+        }
+        let burst = burst.ok_or(StilError::Unresolved {
+            name: "PatternBurst".to_string(),
+            context: "PatternExec".to_string(),
+        })?;
+        f.pattern_execs.push((timing, burst));
+        Ok(())
+    }
+
+    fn procedures(&mut self, f: &mut StilFile) -> Result<(), StilError> {
+        self.expect(&TokenKind::LBrace, "`{` opening Procedures")?;
+        while !self.eat(&TokenKind::RBrace) {
+            let name = self.name("a procedure name")?;
+            self.expect(&TokenKind::LBrace, "`{` opening procedure")?;
+            let stmts = self.stmts()?;
+            f.procedures.push(Procedure { name, stmts });
+        }
+        Ok(())
+    }
+
+    /// Parses statements until the matching `}` (consumed).
+    fn stmts(&mut self) -> Result<Vec<PatternStmt>, StilError> {
+        let mut out = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            let (kw, _) = self.word("a pattern statement (W/C/V/Call/Shift/Loop)")?;
+            match kw.as_str() {
+                "W" => {
+                    let t = self.name("a waveform table name")?;
+                    self.expect(&TokenKind::Semi, "`;` after W")?;
+                    out.push(PatternStmt::Waveform(t));
+                }
+                "C" => {
+                    let assigns = self.assigns()?;
+                    out.push(PatternStmt::Condition(assigns));
+                }
+                "V" => {
+                    let assigns = self.assigns()?;
+                    out.push(PatternStmt::Vector(assigns));
+                }
+                "Call" => {
+                    let proc = self.name("a procedure name")?;
+                    let args = if matches!(self.peek().kind, TokenKind::LBrace) {
+                        self.assigns()?
+                    } else {
+                        self.expect(&TokenKind::Semi, "`;` after Call")?;
+                        Vec::new()
+                    };
+                    out.push(PatternStmt::Call { proc, args });
+                }
+                "Shift" => {
+                    self.expect(&TokenKind::LBrace, "`{` opening Shift")?;
+                    let body = self.stmts()?;
+                    out.push(PatternStmt::Shift(body));
+                }
+                "Loop" => {
+                    let n = self.number("a loop count")?;
+                    self.expect(&TokenKind::LBrace, "`{` opening Loop")?;
+                    let body = self.stmts()?;
+                    out.push(PatternStmt::Loop(n, body));
+                }
+                _ => return Err(self.unexpected("a pattern statement (W/C/V/Call/Shift/Loop)")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses `{ sig=data; ... }` (opening brace expected next).
+    fn assigns(&mut self) -> Result<Vec<(String, String)>, StilError> {
+        self.expect(&TokenKind::LBrace, "`{` opening assignments")?;
+        let mut out = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            let sig = self.name("a signal or group name")?;
+            self.expect(&TokenKind::Eq, "`=` in assignment")?;
+            let data = match self.peek().kind.clone() {
+                TokenKind::Word(w) => {
+                    self.bump();
+                    w
+                }
+                TokenKind::SqString(s) => {
+                    self.bump();
+                    s
+                }
+                _ => return Err(self.unexpected("pattern data")),
+            };
+            self.expect(&TokenKind::Semi, "`;` after assignment")?;
+            out.push((sig, data));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+STIL 1.0;
+Header {
+  Title "USB core test";
+  Date "2004-10-01";
+  Source "ATPG";
+}
+Signals {
+  ck0 In; ck1 In; rst0 In; se In;
+  d[0] In; d[1] In; q[0] Out;
+  si0 In { ScanIn; } so0 Out { ScanOut; }
+}
+SignalGroups {
+  clocks = 'ck0 + ck1';
+  resets = 'rst0';
+  scan_enables = 'se';
+  pi = 'd[0] + d[1]';
+  po = 'q[0]';
+}
+ScanStructures {
+  ScanChain "chain0" {
+    ScanLength 1629;
+    ScanIn si0;
+    ScanOut so0;
+    ScanEnable se;
+    ScanClock ck0;
+  }
+}
+Timing "t0" {
+  WaveformTable "wft" {
+    Period '100ns';
+    Waveforms {
+      ck0 { P { '0ns' D; '40ns' U; '60ns' D; } }
+      d[0] { 0 { '0ns' D; } }
+    }
+  }
+}
+PatternBurst "b" { PatList { scan_test; } }
+PatternExec { Timing t0; PatternBurst b; }
+Procedures {
+  "load_unload" {
+    V { se=1; }
+    Shift { V { si0=#; so0=#; ck0=P; } }
+  }
+}
+Pattern scan_test {
+  W wft;
+  C { d[0]=0; d[1]=0; }
+  Call "load_unload" { si0=0101; so0=LLHH; }
+  V { d[0]=1; q[0]=H; ck0=P; }
+  Loop 3 { V { d[0]=0; ck0=P; } }
+}
+"#;
+
+    #[test]
+    fn parses_the_full_sample() {
+        let f = parse_stil(SAMPLE).expect("sample parses");
+        assert_eq!(f.version, "1.0");
+        assert_eq!(f.title.as_deref(), Some("USB core test"));
+        assert_eq!(f.signals.len(), 9);
+        assert_eq!(f.signal_groups.len(), 5);
+        assert_eq!(f.group("clocks").unwrap().signals, vec!["ck0", "ck1"]);
+        assert_eq!(f.scan_chains.len(), 1);
+        assert_eq!(f.scan_chains[0].length, 1629);
+        assert_eq!(f.scan_chains[0].scan_enable.as_deref(), Some("se"));
+        assert_eq!(f.waveform_tables.len(), 1);
+        assert_eq!(f.waveform_tables[0].period_ns, 100);
+        assert_eq!(f.waveform_tables[0].waveforms.len(), 2);
+        assert_eq!(f.pattern_bursts.len(), 1);
+        assert_eq!(f.pattern_execs.len(), 1);
+        assert_eq!(f.procedures.len(), 1);
+        assert_eq!(f.patterns.len(), 1);
+        let p = &f.patterns[0];
+        assert_eq!(p.stmts.len(), 5);
+        assert!(matches!(&p.stmts[2], PatternStmt::Call { proc, args }
+            if proc == "load_unload" && args.len() == 2));
+        assert!(matches!(&p.stmts[4], PatternStmt::Loop(3, body) if body.len() == 1));
+    }
+
+    #[test]
+    fn signal_scan_attributes() {
+        let f = parse_stil(SAMPLE).unwrap();
+        assert!(f.signal("si0").unwrap().scan_in);
+        assert!(f.signal("so0").unwrap().scan_out);
+        assert!(!f.signal("ck0").unwrap().scan_in);
+    }
+
+    #[test]
+    fn total_cycles_counts_shift() {
+        let f = parse_stil(SAMPLE).unwrap();
+        // load_unload = 1 + 1629; pattern adds 1 V + 3 loop = 4.
+        assert_eq!(f.total_cycles(), 1 + 1629 + 4);
+    }
+
+    #[test]
+    fn error_has_location() {
+        let err = parse_stil("STIL 1.0;\nSignals { x Sideways; }").unwrap_err();
+        match err {
+            StilError::Unexpected { loc, .. } => assert_eq!(loc.line, 2),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_version_is_an_error() {
+        assert!(parse_stil("Signals { }").is_err());
+    }
+
+    #[test]
+    fn pattern_exec_requires_burst() {
+        let err = parse_stil("STIL 1.0; PatternExec { Timing t; }").unwrap_err();
+        assert!(matches!(err, StilError::Unresolved { .. }));
+    }
+
+    #[test]
+    fn call_without_args() {
+        let f = parse_stil("STIL 1.0; Pattern p { Call reset_proc; }").unwrap();
+        assert!(matches!(&f.patterns[0].stmts[0],
+            PatternStmt::Call { proc, args } if proc == "reset_proc" && args.is_empty()));
+    }
+}

@@ -1,0 +1,244 @@
+//! Pretty-printer: renders a [`StilFile`] back to STIL text.
+//!
+//! The output parses back to an identical AST (round-trip property, tested
+//! here and with generators in the crate's proptest suite).
+
+use crate::ast::{PatternStmt, StilFile};
+use std::fmt::Write as _;
+
+fn ident(name: &str) -> String {
+    let plain = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '[' | ']' | '#' | '%'))
+        && !name.starts_with(|c: char| c.is_ascii_digit());
+    if plain {
+        name.to_string()
+    } else {
+        format!("\"{name}\"")
+    }
+}
+
+fn write_stmts(out: &mut String, stmts: &[PatternStmt], indent: usize) {
+    let pad = "  ".repeat(indent);
+    for s in stmts {
+        match s {
+            PatternStmt::Waveform(t) => {
+                let _ = writeln!(out, "{pad}W {};", ident(t));
+            }
+            PatternStmt::Condition(assigns) => {
+                let _ = write!(out, "{pad}C {{ ");
+                for (k, v) in assigns {
+                    let _ = write!(out, "{}={v}; ", ident(k));
+                }
+                let _ = writeln!(out, "}}");
+            }
+            PatternStmt::Vector(assigns) => {
+                let _ = write!(out, "{pad}V {{ ");
+                for (k, v) in assigns {
+                    let _ = write!(out, "{}={v}; ", ident(k));
+                }
+                let _ = writeln!(out, "}}");
+            }
+            PatternStmt::Call { proc, args } => {
+                if args.is_empty() {
+                    let _ = writeln!(out, "{pad}Call {};", ident(proc));
+                } else {
+                    let _ = write!(out, "{pad}Call {} {{ ", ident(proc));
+                    for (k, v) in args {
+                        let _ = write!(out, "{}={v}; ", ident(k));
+                    }
+                    let _ = writeln!(out, "}}");
+                }
+            }
+            PatternStmt::Shift(body) => {
+                let _ = writeln!(out, "{pad}Shift {{");
+                write_stmts(out, body, indent + 1);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            PatternStmt::Loop(n, body) => {
+                let _ = writeln!(out, "{pad}Loop {n} {{");
+                write_stmts(out, body, indent + 1);
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+    }
+}
+
+/// Renders `f` as STIL text.
+///
+/// # Example
+///
+/// ```
+/// use steac_stil::{parse_stil, to_stil_string};
+///
+/// # fn main() -> Result<(), steac_stil::StilError> {
+/// let f = parse_stil("STIL 1.0; Signals { a In; }")?;
+/// let text = to_stil_string(&f);
+/// assert_eq!(parse_stil(&text)?, f);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn to_stil_string(f: &StilFile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "STIL {};", f.version);
+    if f.title.is_some() || f.date.is_some() || f.source.is_some() {
+        let _ = writeln!(out, "Header {{");
+        if let Some(t) = &f.title {
+            let _ = writeln!(out, "  Title \"{t}\";");
+        }
+        if let Some(d) = &f.date {
+            let _ = writeln!(out, "  Date \"{d}\";");
+        }
+        if let Some(s) = &f.source {
+            let _ = writeln!(out, "  Source \"{s}\";");
+        }
+        let _ = writeln!(out, "}}");
+    }
+    if !f.signals.is_empty() {
+        let _ = writeln!(out, "Signals {{");
+        for s in &f.signals {
+            if s.scan_in || s.scan_out {
+                let _ = write!(out, "  {} {} {{ ", ident(&s.name), s.dir);
+                if s.scan_in {
+                    let _ = write!(out, "ScanIn; ");
+                }
+                if s.scan_out {
+                    let _ = write!(out, "ScanOut; ");
+                }
+                let _ = writeln!(out, "}}");
+            } else {
+                let _ = writeln!(out, "  {} {};", ident(&s.name), s.dir);
+            }
+        }
+        let _ = writeln!(out, "}}");
+    }
+    if !f.signal_groups.is_empty() {
+        let _ = writeln!(out, "SignalGroups {{");
+        for g in &f.signal_groups {
+            let _ = writeln!(out, "  {} = '{}';", ident(&g.name), g.signals.join(" + "));
+        }
+        let _ = writeln!(out, "}}");
+    }
+    if !f.scan_chains.is_empty() {
+        let _ = writeln!(out, "ScanStructures {{");
+        for c in &f.scan_chains {
+            let _ = writeln!(out, "  ScanChain \"{}\" {{", c.name);
+            let _ = writeln!(out, "    ScanLength {};", c.length);
+            let _ = writeln!(out, "    ScanIn {};", ident(&c.scan_in));
+            let _ = writeln!(out, "    ScanOut {};", ident(&c.scan_out));
+            if let Some(se) = &c.scan_enable {
+                let _ = writeln!(out, "    ScanEnable {};", ident(se));
+            }
+            if let Some(ck) = &c.scan_clock {
+                let _ = writeln!(out, "    ScanClock {};", ident(ck));
+            }
+            let _ = writeln!(out, "  }}");
+        }
+        let _ = writeln!(out, "}}");
+    }
+    if !f.waveform_tables.is_empty() {
+        let _ = writeln!(out, "Timing {{");
+        for w in &f.waveform_tables {
+            let _ = writeln!(out, "  WaveformTable \"{}\" {{", w.name);
+            let _ = writeln!(out, "    Period '{}ns';", w.period_ns);
+            let _ = writeln!(out, "    Waveforms {{");
+            for (sig, label, events) in &w.waveforms {
+                let _ = write!(out, "      {} {{ {label} {{ ", ident(sig));
+                for e in events {
+                    let _ = write!(out, "'{}ns' {}; ", e.time_ns, e.event);
+                }
+                let _ = writeln!(out, "}} }}");
+            }
+            let _ = writeln!(out, "    }}");
+            let _ = writeln!(out, "  }}");
+        }
+        let _ = writeln!(out, "}}");
+    }
+    for (name, pats) in &f.pattern_bursts {
+        let _ = writeln!(out, "PatternBurst \"{name}\" {{");
+        let _ = writeln!(out, "  PatList {{");
+        for p in pats {
+            let _ = writeln!(out, "    {};", ident(p));
+        }
+        let _ = writeln!(out, "  }}");
+        let _ = writeln!(out, "}}");
+    }
+    for (timing, burst) in &f.pattern_execs {
+        let _ = writeln!(out, "PatternExec {{");
+        if let Some(t) = timing {
+            let _ = writeln!(out, "  Timing {};", ident(t));
+        }
+        let _ = writeln!(out, "  PatternBurst {};", ident(burst));
+        let _ = writeln!(out, "}}");
+    }
+    if !f.procedures.is_empty() {
+        let _ = writeln!(out, "Procedures {{");
+        for p in &f.procedures {
+            let _ = writeln!(out, "  \"{}\" {{", p.name);
+            write_stmts(&mut out, &p.stmts, 2);
+            let _ = writeln!(out, "  }}");
+        }
+        let _ = writeln!(out, "}}");
+    }
+    for p in &f.patterns {
+        let _ = writeln!(out, "Pattern \"{}\" {{", p.name);
+        write_stmts(&mut out, &p.stmts, 1);
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_stil;
+
+    #[test]
+    fn round_trip_minimal() {
+        let f = parse_stil("STIL 1.0;").unwrap();
+        let printed = to_stil_string(&f);
+        assert_eq!(parse_stil(&printed).unwrap(), f);
+    }
+
+    #[test]
+    fn round_trip_rich_file() {
+        let src = r#"
+STIL 1.0;
+Header { Title "T"; Date "D"; Source "S"; }
+Signals { ck In; si In { ScanIn; } so Out { ScanOut; } d In; q Out; }
+SignalGroups { clocks = 'ck'; pi = 'd'; po = 'q'; }
+ScanStructures {
+  ScanChain "c0" { ScanLength 45; ScanIn si; ScanOut so; ScanEnable se; ScanClock ck; }
+}
+Timing { WaveformTable "w" { Period '50ns';
+  Waveforms { ck { P { '0ns' D; '25ns' U; } } } } }
+PatternBurst "b" { PatList { p; } }
+PatternExec { Timing t; PatternBurst b; }
+Procedures { "lu" { Shift { V { si=#; ck=P; } } } }
+Pattern p {
+  W w;
+  C { d=0; }
+  Call "lu" { si=0101; }
+  V { d=1; q=H; }
+  Loop 2 { V { d=0; } }
+}
+"#;
+        let f = parse_stil(src).unwrap();
+        let printed = to_stil_string(&f);
+        let reparsed = parse_stil(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(reparsed, f, "\n--- printed ---\n{printed}");
+    }
+
+    #[test]
+    fn identifiers_with_brackets_stay_bare() {
+        // `[` and `]` are word characters in our lexer, so bus bits
+        // survive unquoted.
+        let f = parse_stil("STIL 1.0; Signals { d[0] In; }").unwrap();
+        let printed = to_stil_string(&f);
+        assert!(printed.contains("d[0] In;"), "{printed}");
+        assert_eq!(parse_stil(&printed).unwrap(), f);
+    }
+}

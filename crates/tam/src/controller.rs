@@ -1,0 +1,372 @@
+//! Test Controller generation.
+//!
+//! STEAC generates a chip-level Test Controller that sequences test
+//! sessions and distributes wrapper control to the cores; the paper
+//! reports it at "about 371 gates" on the DSC chip. The controller built
+//! here contains, as a real gate netlist:
+//!
+//! * a session counter with one-hot session decode (`next_session`
+//!   advances; `trst_n` returns to session 0),
+//! * a 16-bit test-cycle counter (watchdog/diagnostic readout),
+//! * a shift-bit counter plus a four-state wrapper-timing FSM able to
+//!   sequence shift → capture → update autonomously (`auto_mode = 1`),
+//!   or to pass the ATE-driven `t_se` / `t_capture` / `t_update` lines
+//!   through (`auto_mode = 0`; the DSC flow is ATE-driven, "cycle based,
+//!   which can be applied by external ATE easily"),
+//! * per-core gating of wrapper controls by session membership,
+//! * a `bist_start` level per memory-BIST controller, raised in the BIST
+//!   session.
+
+use steac_netlist::{GateKind, Module, NetId, NetlistBuilder, NetlistError};
+
+/// Per-core control requirements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreControl {
+    /// Core name (used in port names).
+    pub name: String,
+    /// Sessions (0-based) in which the core is under test.
+    pub active_sessions: Vec<usize>,
+    /// Whether the core receives scan-enable gating.
+    pub uses_scan: bool,
+}
+
+/// Controller configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControllerSpec {
+    /// Number of test sessions.
+    pub sessions: usize,
+    /// Cores to control.
+    pub cores: Vec<CoreControl>,
+    /// Width of the test-cycle counter.
+    pub cycle_counter_bits: usize,
+    /// Width of the shift-bit counter used by the autonomous FSM.
+    pub shift_counter_bits: usize,
+    /// Number of memory-BIST controllers to start.
+    pub bist_interfaces: usize,
+}
+
+impl ControllerSpec {
+    /// Configuration matching the paper's DSC chip: 3 sessions, 3 wrapped
+    /// cores, one shared BIST controller.
+    #[must_use]
+    pub fn dsc() -> Self {
+        ControllerSpec {
+            sessions: 3,
+            cores: vec![
+                CoreControl {
+                    name: "usb".to_string(),
+                    active_sessions: vec![0],
+                    uses_scan: true,
+                },
+                CoreControl {
+                    name: "tv".to_string(),
+                    active_sessions: vec![0, 1],
+                    uses_scan: true,
+                },
+                CoreControl {
+                    name: "jpeg".to_string(),
+                    active_sessions: vec![2],
+                    uses_scan: false,
+                },
+            ],
+            cycle_counter_bits: 16,
+            shift_counter_bits: 10,
+            bist_interfaces: 1,
+        }
+    }
+
+    fn session_bits(&self) -> usize {
+        (usize::BITS - (self.sessions.max(2) - 1).leading_zeros()) as usize
+    }
+}
+
+/// Builds a counter with enable; returns the flop output nets (LSB first).
+fn counter(
+    b: &mut NetlistBuilder,
+    bits: usize,
+    enable: NetId,
+    clear_n: NetId,
+    ck: NetId,
+    prefix: &str,
+) -> Vec<NetId> {
+    let mut q: Vec<NetId> = Vec::with_capacity(bits);
+    for i in 0..bits {
+        q.push(b.net(&format!("{prefix}_q{i}")));
+    }
+    let mut carry = enable;
+    for i in 0..bits {
+        let d = b.gate(GateKind::Xor2, &[q[i], carry]);
+        if i + 1 < bits {
+            carry = b.gate(GateKind::And2, &[carry, q[i]]);
+        }
+        b.gate_into(GateKind::DffR, &[d, ck, clear_n], q[i]);
+    }
+    q
+}
+
+/// Generates the Test Controller netlist for `spec`.
+///
+/// Ports: `tck`, `trst_n`, `test_mode`, `next_session`, `auto_mode`,
+/// `t_se`, `t_capture`, `t_update` inputs; `session[s]` one-hot outputs;
+/// per core `<name>_se` / `<name>_capture` / `<name>_update` /
+/// `<name>_intest`; `bist_start[j]`; `cycle_count[k]` diagnostics.
+///
+/// # Errors
+///
+/// Propagates netlist construction errors (none expected for valid
+/// specs).
+///
+/// # Panics
+///
+/// Panics if `spec.sessions == 0` or a core references a session out of
+/// range.
+pub fn controller_module(spec: &ControllerSpec) -> Result<Module, NetlistError> {
+    assert!(spec.sessions > 0, "need at least one session");
+    for c in &spec.cores {
+        for &s in &c.active_sessions {
+            assert!(s < spec.sessions, "core {} session {s} out of range", c.name);
+        }
+    }
+    let mut b = NetlistBuilder::new("steac_test_controller");
+    let tck = b.input("tck");
+    let trst_n = b.input("trst_n");
+    let test_mode = b.input("test_mode");
+    let next_session = b.input("next_session");
+    let auto_mode = b.input("auto_mode");
+    let t_se = b.input("t_se");
+    let t_capture = b.input("t_capture");
+    let t_update = b.input("t_update");
+
+    // --- Session counter + one-hot decode. ---
+    let sbits = spec.session_bits();
+    let sq = counter(&mut b, sbits, next_session, trst_n, tck, "sess");
+    // Binary session select for the TAM multiplexer.
+    for (i, &q) in sq.iter().enumerate() {
+        b.output(&format!("session_bin[{i}]"), q);
+    }
+    let sinv: Vec<NetId> = sq.iter().map(|&q| b.gate(GateKind::Inv, &[q])).collect();
+    let mut session_lines: Vec<NetId> = Vec::with_capacity(spec.sessions);
+    for s in 0..spec.sessions {
+        let lits: Vec<NetId> = (0..sbits)
+            .map(|i| if (s >> i) & 1 == 1 { sq[i] } else { sinv[i] })
+            .collect();
+        let line = b.and_tree(&lits);
+        session_lines.push(line);
+        b.output(&format!("session[{s}]"), line);
+    }
+
+    // --- Test cycle counter (counts while in test mode). ---
+    let cq = counter(
+        &mut b,
+        spec.cycle_counter_bits,
+        test_mode,
+        trst_n,
+        tck,
+        "cyc",
+    );
+    for (i, &q) in cq.iter().enumerate() {
+        b.output(&format!("cycle_count[{i}]"), q);
+    }
+
+    // --- Autonomous wrapper-timing FSM. ---
+    // State encoding: 00 idle, 01 shift, 10 capture, 11 update.
+    let s0 = b.net("fsm_s0");
+    let s1 = b.net("fsm_s1");
+    let in_idle = {
+        let n0 = b.gate(GateKind::Inv, &[s0]);
+        let n1 = b.gate(GateKind::Inv, &[s1]);
+        b.gate(GateKind::And2, &[n0, n1])
+    };
+    let in_shift = {
+        let n1 = b.gate(GateKind::Inv, &[s1]);
+        b.gate(GateKind::And2, &[s0, n1])
+    };
+    let in_capture = {
+        let n0 = b.gate(GateKind::Inv, &[s0]);
+        b.gate(GateKind::And2, &[n0, s1])
+    };
+    let in_update = b.gate(GateKind::And2, &[s0, s1]);
+
+    // Shift counter runs in SHIFT state, clears otherwise (via enable +
+    // AND-masked feedback).
+    let shq = counter(&mut b, spec.shift_counter_bits, in_shift, trst_n, tck, "shift");
+    let shift_tc = b.and_tree(&shq);
+
+    // Next-state logic.
+    // next_s0 = idle&test_mode | shift&~tc&1 ... derive per transition:
+    // idle -> shift (test_mode), shift -> capture (tc), capture -> update,
+    // update -> shift.
+    let not_tc = b.gate(GateKind::Inv, &[shift_tc]);
+    let stay_shift = b.gate(GateKind::And2, &[in_shift, not_tc]);
+    let idle_to_shift = b.gate(GateKind::And2, &[in_idle, test_mode]);
+    let to_shift = {
+        let a = b.gate(GateKind::Or2, &[idle_to_shift, in_update]);
+        b.gate(GateKind::Or2, &[a, stay_shift])
+    };
+    let to_capture = b.gate(GateKind::And2, &[in_shift, shift_tc]);
+    let to_update = in_capture;
+    let next_s0 = b.gate(GateKind::Or2, &[to_shift, to_update]);
+    let next_s1 = b.gate(GateKind::Or2, &[to_capture, to_update]);
+    b.gate_into(GateKind::DffR, &[next_s0, tck, trst_n], s0);
+    b.gate_into(GateKind::DffR, &[next_s1, tck, trst_n], s1);
+
+    // Control source selection: ATE lines or FSM lines.
+    let se_src = b.gate(GateKind::Mux2, &[t_se, in_shift, auto_mode]);
+    let cap_src = b.gate(GateKind::Mux2, &[t_capture, in_capture, auto_mode]);
+    let upd_src = b.gate(GateKind::Mux2, &[t_update, in_update, auto_mode]);
+
+    // --- Per-core gating. ---
+    for core in &spec.cores {
+        let sess: Vec<NetId> = core
+            .active_sessions
+            .iter()
+            .map(|&s| session_lines[s])
+            .collect();
+        let member = b.or_tree(&sess);
+        let enable = b.gate(GateKind::And2, &[member, test_mode]);
+        b.output(&format!("{}_intest", core.name), enable);
+        if core.uses_scan {
+            let se = b.gate(GateKind::And2, &[enable, se_src]);
+            b.output(&format!("{}_se", core.name), se);
+        }
+        let cap = b.gate(GateKind::And2, &[enable, cap_src]);
+        b.output(&format!("{}_capture", core.name), cap);
+        let upd = b.gate(GateKind::And2, &[enable, upd_src]);
+        b.output(&format!("{}_update", core.name), upd);
+    }
+
+    // --- BIST start levels (BIST runs in the last session). ---
+    let bist_session = session_lines[spec.sessions - 1];
+    for j in 0..spec.bist_interfaces {
+        let start = b.gate(GateKind::And2, &[bist_session, test_mode]);
+        b.output(&format!("bist_start[{j}]"), start);
+    }
+
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steac_netlist::AreaReport;
+    use steac_sim::{Logic, Simulator};
+
+    #[test]
+    fn dsc_controller_area_matches_paper_band() {
+        let m = controller_module(&ControllerSpec::dsc()).unwrap();
+        let area = AreaReport::for_module(&m).total_ge();
+        // Paper: "about 371 gates". Accept a ±12% engineering band.
+        assert!(
+            (area - 371.0).abs() / 371.0 < 0.12,
+            "controller area {area} GE vs paper 371"
+        );
+    }
+
+    fn setup(sim: &mut Simulator<'_>) {
+        for p in [
+            "tck",
+            "test_mode",
+            "next_session",
+            "auto_mode",
+            "t_se",
+            "t_capture",
+            "t_update",
+        ] {
+            sim.set_by_name(p, Logic::Zero).unwrap();
+        }
+        sim.set_by_name("trst_n", Logic::Zero).unwrap();
+        sim.settle().unwrap();
+        sim.set_by_name("trst_n", Logic::One).unwrap();
+        sim.settle().unwrap();
+    }
+
+    #[test]
+    fn sessions_advance_in_order() {
+        let m = controller_module(&ControllerSpec::dsc()).unwrap();
+        let mut sim = Simulator::new(&m).unwrap();
+        setup(&mut sim);
+        assert_eq!(sim.get_by_name("session[0]").unwrap(), Logic::One);
+        assert_eq!(sim.get_by_name("session[1]").unwrap(), Logic::Zero);
+        sim.set_by_name("next_session", Logic::One).unwrap();
+        sim.clock_cycle_by_name("tck").unwrap();
+        sim.set_by_name("next_session", Logic::Zero).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.get_by_name("session[0]").unwrap(), Logic::Zero);
+        assert_eq!(sim.get_by_name("session[1]").unwrap(), Logic::One);
+    }
+
+    #[test]
+    fn core_controls_follow_session_membership() {
+        let m = controller_module(&ControllerSpec::dsc()).unwrap();
+        let mut sim = Simulator::new(&m).unwrap();
+        setup(&mut sim);
+        sim.set_by_name("test_mode", Logic::One).unwrap();
+        sim.set_by_name("t_se", Logic::One).unwrap();
+        sim.settle().unwrap();
+        // Session 0: USB and TV active, JPEG not.
+        assert_eq!(sim.get_by_name("usb_se").unwrap(), Logic::One);
+        assert_eq!(sim.get_by_name("tv_se").unwrap(), Logic::One);
+        assert_eq!(sim.get_by_name("usb_intest").unwrap(), Logic::One);
+        assert_eq!(sim.get_by_name("jpeg_intest").unwrap(), Logic::Zero);
+        // Advance to session 2: JPEG active, BIST started.
+        for _ in 0..2 {
+            sim.set_by_name("next_session", Logic::One).unwrap();
+            sim.clock_cycle_by_name("tck").unwrap();
+            sim.set_by_name("next_session", Logic::Zero).unwrap();
+        }
+        sim.settle().unwrap();
+        assert_eq!(sim.get_by_name("usb_se").unwrap(), Logic::Zero);
+        assert_eq!(sim.get_by_name("jpeg_intest").unwrap(), Logic::One);
+        assert_eq!(sim.get_by_name("bist_start[0]").unwrap(), Logic::One);
+    }
+
+    #[test]
+    fn cycle_counter_counts_only_in_test_mode() {
+        let m = controller_module(&ControllerSpec::dsc()).unwrap();
+        let mut sim = Simulator::new(&m).unwrap();
+        setup(&mut sim);
+        for _ in 0..3 {
+            sim.clock_cycle_by_name("tck").unwrap();
+        }
+        assert_eq!(sim.get_by_name("cycle_count[0]").unwrap(), Logic::Zero);
+        sim.set_by_name("test_mode", Logic::One).unwrap();
+        for _ in 0..3 {
+            sim.clock_cycle_by_name("tck").unwrap();
+        }
+        // 3 = 0b11: bits 0 and 1 set.
+        assert_eq!(sim.get_by_name("cycle_count[0]").unwrap(), Logic::One);
+        assert_eq!(sim.get_by_name("cycle_count[1]").unwrap(), Logic::One);
+        assert_eq!(sim.get_by_name("cycle_count[2]").unwrap(), Logic::Zero);
+    }
+
+    #[test]
+    fn ate_driven_controls_pass_through() {
+        let m = controller_module(&ControllerSpec::dsc()).unwrap();
+        let mut sim = Simulator::new(&m).unwrap();
+        setup(&mut sim);
+        sim.set_by_name("test_mode", Logic::One).unwrap();
+        sim.set_by_name("t_capture", Logic::One).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.get_by_name("usb_capture").unwrap(), Logic::One);
+        sim.set_by_name("t_capture", Logic::Zero).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.get_by_name("usb_capture").unwrap(), Logic::Zero);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_session_panics() {
+        let spec = ControllerSpec {
+            sessions: 2,
+            cores: vec![CoreControl {
+                name: "x".to_string(),
+                active_sessions: vec![5],
+                uses_scan: false,
+            }],
+            cycle_counter_bits: 4,
+            shift_counter_bits: 4,
+            bist_interfaces: 0,
+        };
+        let _ = controller_module(&spec);
+    }
+}

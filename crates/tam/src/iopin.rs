@@ -1,0 +1,97 @@
+//! Chip test-IO budget arithmetic.
+//!
+//! The paper's central scheduling observation: *"When the test IO resource
+//! constraint is considered, parallel testing may not be better than
+//! serial testing. This is because more test control IOs are needed for
+//! parallel testing, so fewer IO pins can be used as the test data IOs
+//! (i.e., TAM IOs)."*
+//!
+//! [`PinBudget`] turns a control-pin count into an available TAM width:
+//! every TAM wire needs a stimulus pin *and* a response pin, so
+//! `tam_width = (test_pins - reserved - control_pins) / 2`.
+
+use std::fmt;
+
+/// The chip's test-usable pin budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PinBudget {
+    /// Chip pins available in test mode (functional pins are reusable as
+    /// test pins through pad muxing).
+    pub test_pins: usize,
+    /// Pins that can never carry test data (PLL reference, power control,
+    /// the global test-mode pin itself...).
+    pub reserved: usize,
+}
+
+impl PinBudget {
+    /// Budget with no reserved pins.
+    #[must_use]
+    pub fn new(test_pins: usize) -> Self {
+        PinBudget {
+            test_pins,
+            reserved: 0,
+        }
+    }
+
+    /// Budget with reserved pins.
+    #[must_use]
+    pub fn with_reserved(test_pins: usize, reserved: usize) -> Self {
+        PinBudget {
+            test_pins,
+            reserved,
+        }
+    }
+
+    /// Pins left for test data after control pins are allocated.
+    #[must_use]
+    pub fn data_pins(&self, control_pins: usize) -> usize {
+        self.test_pins
+            .saturating_sub(self.reserved)
+            .saturating_sub(control_pins)
+    }
+
+    /// Maximum TAM width (wire pairs) given `control_pins` in use: each
+    /// TAM wire consumes one input pin and one output pin.
+    #[must_use]
+    pub fn tam_width(&self, control_pins: usize) -> usize {
+        self.data_pins(control_pins) / 2
+    }
+}
+
+impl fmt::Display for PinBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} test pins ({} reserved)",
+            self.test_pins, self.reserved
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tam_width_shrinks_with_control_pins() {
+        let b = PinBudget::with_reserved(180, 2);
+        // The paper's DSC: 19 unshared control pins.
+        let wide = b.tam_width(6); // shared controls
+        let narrow = b.tam_width(19); // unshared controls
+        assert!(wide > narrow, "{wide} vs {narrow}");
+        assert_eq!(narrow, (180 - 2 - 19) / 2);
+    }
+
+    #[test]
+    fn saturating_at_zero() {
+        let b = PinBudget::new(10);
+        assert_eq!(b.data_pins(20), 0);
+        assert_eq!(b.tam_width(20), 0);
+    }
+
+    #[test]
+    fn display_mentions_reserved() {
+        let b = PinBudget::with_reserved(100, 4);
+        assert!(b.to_string().contains("4 reserved"));
+    }
+}

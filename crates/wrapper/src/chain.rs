@@ -1,0 +1,325 @@
+//! Wrapper scan-chain construction and balancing.
+//!
+//! A wrapper chain concatenates input WBR cells, internal scan chains and
+//! output WBR cells into one shift path per TAM wire. Test time depends on
+//! the longest scan-in and scan-out paths, so STEAC balances the partition
+//! per assigned TAM width. Two regimes match the paper:
+//!
+//! * **hard cores** ([`balance_fixed`]): internal chains are immutable;
+//!   they are packed onto TAM wires with the LPT (longest processing time
+//!   first) heuristic, then boundary cells are distributed greedily;
+//! * **soft cores** ([`balance_soft`]): "If the IP is a soft core, the
+//!   scan chains can be reconfigured. The Core Test Scheduler will then
+//!   rebalance scan chains for each assigned TAM width" — all scan cells
+//!   are redistributed evenly.
+
+use std::fmt;
+
+/// One wrapper chain: what shifts through a single TAM wire.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WrapperChainPlan {
+    /// Number of input WBR cells on this chain.
+    pub in_cells: usize,
+    /// Number of output WBR cells on this chain.
+    pub out_cells: usize,
+    /// Internal scan chain lengths threaded on this chain, in shift order.
+    pub internal_lengths: Vec<usize>,
+    /// Indices of the source internal chains (into the core's chain list)
+    /// in the same order as [`internal_lengths`](Self::internal_lengths).
+    /// For soft cores these index the rebalanced chains.
+    pub internal_indices: Vec<usize>,
+}
+
+impl WrapperChainPlan {
+    /// Scan cells from internal chains on this wrapper chain.
+    #[must_use]
+    pub fn internal_cells(&self) -> usize {
+        self.internal_lengths.iter().sum()
+    }
+
+    /// Scan-in length: cells that must be loaded to apply a stimulus
+    /// (input cells + internal cells).
+    #[must_use]
+    pub fn scan_in_len(&self) -> usize {
+        self.in_cells + self.internal_cells()
+    }
+
+    /// Scan-out length: cells that must be unloaded to observe a response
+    /// (internal cells + output cells).
+    #[must_use]
+    pub fn scan_out_len(&self) -> usize {
+        self.internal_cells() + self.out_cells
+    }
+
+    /// Total flops on the chain.
+    #[must_use]
+    pub fn total_len(&self) -> usize {
+        self.in_cells + self.internal_cells() + self.out_cells
+    }
+}
+
+/// A complete wrapper-chain configuration for one TAM width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WrapperPlan {
+    /// Number of wrapper chains (assigned TAM width).
+    pub width: usize,
+    /// Per-chain plans; `chains.len() == width` (chains may be empty).
+    pub chains: Vec<WrapperChainPlan>,
+}
+
+impl WrapperPlan {
+    /// Longest scan-in path over all chains.
+    #[must_use]
+    pub fn si_max(&self) -> usize {
+        self.chains.iter().map(WrapperChainPlan::scan_in_len).max().unwrap_or(0)
+    }
+
+    /// Longest scan-out path over all chains.
+    #[must_use]
+    pub fn so_max(&self) -> usize {
+        self.chains.iter().map(WrapperChainPlan::scan_out_len).max().unwrap_or(0)
+    }
+
+    /// Total internal scan cells across chains.
+    #[must_use]
+    pub fn total_internal_cells(&self) -> usize {
+        self.chains.iter().map(WrapperChainPlan::internal_cells).sum()
+    }
+
+    /// Total boundary cells across chains.
+    #[must_use]
+    pub fn total_boundary_cells(&self) -> usize {
+        self.chains.iter().map(|c| c.in_cells + c.out_cells).sum()
+    }
+
+    /// Scan test application time in tester cycles for `patterns` test
+    /// patterns: the classic wrapper/TAM model
+    /// `T = (1 + max(si, so)) · p + min(si, so)`.
+    #[must_use]
+    pub fn test_time(&self, patterns: u64) -> u64 {
+        if patterns == 0 {
+            return 0;
+        }
+        let si = self.si_max() as u64;
+        let so = self.so_max() as u64;
+        (1 + si.max(so)) * patterns + si.min(so)
+    }
+}
+
+impl fmt::Display for WrapperPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "wrapper plan: width {} (si_max {}, so_max {})",
+            self.width,
+            self.si_max(),
+            self.so_max()
+        )?;
+        for (i, c) in self.chains.iter().enumerate() {
+            writeln!(
+                f,
+                "  chain {i}: {} in + {:?} internal + {} out (si {}, so {})",
+                c.in_cells,
+                c.internal_lengths,
+                c.out_cells,
+                c.scan_in_len(),
+                c.scan_out_len()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Balances a **hard core**: internal chains are packed with LPT onto
+/// `width` wrapper chains, then input and output cells are distributed to
+/// minimise the maxima of scan-in/scan-out lengths.
+///
+/// # Panics
+///
+/// Panics if `width == 0`; a core assigned zero TAM wires cannot be
+/// wrapped (the scheduler never requests it).
+#[must_use]
+pub fn balance_fixed(
+    internal_chains: &[usize],
+    inputs: usize,
+    outputs: usize,
+    width: usize,
+) -> WrapperPlan {
+    assert!(width > 0, "wrapper needs at least one TAM wire");
+    let mut chains = vec![WrapperChainPlan::default(); width];
+
+    // LPT: longest internal chain first, onto the currently shortest
+    // wrapper chain.
+    let mut sorted: Vec<(usize, usize)> = internal_chains.iter().copied().enumerate().collect();
+    sorted.sort_unstable_by(|a, b| b.1.cmp(&a.1));
+    for (idx, len) in sorted {
+        let tgt = (0..width)
+            .min_by_key(|&i| chains[i].internal_cells())
+            .expect("width > 0");
+        chains[tgt].internal_lengths.push(len);
+        chains[tgt].internal_indices.push(idx);
+    }
+
+    // Distribute input cells one by one to the chain with the smallest
+    // scan-in length (greedy optimal for unit items).
+    for _ in 0..inputs {
+        let tgt = (0..width)
+            .min_by_key(|&i| chains[i].scan_in_len())
+            .expect("width > 0");
+        chains[tgt].in_cells += 1;
+    }
+    // Likewise output cells against scan-out length.
+    for _ in 0..outputs {
+        let tgt = (0..width)
+            .min_by_key(|&i| chains[i].scan_out_len())
+            .expect("width > 0");
+        chains[tgt].out_cells += 1;
+    }
+
+    WrapperPlan { width, chains }
+}
+
+/// Balances a **soft core**: the `total_cells` scan cells are freely
+/// redistributed into `width` chains of near-equal length before boundary
+/// cells are added (the paper's rebalancing feedback to the SOC
+/// integrator).
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+#[must_use]
+pub fn balance_soft(
+    total_cells: usize,
+    inputs: usize,
+    outputs: usize,
+    width: usize,
+) -> WrapperPlan {
+    assert!(width > 0, "wrapper needs at least one TAM wire");
+    let base = total_cells / width;
+    let extra = total_cells % width;
+    let internal: Vec<usize> = (0..width)
+        .map(|i| base + usize::from(i < extra))
+        .collect();
+    balance_fixed(&internal, inputs, outputs, width)
+}
+
+/// Sweeps widths `1..=max_width` and returns `(width, test_time)` pairs —
+/// the staircase curve used by the scheduler to pick TAM assignments.
+#[must_use]
+pub fn width_sweep(
+    internal_chains: &[usize],
+    inputs: usize,
+    outputs: usize,
+    patterns: u64,
+    soft: bool,
+    max_width: usize,
+) -> Vec<(usize, u64)> {
+    let total: usize = internal_chains.iter().sum();
+    (1..=max_width.max(1))
+        .map(|w| {
+            let plan = if soft {
+                balance_soft(total, inputs, outputs, w)
+            } else {
+                balance_fixed(internal_chains, inputs, outputs, w)
+            };
+            (w, plan.test_time(patterns))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 1 USB core data.
+    const USB_CHAINS: [usize; 4] = [1629, 78, 293, 45];
+
+    #[test]
+    fn everything_is_placed_exactly_once() {
+        let plan = balance_fixed(&USB_CHAINS, 221, 104, 3);
+        assert_eq!(plan.total_internal_cells(), 2045);
+        assert_eq!(plan.total_boundary_cells(), 221 + 104);
+        assert_eq!(plan.chains.len(), 3);
+    }
+
+    #[test]
+    fn lpt_bound_holds() {
+        // max chain load <= total/width + longest item (classic LPT bound).
+        let plan = balance_fixed(&USB_CHAINS, 0, 0, 4);
+        let max_load = plan
+            .chains
+            .iter()
+            .map(WrapperChainPlan::internal_cells)
+            .max()
+            .unwrap();
+        let total: usize = USB_CHAINS.iter().sum();
+        assert!(max_load <= total / 4 + 1629);
+        // With the 1629 monster chain, si_max is dominated by it.
+        assert_eq!(max_load, 1629);
+    }
+
+    #[test]
+    fn soft_rebalance_beats_fixed_for_usb() {
+        // The USB core's 1629-flop chain dominates fixed balancing; a soft
+        // rebalance spreads 2045 flops into ~512 per chain at width 4.
+        let fixed = balance_fixed(&USB_CHAINS, 221, 104, 4);
+        let soft = balance_soft(2045, 221, 104, 4);
+        assert!(soft.si_max() < fixed.si_max());
+        assert!(soft.test_time(716) < fixed.test_time(716));
+        // Soft internal chains differ by at most one cell.
+        let lens: Vec<usize> = soft.chains.iter().map(|c| c.internal_cells()).collect();
+        let max = lens.iter().max().unwrap();
+        let min = lens.iter().min().unwrap();
+        assert!(max - min <= 1, "{lens:?}");
+    }
+
+    #[test]
+    fn test_time_formula() {
+        // One chain of 10 cells, 2 in, 3 out, width 1:
+        // si = 12, so = 13, p = 5 -> (1+13)*5 + 12 = 82.
+        let plan = balance_fixed(&[10], 2, 3, 1);
+        assert_eq!(plan.si_max(), 12);
+        assert_eq!(plan.so_max(), 13);
+        assert_eq!(plan.test_time(5), 82);
+        assert_eq!(plan.test_time(0), 0);
+    }
+
+    #[test]
+    fn wider_tam_never_hurts_soft_cores() {
+        let mut prev = u64::MAX;
+        for w in 1..=8 {
+            let t = balance_soft(2045, 221, 104, w).test_time(716);
+            assert!(t <= prev, "width {w} worsened: {t} > {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn width_sweep_shape() {
+        let sweep = width_sweep(&USB_CHAINS, 221, 104, 716, false, 6);
+        assert_eq!(sweep.len(), 6);
+        assert_eq!(sweep[0].0, 1);
+        // Hard core: beyond 4 chains the 1629 chain dominates; time
+        // plateaus (staircase).
+        let t4 = sweep[3].1;
+        let t6 = sweep[5].1;
+        assert_eq!(t4, t6, "staircase plateau expected: {sweep:?}");
+    }
+
+    #[test]
+    fn pure_combinational_core_gets_boundary_only_chains() {
+        // JPEG-like: no internal scan, 165 in / 104 out.
+        let plan = balance_fixed(&[], 165, 104, 4);
+        assert_eq!(plan.total_internal_cells(), 0);
+        assert_eq!(plan.total_boundary_cells(), 269);
+        // Cells spread evenly: si_max = ceil(165/4) = 42.
+        assert_eq!(plan.si_max(), 42);
+        assert_eq!(plan.so_max(), 26);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one TAM wire")]
+    fn zero_width_panics() {
+        let _ = balance_fixed(&[1], 0, 0, 0);
+    }
+}

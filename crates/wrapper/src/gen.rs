@@ -1,0 +1,498 @@
+//! Wrapper generation: builds a complete IEEE 1500-style wrapper module
+//! around a core netlist according to a [`WrapperPlan`].
+//!
+//! The generated wrapper exposes:
+//!
+//! * the core's functional pins (transparent in normal mode),
+//! * `wsi[k]` / `wso[k]` parallel test terminals, one pair per wrapper
+//!   chain (the TAM connects here),
+//! * mode/control lines `w_se`, `w_capture`, `w_update`, `w_intest`,
+//!   `w_extest` and the wrapper clock `wck`.
+//!
+//! Mode lines are driven in parallel by STEAC's Test Controller (the DSC
+//! chip reconfigures wrappers between test sessions); the serial
+//! [`crate::wir`] is provided for 1500-compliant stand-alone operation.
+
+use crate::chain::WrapperPlan;
+use crate::cell::{wbr_cell_module, WBR_CELL_NAME};
+use steac_netlist::{Design, Module, NetId, NetlistBuilder, NetlistError, PortDir};
+
+/// Interface description the generator needs about a core.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WrapOptions {
+    /// The core's clock input, driven from the wrapper clock `wck`
+    /// (`None` for purely combinational cores).
+    pub clock_port: Option<String>,
+    /// Internal scan-chain scan-in ports; index = internal chain index
+    /// referenced by [`WrapperPlan`].
+    pub scan_si: Vec<String>,
+    /// Internal scan-chain scan-out ports, same order as `scan_si`.
+    pub scan_so: Vec<String>,
+    /// The core's scan-enable input, driven from `w_se`.
+    pub scan_se: Option<String>,
+    /// Input ports wired straight through without a WBR cell (resets,
+    /// test-mode pins).
+    pub passthrough_inputs: Vec<String>,
+    /// Output ports wired straight through without a WBR cell.
+    pub passthrough_outputs: Vec<String>,
+}
+
+/// Result summary of a wrap operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WrappedCore {
+    /// Name of the generated wrapper module (`<core>_wrapped`).
+    pub module_name: String,
+    /// Number of wrapper chains (TAM width).
+    pub width: usize,
+    /// Total flops per wrapper chain (boundary + internal).
+    pub chain_lengths: Vec<usize>,
+    /// Number of WBR cells instantiated.
+    pub boundary_cells: usize,
+    /// Names of the wrapped functional input pins in chain order.
+    pub wrapped_inputs: Vec<String>,
+    /// Names of the wrapped functional output pins in chain order.
+    pub wrapped_outputs: Vec<String>,
+}
+
+/// Generates `<core>_wrapped` in `design` following `plan`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnknownModule`] if the core is missing and
+/// [`NetlistError::UnknownPort`] if `opts` references ports the core does
+/// not have.
+///
+/// # Panics
+///
+/// Panics if `plan` is inconsistent with the core interface (boundary
+/// cell counts must equal the number of wrapped pins; internal chain
+/// indices must be in range) — these are programming errors in the
+/// caller's plan computation, not data errors.
+pub fn wrap_core(
+    design: &mut Design,
+    core: &str,
+    plan: &WrapperPlan,
+    opts: &WrapOptions,
+) -> Result<WrappedCore, NetlistError> {
+    let core_mod = design
+        .module(core)
+        .ok_or_else(|| NetlistError::UnknownModule {
+            name: core.to_string(),
+        })?;
+
+    // Validate referenced ports exist.
+    let check = |name: &str| -> Result<(), NetlistError> {
+        if core_mod.port(name).is_none() {
+            return Err(NetlistError::UnknownPort {
+                module: core.to_string(),
+                port: name.to_string(),
+            });
+        }
+        Ok(())
+    };
+    if let Some(ck) = &opts.clock_port {
+        check(ck)?;
+    }
+    if let Some(se) = &opts.scan_se {
+        check(se)?;
+    }
+    for p in opts
+        .scan_si
+        .iter()
+        .chain(&opts.scan_so)
+        .chain(&opts.passthrough_inputs)
+        .chain(&opts.passthrough_outputs)
+    {
+        check(p)?;
+    }
+
+    // Classify functional pins (in port order).
+    let is_special_in = |n: &str| {
+        opts.clock_port.as_deref() == Some(n)
+            || opts.scan_se.as_deref() == Some(n)
+            || opts.scan_si.iter().any(|s| s == n)
+            || opts.passthrough_inputs.iter().any(|s| s == n)
+    };
+    let is_special_out =
+        |n: &str| opts.scan_so.iter().any(|s| s == n) || opts.passthrough_outputs.iter().any(|s| s == n);
+    let func_inputs: Vec<String> = core_mod
+        .ports_with_dir(PortDir::Input)
+        .map(|p| p.name.clone())
+        .filter(|n| !is_special_in(n))
+        .collect();
+    let func_outputs: Vec<String> = core_mod
+        .ports_with_dir(PortDir::Output)
+        .map(|p| p.name.clone())
+        .filter(|n| !is_special_out(n))
+        .collect();
+
+    let plan_ins: usize = plan.chains.iter().map(|c| c.in_cells).sum();
+    let plan_outs: usize = plan.chains.iter().map(|c| c.out_cells).sum();
+    assert_eq!(
+        plan_ins,
+        func_inputs.len(),
+        "plan input cells ({plan_ins}) != functional inputs ({})",
+        func_inputs.len()
+    );
+    assert_eq!(
+        plan_outs,
+        func_outputs.len(),
+        "plan output cells ({plan_outs}) != functional outputs ({})",
+        func_outputs.len()
+    );
+    for c in &plan.chains {
+        for &idx in &c.internal_indices {
+            assert!(
+                idx < opts.scan_si.len() && idx < opts.scan_so.len(),
+                "plan references internal chain {idx} but the core declares {}",
+                opts.scan_si.len()
+            );
+        }
+    }
+
+    // Make sure the WBR cell module is available.
+    if design.module(WBR_CELL_NAME).is_none() {
+        design.add_module(wbr_cell_module()?)?;
+    }
+
+    let mut b = NetlistBuilder::new(format!("{core}_wrapped"));
+    let wck = b.input("wck");
+    let w_se = b.input("w_se");
+    let w_capture = b.input("w_capture");
+    let w_update = b.input("w_update");
+    let w_intest = b.input("w_intest");
+    let w_extest = b.input("w_extest");
+    let tie0 = b.tie0();
+
+    // Wrapper-side functional and passthrough ports.
+    let mut core_conn: Vec<(String, NetId)> = Vec::new();
+    if let Some(ck) = &opts.clock_port {
+        core_conn.push((ck.clone(), wck));
+    }
+    if let Some(se) = &opts.scan_se {
+        core_conn.push((se.clone(), w_se));
+    }
+    for p in &opts.passthrough_inputs {
+        let n = b.input(p);
+        core_conn.push((p.clone(), n));
+    }
+    for p in &opts.passthrough_outputs {
+        let n = b.net(&format!("pt_{p}"));
+        b.output(p, n);
+        core_conn.push((p.clone(), n));
+    }
+
+    // Functional pins: one WBR per pin; record the cell nets for chaining.
+    struct BoundaryCell {
+        cti: NetId,
+        cto: NetId,
+    }
+    let mut in_cells: Vec<BoundaryCell> = Vec::with_capacity(func_inputs.len());
+    for name in &func_inputs {
+        let pin = b.input(name);
+        let core_side = b.net(&format!("to_core_{name}"));
+        let cti = b.net(&format!("wbr_in_{name}_cti"));
+        let cto = b.net(&format!("wbr_in_{name}_cto"));
+        b.instance(
+            &format!("wbr_in_{name}"),
+            WBR_CELL_NAME,
+            &[
+                ("cfi", pin),
+                ("cti", cti),
+                ("safe", tie0),
+                ("shift_en", w_se),
+                ("capture_en", w_capture),
+                ("update_en", w_update),
+                ("safe_en", tie0),
+                ("mode", w_intest),
+                ("ck", wck),
+                ("cfo", core_side),
+                ("cto", cto),
+            ],
+        );
+        core_conn.push((name.clone(), core_side));
+        in_cells.push(BoundaryCell { cti, cto });
+    }
+    let mut out_cells: Vec<BoundaryCell> = Vec::with_capacity(func_outputs.len());
+    for name in &func_outputs {
+        let core_side = b.net(&format!("from_core_{name}"));
+        let pin = b.net(&format!("pin_{name}"));
+        b.output(name, pin);
+        let cti = b.net(&format!("wbr_out_{name}_cti"));
+        let cto = b.net(&format!("wbr_out_{name}_cto"));
+        b.instance(
+            &format!("wbr_out_{name}"),
+            WBR_CELL_NAME,
+            &[
+                ("cfi", core_side),
+                ("cti", cti),
+                ("safe", tie0),
+                ("shift_en", w_se),
+                ("capture_en", w_capture),
+                ("update_en", w_update),
+                ("safe_en", tie0),
+                ("mode", w_extest),
+                ("ck", wck),
+                ("cfo", pin),
+                ("cto", cto),
+            ],
+        );
+        core_conn.push((name.clone(), core_side));
+        out_cells.push(BoundaryCell { cti, cto });
+    }
+
+    // Thread the wrapper chains.
+    let mut next_in = 0usize;
+    let mut next_out = 0usize;
+    let mut chain_lengths = Vec::with_capacity(plan.width);
+    for (k, cp) in plan.chains.iter().enumerate() {
+        let wsi = b.input(&format!("wsi[{k}]"));
+        let mut cursor = wsi;
+        for cell in &in_cells[next_in..next_in + cp.in_cells] {
+            // cursor drives this cell's cti.
+            b.gate_into(steac_netlist::GateKind::Buf, &[cursor], cell.cti);
+            cursor = cell.cto;
+        }
+        next_in += cp.in_cells;
+        for &idx in &cp.internal_indices {
+            core_conn.push((opts.scan_si[idx].clone(), cursor));
+            let so_net = b.net(&format!("chain{k}_so_{idx}"));
+            core_conn.push((opts.scan_so[idx].clone(), so_net));
+            cursor = so_net;
+        }
+        for cell in &out_cells[next_out..next_out + cp.out_cells] {
+            b.gate_into(steac_netlist::GateKind::Buf, &[cursor], cell.cti);
+            cursor = cell.cto;
+        }
+        next_out += cp.out_cells;
+        b.output(&format!("wso[{k}]"), cursor);
+        chain_lengths.push(cp.total_len());
+    }
+
+    b.instance(
+        &format!("u_{core}"),
+        core,
+        &core_conn
+            .iter()
+            .map(|(p, n)| (p.as_str(), *n))
+            .collect::<Vec<_>>(),
+    );
+
+    let module: Module = b.finish()?;
+    let module_name = module.name.clone();
+    design.add_module(module)?;
+    Ok(WrappedCore {
+        module_name,
+        width: plan.width,
+        chain_lengths,
+        boundary_cells: func_inputs.len() + func_outputs.len(),
+        wrapped_inputs: func_inputs,
+        wrapped_outputs: func_outputs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::balance_fixed;
+    use steac_netlist::{stitch_scan, GateKind, NetlistBuilder, StitchConfig};
+    use steac_sim::{scan, Logic, ScanPorts, Simulator};
+
+    fn and_core() -> Module {
+        let mut b = NetlistBuilder::new("and_core");
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.gate(GateKind::And2, &[a, c]);
+        b.output("y", y);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn wrap_combinational_core_and_run_intest() {
+        let mut design = Design::new();
+        design.add_module(and_core()).unwrap();
+        let plan = balance_fixed(&[], 2, 1, 1);
+        let wrapped = wrap_core(&mut design, "and_core", &plan, &WrapOptions::default())
+            .expect("wrap succeeds");
+        assert_eq!(wrapped.boundary_cells, 3);
+        assert_eq!(wrapped.chain_lengths, vec![3]);
+
+        let flat = design.flatten(&wrapped.module_name).unwrap();
+        let mut sim = Simulator::new(&flat).unwrap();
+        for p in ["w_se", "w_capture", "w_update", "w_intest", "w_extest", "wck", "a", "b"] {
+            sim.set_by_name(p, Logic::Zero).unwrap();
+        }
+        sim.settle().unwrap();
+
+        let ports = ScanPorts {
+            si: vec!["wsi[0]".to_string()],
+            so: vec!["wso[0]".to_string()],
+            se: "w_se".to_string(),
+            clock: "wck".to_string(),
+        };
+        // Chain order: in_a -> in_b -> out_y. Bit k of the stimulus maps
+        // to flop L-1-k, so bits are [out_y, b, a] = [X, 1, 1].
+        use Logic::{One, X, Zero};
+        scan::shift(&mut sim, &ports, &[vec![X, One, One]]).unwrap();
+        // Update the latches and enter INTEST.
+        sim.set_by_name("w_intest", One).unwrap();
+        sim.set_by_name("w_update", One).unwrap();
+        sim.settle().unwrap();
+        sim.set_by_name("w_update", Zero).unwrap();
+        sim.settle().unwrap();
+        // Capture the core response into the output cell.
+        sim.set_by_name("w_capture", One).unwrap();
+        sim.clock_cycle_by_name("wck").unwrap();
+        sim.set_by_name("w_capture", Zero).unwrap();
+        // Unload: response bit 0 corresponds to the deepest flop (out_y).
+        let out = scan::shift(&mut sim, &ports, &[vec![Zero, Zero, Zero]]).unwrap();
+        assert_eq!(out[0][0], One, "AND(1,1) must capture 1, got {:?}", out[0]);
+
+        // Second pattern: a=1, b=0 -> 0.
+        scan::shift(&mut sim, &ports, &[vec![X, Zero, One]]).unwrap();
+        sim.set_by_name("w_update", One).unwrap();
+        sim.settle().unwrap();
+        sim.set_by_name("w_update", Zero).unwrap();
+        sim.set_by_name("w_capture", One).unwrap();
+        sim.clock_cycle_by_name("wck").unwrap();
+        sim.set_by_name("w_capture", Zero).unwrap();
+        let out = scan::shift(&mut sim, &ports, &[vec![Zero, Zero, Zero]]).unwrap();
+        assert_eq!(out[0][0], Zero);
+    }
+
+    #[test]
+    fn normal_mode_is_transparent() {
+        let mut design = Design::new();
+        design.add_module(and_core()).unwrap();
+        let plan = balance_fixed(&[], 2, 1, 1);
+        let wrapped =
+            wrap_core(&mut design, "and_core", &plan, &WrapOptions::default()).unwrap();
+        let flat = design.flatten(&wrapped.module_name).unwrap();
+        let mut sim = Simulator::new(&flat).unwrap();
+        for p in ["w_se", "w_capture", "w_update", "w_intest", "w_extest", "wck"] {
+            sim.set_by_name(p, Logic::Zero).unwrap();
+        }
+        sim.set_by_name("a", Logic::One).unwrap();
+        sim.set_by_name("b", Logic::One).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.get_by_name("y").unwrap(), Logic::One);
+        sim.set_by_name("b", Logic::Zero).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.get_by_name("y").unwrap(), Logic::Zero);
+    }
+
+    #[test]
+    fn wrap_sequential_core_threads_internal_chain() {
+        // A 3-flop core with one scan chain.
+        let mut b = NetlistBuilder::new("seq_core");
+        let ck = b.input("ck");
+        let d = b.input("d");
+        let mut cur = d;
+        for _ in 0..3 {
+            cur = b.gate(GateKind::Dff, &[cur, ck]);
+        }
+        b.output("q", cur);
+        let mut m = b.finish().unwrap();
+        stitch_scan(&mut m, &StitchConfig::balanced(1)).unwrap();
+
+        let mut design = Design::new();
+        design.add_module(m).unwrap();
+        let plan = balance_fixed(&[3], 1, 1, 1);
+        let opts = WrapOptions {
+            clock_port: Some("ck".to_string()),
+            scan_si: vec!["scan_si[0]".to_string()],
+            scan_so: vec!["scan_so[0]".to_string()],
+            scan_se: Some("scan_se".to_string()),
+            ..WrapOptions::default()
+        };
+        let wrapped = wrap_core(&mut design, "seq_core", &plan, &opts).unwrap();
+        // 1 in + 3 internal + 1 out = 5 flops on the chain.
+        assert_eq!(wrapped.chain_lengths, vec![5]);
+
+        let flat = design.flatten(&wrapped.module_name).unwrap();
+        // Boundary (2 WBR flops) + internal 3 = 5 flops total... plus
+        // none others.
+        assert_eq!(flat.flop_count(), 5);
+
+        // FIFO check through the whole 5-flop path.
+        let mut sim = Simulator::new(&flat).unwrap();
+        for p in ["w_se", "w_capture", "w_update", "w_intest", "w_extest", "wck", "d"] {
+            sim.set_by_name(p, Logic::Zero).unwrap();
+        }
+        sim.settle().unwrap();
+        let ports = ScanPorts {
+            si: vec!["wsi[0]".to_string()],
+            so: vec!["wso[0]".to_string()],
+            se: "w_se".to_string(),
+            clock: "wck".to_string(),
+        };
+        use Logic::{One, Zero};
+        let pattern = vec![One, Zero, One, One, Zero];
+        scan::shift(&mut sim, &ports, &[pattern.clone()]).unwrap();
+        let out = scan::shift(&mut sim, &ports, &[vec![Zero; 5]]).unwrap();
+        assert_eq!(out[0], pattern, "scan path must behave as a FIFO");
+    }
+
+    #[test]
+    fn extest_drives_chip_pins_from_boundary_cells() {
+        // In EXTEST the output cells drive the chip-side pins from their
+        // update latches (interconnect test).
+        let mut design = Design::new();
+        design.add_module(and_core()).unwrap();
+        let plan = balance_fixed(&[], 2, 1, 1);
+        let wrapped =
+            wrap_core(&mut design, "and_core", &plan, &WrapOptions::default()).unwrap();
+        let flat = design.flatten(&wrapped.module_name).unwrap();
+        let mut sim = Simulator::new(&flat).unwrap();
+        for p in ["w_se", "w_capture", "w_update", "w_intest", "w_extest", "wck", "a", "b"] {
+            sim.set_by_name(p, Logic::Zero).unwrap();
+        }
+        sim.settle().unwrap();
+        let ports = ScanPorts {
+            si: vec!["wsi[0]".to_string()],
+            so: vec!["wso[0]".to_string()],
+            se: "w_se".to_string(),
+            clock: "wck".to_string(),
+        };
+        use Logic::{One, X, Zero};
+        // Chain order in_a -> in_b -> out_y; bit k maps to flop 2-k, so
+        // [out_y, b, a] = [1, X, X]: load a 1 into the output cell.
+        scan::shift(&mut sim, &ports, &[vec![One, X, X]]).unwrap();
+        sim.set_by_name("w_update", One).unwrap();
+        sim.settle().unwrap();
+        sim.set_by_name("w_update", Zero).unwrap();
+        sim.set_by_name("w_extest", One).unwrap();
+        sim.settle().unwrap();
+        // The chip pin y now shows the latched 1, regardless of the core
+        // (a AND b = 0).
+        assert_eq!(sim.get_by_name("y").unwrap(), One);
+        sim.set_by_name("w_extest", Zero).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.get_by_name("y").unwrap(), Zero, "transparent again");
+    }
+
+    #[test]
+    fn unknown_scan_port_is_reported() {
+        let mut design = Design::new();
+        design.add_module(and_core()).unwrap();
+        let plan = balance_fixed(&[1], 2, 1, 1);
+        let opts = WrapOptions {
+            scan_si: vec!["ghost_si".to_string()],
+            scan_so: vec!["ghost_so".to_string()],
+            ..WrapOptions::default()
+        };
+        assert!(matches!(
+            wrap_core(&mut design, "and_core", &plan, &opts),
+            Err(NetlistError::UnknownPort { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "plan input cells")]
+    fn inconsistent_plan_panics() {
+        let mut design = Design::new();
+        design.add_module(and_core()).unwrap();
+        let plan = balance_fixed(&[], 5, 1, 1); // 5 != 2 inputs
+        let _ = wrap_core(&mut design, "and_core", &plan, &WrapOptions::default());
+    }
+}

@@ -1,0 +1,46 @@
+//! Wrapper Bypass register (WBY): the single-flop serial path used when a
+//! core is not selected, so the chip-level serial chain stays short.
+
+use steac_netlist::{GateKind, Module, NetlistBuilder, NetlistError};
+
+/// Generates the WBY module: `wsi -> DFF -> wby_so`, clocked by `wck`.
+///
+/// # Errors
+///
+/// Propagates netlist construction errors (none expected).
+pub fn wby_module() -> Result<Module, NetlistError> {
+    let mut b = NetlistBuilder::new("steac_wby");
+    let wsi = b.input("wsi");
+    let wck = b.input("wck");
+    let q = b.gate(GateKind::Dff, &[wsi, wck]);
+    b.output("wby_so", q);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steac_netlist::AreaReport;
+    use steac_sim::{Logic, Simulator};
+
+    #[test]
+    fn wby_is_one_flop() {
+        let m = wby_module().unwrap();
+        assert_eq!(m.flop_count(), 1);
+        assert_eq!(AreaReport::for_module(&m).total_ge(), 6.0);
+    }
+
+    #[test]
+    fn wby_delays_by_one_cycle() {
+        let m = wby_module().unwrap();
+        let mut sim = Simulator::new(&m).unwrap();
+        sim.set_by_name("wck", Logic::Zero).unwrap();
+        sim.set_by_name("wsi", Logic::One).unwrap();
+        sim.settle().unwrap();
+        sim.clock_cycle_by_name("wck").unwrap();
+        assert_eq!(sim.get_by_name("wby_so").unwrap(), Logic::One);
+        sim.set_by_name("wsi", Logic::Zero).unwrap();
+        sim.clock_cycle_by_name("wck").unwrap();
+        assert_eq!(sim.get_by_name("wby_so").unwrap(), Logic::Zero);
+    }
+}

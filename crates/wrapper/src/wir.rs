@@ -1,0 +1,195 @@
+//! Wrapper Instruction Register (WIR) with one-hot instruction decode.
+//!
+//! The WIR is a 3-bit shift register with shadow update latches and a
+//! decoder producing one mode line per instruction. STEAC's Test
+//! Controller normally drives wrapper mode lines in parallel (the DSC
+//! controller reconfigures wrappers between sessions), but the serial WIR
+//! is generated and verified here for IEEE 1500 compliance of the wrapper
+//! set.
+
+use steac_netlist::{GateKind, Module, NetId, NetlistBuilder, NetlistError};
+
+/// Instruction register width in bits.
+pub const WIR_WIDTH: usize = 3;
+
+/// WIR instruction encodings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WirInstruction {
+    /// Functional mode (all test logic transparent). Encoding `000`.
+    WsNormal,
+    /// Bypass the wrapper serially. Encoding `001`.
+    WsBypass,
+    /// Internal scan test. Encoding `010`.
+    WsIntestScan,
+    /// External interconnect test. Encoding `011`.
+    WsExtest,
+    /// Safe state (boundary outputs forced to safe values). Encoding
+    /// `100`.
+    WsSafe,
+}
+
+impl WirInstruction {
+    /// The binary encoding, LSB first.
+    #[must_use]
+    pub fn encoding(self) -> [bool; WIR_WIDTH] {
+        match self {
+            WirInstruction::WsNormal => [false, false, false],
+            WirInstruction::WsBypass => [true, false, false],
+            WirInstruction::WsIntestScan => [false, true, false],
+            WirInstruction::WsExtest => [true, true, false],
+            WirInstruction::WsSafe => [false, false, true],
+        }
+    }
+
+    /// All defined instructions.
+    #[must_use]
+    pub fn all() -> &'static [WirInstruction] {
+        &[
+            WirInstruction::WsNormal,
+            WirInstruction::WsBypass,
+            WirInstruction::WsIntestScan,
+            WirInstruction::WsExtest,
+            WirInstruction::WsSafe,
+        ]
+    }
+
+    /// Name of the decoded mode output port.
+    #[must_use]
+    pub fn mode_port(self) -> &'static str {
+        match self {
+            WirInstruction::WsNormal => "mode_normal",
+            WirInstruction::WsBypass => "mode_bypass",
+            WirInstruction::WsIntestScan => "mode_intest",
+            WirInstruction::WsExtest => "mode_extest",
+            WirInstruction::WsSafe => "mode_safe",
+        }
+    }
+}
+
+/// Generates the WIR module.
+///
+/// Ports: `wir_si`, `wir_shift`, `wir_update`, `wck` inputs; `wir_so` and
+/// one decoded `mode_*` output per instruction.
+///
+/// # Errors
+///
+/// Propagates netlist construction errors (none expected).
+pub fn wir_module() -> Result<Module, NetlistError> {
+    let mut b = NetlistBuilder::new("steac_wir");
+    let si = b.input("wir_si");
+    let shift = b.input("wir_shift");
+    let update = b.input("wir_update");
+    let wck = b.input("wck");
+
+    // Shift register with hold (mux selects si-path only while shifting).
+    let mut stage_q: Vec<NetId> = Vec::with_capacity(WIR_WIDTH);
+    let mut prev = si;
+    for i in 0..WIR_WIDTH {
+        let q = b.net(&format!("wir_q{i}"));
+        let d = b.gate(GateKind::Mux2, &[q, prev, shift]);
+        b.gate_into(GateKind::Dff, &[d, wck], q);
+        stage_q.push(q);
+        prev = q;
+    }
+    b.output("wir_so", prev);
+
+    // Shadow/update latches.
+    let held: Vec<NetId> = stage_q
+        .iter()
+        .map(|&q| b.gate(GateKind::Latch, &[q, update]))
+        .collect();
+
+    // One-hot decode.
+    let inv: Vec<NetId> = held.iter().map(|&h| b.gate(GateKind::Inv, &[h])).collect();
+    for &inst in WirInstruction::all() {
+        let enc = inst.encoding();
+        let lits: Vec<NetId> = (0..WIR_WIDTH)
+            .map(|i| if enc[i] { held[i] } else { inv[i] })
+            .collect();
+        let mode = b.and_tree(&lits);
+        b.output(inst.mode_port(), mode);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steac_netlist::AreaReport;
+    use steac_sim::{Logic, Simulator};
+
+    #[test]
+    fn encodings_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for &i in WirInstruction::all() {
+            assert!(seen.insert(i.encoding().to_vec()), "duplicate encoding");
+        }
+    }
+
+    #[test]
+    fn wir_module_builds_and_is_small() {
+        let m = wir_module().unwrap();
+        let area = AreaReport::for_module(&m).total_ge();
+        // The WIR is a minor contributor (tens of GE).
+        assert!(area > 20.0 && area < 80.0, "unexpected WIR area {area}");
+    }
+
+    /// Shift each instruction in, update, and check the one-hot decode.
+    #[test]
+    fn decode_is_one_hot_for_every_instruction() {
+        let m = wir_module().unwrap();
+        for &inst in WirInstruction::all() {
+            let mut sim = Simulator::new(&m).unwrap();
+            for p in ["wir_si", "wir_shift", "wir_update", "wck"] {
+                sim.set_by_name(p, Logic::Zero).unwrap();
+            }
+            sim.settle().unwrap();
+            // Shift LSB-first encoding: the bit for stage 0 must be
+            // shifted in LAST (it travels the shortest distance).
+            let enc = inst.encoding();
+            sim.set_by_name("wir_shift", Logic::One).unwrap();
+            for i in (0..WIR_WIDTH).rev() {
+                sim.set_by_name("wir_si", Logic::from(enc[i])).unwrap();
+                sim.clock_cycle_by_name("wck").unwrap();
+            }
+            sim.set_by_name("wir_shift", Logic::Zero).unwrap();
+            sim.set_by_name("wir_update", Logic::One).unwrap();
+            sim.settle().unwrap();
+            sim.set_by_name("wir_update", Logic::Zero).unwrap();
+            sim.settle().unwrap();
+            for &other in WirInstruction::all() {
+                let v = sim.get_by_name(other.mode_port()).unwrap();
+                let expect = Logic::from(other == inst);
+                assert_eq!(v, expect, "{inst:?}: {} wrong", other.mode_port());
+            }
+        }
+    }
+
+    #[test]
+    fn hold_without_shift() {
+        let m = wir_module().unwrap();
+        let mut sim = Simulator::new(&m).unwrap();
+        for p in ["wir_si", "wir_shift", "wir_update", "wck"] {
+            sim.set_by_name(p, Logic::Zero).unwrap();
+        }
+        sim.settle().unwrap();
+        // Load WS_BYPASS = 001 (LSB first -> shift 0,0,1).
+        sim.set_by_name("wir_shift", Logic::One).unwrap();
+        for bit in [false, false, true] {
+            sim.set_by_name("wir_si", Logic::from(bit)).unwrap();
+            sim.clock_cycle_by_name("wck").unwrap();
+        }
+        sim.set_by_name("wir_shift", Logic::Zero).unwrap();
+        // Clocking without shift must not disturb the register.
+        sim.clock_cycle_by_name("wck").unwrap();
+        sim.set_by_name("wir_update", Logic::One).unwrap();
+        sim.settle().unwrap();
+        sim.set_by_name("wir_update", Logic::Zero).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(
+            sim.get_by_name("mode_bypass").unwrap(),
+            Logic::One,
+            "bypass instruction lost"
+        );
+    }
+}

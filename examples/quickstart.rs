@@ -1,0 +1,61 @@
+//! Quickstart: run the STEAC flow on a small two-core SOC.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use steac::flow::{run_flow, CoreSource, FlowInput};
+use steac::report::render_flow;
+use steac_membist::{Brains, MemorySpec, SramConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Test information as an ATPG tool would emit it (STIL, IEEE 1450).
+    let dsp = r#"
+STIL 1.0;
+Header { Title "DSP core"; }
+Signals { ck In; rst In; se In;
+          d[0] In; d[1] In; d[2] In; d[3] In;
+          q[0] Out; q[1] Out;
+          si0 In { ScanIn; } so0 Out { ScanOut; }
+          si1 In { ScanIn; } so1 Out { ScanOut; } }
+SignalGroups { clocks = 'ck'; resets = 'rst'; scan_enables = 'se';
+               pi = 'd[0] + d[1] + d[2] + d[3]'; po = 'q[0] + q[1]'; }
+ScanStructures {
+  ScanChain "c0" { ScanLength 120; ScanIn si0; ScanOut so0; ScanEnable se; ScanClock ck; }
+  ScanChain "c1" { ScanLength 115; ScanIn si1; ScanOut so1; ScanEnable se; ScanClock ck; }
+}
+Procedures { "load_unload" { Shift { V { si0=#; si1=#; so0=#; so1=#; ck=P; } } } }
+Pattern scan_test { W wft; Loop 300 { Call "load_unload"; } }
+"#;
+    let uart = r#"
+STIL 1.0;
+Header { Title "UART core"; }
+Signals { ck In; te In; rx In; tx Out; d0 In; d1 In; q0 Out; }
+SignalGroups { clocks = 'ck'; test_enables = 'te';
+               pi = 'rx + d0 + d1'; po = 'tx + q0'; }
+Pattern functional { Loop 5000 { V { rx=1; ck=P; } } }
+"#;
+
+    // One small embedded memory, BISTed by BRAINS.
+    let mut brains = Brains::new();
+    brains.add_memory(MemorySpec::new("buf0", SramConfig::single_port(2048, 16), 0));
+
+    let input = FlowInput {
+        cores: vec![
+            CoreSource::new("dsp", dsp).with_powers(1.0, 1.0),
+            CoreSource::new("uart", uart).with_powers(0.5, 0.5),
+        ],
+        bist: Some(brains),
+        ..FlowInput::default()
+    };
+
+    let result = run_flow(&input)?;
+    println!("{}", render_flow(&result));
+    println!(
+        "STEAC scheduled {} tasks into {} sessions: {} cycles total",
+        result.tasks.len(),
+        result.schedule.sessions.len(),
+        result.schedule.total_cycles
+    );
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! STEAC suite — umbrella crate re-exporting the whole reproduction of
+//! *"SOC Testing Methodology and Practice"* (DATE 2005).
+//!
+//! See the README for the map of the workspace; every subsystem is its
+//! own crate:
+//!
+//! * [`steac`] — the platform (Fig. 1 flow, insertion, reports),
+//! * [`steac_stil`] — STIL parsing and core test information,
+//! * [`steac_sched`] — the session-based Core Test Scheduler,
+//! * [`steac_wrapper`] / [`steac_tam`] — IEEE 1500-style wrappers, TAM,
+//!   Test Controller, IO sharing,
+//! * [`steac_membist`] — the BRAINS memory-BIST compiler,
+//! * [`steac_pattern`] — pattern translation and the ATE cycle player,
+//! * [`steac_netlist`] / [`steac_sim`] — the gate-level substrate,
+//! * [`steac_dsc`] — the DSC test-chip model and the calibrated paper
+//!   experiments.
+
+pub use steac;
+pub use steac_dsc;
+pub use steac_membist;
+pub use steac_netlist;
+pub use steac_pattern;
+pub use steac_sched;
+pub use steac_sim;
+pub use steac_stil;
+pub use steac_tam;
+pub use steac_wrapper;

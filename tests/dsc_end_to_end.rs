@@ -1,0 +1,156 @@
+//! End-to-end reproduction: the complete Fig. 1 + Fig. 4 flow on the DSC
+//! chip, from generated STIL through scheduling to netlist-level test
+//! insertion, checked against every §3 number the paper quotes.
+
+use steac::flow::{run_flow, CoreSource, FlowInput};
+use steac::insert::{insert_dft, InsertSpec};
+use steac_dsc::{
+    build_chip, core_stil, dsc_brains, dsc_chip_config, DSC_CHIP_LOGIC_GE,
+    PAPER_NONSESSION_CYCLES, PAPER_SESSION_CYCLES, TABLE1,
+};
+use steac_stil::to_stil_string;
+use steac_tam::{ControlClass, ControlSignal};
+use steac_wrapper::{balance_fixed, WrapOptions};
+
+fn usb_controls() -> Vec<ControlSignal> {
+    let mut v: Vec<ControlSignal> = (0..4)
+        .map(|i| {
+            ControlSignal::new("USB", &format!("ck{i}"), ControlClass::Clock { freq_mhz: 48 })
+        })
+        .collect();
+    v.extend((0..3).map(|i| ControlSignal::new("USB", &format!("rst{i}"), ControlClass::Reset)));
+    v.push(ControlSignal::new("USB", "se", ControlClass::ScanEnable));
+    v.extend(
+        (0..6).map(|i| ControlSignal::new("USB", &format!("test{i}"), ControlClass::TestEnable)),
+    );
+    v
+}
+
+#[test]
+fn full_flow_reproduces_the_paper_numbers() {
+    let (_, params) = build_chip().expect("chip builds");
+    let stil: Vec<String> = params
+        .iter()
+        .zip(&TABLE1)
+        .map(|(p, row)| to_stil_string(&core_stil(row, p)))
+        .collect();
+    let input = FlowInput {
+        cores: vec![
+            CoreSource::new("USB", &stil[0])
+                .with_powers(1.0, 1.0)
+                .with_controls(usb_controls()),
+            CoreSource::new("TV", &stil[1]).with_powers(0.3, 1.1),
+            CoreSource::new("JPEG", &stil[2]).with_powers(1.0, 1.4),
+        ],
+        config: dsc_chip_config(),
+        bist: Some(dsc_brains()),
+        bist_powers: vec![1.3, 0.6],
+    };
+    let r = run_flow(&input).expect("flow runs");
+
+    // Table 1 through the STIL path.
+    for (info, row) in r.infos.iter().zip(&TABLE1) {
+        assert_eq!(info.test_inputs, row.ti, "{} TI", row.core);
+        assert_eq!(info.test_outputs, row.to, "{} TO", row.core);
+        assert_eq!(info.scan_chains, row.scan_chains, "{} chains", row.core);
+    }
+
+    // §3 scheduling numbers (within 5%; exact shape: 3 sessions, session
+    // beats non-session).
+    assert_eq!(r.schedule.sessions.len(), 3);
+    assert!(r.schedule.total_cycles < r.nonsession.makespan);
+    let rel = |a: u64, b: u64| (a as f64 - b as f64).abs() / b as f64;
+    assert!(
+        rel(r.schedule.total_cycles, PAPER_SESSION_CYCLES) < 0.05,
+        "session {} vs paper {}",
+        r.schedule.total_cycles,
+        PAPER_SESSION_CYCLES
+    );
+    assert!(
+        rel(r.nonsession.makespan, PAPER_NONSESSION_CYCLES) < 0.05,
+        "non-session {} vs paper {}",
+        r.nonsession.makespan,
+        PAPER_NONSESSION_CYCLES
+    );
+
+    // BIST covers all 22 memories (Fig. 4).
+    let bist = r.bist.expect("BIST compiled");
+    assert_eq!(bist.per_memory.len(), 22);
+}
+
+#[test]
+fn insertion_on_the_real_chip_matches_area_figures() {
+    let (mut design, params) = build_chip().expect("chip builds");
+    let specs = vec![
+        InsertSpec {
+            core_module: "usb_core".to_string(),
+            wrap: WrapOptions {
+                clock_port: Some("ck0".to_string()),
+                scan_si: params[0].scan_si.clone(),
+                scan_so: params[0].scan_so.clone(),
+                scan_se: params[0].scan_enable.clone(),
+                passthrough_inputs: params[0].clocks[1..]
+                    .iter()
+                    .chain(&params[0].resets)
+                    .chain(&params[0].test_enables)
+                    .cloned()
+                    .collect(),
+                passthrough_outputs: vec![],
+            },
+            plan: balance_fixed(TABLE1[0].scan_chains, TABLE1[0].pi, TABLE1[0].po, 2),
+            sessions_active: vec![1],
+            tam_offset: 0,
+        },
+        InsertSpec {
+            core_module: "tv_core".to_string(),
+            wrap: WrapOptions {
+                clock_port: Some("ck".to_string()),
+                scan_si: params[1].scan_si.clone(),
+                scan_so: params[1].scan_so.clone(),
+                scan_se: params[1].scan_enable.clone(),
+                passthrough_inputs: params[1]
+                    .resets
+                    .iter()
+                    .chain(&params[1].test_enables)
+                    .cloned()
+                    .collect(),
+                passthrough_outputs: vec![],
+            },
+            plan: balance_fixed(TABLE1[1].scan_chains, TABLE1[1].pi, TABLE1[1].po - 1, 3),
+            sessions_active: vec![0],
+            tam_offset: 2,
+        },
+        InsertSpec {
+            core_module: "jpeg_core".to_string(),
+            wrap: WrapOptions {
+                clock_port: Some("ck".to_string()),
+                ..WrapOptions::default()
+            },
+            plan: balance_fixed(&[], TABLE1[2].pi, TABLE1[2].po, 2),
+            sessions_active: vec![2],
+            tam_offset: 5,
+        },
+    ];
+    let report = insert_dft(&mut design, &specs, 3, 16).expect("insertion succeeds");
+
+    // WBR cell = 26 GE exactly; boundary cells = wrapped functional pins:
+    // USB 325 + TV (25 + 39) + JPEG 269.
+    assert!((report.wbr_cell_ge - 26.0).abs() < f64::EPSILON);
+    assert_eq!(report.wbr_cells, 325 + 64 + 269);
+
+    // Controller ~371 gates, TAM mux ~132 gates, overhead ~0.3%.
+    assert!((report.controller_ge - 371.0).abs() / 371.0 < 0.12);
+    assert!((report.tam_mux_ge - 132.0).abs() / 132.0 < 0.2);
+    let overhead = report.overhead_percent(DSC_CHIP_LOGIC_GE);
+    assert!(
+        (overhead - 0.3).abs() < 0.05,
+        "overhead {overhead}% vs paper ~0.3%"
+    );
+
+    // The DFT-ready netlist is structurally sound.
+    let flat = design.flatten(&report.dft_top).expect("flattens");
+    assert!(flat.drivers(None).is_ok());
+    // All wrapper flops present: 659 WBR cells + USB internal 2045 +
+    // TV internal 1153 + JPEG pipeline + controller/mux state.
+    assert!(flat.flop_count() > 659 + 2045 + 1153);
+}

@@ -1,0 +1,241 @@
+//! Cross-crate property-based tests (proptest) on the invariants
+//! DESIGN.md §6 calls out.
+
+use proptest::prelude::*;
+use steac_membist::faultsim::{fault_coverage, random_fault_list};
+use steac_membist::{MarchAlgorithm, SramConfig};
+use steac_netlist::{stitch_scan, GateKind, NetlistBuilder, StitchConfig};
+use steac_sched::{allocate_session, schedule_sessions, ChipConfig, TestTask};
+use steac_sim::Logic;
+use steac_stil::{parse_stil, to_stil_string};
+use steac_wrapper::{balance_fixed, balance_soft};
+
+// ---------- wrapper chain balancing ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every internal chain and boundary cell lands exactly once, and the
+    /// LPT bound holds for the internal partition.
+    #[test]
+    fn balance_places_everything(
+        chains in prop::collection::vec(1usize..2000, 0..8),
+        ins in 0usize..300,
+        outs in 0usize..300,
+        width in 1usize..12,
+    ) {
+        let plan = balance_fixed(&chains, ins, outs, width);
+        prop_assert_eq!(plan.total_internal_cells(), chains.iter().sum::<usize>());
+        prop_assert_eq!(plan.total_boundary_cells(), ins + outs);
+        let max_load = plan.chains.iter().map(|c| c.internal_cells()).max().unwrap_or(0);
+        let total: usize = chains.iter().sum();
+        let longest = chains.iter().copied().max().unwrap_or(0);
+        prop_assert!(max_load <= total / width + longest);
+    }
+
+    /// Soft rebalancing never loses to the fixed partition, and its test
+    /// time is monotone non-increasing in width.
+    #[test]
+    fn soft_beats_fixed_and_is_monotone(
+        chains in prop::collection::vec(1usize..1500, 1..6),
+        ins in 0usize..200,
+        outs in 0usize..200,
+        patterns in 1u64..1000,
+    ) {
+        let total: usize = chains.iter().sum();
+        let mut prev = u64::MAX;
+        for width in 1..=8usize {
+            let fixed = balance_fixed(&chains, ins, outs, width).test_time(patterns);
+            let soft = balance_soft(total, ins, outs, width).test_time(patterns);
+            prop_assert!(soft <= fixed, "width {}: soft {} > fixed {}", width, soft, fixed);
+            prop_assert!(soft <= prev, "soft time increased at width {}", width);
+            prev = soft;
+        }
+    }
+}
+
+// ---------- scheduler ----------
+
+fn arb_task(i: usize, kind: u8, patterns: u64, size: usize, power: f64) -> TestTask {
+    match kind % 3 {
+        0 => TestTask::scan(
+            &format!("c{i}"),
+            patterns.max(1),
+            &[size.max(1), (size / 2).max(1)],
+            (size % 50) + 1,
+            (size % 40) + 1,
+            kind % 2 == 0,
+        )
+        .with_power(power),
+        1 => TestTask::functional(
+            &format!("c{i}"),
+            patterns.max(1),
+            (size % 60) + 8,
+            (size % 30) + 8,
+        )
+        .with_power(power),
+        _ => TestTask::bist(&format!("g{i}"), patterns.max(1) * 100).with_power(power),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every task appears exactly once; session invariants hold.
+    #[test]
+    fn schedule_invariants(
+        seeds in prop::collection::vec((0u8..3, 1u64..5000, 1usize..800, 0.2f64..1.0), 1..7)
+    ) {
+        let tasks: Vec<TestTask> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, (k, p, s, pw))| arb_task(i, *k, *p, *s, *pw))
+            .collect();
+        let config = ChipConfig::default();
+        let schedule = schedule_sessions(&tasks, &config);
+        prop_assume!(schedule.total_cycles != u64::MAX);
+        let mut seen: Vec<usize> = schedule
+            .sessions
+            .iter()
+            .flat_map(|s| s.tasks.iter().map(|t| t.task_index))
+            .collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..tasks.len()).collect::<Vec<_>>());
+        for sess in &schedule.sessions {
+            prop_assert!(sess.power <= config.power_limit + 1e-9);
+            let pins: usize = sess.tasks.iter().map(|t| t.pins).sum();
+            prop_assert!(pins <= sess.data_pins_available);
+            prop_assert_eq!(
+                sess.makespan,
+                sess.tasks.iter().map(|t| t.cycles).max().unwrap_or(0)
+            );
+        }
+        let total: u64 = schedule.sessions.iter().map(|s| s.makespan).sum();
+        prop_assert_eq!(schedule.total_cycles, total);
+    }
+
+    /// Water-filling never exceeds the budget and never allocates below a
+    /// task's minimum.
+    #[test]
+    fn allocation_respects_bounds(
+        seeds in prop::collection::vec((0u8..3, 1u64..500, 1usize..500, 0.2f64..1.0), 1..6),
+        budget in 30usize..300,
+    ) {
+        let tasks: Vec<TestTask> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, (k, p, s, pw))| arb_task(i, *k, *p, *s, *pw))
+            .collect();
+        let refs: Vec<&TestTask> = tasks.iter().collect();
+        if let Some(alloc) = allocate_session(&refs, budget) {
+            prop_assert!(alloc.total_pins() <= budget);
+            for (t, &p) in tasks.iter().zip(&alloc.pins) {
+                prop_assert!(p >= t.min_pins());
+                prop_assert!(p <= t.max_pins().max(t.min_pins()));
+            }
+        }
+    }
+}
+
+// ---------- STIL round trip ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// print ∘ parse is the identity on generated scan-structure files.
+    #[test]
+    fn stil_round_trip(
+        chains in prop::collection::vec(1usize..5000, 1..5),
+        scan_pats in 1u64..100_000,
+        func_pats in 0u64..1_000_000,
+    ) {
+        let mut src = String::from("STIL 1.0;\nSignals { ck In; se In; d In; q Out;");
+        for i in 0..chains.len() {
+            src.push_str(&format!(" si{i} In {{ ScanIn; }} so{i} Out {{ ScanOut; }}"));
+        }
+        src.push_str(" }\nSignalGroups { clocks = 'ck'; scan_enables = 'se'; pi = 'd'; po = 'q'; }\n");
+        src.push_str("ScanStructures {\n");
+        for (i, len) in chains.iter().enumerate() {
+            src.push_str(&format!(
+                "  ScanChain \"c{i}\" {{ ScanLength {len}; ScanIn si{i}; ScanOut so{i}; }}\n"
+            ));
+        }
+        src.push_str("}\nProcedures { \"load_unload\" { Shift { V { si0=#; ck=P; } } } }\n");
+        src.push_str(&format!("Pattern scan {{ Loop {scan_pats} {{ Call \"load_unload\"; }} }}\n"));
+        if func_pats > 0 {
+            src.push_str(&format!("Pattern func {{ Loop {func_pats} {{ V {{ d=0; ck=P; }} }} }}\n"));
+        }
+        let parsed = parse_stil(&src).expect("generated STIL parses");
+        let printed = to_stil_string(&parsed);
+        let reparsed = parse_stil(&printed).expect("printed STIL parses");
+        prop_assert_eq!(&reparsed, &parsed);
+        let info = steac_stil::CoreTestInfo::from_stil("gen", &parsed).unwrap();
+        prop_assert_eq!(info.scan_chains, chains);
+        prop_assert_eq!(info.scan_patterns, scan_pats);
+        prop_assert_eq!(info.functional_patterns, func_pats);
+    }
+}
+
+// ---------- March detection ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// March C− detects every randomly generated unlinked standard fault
+    /// on random geometries.
+    #[test]
+    fn march_c_minus_complete_on_random_geometries(
+        words in 4usize..128,
+        width in 1usize..16,
+        seed in 0u64..10_000,
+    ) {
+        use rand::SeedableRng;
+        let cfg = SramConfig::single_port(words, width);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let faults = random_fault_list(&cfg, 8, &mut rng);
+        let rep = fault_coverage(&MarchAlgorithm::march_c_minus(), &cfg, &faults);
+        prop_assert_eq!(rep.detected, rep.total, "escapes: {:?}", rep.escaped);
+    }
+}
+
+// ---------- netlist + sim ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Scan stitching preserves flop count and keeps chains balanced for
+    /// any flop count and chain count.
+    #[test]
+    fn stitch_preserves_and_balances(flops in 1usize..200, chains in 1usize..9) {
+        let mut b = NetlistBuilder::new("m");
+        let ck = b.input("ck");
+        let d = b.input("d");
+        let mut cur = d;
+        for _ in 0..flops {
+            cur = b.gate(GateKind::Dff, &[cur, ck]);
+        }
+        b.output("q", cur);
+        let mut m = b.finish().unwrap();
+        let rep = stitch_scan(&mut m, &StitchConfig::balanced(chains)).unwrap();
+        prop_assert_eq!(rep.converted_flops, flops);
+        prop_assert_eq!(rep.chain_lengths.iter().sum::<usize>(), flops);
+        prop_assert_eq!(m.flop_count(), flops);
+        let max = rep.chain_lengths.iter().max().unwrap();
+        let min = rep.chain_lengths.iter().min().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    /// De Morgan holds in the 4-value algebra for all value pairs.
+    #[test]
+    fn de_morgan_in_four_valued_logic(a in 0u8..4, b in 0u8..4) {
+        let lv = |x: u8| match x {
+            0 => Logic::Zero,
+            1 => Logic::One,
+            2 => Logic::X,
+            _ => Logic::Z,
+        };
+        let (a, b) = (lv(a), lv(b));
+        prop_assert_eq!(a.and(b).not(), a.not().or(b.not()));
+        prop_assert_eq!(a.or(b).not(), a.not().and(b.not()));
+    }
+}

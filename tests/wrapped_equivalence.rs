@@ -1,0 +1,139 @@
+//! Pattern-translation equivalence: core-level vectors translated to the
+//! wrapper level and played by the ATE cycle player must reproduce the
+//! core's behaviour on the gate-level wrapped netlist — including
+//! through an internal scan chain — and corrupted expectations must
+//! fail.
+
+use steac_netlist::{stitch_scan, Design, GateKind, NetlistBuilder, StitchConfig};
+use steac_pattern::{
+    apply_cycle_pattern, scan_to_wrapper, wrapper_vectors_to_cycles, ScanVector, WrapperPorts,
+};
+use steac_sim::{Logic, Simulator};
+use steac_wrapper::{balance_fixed, wrap_core, WrapOptions};
+
+use Logic::{One, X, Zero};
+
+#[test]
+fn combinational_core_intest_equivalence() {
+    // y = a XOR b.
+    let mut b = NetlistBuilder::new("xor_core");
+    let a = b.input("a");
+    let c = b.input("b");
+    let y = b.gate(GateKind::Xor2, &[a, c]);
+    b.output("y", y);
+    let mut design = Design::new();
+    design.add_module(b.finish().unwrap()).unwrap();
+    let plan = balance_fixed(&[], 2, 1, 1);
+    let wrapped = wrap_core(&mut design, "xor_core", &plan, &WrapOptions::default()).unwrap();
+
+    // Exhaustive 2-input truth table as core-level vectors.
+    let mut vectors = Vec::new();
+    for (va, vb) in [(Zero, Zero), (Zero, One), (One, Zero), (One, One)] {
+        let mut v = ScanVector::shaped(&[], 2, 1);
+        v.pi = vec![va, vb];
+        v.expect_po = vec![va.xor(vb)];
+        vectors.push(scan_to_wrapper(&v, &plan).unwrap());
+    }
+    let pattern = wrapper_vectors_to_cycles(&vectors, &WrapperPorts::conventional(1));
+    let flat = design.flatten(&wrapped.module_name).unwrap();
+    let mut sim = Simulator::new(&flat).unwrap();
+    let report = apply_cycle_pattern(&mut sim, &pattern).unwrap();
+    assert!(report.passed(), "{report}");
+    assert_eq!(report.compares, 4);
+}
+
+#[test]
+fn corrupted_expectation_fails() {
+    let mut b = NetlistBuilder::new("and_core");
+    let a = b.input("a");
+    let c = b.input("b");
+    let y = b.gate(GateKind::And2, &[a, c]);
+    b.output("y", y);
+    let mut design = Design::new();
+    design.add_module(b.finish().unwrap()).unwrap();
+    let plan = balance_fixed(&[], 2, 1, 1);
+    let wrapped = wrap_core(&mut design, "and_core", &plan, &WrapOptions::default()).unwrap();
+
+    let mut v = ScanVector::shaped(&[], 2, 1);
+    v.pi = vec![One, One];
+    v.expect_po = vec![Zero]; // wrong on purpose: AND(1,1) = 1
+    let w = scan_to_wrapper(&v, &plan).unwrap();
+    let pattern = wrapper_vectors_to_cycles(&[w], &WrapperPorts::conventional(1));
+    let flat = design.flatten(&wrapped.module_name).unwrap();
+    let mut sim = Simulator::new(&flat).unwrap();
+    let report = apply_cycle_pattern(&mut sim, &pattern).unwrap();
+    assert!(!report.passed(), "a wrong expectation must be caught");
+}
+
+#[test]
+fn sequential_core_with_internal_chain_equivalence() {
+    // 3-flop shift pipeline with an XOR tap: flop chain captures
+    // (d XOR previous stage).
+    let mut b = NetlistBuilder::new("seq_core");
+    let ck = b.input("ck");
+    let d = b.input("d");
+    let mut cur = d;
+    for _ in 0..3 {
+        let nxt = b.gate(GateKind::Xor2, &[cur, d]);
+        cur = b.gate(GateKind::Dff, &[nxt, ck]);
+    }
+    b.output("q", cur);
+    let mut m = b.finish().unwrap();
+    stitch_scan(&mut m, &StitchConfig::balanced(1)).unwrap();
+    let mut design = Design::new();
+    design.add_module(m).unwrap();
+
+    let plan = balance_fixed(&[3], 1, 1, 1);
+    let opts = WrapOptions {
+        clock_port: Some("ck".to_string()),
+        scan_si: vec!["scan_si[0]".to_string()],
+        scan_so: vec!["scan_so[0]".to_string()],
+        scan_se: Some("scan_se".to_string()),
+        ..WrapOptions::default()
+    };
+    let wrapped = wrap_core(&mut design, "seq_core", &plan, &opts).unwrap();
+
+    // Core-level vector: load internal chain with [1,0,1] (bit k maps to
+    // internal flop 2-k: f0=1, f1=0, f2=1), PI d = 0.
+    // Capture with d=0: f0' = d XOR d = 0; f1' = f0 XOR d = 1;
+    // f2' = f1 XOR d = 0; PO q = f2 (pre-capture) routed via output
+    // cell... the output cell captures the *post-settle* core output,
+    // which reflects pre-capture f2 = 1 at capture time? No: the output
+    // cell and internal flops capture on the same edge, so the output
+    // cell samples q = old f2 = 1.
+    let mut v = ScanVector::shaped(&[3], 1, 1);
+    v.pi = vec![Zero];
+    v.loads[0] = vec![One, Zero, One];
+    v.expect_unload[0] = vec![Zero, One, Zero]; // bit k <-> flop 2-k: f2'=0, f1'=1, f0'=0
+    v.expect_po = vec![One];
+    let w = scan_to_wrapper(&v, &plan).unwrap();
+    let pattern = wrapper_vectors_to_cycles(&[w], &WrapperPorts::conventional(1));
+    let flat = design.flatten(&wrapped.module_name).unwrap();
+    let mut sim = Simulator::new(&flat).unwrap();
+    let report = apply_cycle_pattern(&mut sim, &pattern).unwrap();
+    assert!(report.passed(), "{report}");
+    // 1 PO + 3 internal unload bits compared (input cell masked).
+    assert_eq!(report.compares, 4);
+}
+
+#[test]
+fn masked_expectations_never_fire() {
+    let mut b = NetlistBuilder::new("buf_core");
+    let a = b.input("a");
+    let y = b.gate(GateKind::Buf, &[a]);
+    b.output("y", y);
+    let mut design = Design::new();
+    design.add_module(b.finish().unwrap()).unwrap();
+    let plan = balance_fixed(&[], 1, 1, 1);
+    let wrapped = wrap_core(&mut design, "buf_core", &plan, &WrapOptions::default()).unwrap();
+    let mut v = ScanVector::shaped(&[], 1, 1);
+    v.pi = vec![X]; // unknown stimulus
+    v.expect_po = vec![X]; // masked response
+    let w = scan_to_wrapper(&v, &plan).unwrap();
+    let pattern = wrapper_vectors_to_cycles(&[w], &WrapperPorts::conventional(1));
+    let flat = design.flatten(&wrapped.module_name).unwrap();
+    let mut sim = Simulator::new(&flat).unwrap();
+    let report = apply_cycle_pattern(&mut sim, &pattern).unwrap();
+    assert!(report.passed());
+    assert_eq!(report.compares, 0, "everything was masked");
+}
