@@ -6,12 +6,14 @@
 //! equivalents. The rest characterise the substrates.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Instant;
 use steac::flow::{run_flow, CoreSource, FlowInput};
 use steac::insert::{insert_dft, InsertSpec};
-use steac_dsc::{build_chip, core_stil, dsc_brains, dsc_chip_config, TABLE1};
-use steac_membist::faultsim::{fault_coverage, random_fault_list};
+use steac_dsc::{build_chip, core_stil, dsc_brains, dsc_chip_config, jpeg_core, TABLE1};
+use steac_membist::faultsim::{fault_coverage, fault_coverage_serial, random_fault_list};
 use steac_membist::{MarchAlgorithm, SramConfig};
 use steac_sched::{schedule_nonsession, schedule_sessions};
+use steac_sim::{enumerate_faults, fault, Logic, Simulator};
 use steac_stil::{parse_stil, to_stil_string};
 use steac_wrapper::{balance_fixed, WrapOptions};
 
@@ -21,9 +23,7 @@ fn dsc_flow_input() -> FlowInput {
         cores: params
             .iter()
             .zip(&TABLE1)
-            .map(|(p, row)| {
-                CoreSource::new(row.core, &to_stil_string(&core_stil(row, p)))
-            })
+            .map(|(p, row)| CoreSource::new(row.core, &to_stil_string(&core_stil(row, p))))
             .collect(),
         config: dsc_chip_config(),
         bist: Some(dsc_brains()),
@@ -59,12 +59,7 @@ fn bench_dft_insertion(c: &mut Criterion) {
                                 .collect(),
                             passthrough_outputs: vec![],
                         },
-                        plan: balance_fixed(
-                            TABLE1[0].scan_chains,
-                            TABLE1[0].pi,
-                            TABLE1[0].po,
-                            2,
-                        ),
+                        plan: balance_fixed(TABLE1[0].scan_chains, TABLE1[0].pi, TABLE1[0].po, 2),
                         sessions_active: vec![1],
                         tam_offset: 0,
                     },
@@ -118,9 +113,146 @@ fn bench_march_faultsim(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(7);
     let faults = random_fault_list(&cfg, 20, &mut rng);
     let alg = MarchAlgorithm::march_c_minus();
-    c.bench_function("march_c_minus_faultsim_64x4_120f", |b| {
+    c.bench_function("march_faultsim_packed_64x4_120f", |b| {
         b.iter(|| fault_coverage(&alg, &cfg, &faults))
     });
+    c.bench_function("march_faultsim_serial_64x4_120f", |b| {
+        b.iter(|| fault_coverage_serial(&alg, &cfg, &faults))
+    });
+    report_speedup(
+        "march_faultsim packed vs serial",
+        || fault_coverage_serial(&alg, &cfg, &faults).detected,
+        || fault_coverage(&alg, &cfg, &faults).detected,
+    );
+}
+
+/// Deterministic input vectors for the gate-level grading benches.
+fn jpeg_vectors(module: &steac_netlist::Module, count: usize) -> Vec<Vec<Logic>> {
+    let n = module.ports_with_dir(steac_netlist::PortDir::Input).count();
+    (0..count)
+        .map(|k| {
+            (0..n)
+                .map(|i| {
+                    let mut z = (k as u64)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(i as u64);
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    Logic::from(z >> 17 & 1 == 1)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Packed (PPSFP, 63 faults + good machine per pass, fault dropping)
+/// vs. serial (one full simulation per fault) stuck-at grading on the
+/// DSC's JPEG core — the paper's largest functional-pattern core. The
+/// recorded speedup is the packed kernel's headline number.
+fn bench_gate_faultsim(c: &mut Criterion) {
+    let (module, _) = jpeg_core().expect("core builds");
+    let faults: Vec<fault::Fault> = enumerate_faults(&module)
+        .into_iter()
+        .take(2 * fault::FAULTS_PER_PASS)
+        .collect();
+    let pins: Vec<steac_netlist::NetId> = module
+        .ports_with_dir(steac_netlist::PortDir::Input)
+        .map(|p| p.net)
+        .collect();
+    let vectors = jpeg_vectors(&module, 16);
+
+    let packed = || {
+        fault::grade_vectors(&module, &faults, &pins, &vectors)
+            .expect("packed grading runs")
+            .detected
+    };
+    let serial = || {
+        fault_coverage_gate_serial(&module, &faults, &pins, &vectors)
+            .expect("serial grading runs")
+            .detected
+    };
+    assert_eq!(packed(), serial(), "packed and serial gradings must agree");
+
+    c.bench_function("gate_faultsim_packed_jpeg_126f_16v", |b| b.iter(packed));
+    c.bench_function("gate_faultsim_serial_jpeg_126f_16v", |b| b.iter(serial));
+    report_speedup("gate_faultsim packed vs serial (jpeg core)", serial, packed);
+}
+
+/// The serial reference grading loop (what the interpreter used to do).
+fn fault_coverage_gate_serial(
+    module: &steac_netlist::Module,
+    faults: &[fault::Fault],
+    pins: &[steac_netlist::NetId],
+    vectors: &[Vec<Logic>],
+) -> Result<fault::CoverageReport, steac_sim::SimError> {
+    fault::fault_coverage_serial(module, faults, |sim| {
+        let mut obs = Vec::new();
+        for vector in vectors {
+            for (&pin, &v) in pins.iter().zip(vector) {
+                sim.set(pin, v);
+            }
+            sim.settle()?;
+            obs.extend(sim.outputs());
+        }
+        Ok(obs)
+    })
+}
+
+/// Batched (64 lanes/pass) vs scalar playback of JPEG functional
+/// patterns through the ATE cycle player.
+fn bench_batched_playback(c: &mut Criterion) {
+    let count = 128;
+    let (module, patterns) = steac_dsc::jpeg_functional_patterns(count).expect("patterns build");
+    let refs: Vec<&steac_pattern::CyclePattern> = patterns.iter().collect();
+    c.bench_function("jpeg_playback_batched_128p", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&module).expect("sim builds");
+            steac_pattern::apply_cycle_patterns_batch(&mut sim, &refs).expect("plays")
+        })
+    });
+    c.bench_function("jpeg_playback_scalar_128p", |b| {
+        b.iter(|| {
+            // One compile per iteration, like the batched path: the
+            // comparison times the kernel, not repeated compilation.
+            let mut sim = Simulator::new(&module).expect("sim builds");
+            patterns
+                .iter()
+                .map(|p| {
+                    sim.reset_to_x();
+                    steac_pattern::apply_cycle_pattern(&mut sim, p).expect("plays")
+                })
+                .count()
+        })
+    });
+}
+
+/// Times both closures (median of three runs after a warm-up) and
+/// prints the ratio, so the packed kernel's advantage is recorded in
+/// the bench output itself.
+fn report_speedup<A: PartialEq + std::fmt::Debug>(
+    label: &str,
+    baseline: impl Fn() -> A,
+    candidate: impl Fn() -> A,
+) {
+    fn median_time<A>(f: &impl Fn() -> A) -> (std::time::Duration, A) {
+        let mut times = Vec::with_capacity(3);
+        let mut result = None;
+        for _ in 0..3 {
+            let t = Instant::now();
+            result = Some(f());
+            times.push(t.elapsed());
+        }
+        times.sort_unstable();
+        (times[1], result.expect("ran at least once"))
+    }
+    // Warm both paths (allocator, caches) before the timed runs.
+    let a = baseline();
+    let b = candidate();
+    assert_eq!(a, b, "{label}: results diverge");
+    let (base, a) = median_time(&baseline);
+    let (cand, b) = median_time(&candidate);
+    assert_eq!(a, b, "{label}: results diverge");
+    let ratio = base.as_secs_f64() / cand.as_secs_f64().max(1e-12);
+    println!("{label:<44} speedup: {ratio:.1}x ({base:.2?} -> {cand:.2?})");
 }
 
 criterion_group!(
@@ -130,6 +262,8 @@ criterion_group!(
     bench_scheduler,
     bench_stil_parse,
     bench_wrapper_balance,
-    bench_march_faultsim
+    bench_march_faultsim,
+    bench_gate_faultsim,
+    bench_batched_playback
 );
 criterion_main!(benches);

@@ -22,10 +22,30 @@ fn main() {
         width: 16,
         sessions: 3,
         cores: vec![
-            TamCoreSpec { name: "usb".into(), wires: 12, offset: 0, session: 0 },
-            TamCoreSpec { name: "tv".into(), wires: 4, offset: 12, session: 0 },
-            TamCoreSpec { name: "tv2".into(), wires: 16, offset: 0, session: 1 },
-            TamCoreSpec { name: "jpeg".into(), wires: 16, offset: 0, session: 2 },
+            TamCoreSpec {
+                name: "usb".into(),
+                wires: 12,
+                offset: 0,
+                session: 0,
+            },
+            TamCoreSpec {
+                name: "tv".into(),
+                wires: 4,
+                offset: 12,
+                session: 0,
+            },
+            TamCoreSpec {
+                name: "tv2".into(),
+                wires: 16,
+                offset: 0,
+                session: 1,
+            },
+            TamCoreSpec {
+                name: "jpeg".into(),
+                wires: 16,
+                offset: 0,
+                session: 2,
+            },
         ],
     };
     let mux = tam_mux_module(&tam).expect("tam mux");
@@ -33,7 +53,10 @@ fn main() {
     println!("{}", compare_row("TAM multiplexer (GE)", 132.0, mux_ge));
 
     let overhead = 100.0 * (ctl_ge + mux_ge) / DSC_CHIP_LOGIC_GE;
-    println!("{}", compare_row("controller+mux overhead (%)", 0.3, overhead));
+    println!(
+        "{}",
+        compare_row("controller+mux overhead (%)", 0.3, overhead)
+    );
 
     println!("\nWBR cell netlist breakdown:");
     println!("{}", AreaReport::for_module(&wbr_cell_module().unwrap()));

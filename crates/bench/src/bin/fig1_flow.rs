@@ -8,15 +8,16 @@ use steac::flow::{run_flow, CoreSource, FlowInput};
 use steac::insert::{insert_dft, InsertSpec};
 use steac::report::{render_flow, render_insertion};
 use steac_bench::header;
-use steac_dsc::{
-    build_chip, core_stil, dsc_brains, dsc_chip_config, DSC_CHIP_LOGIC_GE, TABLE1,
-};
+use steac_dsc::{build_chip, core_stil, dsc_brains, dsc_chip_config, DSC_CHIP_LOGIC_GE, TABLE1};
 use steac_stil::to_stil_string;
 use steac_tam::{ControlClass, ControlSignal};
 use steac_wrapper::{balance_fixed, WrapOptions};
 
 fn main() {
-    println!("{}", header("Fig. 1: STEAC test integration flow on the DSC"));
+    println!(
+        "{}",
+        header("Fig. 1: STEAC test integration flow on the DSC")
+    );
     let wall = Instant::now();
 
     // ATPG role: emit the STIL files.
@@ -29,10 +30,23 @@ fn main() {
 
     // Control inventories (paper §3 detail).
     let usb_controls: Vec<ControlSignal> = (0..4)
-        .map(|i| ControlSignal::new("USB", &format!("ck{i}"), ControlClass::Clock { freq_mhz: 48 }))
+        .map(|i| {
+            ControlSignal::new(
+                "USB",
+                &format!("ck{i}"),
+                ControlClass::Clock { freq_mhz: 48 },
+            )
+        })
         .chain((0..3).map(|i| ControlSignal::new("USB", &format!("rst{i}"), ControlClass::Reset)))
-        .chain(std::iter::once(ControlSignal::new("USB", "se", ControlClass::ScanEnable)))
-        .chain((0..6).map(|i| ControlSignal::new("USB", &format!("test{i}"), ControlClass::TestEnable)))
+        .chain(std::iter::once(ControlSignal::new(
+            "USB",
+            "se",
+            ControlClass::ScanEnable,
+        )))
+        .chain(
+            (0..6)
+                .map(|i| ControlSignal::new("USB", &format!("test{i}"), ControlClass::TestEnable)),
+        )
         .collect();
 
     let input = FlowInput {
@@ -60,8 +74,7 @@ fn main() {
                 scan_si: params[0].scan_si.clone(),
                 scan_so: params[0].scan_so.clone(),
                 scan_se: params[0].scan_enable.clone(),
-                passthrough_inputs: params[0]
-                    .clocks[1..]
+                passthrough_inputs: params[0].clocks[1..]
                     .iter()
                     .chain(&params[0].resets)
                     .chain(&params[0].test_enables)

@@ -3,13 +3,20 @@
 
 use steac_bench::header;
 use steac_dsc::dsc_brains;
-use steac_membist::{BIST_IF_SIGNALS, MarchAlgorithm};
+use steac_membist::{MarchAlgorithm, BIST_IF_SIGNALS};
 
 fn main() {
-    println!("{}", header("Fig. 2: BIST architecture for multiple memory cores"));
+    println!(
+        "{}",
+        header("Fig. 2: BIST architecture for multiple memory cores")
+    );
     let brains = dsc_brains();
     let design = brains.compile().expect("BIST compiles");
-    println!("tester interface ({} signals): {}", BIST_IF_SIGNALS.len(), BIST_IF_SIGNALS.join(" "));
+    println!(
+        "tester interface ({} signals): {}",
+        BIST_IF_SIGNALS.len(),
+        BIST_IF_SIGNALS.join(" ")
+    );
     println!("algorithm: {}", MarchAlgorithm::march_c_minus());
     println!();
     println!("{design}");

@@ -9,7 +9,10 @@ use steac_membist::faultsim::{fault_coverage, random_fault_list};
 use steac_membist::{MarchAlgorithm, SramConfig};
 
 fn main() {
-    println!("{}", header("Ablation: March algorithm time/coverage trade-off"));
+    println!(
+        "{}",
+        header("Ablation: March algorithm time/coverage trade-off")
+    );
     let cfg = SramConfig::single_port(64, 4);
     let mut rng = StdRng::seed_from_u64(2005);
     let faults = random_fault_list(&cfg, 80, &mut rng);
@@ -33,5 +36,8 @@ fn main() {
             escapes.join(" ")
         );
     }
-    println!("\n({} faults sampled per run: SAF/TF/CFin/CFid/CFst/AF classes)", faults.len());
+    println!(
+        "\n({} faults sampled per run: SAF/TF/CFin/CFid/CFst/AF classes)",
+        faults.len()
+    );
 }

@@ -10,16 +10,19 @@ use steac_dsc::TABLE1;
 use steac_wrapper::chain::width_sweep;
 
 fn main() {
-    println!("{}", header("Ablation: fixed chains vs soft-core rebalancing (USB core)"));
+    println!(
+        "{}",
+        header("Ablation: fixed chains vs soft-core rebalancing (USB core)")
+    );
     let usb = &TABLE1[0];
     let fixed = width_sweep(usb.scan_chains, usb.pi, usb.po, usb.scan_patterns, false, 8);
     let soft = width_sweep(usb.scan_chains, usb.pi, usb.po, usb.scan_patterns, true, 8);
-    println!("{:>6} {:>14} {:>14} {:>8}", "width", "fixed (cyc)", "soft (cyc)", "gain");
+    println!(
+        "{:>6} {:>14} {:>14} {:>8}",
+        "width", "fixed (cyc)", "soft (cyc)", "gain"
+    );
     for ((w, tf), (_, ts)) in fixed.iter().zip(&soft) {
-        println!(
-            "{w:>6} {tf:>14} {ts:>14} {:>7.2}x",
-            *tf as f64 / *ts as f64
-        );
+        println!("{w:>6} {tf:>14} {ts:>14} {:>7.2}x", *tf as f64 / *ts as f64);
     }
     println!("\nTV encoder for comparison (balanced 577/576 chains gain little):");
     let tv = &TABLE1[1];

@@ -6,9 +6,15 @@ use steac_dsc::{dsc_chip_config, dsc_test_tasks};
 use steac_sched::schedule_sessions;
 
 fn main() {
-    println!("{}", header("Ablation: session-count sweep on the DSC instance"));
+    println!(
+        "{}",
+        header("Ablation: session-count sweep on the DSC instance")
+    );
     let tasks = dsc_test_tasks();
-    println!("{:>12} {:>14} {:>10}", "max sessions", "total cycles", "used");
+    println!(
+        "{:>12} {:>14} {:>10}",
+        "max sessions", "total cycles", "used"
+    );
     for max_sessions in 1..=6 {
         let config = steac_sched::ChipConfig {
             max_sessions,

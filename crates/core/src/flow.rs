@@ -274,7 +274,7 @@ Pattern func { Loop 1000 { V { d0=1; ck=P; } } }
         assert_eq!(r.infos.len(), 1);
         assert_eq!(r.tasks.len(), 2, "one scan + one functional task");
         assert!(r.schedule.total_cycles > 0);
-        assert!(r.nonsession.makespan >= r.schedule.total_cycles || true);
+        assert!(r.nonsession.makespan > 0);
         assert_eq!(r.timings.len(), 3);
     }
 
@@ -282,11 +282,7 @@ Pattern func { Loop 1000 { V { d0=1; ck=P; } } }
     fn flow_with_bist_adds_group_tasks() {
         use steac_membist::{MemorySpec, SramConfig};
         let mut brains = Brains::new();
-        brains.add_memory(MemorySpec::new(
-            "m0",
-            SramConfig::single_port(256, 8),
-            0,
-        ));
+        brains.add_memory(MemorySpec::new("m0", SramConfig::single_port(256, 8), 0));
         let input = FlowInput {
             cores: vec![CoreSource::new("tiny", TINY)],
             bist: Some(brains),

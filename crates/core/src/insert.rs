@@ -6,9 +6,11 @@
 
 use crate::FlowError;
 use steac_netlist::{AreaReport, Design, NetId, NetlistBuilder};
-use steac_tam::{controller_module, tam_mux_module, ControllerSpec, CoreControl, TamCoreSpec, TamSpec};
+use steac_tam::{
+    controller_module, tam_mux_module, ControllerSpec, CoreControl, TamCoreSpec, TamSpec,
+};
 use steac_wrapper::cell::wbr_cell_area_ge;
-use steac_wrapper::{wrap_core, WrapOptions, WrapperPlan, WrappedCore};
+use steac_wrapper::{wrap_core, WrapOptions, WrappedCore, WrapperPlan};
 
 /// Per-core insertion request.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,7 +84,12 @@ pub fn insert_dft(
     // 1. Wrap the cores.
     let mut wrapped = Vec::with_capacity(specs.len());
     for spec in specs {
-        wrapped.push(wrap_core(design, &spec.core_module, &spec.plan, &spec.wrap)?);
+        wrapped.push(wrap_core(
+            design,
+            &spec.core_module,
+            &spec.plan,
+            &spec.wrap,
+        )?);
     }
 
     // 2. Test Controller.
@@ -135,7 +142,9 @@ pub fn insert_dft(
     let t_se = b.input("t_se");
     let t_capture = b.input("t_capture");
     let t_update = b.input("t_update");
-    let tam_in: Vec<NetId> = (0..tam_width).map(|k| b.input(&format!("tam_in[{k}]"))).collect();
+    let tam_in: Vec<NetId> = (0..tam_width)
+        .map(|k| b.input(&format!("tam_in[{k}]")))
+        .collect();
     let tie0 = b.tie0();
 
     // Controller instance.
@@ -213,7 +222,11 @@ pub fn insert_dft(
             conns.push((pin.clone(), n));
         }
         let refs: Vec<(&str, NetId)> = conns.iter().map(|(p, n)| (p.as_str(), *n)).collect();
-        b.instance(&format!("u_{}_wrapped", spec.core_module), &w.module_name, &refs);
+        b.instance(
+            &format!("u_{}_wrapped", spec.core_module),
+            &w.module_name,
+            &refs,
+        );
     }
 
     // TAM mux instance.

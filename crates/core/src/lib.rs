@@ -14,12 +14,26 @@
 //!      (steac-netlist)  (steac-wrapper + steac-tam)           │
 //!                                                             ▼
 //!   chip-level ATE patterns ◄── Pattern Translator (steac-pattern)
+//!                                        │
+//!                                        ▼  verification (compile-then-execute)
+//!   SimProgram IR ◄── levelize netlist once ── steac-sim
+//!        │  flat instruction stream over one packed value buffer
+//!        ▼
+//!   64-lane packed execution: batch playback, PPSFP fault grading
 //! ```
 //!
 //! [`flow::run_flow`] executes the whole pipeline; [`insert::insert_dft`]
 //! performs netlist-level insertion on its own; [`report`] renders the
 //! integration reports the paper's §3 quotes (test time, control IOs,
 //! DFT area, overhead).
+//!
+//! Every simulation-backed step (scan-pattern verification, BIST fault
+//! grading, wrapper equivalence) rides `steac-sim`'s compiled pipeline:
+//! the flat netlist is levelized **once** into a `SimProgram` — a
+//! contiguous instruction stream over a single flat value buffer — and
+//! then executed with 64 packed 4-value lanes per pass, so pattern sets
+//! play 64 patterns at a time and fault simulation grades a good machine
+//! plus 63 faulty machines per pass (with fault dropping).
 //!
 //! # Example
 //!

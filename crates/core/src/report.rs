@@ -19,11 +19,7 @@ pub fn render_flow(result: &FlowResult) -> String {
     let _ = writeln!(out, "-- schedules (Core Test Scheduler) --");
     out.push_str(&render_sessions(&result.schedule, &result.tasks));
     out.push_str(&render_nonsession(&result.nonsession, &result.tasks));
-    let _ = writeln!(
-        out,
-        "serial reference: {} cycles",
-        result.serial.makespan
-    );
+    let _ = writeln!(out, "serial reference: {} cycles", result.serial.makespan);
     if let Some(bist) = &result.bist {
         let _ = writeln!(out, "-- BRAINS (Fig. 4 integration) --");
         out.push_str(&bist.to_string());
@@ -72,9 +68,7 @@ pub fn render_insertion(report: &InsertionReport, chip_logic_ge: f64) -> String 
         let _ = writeln!(
             out,
             "  {}: {} chains, {} boundary cells",
-            w.module_name,
-            w.width,
-            w.boundary_cells
+            w.module_name, w.width, w.boundary_cells
         );
     }
     out

@@ -24,11 +24,27 @@ impl ChipInventory {
     #[must_use]
     pub fn new() -> Self {
         let blocks = vec![
-            ("micro_processor".to_string(), "RISC microprocessor".to_string(), 45_000.0),
-            ("jpeg_core".to_string(), "JPEG codec (legacy)".to_string(), 55_000.0),
+            (
+                "micro_processor".to_string(),
+                "RISC microprocessor".to_string(),
+                45_000.0,
+            ),
+            (
+                "jpeg_core".to_string(),
+                "JPEG codec (legacy)".to_string(),
+                55_000.0,
+            ),
             ("tv_core".to_string(), "TV encoder".to_string(), 18_000.0),
-            ("usb_core".to_string(), "USB device controller".to_string(), 25_000.0),
-            ("ext_mem_if".to_string(), "external memory interface".to_string(), 14_000.0),
+            (
+                "usb_core".to_string(),
+                "USB device controller".to_string(),
+                25_000.0,
+            ),
+            (
+                "ext_mem_if".to_string(),
+                "external memory interface".to_string(),
+                14_000.0,
+            ),
             ("glue_logic".to_string(), "glue logic".to_string(), 10_000.0),
         ];
         let memories = dsc_memory_inventory()
@@ -170,6 +186,6 @@ mod tests {
             report.total_ge()
         );
         let flat = design.flatten("dsc_chip").unwrap();
-        assert_eq!(flat.flop_count() >= 2045 + 1153 + 32, true);
+        assert!(flat.flop_count() >= 2045 + 1153 + 32);
     }
 }

@@ -294,7 +294,10 @@ pub fn jpeg_core() -> Result<(Module, CoreParams), NetlistError> {
     // A small pipeline: non-scanned flops (legacy core).
     let mut regs = Vec::new();
     for i in 0..32 {
-        let d = b.gate(GateKind::Xor2, &[pi[i % pi.len()], pi[(i * 7 + 1) % pi.len()]]);
+        let d = b.gate(
+            GateKind::Xor2,
+            &[pi[i % pi.len()], pi[(i * 7 + 1) % pi.len()]],
+        );
         regs.push(b.gate(GateKind::Dff, &[d, ck]));
     }
     for i in 0..row.po {

@@ -25,12 +25,14 @@ pub mod cores;
 pub mod memories;
 pub mod stilgen;
 pub mod tasks;
+pub mod verify;
 
 pub use chip::{build_chip, ChipInventory, DSC_CHIP_LOGIC_GE};
 pub use cores::{jpeg_core, tv_core, usb_core, CoreParams, Table1Row, TABLE1};
-pub use memories::{dsc_memory_inventory, dsc_brains};
+pub use memories::{dsc_brains, dsc_memory_inventory};
 pub use stilgen::core_stil;
 pub use tasks::{dsc_chip_config, dsc_test_tasks, PAPER_NONSESSION_CYCLES, PAPER_SESSION_CYCLES};
+pub use verify::{jpeg_functional_patterns, jpeg_playback_batch, PlaybackReport};
 
 #[cfg(test)]
 mod tests {

@@ -39,7 +39,7 @@ const TP_SIZES: [(usize, usize); 9] = [
     (1_024, 16),
     (512, 16),
     (256, 8),
-    (144, 8), // video FIFO
+    (144, 8),    // video FIFO
     (1_024, 16), // second instance (broadcast pair)
 ];
 

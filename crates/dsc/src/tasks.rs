@@ -103,16 +103,9 @@ pub fn dsc_test_tasks() -> Vec<TestTask> {
         )
         .with_controls(usb_controls())
         .with_power(1.0),
-        TestTask::scan(
-            "tv",
-            tv.scan_patterns,
-            tv.scan_chains,
-            tv.pi,
-            tv.po,
-            false,
-        )
-        .with_controls(tv_controls())
-        .with_power(0.3),
+        TestTask::scan("tv", tv.scan_patterns, tv.scan_chains, tv.pi, tv.po, false)
+            .with_controls(tv_controls())
+            .with_power(0.3),
         TestTask::functional("tv", tv.functional_patterns, tv.pi, tv.po)
             .with_controls(vec![
                 ControlSignal::new("TV", "ck", ControlClass::Clock { freq_mhz: 27 }),
@@ -169,9 +162,8 @@ mod tests {
         );
         // Within 5% of the paper's absolute numbers (the substrate is a
         // model, not the authors' testbed).
-        let close = |ours: u64, paper: u64| {
-            (ours as f64 - paper as f64).abs() / (paper as f64) < 0.05
-        };
+        let close =
+            |ours: u64, paper: u64| (ours as f64 - paper as f64).abs() / (paper as f64) < 0.05;
         assert!(
             close(s.total_cycles, PAPER_SESSION_CYCLES),
             "session {} vs paper {}",

@@ -1,0 +1,161 @@
+//! Pattern-verification experiments on the DSC cores, riding the
+//! bit-parallel simulation kernel.
+//!
+//! The paper's flow ends with chip-level ATE patterns; verifying them
+//! against the gate-level netlist is a pure simulation workload, and the
+//! batched cycle player ([`steac_pattern::apply_cycle_patterns_batch`])
+//! runs 64 patterns per pass — the experiment here is the JPEG core's
+//! functional-pattern verification, the largest single pattern set of
+//! Table 1 (235,696 functional patterns on silicon; we verify a sampled
+//! subset the same way).
+
+use crate::cores::jpeg_core;
+use steac_netlist::Module;
+use steac_pattern::{apply_cycle_patterns_batch, CyclePattern, PatternError, PinState};
+use steac_sim::{Logic, SimError, Simulator};
+
+/// Outcome of a batched playback experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlaybackReport {
+    /// Patterns played.
+    pub patterns: usize,
+    /// Tester cycles represented (sum over patterns).
+    pub cycles: u64,
+    /// Compares performed (sum over patterns).
+    pub compares: u64,
+    /// Total mismatching compares (0 for a healthy netlist).
+    pub mismatches: usize,
+    /// Packed passes the player needed (⌈patterns / 64⌉).
+    pub passes: usize,
+}
+
+/// Deterministic per-pattern stimulus (SplitMix64, so the experiment is
+/// reproducible without an RNG dependency).
+fn stimulus_bit(pattern: usize, pin: usize) -> bool {
+    let mut z = (pattern as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(pin as u64);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) & 1 == 1
+}
+
+/// Builds `count` two-cycle functional patterns for the JPEG core (drive
+/// PIs + pulse `ck`, then compare every PO), with expected responses
+/// computed by a scalar reference simulation of each pattern.
+///
+/// # Errors
+///
+/// Propagates netlist and simulation errors.
+pub fn jpeg_functional_patterns(count: usize) -> Result<(Module, Vec<CyclePattern>), PatternError> {
+    let (module, params) = jpeg_core().map_err(|e| PatternError::Sim(SimError::Netlist(e)))?;
+    let mut pins: Vec<String> = params.pi.clone();
+    pins.push(params.clocks[0].clone());
+    pins.extend(params.po.iter().cloned());
+    let n_pi = params.pi.len();
+
+    let mut patterns = Vec::with_capacity(count);
+    let mut sim = Simulator::new(&module)?;
+    for k in 0..count {
+        let drives: Vec<Logic> = (0..n_pi).map(|i| Logic::from(stimulus_bit(k, i))).collect();
+        // Scalar reference run from the power-on state (the batch player
+        // resets each chunk the same way).
+        sim.clear_forces();
+        sim.reset_to_x();
+        for (name, &v) in params.pi.iter().zip(&drives) {
+            sim.set_by_name(name, v)?;
+        }
+        sim.clock_cycle_by_name(&params.clocks[0])?;
+        let expected: Vec<Logic> = params
+            .po
+            .iter()
+            .map(|name| sim.get_by_name(name))
+            .collect::<Result<_, _>>()?;
+
+        let mut p = CyclePattern::new(pins.clone());
+        let mut capture_row: Vec<PinState> =
+            drives.iter().map(|&v| PinState::from_drive(v)).collect();
+        capture_row.push(PinState::Pulse);
+        capture_row.extend(std::iter::repeat_n(PinState::DontCare, params.po.len()));
+        p.push_cycle(capture_row)?;
+        let mut compare_row: Vec<PinState> =
+            drives.iter().map(|&v| PinState::from_drive(v)).collect();
+        compare_row.push(PinState::Drive0);
+        compare_row.extend(expected.iter().map(|&v| PinState::from_expect(v)));
+        p.push_cycle(compare_row)?;
+        patterns.push(p);
+    }
+    Ok((module, patterns))
+}
+
+/// Verifies `count` JPEG functional patterns with the batched cycle
+/// player (64 per pass) and aggregates the result.
+///
+/// # Errors
+///
+/// Propagates netlist, pattern and simulation errors.
+pub fn jpeg_playback_batch(count: usize) -> Result<PlaybackReport, PatternError> {
+    let (module, patterns) = jpeg_functional_patterns(count)?;
+    let refs: Vec<&CyclePattern> = patterns.iter().collect();
+    let mut sim = Simulator::new(&module)?;
+    let reports = apply_cycle_patterns_batch(&mut sim, &refs)?;
+    Ok(PlaybackReport {
+        patterns: reports.len(),
+        cycles: patterns.iter().map(CyclePattern::cycle_count).sum(),
+        compares: reports.iter().map(|r| r.compares).sum(),
+        mismatches: reports.iter().map(|r| r.mismatches.len()).sum(),
+        passes: count.div_ceil(steac_sim::LANES),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steac_pattern::apply_cycle_pattern;
+
+    /// The batched verdict must equal per-pattern scalar playback — and
+    /// pass: the expectations were computed from the same netlist.
+    #[test]
+    fn jpeg_batched_playback_is_clean_and_matches_scalar() {
+        let count = 70; // > 64: exercises chunking
+        let (module, patterns) = jpeg_functional_patterns(count).unwrap();
+        let refs: Vec<&CyclePattern> = patterns.iter().collect();
+        let mut sim = Simulator::new(&module).unwrap();
+        let batch = apply_cycle_patterns_batch(&mut sim, &refs).unwrap();
+        assert_eq!(batch.len(), count);
+        for (i, p) in patterns.iter().enumerate() {
+            let mut scalar_sim = Simulator::new(&module).unwrap();
+            let scalar = apply_cycle_pattern(&mut scalar_sim, p).unwrap();
+            assert_eq!(batch[i].mismatches, scalar.mismatches, "pattern {i}");
+            assert!(batch[i].passed(), "pattern {i}: {}", batch[i]);
+        }
+    }
+
+    #[test]
+    fn playback_report_aggregates() {
+        let rep = jpeg_playback_batch(10).unwrap();
+        assert_eq!(rep.patterns, 10);
+        assert_eq!(rep.cycles, 20);
+        assert_eq!(rep.mismatches, 0);
+        assert_eq!(rep.passes, 1);
+        assert_eq!(rep.compares, 10 * 104); // every PO compared once
+    }
+
+    #[test]
+    fn corrupted_expectation_is_caught() {
+        let (module, mut patterns) = jpeg_functional_patterns(3).unwrap();
+        // Flip one expectation of pattern 1.
+        let row = patterns[1].cycles.len() - 1;
+        let col = patterns[1].pins.len() - 1;
+        patterns[1].cycles[row][col] = match patterns[1].cycles[row][col] {
+            PinState::ExpectH => PinState::ExpectL,
+            _ => PinState::ExpectH,
+        };
+        let refs: Vec<&CyclePattern> = patterns.iter().collect();
+        let mut sim = Simulator::new(&module).unwrap();
+        let reports = apply_cycle_patterns_batch(&mut sim, &refs).unwrap();
+        assert!(reports[0].passed());
+        assert!(!reports[1].passed());
+        assert!(reports[2].passed());
+    }
+}

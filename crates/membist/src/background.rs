@@ -44,14 +44,16 @@ pub fn standard_backgrounds(width: usize) -> Vec<DataBackground> {
         pattern: mask,
         name: "solid",
     }];
-    let names = ["stripe2", "stripe4", "stripe8", "stripe16", "stripe32", "stripe64"];
+    let names = [
+        "stripe2", "stripe4", "stripe8", "stripe16", "stripe32", "stripe64",
+    ];
     let mut period = 2usize;
     let mut ni = 0;
     while period <= width.max(2) && ni < names.len() {
         // Alternating blocks of period/2 ones and zeros: ...11001100.
         let mut p = 0u64;
         for bit in 0..width.min(64) {
-            if (bit / (period / 2)) % 2 == 0 {
+            if (bit / (period / 2)).is_multiple_of(2) {
                 p |= 1 << bit;
             }
         }
@@ -73,8 +75,7 @@ pub fn run_march_with_backgrounds(
     mem: &mut Sram,
     backgrounds: &[DataBackground],
 ) -> bool {
-    let width = mem.config().width;
-    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mask = crate::faultsim::word_mask(&mem.config());
     for bg in backgrounds {
         let one = bg.pattern & mask;
         let zero = !bg.pattern & mask;
@@ -168,9 +169,9 @@ mod tests {
             let bgs = standard_backgrounds(width);
             for i in 0..width {
                 for j in (i + 1)..width {
-                    let separated = bgs.iter().any(|bg| {
-                        ((bg.pattern >> i) & 1) != ((bg.pattern >> j) & 1)
-                    });
+                    let separated = bgs
+                        .iter()
+                        .any(|bg| ((bg.pattern >> i) & 1) != ((bg.pattern >> j) & 1));
                     assert!(separated, "width {width}: bits {i},{j} never separated");
                 }
             }

@@ -333,7 +333,11 @@ impl fmt::Display for BistDesign {
             self.sequencer_count(),
             self.total_area_ge(),
             self.total_cycles(),
-            if self.run_parallel { "parallel" } else { "serial" }
+            if self.run_parallel {
+                "parallel"
+            } else {
+                "serial"
+            }
         )?;
         for m in &self.per_memory {
             writeln!(
@@ -370,7 +374,7 @@ mod tests {
         let d = b.compile().unwrap();
         assert_eq!(d.per_memory.len(), 3);
         assert_eq!(d.sequencer_count(), 2); // groups 0 and 1
-        // Identical geometries broadcast: group 0 takes 10 * 1024 once.
+                                            // Identical geometries broadcast: group 0 takes 10 * 1024 once.
         assert_eq!(d.sequencer_cycles[0], 10 * 1024);
         assert_eq!(d.sequencer_cycles[1], 10 * 512);
         assert_eq!(d.total_cycles_parallel, 10 * 1024);
@@ -408,11 +412,7 @@ mod tests {
     #[test]
     fn algorithm_override_changes_cycles() {
         let mut b = Brains::new();
-        b.add_memory(MemorySpec::new(
-            "ram_a",
-            SramConfig::single_port(100, 8),
-            0,
-        ));
+        b.add_memory(MemorySpec::new("ram_a", SramConfig::single_port(100, 8), 0));
         b.algorithm_for("ram_a", MarchAlgorithm::mats_plus());
         let d = b.compile().unwrap();
         assert_eq!(d.per_memory[0].cycles, 5 * 100);

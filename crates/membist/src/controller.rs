@@ -63,9 +63,9 @@ pub fn controller_netlist(sequencers: usize) -> Result<Module, NetlistError> {
     // (MSI low), shift towards MSO when MSI high.
     let mut prev = b.tie0();
     let mut last = prev;
-    for j in 0..sequencers {
+    for (j, &fail) in seq_fail.iter().enumerate().take(sequencers) {
         let q = b.net(&format!("status_q{j}"));
-        let d = b.gate(GateKind::Mux2, &[seq_fail[j], prev, msi]);
+        let d = b.gate(GateKind::Mux2, &[fail, prev, msi]);
         b.gate_into(GateKind::DffR, &[d, mbc, rst_n], q);
         prev = q;
         last = q;
@@ -111,8 +111,10 @@ mod tests {
             sim.set_by_name(p, Logic::Zero).unwrap();
         }
         for i in 0..2 {
-            sim.set_by_name(&format!("seq_done[{i}]"), Logic::Zero).unwrap();
-            sim.set_by_name(&format!("seq_fail[{i}]"), Logic::Zero).unwrap();
+            sim.set_by_name(&format!("seq_done[{i}]"), Logic::Zero)
+                .unwrap();
+            sim.set_by_name(&format!("seq_fail[{i}]"), Logic::Zero)
+                .unwrap();
         }
         sim.set_by_name("MBR", Logic::One).unwrap();
         sim.settle().unwrap();

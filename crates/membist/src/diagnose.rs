@@ -95,10 +95,7 @@ pub fn first_failure(alg: &MarchAlgorithm, mem: &mut Sram) -> Option<FailureSite
 /// Maps the controller fail bits (one per sequencer group, in group
 /// order) to the memories they implicate.
 #[must_use]
-pub fn implicated_memories<'d>(
-    design: &'d BistDesign,
-    seq_fail: &[bool],
-) -> Vec<&'d PerMemory> {
+pub fn implicated_memories<'d>(design: &'d BistDesign, seq_fail: &[bool]) -> Vec<&'d PerMemory> {
     // Group order in the design follows the sorted group keys used at
     // compile time; sequencer_cycles and per_memory share that order via
     // insertion sequence. Reconstruct group boundaries by walking

@@ -1,5 +1,14 @@
-//! March fault simulation: runs an algorithm against a faulty memory
-//! model and grades coverage over a fault list.
+//! March fault simulation: runs an algorithm against faulty memory
+//! models and grades coverage over a fault list.
+//!
+//! Grading is bit-parallel (PPSFP style): up to 64 faulty machines are
+//! packed into lane planes — one `u64` per memory cell column, one lane
+//! per fault — so a single March walk grades 64 faults at once. March
+//! writes are uniform across machines, so the walk broadcasts them
+//! word-parallel and then applies each lane's fault perturbation as a
+//! constant-time bit fix; reads compare every lane against the analytic
+//! expected value in one XOR. Detected lanes are dropped: once every
+//! fault of a pass is caught, the walk stops early.
 
 use crate::march::{Direction, MarchAlgorithm, MarchOp};
 use crate::memory::{MemFault, Sram, SramConfig};
@@ -7,16 +16,17 @@ use rand::Rng;
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Faults graded per packed March walk.
+pub const FAULTS_PER_PASS: usize = 64;
+
 /// Runs `alg` on `mem`; returns `true` if any read mismatches its
-/// expected background value (fault detected).
+/// expected background value (fault detected). Scalar single-machine
+/// walk, used by the BIST sequencer models and as the packed kernel's
+/// reference.
 #[must_use]
 pub fn run_march(alg: &MarchAlgorithm, mem: &mut Sram) -> bool {
     let words = mem.config().words;
-    let mask = if mem.config().width == 64 {
-        u64::MAX
-    } else {
-        (1u64 << mem.config().width) - 1
-    };
+    let mask = word_mask(&mem.config());
     for element in &alg.elements {
         let addrs: Box<dyn Iterator<Item = usize>> = match element.dir {
             Direction::Up | Direction::Any => Box::new(0..words),
@@ -42,6 +52,336 @@ pub fn run_march(alg: &MarchAlgorithm, mem: &mut Sram) -> bool {
         }
     }
     false
+}
+
+pub(crate) fn word_mask(config: &SramConfig) -> u64 {
+    if config.width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << config.width) - 1
+    }
+}
+
+/// 64 faulty memories packed into lane planes: `planes[addr * width + bit]`
+/// holds one bit per lane (per fault machine). Lane semantics replicate
+/// [`Sram`]'s scalar fault behaviour exactly (differentially tested).
+#[derive(Debug, Clone)]
+struct PackedFaultSim {
+    config: SramConfig,
+    planes: Vec<u64>,
+    /// `(lane, fault)` pairs of this pass.
+    faults: Vec<(usize, MemFault)>,
+    /// Per-address indices into `faults` that perturb writes to the
+    /// address.
+    write_hooks: Vec<Vec<u32>>,
+    /// Per-address indices into `faults` that perturb reads of the
+    /// address.
+    read_hooks: Vec<Vec<u32>>,
+    /// Per-address lane mask excluded from broadcast writes (decoder
+    /// faults that lose or redirect the access).
+    write_exclude: Vec<u64>,
+    /// Per-address lane mask whose reads need individual evaluation.
+    read_exclude: Vec<u64>,
+    /// Lanes in use.
+    active: u64,
+}
+
+impl PackedFaultSim {
+    fn new(config: SramConfig, chunk: &[MemFault]) -> Self {
+        assert!(chunk.len() <= FAULTS_PER_PASS, "too many faults per pass");
+        assert!(config.width <= 64, "model supports widths up to 64 bits");
+        assert!(config.words > 0, "memory must have at least one word");
+        let mut sim = PackedFaultSim {
+            config,
+            planes: vec![0; config.words * config.width],
+            faults: chunk.iter().copied().enumerate().collect(),
+            write_hooks: vec![Vec::new(); config.words],
+            read_hooks: vec![Vec::new(); config.words],
+            write_exclude: vec![0; config.words],
+            read_exclude: vec![0; config.words],
+            active: if chunk.len() == 64 {
+                u64::MAX
+            } else {
+                (1u64 << chunk.len()) - 1
+            },
+        };
+        for (i, &(lane, fault)) in sim.faults.clone().iter().enumerate() {
+            // Bounds contract mirrors Sram::with_fault.
+            Self::validate(&config, &fault);
+            let hi = i as u32;
+            let bit = 1u64 << lane;
+            match fault {
+                MemFault::StuckAt { addr, .. } => {
+                    sim.write_hooks[addr].push(hi);
+                    sim.read_hooks[addr].push(hi);
+                    sim.read_exclude[addr] |= bit;
+                }
+                MemFault::Transition { addr, .. } => {
+                    sim.write_hooks[addr].push(hi);
+                }
+                MemFault::CouplingInversion { aggressor, .. }
+                | MemFault::CouplingIdempotent { aggressor, .. }
+                | MemFault::CouplingState { aggressor, .. } => {
+                    sim.write_hooks[aggressor.0].push(hi);
+                }
+                MemFault::AfNoAccess { addr } => {
+                    sim.write_exclude[addr] |= bit;
+                    sim.read_hooks[addr].push(hi);
+                    sim.read_exclude[addr] |= bit;
+                }
+                MemFault::AfMultiAccess { addr, .. } => {
+                    sim.write_hooks[addr].push(hi);
+                    sim.read_hooks[addr].push(hi);
+                    sim.read_exclude[addr] |= bit;
+                }
+                MemFault::AfOtherAccess { addr, .. } => {
+                    sim.write_exclude[addr] |= bit;
+                    sim.write_hooks[addr].push(hi);
+                    sim.read_hooks[addr].push(hi);
+                    sim.read_exclude[addr] |= bit;
+                }
+            }
+        }
+        sim
+    }
+
+    fn validate(config: &SramConfig, fault: &MemFault) {
+        let cell_ok = |(a, b): (usize, usize)| {
+            assert!(
+                a < config.words && b < config.width,
+                "fault cell ({a},{b}) out of range for {config}"
+            );
+        };
+        match *fault {
+            MemFault::StuckAt { addr, bit, .. } | MemFault::Transition { addr, bit, .. } => {
+                cell_ok((addr, bit));
+            }
+            MemFault::CouplingInversion {
+                aggressor, victim, ..
+            }
+            | MemFault::CouplingIdempotent {
+                aggressor, victim, ..
+            }
+            | MemFault::CouplingState {
+                aggressor, victim, ..
+            } => {
+                cell_ok(aggressor);
+                cell_ok(victim);
+                assert!(aggressor != victim, "aggressor and victim must differ");
+            }
+            MemFault::AfNoAccess { addr } => assert!(addr < config.words),
+            MemFault::AfMultiAccess { addr, also } => {
+                assert!(addr < config.words && also < config.words && addr != also);
+            }
+            MemFault::AfOtherAccess { addr, other } => {
+                assert!(addr < config.words && other < config.words && addr != other);
+            }
+        }
+    }
+
+    #[inline]
+    fn plane(&self, addr: usize, bit: usize) -> u64 {
+        self.planes[addr * self.config.width + bit]
+    }
+
+    #[inline]
+    fn get_bit(&self, addr: usize, bit: usize, lane: usize) -> bool {
+        self.plane(addr, bit) >> lane & 1 == 1
+    }
+
+    #[inline]
+    fn set_bit(&mut self, addr: usize, bit: usize, lane: usize, v: bool) {
+        let p = addr * self.config.width + bit;
+        if v {
+            self.planes[p] |= 1 << lane;
+        } else {
+            self.planes[p] &= !(1 << lane);
+        }
+    }
+
+    /// Writes `value` into every lane's copy of `addr`, then applies each
+    /// lane's fault perturbation (matching `Sram::write` semantics).
+    fn write(&mut self, addr: usize, value: u64) {
+        let value = value & word_mask(&self.config);
+        // Capture the pre-write state the perturbations need.
+        let hooks = self.write_hooks[addr].clone();
+        let mut olds = Vec::with_capacity(hooks.len());
+        for &hi in &hooks {
+            let (lane, fault) = self.faults[hi as usize];
+            let old = match fault {
+                MemFault::Transition { addr: fa, bit, .. } => self.get_bit(fa, bit, lane),
+                MemFault::CouplingInversion { aggressor, .. }
+                | MemFault::CouplingIdempotent { aggressor, .. } => {
+                    self.get_bit(aggressor.0, aggressor.1, lane)
+                }
+                _ => false,
+            };
+            olds.push(old);
+        }
+        // Broadcast the uniform write to all lanes whose decoder actually
+        // reaches `addr`.
+        let wmask = self.active & !self.write_exclude[addr];
+        for bit in 0..self.config.width {
+            let p = addr * self.config.width + bit;
+            if value >> bit & 1 == 1 {
+                self.planes[p] |= wmask;
+            } else {
+                self.planes[p] &= !wmask;
+            }
+        }
+        // Per-lane perturbations (each lane holds exactly one fault).
+        for (&hi, &old) in hooks.iter().zip(&olds) {
+            let (lane, fault) = self.faults[hi as usize];
+            match fault {
+                MemFault::StuckAt {
+                    addr: fa,
+                    bit,
+                    value: sv,
+                } => {
+                    self.set_bit(fa, bit, lane, sv);
+                }
+                MemFault::Transition {
+                    addr: fa,
+                    bit,
+                    rising,
+                } => {
+                    let new = value >> bit & 1 == 1;
+                    if rising && !old && new {
+                        self.set_bit(fa, bit, lane, false); // 0->1 fails
+                    } else if !rising && old && !new {
+                        self.set_bit(fa, bit, lane, true); // 1->0 fails
+                    }
+                }
+                MemFault::CouplingInversion {
+                    aggressor,
+                    victim,
+                    rising,
+                } => {
+                    let new = value >> aggressor.1 & 1 == 1;
+                    if new != old && new == rising {
+                        let v = self.get_bit(victim.0, victim.1, lane);
+                        self.set_bit(victim.0, victim.1, lane, !v);
+                    }
+                }
+                MemFault::CouplingIdempotent {
+                    aggressor,
+                    victim,
+                    rising,
+                    forced,
+                } => {
+                    let new = value >> aggressor.1 & 1 == 1;
+                    if new != old && new == rising {
+                        self.set_bit(victim.0, victim.1, lane, forced);
+                    }
+                }
+                MemFault::CouplingState {
+                    aggressor,
+                    victim,
+                    state,
+                    forced,
+                } => {
+                    // The aggressor bit equals the just-written value.
+                    if (value >> aggressor.1 & 1 == 1) == state {
+                        self.set_bit(victim.0, victim.1, lane, forced);
+                    }
+                }
+                MemFault::AfOtherAccess { other, .. } => {
+                    for bit in 0..self.config.width {
+                        self.set_bit(other, bit, lane, value >> bit & 1 == 1);
+                    }
+                }
+                MemFault::AfMultiAccess { also, .. } => {
+                    for bit in 0..self.config.width {
+                        self.set_bit(also, bit, lane, value >> bit & 1 == 1);
+                    }
+                }
+                MemFault::AfNoAccess { .. } => {}
+            }
+        }
+    }
+
+    /// Reads `addr` in every lane and returns the mask of lanes whose
+    /// value differs from `expected` (matching `Sram::read` semantics).
+    fn read_mismatch(&self, addr: usize, expected: u64) -> u64 {
+        let expected = expected & word_mask(&self.config);
+        let mut diff = 0u64;
+        for bit in 0..self.config.width {
+            let exp = if expected >> bit & 1 == 1 {
+                u64::MAX
+            } else {
+                0
+            };
+            diff |= self.plane(addr, bit) ^ exp;
+        }
+        diff &= self.active & !self.read_exclude[addr];
+        // Lanes whose decoder or stuck cell shapes the read individually.
+        for &hi in &self.read_hooks[addr] {
+            let (lane, fault) = self.faults[hi as usize];
+            let word = match fault {
+                MemFault::StuckAt {
+                    addr: fa,
+                    bit,
+                    value: sv,
+                } => {
+                    let mut w = self.lane_word(fa, lane);
+                    if sv {
+                        w |= 1 << bit;
+                    } else {
+                        w &= !(1 << bit);
+                    }
+                    w
+                }
+                MemFault::AfNoAccess { .. } => 0,
+                MemFault::AfOtherAccess { other, .. } => self.lane_word(other, lane),
+                // Wired-AND of the two selected rows.
+                MemFault::AfMultiAccess { also, .. } => {
+                    self.lane_word(addr, lane) & self.lane_word(also, lane)
+                }
+                _ => unreachable!("read hooks cover read-affecting faults only"),
+            };
+            if word != expected {
+                diff |= 1 << lane;
+            }
+        }
+        diff
+    }
+
+    fn lane_word(&self, addr: usize, lane: usize) -> u64 {
+        let mut w = 0u64;
+        for bit in 0..self.config.width {
+            w |= (self.plane(addr, bit) >> lane & 1) << bit;
+        }
+        w
+    }
+
+    /// Runs the March walk over all lanes at once; returns the detected
+    /// lane mask. Stops early once every active lane is detected (fault
+    /// dropping).
+    fn run_march(&mut self, alg: &MarchAlgorithm) -> u64 {
+        let words = self.config.words;
+        let mask = word_mask(&self.config);
+        let mut detected = 0u64;
+        for element in &alg.elements {
+            let addrs: Box<dyn Iterator<Item = usize>> = match element.dir {
+                Direction::Up | Direction::Any => Box::new(0..words),
+                Direction::Down => Box::new((0..words).rev()),
+            };
+            for addr in addrs {
+                for &op in &element.ops {
+                    match op {
+                        MarchOp::W0 => self.write(addr, 0),
+                        MarchOp::W1 => self.write(addr, mask),
+                        MarchOp::R0 => detected |= self.read_mismatch(addr, 0),
+                        MarchOp::R1 => detected |= self.read_mismatch(addr, mask),
+                    }
+                    if detected == self.active {
+                        return detected; // every fault of this pass dropped
+                    }
+                }
+            }
+        }
+        detected
+    }
 }
 
 /// Coverage of an algorithm over a fault list on one memory geometry.
@@ -94,20 +434,17 @@ impl fmt::Display for MemCoverageReport {
     }
 }
 
-/// Simulates every fault in `faults` (single-fault assumption) under
-/// `alg` and reports coverage.
-#[must_use]
-pub fn fault_coverage(
+fn report_from_flags(
     alg: &MarchAlgorithm,
     config: &SramConfig,
     faults: &[MemFault],
+    detected_flags: &[bool],
 ) -> MemCoverageReport {
     let mut detected = 0usize;
     let mut escaped = Vec::new();
     let mut escapes_by_class: BTreeMap<&'static str, usize> = BTreeMap::new();
-    for &fault in faults {
-        let mut mem = Sram::with_fault(*config, fault);
-        if run_march(alg, &mut mem) {
+    for (&fault, &hit) in faults.iter().zip(detected_flags) {
+        if hit {
             detected += 1;
         } else {
             *escapes_by_class.entry(fault.class()).or_insert(0) += 1;
@@ -124,6 +461,45 @@ pub fn fault_coverage(
     }
 }
 
+/// Simulates every fault in `faults` (single-fault assumption) under
+/// `alg` and reports coverage. Packed: 64 faults per March walk, with
+/// fault dropping.
+#[must_use]
+pub fn fault_coverage(
+    alg: &MarchAlgorithm,
+    config: &SramConfig,
+    faults: &[MemFault],
+) -> MemCoverageReport {
+    let mut flags = Vec::with_capacity(faults.len());
+    for chunk in faults.chunks(FAULTS_PER_PASS) {
+        let mut sim = PackedFaultSim::new(*config, chunk);
+        let detected = sim.run_march(alg);
+        for lane in 0..chunk.len() {
+            flags.push(detected >> lane & 1 == 1);
+        }
+    }
+    report_from_flags(alg, config, faults, &flags)
+}
+
+/// Serial reference implementation: one full March walk per fault, as
+/// the scalar model does. Kept for benchmarking and differential testing;
+/// prefer [`fault_coverage`].
+#[must_use]
+pub fn fault_coverage_serial(
+    alg: &MarchAlgorithm,
+    config: &SramConfig,
+    faults: &[MemFault],
+) -> MemCoverageReport {
+    let flags: Vec<bool> = faults
+        .iter()
+        .map(|&fault| {
+            let mut mem = Sram::with_fault(*config, fault);
+            run_march(alg, &mut mem)
+        })
+        .collect();
+    report_from_flags(alg, config, faults, &flags)
+}
+
 /// Generates a random fault list over all classes with `per_class`
 /// faults each (deduplicated cells are not required — the single-fault
 /// assumption means every entry is simulated independently).
@@ -134,7 +510,10 @@ pub fn random_fault_list<R: Rng>(
 ) -> Vec<MemFault> {
     let mut out = Vec::with_capacity(per_class * 6);
     let cell = |rng: &mut R| -> (usize, usize) {
-        (rng.gen_range(0..config.words), rng.gen_range(0..config.width))
+        (
+            rng.gen_range(0..config.words),
+            rng.gen_range(0..config.width),
+        )
     };
     for _ in 0..per_class {
         let (a, b) = cell(rng);
@@ -290,6 +669,41 @@ mod tests {
         }
     }
 
+    /// The packed kernel and the scalar walk agree fault-for-fault, over
+    /// every algorithm in the library and mixed fault lists (this is the
+    /// contract that lets the packed path replace the scalar one).
+    #[test]
+    fn packed_matches_serial_on_every_algorithm() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for alg in MarchAlgorithm::library() {
+            for (words, width) in [(16, 1), (64, 4), (9, 8)] {
+                let cfg = SramConfig::single_port(words, width);
+                let faults = random_fault_list(&cfg, 12, &mut rng);
+                let packed = fault_coverage(&alg, &cfg, &faults);
+                let serial = fault_coverage_serial(&alg, &cfg, &faults);
+                assert_eq!(
+                    packed.detected, serial.detected,
+                    "{} on {}: packed {} vs serial {}",
+                    alg.name, cfg, packed, serial
+                );
+                assert_eq!(packed.escaped, serial.escaped, "{} on {}", alg.name, cfg);
+            }
+        }
+    }
+
+    /// A pass with exactly 64 faults exercises the full-lane mask path.
+    #[test]
+    fn full_lane_pass_and_chunking() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut faults = random_fault_list(&CFG, 30, &mut rng);
+        faults.truncate(130); // 64 + 64 + 2: three passes
+        let alg = MarchAlgorithm::march_c_minus();
+        let packed = fault_coverage(&alg, &CFG, &faults);
+        let serial = fault_coverage_serial(&alg, &CFG, &faults);
+        assert_eq!(packed.detected, serial.detected);
+        assert_eq!(packed.escaped, serial.escaped);
+    }
+
     /// Word-oriented-memory theory: an intra-word CFid whose forced value
     /// equals the background written to the victim has no observable
     /// effect under solid backgrounds — no solid-background March can
@@ -309,6 +723,9 @@ mod tests {
                 "{} claimed to detect a masked intra-word CFid",
                 alg.name
             );
+            // Packed agrees.
+            let rep = fault_coverage(&alg, &CFG, &[fault]);
+            assert_eq!(rep.detected, 0, "{} packed disagreement", alg.name);
         }
         // The unmasked polarity (forced value opposite to the written
         // background) IS caught, because the disturbance follows the
@@ -321,6 +738,8 @@ mod tests {
         };
         let mut m = Sram::with_fault(CFG, visible);
         assert!(run_march(&MarchAlgorithm::march_c_minus(), &mut m));
+        let rep = fault_coverage(&MarchAlgorithm::march_c_minus(), &CFG, &[visible]);
+        assert_eq!(rep.detected, 1);
     }
 
     #[test]

@@ -53,11 +53,15 @@ pub mod sequencer;
 pub mod shell;
 pub mod tpg;
 
-pub use background::{background_coverage, run_march_with_backgrounds, standard_backgrounds, DataBackground};
+pub use background::{
+    background_coverage, run_march_with_backgrounds, standard_backgrounds, DataBackground,
+};
 pub use brains::{BistDesign, Brains, MemorySpec, SequencerPolicy};
 pub use controller::{controller_netlist, BIST_IF_SIGNALS};
 pub use diagnose::{first_failure, implicated_memories, FailureSite};
-pub use faultsim::{fault_coverage, run_march, MemCoverageReport};
+pub use faultsim::{
+    fault_coverage, fault_coverage_serial, run_march, MemCoverageReport, FAULTS_PER_PASS,
+};
 pub use march::{Direction, MarchAlgorithm, MarchElement, MarchOp};
 pub use memory::{MemFault, PortKind, Sram, SramConfig};
 pub use sequencer::{sequencer_netlist, BistCommand, Sequencer};

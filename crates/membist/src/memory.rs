@@ -489,10 +489,7 @@ mod tests {
 
     #[test]
     fn transition_up_fault_blocks_only_rising() {
-        let mut m = Sram::with_fault(
-            SramConfig::single_port(8, 8),
-            MemFault::transition_up(1, 0),
-        );
+        let mut m = Sram::with_fault(SramConfig::single_port(8, 8), MemFault::transition_up(1, 0));
         m.write(1, 0x00);
         m.write(1, 0x01); // 0->1 on bit 0 fails
         assert_eq!(m.read(1) & 1, 0);
@@ -555,8 +552,10 @@ mod tests {
 
     #[test]
     fn af_no_access_loses_writes() {
-        let mut m =
-            Sram::with_fault(SramConfig::single_port(8, 8), MemFault::AfNoAccess { addr: 4 });
+        let mut m = Sram::with_fault(
+            SramConfig::single_port(8, 8),
+            MemFault::AfNoAccess { addr: 4 },
+        );
         m.write(4, 0xFF);
         assert_eq!(m.read(4), 0);
     }
@@ -570,7 +569,7 @@ mod tests {
         m.write(2, 0x55);
         assert_eq!(m.read(2), 0x55); // reads follow the same redirect
         assert_eq!(m.read(6), 0x55); // actually stored at 6
-        // Direct write to 6 shows up at faulty address 2 as well.
+                                     // Direct write to 6 shows up at faulty address 2 as well.
         m.write(6, 0xAA);
         assert_eq!(m.read(2), 0xAA);
     }

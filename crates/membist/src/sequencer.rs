@@ -146,12 +146,12 @@ fn wrapping_counter(
         q.push(b.net(&format!("{prefix}_q{i}")));
     }
     let mut carry = enable;
-    for i in 0..bits {
-        let d = b.gate(GateKind::Xor2, &[q[i], carry]);
+    for (i, &qi) in q.iter().enumerate() {
+        let d = b.gate(GateKind::Xor2, &[qi, carry]);
         if i + 1 < bits {
-            carry = b.gate(GateKind::And2, &[carry, q[i]]);
+            carry = b.gate(GateKind::And2, &[carry, qi]);
         }
-        b.gate_into(GateKind::DffR, &[d, ck, clear_n], q[i]);
+        b.gate_into(GateKind::DffR, &[d, ck, clear_n], qi);
     }
     let tc = b.and_tree(&q);
     let wrap = b.gate(GateKind::And2, &[tc, enable]);

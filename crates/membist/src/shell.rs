@@ -12,7 +12,7 @@
 //! brains> report
 //! ```
 
-use crate::brains::{Brains, BistDesign, MemorySpec, SequencerPolicy};
+use crate::brains::{BistDesign, Brains, MemorySpec, SequencerPolicy};
 use crate::march::MarchAlgorithm;
 use crate::memory::{PortKind, SramConfig};
 use crate::BistError;
@@ -76,7 +76,9 @@ impl Shell {
                 let mut ports = PortKind::SinglePort;
                 let mut group = 0usize;
                 for kv in &args[1..] {
-                    let (k, v) = kv.split_once('=').ok_or_else(|| bad("expected key=value"))?;
+                    let (k, v) = kv
+                        .split_once('=')
+                        .ok_or_else(|| bad("expected key=value"))?;
                     match k {
                         "words" => words = Some(v.parse().map_err(|_| bad("bad words"))?),
                         "width" => width = Some(v.parse().map_err(|_| bad("bad width"))?),
@@ -231,14 +233,19 @@ mod tests {
     #[test]
     fn custom_notation_accepted() {
         let mut sh = Shell::new();
-        let out = sh.exec("set_algorithm {any(w0); up(r0,w1); down(r1)}").unwrap();
+        let out = sh
+            .exec("set_algorithm {any(w0); up(r0,w1); down(r1)}")
+            .unwrap();
         assert!(out.contains("custom"), "{out}");
     }
 
     #[test]
     fn unknown_command_is_an_error() {
         let mut sh = Shell::new();
-        assert!(matches!(sh.exec("frobnicate"), Err(BistError::Shell { .. })));
+        assert!(matches!(
+            sh.exec("frobnicate"),
+            Err(BistError::Shell { .. })
+        ));
     }
 
     #[test]

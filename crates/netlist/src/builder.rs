@@ -73,7 +73,9 @@ impl NetlistBuilder {
 
     /// Creates `width` nets named `name[0]..name[width-1]`.
     pub fn bus(&mut self, name: &str, width: usize) -> Vec<NetId> {
-        (0..width).map(|i| self.net(&format!("{name}[{i}]"))).collect()
+        (0..width)
+            .map(|i| self.net(&format!("{name}[{i}]")))
+            .collect()
     }
 
     /// Declares an input port and returns its net.
@@ -89,7 +91,9 @@ impl NetlistBuilder {
 
     /// Declares an input bus `name[0..width]`, returning its nets.
     pub fn input_bus(&mut self, name: &str, width: usize) -> Vec<NetId> {
-        (0..width).map(|i| self.input(&format!("{name}[{i}]"))).collect()
+        (0..width)
+            .map(|i| self.input(&format!("{name}[{i}]")))
+            .collect()
     }
 
     /// Declares an output port bound to an existing net.
@@ -141,13 +145,7 @@ impl NetlistBuilder {
     }
 
     /// Instantiates a primitive gate with an explicit instance name.
-    pub fn named_gate(
-        &mut self,
-        name: &str,
-        kind: GateKind,
-        inputs: &[NetId],
-        output: NetId,
-    ) {
+    pub fn named_gate(&mut self, name: &str, kind: GateKind, inputs: &[NetId], output: NetId) {
         if inputs.len() != kind.input_count() {
             self.errors.push(NetlistError::PinCount {
                 kind,

@@ -234,10 +234,7 @@ impl Module {
     /// Instance cells are treated as driving their connected nets only if
     /// `design` resolves the instance's ports; pass `None` to treat
     /// instance connections as non-driving (useful mid-construction).
-    pub fn drivers(
-        &self,
-        design: Option<&Design>,
-    ) -> Result<Vec<Option<CellId>>, NetlistError> {
+    pub fn drivers(&self, design: Option<&Design>) -> Result<Vec<Option<CellId>>, NetlistError> {
         let mut driver: Vec<Option<CellId>> = vec![None; self.nets.len()];
         for (i, cell) in self.cells.iter().enumerate() {
             let cid = CellId(i as u32);
@@ -311,7 +308,10 @@ impl Design {
 
     /// Mutable lookup by name.
     pub fn module_mut(&mut self, name: &str) -> Option<&mut Module> {
-        self.index.get(name).copied().map(move |i| &mut self.modules[i])
+        self.index
+            .get(name)
+            .copied()
+            .map(move |i| &mut self.modules[i])
     }
 
     /// Iterator over all modules.
@@ -356,9 +356,14 @@ impl Design {
         for port in &top_mod.ports {
             out.ports.push(port.clone());
         }
-        self.flatten_into(top_mod, &mut out, "", &(0..top_mod.nets.len())
-            .map(|i| NetId(i as u32))
-            .collect::<Vec<_>>())?;
+        self.flatten_into(
+            top_mod,
+            &mut out,
+            "",
+            &(0..top_mod.nets.len())
+                .map(|i| NetId(i as u32))
+                .collect::<Vec<_>>(),
+        )?;
         Ok(out)
     }
 

@@ -69,7 +69,10 @@ impl ScanStitchReport {
 /// module contains flops (modelled as `PinCount` misuse is avoided; we use
 /// `DuplicateName` only for name clashes — a zero-chain request with flops
 /// yields `CombLoop`-free module untouched and an empty report).
-pub fn stitch_scan(m: &mut Module, config: &StitchConfig) -> Result<ScanStitchReport, NetlistError> {
+pub fn stitch_scan(
+    m: &mut Module,
+    config: &StitchConfig,
+) -> Result<ScanStitchReport, NetlistError> {
     let flop_ids: Vec<usize> = m
         .cells
         .iter()
@@ -140,10 +143,7 @@ pub fn stitch_scan(m: &mut Module, config: &StitchConfig) -> Result<ScanStitchRe
                     vec![inputs[0], prev, se_net, inputs[1], inputs[2]],
                 ),
                 // Re-stitch existing scan flops: replace si/se.
-                GateKind::Sdff => (
-                    GateKind::Sdff,
-                    vec![inputs[0], prev, se_net, inputs[3]],
-                ),
+                GateKind::Sdff => (GateKind::Sdff, vec![inputs[0], prev, se_net, inputs[3]]),
                 GateKind::SdffR => (
                     GateKind::SdffR,
                     vec![inputs[0], prev, se_net, inputs[3], inputs[4]],

@@ -32,7 +32,12 @@ pub fn escape_ident(name: &str) -> String {
 pub fn module_to_verilog(m: &Module) -> String {
     let mut s = String::new();
     let port_list: Vec<String> = m.ports.iter().map(|p| escape_ident(&p.name)).collect();
-    let _ = writeln!(s, "module {} ({});", escape_ident(&m.name), port_list.join(", "));
+    let _ = writeln!(
+        s,
+        "module {} ({});",
+        escape_ident(&m.name),
+        port_list.join(", ")
+    );
     for p in &m.ports {
         let dir = match p.dir {
             PortDir::Input => "input",

@@ -50,8 +50,7 @@ impl FanTables {
                 if !seen[c.index()] {
                     seen[c.index()] = true;
                     out.push(c);
-                    if let CellContents::Gate { kind, output, .. } = &m.cells[c.index()].contents
-                    {
+                    if let CellContents::Gate { kind, output, .. } = &m.cells[c.index()].contents {
                         if !kind.is_sequential() {
                             queue.push(*output);
                         }
@@ -82,9 +81,7 @@ pub fn combinational_order(m: &Module) -> Result<Vec<CellId>, NetlistError> {
                 is_comb[i] = true;
                 for n in inputs {
                     if let Some(d) = tables.net_driver[n.index()] {
-                        if let CellContents::Gate { kind: dk, .. } =
-                            &m.cells[d.index()].contents
-                        {
+                        if let CellContents::Gate { kind: dk, .. } = &m.cells[d.index()].contents {
                             if !dk.is_sequential() {
                                 indeg[i] += 1;
                             }

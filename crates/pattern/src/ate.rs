@@ -78,7 +78,8 @@ mod tests {
     fn compare_counting_scales_with_repeats() {
         let mut p = CyclePattern::new(vec!["a".to_string(), "y".to_string()]);
         for _ in 0..10 {
-            p.push_cycle(vec![PinState::Drive1, PinState::ExpectH]).unwrap();
+            p.push_cycle(vec![PinState::Drive1, PinState::ExpectH])
+                .unwrap();
         }
         let (_, stats) = export_ate("t", &p);
         assert_eq!(stats.compares, 10);

@@ -242,11 +242,13 @@ pub fn apply_cycle_pattern(
         if !pulses.is_empty() {
             sim.clock_cycle_multi(&pulses)?;
         }
-        // Compare phase.
+        // Compare phase. `observe` records all 64 lanes when the
+        // simulator is grading faults (PPSFP), and returns lane 0 for
+        // the scalar comparison here.
         for (pi, state) in row.iter().enumerate() {
             if let Some(expected) = state.expect() {
                 report.compares += 1;
-                let observed = sim.get(nets[pi]);
+                let observed = sim.observe(nets[pi]);
                 if observed.is_known() && observed != expected {
                     report.mismatches.push((
                         ci,
@@ -268,6 +270,137 @@ pub fn apply_cycle_pattern(
         }
     }
     Ok(report)
+}
+
+/// Plays up to 64 cycle patterns **simultaneously**, one per simulation
+/// lane, and returns one [`MismatchReport`] per pattern — the batched
+/// ATE playback path (a tester floor applying the same timing program to
+/// 64 dies at once).
+///
+/// All patterns of a batch must share the *shape* that fixes the timing
+/// program: the same pin list, the same cycle count, and `P` (pulse) on
+/// the same pins in the same cycles — clock pulses are timeline events
+/// common to all lanes. Drive values and compare positions may differ
+/// freely per pattern.
+///
+/// Batches larger than [`steac_sim::LANES`] are processed in chunks; the
+/// simulator is reset to the all-`X` state before each chunk, so every
+/// pattern observes power-on semantics (reset your patterns' preambles
+/// accordingly).
+///
+/// # Errors
+///
+/// Returns [`PatternError::Shape`] when pin lists, cycle counts or pulse
+/// positions disagree, [`PatternError::UnknownPin`] for pins missing on
+/// the module, and propagates simulator errors.
+pub fn apply_cycle_patterns_batch(
+    sim: &mut Simulator<'_>,
+    patterns: &[&CyclePattern],
+) -> Result<Vec<MismatchReport>, PatternError> {
+    use steac_sim::{PackedLogic, LANES};
+
+    let Some(first) = patterns.first() else {
+        return Ok(Vec::new());
+    };
+    for p in patterns {
+        if p.pins != first.pins {
+            return Err(PatternError::Shape {
+                context: "batch pin list",
+                expected: first.pins.len(),
+                got: p.pins.len(),
+            });
+        }
+        if p.cycles.len() != first.cycles.len() {
+            return Err(PatternError::Shape {
+                context: "batch cycle count",
+                expected: first.cycles.len(),
+                got: p.cycles.len(),
+            });
+        }
+    }
+    // Resolve pins up front.
+    let mut nets = Vec::with_capacity(first.pins.len());
+    for name in &first.pins {
+        let port = sim
+            .module()
+            .port(name)
+            .ok_or_else(|| PatternError::UnknownPin { name: name.clone() })?;
+        nets.push(port.net);
+    }
+    let mut reports: Vec<MismatchReport> = vec![MismatchReport::default(); patterns.len()];
+    for (chunk_idx, chunk) in patterns.chunks(LANES).enumerate() {
+        let base = chunk_idx * LANES;
+        sim.reset_to_x();
+        for ci in 0..first.cycles.len() {
+            // Drive phase: build one packed word per pin; lanes that
+            // don't drive this cycle keep their previous value.
+            let mut pulses = Vec::new();
+            for (pi, &net) in nets.iter().enumerate() {
+                let pulse_lanes = chunk
+                    .iter()
+                    .filter(|p| p.cycles[ci][pi] == PinState::Pulse)
+                    .count();
+                if pulse_lanes != 0 && pulse_lanes != chunk.len() {
+                    return Err(PatternError::Shape {
+                        context: "batch pulse alignment",
+                        expected: chunk.len(),
+                        got: pulse_lanes,
+                    });
+                }
+                if pulse_lanes == chunk.len() {
+                    sim.set(net, Logic::Zero);
+                    pulses.push(net);
+                    continue;
+                }
+                let mut driven = PackedLogic::ALL_X;
+                let mut drive_mask = 0u64;
+                for (l, p) in chunk.iter().enumerate() {
+                    if let Some(v) = p.cycles[ci][pi].drive() {
+                        driven.set_lane(l, v);
+                        drive_mask |= 1 << l;
+                    }
+                }
+                if drive_mask != 0 {
+                    // Lanes beyond the chunk follow lane 0 so spare lanes
+                    // never oscillate differently from real ones.
+                    if chunk.len() < LANES && drive_mask & 1 != 0 {
+                        let v0 = driven.lane(0);
+                        for l in chunk.len()..LANES {
+                            driven.set_lane(l, v0);
+                            drive_mask |= 1 << l;
+                        }
+                    }
+                    let merged = driven.select(sim.get_packed(net), drive_mask);
+                    sim.set_packed(net, merged);
+                }
+            }
+            sim.settle()?;
+            // Clock phase.
+            if !pulses.is_empty() {
+                sim.clock_cycle_multi(&pulses)?;
+            }
+            // Compare phase, per lane.
+            for (pi, &net) in nets.iter().enumerate() {
+                let packed = sim.get_packed(net);
+                for (l, p) in chunk.iter().enumerate() {
+                    if let Some(expected) = p.cycles[ci][pi].expect() {
+                        let report = &mut reports[base + l];
+                        report.compares += 1;
+                        let observed = packed.lane(l);
+                        if !observed.is_known() || observed != expected {
+                            report.mismatches.push((
+                                ci,
+                                first.pins[pi].clone(),
+                                PinState::from_expect(expected).to_char(),
+                                observed.to_char(),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(reports)
 }
 
 #[cfg(test)]
@@ -311,11 +444,7 @@ mod tests {
         let m = b.finish().unwrap();
         let mut sim = Simulator::new(&m).unwrap();
 
-        let mut p = CyclePattern::new(vec![
-            "d".to_string(),
-            "ck".to_string(),
-            "q".to_string(),
-        ]);
+        let mut p = CyclePattern::new(vec!["d".to_string(), "ck".to_string(), "q".to_string()]);
         use PinState::*;
         p.push_cycle(vec![Drive1, Pulse, ExpectH]).unwrap();
         p.push_cycle(vec![Drive0, Pulse, ExpectL]).unwrap();
@@ -354,5 +483,103 @@ mod tests {
             apply_cycle_pattern(&mut sim, &p),
             Err(PatternError::UnknownPin { .. })
         ));
+    }
+
+    /// A DFF module and a pattern over (d, ck, q) with per-pattern data.
+    fn flop_module() -> steac_netlist::Module {
+        let mut b = NetlistBuilder::new("m");
+        let d = b.input("d");
+        let ck = b.input("ck");
+        let q = b.gate(GateKind::Dff, &[d, ck]);
+        b.output("q", q);
+        b.finish().unwrap()
+    }
+
+    fn flop_pattern(bits: &[Logic]) -> CyclePattern {
+        let mut p = CyclePattern::new(vec!["d".to_string(), "ck".to_string(), "q".to_string()]);
+        for &bit in bits {
+            p.push_cycle(vec![
+                PinState::from_drive(bit),
+                PinState::Pulse,
+                PinState::from_expect(bit),
+            ])
+            .unwrap();
+        }
+        p
+    }
+
+    #[test]
+    fn batch_player_matches_scalar_per_pattern() {
+        use Logic::{One, Zero};
+        let m = flop_module();
+        let data: Vec<Vec<Logic>> = (0..6u32)
+            .map(|i| {
+                (0..5)
+                    .map(|k| if (i >> (k % 3)) & 1 == 1 { One } else { Zero })
+                    .collect()
+            })
+            .collect();
+        let patterns: Vec<CyclePattern> = data.iter().map(|d| flop_pattern(d)).collect();
+        let refs: Vec<&CyclePattern> = patterns.iter().collect();
+        let mut sim = Simulator::new(&m).unwrap();
+        let batch = apply_cycle_patterns_batch(&mut sim, &refs).unwrap();
+        assert_eq!(batch.len(), patterns.len());
+        for (i, p) in patterns.iter().enumerate() {
+            let mut scalar_sim = Simulator::new(&m).unwrap();
+            let scalar = apply_cycle_pattern(&mut scalar_sim, p).unwrap();
+            assert_eq!(batch[i].compares, scalar.compares, "pattern {i}");
+            assert_eq!(batch[i].mismatches, scalar.mismatches, "pattern {i}");
+            assert!(batch[i].passed(), "pattern {i}: {}", batch[i]);
+        }
+    }
+
+    #[test]
+    fn batch_player_reports_per_lane_mismatches() {
+        use Logic::{One, Zero};
+        let m = flop_module();
+        let good = flop_pattern(&[One, Zero]);
+        // Corrupt the second pattern's expectation only.
+        let mut bad = flop_pattern(&[One, Zero]);
+        bad.cycles[1][2] = PinState::ExpectH;
+        let mut sim = Simulator::new(&m).unwrap();
+        let reports = apply_cycle_patterns_batch(&mut sim, &[&good, &bad]).unwrap();
+        assert!(reports[0].passed(), "{}", reports[0]);
+        assert!(!reports[1].passed());
+        assert_eq!(reports[1].mismatches[0].1, "q");
+    }
+
+    #[test]
+    fn batch_player_validates_shape() {
+        let m = flop_module();
+        let mut sim = Simulator::new(&m).unwrap();
+        use Logic::{One, Zero};
+        let a = flop_pattern(&[One]);
+        let b = flop_pattern(&[One, Zero]);
+        assert!(matches!(
+            apply_cycle_patterns_batch(&mut sim, &[&a, &b]),
+            Err(PatternError::Shape {
+                context: "batch cycle count",
+                ..
+            })
+        ));
+        // Misaligned pulse: pattern c clocks in cycle 0, a does not.
+        let mut c = flop_pattern(&[One]);
+        c.cycles[0][1] = PinState::Drive0;
+        assert!(matches!(
+            apply_cycle_patterns_batch(&mut sim, &[&a, &c]),
+            Err(PatternError::Shape {
+                context: "batch pulse alignment",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn batch_player_empty_is_ok() {
+        let m = flop_module();
+        let mut sim = Simulator::new(&m).unwrap();
+        assert!(apply_cycle_patterns_batch(&mut sim, &[])
+            .unwrap()
+            .is_empty());
     }
 }

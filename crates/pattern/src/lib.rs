@@ -22,7 +22,9 @@ pub mod translate;
 
 pub use ate::{export_ate, AteStats};
 pub use corelevel::ScanVector;
-pub use cycle::{apply_cycle_pattern, CyclePattern, MismatchReport, PinState};
+pub use cycle::{
+    apply_cycle_pattern, apply_cycle_patterns_batch, CyclePattern, MismatchReport, PinState,
+};
 pub use translate::{
     merge_sessions, scan_to_wrapper, wrapper_vectors_to_cycles, ChipPatternSet, SessionStream,
     WrapperPorts,

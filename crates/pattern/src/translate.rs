@@ -35,10 +35,7 @@ pub struct WrapperVector {
 ///
 /// Returns [`PatternError::Shape`] if the vector's chain count, chain
 /// lengths or pin counts disagree with the plan.
-pub fn scan_to_wrapper(
-    v: &ScanVector,
-    plan: &WrapperPlan,
-) -> Result<WrapperVector, PatternError> {
+pub fn scan_to_wrapper(v: &ScanVector, plan: &WrapperPlan) -> Result<WrapperVector, PatternError> {
     let plan_ins: usize = plan.chains.iter().map(|c| c.in_cells).sum();
     let plan_outs: usize = plan.chains.iter().map(|c| c.out_cells).sum();
     if v.pi.len() != plan_ins {
@@ -158,17 +155,15 @@ impl WrapperPorts {
 /// one setup cycle and the 2-cycle update/capture overhead per vector
 /// that a real 1500 wrapper needs.
 #[must_use]
-pub fn wrapper_vectors_to_cycles(
-    vectors: &[WrapperVector],
-    ports: &WrapperPorts,
-) -> CyclePattern {
+pub fn wrapper_vectors_to_cycles(vectors: &[WrapperVector], ports: &WrapperPorts) -> CyclePattern {
     let width = ports.wsi.len();
-    let mut pins: Vec<String> = Vec::new();
-    pins.push(ports.wck.clone());
-    pins.push(ports.w_se.clone());
-    pins.push(ports.w_capture.clone());
-    pins.push(ports.w_update.clone());
-    pins.push(ports.w_intest.clone());
+    let mut pins: Vec<String> = vec![
+        ports.wck.clone(),
+        ports.w_se.clone(),
+        ports.w_capture.clone(),
+        ports.w_update.clone(),
+        ports.w_intest.clone(),
+    ];
     pins.extend(ports.wsi.iter().cloned());
     pins.extend(ports.wso.iter().cloned());
     let mut p = CyclePattern::new(pins);
@@ -207,36 +202,35 @@ pub fn wrapper_vectors_to_cycles(
     // pulse. Unload bit 0 is therefore observed on the *capture* cycle
     // (the captured value sits on `wso` right after the capture pulse),
     // and shift cycle `k` observes unload bit `k + 1`.
-    let shift_phase =
-        |p: &mut CyclePattern, load: Option<&WrapperVector>, unload: Option<&WrapperVector>| {
-            for k in 0..chain_len {
-                let si: Vec<PinState> = (0..width)
-                    .map(|c| match load {
-                        Some(v) => PinState::from_drive(
-                            v.loads[c].get(k).copied().unwrap_or(Logic::X),
-                        ),
-                        None => PinState::DontCare,
-                    })
-                    .collect();
-                let so: Vec<PinState> = (0..width)
-                    .map(|c| match unload {
-                        Some(v) => PinState::from_expect(
-                            v.expects[c].get(k + 1).copied().unwrap_or(Logic::X),
-                        ),
-                        None => PinState::DontCare,
-                    })
-                    .collect();
-                p.push_cycle(mk_row(
-                    PinState::Drive1,
-                    PinState::Drive0,
-                    PinState::Drive0,
-                    PinState::Pulse,
-                    si,
-                    so,
-                ))
-                .expect("constructed row");
-            }
-        };
+    let shift_phase = |p: &mut CyclePattern,
+                       load: Option<&WrapperVector>,
+                       unload: Option<&WrapperVector>| {
+        for k in 0..chain_len {
+            let si: Vec<PinState> = (0..width)
+                .map(|c| match load {
+                    Some(v) => PinState::from_drive(v.loads[c].get(k).copied().unwrap_or(Logic::X)),
+                    None => PinState::DontCare,
+                })
+                .collect();
+            let so: Vec<PinState> = (0..width)
+                .map(|c| match unload {
+                    Some(v) => {
+                        PinState::from_expect(v.expects[c].get(k + 1).copied().unwrap_or(Logic::X))
+                    }
+                    None => PinState::DontCare,
+                })
+                .collect();
+            p.push_cycle(mk_row(
+                PinState::Drive1,
+                PinState::Drive0,
+                PinState::Drive0,
+                PinState::Pulse,
+                si,
+                so,
+            ))
+            .expect("constructed row");
+        }
+    };
 
     for (i, v) in vectors.iter().enumerate() {
         let unload = if i > 0 { Some(&vectors[i - 1]) } else { None };
@@ -416,7 +410,8 @@ mod tests {
         let mk = |session, core: &str, offset, cycles: usize| {
             let mut pat = CyclePattern::new(vec!["wsi[0]".to_string(), "wso[0]".to_string()]);
             for _ in 0..cycles {
-                pat.push_cycle(vec![PinState::Drive0, PinState::DontCare]).unwrap();
+                pat.push_cycle(vec![PinState::Drive0, PinState::DontCare])
+                    .unwrap();
             }
             SessionStream {
                 session,

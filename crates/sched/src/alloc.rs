@@ -63,11 +63,7 @@ pub fn allocate_session(tasks: &[&TestTask], data_pins: usize) -> Option<Allocat
         return None;
     }
     let mut spare = data_pins - used;
-    let mut times: Vec<u64> = tasks
-        .iter()
-        .zip(&pins)
-        .map(|(t, &p)| t.time(p))
-        .collect();
+    let mut times: Vec<u64> = tasks.iter().zip(&pins).map(|(t, &p)| t.time(p)).collect();
 
     // Water-filling, slowest task first. When the bottleneck saturates
     // (its staircase has no reachable improvement), spare pins flow to the

@@ -70,7 +70,11 @@ pub fn gantt(s: &NonSessionSchedule, tasks: &[TestTask], columns: usize) -> Stri
         let mut line = String::with_capacity(columns + 20);
         let _ = write!(line, "{:<14} |", tasks[p.task_index].name);
         for c in 0..columns {
-            line.push(if c >= start_col && c < end_col { '#' } else { ' ' });
+            line.push(if c >= start_col && c < end_col {
+                '#'
+            } else {
+                ' '
+            });
         }
         line.push('|');
         let _ = writeln!(out, "{line}");

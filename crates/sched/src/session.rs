@@ -56,7 +56,7 @@ pub struct SessionSchedule {
 
 impl SessionSchedule {
     fn from_sessions(mut sessions: Vec<ScheduledSession>) -> Self {
-        sessions.sort_by(|a, b| b.makespan.cmp(&a.makespan));
+        sessions.sort_by_key(|s| std::cmp::Reverse(s.makespan));
         let total_cycles = sessions.iter().map(|s| s.makespan).sum();
         SessionSchedule {
             sessions,
@@ -82,9 +82,7 @@ fn eval_session(
         .flat_map(|t| t.controls.iter().cloned())
         .collect();
     let control_pins = share_controls(&signals, &config.session_share).shared_pins();
-    let data_pins = config
-        .budget
-        .data_pins(config.global_pins + control_pins);
+    let data_pins = config.budget.data_pins(config.global_pins + control_pins);
     let alloc: Allocation = allocate_session(&members, data_pins)?;
     Some(ScheduledSession {
         tasks: block
@@ -180,8 +178,7 @@ fn exhaustive(tasks: &[TestTask], config: &ChipConfig) -> Option<SessionSchedule
 }
 
 fn greedy_local(tasks: &[TestTask], config: &ChipConfig) -> Option<SessionSchedule> {
-    let mut blocks = seed_min_total(tasks, config)
-        .or_else(|| seed_backtracking(tasks, config))?;
+    let mut blocks = seed_min_total(tasks, config).or_else(|| seed_backtracking(tasks, config))?;
 
     // Local search: single-task moves between blocks (including opening a
     // new block), first-improvement, bounded rounds.
@@ -192,8 +189,7 @@ fn greedy_local(tasks: &[TestTask], config: &ChipConfig) -> Option<SessionSchedu
             for pos in 0..blocks[from].len() {
                 let ti = blocks[from][pos];
                 for to in 0..=blocks.len() {
-                    if to == from || (to == blocks.len() && blocks.len() >= config.max_sessions)
-                    {
+                    if to == from || (to == blocks.len() && blocks.len() >= config.max_sessions) {
                         continue;
                     }
                     let mut cand = blocks.clone();
@@ -241,7 +237,7 @@ fn seed_min_total(tasks: &[TestTask], config: &ChipConfig) -> Option<Vec<Vec<usi
         for bi in 0..blocks.len() {
             blocks[bi].push(ti);
             if let Some(total) = total_of(&blocks, tasks, config) {
-                if best.map_or(true, |(_, t)| total < t) {
+                if best.is_none_or(|(_, t)| total < t) {
                     best = Some((bi, total));
                 }
             }
@@ -250,7 +246,7 @@ fn seed_min_total(tasks: &[TestTask], config: &ChipConfig) -> Option<Vec<Vec<usi
         if blocks.len() < config.max_sessions {
             blocks.push(vec![ti]);
             if let Some(total) = total_of(&blocks, tasks, config) {
-                if best.map_or(true, |(_, t)| total < t) {
+                if best.is_none_or(|(_, t)| total < t) {
                     best = Some((usize::MAX, total));
                 }
             }

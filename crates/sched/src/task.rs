@@ -153,8 +153,8 @@ impl TestTask {
             } => {
                 // One wire per internal chain plus boundary-only wires
                 // stop helping beyond the cell counts.
-                let useful = (internal_chains.len() + 2).max(4).min(32);
-                let cap = (inputs + outputs).max(2).min(64);
+                let useful = (internal_chains.len() + 2).clamp(4, 32);
+                let cap = (inputs + outputs).clamp(2, 64);
                 2 * useful.min(cap)
             }
             TestKind::Functional { pi, po, .. } => (pi + po).max(8),

@@ -1,65 +1,75 @@
-//! The simulation engine: levelized 4-value evaluation with clock-edge
-//! detection, asynchronous resets, transparent latches and net forcing
-//! (used for fault injection).
+//! The simulation engine: a bit-parallel executor for compiled
+//! [`SimProgram`]s.
+//!
+//! [`Simulator::new`] levelizes the module once into a flat instruction
+//! stream ([`crate::program`]); every evaluation pass then runs that
+//! stream over a single buffer of [`PackedLogic`] words, advancing **64
+//! independent simulation lanes at once**. The original scalar API
+//! (`set`/`get`/`settle`/`force`, clock-edge capture, latches, async
+//! resets) is preserved: scalar writes broadcast to all lanes and scalar
+//! reads return lane 0, so existing callers see exactly the old 4-value
+//! semantics. Batch callers load distinct patterns per lane
+//! ([`Simulator::set_lanes`], [`Simulator::run_vectors`]) or inject
+//! per-lane faults ([`Simulator::force_lane`]) and read every lane back.
 
 use crate::logic::Logic;
+use crate::packed::{PackedLogic, LANES};
+use crate::program::{Instr, SeqInstr, SimOp, SimProgram, NO_SLOT};
 use crate::SimError;
-use steac_netlist::{combinational_order, CellContents, GateKind, Module, NetId, PortDir};
+use steac_netlist::{Module, NetId, PortDir};
 
 /// Iteration budget for latch/feedback fixpoints within one settle call.
 const MAX_SETTLE_ITERS: usize = 1024;
 
-/// Gate-level simulator over a flat [`Module`].
+/// Gate-level simulator over a flat [`Module`], executing a compiled
+/// [`SimProgram`] with [`LANES`] lanes per pass.
 ///
-/// The simulator owns per-net values and per-flop state. Clocks are just
-/// nets: after every [`settle`](Simulator::settle) the engine compares each
-/// flop's clock-net value against the previous settled value and captures
-/// on rising edges, so gated clocks, divided clocks and ripple counters
-/// simulate correctly.
+/// Clocks are just nets: after every [`settle`](Simulator::settle) the
+/// engine compares each flop's clock-net lanes against the previous
+/// settled lanes and captures on rising edges, so gated clocks, divided
+/// clocks and ripple counters simulate correctly — independently per
+/// lane.
 #[derive(Debug, Clone)]
 pub struct Simulator<'m> {
     module: &'m Module,
-    values: Vec<Logic>,
-    forced: Vec<Option<Logic>>,
-    flop_state: Vec<Logic>,
-    latch_state: Vec<Logic>,
-    prev_ck: Vec<Logic>,
+    program: SimProgram,
+    /// Flat value buffer: net slots, then flop/latch state slots.
+    buf: Vec<PackedLogic>,
+    /// Per-net lane mask of forced lanes.
+    force_mask: Vec<u64>,
+    /// Per-net forced values (valid on `force_mask` lanes).
+    force_val: Vec<PackedLogic>,
     initialized: bool,
-    comb_order: Vec<usize>,
-    flops: Vec<usize>,
-    /// Total rising-edge captures performed (statistics).
+    /// Total rising-edge captures performed on lane 0 (statistics).
     captures: u64,
+    /// When set, [`observe`](Simulator::observe) records all lanes.
+    observing: bool,
+    observations: Vec<PackedLogic>,
 }
 
 impl<'m> Simulator<'m> {
-    /// Prepares a simulator for a flat module (no [`CellContents::Inst`]
-    /// cells; flatten hierarchical designs first).
+    /// Compiles and prepares a simulator for a flat module (no
+    /// [`steac_netlist::CellContents::Inst`] cells; flatten hierarchical
+    /// designs first).
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Netlist`] if the module has multiple drivers or
     /// a combinational loop.
     pub fn new(module: &'m Module) -> Result<Self, SimError> {
-        let order = combinational_order(module)?;
-        let mut flops = Vec::new();
-        for (i, c) in module.cells.iter().enumerate() {
-            if let CellContents::Gate { kind, .. } = &c.contents {
-                if kind.is_flop() {
-                    flops.push(i);
-                }
-            }
-        }
+        let program = SimProgram::compile(module)?;
+        let slots = program.slot_count;
+        let nets = program.net_count;
         Ok(Simulator {
             module,
-            values: vec![Logic::X; module.nets.len()],
-            forced: vec![None; module.nets.len()],
-            flop_state: vec![Logic::X; module.cells.len()],
-            latch_state: vec![Logic::X; module.cells.len()],
-            prev_ck: vec![Logic::X; module.cells.len()],
+            program,
+            buf: vec![PackedLogic::ALL_X; slots],
+            force_mask: vec![0; nets],
+            force_val: vec![PackedLogic::ALL_X; nets],
             initialized: false,
-            comb_order: order.iter().map(|c| c.index()).collect(),
-            flops,
             captures: 0,
+            observing: false,
+            observations: Vec::new(),
         })
     }
 
@@ -69,182 +79,270 @@ impl<'m> Simulator<'m> {
         self.module
     }
 
-    /// Number of rising-edge captures performed so far.
+    /// The compiled program being executed.
+    #[must_use]
+    pub fn program(&self) -> &SimProgram {
+        &self.program
+    }
+
+    /// Number of rising-edge captures performed on lane 0 so far.
     #[must_use]
     pub fn capture_count(&self) -> u64 {
         self.captures
     }
 
-    /// Sets a net value directly (normally an input-port net). A forced
-    /// net (see [`force`](Simulator::force)) keeps its forced value.
-    pub fn set(&mut self, net: NetId, v: Logic) {
-        self.values[net.index()] = self.forced[net.index()].unwrap_or(v);
+    fn lookup(&self, name: &str) -> Result<NetId, SimError> {
+        self.module
+            .port(name)
+            .map(|p| p.net)
+            .ok_or_else(|| SimError::UnknownName {
+                name: name.to_string(),
+            })
     }
 
-    /// Sets an input by port name.
+    /// Merges per-lane forces into a candidate value for `net`.
+    fn apply_force(&self, net: usize, v: PackedLogic) -> PackedLogic {
+        let mask = self.force_mask[net];
+        if mask == 0 {
+            v
+        } else {
+            self.force_val[net].select(v, mask)
+        }
+    }
+
+    /// Sets a net on every lane (normally an input-port net). Forced
+    /// lanes (see [`force`](Simulator::force)) keep their forced values.
+    pub fn set(&mut self, net: NetId, v: Logic) {
+        self.set_packed(net, PackedLogic::splat(v));
+    }
+
+    /// Sets a net to per-lane values from a packed word.
+    pub fn set_packed(&mut self, net: NetId, v: PackedLogic) {
+        self.buf[net.index()] = self.apply_force(net.index(), v);
+    }
+
+    /// Sets a net per lane: lane `l` takes `values[l]`; when fewer than
+    /// [`LANES`] values are given, the remaining lanes replicate the
+    /// first value (so unused lanes track lane 0).
+    pub fn set_lanes(&mut self, net: NetId, values: &[Logic]) {
+        let mut p = PackedLogic::splat(values.first().copied().unwrap_or(Logic::X));
+        for (l, &v) in values.iter().take(LANES).enumerate() {
+            p.set_lane(l, v);
+        }
+        self.set_packed(net, p);
+    }
+
+    /// Sets an input by port name on every lane.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::UnknownName`] if no such port exists.
     pub fn set_by_name(&mut self, name: &str, v: Logic) -> Result<(), SimError> {
-        let port = self
-            .module
-            .port(name)
-            .ok_or_else(|| SimError::UnknownName {
-                name: name.to_string(),
-            })?;
-        let net = port.net;
+        let net = self.lookup(name)?;
         self.set(net, v);
         Ok(())
     }
 
-    /// Reads a net value.
+    /// Reads a net value on lane 0.
     #[must_use]
     pub fn get(&self, net: NetId) -> Logic {
-        self.values[net.index()]
+        self.buf[net.index()].lane(0)
     }
 
-    /// Reads a value by port name.
+    /// Reads a net value on a specific lane.
+    #[must_use]
+    pub fn get_lane(&self, net: NetId, lane: usize) -> Logic {
+        self.buf[net.index()].lane(lane)
+    }
+
+    /// Reads all lanes of a net.
+    #[must_use]
+    pub fn get_packed(&self, net: NetId) -> PackedLogic {
+        self.buf[net.index()]
+    }
+
+    /// Reads a lane-0 value by port name.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::UnknownName`] if no such port exists.
     pub fn get_by_name(&self, name: &str) -> Result<Logic, SimError> {
-        let port = self
-            .module
-            .port(name)
-            .ok_or_else(|| SimError::UnknownName {
-                name: name.to_string(),
-            })?;
-        Ok(self.values[port.net.index()])
+        Ok(self.get(self.lookup(name)?))
     }
 
-    /// Forces a net to a value until [`unforce`](Simulator::unforce) — the
-    /// mechanism used for stuck-at fault injection. Takes effect
-    /// immediately and overrides both drivers and [`set`](Simulator::set).
+    /// Forces a net on **every** lane until
+    /// [`unforce`](Simulator::unforce) — the scalar fault-injection
+    /// mechanism. Takes effect immediately and overrides both drivers and
+    /// [`set`](Simulator::set).
     pub fn force(&mut self, net: NetId, v: Logic) {
-        self.forced[net.index()] = Some(v);
-        self.values[net.index()] = v;
+        self.force_mask[net.index()] = u64::MAX;
+        self.force_val[net.index()] = PackedLogic::splat(v);
+        self.buf[net.index()] = PackedLogic::splat(v);
     }
 
-    /// Removes a force.
+    /// Forces a net on a single lane — the PPSFP fault-injection
+    /// mechanism (one faulty machine per lane).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= LANES`.
+    pub fn force_lane(&mut self, net: NetId, lane: usize, v: Logic) {
+        assert!(lane < LANES, "lane {lane} out of range");
+        self.force_mask[net.index()] |= 1 << lane;
+        self.force_val[net.index()].set_lane(lane, v);
+        let mut cur = self.buf[net.index()];
+        cur.set_lane(lane, v);
+        self.buf[net.index()] = cur;
+    }
+
+    /// Removes all forces from a net.
     pub fn unforce(&mut self, net: NetId) {
-        self.forced[net.index()] = None;
+        self.force_mask[net.index()] = 0;
     }
 
-    /// Reads all output-port values in port order.
+    /// Removes every force on every net.
+    pub fn clear_forces(&mut self) {
+        self.force_mask.fill(0);
+    }
+
+    /// Reads all output-port values on lane 0, in port order.
     #[must_use]
     pub fn outputs(&self) -> Vec<Logic> {
+        self.outputs_lane(0)
+    }
+
+    /// Reads all output-port values on one lane, in port order.
+    #[must_use]
+    pub fn outputs_lane(&self, lane: usize) -> Vec<Logic> {
         self.module
             .ports_with_dir(PortDir::Output)
-            .map(|p| self.values[p.net.index()])
+            .map(|p| self.buf[p.net.index()].lane(lane))
             .collect()
     }
 
-    fn eval_gate(&self, kind: GateKind, inputs: &[NetId], cell_idx: usize) -> Logic {
-        let v = |i: usize| self.values[inputs[i].index()];
-        match kind {
-            GateKind::Inv => v(0).not(),
-            GateKind::Buf => match v(0) {
-                Logic::Z => Logic::X,
-                x => x,
-            },
-            GateKind::Nand2 => v(0).and(v(1)).not(),
-            GateKind::Nand3 => v(0).and(v(1)).and(v(2)).not(),
-            GateKind::Nand4 => v(0).and(v(1)).and(v(2)).and(v(3)).not(),
-            GateKind::Nor2 => v(0).or(v(1)).not(),
-            GateKind::Nor3 => v(0).or(v(1)).or(v(2)).not(),
-            GateKind::And2 => v(0).and(v(1)),
-            GateKind::And3 => v(0).and(v(1)).and(v(2)),
-            GateKind::Or2 => v(0).or(v(1)),
-            GateKind::Or3 => v(0).or(v(1)).or(v(2)),
-            GateKind::Xor2 => v(0).xor(v(1)),
-            GateKind::Xnor2 => v(0).xor(v(1)).not(),
-            GateKind::Mux2 => Logic::mux(v(0), v(1), v(2)),
-            GateKind::Tie0 => Logic::Zero,
-            GateKind::Tie1 => Logic::One,
-            GateKind::Dff | GateKind::DffR | GateKind::Sdff | GateKind::SdffR => {
-                self.flop_state[cell_idx]
-            }
-            GateKind::Latch => self.latch_state[cell_idx],
-            _ => Logic::X,
+    /// Records an observation point: when observation is enabled (see
+    /// [`set_observing`](Simulator::set_observing)) all 64 lanes of `net`
+    /// are appended to the observation log. Returns the lane-0 value, so
+    /// scalar test drivers can use it as a drop-in for
+    /// [`get`](Simulator::get).
+    pub fn observe(&mut self, net: NetId) -> Logic {
+        let v = self.buf[net.index()];
+        if self.observing {
+            self.observations.push(v);
         }
+        v.lane(0)
     }
 
-    fn write_net(&mut self, net: NetId, v: Logic) -> bool {
-        let v = self.forced[net.index()].unwrap_or(v);
-        if self.values[net.index()] != v {
-            self.values[net.index()] = v;
+    /// [`observe`](Simulator::observe) by port name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownName`] if no such port exists.
+    pub fn observe_by_name(&mut self, name: &str) -> Result<Logic, SimError> {
+        let net = self.lookup(name)?;
+        Ok(self.observe(net))
+    }
+
+    /// Enables or disables observation recording (disabled by default, so
+    /// scalar users pay nothing).
+    pub fn set_observing(&mut self, on: bool) {
+        self.observing = on;
+    }
+
+    /// Drains the observation log.
+    pub fn take_observations(&mut self) -> Vec<PackedLogic> {
+        std::mem::take(&mut self.observations)
+    }
+
+    /// Writes a computed value (after force merging); returns whether any
+    /// lane changed.
+    fn write_net(&mut self, net: usize, v: PackedLogic) -> bool {
+        let v = self.apply_force(net, v);
+        if self.buf[net] != v {
+            self.buf[net] = v;
             true
         } else {
             false
         }
     }
 
-    /// One evaluation sweep; returns whether any net changed.
+    fn exec_instr(buf: &[PackedLogic], i: &Instr) -> PackedLogic {
+        let a = |k: usize| buf[i.ins[k] as usize];
+        match i.op {
+            SimOp::Inv => a(0).not(),
+            SimOp::Buf => a(0).buf(),
+            SimOp::And2 => a(0).and(a(1)),
+            SimOp::And3 => a(0).and(a(1)).and(a(2)),
+            SimOp::Nand2 => a(0).and(a(1)).not(),
+            SimOp::Nand3 => a(0).and(a(1)).and(a(2)).not(),
+            SimOp::Nand4 => a(0).and(a(1)).and(a(2)).and(a(3)).not(),
+            SimOp::Or2 => a(0).or(a(1)),
+            SimOp::Or3 => a(0).or(a(1)).or(a(2)),
+            SimOp::Nor2 => a(0).or(a(1)).not(),
+            SimOp::Nor3 => a(0).or(a(1)).or(a(2)).not(),
+            SimOp::Xor2 => a(0).xor(a(1)),
+            SimOp::Xnor2 => a(0).xor(a(1)).not(),
+            SimOp::Mux2 => PackedLogic::mux(a(0), a(1), a(2)),
+            SimOp::Tie0 => PackedLogic::ALL_ZERO,
+            SimOp::Tie1 => PackedLogic::ALL_ONE,
+            SimOp::Unknown => PackedLogic::ALL_X,
+        }
+    }
+
+    /// One evaluation sweep; returns whether any net changed on any lane.
     fn sweep(&mut self) -> bool {
         let mut changed = false;
-        // Apply asynchronous resets and drive flop/latch outputs first.
-        for idx in 0..self.module.cells.len() {
-            if let CellContents::Gate {
-                kind,
-                inputs,
-                output,
-            } = &self.module.cells[idx].contents
-            {
-                match kind {
-                    GateKind::DffR | GateKind::SdffR => {
-                        let rstn = self.values[inputs[inputs.len() - 1].index()];
-                        if rstn == Logic::Zero {
-                            self.flop_state[idx] = Logic::Zero;
-                        } else if !rstn.is_known() && self.flop_state[idx] != Logic::Zero {
-                            self.flop_state[idx] = Logic::X;
-                        }
-                        changed |= self.write_net(*output, self.flop_state[idx]);
+        // Sequential elements first (async resets, state-to-output drive,
+        // latch transparency), in original cell order.
+        for k in 0..self.program.seq_order.len() {
+            match self.program.seq_order[k] {
+                SeqInstr::Flop(fi) => {
+                    let f = self.program.flops[fi as usize];
+                    let mut state = self.buf[f.state as usize];
+                    if f.rstn != NO_SLOT {
+                        let rstn = self.buf[f.rstn as usize];
+                        // rstn = 0 clears the lane; unknown rstn degrades a
+                        // non-zero lane to X (reset might be asserting).
+                        let rz = rstn.is_zero();
+                        let ru = rstn.unknowns & !state.is_zero();
+                        state = PackedLogic::ALL_ZERO.select(state, rz);
+                        state = PackedLogic::ALL_X.select(state, ru);
+                        self.buf[f.state as usize] = state;
                     }
-                    GateKind::Dff | GateKind::Sdff => {
-                        changed |= self.write_net(*output, self.flop_state[idx]);
-                    }
-                    GateKind::Latch => {
-                        let d = self.values[inputs[0].index()];
-                        let en = self.values[inputs[1].index()];
-                        match en {
-                            Logic::One => self.latch_state[idx] = d,
-                            Logic::Zero => {}
-                            _ => {
-                                if self.latch_state[idx] != d {
-                                    self.latch_state[idx] = Logic::X;
-                                }
-                            }
-                        }
-                        changed |= self.write_net(*output, self.latch_state[idx]);
-                    }
-                    _ => {}
+                    changed |= self.write_net(f.q as usize, state);
+                }
+                SeqInstr::Latch(li) => {
+                    let l = self.program.latches[li as usize];
+                    let d = self.buf[l.d as usize];
+                    let en = self.buf[l.en as usize];
+                    let mut state = self.buf[l.state as usize];
+                    // en = 1: transparent; en = 0: hold; unknown en: lanes
+                    // whose held value disagrees with d degrade to X.
+                    let differs = (state.ones ^ d.ones) | (state.unknowns ^ d.unknowns);
+                    state = d.select(state, en.is_one());
+                    state = PackedLogic::ALL_X.select(state, en.unknowns & differs);
+                    self.buf[l.state as usize] = state;
+                    changed |= self.write_net(l.q as usize, state);
                 }
             }
         }
-        // Combinational gates in topological order.
-        for oi in 0..self.comb_order.len() {
-            let idx = self.comb_order[oi];
-            if let CellContents::Gate {
-                kind,
-                inputs,
-                output,
-            } = &self.module.cells[idx].contents
-            {
-                let v = self.eval_gate(*kind, inputs, idx);
-                changed |= self.write_net(*output, v);
-            }
+        // Compiled combinational stream in topological order.
+        for k in 0..self.program.comb.len() {
+            let i = self.program.comb[k];
+            let v = Self::exec_instr(&self.buf, &i);
+            changed |= self.write_net(i.out as usize, v);
         }
         changed
     }
 
     /// Evaluates the netlist to a fixpoint, then performs rising-edge
-    /// captures on flip-flops, repeating until globally stable.
+    /// captures on flip-flops (per lane), repeating until globally stable
+    /// on every lane.
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::Unstable`] if a feedback structure oscillates.
+    /// Returns [`SimError::Unstable`] if a feedback structure oscillates
+    /// on any lane.
     pub fn settle(&mut self) -> Result<(), SimError> {
         for _ in 0..MAX_SETTLE_ITERS {
             // Inner fixpoint: combinational + latches.
@@ -260,55 +358,47 @@ impl<'m> Simulator<'m> {
                     iterations: MAX_SETTLE_ITERS,
                 });
             }
-            // Edge detection.
+            // Per-lane edge detection.
             let mut any_capture = false;
-            for fi in 0..self.flops.len() {
-                let idx = self.flops[fi];
-                if let CellContents::Gate { kind, inputs, .. } =
-                    &self.module.cells[idx].contents
-                {
-                    let ck_pin = match kind {
-                        GateKind::Dff | GateKind::DffR => 1,
-                        GateKind::Sdff | GateKind::SdffR => 3,
-                        _ => unreachable!(),
-                    };
-                    let now = self.values[inputs[ck_pin].index()];
-                    let prev = self.prev_ck[idx];
-                    let capture = if !self.initialized {
-                        None
-                    } else if prev == Logic::Zero && now == Logic::One {
-                        // True rising edge: sample D (or SI under scan).
-                        let d = self.values[inputs[0].index()];
-                        let next = match kind {
-                            GateKind::Dff | GateKind::DffR => d,
-                            GateKind::Sdff | GateKind::SdffR => {
-                                let si = self.values[inputs[1].index()];
-                                let se = self.values[inputs[2].index()];
-                                Logic::mux(d, si, se)
-                            }
-                            _ => unreachable!(),
-                        };
-                        Some(next)
-                    } else if (prev == Logic::Zero && !now.is_known())
-                        || (!prev.is_known() && now == Logic::One)
-                    {
-                        Some(Logic::X)
-                    } else {
-                        None
-                    };
-                    if prev != now {
-                        self.prev_ck[idx] = now;
-                    }
-                    if let Some(next) = capture {
-                        // Async reset dominates the clock.
-                        let reset_active = matches!(kind, GateKind::DffR | GateKind::SdffR)
-                            && self.values[inputs[inputs.len() - 1].index()] == Logic::Zero;
-                        if !reset_active && self.flop_state[idx] != next {
-                            self.flop_state[idx] = next;
-                            any_capture = true;
-                        }
-                        self.captures += 1;
-                    }
+            for fi in 0..self.program.flops.len() {
+                let f = self.program.flops[fi];
+                let now = self.buf[f.ck as usize];
+                let prev = self.buf[f.prev_ck as usize];
+                self.buf[f.prev_ck as usize] = now;
+                if !self.initialized {
+                    continue;
+                }
+                // True rising edges sample D (or SI under scan); an edge
+                // into or out of an unknown clock value captures X.
+                let rising = prev.is_zero() & now.is_one();
+                let semi = (prev.is_zero() & now.unknowns) | (prev.unknowns & now.is_one());
+                let events = rising | semi;
+                if events == 0 {
+                    continue;
+                }
+                let d = self.buf[f.d as usize];
+                let next = if f.si != NO_SLOT {
+                    PackedLogic::mux(d, self.buf[f.si as usize], self.buf[f.se as usize])
+                } else {
+                    d
+                };
+                let state = self.buf[f.state as usize];
+                let mut cand = state;
+                cand = PackedLogic::ALL_X.select(cand, semi);
+                cand = next.select(cand, rising);
+                // Async reset dominates the clock.
+                let reset_active = if f.rstn != NO_SLOT {
+                    self.buf[f.rstn as usize].is_zero()
+                } else {
+                    0
+                };
+                let new_state = cand.select(state, events & !reset_active);
+                if new_state != state {
+                    self.buf[f.state as usize] = new_state;
+                    any_capture = true;
+                }
+                if events & 1 != 0 {
+                    self.captures += 1;
                 }
             }
             if !self.initialized {
@@ -324,6 +414,54 @@ impl<'m> Simulator<'m> {
         Err(SimError::Unstable {
             iterations: MAX_SETTLE_ITERS,
         })
+    }
+
+    /// Alias of [`settle`](Simulator::settle) that makes batch call sites
+    /// read explicitly: all 64 lanes settle in the same pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::Unstable`].
+    pub fn settle_batch(&mut self) -> Result<(), SimError> {
+        self.settle()
+    }
+
+    /// Loads up to [`LANES`] input vectors (one per lane), settles once,
+    /// and returns each lane's output-port values. `pins[i]` receives
+    /// `vectors[lane][i]` on lane `lane`; unused lanes replicate vector 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::VectorLength`] if a vector's length differs
+    /// from `pins`, and propagates [`SimError::Unstable`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`LANES`] vectors are supplied.
+    pub fn run_vectors(
+        &mut self,
+        pins: &[NetId],
+        vectors: &[Vec<Logic>],
+    ) -> Result<Vec<Vec<Logic>>, SimError> {
+        assert!(
+            vectors.len() <= LANES,
+            "at most {LANES} vectors per pass (got {})",
+            vectors.len()
+        );
+        for v in vectors {
+            if v.len() != pins.len() {
+                return Err(SimError::VectorLength {
+                    expected: pins.len(),
+                    got: v.len(),
+                });
+            }
+        }
+        for (i, &pin) in pins.iter().enumerate() {
+            let lanes: Vec<Logic> = vectors.iter().map(|v| v[i]).collect();
+            self.set_lanes(pin, &lanes);
+        }
+        self.settle()?;
+        Ok((0..vectors.len()).map(|l| self.outputs_lane(l)).collect())
     }
 
     /// Applies a full clock cycle on `clock`: drive 0, settle, drive 1,
@@ -348,13 +486,7 @@ impl<'m> Simulator<'m> {
     /// Returns [`SimError::UnknownName`] for a bad name and propagates
     /// [`SimError::Unstable`].
     pub fn clock_cycle_by_name(&mut self, name: &str) -> Result<(), SimError> {
-        let net = self
-            .module
-            .port(name)
-            .ok_or_else(|| SimError::UnknownName {
-                name: name.to_string(),
-            })?
-            .net;
+        let net = self.lookup(name)?;
         self.clock_cycle(net)
     }
 
@@ -379,21 +511,28 @@ impl<'m> Simulator<'m> {
         self.settle()
     }
 
-    /// Resets all state (net values, flop/latch state) to `X`.
+    /// Resets all state (net values, flop/latch state, previous clocks) to
+    /// `X` on every lane. Forces are kept, matching the interpreter's
+    /// historical behaviour; use [`clear_forces`](Simulator::clear_forces)
+    /// to drop them too.
     pub fn reset_to_x(&mut self) {
-        self.values.fill(Logic::X);
-        self.flop_state.fill(Logic::X);
-        self.latch_state.fill(Logic::X);
-        self.prev_ck.fill(Logic::X);
+        for (i, slot) in self.buf.iter_mut().enumerate() {
+            *slot = if i < self.program.net_count && self.force_mask[i] != 0 {
+                self.force_val[i].select(PackedLogic::ALL_X, self.force_mask[i])
+            } else {
+                PackedLogic::ALL_X
+            };
+        }
         self.initialized = false;
         self.captures = 0;
+        self.observations.clear();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use steac_netlist::NetlistBuilder;
+    use steac_netlist::{GateKind, NetlistBuilder};
 
     #[test]
     fn combinational_evaluation() {
@@ -561,5 +700,132 @@ mod tests {
             sim.set_by_name("bogus", Logic::One),
             Err(SimError::UnknownName { .. })
         ));
+    }
+
+    // ------- batch / lane API -------
+
+    #[test]
+    fn lanes_are_independent_machines() {
+        // y = a NAND b, with all four input combinations in lanes 0..4.
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.gate(GateKind::Nand2, &[a, c]);
+        b.output("y", y);
+        let m = b.finish().unwrap();
+        let mut sim = Simulator::new(&m).unwrap();
+        use Logic::{One, Zero};
+        sim.set_lanes(m.port("a").unwrap().net, &[Zero, Zero, One, One]);
+        sim.set_lanes(m.port("b").unwrap().net, &[Zero, One, Zero, One]);
+        sim.settle_batch().unwrap();
+        let y_net = m.port("y").unwrap().net;
+        assert_eq!(sim.get_lane(y_net, 0), One);
+        assert_eq!(sim.get_lane(y_net, 1), One);
+        assert_eq!(sim.get_lane(y_net, 2), One);
+        assert_eq!(sim.get_lane(y_net, 3), Zero);
+    }
+
+    #[test]
+    fn run_vectors_fills_lanes_and_reads_outputs() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a");
+        let c = b.input("b");
+        let s = b.gate(GateKind::Xor2, &[a, c]);
+        let k = b.gate(GateKind::And2, &[a, c]);
+        b.output("sum", s);
+        b.output("carry", k);
+        let m = b.finish().unwrap();
+        let mut sim = Simulator::new(&m).unwrap();
+        let pins = [m.port("a").unwrap().net, m.port("b").unwrap().net];
+        use Logic::{One, Zero};
+        let vectors = vec![
+            vec![Zero, Zero],
+            vec![Zero, One],
+            vec![One, Zero],
+            vec![One, One],
+        ];
+        let outs = sim.run_vectors(&pins, &vectors).unwrap();
+        assert_eq!(outs[0], vec![Zero, Zero]);
+        assert_eq!(outs[1], vec![One, Zero]);
+        assert_eq!(outs[2], vec![One, Zero]);
+        assert_eq!(outs[3], vec![Zero, One]);
+    }
+
+    #[test]
+    fn run_vectors_validates_lengths() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a");
+        b.output("y", a);
+        let m = b.finish().unwrap();
+        let mut sim = Simulator::new(&m).unwrap();
+        let pins = [m.port("a").unwrap().net];
+        let bad = vec![vec![Logic::Zero, Logic::One]];
+        assert!(matches!(
+            sim.run_vectors(&pins, &bad),
+            Err(SimError::VectorLength { .. })
+        ));
+    }
+
+    #[test]
+    fn force_lane_affects_only_its_lane() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a");
+        let y = b.gate(GateKind::Buf, &[a]);
+        b.output("y", y);
+        let m = b.finish().unwrap();
+        let mut sim = Simulator::new(&m).unwrap();
+        let y_net = m.port("y").unwrap().net;
+        sim.force_lane(y_net, 3, Logic::One);
+        sim.set_by_name("a", Logic::Zero).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.get_lane(y_net, 0), Logic::Zero);
+        assert_eq!(sim.get_lane(y_net, 2), Logic::Zero);
+        assert_eq!(sim.get_lane(y_net, 3), Logic::One);
+        sim.unforce(y_net);
+        sim.settle().unwrap();
+        assert_eq!(sim.get_lane(y_net, 3), Logic::Zero);
+    }
+
+    #[test]
+    fn per_lane_capture_in_sequential_logic() {
+        // One DFF; lanes carry different D values through the same clock.
+        let mut b = NetlistBuilder::new("m");
+        let d = b.input("d");
+        let ck = b.input("ck");
+        let q = b.gate(GateKind::Dff, &[d, ck]);
+        b.output("q", q);
+        let m = b.finish().unwrap();
+        let mut sim = Simulator::new(&m).unwrap();
+        use Logic::{One, Zero};
+        let lanes: Vec<Logic> = (0..8)
+            .map(|i| if i % 2 == 0 { Zero } else { One })
+            .collect();
+        sim.set_lanes(m.port("d").unwrap().net, &lanes);
+        sim.clock_cycle_by_name("ck").unwrap();
+        let q_net = m.port("q").unwrap().net;
+        for (i, expect) in lanes.iter().enumerate() {
+            assert_eq!(sim.get_lane(q_net, i), *expect, "lane {i}");
+        }
+    }
+
+    #[test]
+    fn observation_log_records_all_lanes() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a");
+        let y = b.gate(GateKind::Inv, &[a]);
+        b.output("y", y);
+        let m = b.finish().unwrap();
+        let mut sim = Simulator::new(&m).unwrap();
+        sim.set_observing(true);
+        use Logic::{One, Zero};
+        sim.set_lanes(m.port("a").unwrap().net, &[Zero, One]);
+        sim.settle().unwrap();
+        let lane0 = sim.observe_by_name("y").unwrap();
+        assert_eq!(lane0, One);
+        let obs = sim.take_observations();
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].lane(0), One);
+        assert_eq!(obs[0].lane(1), Zero);
+        assert!(sim.take_observations().is_empty());
     }
 }

@@ -1,4 +1,7 @@
-//! Single-stuck-at fault simulation.
+//! Single-stuck-at fault simulation, PPSFP style: one packed pass
+//! simulates the good machine on lane 0 and up to 63 faulty machines on
+//! lanes 1–63, each fault injected as a per-lane force
+//! ([`Simulator::force_lane`]).
 //!
 //! Used to check that generated DFT structures are themselves testable and
 //! to grade scan/functional pattern sets in the examples and benches. The
@@ -7,9 +10,13 @@
 
 use crate::engine::Simulator;
 use crate::logic::Logic;
+use crate::packed::{PackedLogic, LANES};
 use crate::SimError;
 use std::fmt;
 use steac_netlist::{Module, NetId};
+
+/// Faults simulated per packed pass (lane 0 is the good machine).
+pub const FAULTS_PER_PASS: usize = LANES - 1;
 
 /// Stuck-at polarity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -108,19 +115,156 @@ impl fmt::Display for CoverageReport {
     }
 }
 
-/// Serial fault simulation.
+/// Accumulates, into a lane mask, the lanes whose observed value provably
+/// differs from the good machine on lane 0 (both values known, values
+/// differ — the masked-compare rule an ATE applies).
+fn detection_lanes(obs: PackedLogic) -> u64 {
+    let good_one = obs.is_one() & 1 != 0;
+    let good_zero = obs.is_zero() & 1 != 0;
+    if good_one {
+        obs.is_zero()
+    } else if good_zero {
+        obs.is_one()
+    } else {
+        0
+    }
+}
+
+/// Packed (PPSFP-style) fault simulation over an arbitrary test driver.
 ///
-/// `run_test` drives the simulator through the complete test (set inputs,
-/// clock, scan, ...) and returns the stream of observed values (whatever
-/// the test observes: PO samples, scan-out bits...). The fault is detected
-/// if any position of the faulty response differs from the good response
-/// at a position where the good value is known.
+/// Faults are processed in groups of [`FAULTS_PER_PASS`]: lane 0 runs the
+/// good machine, lanes 1–63 each run one faulty machine injected with a
+/// per-lane force. `run_test` drives the simulator through the complete
+/// test (set inputs, clock, scan, ...) using the ordinary scalar API —
+/// every scalar write broadcasts to all lanes — and marks its observation
+/// points with [`Simulator::observe`] / [`Simulator::observe_by_name`]
+/// (the scan and cycle-player drivers do this already). A fault is
+/// detected if any observed position differs from lane 0 where both
+/// values are known.
+///
+/// The simulator handed to `run_test` starts from the all-`X` reset state
+/// on every pass.
+///
+/// # Errors
+///
+/// Propagates errors from `run_test` and the engine.
+pub fn fault_coverage<F>(
+    m: &Module,
+    faults: &[Fault],
+    mut run_test: F,
+) -> Result<CoverageReport, SimError>
+where
+    F: FnMut(&mut Simulator<'_>) -> Result<(), SimError>,
+{
+    let mut sim = Simulator::new(m)?;
+    let mut detected = 0usize;
+    let mut undetected = Vec::new();
+    for chunk in faults.chunks(FAULTS_PER_PASS) {
+        sim.clear_forces();
+        sim.reset_to_x();
+        sim.set_observing(true);
+        for (i, f) in chunk.iter().enumerate() {
+            sim.force_lane(f.net, i + 1, f.stuck.value());
+        }
+        run_test(&mut sim)?;
+        let mut mask = 0u64;
+        for obs in sim.take_observations() {
+            mask |= detection_lanes(obs);
+        }
+        for (i, &f) in chunk.iter().enumerate() {
+            if mask >> (i + 1) & 1 != 0 {
+                detected += 1;
+            } else {
+                undetected.push(f);
+            }
+        }
+    }
+    Ok(CoverageReport {
+        total: faults.len(),
+        detected,
+        undetected,
+    })
+}
+
+/// Packed grading of a static vector set applied to `pins` (set inputs,
+/// settle, compare output ports — the classic combinational grading
+/// loop), with **fault dropping**: once every fault of the current pass
+/// is detected, the remaining vectors are skipped.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn grade_vectors(
+    m: &Module,
+    faults: &[Fault],
+    pins: &[NetId],
+    vectors: &[Vec<Logic>],
+) -> Result<CoverageReport, SimError> {
+    for v in vectors {
+        if v.len() != pins.len() {
+            return Err(SimError::VectorLength {
+                expected: pins.len(),
+                got: v.len(),
+            });
+        }
+    }
+    let out_nets: Vec<NetId> = m
+        .ports_with_dir(steac_netlist::PortDir::Output)
+        .map(|p| p.net)
+        .collect();
+    let mut sim = Simulator::new(m)?;
+    let mut detected = 0usize;
+    let mut undetected = Vec::new();
+    for chunk in faults.chunks(FAULTS_PER_PASS) {
+        sim.clear_forces();
+        sim.reset_to_x();
+        for (i, f) in chunk.iter().enumerate() {
+            sim.force_lane(f.net, i + 1, f.stuck.value());
+        }
+        // Lane mask with one bit per in-flight fault (≤ 63 of them, so
+        // the shift cannot overflow).
+        let want = ((1u64 << chunk.len()) - 1) << 1;
+        let mut mask = 0u64;
+        for vector in vectors {
+            for (&pin, &v) in pins.iter().zip(vector) {
+                sim.set(pin, v);
+            }
+            sim.settle()?;
+            for &net in &out_nets {
+                mask |= detection_lanes(sim.get_packed(net));
+            }
+            if mask & want == want {
+                break; // every fault in this pass dropped
+            }
+        }
+        for (i, &f) in chunk.iter().enumerate() {
+            if mask >> (i + 1) & 1 != 0 {
+                detected += 1;
+            } else {
+                undetected.push(f);
+            }
+        }
+    }
+    Ok(CoverageReport {
+        total: faults.len(),
+        detected,
+        undetected,
+    })
+}
+
+/// Serial reference implementation: one full simulation per fault, as the
+/// original interpreter did. Kept for benchmarking the packed kernel
+/// against and for differential testing; prefer [`fault_coverage`].
+///
+/// `run_test` returns the stream of observed lane-0 values; a fault is
+/// detected when any position differs from the good run where both values
+/// are known.
 ///
 /// # Errors
 ///
 /// Propagates errors from `run_test`; the good-machine run is performed
 /// first.
-pub fn fault_coverage<F>(
+pub fn fault_coverage_serial<F>(
     m: &Module,
     faults: &[Fault],
     mut run_test: F,
@@ -136,9 +280,10 @@ where
         let mut sim = Simulator::new(m)?;
         sim.force(fault.net, fault.stuck.value());
         let observed = run_test(&mut sim)?;
-        let diff = good.iter().zip(observed.iter()).any(|(g, o)| {
-            g.is_known() && o.is_known() && g != o
-        });
+        let diff = good
+            .iter()
+            .zip(observed.iter())
+            .any(|(g, o)| g.is_known() && o.is_known() && g != o);
         if diff {
             detected += 1;
         } else {
@@ -157,27 +302,31 @@ mod tests {
     use super::*;
     use steac_netlist::{GateKind, NetlistBuilder};
 
-    /// Exhaustive 2-input test of an AND gate detects every stuck-at.
-    #[test]
-    fn exhaustive_patterns_give_full_coverage_on_and2() {
+    fn and2() -> Module {
         let mut b = NetlistBuilder::new("m");
         let a = b.input("a");
         let c = b.input("b");
         let y = b.gate(GateKind::And2, &[a, c]);
         b.output("y", y);
-        let m = b.finish().unwrap();
+        b.finish().unwrap()
+    }
+
+    fn exhaustive_and2_driver(sim: &mut Simulator<'_>) -> Result<(), SimError> {
+        for (va, vb) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+            sim.set_by_name("a", Logic::from(va == 1))?;
+            sim.set_by_name("b", Logic::from(vb == 1))?;
+            sim.settle()?;
+            sim.observe_by_name("y")?;
+        }
+        Ok(())
+    }
+
+    /// Exhaustive 2-input test of an AND gate detects every stuck-at.
+    #[test]
+    fn exhaustive_patterns_give_full_coverage_on_and2() {
+        let m = and2();
         let faults = enumerate_faults(&m);
-        let rep = fault_coverage(&m, &faults, |sim| {
-            let mut obs = Vec::new();
-            for (va, vb) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
-                sim.set_by_name("a", Logic::from(va == 1))?;
-                sim.set_by_name("b", Logic::from(vb == 1))?;
-                sim.settle()?;
-                obs.push(sim.get_by_name("y")?);
-            }
-            Ok(obs)
-        })
-        .unwrap();
+        let rep = fault_coverage(&m, &faults, exhaustive_and2_driver).unwrap();
         assert_eq!(rep.coverage_percent(), 100.0, "{rep}");
     }
 
@@ -195,7 +344,8 @@ mod tests {
             sim.set_by_name("a", Logic::One)?;
             sim.set_by_name("b", Logic::Zero)?;
             sim.settle()?;
-            Ok(vec![sim.get_by_name("y")?])
+            sim.observe_by_name("y")?;
+            Ok(())
         })
         .unwrap();
         assert!(rep.detected > 0);
@@ -211,9 +361,87 @@ mod tests {
         let m = b.finish().unwrap();
         let rep = fault_coverage(&m, &[], |sim| {
             sim.settle()?;
-            Ok(vec![])
+            Ok(())
         })
         .unwrap();
         assert_eq!(rep.coverage_percent(), 100.0);
+    }
+
+    /// The packed pass and the serial reference agree fault-for-fault.
+    #[test]
+    fn packed_matches_serial_reference() {
+        let m = and2();
+        let faults = enumerate_faults(&m);
+        let packed = fault_coverage(&m, &faults, exhaustive_and2_driver).unwrap();
+        let serial = fault_coverage_serial(&m, &faults, |sim| {
+            let mut obs = Vec::new();
+            for (va, vb) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                sim.set_by_name("a", Logic::from(va == 1))?;
+                sim.set_by_name("b", Logic::from(vb == 1))?;
+                sim.settle()?;
+                obs.push(sim.get_by_name("y")?);
+            }
+            Ok(obs)
+        })
+        .unwrap();
+        assert_eq!(packed.detected, serial.detected);
+        assert_eq!(packed.undetected, serial.undetected);
+    }
+
+    /// More than one pass: a chain of inverters has > 63 net faults, so
+    /// chunking across passes must still find everything detectable.
+    #[test]
+    fn multi_pass_chunking_covers_long_chains() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a");
+        let mut cur = a;
+        for _ in 0..80 {
+            cur = b.gate(GateKind::Inv, &[cur]);
+        }
+        b.output("y", cur);
+        let m = b.finish().unwrap();
+        let faults = enumerate_faults(&m);
+        assert!(faults.len() > 2 * FAULTS_PER_PASS);
+        let rep = fault_coverage(&m, &faults, |sim| {
+            for v in [Logic::Zero, Logic::One] {
+                sim.set_by_name("a", v)?;
+                sim.settle()?;
+                sim.observe_by_name("y")?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(rep.coverage_percent(), 100.0, "{rep}");
+    }
+
+    #[test]
+    fn grade_vectors_detects_and_drops() {
+        let m = and2();
+        let faults = enumerate_faults(&m);
+        let pins = [m.port("a").unwrap().net, m.port("b").unwrap().net];
+        use Logic::{One, Zero};
+        let vectors = vec![
+            vec![Zero, Zero],
+            vec![Zero, One],
+            vec![One, Zero],
+            vec![One, One],
+        ];
+        let rep = grade_vectors(&m, &faults, &pins, &vectors).unwrap();
+        assert_eq!(rep.coverage_percent(), 100.0, "{rep}");
+        // Fewer vectors leave escapes, and the report accounts for them.
+        let rep = grade_vectors(&m, &faults, &pins, &vectors[..1]).unwrap();
+        assert!(rep.detected < rep.total);
+        assert_eq!(rep.undetected.len(), rep.total - rep.detected);
+    }
+
+    #[test]
+    fn grade_vectors_validates_lengths() {
+        let m = and2();
+        let pins = [m.port("a").unwrap().net, m.port("b").unwrap().net];
+        let bad = vec![vec![Logic::Zero]];
+        assert!(matches!(
+            grade_vectors(&m, &enumerate_faults(&m), &pins, &bad),
+            Err(SimError::VectorLength { .. })
+        ));
     }
 }

@@ -1,4 +1,4 @@
-//! Four-value gate-level logic simulation for the STEAC platform.
+//! Bit-parallel four-value gate-level simulation for the STEAC platform.
 //!
 //! The paper applies cycle-based test patterns from an external ATE to the
 //! fabricated DSC chip. In this reproduction the [`Simulator`] plays the
@@ -6,6 +6,29 @@
 //! [`steac_netlist::Module`]s under 0/1/X/Z logic, detects clock edges
 //! (including gated and divided clocks), applies scan shift/capture
 //! sequences, and measures single-stuck-at fault coverage of pattern sets.
+//!
+//! # Compile-then-execute pipeline
+//!
+//! Simulation is a two-stage pipeline rather than a netlist interpreter:
+//!
+//! 1. **Compile** ([`program`]): the flat module is levelized once into a
+//!    [`program::SimProgram`] — a contiguous instruction stream (opcode +
+//!    input/output slot offsets) over a single flat value buffer, with
+//!    flip-flops and latches lowered to side tables whose state lives in
+//!    the same buffer.
+//! 2. **Execute** ([`engine`]): each pass runs the instruction stream over
+//!    [`packed::PackedLogic`] words — a two-plane packed representation
+//!    carrying **64 independent simulation lanes** whose word-parallel
+//!    AND/OR/XOR/NOT/MUX are lane-exact against the scalar [`Logic`]
+//!    algebra.
+//!
+//! The scalar API below is a lane-0/broadcast view of that kernel, so
+//! single-pattern callers are unchanged. Batch callers fill all 64 lanes
+//! with distinct patterns ([`Simulator::run_vectors`],
+//! [`Simulator::set_lanes`]) or run PPSFP fault simulation — lane 0 good
+//! machine, lanes 1–63 faulty machines via per-lane forces — through
+//! [`fault::fault_coverage`] and [`fault::grade_vectors`], with fault
+//! dropping.
 //!
 //! # Example
 //!
@@ -36,11 +59,18 @@
 pub mod engine;
 pub mod fault;
 pub mod logic;
+pub mod packed;
+pub mod program;
 pub mod scan;
 
 pub use engine::Simulator;
-pub use fault::{enumerate_faults, fault_coverage, CoverageReport, Fault, StuckAt};
+pub use fault::{
+    enumerate_faults, fault_coverage, fault_coverage_serial, grade_vectors, CoverageReport, Fault,
+    StuckAt, FAULTS_PER_PASS,
+};
 pub use logic::Logic;
+pub use packed::{PackedLogic, LANES};
+pub use program::SimProgram;
 pub use scan::ScanPorts;
 
 use std::fmt;

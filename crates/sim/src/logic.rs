@@ -18,6 +18,9 @@ pub enum Logic {
 
 impl Logic {
     /// Logical NOT; `X`/`Z` map to `X`.
+    // Named after the gate, like `and`/`or`/`xor`; `ops::Not` would imply
+    // an involution, which the X/Z folding is not.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn not(self) -> Logic {
         match self {
@@ -180,7 +183,10 @@ mod tests {
 
     #[test]
     fn mux_select_known() {
-        assert_eq!(Logic::mux(Logic::Zero, Logic::One, Logic::Zero), Logic::Zero);
+        assert_eq!(
+            Logic::mux(Logic::Zero, Logic::One, Logic::Zero),
+            Logic::Zero
+        );
         assert_eq!(Logic::mux(Logic::Zero, Logic::One, Logic::One), Logic::One);
     }
 

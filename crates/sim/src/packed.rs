@@ -1,0 +1,348 @@
+//! Bit-parallel packed 4-value logic: 64 independent simulation lanes per
+//! word pair.
+//!
+//! [`PackedLogic`] carries one [`Logic`] value per lane in two bit planes:
+//!
+//! | value | `ones` bit | `unknowns` bit |
+//! |-------|------------|----------------|
+//! | `0`   | 0          | 0              |
+//! | `1`   | 1          | 0              |
+//! | `X`   | 0          | 1              |
+//! | `Z`   | 1          | 1              |
+//!
+//! Every operation is a handful of word-wide boolean instructions and is
+//! **lane-exact**: for each lane, the packed result equals the scalar
+//! [`Logic`] algebra applied to that lane's inputs (a property-tested
+//! invariant, see `tests/proptests.rs`). This is what lets the engine
+//! evaluate 64 patterns — or one good machine plus 63 faulty machines — in
+//! a single pass over the compiled netlist.
+
+use crate::logic::Logic;
+
+/// Number of independent simulation lanes in one packed word.
+pub const LANES: usize = 64;
+
+/// 64 lanes of 4-value logic in two bit planes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PackedLogic {
+    /// Value plane: lane bit set ⇒ the lane's known value is `1` (or the
+    /// lane is `Z` when the `unknowns` bit is also set).
+    pub ones: u64,
+    /// Unknown plane: lane bit set ⇒ the lane holds `X` or `Z`.
+    pub unknowns: u64,
+}
+
+impl Default for PackedLogic {
+    fn default() -> Self {
+        PackedLogic::splat(Logic::X)
+    }
+}
+
+impl PackedLogic {
+    /// All lanes `X` (power-on state).
+    pub const ALL_X: PackedLogic = PackedLogic {
+        ones: 0,
+        unknowns: u64::MAX,
+    };
+
+    /// All lanes `0`.
+    pub const ALL_ZERO: PackedLogic = PackedLogic {
+        ones: 0,
+        unknowns: 0,
+    };
+
+    /// All lanes `1`.
+    pub const ALL_ONE: PackedLogic = PackedLogic {
+        ones: u64::MAX,
+        unknowns: 0,
+    };
+
+    /// Broadcasts one scalar value to every lane.
+    #[must_use]
+    pub fn splat(v: Logic) -> Self {
+        match v {
+            Logic::Zero => PackedLogic {
+                ones: 0,
+                unknowns: 0,
+            },
+            Logic::One => PackedLogic {
+                ones: u64::MAX,
+                unknowns: 0,
+            },
+            Logic::X => PackedLogic {
+                ones: 0,
+                unknowns: u64::MAX,
+            },
+            Logic::Z => PackedLogic {
+                ones: u64::MAX,
+                unknowns: u64::MAX,
+            },
+        }
+    }
+
+    /// Packs up to [`LANES`] scalar values (missing lanes become `X`).
+    #[must_use]
+    pub fn from_lanes(values: &[Logic]) -> Self {
+        let mut p = PackedLogic::ALL_X;
+        for (i, &v) in values.iter().take(LANES).enumerate() {
+            p.set_lane(i, v);
+        }
+        p
+    }
+
+    /// Reads one lane back as a scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= LANES`.
+    #[must_use]
+    pub fn lane(self, lane: usize) -> Logic {
+        assert!(lane < LANES, "lane {lane} out of range");
+        let one = (self.ones >> lane) & 1 == 1;
+        let unk = (self.unknowns >> lane) & 1 == 1;
+        match (one, unk) {
+            (false, false) => Logic::Zero,
+            (true, false) => Logic::One,
+            (false, true) => Logic::X,
+            (true, true) => Logic::Z,
+        }
+    }
+
+    /// Writes one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= LANES`.
+    pub fn set_lane(&mut self, lane: usize, v: Logic) {
+        assert!(lane < LANES, "lane {lane} out of range");
+        let bit = 1u64 << lane;
+        let (one, unk) = match v {
+            Logic::Zero => (false, false),
+            Logic::One => (true, false),
+            Logic::X => (false, true),
+            Logic::Z => (true, true),
+        };
+        if one {
+            self.ones |= bit;
+        } else {
+            self.ones &= !bit;
+        }
+        if unk {
+            self.unknowns |= bit;
+        } else {
+            self.unknowns &= !bit;
+        }
+    }
+
+    /// Unpacks all lanes.
+    #[must_use]
+    pub fn to_lanes(self) -> [Logic; LANES] {
+        let mut out = [Logic::X; LANES];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.lane(i);
+        }
+        out
+    }
+
+    /// Lane mask of known (`0`/`1`) values.
+    #[must_use]
+    pub fn known(self) -> u64 {
+        !self.unknowns
+    }
+
+    /// Lane mask of lanes holding exactly `0`.
+    #[must_use]
+    pub fn is_zero(self) -> u64 {
+        !self.ones & !self.unknowns
+    }
+
+    /// Lane mask of lanes holding exactly `1`.
+    #[must_use]
+    pub fn is_one(self) -> u64 {
+        self.ones & !self.unknowns
+    }
+
+    /// Lane mask of lanes holding exactly `Z`.
+    #[must_use]
+    pub fn is_z(self) -> u64 {
+        self.ones & self.unknowns
+    }
+
+    /// Per-lane merge: lanes where `mask` is set take `self`, the rest
+    /// take `other`.
+    #[must_use]
+    pub fn select(self, other: PackedLogic, mask: u64) -> PackedLogic {
+        PackedLogic {
+            ones: (self.ones & mask) | (other.ones & !mask),
+            unknowns: (self.unknowns & mask) | (other.unknowns & !mask),
+        }
+    }
+
+    /// Lane-wise NOT; `X`/`Z` lanes yield `X`.
+    // Mirrors [`Logic::not`]; see the note there on `ops::Not`.
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn not(self) -> PackedLogic {
+        PackedLogic {
+            ones: !self.ones & !self.unknowns,
+            unknowns: self.unknowns,
+        }
+    }
+
+    /// Lane-wise buffer: known values pass, `X`/`Z` yield `X`.
+    #[must_use]
+    pub fn buf(self) -> PackedLogic {
+        PackedLogic {
+            ones: self.ones & !self.unknowns,
+            unknowns: self.unknowns,
+        }
+    }
+
+    /// Lane-wise AND with X-pessimism (`0 AND anything = 0`).
+    #[must_use]
+    pub fn and(self, other: PackedLogic) -> PackedLogic {
+        let zero = self.is_zero() | other.is_zero();
+        let one = self.is_one() & other.is_one();
+        PackedLogic {
+            ones: one,
+            unknowns: !(zero | one),
+        }
+    }
+
+    /// Lane-wise OR with X-pessimism (`1 OR anything = 1`).
+    #[must_use]
+    pub fn or(self, other: PackedLogic) -> PackedLogic {
+        let one = self.is_one() | other.is_one();
+        let zero = self.is_zero() & other.is_zero();
+        PackedLogic {
+            ones: one,
+            unknowns: !(zero | one),
+        }
+    }
+
+    /// Lane-wise XOR; any `X`/`Z` input lane yields `X`.
+    #[must_use]
+    pub fn xor(self, other: PackedLogic) -> PackedLogic {
+        let known = self.known() & other.known();
+        PackedLogic {
+            ones: (self.ones ^ other.ones) & known,
+            unknowns: !known,
+        }
+    }
+
+    /// Lane-wise 2-to-1 mux matching [`Logic::mux`]: `a` when `sel = 0`,
+    /// `b` when `sel = 1`; with an unknown select, the common value of
+    /// `a` and `b` when they agree and are not `Z`, else `X`.
+    #[must_use]
+    pub fn mux(a: PackedLogic, b: PackedLogic, sel: PackedLogic) -> PackedLogic {
+        let sel0 = sel.is_zero();
+        let sel1 = sel.is_one();
+        let selu = sel.unknowns;
+        // Lanes where a and b encode the identical value, and that value
+        // is not Z (X-optimistic agreement).
+        let agree = !((a.ones ^ b.ones) | (a.unknowns ^ b.unknowns)) & !a.is_z();
+        let ones = (a.ones & sel0) | (b.ones & sel1) | (a.ones & selu & agree);
+        let unknowns = (a.unknowns & sel0) | (b.unknowns & sel1) | (selu & (!agree | a.unknowns));
+        PackedLogic { ones, unknowns }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Logic; 4] = [Logic::Zero, Logic::One, Logic::X, Logic::Z];
+
+    /// A packed word whose first four lanes hold `v` against each possible
+    /// partner value in the other operand.
+    fn pairs() -> Vec<(Logic, Logic)> {
+        let mut v = Vec::new();
+        for a in ALL {
+            for b in ALL {
+                v.push((a, b));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn splat_and_lane_round_trip() {
+        for v in ALL {
+            let p = PackedLogic::splat(v);
+            for lane in [0, 1, 31, 63] {
+                assert_eq!(p.lane(lane), v, "splat({v}) lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_lane_round_trip() {
+        let mut p = PackedLogic::ALL_X;
+        for (i, v) in ALL.iter().cycle().take(LANES).enumerate() {
+            p.set_lane(i, *v);
+        }
+        for (i, v) in ALL.iter().cycle().take(LANES).enumerate() {
+            assert_eq!(p.lane(i), *v);
+        }
+    }
+
+    #[test]
+    fn binary_ops_match_scalar_exhaustively() {
+        let cases = pairs();
+        let a = PackedLogic::from_lanes(&cases.iter().map(|c| c.0).collect::<Vec<_>>());
+        let b = PackedLogic::from_lanes(&cases.iter().map(|c| c.1).collect::<Vec<_>>());
+        for (i, (sa, sb)) in cases.iter().enumerate() {
+            assert_eq!(a.and(b).lane(i), sa.and(*sb), "and({sa},{sb})");
+            assert_eq!(a.or(b).lane(i), sa.or(*sb), "or({sa},{sb})");
+            assert_eq!(a.xor(b).lane(i), sa.xor(*sb), "xor({sa},{sb})");
+        }
+    }
+
+    #[test]
+    fn unary_ops_match_scalar_exhaustively() {
+        let a = PackedLogic::from_lanes(&ALL);
+        for (i, v) in ALL.iter().enumerate() {
+            assert_eq!(a.not().lane(i), v.not(), "not({v})");
+            let expect_buf = match v {
+                Logic::Z => Logic::X,
+                x => *x,
+            };
+            assert_eq!(a.buf().lane(i), expect_buf, "buf({v})");
+        }
+    }
+
+    #[test]
+    fn mux_matches_scalar_exhaustively() {
+        for sel in ALL {
+            let cases = pairs();
+            let a = PackedLogic::from_lanes(&cases.iter().map(|c| c.0).collect::<Vec<_>>());
+            let b = PackedLogic::from_lanes(&cases.iter().map(|c| c.1).collect::<Vec<_>>());
+            let s = PackedLogic::splat(sel);
+            let m = PackedLogic::mux(a, b, s);
+            for (i, (sa, sb)) in cases.iter().enumerate() {
+                assert_eq!(m.lane(i), Logic::mux(*sa, *sb, sel), "mux({sa},{sb},{sel})");
+            }
+        }
+    }
+
+    #[test]
+    fn select_merges_lanes() {
+        let a = PackedLogic::splat(Logic::One);
+        let b = PackedLogic::splat(Logic::Zero);
+        let m = a.select(b, 0b1010);
+        assert_eq!(m.lane(0), Logic::Zero);
+        assert_eq!(m.lane(1), Logic::One);
+        assert_eq!(m.lane(2), Logic::Zero);
+        assert_eq!(m.lane(3), Logic::One);
+        assert_eq!(m.lane(4), Logic::Zero);
+    }
+
+    #[test]
+    fn predicates_report_lane_masks() {
+        let p = PackedLogic::from_lanes(&ALL);
+        assert_eq!(p.is_zero() & 0xF, 0b0001);
+        assert_eq!(p.is_one() & 0xF, 0b0010);
+        assert_eq!(p.is_z() & 0xF, 0b1000);
+        assert_eq!(p.known() & 0xF, 0b0011);
+    }
+}

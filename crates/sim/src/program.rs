@@ -1,0 +1,334 @@
+//! Netlist compilation: levelize a flat [`Module`] once into a
+//! [`SimProgram`] — a contiguous instruction stream over a single flat
+//! value buffer — so the engine never touches the netlist data model on
+//! the hot path.
+//!
+//! The pipeline mirrors a compiled-code simulator (flatten → schedule →
+//! emit): combinational cells are topologically ordered by
+//! [`steac_netlist::combinational_order`] and lowered to [`Instr`]s whose
+//! operands are *slot offsets* into one buffer of
+//! [`PackedLogic`](crate::packed::PackedLogic) words. Sequential cells
+//! (flip-flops and latches) become side tables with their own state and
+//! previous-clock slots appended to the same buffer, in original cell
+//! order so evaluation order matches the interpreter it replaced.
+//!
+//! Buffer layout:
+//!
+//! ```text
+//! [ net 0 .. net N-1 | flop states | latch states | flop prev-clocks ]
+//! ```
+
+use crate::SimError;
+use steac_netlist::{combinational_order, CellContents, GateKind, Module};
+
+/// Sentinel for an absent operand slot (e.g. `rstn` on a plain `Dff`).
+pub const NO_SLOT: u32 = u32::MAX;
+
+/// Opcode of one combinational instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimOp {
+    /// Inverter.
+    Inv,
+    /// Buffer (`Z` → `X`).
+    Buf,
+    /// 2-input AND.
+    And2,
+    /// 3-input AND.
+    And3,
+    /// 2-input NAND.
+    Nand2,
+    /// 3-input NAND.
+    Nand3,
+    /// 4-input NAND.
+    Nand4,
+    /// 2-input OR.
+    Or2,
+    /// 3-input OR.
+    Or3,
+    /// 2-input NOR.
+    Nor2,
+    /// 3-input NOR.
+    Nor3,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2-to-1 mux `(a, b, sel)`.
+    Mux2,
+    /// Constant 0.
+    Tie0,
+    /// Constant 1.
+    Tie1,
+    /// Unrecognised gate kind: evaluates to `X` on every lane.
+    Unknown,
+}
+
+/// One combinational instruction: opcode plus input/output slot offsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instr {
+    /// Opcode.
+    pub op: SimOp,
+    /// Input slots in pin order; unused trailing entries are [`NO_SLOT`].
+    pub ins: [u32; 4],
+    /// Output slot.
+    pub out: u32,
+}
+
+/// Flip-flop record (evaluated outside the combinational stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlopInstr {
+    /// Cell index in the source module (diagnostics).
+    pub cell: u32,
+    /// Functional data slot.
+    pub d: u32,
+    /// Scan-in slot, or [`NO_SLOT`] for non-scan flops.
+    pub si: u32,
+    /// Scan-enable slot, or [`NO_SLOT`].
+    pub se: u32,
+    /// Clock slot.
+    pub ck: u32,
+    /// Active-low async reset slot, or [`NO_SLOT`].
+    pub rstn: u32,
+    /// Output (Q) slot.
+    pub q: u32,
+    /// State slot in the flat buffer.
+    pub state: u32,
+    /// Previous-clock slot in the flat buffer.
+    pub prev_ck: u32,
+}
+
+/// Transparent-latch record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatchInstr {
+    /// Cell index in the source module (diagnostics).
+    pub cell: u32,
+    /// Data slot.
+    pub d: u32,
+    /// Transparent-enable slot.
+    pub en: u32,
+    /// Output slot.
+    pub q: u32,
+    /// State slot in the flat buffer.
+    pub state: u32,
+}
+
+/// A sequential element in original cell order (the order the interpreter
+/// evaluated them, which callers' settle semantics depend on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqInstr {
+    /// An edge-triggered flip-flop; the index points into
+    /// [`SimProgram::flops`].
+    Flop(u32),
+    /// A level-sensitive latch; the index points into
+    /// [`SimProgram::latches`].
+    Latch(u32),
+}
+
+/// A module compiled for bit-parallel execution.
+#[derive(Debug, Clone)]
+pub struct SimProgram {
+    /// Number of nets (the leading slots of the buffer).
+    pub net_count: usize,
+    /// Total buffer length (nets + flop states + latch states +
+    /// flop previous-clocks).
+    pub slot_count: usize,
+    /// Combinational instructions in evaluation (topological) order.
+    pub comb: Vec<Instr>,
+    /// Flip-flop records.
+    pub flops: Vec<FlopInstr>,
+    /// Latch records.
+    pub latches: Vec<LatchInstr>,
+    /// Sequential elements in original cell order.
+    pub seq_order: Vec<SeqInstr>,
+}
+
+impl SimProgram {
+    /// Compiles a flat module (no hierarchical instances — flatten first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Netlist`] if the module has multiple drivers or
+    /// a combinational loop.
+    pub fn compile(m: &Module) -> Result<Self, SimError> {
+        let order = combinational_order(m)?;
+        let net_count = m.nets.len();
+
+        // First pass: assign state slots for sequential cells.
+        let mut flops = Vec::new();
+        let mut latches = Vec::new();
+        let mut seq_order = Vec::new();
+        let mut next_slot = net_count as u32;
+        for (idx, cell) in m.cells.iter().enumerate() {
+            if let CellContents::Gate {
+                kind,
+                inputs,
+                output,
+            } = &cell.contents
+            {
+                let slot = |i: usize| inputs[i].index() as u32;
+                if kind.is_flop() {
+                    let (d, si, se, ck, rstn) = match kind {
+                        GateKind::Dff => (slot(0), NO_SLOT, NO_SLOT, slot(1), NO_SLOT),
+                        GateKind::DffR => (slot(0), NO_SLOT, NO_SLOT, slot(1), slot(2)),
+                        GateKind::Sdff => (slot(0), slot(1), slot(2), slot(3), NO_SLOT),
+                        GateKind::SdffR => (slot(0), slot(1), slot(2), slot(3), slot(4)),
+                        _ => unreachable!("is_flop covers exactly these kinds"),
+                    };
+                    seq_order.push(SeqInstr::Flop(flops.len() as u32));
+                    flops.push(FlopInstr {
+                        cell: idx as u32,
+                        d,
+                        si,
+                        se,
+                        ck,
+                        rstn,
+                        q: output.index() as u32,
+                        state: 0,   // patched below
+                        prev_ck: 0, // patched below
+                    });
+                } else if *kind == GateKind::Latch {
+                    seq_order.push(SeqInstr::Latch(latches.len() as u32));
+                    latches.push(LatchInstr {
+                        cell: idx as u32,
+                        d: slot(0),
+                        en: slot(1),
+                        q: output.index() as u32,
+                        state: 0, // patched below
+                    });
+                }
+            }
+        }
+        for f in &mut flops {
+            f.state = next_slot;
+            next_slot += 1;
+        }
+        for l in &mut latches {
+            l.state = next_slot;
+            next_slot += 1;
+        }
+        for f in &mut flops {
+            f.prev_ck = next_slot;
+            next_slot += 1;
+        }
+
+        // Second pass: lower scheduled combinational cells.
+        let mut comb = Vec::with_capacity(order.len());
+        for cid in order {
+            let CellContents::Gate {
+                kind,
+                inputs,
+                output,
+            } = &m.cells[cid.index()].contents
+            else {
+                continue;
+            };
+            let op = match kind {
+                GateKind::Inv => SimOp::Inv,
+                GateKind::Buf => SimOp::Buf,
+                GateKind::And2 => SimOp::And2,
+                GateKind::And3 => SimOp::And3,
+                GateKind::Nand2 => SimOp::Nand2,
+                GateKind::Nand3 => SimOp::Nand3,
+                GateKind::Nand4 => SimOp::Nand4,
+                GateKind::Or2 => SimOp::Or2,
+                GateKind::Or3 => SimOp::Or3,
+                GateKind::Nor2 => SimOp::Nor2,
+                GateKind::Nor3 => SimOp::Nor3,
+                GateKind::Xor2 => SimOp::Xor2,
+                GateKind::Xnor2 => SimOp::Xnor2,
+                GateKind::Mux2 => SimOp::Mux2,
+                GateKind::Tie0 => SimOp::Tie0,
+                GateKind::Tie1 => SimOp::Tie1,
+                _ => SimOp::Unknown,
+            };
+            let mut ins = [NO_SLOT; 4];
+            for (i, n) in inputs.iter().take(4).enumerate() {
+                ins[i] = n.index() as u32;
+            }
+            comb.push(Instr {
+                op,
+                ins,
+                out: output.index() as u32,
+            });
+        }
+
+        Ok(SimProgram {
+            net_count,
+            slot_count: next_slot as usize,
+            comb,
+            flops,
+            latches,
+            seq_order,
+        })
+    }
+
+    /// Number of combinational instructions.
+    #[must_use]
+    pub fn instruction_count(&self) -> usize {
+        self.comb.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steac_netlist::NetlistBuilder;
+
+    #[test]
+    fn compile_orders_and_sizes() {
+        let mut b = NetlistBuilder::new("m");
+        let ck = b.input("ck");
+        let a = b.input("a");
+        let x = b.gate(GateKind::Inv, &[a]);
+        let y = b.gate(GateKind::And2, &[a, x]);
+        let q = b.gate(GateKind::Dff, &[y, ck]);
+        let l = b.gate(GateKind::Latch, &[q, a]);
+        b.output("l", l);
+        let m = b.finish().unwrap();
+        let p = SimProgram::compile(&m).unwrap();
+        assert_eq!(p.net_count, m.nets.len());
+        assert_eq!(p.comb.len(), 2);
+        assert_eq!(p.flops.len(), 1);
+        assert_eq!(p.latches.len(), 1);
+        // nets + 1 flop state + 1 latch state + 1 prev_ck
+        assert_eq!(p.slot_count, m.nets.len() + 3);
+        // Inv feeds And2, so it must be scheduled first.
+        assert_eq!(p.comb[0].op, SimOp::Inv);
+        assert_eq!(p.comb[1].op, SimOp::And2);
+        // Sequential order follows cell order: flop before latch here.
+        assert_eq!(p.seq_order, vec![SeqInstr::Flop(0), SeqInstr::Latch(0)]);
+    }
+
+    #[test]
+    fn compile_rejects_comb_loops() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a");
+        let x = b.net("x");
+        let y = b.gate(GateKind::And2, &[a, x]);
+        b.gate_into(GateKind::Inv, &[y], x);
+        b.output("y", y);
+        let m = b.finish().unwrap();
+        assert!(matches!(SimProgram::compile(&m), Err(SimError::Netlist(_))));
+    }
+
+    #[test]
+    fn scan_flop_slots_are_wired() {
+        let mut b = NetlistBuilder::new("m");
+        let d = b.input("d");
+        let si = b.input("si");
+        let se = b.input("se");
+        let ck = b.input("ck");
+        let rstn = b.input("rstn");
+        let q = b.gate(GateKind::SdffR, &[d, si, se, ck, rstn]);
+        b.output("q", q);
+        let m = b.finish().unwrap();
+        let p = SimProgram::compile(&m).unwrap();
+        let f = &p.flops[0];
+        assert_ne!(f.si, NO_SLOT);
+        assert_ne!(f.se, NO_SLOT);
+        assert_ne!(f.rstn, NO_SLOT);
+        assert!(f.state as usize >= p.net_count);
+        assert!(f.prev_ck as usize >= p.net_count);
+    }
+}

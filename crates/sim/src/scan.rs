@@ -68,10 +68,11 @@ pub fn shift(
             sim.set_by_name(&ports.si[c], v)?;
         }
         // Sample scan-out before the shift pulse: so shows the current
-        // last-flop state.
+        // last-flop state. Observing records all 64 lanes for PPSFP
+        // grading; the returned lane-0 value feeds the scalar result.
         sim.settle()?;
         for (c, o) in out.iter_mut().enumerate() {
-            o.push(sim.get_by_name(&ports.so[c])?);
+            o.push(sim.observe_by_name(&ports.so[c])?);
         }
         sim.clock_cycle_by_name(&ports.clock)?;
     }
@@ -115,10 +116,7 @@ pub fn load_capture_unload(
 ) -> Result<Vec<Vec<Logic>>, SimError> {
     shift(sim, ports, stimulus)?;
     capture(sim, ports)?;
-    let pad: Vec<Vec<Logic>> = stimulus
-        .iter()
-        .map(|c| vec![Logic::X; c.len()])
-        .collect();
+    let pad: Vec<Vec<Logic>> = stimulus.iter().map(|c| vec![Logic::X; c.len()]).collect();
     let unload = shift(sim, ports, next.unwrap_or(&pad))?;
     Ok(unload)
 }
@@ -173,8 +171,7 @@ mod tests {
         use Logic::{One, Zero};
         sim.set_by_name("d", Logic::One).unwrap();
         let resp =
-            load_capture_unload(&mut sim, &ports, &[vec![Zero, Zero, Zero, Zero]], None)
-                .unwrap();
+            load_capture_unload(&mut sim, &ports, &[vec![Zero, Zero, Zero, Zero]], None).unwrap();
         // Chain loaded with all zeros, PI d=1. Capture: f0 = inv(d) = 0,
         // f1..f3 = inv(previous stage's 0) = 1. Response bit k maps to
         // flop 3-k, so the stream is [f3, f2, f1, f0] = [1, 1, 1, 0].

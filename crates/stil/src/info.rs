@@ -87,9 +87,8 @@ impl CoreTestInfo {
     /// Returns [`StilError::Unresolved`] if a scan chain references a
     /// signal that is not declared.
     pub fn from_stil(core_name: &str, f: &StilFile) -> Result<Self, StilError> {
-        let group_members = |g: &str| -> Vec<String> {
-            f.group(g).map(|g| g.signals.clone()).unwrap_or_default()
-        };
+        let group_members =
+            |g: &str| -> Vec<String> { f.group(g).map(|g| g.signals.clone()).unwrap_or_default() };
         let clocks = group_members(WellKnownGroups::CLOCKS);
         let resets = group_members(WellKnownGroups::RESETS);
         let scan_enables = group_members(WellKnownGroups::SCAN_ENABLES);

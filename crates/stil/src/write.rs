@@ -227,8 +227,8 @@ Pattern p {
 "#;
         let f = parse_stil(src).unwrap();
         let printed = to_stil_string(&f);
-        let reparsed = parse_stil(&printed)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        let reparsed =
+            parse_stil(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
         assert_eq!(reparsed, f, "\n--- printed ---\n{printed}");
     }
 

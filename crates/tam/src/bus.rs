@@ -45,7 +45,11 @@ impl TamSpec {
 
 impl fmt::Display for TamSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "TAM width {} over {} sessions", self.width, self.sessions)?;
+        writeln!(
+            f,
+            "TAM width {} over {} sessions",
+            self.width, self.sessions
+        )?;
         for c in &self.cores {
             writeln!(
                 f,
@@ -83,27 +87,42 @@ pub fn tam_mux_module(spec: &TamSpec) -> Result<Module, NetlistError> {
             c.offset + c.wires,
             spec.width
         );
-        assert!(c.session < spec.sessions, "core {} session out of range", c.name);
+        assert!(
+            c.session < spec.sessions,
+            "core {} session out of range",
+            c.name
+        );
     }
     // Overlap check per (session, wire).
     let mut owner: Vec<Vec<Option<usize>>> = vec![vec![None; spec.width]; spec.sessions];
     for (ci, c) in spec.cores.iter().enumerate() {
-        for k in c.offset..c.offset + c.wires {
+        for (k, slot) in owner[c.session]
+            .iter_mut()
+            .enumerate()
+            .skip(c.offset)
+            .take(c.wires)
+        {
             assert!(
-                owner[c.session][k].is_none(),
+                slot.is_none(),
                 "TAM wire {k} in session {} claimed twice",
                 c.session
             );
-            owner[c.session][k] = Some(ci);
+            *slot = Some(ci);
         }
     }
 
     let mut b = NetlistBuilder::new("steac_tam_mux");
-    let sel: Vec<_> = (0..spec.sel_bits()).map(|i| b.input(&format!("sel[{i}]"))).collect();
+    let sel: Vec<_> = (0..spec.sel_bits())
+        .map(|i| b.input(&format!("sel[{i}]")))
+        .collect();
     // Response inputs per core.
     let mut core_in: Vec<Vec<steac_netlist::NetId>> = Vec::with_capacity(spec.cores.len());
     for c in &spec.cores {
-        core_in.push((0..c.wires).map(|k| b.input(&format!("{}_wso[{k}]", c.name))).collect());
+        core_in.push(
+            (0..c.wires)
+                .map(|k| b.input(&format!("{}_wso[{k}]", c.name)))
+                .collect(),
+        );
     }
     let tie = b.tie0();
     for k in 0..spec.width {

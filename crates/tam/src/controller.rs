@@ -94,12 +94,12 @@ fn counter(
         q.push(b.net(&format!("{prefix}_q{i}")));
     }
     let mut carry = enable;
-    for i in 0..bits {
-        let d = b.gate(GateKind::Xor2, &[q[i], carry]);
+    for (i, &qi) in q.iter().enumerate() {
+        let d = b.gate(GateKind::Xor2, &[qi, carry]);
         if i + 1 < bits {
-            carry = b.gate(GateKind::And2, &[carry, q[i]]);
+            carry = b.gate(GateKind::And2, &[carry, qi]);
         }
-        b.gate_into(GateKind::DffR, &[d, ck, clear_n], q[i]);
+        b.gate_into(GateKind::DffR, &[d, ck, clear_n], qi);
     }
     q
 }
@@ -124,7 +124,11 @@ pub fn controller_module(spec: &ControllerSpec) -> Result<Module, NetlistError> 
     assert!(spec.sessions > 0, "need at least one session");
     for c in &spec.cores {
         for &s in &c.active_sessions {
-            assert!(s < spec.sessions, "core {} session {s} out of range", c.name);
+            assert!(
+                s < spec.sessions,
+                "core {} session {s} out of range",
+                c.name
+            );
         }
     }
     let mut b = NetlistBuilder::new("steac_test_controller");
@@ -189,7 +193,14 @@ pub fn controller_module(spec: &ControllerSpec) -> Result<Module, NetlistError> 
 
     // Shift counter runs in SHIFT state, clears otherwise (via enable +
     // AND-masked feedback).
-    let shq = counter(&mut b, spec.shift_counter_bits, in_shift, trst_n, tck, "shift");
+    let shq = counter(
+        &mut b,
+        spec.shift_counter_bits,
+        in_shift,
+        trst_n,
+        tck,
+        "shift",
+    );
     let shift_tc = b.and_tree(&shq);
 
     // Next-state logic.

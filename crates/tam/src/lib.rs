@@ -20,7 +20,9 @@ pub mod share;
 pub use bus::{tam_mux_module, TamCoreSpec, TamSpec};
 pub use controller::{controller_module, ControllerSpec, CoreControl};
 pub use iopin::PinBudget;
-pub use share::{share_controls, ControlClass, ControlSignal, ShareGroup, SharePolicy, ShareReport};
+pub use share::{
+    share_controls, ControlClass, ControlSignal, ShareGroup, SharePolicy, ShareReport,
+};
 
 #[cfg(test)]
 mod tests {

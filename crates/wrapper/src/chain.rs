@@ -71,19 +71,30 @@ impl WrapperPlan {
     /// Longest scan-in path over all chains.
     #[must_use]
     pub fn si_max(&self) -> usize {
-        self.chains.iter().map(WrapperChainPlan::scan_in_len).max().unwrap_or(0)
+        self.chains
+            .iter()
+            .map(WrapperChainPlan::scan_in_len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Longest scan-out path over all chains.
     #[must_use]
     pub fn so_max(&self) -> usize {
-        self.chains.iter().map(WrapperChainPlan::scan_out_len).max().unwrap_or(0)
+        self.chains
+            .iter()
+            .map(WrapperChainPlan::scan_out_len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total internal scan cells across chains.
     #[must_use]
     pub fn total_internal_cells(&self) -> usize {
-        self.chains.iter().map(WrapperChainPlan::internal_cells).sum()
+        self.chains
+            .iter()
+            .map(WrapperChainPlan::internal_cells)
+            .sum()
     }
 
     /// Total boundary cells across chains.
@@ -151,7 +162,7 @@ pub fn balance_fixed(
     // LPT: longest internal chain first, onto the currently shortest
     // wrapper chain.
     let mut sorted: Vec<(usize, usize)> = internal_chains.iter().copied().enumerate().collect();
-    sorted.sort_unstable_by(|a, b| b.1.cmp(&a.1));
+    sorted.sort_unstable_by_key(|&(_, len)| std::cmp::Reverse(len));
     for (idx, len) in sorted {
         let tgt = (0..width)
             .min_by_key(|&i| chains[i].internal_cells())
@@ -197,9 +208,7 @@ pub fn balance_soft(
     assert!(width > 0, "wrapper needs at least one TAM wire");
     let base = total_cells / width;
     let extra = total_cells % width;
-    let internal: Vec<usize> = (0..width)
-        .map(|i| base + usize::from(i < extra))
-        .collect();
+    let internal: Vec<usize> = (0..width).map(|i| base + usize::from(i < extra)).collect();
     balance_fixed(&internal, inputs, outputs, width)
 }
 

@@ -13,8 +13,8 @@
 //! chip reconfigures wrappers between test sessions); the serial
 //! [`crate::wir`] is provided for 1500-compliant stand-alone operation.
 
-use crate::chain::WrapperPlan;
 use crate::cell::{wbr_cell_module, WBR_CELL_NAME};
+use crate::chain::WrapperPlan;
 use steac_netlist::{Design, Module, NetId, NetlistBuilder, NetlistError, PortDir};
 
 /// Interface description the generator needs about a core.
@@ -113,8 +113,9 @@ pub fn wrap_core(
             || opts.scan_si.iter().any(|s| s == n)
             || opts.passthrough_inputs.iter().any(|s| s == n)
     };
-    let is_special_out =
-        |n: &str| opts.scan_so.iter().any(|s| s == n) || opts.passthrough_outputs.iter().any(|s| s == n);
+    let is_special_out = |n: &str| {
+        opts.scan_so.iter().any(|s| s == n) || opts.passthrough_outputs.iter().any(|s| s == n)
+    };
     let func_inputs: Vec<String> = core_mod
         .ports_with_dir(PortDir::Input)
         .map(|p| p.name.clone())
@@ -319,7 +320,16 @@ mod tests {
 
         let flat = design.flatten(&wrapped.module_name).unwrap();
         let mut sim = Simulator::new(&flat).unwrap();
-        for p in ["w_se", "w_capture", "w_update", "w_intest", "w_extest", "wck", "a", "b"] {
+        for p in [
+            "w_se",
+            "w_capture",
+            "w_update",
+            "w_intest",
+            "w_extest",
+            "wck",
+            "a",
+            "b",
+        ] {
             sim.set_by_name(p, Logic::Zero).unwrap();
         }
         sim.settle().unwrap();
@@ -332,7 +342,7 @@ mod tests {
         };
         // Chain order: in_a -> in_b -> out_y. Bit k of the stimulus maps
         // to flop L-1-k, so bits are [out_y, b, a] = [X, 1, 1].
-        use Logic::{One, X, Zero};
+        use Logic::{One, Zero, X};
         scan::shift(&mut sim, &ports, &[vec![X, One, One]]).unwrap();
         // Update the latches and enter INTEST.
         sim.set_by_name("w_intest", One).unwrap();
@@ -365,11 +375,17 @@ mod tests {
         let mut design = Design::new();
         design.add_module(and_core()).unwrap();
         let plan = balance_fixed(&[], 2, 1, 1);
-        let wrapped =
-            wrap_core(&mut design, "and_core", &plan, &WrapOptions::default()).unwrap();
+        let wrapped = wrap_core(&mut design, "and_core", &plan, &WrapOptions::default()).unwrap();
         let flat = design.flatten(&wrapped.module_name).unwrap();
         let mut sim = Simulator::new(&flat).unwrap();
-        for p in ["w_se", "w_capture", "w_update", "w_intest", "w_extest", "wck"] {
+        for p in [
+            "w_se",
+            "w_capture",
+            "w_update",
+            "w_intest",
+            "w_extest",
+            "wck",
+        ] {
             sim.set_by_name(p, Logic::Zero).unwrap();
         }
         sim.set_by_name("a", Logic::One).unwrap();
@@ -416,7 +432,15 @@ mod tests {
 
         // FIFO check through the whole 5-flop path.
         let mut sim = Simulator::new(&flat).unwrap();
-        for p in ["w_se", "w_capture", "w_update", "w_intest", "w_extest", "wck", "d"] {
+        for p in [
+            "w_se",
+            "w_capture",
+            "w_update",
+            "w_intest",
+            "w_extest",
+            "wck",
+            "d",
+        ] {
             sim.set_by_name(p, Logic::Zero).unwrap();
         }
         sim.settle().unwrap();
@@ -428,7 +452,7 @@ mod tests {
         };
         use Logic::{One, Zero};
         let pattern = vec![One, Zero, One, One, Zero];
-        scan::shift(&mut sim, &ports, &[pattern.clone()]).unwrap();
+        scan::shift(&mut sim, &ports, std::slice::from_ref(&pattern)).unwrap();
         let out = scan::shift(&mut sim, &ports, &[vec![Zero; 5]]).unwrap();
         assert_eq!(out[0], pattern, "scan path must behave as a FIFO");
     }
@@ -440,11 +464,19 @@ mod tests {
         let mut design = Design::new();
         design.add_module(and_core()).unwrap();
         let plan = balance_fixed(&[], 2, 1, 1);
-        let wrapped =
-            wrap_core(&mut design, "and_core", &plan, &WrapOptions::default()).unwrap();
+        let wrapped = wrap_core(&mut design, "and_core", &plan, &WrapOptions::default()).unwrap();
         let flat = design.flatten(&wrapped.module_name).unwrap();
         let mut sim = Simulator::new(&flat).unwrap();
-        for p in ["w_se", "w_capture", "w_update", "w_intest", "w_extest", "wck", "a", "b"] {
+        for p in [
+            "w_se",
+            "w_capture",
+            "w_update",
+            "w_intest",
+            "w_extest",
+            "wck",
+            "a",
+            "b",
+        ] {
             sim.set_by_name(p, Logic::Zero).unwrap();
         }
         sim.settle().unwrap();
@@ -454,7 +486,7 @@ mod tests {
             se: "w_se".to_string(),
             clock: "wck".to_string(),
         };
-        use Logic::{One, X, Zero};
+        use Logic::{One, Zero, X};
         // Chain order in_a -> in_b -> out_y; bit k maps to flop 2-k, so
         // [out_y, b, a] = [1, X, X]: load a 1 into the output cell.
         scan::shift(&mut sim, &ports, &[vec![One, X, X]]).unwrap();

@@ -5,9 +5,7 @@
 //! cargo run --example dsc_reproduction
 //! ```
 
-use steac_dsc::{
-    dsc_chip_config, dsc_test_tasks, PAPER_NONSESSION_CYCLES, PAPER_SESSION_CYCLES,
-};
+use steac_dsc::{dsc_chip_config, dsc_test_tasks, PAPER_NONSESSION_CYCLES, PAPER_SESSION_CYCLES};
 use steac_sched::report::{render_nonsession, render_sessions};
 use steac_sched::{schedule_nonsession, schedule_sessions};
 
@@ -21,13 +19,15 @@ fn main() {
     println!("{}", render_sessions(&session, &tasks));
     println!("{}", render_nonsession(&nonsession, &tasks));
 
-    println!("paper:    session-based {PAPER_SESSION_CYCLES} vs non-session {PAPER_NONSESSION_CYCLES}");
+    println!(
+        "paper:    session-based {PAPER_SESSION_CYCLES} vs non-session {PAPER_NONSESSION_CYCLES}"
+    );
     println!(
         "measured: session-based {} vs non-session {}",
         session.total_cycles, nonsession.makespan
     );
-    let savings = 100.0 * (nonsession.makespan - session.total_cycles) as f64
-        / nonsession.makespan as f64;
+    let savings =
+        100.0 * (nonsession.makespan - session.total_cycles) as f64 / nonsession.makespan as f64;
     println!("the session-based approach saves {savings:.1}% — same direction as the paper's 7.3%");
     assert!(session.total_cycles < nonsession.makespan);
     assert_eq!(session.sessions.len(), 3, "three sessions, as in the paper");

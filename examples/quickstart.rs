@@ -38,7 +38,11 @@ Pattern functional { Loop 5000 { V { rx=1; ck=P; } } }
 
     // One small embedded memory, BISTed by BRAINS.
     let mut brains = Brains::new();
-    brains.add_memory(MemorySpec::new("buf0", SramConfig::single_port(2048, 16), 0));
+    brains.add_memory(MemorySpec::new(
+        "buf0",
+        SramConfig::single_port(2048, 16),
+        0,
+    ));
 
     let input = FlowInput {
         cores: vec![

@@ -5,8 +5,8 @@
 use steac::flow::{run_flow, CoreSource, FlowInput};
 use steac::insert::{insert_dft, InsertSpec};
 use steac_dsc::{
-    build_chip, core_stil, dsc_brains, dsc_chip_config, DSC_CHIP_LOGIC_GE,
-    PAPER_NONSESSION_CYCLES, PAPER_SESSION_CYCLES, TABLE1,
+    build_chip, core_stil, dsc_brains, dsc_chip_config, DSC_CHIP_LOGIC_GE, PAPER_NONSESSION_CYCLES,
+    PAPER_SESSION_CYCLES, TABLE1,
 };
 use steac_stil::to_stil_string;
 use steac_tam::{ControlClass, ControlSignal};
@@ -15,7 +15,11 @@ use steac_wrapper::{balance_fixed, WrapOptions};
 fn usb_controls() -> Vec<ControlSignal> {
     let mut v: Vec<ControlSignal> = (0..4)
         .map(|i| {
-            ControlSignal::new("USB", &format!("ck{i}"), ControlClass::Clock { freq_mhz: 48 })
+            ControlSignal::new(
+                "USB",
+                &format!("ck{i}"),
+                ControlClass::Clock { freq_mhz: 48 },
+            )
         })
         .collect();
     v.extend((0..3).map(|i| ControlSignal::new("USB", &format!("rst{i}"), ControlClass::Reset)));

@@ -4,9 +4,9 @@
 use proptest::prelude::*;
 use steac_membist::faultsim::{fault_coverage, random_fault_list};
 use steac_membist::{MarchAlgorithm, SramConfig};
-use steac_netlist::{stitch_scan, GateKind, NetlistBuilder, StitchConfig};
+use steac_netlist::{stitch_scan, GateKind, NetId, NetlistBuilder, StitchConfig};
 use steac_sched::{allocate_session, schedule_sessions, ChipConfig, TestTask};
-use steac_sim::Logic;
+use steac_sim::{fault, Logic, PackedLogic, Simulator, LANES};
 use steac_stil::{parse_stil, to_stil_string};
 use steac_wrapper::{balance_fixed, balance_soft};
 
@@ -64,7 +64,7 @@ fn arb_task(i: usize, kind: u8, patterns: u64, size: usize, power: f64) -> TestT
             &[size.max(1), (size / 2).max(1)],
             (size % 50) + 1,
             (size % 40) + 1,
-            kind % 2 == 0,
+            kind.is_multiple_of(2),
         )
         .with_power(power),
         1 => TestTask::functional(
@@ -237,5 +237,156 @@ proptest! {
         let (a, b) = (lv(a), lv(b));
         prop_assert_eq!(a.and(b).not(), a.not().or(b.not()));
         prop_assert_eq!(a.or(b).not(), a.not().and(b.not()));
+    }
+}
+
+// ---------- packed/scalar equivalence ----------
+
+fn lv(x: u8) -> Logic {
+    match x % 4 {
+        0 => Logic::Zero,
+        1 => Logic::One,
+        2 => Logic::X,
+        _ => Logic::Z,
+    }
+}
+
+/// Builds a small random-but-deterministic module from seed tuples: four
+/// data inputs plus a clock, a mix of combinational gates and DFFs (no
+/// feedback, so always well-formed), with the last nets as outputs.
+fn random_module(seeds: &[(u8, u8, u8, u8)]) -> steac_netlist::Module {
+    let mut b = NetlistBuilder::new("rand_mod");
+    let ck = b.input("ck");
+    let mut pool: Vec<NetId> = (0..4).map(|i| b.input(&format!("in{i}"))).collect();
+    for (gi, &(kind, s1, s2, s3)) in seeds.iter().enumerate() {
+        let pick = |s: u8| pool[s as usize % pool.len()];
+        let (a, c, d) = (pick(s1), pick(s2), pick(s3));
+        let out = match kind % 7 {
+            0 => b.gate(GateKind::Inv, &[a]),
+            1 => b.gate(GateKind::And2, &[a, c]),
+            2 => b.gate(GateKind::Or2, &[a, c]),
+            3 => b.gate(GateKind::Xor2, &[a, c]),
+            4 => b.gate(GateKind::Nand2, &[a, c]),
+            5 => b.gate(GateKind::Mux2, &[a, c, d]),
+            _ => b.gate(GateKind::Dff, &[a, ck]),
+        };
+        pool.push(out);
+        let _ = gi;
+    }
+    let outs: Vec<NetId> = pool.iter().rev().take(3).copied().collect();
+    for (i, &n) in outs.iter().enumerate() {
+        b.output(&format!("out{i}"), n);
+    }
+    b.finish().expect("random module is structurally valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For random gate inputs, each `PackedLogic` lane op equals the
+    /// corresponding scalar `Logic` op — the invariant the whole packed
+    /// kernel rests on.
+    #[test]
+    fn packed_lane_ops_equal_scalar(
+        avals in prop::collection::vec(0u8..4, LANES..LANES + 1),
+        bvals in prop::collection::vec(0u8..4, LANES..LANES + 1),
+        svals in prop::collection::vec(0u8..4, LANES..LANES + 1),
+    ) {
+        let a_s: Vec<Logic> = avals.iter().map(|&x| lv(x)).collect();
+        let b_s: Vec<Logic> = bvals.iter().map(|&x| lv(x)).collect();
+        let s_s: Vec<Logic> = svals.iter().map(|&x| lv(x)).collect();
+        let a = PackedLogic::from_lanes(&a_s);
+        let b = PackedLogic::from_lanes(&b_s);
+        let s = PackedLogic::from_lanes(&s_s);
+        for lane in 0..LANES {
+            let (x, y, z) = (a_s[lane], b_s[lane], s_s[lane]);
+            prop_assert_eq!(a.and(b).lane(lane), x.and(y));
+            prop_assert_eq!(a.or(b).lane(lane), x.or(y));
+            prop_assert_eq!(a.xor(b).lane(lane), x.xor(y));
+            prop_assert_eq!(a.not().lane(lane), x.not());
+            prop_assert_eq!(
+                PackedLogic::mux(a, b, s).lane(lane),
+                Logic::mux(x, y, z)
+            );
+        }
+        // Round trip through the planes loses nothing.
+        prop_assert_eq!(PackedLogic::from_lanes(&a.to_lanes()), a);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A random small module's `settle_batch` lanes equal 64 independent
+    /// scalar `settle` runs (including a clock pulse through any DFFs).
+    #[test]
+    fn settle_batch_lanes_equal_scalar_runs(
+        seeds in prop::collection::vec((0u8..7, 0u8..32, 0u8..32, 0u8..32), 3..16),
+        stim in prop::collection::vec(0u8..4, 4 * LANES..4 * LANES + 1),
+    ) {
+        let m = random_module(&seeds);
+        let pins: Vec<NetId> = (0..4)
+            .map(|i| m.port(&format!("in{i}")).unwrap().net)
+            .collect();
+        let vectors: Vec<Vec<Logic>> = (0..LANES)
+            .map(|l| (0..4).map(|i| lv(stim[l * 4 + i])).collect())
+            .collect();
+
+        let mut batch = Simulator::new(&m).unwrap();
+        batch.set_by_name("ck", Logic::Zero).unwrap();
+        for (i, &pin) in pins.iter().enumerate() {
+            let lanes: Vec<Logic> = vectors.iter().map(|v| v[i]).collect();
+            batch.set_lanes(pin, &lanes);
+        }
+        batch.settle_batch().unwrap();
+        batch.clock_cycle_by_name("ck").unwrap();
+        for (lane, vector) in vectors.iter().enumerate() {
+            let mut scalar = Simulator::new(&m).unwrap();
+            scalar.set_by_name("ck", Logic::Zero).unwrap();
+            for (&pin, &v) in pins.iter().zip(vector) {
+                scalar.set(pin, v);
+            }
+            scalar.settle().unwrap();
+            scalar.clock_cycle_by_name("ck").unwrap();
+            prop_assert_eq!(
+                batch.outputs_lane(lane),
+                scalar.outputs(),
+                "lane {} diverged from its scalar run",
+                lane
+            );
+        }
+    }
+
+    /// PPSFP grading (lane 0 good machine + 63 per-lane fault forces,
+    /// with dropping) reports exactly the faults the serial
+    /// one-simulation-per-fault reference reports.
+    #[test]
+    fn ppsfp_grading_equals_serial(
+        seeds in prop::collection::vec((0u8..7, 0u8..32, 0u8..32, 0u8..32), 3..14),
+        stim in prop::collection::vec(0u8..2, 12..13),
+    ) {
+        let m = random_module(&seeds);
+        let pins: Vec<NetId> = (0..4)
+            .map(|i| m.port(&format!("in{i}")).unwrap().net)
+            .collect();
+        let vectors: Vec<Vec<Logic>> = (0..3)
+            .map(|k| (0..4).map(|i| lv(stim[k * 4 + i] % 2)).collect())
+            .collect();
+        let faults = fault::enumerate_faults(&m);
+        let packed = fault::grade_vectors(&m, &faults, &pins, &vectors).unwrap();
+        let serial = fault::fault_coverage_serial(&m, &faults, |sim| {
+            let mut obs = Vec::new();
+            for vector in &vectors {
+                for (&pin, &v) in pins.iter().zip(vector) {
+                    sim.set(pin, v);
+                }
+                sim.settle()?;
+                obs.extend(sim.outputs());
+            }
+            Ok(obs)
+        })
+        .unwrap();
+        prop_assert_eq!(packed.detected, serial.detected);
+        prop_assert_eq!(&packed.undetected, &serial.undetected);
     }
 }

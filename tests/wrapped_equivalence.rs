@@ -11,7 +11,7 @@ use steac_pattern::{
 use steac_sim::{Logic, Simulator};
 use steac_wrapper::{balance_fixed, wrap_core, WrapOptions};
 
-use Logic::{One, X, Zero};
+use Logic::{One, Zero, X};
 
 #[test]
 fn combinational_core_intest_equivalence() {

@@ -1,0 +1,181 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! Provides `Criterion::bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, `black_box` and the `criterion_group!`/`criterion_main!`
+//! macros. Measurement is a simple calibrated loop reporting the median of
+//! several samples — adequate for the relative comparisons the workspace's
+//! benches make, with no registry access required.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time per measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(60);
+/// Number of samples whose median is reported.
+const SAMPLES: usize = 7;
+
+/// How batched inputs are grouped between setup calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many iterations per batch.
+    SmallInput,
+    /// Large inputs: one setup per iteration batch of modest size.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    /// Measured median time per iteration.
+    per_iter: Option<Duration>,
+}
+
+impl Bencher {
+    /// Benchmarks `routine`, timing repeated calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate the iteration count for the sample target.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_TARGET / 4 || n >= 1 << 24 {
+                break;
+            }
+            n = (n * 4).max(2);
+        }
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            samples.push(start.elapsed() / u32::try_from(n).unwrap_or(u32::MAX));
+        }
+        samples.sort_unstable();
+        self.per_iter = Some(samples[samples.len() / 2]);
+    }
+
+    /// Benchmarks `routine` on fresh inputs produced by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples = Vec::with_capacity(SAMPLES);
+        // One timed call per sample: setup cost stays outside the timer,
+        // which is the property the callers rely on.
+        for _ in 0..SAMPLES {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed());
+        }
+        samples.sort_unstable();
+        self.per_iter = Some(samples[samples.len() / 2]);
+    }
+
+    /// Like [`iter_batched`](Self::iter_batched) but passes the input by
+    /// mutable reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            samples.push(start.elapsed());
+        }
+        samples.sort_unstable();
+        self.per_iter = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Benchmark registry and reporter.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its median time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { per_iter: None };
+        f(&mut b);
+        match b.per_iter {
+            Some(t) => println!("{id:<44} time: {}", format_duration(t)),
+            None => println!("{id:<44} time: <no measurement>"),
+        }
+        self
+    }
+}
+
+/// Renders a duration with criterion-style units.
+#[must_use]
+pub fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Groups benchmark functions into one runnable entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    #[test]
+    fn duration_units() {
+        assert!(format_duration(Duration::from_nanos(12)).contains("ns"));
+        assert!(format_duration(Duration::from_micros(12)).contains("µs"));
+        assert!(format_duration(Duration::from_millis(12)).contains("ms"));
+    }
+}
