@@ -9,6 +9,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::time::Instant;
 use steac::flow::{run_flow, CoreSource, FlowInput};
 use steac::insert::{insert_dft, InsertSpec};
+use steac_bench::splitmix_vectors as jpeg_vectors;
 use steac_dsc::{build_chip, core_stil, dsc_brains, dsc_chip_config, jpeg_core, TABLE1};
 use steac_membist::faultsim::{fault_coverage, fault_coverage_serial, random_fault_list};
 use steac_membist::{MarchAlgorithm, SramConfig};
@@ -126,24 +127,6 @@ fn bench_march_faultsim(c: &mut Criterion) {
     );
 }
 
-/// Deterministic input vectors for the gate-level grading benches.
-fn jpeg_vectors(module: &steac_netlist::Module, count: usize) -> Vec<Vec<Logic>> {
-    let n = module.ports_with_dir(steac_netlist::PortDir::Input).count();
-    (0..count)
-        .map(|k| {
-            (0..n)
-                .map(|i| {
-                    let mut z = (k as u64)
-                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                        .wrapping_add(i as u64);
-                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-                    Logic::from(z >> 17 & 1 == 1)
-                })
-                .collect()
-        })
-        .collect()
-}
-
 /// Packed (PPSFP, 63 faults + good machine per pass, fault dropping)
 /// vs. serial (one full simulation per fault) stuck-at grading on the
 /// DSC's JPEG core — the paper's largest functional-pattern core. The
@@ -205,8 +188,8 @@ fn bench_batched_playback(c: &mut Criterion) {
     let refs: Vec<&steac_pattern::CyclePattern> = patterns.iter().collect();
     c.bench_function("jpeg_playback_batched_128p", |b| {
         b.iter(|| {
-            let mut sim = Simulator::new(&module).expect("sim builds");
-            steac_pattern::apply_cycle_patterns_batch(&mut sim, &refs).expect("plays")
+            let sim = Simulator::new(&module).expect("sim builds");
+            steac_pattern::apply_cycle_patterns_batch(&sim, &refs).expect("plays")
         })
     });
     c.bench_function("jpeg_playback_scalar_128p", |b| {

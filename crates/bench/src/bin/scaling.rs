@@ -1,0 +1,121 @@
+//! Threads-vs-throughput scaling of the sharded simulation stack on the
+//! paper's two throughput-bound workloads: PPSFP fault grading of the
+//! JPEG core and batched ATE playback of its functional patterns.
+//!
+//! For each thread count the same work runs through the same sharded
+//! entry points ([`steac_sim::fault::grade_vectors_with`],
+//! [`steac_pattern::apply_cycle_patterns_batch_with`]); the binary
+//! asserts that coverage and mismatch reports are **bit-identical** at
+//! every width before printing the table — scaling must never change a
+//! verdict.
+
+use std::time::Instant;
+use steac_bench::{header, splitmix_vectors};
+use steac_dsc::{jpeg_core, jpeg_functional_patterns_with};
+use steac_pattern::{apply_cycle_patterns_batch_with, CyclePattern};
+use steac_sim::{enumerate_faults, fault, Simulator, Threads};
+
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+fn time<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let t = Instant::now();
+    let out = f();
+    (t.elapsed().as_secs_f64(), out)
+}
+
+fn print_row(threads: usize, secs: f64, base_secs: f64, work: f64, unit: &str) {
+    println!(
+        "{threads:>7} {:>10.0} {unit:<12} {:>8.2}x",
+        work / secs.max(1e-12),
+        base_secs / secs.max(1e-12),
+    );
+}
+
+fn main() {
+    let (module, _) = jpeg_core().expect("jpeg core builds");
+    let faults = enumerate_faults(&module);
+    let pins: Vec<steac_netlist::NetId> = module
+        .ports_with_dir(steac_netlist::PortDir::Input)
+        .map(|p| p.net)
+        .collect();
+    let vectors = splitmix_vectors(&module, 128);
+
+    let cores = Threads::auto().get();
+    println!("host parallelism: {cores} core(s)");
+    if cores < WIDTHS[WIDTHS.len() - 1] {
+        println!(
+            "note: widths above {cores} time-share the available core(s); \
+             speedup columns demonstrate determinism, not throughput, there"
+        );
+    }
+    println!(
+        "{}",
+        header("Sharded scaling: JPEG fault grading (PPSFP passes across cores)")
+    );
+    println!(
+        "{} faults, {} vectors, {} passes",
+        faults.len(),
+        vectors.len(),
+        faults.len().div_ceil(fault::FAULTS_PER_PASS)
+    );
+    println!(
+        "{:>7} {:>10} {:<12} {:>9}",
+        "threads", "rate", "", "speedup"
+    );
+    let mut baseline: Option<(f64, fault::CoverageReport)> = None;
+    for t in WIDTHS {
+        let (secs, rep) = time(|| {
+            fault::grade_vectors_with(&module, &faults, &pins, &vectors, Threads::exact(t))
+                .expect("grading runs")
+        });
+        if let Some((base_secs, base_rep)) = &baseline {
+            assert_eq!(
+                &rep, base_rep,
+                "coverage diverged at {t} threads — sharding changed a verdict"
+            );
+            print_row(t, secs, *base_secs, faults.len() as f64, "faults/s");
+        } else {
+            print_row(t, secs, secs, faults.len() as f64, "faults/s");
+            baseline = Some((secs, rep));
+        }
+    }
+    let (_, rep) = baseline.expect("at least one width ran");
+    println!("coverage at every width: {rep}");
+
+    let count = 2048;
+    let (_, patterns) =
+        jpeg_functional_patterns_with(count, Threads::auto()).expect("patterns build");
+    let refs: Vec<&CyclePattern> = patterns.iter().collect();
+    let sim = Simulator::new(&module).expect("sim builds");
+    println!(
+        "{}",
+        header("Sharded scaling: batched ATE playback (64-pattern passes across cores)")
+    );
+    println!(
+        "{count} two-cycle functional patterns, {} passes",
+        count / 64
+    );
+    println!(
+        "{:>7} {:>10} {:<12} {:>9}",
+        "threads", "rate", "", "speedup"
+    );
+    let mut play_base: Option<(f64, Vec<steac_pattern::MismatchReport>)> = None;
+    for t in WIDTHS {
+        let (secs, reports) = time(|| {
+            apply_cycle_patterns_batch_with(&sim, &refs, Threads::exact(t)).expect("plays")
+        });
+        if let Some((base_secs, base_reports)) = &play_base {
+            assert_eq!(
+                &reports, base_reports,
+                "mismatch reports diverged at {t} threads"
+            );
+            print_row(t, secs, *base_secs, count as f64, "patterns/s");
+        } else {
+            print_row(t, secs, secs, count as f64, "patterns/s");
+            play_base = Some((secs, reports));
+        }
+    }
+    let (_, reports) = play_base.expect("at least one width ran");
+    let mismatches: usize = reports.iter().map(|r| r.mismatches.len()).sum();
+    println!("mismatches at every width: {mismatches}");
+}

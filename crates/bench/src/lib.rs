@@ -49,6 +49,30 @@ pub fn header(title: &str) -> String {
     format!("\n==== {title} ====\n")
 }
 
+/// Deterministic pseudo-random input vectors (SplitMix64) over a
+/// module's input ports — the shared stimulus for the fault-grading
+/// bench and the scaling harness, so their workloads stay comparable.
+#[must_use]
+pub fn splitmix_vectors(
+    module: &steac_netlist::Module,
+    count: usize,
+) -> Vec<Vec<steac_sim::Logic>> {
+    let n = module.ports_with_dir(steac_netlist::PortDir::Input).count();
+    (0..count)
+        .map(|k| {
+            (0..n)
+                .map(|i| {
+                    let mut z = (k as u64)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(i as u64);
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    steac_sim::Logic::from(z >> 17 & 1 == 1)
+                })
+                .collect()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,15 +4,19 @@
 //! The paper's flow ends with chip-level ATE patterns; verifying them
 //! against the gate-level netlist is a pure simulation workload, and the
 //! batched cycle player ([`steac_pattern::apply_cycle_patterns_batch`])
-//! runs 64 patterns per pass — the experiment here is the JPEG core's
-//! functional-pattern verification, the largest single pattern set of
-//! Table 1 (235,696 functional patterns on silicon; we verify a sampled
-//! subset the same way).
+//! runs 64 patterns per pass, with 64-pattern passes sharded across
+//! cores — the experiment here is the JPEG core's functional-pattern
+//! verification, the largest single pattern set of Table 1 (235,696
+//! functional patterns on silicon; `examples/jpeg_full_playback.rs`
+//! plays the full set end to end, the tests a sampled subset the same
+//! way). Pattern *generation* shards too: every 64-pattern block is an
+//! independent work unit over the shared compiled program.
 
 use crate::cores::jpeg_core;
+use std::sync::Arc;
 use steac_netlist::Module;
-use steac_pattern::{apply_cycle_patterns_batch, CyclePattern, PatternError, PinState};
-use steac_sim::{Logic, SimError, Simulator};
+use steac_pattern::{apply_cycle_patterns_batch_with, CyclePattern, PatternError, PinState};
+use steac_sim::{shard, Logic, SimError, SimProgram, Simulator, Threads, LANES};
 
 /// Outcome of a batched playback experiment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +31,9 @@ pub struct PlaybackReport {
     pub mismatches: usize,
     /// Packed passes the player needed (⌈patterns / 64⌉).
     pub passes: usize,
+    /// Worker threads the sharded player actually fanned passes across
+    /// (the configured width, capped at the number of passes).
+    pub threads: usize,
 }
 
 /// Deterministic per-pattern stimulus (SplitMix64, so the experiment is
@@ -42,76 +49,125 @@ fn stimulus_bit(pattern: usize, pin: usize) -> bool {
 
 /// Builds `count` two-cycle functional patterns for the JPEG core (drive
 /// PIs + pulse `ck`, then compare every PO), with expected responses
-/// computed by a scalar reference simulation of each pattern.
+/// computed by a scalar reference simulation of each pattern, sharded
+/// with the default thread count ([`Threads::from_env`]).
 ///
 /// # Errors
 ///
 /// Propagates netlist and simulation errors.
 pub fn jpeg_functional_patterns(count: usize) -> Result<(Module, Vec<CyclePattern>), PatternError> {
+    jpeg_functional_patterns_with(count, Threads::from_env())
+}
+
+/// [`jpeg_functional_patterns`] with an explicit worker count: the
+/// expected-response simulations are independent per pattern, so
+/// generation fans 64-pattern blocks across workers (each with its own
+/// executor over the shared compiled program). Pattern `k` depends only
+/// on `k`, so the output is identical at every thread count.
+///
+/// # Errors
+///
+/// Propagates netlist and simulation errors.
+pub fn jpeg_functional_patterns_with(
+    count: usize,
+    threads: Threads,
+) -> Result<(Module, Vec<CyclePattern>), PatternError> {
+    let (module, program, patterns) = jpeg_patterns_and_program(count, threads)?;
+    drop(program);
+    Ok((module, patterns))
+}
+
+/// Shared generation core: compiles the JPEG module once and returns the
+/// program alongside the patterns, so playback never recompiles it.
+#[allow(clippy::type_complexity)]
+fn jpeg_patterns_and_program(
+    count: usize,
+    threads: Threads,
+) -> Result<(Module, Arc<SimProgram>, Vec<CyclePattern>), PatternError> {
     let (module, params) = jpeg_core().map_err(|e| PatternError::Sim(SimError::Netlist(e)))?;
     let mut pins: Vec<String> = params.pi.clone();
     pins.push(params.clocks[0].clone());
     pins.extend(params.po.iter().cloned());
     let n_pi = params.pi.len();
 
-    let mut patterns = Vec::with_capacity(count);
-    let mut sim = Simulator::new(&module)?;
-    for k in 0..count {
-        let drives: Vec<Logic> = (0..n_pi).map(|i| Logic::from(stimulus_bit(k, i))).collect();
-        // Scalar reference run from the power-on state (the batch player
-        // resets each chunk the same way).
-        sim.clear_forces();
-        sim.reset_to_x();
-        for (name, &v) in params.pi.iter().zip(&drives) {
-            sim.set_by_name(name, v)?;
-        }
-        sim.clock_cycle_by_name(&params.clocks[0])?;
-        let expected: Vec<Logic> = params
-            .po
-            .iter()
-            .map(|name| sim.get_by_name(name))
-            .collect::<Result<_, _>>()?;
+    let program = Arc::new(SimProgram::compile(&module)?);
+    let blocks = count.div_ceil(LANES);
+    let per_block = shard::run_fallible(threads, blocks, |bi| {
+        let mut sim = Simulator::from_program(Arc::clone(&program));
+        let mut block = Vec::with_capacity(LANES);
+        for k in (bi * LANES..count).take(LANES) {
+            let drives: Vec<Logic> = (0..n_pi).map(|i| Logic::from(stimulus_bit(k, i))).collect();
+            // Scalar reference run from the power-on state (the batch
+            // player resets each chunk the same way).
+            sim.reset_to_x();
+            for (name, &v) in params.pi.iter().zip(&drives) {
+                sim.set_by_name(name, v)?;
+            }
+            sim.clock_cycle_by_name(&params.clocks[0])?;
+            let expected: Vec<Logic> = params
+                .po
+                .iter()
+                .map(|name| sim.get_by_name(name))
+                .collect::<Result<_, _>>()?;
 
-        let mut p = CyclePattern::new(pins.clone());
-        let mut capture_row: Vec<PinState> =
-            drives.iter().map(|&v| PinState::from_drive(v)).collect();
-        capture_row.push(PinState::Pulse);
-        capture_row.extend(std::iter::repeat_n(PinState::DontCare, params.po.len()));
-        p.push_cycle(capture_row)?;
-        let mut compare_row: Vec<PinState> =
-            drives.iter().map(|&v| PinState::from_drive(v)).collect();
-        compare_row.push(PinState::Drive0);
-        compare_row.extend(expected.iter().map(|&v| PinState::from_expect(v)));
-        p.push_cycle(compare_row)?;
-        patterns.push(p);
-    }
-    Ok((module, patterns))
+            let mut p = CyclePattern::new(pins.clone());
+            let mut capture_row: Vec<PinState> =
+                drives.iter().map(|&v| PinState::from_drive(v)).collect();
+            capture_row.push(PinState::Pulse);
+            capture_row.extend(std::iter::repeat_n(PinState::DontCare, params.po.len()));
+            p.push_cycle(capture_row)?;
+            let mut compare_row: Vec<PinState> =
+                drives.iter().map(|&v| PinState::from_drive(v)).collect();
+            compare_row.push(PinState::Drive0);
+            compare_row.extend(expected.iter().map(|&v| PinState::from_expect(v)));
+            p.push_cycle(compare_row)?;
+            block.push(p);
+        }
+        Ok::<_, PatternError>(block)
+    })?;
+    Ok((module, program, per_block.into_iter().flatten().collect()))
 }
 
 /// Verifies `count` JPEG functional patterns with the batched cycle
-/// player (64 per pass) and aggregates the result.
+/// player (64 per pass, passes sharded with the default thread count)
+/// and aggregates the result.
 ///
 /// # Errors
 ///
 /// Propagates netlist, pattern and simulation errors.
 pub fn jpeg_playback_batch(count: usize) -> Result<PlaybackReport, PatternError> {
-    let (module, patterns) = jpeg_functional_patterns(count)?;
+    jpeg_playback_batch_with(count, Threads::from_env())
+}
+
+/// [`jpeg_playback_batch`] with an explicit worker count (generation and
+/// playback both shard at this width; the report records it).
+///
+/// # Errors
+///
+/// Propagates netlist, pattern and simulation errors.
+pub fn jpeg_playback_batch_with(
+    count: usize,
+    threads: Threads,
+) -> Result<PlaybackReport, PatternError> {
+    let (_module, program, patterns) = jpeg_patterns_and_program(count, threads)?;
     let refs: Vec<&CyclePattern> = patterns.iter().collect();
-    let mut sim = Simulator::new(&module)?;
-    let reports = apply_cycle_patterns_batch(&mut sim, &refs)?;
+    let sim = Simulator::from_program(program);
+    let reports = apply_cycle_patterns_batch_with(&sim, &refs, threads)?;
+    let passes = count.div_ceil(LANES);
     Ok(PlaybackReport {
         patterns: reports.len(),
         cycles: patterns.iter().map(CyclePattern::cycle_count).sum(),
         compares: reports.iter().map(|r| r.compares).sum(),
         mismatches: reports.iter().map(|r| r.mismatches.len()).sum(),
-        passes: count.div_ceil(steac_sim::LANES),
+        passes,
+        threads: threads.get().min(passes.max(1)),
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use steac_pattern::apply_cycle_pattern;
+    use steac_pattern::{apply_cycle_pattern, apply_cycle_patterns_batch_with};
 
     /// The batched verdict must equal per-pattern scalar playback — and
     /// pass: the expectations were computed from the same netlist.
@@ -120,8 +176,8 @@ mod tests {
         let count = 70; // > 64: exercises chunking
         let (module, patterns) = jpeg_functional_patterns(count).unwrap();
         let refs: Vec<&CyclePattern> = patterns.iter().collect();
-        let mut sim = Simulator::new(&module).unwrap();
-        let batch = apply_cycle_patterns_batch(&mut sim, &refs).unwrap();
+        let sim = Simulator::new(&module).unwrap();
+        let batch = apply_cycle_patterns_batch_with(&sim, &refs, Threads::from_env()).unwrap();
         assert_eq!(batch.len(), count);
         for (i, p) in patterns.iter().enumerate() {
             let mut scalar_sim = Simulator::new(&module).unwrap();
@@ -133,12 +189,31 @@ mod tests {
 
     #[test]
     fn playback_report_aggregates() {
-        let rep = jpeg_playback_batch(10).unwrap();
+        let rep = jpeg_playback_batch_with(10, Threads::exact(2)).unwrap();
         assert_eq!(rep.patterns, 10);
         assert_eq!(rep.cycles, 20);
         assert_eq!(rep.mismatches, 0);
         assert_eq!(rep.passes, 1);
         assert_eq!(rep.compares, 10 * 104); // every PO compared once
+        assert_eq!(rep.threads, 1); // one pass caps the effective width
+    }
+
+    /// Sharded generation and playback are bit-identical at every
+    /// thread count (patterns AND reports).
+    #[test]
+    fn jpeg_generation_and_playback_are_thread_count_invariant() {
+        let count = 130; // three blocks
+        let (_, baseline) = jpeg_functional_patterns_with(count, Threads::single()).unwrap();
+        let base_rep = jpeg_playback_batch_with(count, Threads::single()).unwrap();
+        for t in [2, 4] {
+            let (_, sharded) = jpeg_functional_patterns_with(count, Threads::exact(t)).unwrap();
+            assert_eq!(sharded, baseline, "{t} threads");
+            let rep = jpeg_playback_batch_with(count, Threads::exact(t)).unwrap();
+            assert_eq!(rep.patterns, base_rep.patterns);
+            assert_eq!(rep.compares, base_rep.compares);
+            assert_eq!(rep.mismatches, base_rep.mismatches);
+            assert_eq!(rep.threads, t.min(rep.passes));
+        }
     }
 
     #[test]
@@ -152,8 +227,8 @@ mod tests {
             _ => PinState::ExpectH,
         };
         let refs: Vec<&CyclePattern> = patterns.iter().collect();
-        let mut sim = Simulator::new(&module).unwrap();
-        let reports = apply_cycle_patterns_batch(&mut sim, &refs).unwrap();
+        let sim = Simulator::new(&module).unwrap();
+        let reports = apply_cycle_patterns_batch_with(&sim, &refs, Threads::from_env()).unwrap();
         assert!(reports[0].passed());
         assert!(!reports[1].passed());
         assert!(reports[2].passed());

@@ -105,7 +105,7 @@ mod tests {
         }
     }
 
-    fn setup<'m>(m: &'m Module) -> Simulator<'m> {
+    fn setup(m: &Module) -> Simulator {
         let mut sim = Simulator::new(m).unwrap();
         for p in ["MBS", "MSI", "MBC"] {
             sim.set_by_name(p, Logic::Zero).unwrap();

@@ -9,12 +9,18 @@
 //! constant-time bit fix; reads compare every lane against the analytic
 //! expected value in one XOR. Detected lanes are dropped: once every
 //! fault of a pass is caught, the walk stops early.
+//!
+//! Each 64-fault March walk is an independent work unit, so
+//! [`fault_coverage`] fans walks across cores through
+//! [`steac_sim::shard`] and merges the per-walk detection masks in
+//! fault-list order — reports are bit-identical at every thread count.
 
 use crate::march::{Direction, MarchAlgorithm, MarchOp};
 use crate::memory::{MemFault, Sram, SramConfig};
 use rand::Rng;
 use std::collections::BTreeMap;
 use std::fmt;
+use steac_sim::shard::{self, Threads};
 
 /// Faults graded per packed March walk.
 pub const FAULTS_PER_PASS: usize = 64;
@@ -463,17 +469,34 @@ fn report_from_flags(
 
 /// Simulates every fault in `faults` (single-fault assumption) under
 /// `alg` and reports coverage. Packed: 64 faults per March walk, with
-/// fault dropping.
+/// fault dropping; walks are sharded across cores with the default
+/// thread count ([`Threads::from_env`]).
 #[must_use]
 pub fn fault_coverage(
     alg: &MarchAlgorithm,
     config: &SramConfig,
     faults: &[MemFault],
 ) -> MemCoverageReport {
+    fault_coverage_with(alg, config, faults, Threads::from_env())
+}
+
+/// [`fault_coverage`] with an explicit worker count. Every March walk
+/// (one [`FAULTS_PER_PASS`] chunk) is one work unit; per-walk detection
+/// masks are merged in fault-list order, so the report is identical at
+/// every thread count.
+#[must_use]
+pub fn fault_coverage_with(
+    alg: &MarchAlgorithm,
+    config: &SramConfig,
+    faults: &[MemFault],
+    threads: Threads,
+) -> MemCoverageReport {
+    let chunks: Vec<&[MemFault]> = faults.chunks(FAULTS_PER_PASS).collect();
+    let masks = shard::run_units(threads, chunks.len(), |ci| {
+        PackedFaultSim::new(*config, chunks[ci]).run_march(alg)
+    });
     let mut flags = Vec::with_capacity(faults.len());
-    for chunk in faults.chunks(FAULTS_PER_PASS) {
-        let mut sim = PackedFaultSim::new(*config, chunk);
-        let detected = sim.run_march(alg);
+    for (chunk, detected) in chunks.iter().zip(masks) {
         for lane in 0..chunk.len() {
             flags.push(detected >> lane & 1 == 1);
         }
@@ -740,6 +763,20 @@ mod tests {
         assert!(run_march(&MarchAlgorithm::march_c_minus(), &mut m));
         let rep = fault_coverage(&MarchAlgorithm::march_c_minus(), &CFG, &[visible]);
         assert_eq!(rep.detected, 1);
+    }
+
+    /// Sharded March grading reports identical coverage — including the
+    /// `escaped` order — at every thread count.
+    #[test]
+    fn sharded_march_grading_is_thread_count_invariant() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let faults = random_fault_list(&CFG, 40, &mut rng);
+        let alg = MarchAlgorithm::mats_plus(); // leaves escapes to merge
+        let baseline = fault_coverage_with(&alg, &CFG, &faults, Threads::single());
+        for t in 2..=8 {
+            let sharded = fault_coverage_with(&alg, &CFG, &faults, Threads::exact(t));
+            assert_eq!(sharded, baseline, "{t} threads");
+        }
     }
 
     #[test]

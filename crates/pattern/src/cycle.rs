@@ -1,8 +1,15 @@
 //! Cycle-based patterns and the ATE cycle player.
+//!
+//! The batch player treats every 64-pattern chunk as an independent work
+//! unit over the shared compiled program, fanning chunks across cores
+//! through [`steac_sim::shard`] and merging the per-pattern
+//! [`MismatchReport`]s in pattern order — sharded playback is
+//! bit-identical to single-threaded playback at every thread count.
 
 use crate::PatternError;
 use std::fmt;
-use steac_sim::{Logic, Simulator};
+use steac_netlist::NetId;
+use steac_sim::{shard, Logic, Simulator, Threads};
 
 /// Per-pin state in one tester cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -188,6 +195,9 @@ impl MismatchReport {
     }
 }
 
+/// Mismatch detail lines printed before the `(+N more)` tail.
+const DISPLAYED_MISMATCHES: usize = 10;
+
 impl fmt::Display for MismatchReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -196,8 +206,15 @@ impl fmt::Display for MismatchReport {
             self.compares,
             self.mismatches.len()
         )?;
-        for (cyc, pin, exp, obs) in self.mismatches.iter().take(10) {
+        for (cyc, pin, exp, obs) in self.mismatches.iter().take(DISPLAYED_MISMATCHES) {
             write!(f, "\n  cycle {cyc}: {pin} expected {exp} observed {obs}")?;
+        }
+        if self.mismatches.len() > DISPLAYED_MISMATCHES {
+            write!(
+                f,
+                "\n  (+{} more)",
+                self.mismatches.len() - DISPLAYED_MISMATCHES
+            )?;
         }
         Ok(())
     }
@@ -213,18 +230,10 @@ impl fmt::Display for MismatchReport {
 /// Returns [`PatternError::UnknownPin`] for pins missing on the module
 /// and propagates simulator errors.
 pub fn apply_cycle_pattern(
-    sim: &mut Simulator<'_>,
+    sim: &mut Simulator,
     pattern: &CyclePattern,
 ) -> Result<MismatchReport, PatternError> {
-    // Resolve pins up front.
-    let mut nets = Vec::with_capacity(pattern.pins.len());
-    for name in &pattern.pins {
-        let port = sim
-            .module()
-            .port(name)
-            .ok_or_else(|| PatternError::UnknownPin { name: name.clone() })?;
-        nets.push(port.net);
-    }
+    let nets = resolve_pins(sim, &pattern.pins)?;
     let mut report = MismatchReport::default();
     for (ci, row) in pattern.cycles.iter().enumerate() {
         // Drive phase.
@@ -272,10 +281,108 @@ pub fn apply_cycle_pattern(
     Ok(report)
 }
 
-/// Plays up to 64 cycle patterns **simultaneously**, one per simulation
-/// lane, and returns one [`MismatchReport`] per pattern — the batched
-/// ATE playback path (a tester floor applying the same timing program to
-/// 64 dies at once).
+/// Resolves pattern pin names to nets via the simulator's compiled
+/// program.
+fn resolve_pins(sim: &Simulator, pins: &[String]) -> Result<Vec<NetId>, PatternError> {
+    pins.iter()
+        .map(|name| {
+            sim.program()
+                .port_net(name)
+                .ok_or_else(|| PatternError::UnknownPin { name: name.clone() })
+        })
+        .collect()
+}
+
+/// Plays one chunk of up to [`steac_sim::LANES`] patterns on one
+/// executor, one pattern per lane, from the state `sim` is currently in.
+/// Returns one report per pattern in chunk order.
+fn play_chunk(
+    sim: &mut Simulator,
+    nets: &[NetId],
+    pins: &[String],
+    chunk: &[&CyclePattern],
+) -> Result<Vec<MismatchReport>, PatternError> {
+    use steac_sim::{PackedLogic, LANES};
+
+    let mut reports: Vec<MismatchReport> = vec![MismatchReport::default(); chunk.len()];
+    let cycles = chunk.first().map_or(0, |p| p.cycles.len());
+    for ci in 0..cycles {
+        // Drive phase: build one packed word per pin; lanes that
+        // don't drive this cycle keep their previous value.
+        let mut pulses = Vec::new();
+        for (pi, &net) in nets.iter().enumerate() {
+            let pulse_lanes = chunk
+                .iter()
+                .filter(|p| p.cycles[ci][pi] == PinState::Pulse)
+                .count();
+            if pulse_lanes != 0 && pulse_lanes != chunk.len() {
+                return Err(PatternError::Shape {
+                    context: "batch pulse alignment",
+                    expected: chunk.len(),
+                    got: pulse_lanes,
+                });
+            }
+            if pulse_lanes == chunk.len() {
+                sim.set(net, Logic::Zero);
+                pulses.push(net);
+                continue;
+            }
+            let mut driven = PackedLogic::ALL_X;
+            let mut drive_mask = 0u64;
+            for (l, p) in chunk.iter().enumerate() {
+                if let Some(v) = p.cycles[ci][pi].drive() {
+                    driven.set_lane(l, v);
+                    drive_mask |= 1 << l;
+                }
+            }
+            if drive_mask != 0 {
+                // Lanes beyond the chunk follow lane 0 so spare lanes
+                // never oscillate differently from real ones.
+                if chunk.len() < LANES && drive_mask & 1 != 0 {
+                    let v0 = driven.lane(0);
+                    for l in chunk.len()..LANES {
+                        driven.set_lane(l, v0);
+                        drive_mask |= 1 << l;
+                    }
+                }
+                let merged = driven.select(sim.get_packed(net), drive_mask);
+                sim.set_packed(net, merged);
+            }
+        }
+        sim.settle()?;
+        // Clock phase.
+        if !pulses.is_empty() {
+            sim.clock_cycle_multi(&pulses)?;
+        }
+        // Compare phase, per lane.
+        for (pi, &net) in nets.iter().enumerate() {
+            let packed = sim.get_packed(net);
+            for (l, p) in chunk.iter().enumerate() {
+                if let Some(expected) = p.cycles[ci][pi].expect() {
+                    let report = &mut reports[l];
+                    report.compares += 1;
+                    let observed = packed.lane(l);
+                    if !observed.is_known() || observed != expected {
+                        report.mismatches.push((
+                            ci,
+                            pins[pi].clone(),
+                            PinState::from_expect(expected).to_char(),
+                            observed.to_char(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(reports)
+}
+
+/// Plays up to 64 cycle patterns per pass, one per simulation lane, and
+/// returns one [`MismatchReport`] per pattern — the batched ATE playback
+/// path (a tester floor applying the same timing program to 64 dies at
+/// once). Batches larger than [`steac_sim::LANES`] become independent
+/// 64-pattern chunks fanned across cores with the default thread count
+/// ([`Threads::from_env`]).
 ///
 /// All patterns of a batch must share the *shape* that fixes the timing
 /// program: the same pin list, the same cycle count, and `P` (pulse) on
@@ -283,21 +390,36 @@ pub fn apply_cycle_pattern(
 /// common to all lanes. Drive values and compare positions may differ
 /// freely per pattern.
 ///
-/// Batches larger than [`steac_sim::LANES`] are processed in chunks; the
-/// simulator is reset to the all-`X` state before each chunk, so every
-/// pattern observes power-on semantics (reset your patterns' preambles
-/// accordingly).
+/// Every chunk plays on a worker-local clone of `sim`, reset to the
+/// all-`X` state first, so every pattern observes power-on semantics
+/// (reset your patterns' preambles accordingly); forces applied to `sim`
+/// (fault injection) carry into every clone. `sim` itself is not
+/// mutated.
 ///
 /// # Errors
 ///
 /// Returns [`PatternError::Shape`] when pin lists, cycle counts or pulse
 /// positions disagree, [`PatternError::UnknownPin`] for pins missing on
-/// the module, and propagates simulator errors.
+/// the module, and propagates simulator errors (lowest-indexed failing
+/// chunk, deterministically).
 pub fn apply_cycle_patterns_batch(
-    sim: &mut Simulator<'_>,
+    sim: &Simulator,
     patterns: &[&CyclePattern],
 ) -> Result<Vec<MismatchReport>, PatternError> {
-    use steac_sim::{PackedLogic, LANES};
+    apply_cycle_patterns_batch_with(sim, patterns, Threads::from_env())
+}
+
+/// [`apply_cycle_patterns_batch`] with an explicit worker count.
+///
+/// # Errors
+///
+/// As [`apply_cycle_patterns_batch`].
+pub fn apply_cycle_patterns_batch_with(
+    sim: &Simulator,
+    patterns: &[&CyclePattern],
+    threads: Threads,
+) -> Result<Vec<MismatchReport>, PatternError> {
+    use steac_sim::LANES;
 
     let Some(first) = patterns.first() else {
         return Ok(Vec::new());
@@ -318,89 +440,14 @@ pub fn apply_cycle_patterns_batch(
             });
         }
     }
-    // Resolve pins up front.
-    let mut nets = Vec::with_capacity(first.pins.len());
-    for name in &first.pins {
-        let port = sim
-            .module()
-            .port(name)
-            .ok_or_else(|| PatternError::UnknownPin { name: name.clone() })?;
-        nets.push(port.net);
-    }
-    let mut reports: Vec<MismatchReport> = vec![MismatchReport::default(); patterns.len()];
-    for (chunk_idx, chunk) in patterns.chunks(LANES).enumerate() {
-        let base = chunk_idx * LANES;
-        sim.reset_to_x();
-        for ci in 0..first.cycles.len() {
-            // Drive phase: build one packed word per pin; lanes that
-            // don't drive this cycle keep their previous value.
-            let mut pulses = Vec::new();
-            for (pi, &net) in nets.iter().enumerate() {
-                let pulse_lanes = chunk
-                    .iter()
-                    .filter(|p| p.cycles[ci][pi] == PinState::Pulse)
-                    .count();
-                if pulse_lanes != 0 && pulse_lanes != chunk.len() {
-                    return Err(PatternError::Shape {
-                        context: "batch pulse alignment",
-                        expected: chunk.len(),
-                        got: pulse_lanes,
-                    });
-                }
-                if pulse_lanes == chunk.len() {
-                    sim.set(net, Logic::Zero);
-                    pulses.push(net);
-                    continue;
-                }
-                let mut driven = PackedLogic::ALL_X;
-                let mut drive_mask = 0u64;
-                for (l, p) in chunk.iter().enumerate() {
-                    if let Some(v) = p.cycles[ci][pi].drive() {
-                        driven.set_lane(l, v);
-                        drive_mask |= 1 << l;
-                    }
-                }
-                if drive_mask != 0 {
-                    // Lanes beyond the chunk follow lane 0 so spare lanes
-                    // never oscillate differently from real ones.
-                    if chunk.len() < LANES && drive_mask & 1 != 0 {
-                        let v0 = driven.lane(0);
-                        for l in chunk.len()..LANES {
-                            driven.set_lane(l, v0);
-                            drive_mask |= 1 << l;
-                        }
-                    }
-                    let merged = driven.select(sim.get_packed(net), drive_mask);
-                    sim.set_packed(net, merged);
-                }
-            }
-            sim.settle()?;
-            // Clock phase.
-            if !pulses.is_empty() {
-                sim.clock_cycle_multi(&pulses)?;
-            }
-            // Compare phase, per lane.
-            for (pi, &net) in nets.iter().enumerate() {
-                let packed = sim.get_packed(net);
-                for (l, p) in chunk.iter().enumerate() {
-                    if let Some(expected) = p.cycles[ci][pi].expect() {
-                        let report = &mut reports[base + l];
-                        report.compares += 1;
-                        let observed = packed.lane(l);
-                        if !observed.is_known() || observed != expected {
-                            report.mismatches.push((
-                                ci,
-                                first.pins[pi].clone(),
-                                PinState::from_expect(expected).to_char(),
-                                observed.to_char(),
-                            ));
-                        }
-                    }
-                }
-            }
-        }
-    }
-    Ok(reports)
+    let nets = resolve_pins(sim, &first.pins)?;
+    let chunks: Vec<&[&CyclePattern]> = patterns.chunks(LANES).collect();
+    let per_chunk = shard::run_fallible(threads, chunks.len(), |ci| {
+        let mut wsim = sim.clone();
+        wsim.reset_to_x();
+        play_chunk(&mut wsim, &nets, &first.pins, chunks[ci])
+    })?;
+    Ok(per_chunk.into_iter().flatten().collect())
 }
 
 #[cfg(test)]
@@ -521,8 +568,8 @@ mod tests {
             .collect();
         let patterns: Vec<CyclePattern> = data.iter().map(|d| flop_pattern(d)).collect();
         let refs: Vec<&CyclePattern> = patterns.iter().collect();
-        let mut sim = Simulator::new(&m).unwrap();
-        let batch = apply_cycle_patterns_batch(&mut sim, &refs).unwrap();
+        let sim = Simulator::new(&m).unwrap();
+        let batch = apply_cycle_patterns_batch(&sim, &refs).unwrap();
         assert_eq!(batch.len(), patterns.len());
         for (i, p) in patterns.iter().enumerate() {
             let mut scalar_sim = Simulator::new(&m).unwrap();
@@ -541,8 +588,8 @@ mod tests {
         // Corrupt the second pattern's expectation only.
         let mut bad = flop_pattern(&[One, Zero]);
         bad.cycles[1][2] = PinState::ExpectH;
-        let mut sim = Simulator::new(&m).unwrap();
-        let reports = apply_cycle_patterns_batch(&mut sim, &[&good, &bad]).unwrap();
+        let sim = Simulator::new(&m).unwrap();
+        let reports = apply_cycle_patterns_batch(&sim, &[&good, &bad]).unwrap();
         assert!(reports[0].passed(), "{}", reports[0]);
         assert!(!reports[1].passed());
         assert_eq!(reports[1].mismatches[0].1, "q");
@@ -551,12 +598,12 @@ mod tests {
     #[test]
     fn batch_player_validates_shape() {
         let m = flop_module();
-        let mut sim = Simulator::new(&m).unwrap();
+        let sim = Simulator::new(&m).unwrap();
         use Logic::{One, Zero};
         let a = flop_pattern(&[One]);
         let b = flop_pattern(&[One, Zero]);
         assert!(matches!(
-            apply_cycle_patterns_batch(&mut sim, &[&a, &b]),
+            apply_cycle_patterns_batch(&sim, &[&a, &b]),
             Err(PatternError::Shape {
                 context: "batch cycle count",
                 ..
@@ -566,7 +613,7 @@ mod tests {
         let mut c = flop_pattern(&[One]);
         c.cycles[0][1] = PinState::Drive0;
         assert!(matches!(
-            apply_cycle_patterns_batch(&mut sim, &[&a, &c]),
+            apply_cycle_patterns_batch(&sim, &[&a, &c]),
             Err(PatternError::Shape {
                 context: "batch pulse alignment",
                 ..
@@ -577,9 +624,55 @@ mod tests {
     #[test]
     fn batch_player_empty_is_ok() {
         let m = flop_module();
-        let mut sim = Simulator::new(&m).unwrap();
-        assert!(apply_cycle_patterns_batch(&mut sim, &[])
-            .unwrap()
-            .is_empty());
+        let sim = Simulator::new(&m).unwrap();
+        assert!(apply_cycle_patterns_batch(&sim, &[]).unwrap().is_empty());
+    }
+
+    /// Sharded playback returns the same reports, in the same order, at
+    /// every thread count (the merge-by-chunk-index contract), including
+    /// batches spanning several chunks.
+    #[test]
+    fn batch_player_is_thread_count_invariant() {
+        use Logic::{One, Zero};
+        let m = flop_module();
+        let patterns: Vec<CyclePattern> = (0..150u32)
+            .map(|i| {
+                let bits: Vec<Logic> = (0..4)
+                    .map(|k| if (i >> (k % 5)) & 1 == 1 { One } else { Zero })
+                    .collect();
+                let mut p = flop_pattern(&bits);
+                if i == 77 {
+                    // One deliberately failing pattern, to exercise the
+                    // mismatch merge too.
+                    p.cycles[2][2] = PinState::ExpectH;
+                    p.cycles[2][0] = PinState::Drive0;
+                }
+                p
+            })
+            .collect();
+        let refs: Vec<&CyclePattern> = patterns.iter().collect();
+        let sim = Simulator::new(&m).unwrap();
+        let baseline = apply_cycle_patterns_batch_with(&sim, &refs, Threads::single()).unwrap();
+        assert!(baseline.iter().any(|r| !r.passed()));
+        for t in 2..=8 {
+            let sharded = apply_cycle_patterns_batch_with(&sim, &refs, Threads::exact(t)).unwrap();
+            assert_eq!(sharded, baseline, "{t} threads");
+        }
+    }
+
+    #[test]
+    fn display_truncates_with_a_more_tail() {
+        let mut rep = MismatchReport::default();
+        for i in 0..14 {
+            rep.mismatches.push((i, "q".to_string(), 'H', 'L'));
+            rep.compares += 1;
+        }
+        let s = rep.to_string();
+        assert!(s.contains("cycle 9"), "{s}");
+        assert!(!s.contains("cycle 10:"), "{s}");
+        assert!(s.contains("(+4 more)"), "{s}");
+        // No tail when everything fits.
+        rep.mismatches.truncate(10);
+        assert!(!rep.to_string().contains("more"), "{rep}");
     }
 }

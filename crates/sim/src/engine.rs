@@ -1,38 +1,50 @@
 //! The simulation engine: a bit-parallel executor for compiled
 //! [`SimProgram`]s.
 //!
-//! [`Simulator::new`] levelizes the module once into a flat instruction
-//! stream ([`crate::program`]); every evaluation pass then runs that
-//! stream over a single buffer of [`PackedLogic`] words, advancing **64
-//! independent simulation lanes at once**. The original scalar API
-//! (`set`/`get`/`settle`/`force`, clock-edge capture, latches, async
-//! resets) is preserved: scalar writes broadcast to all lanes and scalar
-//! reads return lane 0, so existing callers see exactly the old 4-value
-//! semantics. Batch callers load distinct patterns per lane
-//! ([`Simulator::set_lanes`], [`Simulator::run_vectors`]) or inject
-//! per-lane faults ([`Simulator::force_lane`]) and read every lane back.
+//! The engine is the **execute** half of a compile-once/execute-many
+//! split: [`SimProgram::compile`] levelizes a module once into a flat
+//! instruction stream ([`crate::program`]) that also carries the port
+//! lookup tables, and any number of [`Simulator`] executors run that
+//! stream over private buffers of [`PackedLogic`] words, advancing **64
+//! independent simulation lanes at once**. A `Simulator` owns all of its
+//! state (the program is shared behind an [`Arc`]), so it is `Send` and
+//! can be handed to a worker thread — one executor per core is exactly
+//! how [`crate::shard`] fans passes out.
+//!
+//! The original scalar API (`set`/`get`/`settle`/`force`, clock-edge
+//! capture, latches, async resets) is preserved: scalar writes broadcast
+//! to all lanes and scalar reads return lane 0, so existing callers see
+//! exactly the old 4-value semantics. Batch callers load distinct
+//! patterns per lane ([`Simulator::set_lanes`],
+//! [`Simulator::run_vectors`]) or inject per-lane faults
+//! ([`Simulator::force_lane`]) and read every lane back.
 
 use crate::logic::Logic;
 use crate::packed::{PackedLogic, LANES};
 use crate::program::{Instr, SeqInstr, SimOp, SimProgram, NO_SLOT};
 use crate::SimError;
-use steac_netlist::{Module, NetId, PortDir};
+use std::sync::Arc;
+use steac_netlist::{Module, NetId};
 
 /// Iteration budget for latch/feedback fixpoints within one settle call.
 const MAX_SETTLE_ITERS: usize = 1024;
 
-/// Gate-level simulator over a flat [`Module`], executing a compiled
-/// [`SimProgram`] with [`LANES`] lanes per pass.
+/// Gate-level executor for a compiled [`SimProgram`], with [`LANES`]
+/// lanes per pass.
 ///
 /// Clocks are just nets: after every [`settle`](Simulator::settle) the
 /// engine compares each flop's clock-net lanes against the previous
 /// settled lanes and captures on rising edges, so gated clocks, divided
 /// clocks and ripple counters simulate correctly — independently per
 /// lane.
+///
+/// The executor owns its value buffers and shares the immutable program,
+/// so it is `Send + Sync`: clone it (or call
+/// [`Simulator::from_program`] with a cloned `Arc`) to run independent
+/// passes on several threads at once.
 #[derive(Debug, Clone)]
-pub struct Simulator<'m> {
-    module: &'m Module,
-    program: SimProgram,
+pub struct Simulator {
+    program: Arc<SimProgram>,
     /// Flat value buffer: net slots, then flop/latch state slots.
     buf: Vec<PackedLogic>,
     /// Per-net lane mask of forced lanes.
@@ -47,21 +59,29 @@ pub struct Simulator<'m> {
     observations: Vec<PackedLogic>,
 }
 
-impl<'m> Simulator<'m> {
+impl Simulator {
     /// Compiles and prepares a simulator for a flat module (no
     /// [`steac_netlist::CellContents::Inst`] cells; flatten hierarchical
-    /// designs first).
+    /// designs first). Convenience wrapper over [`SimProgram::compile`] +
+    /// [`Simulator::from_program`]; to run many executors over one
+    /// design, compile once and share the `Arc`.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Netlist`] if the module has multiple drivers or
     /// a combinational loop.
-    pub fn new(module: &'m Module) -> Result<Self, SimError> {
-        let program = SimProgram::compile(module)?;
+    pub fn new(module: &Module) -> Result<Self, SimError> {
+        Ok(Self::from_program(Arc::new(SimProgram::compile(module)?)))
+    }
+
+    /// Builds an executor over an already-compiled, shared program. This
+    /// is the multi-core entry point: every worker gets its own
+    /// `Simulator` (private buffers) over the same `Arc<SimProgram>`.
+    #[must_use]
+    pub fn from_program(program: Arc<SimProgram>) -> Self {
         let slots = program.slot_count;
         let nets = program.net_count;
-        Ok(Simulator {
-            module,
+        Simulator {
             program,
             buf: vec![PackedLogic::ALL_X; slots],
             force_mask: vec![0; nets],
@@ -70,18 +90,19 @@ impl<'m> Simulator<'m> {
             captures: 0,
             observing: false,
             observations: Vec::new(),
-        })
-    }
-
-    /// The module being simulated.
-    #[must_use]
-    pub fn module(&self) -> &Module {
-        self.module
+        }
     }
 
     /// The compiled program being executed.
     #[must_use]
     pub fn program(&self) -> &SimProgram {
+        &self.program
+    }
+
+    /// The shared handle to the compiled program (cheap to clone; hand it
+    /// to [`Simulator::from_program`] on another thread).
+    #[must_use]
+    pub fn program_arc(&self) -> &Arc<SimProgram> {
         &self.program
     }
 
@@ -92,9 +113,8 @@ impl<'m> Simulator<'m> {
     }
 
     fn lookup(&self, name: &str) -> Result<NetId, SimError> {
-        self.module
-            .port(name)
-            .map(|p| p.net)
+        self.program
+            .port_net(name)
             .ok_or_else(|| SimError::UnknownName {
                 name: name.to_string(),
             })
@@ -214,9 +234,10 @@ impl<'m> Simulator<'m> {
     /// Reads all output-port values on one lane, in port order.
     #[must_use]
     pub fn outputs_lane(&self, lane: usize) -> Vec<Logic> {
-        self.module
-            .ports_with_dir(PortDir::Output)
-            .map(|p| self.buf[p.net.index()].lane(lane))
+        self.program
+            .output_nets
+            .iter()
+            .map(|n| self.buf[n.index()].lane(lane))
             .collect()
     }
 
@@ -806,6 +827,43 @@ mod tests {
         for (i, expect) in lanes.iter().enumerate() {
             assert_eq!(sim.get_lane(q_net, i), *expect, "lane {i}");
         }
+    }
+
+    /// The whole sharding layer rests on this: an executor can move to a
+    /// worker thread and be shared by reference across them.
+    #[test]
+    fn simulator_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Simulator>();
+        assert_send_sync::<SimProgram>();
+    }
+
+    /// Executors built from one shared program are independent machines:
+    /// state in one never leaks into another, on any thread.
+    #[test]
+    fn shared_program_executors_are_independent() {
+        let mut b = NetlistBuilder::new("m");
+        let d = b.input("d");
+        let ck = b.input("ck");
+        let q = b.gate(GateKind::Dff, &[d, ck]);
+        b.output("q", q);
+        let m = b.finish().unwrap();
+        let program = Arc::new(SimProgram::compile(&m).unwrap());
+        let mut one = Simulator::from_program(Arc::clone(&program));
+        let other = std::thread::spawn({
+            let program = Arc::clone(&program);
+            move || {
+                let mut sim = Simulator::from_program(program);
+                sim.set_by_name("d", Logic::Zero).unwrap();
+                sim.clock_cycle_by_name("ck").unwrap();
+                sim.get_by_name("q").unwrap()
+            }
+        });
+        one.set_by_name("d", Logic::One).unwrap();
+        one.clock_cycle_by_name("ck").unwrap();
+        assert_eq!(one.get_by_name("q").unwrap(), Logic::One);
+        assert_eq!(other.join().unwrap(), Logic::Zero);
+        assert_eq!(one.program().name, "m");
     }
 
     #[test]

@@ -3,6 +3,13 @@
 //! lanes 1–63, each fault injected as a per-lane force
 //! ([`Simulator::force_lane`]).
 //!
+//! Passes are independent work units over the shared compiled program,
+//! so [`fault_coverage`] and [`grade_vectors`] fan them across cores
+//! through [`crate::shard`] — good machine + 63 faults per pass *per
+//! worker*, with per-pass fault dropping — and merge the per-pass
+//! verdicts in fault-list order, making the sharded reports bit-identical
+//! to a single-threaded run at every thread count.
+//!
 //! Used to check that generated DFT structures are themselves testable and
 //! to grade scan/functional pattern sets in the examples and benches. The
 //! memory-specific fault models (SAF/TF/CF/...) live in `steac-membist`;
@@ -11,8 +18,11 @@
 use crate::engine::Simulator;
 use crate::logic::Logic;
 use crate::packed::{PackedLogic, LANES};
+use crate::program::SimProgram;
+use crate::shard::{self, Threads};
 use crate::SimError;
 use std::fmt;
+use std::sync::Arc;
 use steac_netlist::{Module, NetId};
 
 /// Faults simulated per packed pass (lane 0 is the good machine).
@@ -130,47 +140,14 @@ fn detection_lanes(obs: PackedLogic) -> u64 {
     }
 }
 
-/// Packed (PPSFP-style) fault simulation over an arbitrary test driver.
-///
-/// Faults are processed in groups of [`FAULTS_PER_PASS`]: lane 0 runs the
-/// good machine, lanes 1–63 each run one faulty machine injected with a
-/// per-lane force. `run_test` drives the simulator through the complete
-/// test (set inputs, clock, scan, ...) using the ordinary scalar API —
-/// every scalar write broadcasts to all lanes — and marks its observation
-/// points with [`Simulator::observe`] / [`Simulator::observe_by_name`]
-/// (the scan and cycle-player drivers do this already). A fault is
-/// detected if any observed position differs from lane 0 where both
-/// values are known.
-///
-/// The simulator handed to `run_test` starts from the all-`X` reset state
-/// on every pass.
-///
-/// # Errors
-///
-/// Propagates errors from `run_test` and the engine.
-pub fn fault_coverage<F>(
-    m: &Module,
-    faults: &[Fault],
-    mut run_test: F,
-) -> Result<CoverageReport, SimError>
-where
-    F: FnMut(&mut Simulator<'_>) -> Result<(), SimError>,
-{
-    let mut sim = Simulator::new(m)?;
+/// Folds per-pass detection masks (one per [`FAULTS_PER_PASS`] chunk, in
+/// fault-list order) into a [`CoverageReport`]. Because the fold walks
+/// chunks in order, `undetected` keeps exactly the order a
+/// single-threaded pass-by-pass loop would produce.
+fn report_from_masks(faults: &[Fault], masks: &[u64]) -> CoverageReport {
     let mut detected = 0usize;
     let mut undetected = Vec::new();
-    for chunk in faults.chunks(FAULTS_PER_PASS) {
-        sim.clear_forces();
-        sim.reset_to_x();
-        sim.set_observing(true);
-        for (i, f) in chunk.iter().enumerate() {
-            sim.force_lane(f.net, i + 1, f.stuck.value());
-        }
-        run_test(&mut sim)?;
-        let mut mask = 0u64;
-        for obs in sim.take_observations() {
-            mask |= detection_lanes(obs);
-        }
+    for (chunk, &mask) in faults.chunks(FAULTS_PER_PASS).zip(masks) {
         for (i, &f) in chunk.iter().enumerate() {
             if mask >> (i + 1) & 1 != 0 {
                 detected += 1;
@@ -179,17 +156,86 @@ where
             }
         }
     }
-    Ok(CoverageReport {
+    CoverageReport {
         total: faults.len(),
         detected,
         undetected,
-    })
+    }
+}
+
+/// Packed (PPSFP-style) fault simulation over an arbitrary test driver,
+/// sharded across cores with the [`crate::shard`] default thread count
+/// ([`Threads::from_env`]).
+///
+/// Faults are processed in groups of [`FAULTS_PER_PASS`]: lane 0 runs the
+/// good machine, lanes 1–63 each run one faulty machine injected with a
+/// per-lane force. Every pass is one work unit executed on a
+/// worker-local [`Simulator`] over the shared compiled program.
+/// `run_test` drives a simulator through the complete test (set inputs,
+/// clock, scan, ...) using the ordinary scalar API — every scalar write
+/// broadcasts to all lanes — and marks its observation points with
+/// [`Simulator::observe`] / [`Simulator::observe_by_name`] (the scan and
+/// cycle-player drivers do this already); it may run concurrently on
+/// several workers, hence the `Fn + Sync` bound. A fault is detected if
+/// any observed position differs from lane 0 where both values are
+/// known.
+///
+/// The simulator handed to `run_test` starts from the all-`X` reset state
+/// on every pass.
+///
+/// # Errors
+///
+/// Propagates errors from `run_test` and the engine (the lowest-indexed
+/// failing pass wins, deterministically).
+pub fn fault_coverage<F>(
+    m: &Module,
+    faults: &[Fault],
+    run_test: F,
+) -> Result<CoverageReport, SimError>
+where
+    F: Fn(&mut Simulator) -> Result<(), SimError> + Sync,
+{
+    fault_coverage_with(m, faults, Threads::from_env(), run_test)
+}
+
+/// [`fault_coverage`] with an explicit worker count.
+///
+/// # Errors
+///
+/// Propagates errors from `run_test` and the engine.
+pub fn fault_coverage_with<F>(
+    m: &Module,
+    faults: &[Fault],
+    threads: Threads,
+    run_test: F,
+) -> Result<CoverageReport, SimError>
+where
+    F: Fn(&mut Simulator) -> Result<(), SimError> + Sync,
+{
+    let program = Arc::new(SimProgram::compile(m)?);
+    let chunks: Vec<&[Fault]> = faults.chunks(FAULTS_PER_PASS).collect();
+    let masks = shard::run_fallible(threads, chunks.len(), |ci| {
+        let mut sim = Simulator::from_program(Arc::clone(&program));
+        sim.set_observing(true);
+        for (i, f) in chunks[ci].iter().enumerate() {
+            sim.force_lane(f.net, i + 1, f.stuck.value());
+        }
+        run_test(&mut sim)?;
+        let mut mask = 0u64;
+        for obs in sim.take_observations() {
+            mask |= detection_lanes(obs);
+        }
+        Ok::<u64, SimError>(mask)
+    })?;
+    Ok(report_from_masks(faults, &masks))
 }
 
 /// Packed grading of a static vector set applied to `pins` (set inputs,
 /// settle, compare output ports — the classic combinational grading
-/// loop), with **fault dropping**: once every fault of the current pass
-/// is detected, the remaining vectors are skipped.
+/// loop), sharded across cores with the default thread count
+/// ([`Threads::from_env`]) and with **per-pass fault dropping**: once
+/// every fault of a pass is detected, that worker skips the remaining
+/// vectors and pulls the next pass.
 ///
 /// # Errors
 ///
@@ -200,6 +246,21 @@ pub fn grade_vectors(
     pins: &[NetId],
     vectors: &[Vec<Logic>],
 ) -> Result<CoverageReport, SimError> {
+    grade_vectors_with(m, faults, pins, vectors, Threads::from_env())
+}
+
+/// [`grade_vectors`] with an explicit worker count.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn grade_vectors_with(
+    m: &Module,
+    faults: &[Fault],
+    pins: &[NetId],
+    vectors: &[Vec<Logic>],
+    threads: Threads,
+) -> Result<CoverageReport, SimError> {
     for v in vectors {
         if v.len() != pins.len() {
             return Err(SimError::VectorLength {
@@ -208,16 +269,11 @@ pub fn grade_vectors(
             });
         }
     }
-    let out_nets: Vec<NetId> = m
-        .ports_with_dir(steac_netlist::PortDir::Output)
-        .map(|p| p.net)
-        .collect();
-    let mut sim = Simulator::new(m)?;
-    let mut detected = 0usize;
-    let mut undetected = Vec::new();
-    for chunk in faults.chunks(FAULTS_PER_PASS) {
-        sim.clear_forces();
-        sim.reset_to_x();
+    let program = Arc::new(SimProgram::compile(m)?);
+    let chunks: Vec<&[Fault]> = faults.chunks(FAULTS_PER_PASS).collect();
+    let masks = shard::run_fallible(threads, chunks.len(), |ci| {
+        let chunk = chunks[ci];
+        let mut sim = Simulator::from_program(Arc::clone(&program));
         for (i, f) in chunk.iter().enumerate() {
             sim.force_lane(f.net, i + 1, f.stuck.value());
         }
@@ -230,26 +286,16 @@ pub fn grade_vectors(
                 sim.set(pin, v);
             }
             sim.settle()?;
-            for &net in &out_nets {
+            for &net in &sim.program().output_nets {
                 mask |= detection_lanes(sim.get_packed(net));
             }
             if mask & want == want {
                 break; // every fault in this pass dropped
             }
         }
-        for (i, &f) in chunk.iter().enumerate() {
-            if mask >> (i + 1) & 1 != 0 {
-                detected += 1;
-            } else {
-                undetected.push(f);
-            }
-        }
-    }
-    Ok(CoverageReport {
-        total: faults.len(),
-        detected,
-        undetected,
-    })
+        Ok::<u64, SimError>(mask)
+    })?;
+    Ok(report_from_masks(faults, &masks))
 }
 
 /// Serial reference implementation: one full simulation per fault, as the
@@ -270,7 +316,7 @@ pub fn fault_coverage_serial<F>(
     mut run_test: F,
 ) -> Result<CoverageReport, SimError>
 where
-    F: FnMut(&mut Simulator<'_>) -> Result<Vec<Logic>, SimError>,
+    F: FnMut(&mut Simulator) -> Result<Vec<Logic>, SimError>,
 {
     let mut good_sim = Simulator::new(m)?;
     let good = run_test(&mut good_sim)?;
@@ -311,7 +357,7 @@ mod tests {
         b.finish().unwrap()
     }
 
-    fn exhaustive_and2_driver(sim: &mut Simulator<'_>) -> Result<(), SimError> {
+    fn exhaustive_and2_driver(sim: &mut Simulator) -> Result<(), SimError> {
         for (va, vb) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
             sim.set_by_name("a", Logic::from(va == 1))?;
             sim.set_by_name("b", Logic::from(vb == 1))?;
@@ -432,6 +478,44 @@ mod tests {
         let rep = grade_vectors(&m, &faults, &pins, &vectors[..1]).unwrap();
         assert!(rep.detected < rep.total);
         assert_eq!(rep.undetected.len(), rep.total - rep.detected);
+    }
+
+    /// Sharded grading is bit-identical (counts AND `undetected` order)
+    /// at every thread count — the merge-by-unit-index contract.
+    #[test]
+    fn sharded_grading_is_thread_count_invariant() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a");
+        let mut cur = a;
+        for i in 0..70 {
+            cur = if i % 3 == 0 {
+                b.gate(GateKind::Inv, &[cur])
+            } else {
+                b.gate(GateKind::Nand2, &[cur, a])
+            };
+        }
+        b.output("y", cur);
+        let m = b.finish().unwrap();
+        let faults = enumerate_faults(&m);
+        let pins = [m.port("a").unwrap().net];
+        let vectors = vec![vec![Logic::Zero], vec![Logic::One]];
+        let baseline = grade_vectors_with(&m, &faults, &pins, &vectors, Threads::single()).unwrap();
+        for t in 2..=8 {
+            let sharded =
+                grade_vectors_with(&m, &faults, &pins, &vectors, Threads::exact(t)).unwrap();
+            assert_eq!(sharded, baseline, "{t} threads");
+        }
+        let cov = fault_coverage_with(&m, &faults, Threads::exact(4), |sim| {
+            for v in [Logic::Zero, Logic::One] {
+                sim.set_by_name("a", v)?;
+                sim.settle()?;
+                sim.observe_by_name("y")?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(cov.detected, baseline.detected);
+        assert_eq!(cov.undetected, baseline.undetected);
     }
 
     #[test]

@@ -7,28 +7,41 @@
 //! (including gated and divided clocks), applies scan shift/capture
 //! sequences, and measures single-stuck-at fault coverage of pattern sets.
 //!
-//! # Compile-then-execute pipeline
+//! # Compile once, execute everywhere
 //!
-//! Simulation is a two-stage pipeline rather than a netlist interpreter:
+//! Simulation is a three-stage pipeline rather than a netlist
+//! interpreter:
 //!
 //! 1. **Compile** ([`program`]): the flat module is levelized once into a
 //!    [`program::SimProgram`] — a contiguous instruction stream (opcode +
 //!    input/output slot offsets) over a single flat value buffer, with
 //!    flip-flops and latches lowered to side tables whose state lives in
-//!    the same buffer.
-//! 2. **Execute** ([`engine`]): each pass runs the instruction stream over
-//!    [`packed::PackedLogic`] words — a two-plane packed representation
-//!    carrying **64 independent simulation lanes** whose word-parallel
-//!    AND/OR/XOR/NOT/MUX are lane-exact against the scalar [`Logic`]
-//!    algebra.
+//!    the same buffer, plus the port-name lookup tables. The program is
+//!    self-contained: executors never touch the [`steac_netlist::Module`]
+//!    again.
+//! 2. **Execute** ([`engine`]): a [`Simulator`] is an owned, `Send`
+//!    executor over a shared `Arc<SimProgram>`
+//!    ([`Simulator::from_program`]; [`Simulator::new`] is the
+//!    compile-and-wrap convenience). Each pass runs the instruction
+//!    stream over [`packed::PackedLogic`] words — a two-plane packed
+//!    representation carrying **64 independent simulation lanes** whose
+//!    word-parallel AND/OR/XOR/NOT/MUX are lane-exact against the scalar
+//!    [`Logic`] algebra.
+//! 3. **Shard** ([`shard`]): independent 64-lane passes (fault-grading
+//!    chunks, 64-pattern playback chunks, March walks) are *work units*
+//!    fanned across a `std::thread::scope` pool — one executor per
+//!    worker over the same program — and merged **by unit index**, so
+//!    results are bit-identical at every thread count
+//!    ([`shard::Threads`] auto-detects cores; `STEAC_THREADS`
+//!    overrides).
 //!
 //! The scalar API below is a lane-0/broadcast view of that kernel, so
 //! single-pattern callers are unchanged. Batch callers fill all 64 lanes
 //! with distinct patterns ([`Simulator::run_vectors`],
 //! [`Simulator::set_lanes`]) or run PPSFP fault simulation — lane 0 good
 //! machine, lanes 1–63 faulty machines via per-lane forces — through
-//! [`fault::fault_coverage`] and [`fault::grade_vectors`], with fault
-//! dropping.
+//! [`fault::fault_coverage`] and [`fault::grade_vectors`], which shard
+//! their passes across cores, with per-pass fault dropping.
 //!
 //! # Example
 //!
@@ -62,6 +75,7 @@ pub mod logic;
 pub mod packed;
 pub mod program;
 pub mod scan;
+pub mod shard;
 
 pub use engine::Simulator;
 pub use fault::{
@@ -72,6 +86,7 @@ pub use logic::Logic;
 pub use packed::{PackedLogic, LANES};
 pub use program::SimProgram;
 pub use scan::ScanPorts;
+pub use shard::Threads;
 
 use std::fmt;
 

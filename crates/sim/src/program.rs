@@ -17,9 +17,15 @@
 //! ```text
 //! [ net 0 .. net N-1 | flop states | latch states | flop prev-clocks ]
 //! ```
+//!
+//! The program also carries the module's port tables (name → net, plus
+//! the output-port net list), so an executor built from it never needs
+//! the [`Module`] again: compile once, hand the `Arc<SimProgram>` to as
+//! many [`Simulator`](crate::Simulator)s as there are cores.
 
 use crate::SimError;
-use steac_netlist::{combinational_order, CellContents, GateKind, Module};
+use std::collections::HashMap;
+use steac_netlist::{combinational_order, CellContents, GateKind, Module, NetId, PortDir};
 
 /// Sentinel for an absent operand slot (e.g. `rstn` on a plain `Dff`).
 pub const NO_SLOT: u32 = u32::MAX;
@@ -125,9 +131,27 @@ pub enum SeqInstr {
     Latch(u32),
 }
 
+/// A module port carried into the compiled program (name → net binding).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortInfo {
+    /// Port name.
+    pub name: String,
+    /// Bound net.
+    pub net: NetId,
+    /// Direction.
+    pub dir: PortDir,
+}
+
 /// A module compiled for bit-parallel execution.
+///
+/// Owns everything an executor needs — instruction stream, sequential
+/// side tables, and the port lookup tables — so it can be shared behind
+/// an [`Arc`](std::sync::Arc) by one [`Simulator`](crate::Simulator) per
+/// core without borrowing the source [`Module`].
 #[derive(Debug, Clone)]
 pub struct SimProgram {
+    /// Source module name (diagnostics).
+    pub name: String,
     /// Number of nets (the leading slots of the buffer).
     pub net_count: usize,
     /// Total buffer length (nets + flop states + latch states +
@@ -141,6 +165,12 @@ pub struct SimProgram {
     pub latches: Vec<LatchInstr>,
     /// Sequential elements in original cell order.
     pub seq_order: Vec<SeqInstr>,
+    /// Ports in module port order.
+    pub ports: Vec<PortInfo>,
+    /// Output-port nets in port order (the executor's observation set).
+    pub output_nets: Vec<NetId>,
+    /// Port-name index into `ports`.
+    port_index: HashMap<String, u32>,
 }
 
 impl SimProgram {
@@ -253,13 +283,37 @@ impl SimProgram {
             });
         }
 
+        let ports: Vec<PortInfo> = m
+            .ports
+            .iter()
+            .map(|p| PortInfo {
+                name: p.name.clone(),
+                net: p.net,
+                dir: p.dir,
+            })
+            .collect();
+        let output_nets = ports
+            .iter()
+            .filter(|p| p.dir == PortDir::Output)
+            .map(|p| p.net)
+            .collect();
+        let port_index = ports
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.name.clone(), i as u32))
+            .collect();
+
         Ok(SimProgram {
+            name: m.name.clone(),
             net_count,
             slot_count: next_slot as usize,
             comb,
             flops,
             latches,
             seq_order,
+            ports,
+            output_nets,
+            port_index,
         })
     }
 
@@ -267,6 +321,18 @@ impl SimProgram {
     #[must_use]
     pub fn instruction_count(&self) -> usize {
         self.comb.len()
+    }
+
+    /// Looks up a port by name.
+    #[must_use]
+    pub fn port(&self, name: &str) -> Option<&PortInfo> {
+        self.port_index.get(name).map(|&i| &self.ports[i as usize])
+    }
+
+    /// Looks up a port's net by name.
+    #[must_use]
+    pub fn port_net(&self, name: &str) -> Option<NetId> {
+        self.port(name).map(|p| p.net)
     }
 }
 

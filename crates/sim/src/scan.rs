@@ -54,7 +54,7 @@ impl ScanPorts {
 /// Returns [`SimError::UnknownName`] for bad port names or propagates
 /// simulation errors.
 pub fn shift(
-    sim: &mut Simulator<'_>,
+    sim: &mut Simulator,
     ports: &ScanPorts,
     bits: &[Vec<Logic>],
 ) -> Result<Vec<Vec<Logic>>, SimError> {
@@ -86,7 +86,7 @@ pub fn shift(
 /// # Errors
 ///
 /// Propagates name and stability errors.
-pub fn capture(sim: &mut Simulator<'_>, ports: &ScanPorts) -> Result<(), SimError> {
+pub fn capture(sim: &mut Simulator, ports: &ScanPorts) -> Result<(), SimError> {
     sim.set_by_name(&ports.se, Logic::Zero)?;
     sim.settle()?;
     sim.clock_cycle_by_name(&ports.clock)
@@ -109,7 +109,7 @@ pub fn capture(sim: &mut Simulator<'_>, ports: &ScanPorts) -> Result<(), SimErro
 ///
 /// Propagates name and stability errors.
 pub fn load_capture_unload(
-    sim: &mut Simulator<'_>,
+    sim: &mut Simulator,
     ports: &ScanPorts,
     stimulus: &[Vec<Logic>],
     next: Option<&[Vec<Logic>]>,

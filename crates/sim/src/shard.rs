@@ -1,0 +1,215 @@
+//! Multi-core fan-out of independent work units over `std::thread::scope`.
+//!
+//! Every batched workload in the platform — PPSFP fault grading, batched
+//! ATE playback, March fault simulation — decomposes into *work units*:
+//! independent 64-lane passes over an immutable compiled program. This
+//! module owns the one pool that fans those units across cores:
+//!
+//! * [`Threads`] picks the worker count (auto-detected, capped by the
+//!   `STEAC_THREADS` environment variable or an explicit override);
+//! * [`run_units`] / [`run_fallible`] execute `unit_count` closure calls
+//!   on a scoped worker pool, handing out unit indices from a shared
+//!   atomic counter (dynamic load balancing — passes that drop all their
+//!   faults early finish early) and merging results **by unit index**,
+//!   never by completion order, so sharded results are bit-identical to
+//!   a single-threaded run at every thread count.
+//!
+//! No dependencies beyond `std`: the pool is `std::thread::scope`, so
+//! borrowed inputs (fault lists, pattern sets, the shared
+//! [`SimProgram`](crate::SimProgram)) flow into workers without cloning.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker-count configuration for sharded execution.
+///
+/// The resolution order is: explicit [`Threads::exact`] >
+/// `STEAC_THREADS` environment variable > detected core count. The
+/// effective count is always at least 1, and pools additionally cap it
+/// at the number of work units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Threads(usize);
+
+impl Threads {
+    /// Exactly `n` workers (clamped to at least 1). Ignores the
+    /// environment — use this in scaling experiments that must control
+    /// the width.
+    #[must_use]
+    pub fn exact(n: usize) -> Self {
+        Threads(n.max(1))
+    }
+
+    /// One worker: sharded calls degenerate to the single-threaded loop.
+    #[must_use]
+    pub fn single() -> Self {
+        Threads(1)
+    }
+
+    /// The detected core count
+    /// ([`std::thread::available_parallelism`]), falling back to 1.
+    #[must_use]
+    pub fn auto() -> Self {
+        Threads(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// [`Threads::auto`], overridden by a positive integer in the
+    /// `STEAC_THREADS` environment variable — the deployment-level knob
+    /// (CI pins it to 1 and 4 to shake out nondeterministic merges).
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("STEAC_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+        {
+            Some(n) if n > 0 => Threads(n),
+            _ => Threads::auto(),
+        }
+    }
+
+    /// The configured worker count (≥ 1).
+    #[must_use]
+    pub fn get(self) -> usize {
+        self.0
+    }
+}
+
+impl Default for Threads {
+    fn default() -> Self {
+        Threads::from_env()
+    }
+}
+
+/// Runs `work(0..unit_count)` across a scoped worker pool and returns the
+/// results **in unit order** (index `i` of the result is `work(i)`,
+/// regardless of which worker ran it or when it finished).
+///
+/// Units are handed out from a shared atomic counter, so a unit that
+/// finishes early (fault dropping, short patterns) frees its worker for
+/// the next one. With one effective worker — or a single unit — the work
+/// runs inline on the calling thread, so scalar callers pay no spawn
+/// cost.
+///
+/// # Panics
+///
+/// Propagates a panic from any work unit.
+pub fn run_units<T, F>(threads: Threads, unit_count: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.get().min(unit_count);
+    if workers <= 1 {
+        return (0..unit_count).map(work).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(unit_count, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= unit_count {
+                            break;
+                        }
+                        produced.push((i, work(i)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("shard worker panicked") {
+                slots[i] = Some(value);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|v| v.expect("every unit ran exactly once"))
+        .collect()
+}
+
+/// [`run_units`] for fallible work: returns all results in unit order,
+/// or the error of the **lowest-indexed** failing unit (not the first
+/// one to fail in wall-clock time), keeping error reporting
+/// deterministic across thread counts.
+///
+/// Later units may still run after an earlier one has failed (workers
+/// drain the counter independently); work must therefore be safe to run
+/// regardless of other units' outcomes — which independent simulation
+/// passes are by construction.
+///
+/// # Errors
+///
+/// The error of the lowest-indexed failing unit.
+pub fn run_fallible<T, E, F>(threads: Threads, unit_count: usize, work: F) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    run_units(threads, unit_count, work).into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn threads_resolution_and_clamping() {
+        assert_eq!(Threads::exact(0).get(), 1);
+        assert_eq!(Threads::exact(7).get(), 7);
+        assert_eq!(Threads::single().get(), 1);
+        assert!(Threads::auto().get() >= 1);
+        assert!(Threads::from_env().get() >= 1);
+    }
+
+    #[test]
+    fn results_are_in_unit_order_at_every_width() {
+        let expected: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for t in 1..=8 {
+            let got = run_units(Threads::exact(t), 97, |i| i * i);
+            assert_eq!(got, expected, "{t} threads");
+        }
+    }
+
+    #[test]
+    fn every_unit_runs_exactly_once() {
+        let runs: Vec<AtomicU64> = (0..50).map(|_| AtomicU64::new(0)).collect();
+        run_units(Threads::exact(4), 50, |i| {
+            runs[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, r) in runs.iter().enumerate() {
+            assert_eq!(r.load(Ordering::Relaxed), 1, "unit {i}");
+        }
+    }
+
+    #[test]
+    fn fallible_reports_lowest_indexed_error() {
+        for t in 1..=8 {
+            let r: Result<Vec<usize>, usize> = run_fallible(Threads::exact(t), 64, |i| {
+                if i == 13 || i == 40 {
+                    Err(i)
+                } else {
+                    Ok(i)
+                }
+            });
+            assert_eq!(r.unwrap_err(), 13, "{t} threads");
+        }
+        let ok: Result<Vec<usize>, usize> = run_fallible(Threads::exact(3), 10, Ok);
+        assert_eq!(ok.unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_units_is_empty() {
+        let got: Vec<u8> = run_units(Threads::exact(4), 0, |_| unreachable!());
+        assert!(got.is_empty());
+    }
+}

@@ -273,7 +273,7 @@ mod tests {
         );
     }
 
-    fn setup(sim: &mut Simulator<'_>) {
+    fn setup(sim: &mut Simulator) {
         for p in [
             "tck",
             "test_mode",

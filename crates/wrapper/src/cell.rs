@@ -121,7 +121,7 @@ mod tests {
         assert_eq!(m.flop_count(), 1);
     }
 
-    fn cell_sim_setup(sim: &mut Simulator<'_>) {
+    fn cell_sim_setup(sim: &mut Simulator) {
         for pin in [
             "cfi",
             "cti",

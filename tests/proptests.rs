@@ -6,7 +6,7 @@ use steac_membist::faultsim::{fault_coverage, random_fault_list};
 use steac_membist::{MarchAlgorithm, SramConfig};
 use steac_netlist::{stitch_scan, GateKind, NetId, NetlistBuilder, StitchConfig};
 use steac_sched::{allocate_session, schedule_sessions, ChipConfig, TestTask};
-use steac_sim::{fault, Logic, PackedLogic, Simulator, LANES};
+use steac_sim::{fault, Logic, PackedLogic, Simulator, Threads, LANES};
 use steac_stil::{parse_stil, to_stil_string};
 use steac_wrapper::{balance_fixed, balance_soft};
 
@@ -388,5 +388,106 @@ proptest! {
         .unwrap();
         prop_assert_eq!(packed.detected, serial.detected);
         prop_assert_eq!(&packed.undetected, &serial.undetected);
+    }
+}
+
+// ---------- sharded / single-thread bit-exactness ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Sharded PPSFP grading is bit-exact against the single-threaded
+    /// packed loop — detected counts AND the order of `undetected` — for
+    /// random modules and full fault lists at every thread count 1..8.
+    #[test]
+    fn sharded_grading_bit_exact_at_every_thread_count(
+        seeds in prop::collection::vec((0u8..7, 0u8..32, 0u8..32, 0u8..32), 3..14),
+        stim in prop::collection::vec(0u8..2, 12..13),
+    ) {
+        let m = random_module(&seeds);
+        let pins: Vec<NetId> = (0..4)
+            .map(|i| m.port(&format!("in{i}")).unwrap().net)
+            .collect();
+        let vectors: Vec<Vec<Logic>> = (0..3)
+            .map(|k| (0..4).map(|i| lv(stim[k * 4 + i] % 2)).collect())
+            .collect();
+        let faults = fault::enumerate_faults(&m);
+        let baseline =
+            fault::grade_vectors_with(&m, &faults, &pins, &vectors, Threads::single()).unwrap();
+        for t in 2..=8 {
+            let sharded =
+                fault::grade_vectors_with(&m, &faults, &pins, &vectors, Threads::exact(t))
+                    .unwrap();
+            prop_assert_eq!(&sharded, &baseline, "{} threads", t);
+        }
+    }
+
+    /// Sharded batched playback produces byte-identical `MismatchReport`s
+    /// (compare counts, mismatch tuples, order) at every thread count
+    /// 1..8, including deliberately failing expectations.
+    #[test]
+    fn sharded_playback_bit_exact_at_every_thread_count(
+        seeds in prop::collection::vec((0u8..7, 0u8..32, 0u8..32, 0u8..32), 3..12),
+        data in prop::collection::vec(0u8..4, 130 * 4..130 * 4 + 1),
+    ) {
+        let m = random_module(&seeds);
+        // Three output ports out0..2 exist on every random module; build
+        // 130 patterns (3 chunks) driving in0..3, pulsing ck and
+        // expecting fixed values on out0 — some expectations fail, and
+        // the failure logs must merge identically at every width.
+        let pins: Vec<String> = (0..4)
+            .map(|i| format!("in{i}"))
+            .chain(std::iter::once("ck".to_string()))
+            .chain(std::iter::once("out0".to_string()))
+            .collect();
+        let patterns: Vec<steac_pattern::CyclePattern> = (0..130)
+            .map(|k| {
+                let mut p = steac_pattern::CyclePattern::new(pins.clone());
+                let mut row: Vec<steac_pattern::PinState> = (0..4)
+                    .map(|i| steac_pattern::PinState::from_drive(lv(data[k * 4 + i] % 2)))
+                    .collect();
+                row.push(steac_pattern::PinState::Pulse);
+                row.push(if data[k * 4] % 2 == 0 {
+                    steac_pattern::PinState::ExpectL
+                } else {
+                    steac_pattern::PinState::ExpectH
+                });
+                p.push_cycle(row).unwrap();
+                p
+            })
+            .collect();
+        let refs: Vec<&steac_pattern::CyclePattern> = patterns.iter().collect();
+        let sim = Simulator::new(&m).unwrap();
+        let baseline =
+            steac_pattern::apply_cycle_patterns_batch_with(&sim, &refs, Threads::single())
+                .unwrap();
+        for t in 2..=8 {
+            let sharded =
+                steac_pattern::apply_cycle_patterns_batch_with(&sim, &refs, Threads::exact(t))
+                    .unwrap();
+            prop_assert_eq!(&sharded, &baseline, "{} threads", t);
+        }
+    }
+
+    /// Sharded March fault grading matches the single-threaded walk —
+    /// coverage AND escape order — at every thread count 1..8.
+    #[test]
+    fn sharded_march_bit_exact_at_every_thread_count(
+        seed in 0u64..1000,
+        per_class in 8usize..24,
+    ) {
+        use rand::SeedableRng;
+        let cfg = SramConfig::single_port(32, 4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let faults =
+            steac_membist::faultsim::random_fault_list(&cfg, per_class, &mut rng);
+        let alg = MarchAlgorithm::mats_plus();
+        let baseline = steac_membist::faultsim::fault_coverage_with(
+            &alg, &cfg, &faults, Threads::single());
+        for t in 2..=8 {
+            let sharded = steac_membist::faultsim::fault_coverage_with(
+                &alg, &cfg, &faults, Threads::exact(t));
+            prop_assert_eq!(&sharded, &baseline, "{} threads", t);
+        }
     }
 }
