@@ -1,19 +1,26 @@
 //! Threads-vs-throughput scaling of the sharded simulation stack on the
 //! paper's two throughput-bound workloads: PPSFP fault grading of the
-//! JPEG core and batched ATE playback of its functional patterns.
+//! JPEG core and batched ATE playback of its functional patterns —
+//! plus the process-mode table: the same playback fanned across
+//! `steac-worker` **processes** at widths 1/2/4, driven by the paper's
+//! full 235,696-pattern JPEG functional set (override the pattern count
+//! with `STEAC_SCALING_PATTERNS` for quick runs).
 //!
-//! For each thread count the same work runs through the same sharded
-//! entry points ([`steac_sim::fault::grade_vectors_with`],
-//! [`steac_pattern::apply_cycle_patterns_batch_with`]); the binary
+//! For each width the same work runs through the same sharded entry
+//! points ([`steac_sim::fault::grade_vectors_with`],
+//! [`steac_pattern::apply_cycle_patterns_batch_with`],
+//! [`steac_pattern::apply_cycle_patterns_batch_with_pool`]); the binary
 //! asserts that coverage and mismatch reports are **bit-identical** at
-//! every width before printing the table — scaling must never change a
-//! verdict.
+//! every width before printing the tables — scaling must never change a
+//! verdict, in-process or across processes.
 
 use std::time::Instant;
 use steac_bench::{header, splitmix_vectors};
 use steac_dsc::{jpeg_core, jpeg_functional_patterns_with};
-use steac_pattern::{apply_cycle_patterns_batch_with, CyclePattern};
-use steac_sim::{enumerate_faults, fault, Simulator, Threads};
+use steac_pattern::{
+    apply_cycle_patterns_batch_with, apply_cycle_patterns_batch_with_pool, CyclePattern,
+};
+use steac_sim::{enumerate_faults, fault, shard, Simulator, Threads};
 
 const WIDTHS: [usize; 4] = [1, 2, 4, 8];
 
@@ -118,4 +125,62 @@ fn main() {
     let (_, reports) = play_base.expect("at least one width ran");
     let mismatches: usize = reports.iter().map(|r| r.mismatches.len()).sum();
     println!("mismatches at every width: {mismatches}");
+
+    // ---- process-mode table: the paper's full JPEG functional set ----
+
+    let full_count: usize = std::env::var("STEAC_SCALING_PATTERNS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(235_696);
+    println!(
+        "{}",
+        header("Process-mode scaling: JPEG ATE playback across steac-worker processes")
+    );
+    match shard::default_worker_binary() {
+        Some(bin) => println!("worker binary: {}", bin.display()),
+        None => println!(
+            "worker binary not found (build the root package first: `cargo build [--release]`); \
+             rows below fall back to the in-thread pool"
+        ),
+    }
+    println!(
+        "{full_count} two-cycle functional patterns (paper set: 235,696), {} passes",
+        full_count.div_ceil(64)
+    );
+    let (gen_secs, (_, full_patterns)) = time(|| {
+        jpeg_functional_patterns_with(full_count, Threads::auto()).expect("patterns build")
+    });
+    println!(
+        "generated at {:.0} patterns/s",
+        full_count as f64 / gen_secs.max(1e-12)
+    );
+    let full_refs: Vec<&CyclePattern> = full_patterns.iter().collect();
+    let (base_secs, baseline) = time(|| {
+        apply_cycle_patterns_batch_with(&sim, &full_refs, Threads::single()).expect("plays")
+    });
+    println!(
+        "{:>7} {:>10} {:<12} {:>9}",
+        "workers", "rate", "", "speedup"
+    );
+    print_row(1, base_secs, base_secs, full_count as f64, "patterns/s");
+    println!("        ^ in-thread single-threaded reference");
+    for workers in [1usize, 2, 4] {
+        let (secs, reports) = time(|| match shard::ProcessPool::new(workers) {
+            Some(pool) => {
+                apply_cycle_patterns_batch_with_pool(&sim, &full_refs, &pool).expect("plays")
+            }
+            None => apply_cycle_patterns_batch_with(&sim, &full_refs, Threads::from_env())
+                .expect("plays"),
+        });
+        assert_eq!(
+            reports, baseline,
+            "process-mode reports diverged at {workers} workers — dispatch changed a verdict"
+        );
+        print_row(workers, secs, base_secs, full_count as f64, "patterns/s");
+    }
+    let compares: u64 = baseline.iter().map(|r| r.compares).sum();
+    let mismatches: usize = baseline.iter().map(|r| r.mismatches.len()).sum();
+    println!(
+        "reports identical at every worker count: {compares} compares, {mismatches} mismatches"
+    );
 }

@@ -34,7 +34,7 @@ pub use stilgen::core_stil;
 pub use tasks::{dsc_chip_config, dsc_test_tasks, PAPER_NONSESSION_CYCLES, PAPER_SESSION_CYCLES};
 pub use verify::{
     jpeg_functional_patterns, jpeg_functional_patterns_with, jpeg_playback_batch,
-    jpeg_playback_batch_with, PlaybackReport,
+    jpeg_playback_batch_processes, jpeg_playback_batch_with, PlaybackReport,
 };
 
 #[cfg(test)]

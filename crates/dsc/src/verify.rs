@@ -129,14 +129,43 @@ fn jpeg_patterns_and_program(
 }
 
 /// Verifies `count` JPEG functional patterns with the batched cycle
-/// player (64 per pass, passes sharded with the default thread count)
-/// and aggregates the result.
+/// player (64 per pass) and aggregates the result.
+///
+/// Dispatch: with `STEAC_WORKERS` set to a positive integer, playback
+/// passes fan out across that many `steac-worker` **processes**
+/// ([`jpeg_playback_batch_processes`]); otherwise across the default
+/// in-thread pool. Reports are byte-identical either way.
 ///
 /// # Errors
 ///
 /// Propagates netlist, pattern and simulation errors.
 pub fn jpeg_playback_batch(count: usize) -> Result<PlaybackReport, PatternError> {
-    jpeg_playback_batch_with(count, Threads::from_env())
+    match shard::env_workers() {
+        Some(workers) => jpeg_playback_batch_processes(count, workers),
+        None => jpeg_playback_batch_with(count, Threads::from_env()),
+    }
+}
+
+/// [`jpeg_playback_batch`] with playback fanned across `workers`
+/// `steac-worker` processes (generation stays on the in-thread pool —
+/// its expected-response simulations feed directly into the patterns the
+/// playback units then ship over the wire). Falls back to in-thread
+/// playback when the worker binary cannot be found or spawned; the
+/// report's `threads` field records the requested process width.
+///
+/// # Errors
+///
+/// Propagates netlist, pattern and simulation errors; a failing worker
+/// surfaces as the lowest-indexed failing chunk's error.
+pub fn jpeg_playback_batch_processes(
+    count: usize,
+    workers: usize,
+) -> Result<PlaybackReport, PatternError> {
+    let (_module, program, patterns) = jpeg_patterns_and_program(count, Threads::from_env())?;
+    let refs: Vec<&CyclePattern> = patterns.iter().collect();
+    let sim = Simulator::from_program(program);
+    let reports = steac_pattern::apply_cycle_patterns_batch_processes(&sim, &refs, workers)?;
+    Ok(aggregate_report(&patterns, &reports, count, workers))
 }
 
 /// [`jpeg_playback_batch`] with an explicit worker count (generation and
@@ -153,15 +182,27 @@ pub fn jpeg_playback_batch_with(
     let refs: Vec<&CyclePattern> = patterns.iter().collect();
     let sim = Simulator::from_program(program);
     let reports = apply_cycle_patterns_batch_with(&sim, &refs, threads)?;
+    Ok(aggregate_report(&patterns, &reports, count, threads.get()))
+}
+
+/// Folds per-pattern reports into one [`PlaybackReport`] — shared by the
+/// thread and process flavours so the aggregation can never diverge;
+/// `width` is the requested fan-out (threads or worker processes).
+fn aggregate_report(
+    patterns: &[CyclePattern],
+    reports: &[steac_pattern::MismatchReport],
+    count: usize,
+    width: usize,
+) -> PlaybackReport {
     let passes = count.div_ceil(LANES);
-    Ok(PlaybackReport {
+    PlaybackReport {
         patterns: reports.len(),
         cycles: patterns.iter().map(CyclePattern::cycle_count).sum(),
         compares: reports.iter().map(|r| r.compares).sum(),
         mismatches: reports.iter().map(|r| r.mismatches.len()).sum(),
         passes,
-        threads: threads.get().min(passes.max(1)),
-    })
+        threads: width.min(passes.max(1)),
+    }
 }
 
 #[cfg(test)]

@@ -12,8 +12,11 @@
 //!
 //! Each 64-fault March walk is an independent work unit, so
 //! [`fault_coverage`] fans walks across cores through
-//! [`steac_sim::shard`] and merges the per-walk detection masks in
-//! fault-list order — reports are bit-identical at every thread count.
+//! [`steac_sim::shard`] — or, with `STEAC_WORKERS` set, across
+//! `steac-worker` processes ([`fault_coverage_processes`], walk
+//! descriptors serialized by [`crate::wire`]) — and merges the per-walk
+//! detection masks in fault-list order — reports are bit-identical at
+//! every thread and worker count.
 
 use crate::march::{Direction, MarchAlgorithm, MarchOp};
 use crate::memory::{MemFault, Sram, SramConfig};
@@ -58,6 +61,47 @@ pub fn run_march(alg: &MarchAlgorithm, mem: &mut Sram) -> bool {
         }
     }
     false
+}
+
+/// Non-panicking bounds check mirroring [`Sram::with_fault`]'s contract:
+/// `true` when every cell the fault references exists on `config` and
+/// address/cell pairs are distinct. The wire layer uses this to turn
+/// out-of-range faults in decoded work units into typed errors instead
+/// of panics.
+pub(crate) fn fault_fits(config: &SramConfig, fault: &MemFault) -> bool {
+    let cell_ok = |(a, b): (usize, usize)| -> bool { a < config.words && b < config.width };
+    match *fault {
+        MemFault::StuckAt { addr, bit, .. } | MemFault::Transition { addr, bit, .. } => {
+            cell_ok((addr, bit))
+        }
+        MemFault::CouplingInversion {
+            aggressor, victim, ..
+        }
+        | MemFault::CouplingIdempotent {
+            aggressor, victim, ..
+        }
+        | MemFault::CouplingState {
+            aggressor, victim, ..
+        } => cell_ok(aggressor) && cell_ok(victim) && aggressor != victim,
+        MemFault::AfNoAccess { addr } => addr < config.words,
+        MemFault::AfMultiAccess { addr, also } => {
+            addr < config.words && also < config.words && addr != also
+        }
+        MemFault::AfOtherAccess { addr, other } => {
+            addr < config.words && other < config.words && addr != other
+        }
+    }
+}
+
+/// One packed March walk over a (pre-validated) fault chunk — the pass
+/// body shared by the thread-sharded path and the `steac-worker` process
+/// (`crate::wire`). Returns the detected-lane mask.
+pub(crate) fn run_packed_march(
+    alg: &MarchAlgorithm,
+    config: &SramConfig,
+    chunk: &[MemFault],
+) -> u64 {
+    PackedFaultSim::new(*config, chunk).run_march(alg)
 }
 
 pub(crate) fn word_mask(config: &SramConfig) -> u64 {
@@ -152,37 +196,10 @@ impl PackedFaultSim {
     }
 
     fn validate(config: &SramConfig, fault: &MemFault) {
-        let cell_ok = |(a, b): (usize, usize)| {
-            assert!(
-                a < config.words && b < config.width,
-                "fault cell ({a},{b}) out of range for {config}"
-            );
-        };
-        match *fault {
-            MemFault::StuckAt { addr, bit, .. } | MemFault::Transition { addr, bit, .. } => {
-                cell_ok((addr, bit));
-            }
-            MemFault::CouplingInversion {
-                aggressor, victim, ..
-            }
-            | MemFault::CouplingIdempotent {
-                aggressor, victim, ..
-            }
-            | MemFault::CouplingState {
-                aggressor, victim, ..
-            } => {
-                cell_ok(aggressor);
-                cell_ok(victim);
-                assert!(aggressor != victim, "aggressor and victim must differ");
-            }
-            MemFault::AfNoAccess { addr } => assert!(addr < config.words),
-            MemFault::AfMultiAccess { addr, also } => {
-                assert!(addr < config.words && also < config.words && addr != also);
-            }
-            MemFault::AfOtherAccess { addr, other } => {
-                assert!(addr < config.words && other < config.words && addr != other);
-            }
-        }
+        assert!(
+            fault_fits(config, fault),
+            "fault {fault:?} out of range for {config}"
+        );
     }
 
     #[inline]
@@ -469,20 +486,29 @@ fn report_from_flags(
 
 /// Simulates every fault in `faults` (single-fault assumption) under
 /// `alg` and reports coverage. Packed: 64 faults per March walk, with
-/// fault dropping; walks are sharded across cores with the default
-/// thread count ([`Threads::from_env`]).
+/// fault dropping.
+///
+/// Dispatch: with `STEAC_WORKERS` set to a positive integer, walks fan
+/// out across that many `steac-worker` **processes**
+/// ([`fault_coverage_processes`]); otherwise across the default
+/// in-thread pool ([`Threads::from_env`]). Merging is by walk index
+/// either way, so the report is byte-identical in every flavour.
 #[must_use]
 pub fn fault_coverage(
     alg: &MarchAlgorithm,
     config: &SramConfig,
     faults: &[MemFault],
 ) -> MemCoverageReport {
-    fault_coverage_with(alg, config, faults, Threads::from_env())
+    match shard::env_workers() {
+        Some(workers) => fault_coverage_processes(alg, config, faults, workers),
+        None => fault_coverage_with(alg, config, faults, Threads::from_env()),
+    }
 }
 
-/// [`fault_coverage`] with an explicit worker count. Every March walk
-/// (one [`FAULTS_PER_PASS`] chunk) is one work unit; per-walk detection
-/// masks are merged in fault-list order, so the report is identical at
+/// [`fault_coverage`] with an explicit in-thread worker count. Every
+/// March walk (one [`FAULTS_PER_PASS`] chunk) is one work unit; per-walk
+/// detection masks are merged in fault-list order through the shared
+/// [`shard::grade_in_passes`] partition, so the report is identical at
 /// every thread count.
 #[must_use]
 pub fn fault_coverage_with(
@@ -491,17 +517,60 @@ pub fn fault_coverage_with(
     faults: &[MemFault],
     threads: Threads,
 ) -> MemCoverageReport {
-    let chunks: Vec<&[MemFault]> = faults.chunks(FAULTS_PER_PASS).collect();
-    let masks = shard::run_units(threads, chunks.len(), |ci| {
-        PackedFaultSim::new(*config, chunks[ci]).run_march(alg)
-    });
-    let mut flags = Vec::with_capacity(faults.len());
-    for (chunk, detected) in chunks.iter().zip(masks) {
-        for lane in 0..chunk.len() {
-            flags.push(detected >> lane & 1 == 1);
+    let flags = shard::grade_in_passes::<_, std::convert::Infallible, _>(
+        threads,
+        faults,
+        FAULTS_PER_PASS,
+        0,
+        |_, chunk| Ok(run_packed_march(alg, config, chunk)),
+    )
+    .unwrap_or_else(|e| match e {});
+    report_from_flags(alg, config, faults, &flags)
+}
+
+/// [`fault_coverage`] fanned across `workers` `steac-worker` processes
+/// over [`crate::wire`]-serialized walk descriptors. This API is
+/// infallible, so *any* process-level failure — missing binary, spawn
+/// failure, a worker dying — falls back to the in-thread pool, which
+/// computes the identical report (the differential tests pin this).
+#[must_use]
+pub fn fault_coverage_processes(
+    alg: &MarchAlgorithm,
+    config: &SramConfig,
+    faults: &[MemFault],
+    workers: usize,
+) -> MemCoverageReport {
+    match shard::ProcessPool::new(workers) {
+        Some(pool) => fault_coverage_with_pool(alg, config, faults, &pool),
+        None => fault_coverage_with(alg, config, faults, Threads::from_env()),
+    }
+}
+
+/// [`fault_coverage_processes`] over an explicit [`shard::ProcessPool`]
+/// (tests and scaling harnesses pin the binary and width through this).
+#[must_use]
+pub fn fault_coverage_with_pool(
+    alg: &MarchAlgorithm,
+    config: &SramConfig,
+    faults: &[MemFault],
+    pool: &shard::ProcessPool,
+) -> MemCoverageReport {
+    let job = crate::wire::encode_march_job(alg, config);
+    let units: Vec<Vec<u8>> = faults
+        .chunks(FAULTS_PER_PASS)
+        .map(crate::wire::encode_fault_unit)
+        .collect();
+    if let Ok(results) = pool.run(crate::wire::WIRE_KIND, &job, &units) {
+        let masks: Option<Vec<u64>> = results
+            .iter()
+            .map(|bytes| bytes.as_slice().try_into().map(u64::from_le_bytes).ok())
+            .collect();
+        if let Some(masks) = masks {
+            let flags = shard::flags_from_masks(faults.len(), FAULTS_PER_PASS, 0, &masks);
+            return report_from_flags(alg, config, faults, &flags);
         }
     }
-    report_from_flags(alg, config, faults, &flags)
+    fault_coverage_with(alg, config, faults, Threads::from_env())
 }
 
 /// Serial reference implementation: one full March walk per fault, as

@@ -52,6 +52,7 @@ pub mod memory;
 pub mod sequencer;
 pub mod shell;
 pub mod tpg;
+pub mod wire;
 
 pub use background::{
     background_coverage, run_march_with_backgrounds, standard_backgrounds, DataBackground,

@@ -2,14 +2,19 @@
 //!
 //! The batch player treats every 64-pattern chunk as an independent work
 //! unit over the shared compiled program, fanning chunks across cores
-//! through [`steac_sim::shard`] and merging the per-pattern
-//! [`MismatchReport`]s in pattern order — sharded playback is
-//! bit-identical to single-threaded playback at every thread count.
+//! through [`steac_sim::shard`] — or, with `STEAC_WORKERS` set, across
+//! `steac-worker` **processes** ([`apply_cycle_patterns_batch_processes`]):
+//! the compiled program, pin bindings and force state ship once per
+//! worker over the [`steac_sim::wire`] format, pattern chunks are the
+//! unit payloads, and the per-pattern [`MismatchReport`]s merge in
+//! pattern order either way — sharded playback is bit-identical to
+//! single-threaded playback at every thread and worker count.
 
 use crate::PatternError;
 use std::fmt;
+use std::sync::Arc;
 use steac_netlist::NetId;
-use steac_sim::{shard, Logic, Simulator, Threads};
+use steac_sim::{shard, wire, Logic, SimError, Simulator, Threads};
 
 /// Per-pin state in one tester cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -406,23 +411,26 @@ pub fn apply_cycle_patterns_batch(
     sim: &Simulator,
     patterns: &[&CyclePattern],
 ) -> Result<Vec<MismatchReport>, PatternError> {
-    apply_cycle_patterns_batch_with(sim, patterns, Threads::from_env())
+    match shard::env_workers() {
+        Some(workers) => apply_cycle_patterns_batch_processes(sim, patterns, workers),
+        None => apply_cycle_patterns_batch_with(sim, patterns, Threads::from_env()),
+    }
 }
 
-/// [`apply_cycle_patterns_batch`] with an explicit worker count.
-///
-/// # Errors
-///
-/// As [`apply_cycle_patterns_batch`].
-pub fn apply_cycle_patterns_batch_with(
-    sim: &Simulator,
-    patterns: &[&CyclePattern],
-    threads: Threads,
-) -> Result<Vec<MismatchReport>, PatternError> {
+/// Checks the batch shares the shape that fixes the timing program —
+/// pin lists, cycle counts, row widths, per-chunk pulse alignment — and
+/// returns the reference pattern. Both dispatch flavours validate here,
+/// *before* any simulation, so a shape-invalid batch raises the same
+/// typed [`PatternError::Shape`] whether it would have played in-thread
+/// or shipped to worker processes (and the wire encoding can rely on
+/// uniform row widths).
+fn validate_batch<'a>(
+    patterns: &[&'a CyclePattern],
+) -> Result<Option<&'a CyclePattern>, PatternError> {
     use steac_sim::LANES;
 
-    let Some(first) = patterns.first() else {
-        return Ok(Vec::new());
+    let Some(&first) = patterns.first() else {
+        return Ok(None);
     };
     for p in patterns {
         if p.pins != first.pins {
@@ -439,7 +447,38 @@ pub fn apply_cycle_patterns_batch_with(
                 got: p.cycles.len(),
             });
         }
+        for row in &p.cycles {
+            if row.len() != p.pins.len() {
+                return Err(PatternError::Shape {
+                    context: "cycle row",
+                    expected: p.pins.len(),
+                    got: row.len(),
+                });
+            }
+        }
     }
+    for chunk in patterns.chunks(LANES) {
+        check_pulse_alignment(chunk)?;
+    }
+    Ok(Some(first))
+}
+
+/// [`apply_cycle_patterns_batch`] with an explicit in-thread worker
+/// count.
+///
+/// # Errors
+///
+/// As [`apply_cycle_patterns_batch`].
+pub fn apply_cycle_patterns_batch_with(
+    sim: &Simulator,
+    patterns: &[&CyclePattern],
+    threads: Threads,
+) -> Result<Vec<MismatchReport>, PatternError> {
+    use steac_sim::LANES;
+
+    let Some(first) = validate_batch(patterns)? else {
+        return Ok(Vec::new());
+    };
     let nets = resolve_pins(sim, &first.pins)?;
     let chunks: Vec<&[&CyclePattern]> = patterns.chunks(LANES).collect();
     let per_chunk = shard::run_fallible(threads, chunks.len(), |ci| {
@@ -448,6 +487,293 @@ pub fn apply_cycle_patterns_batch_with(
         play_chunk(&mut wsim, &nets, &first.pins, chunks[ci])
     })?;
     Ok(per_chunk.into_iter().flatten().collect())
+}
+
+// ---------- process-level dispatch ----------
+
+/// Work-unit kind the `steac-worker` binary routes to
+/// [`open_wire_job`]: one 64-pattern playback chunk.
+pub const WIRE_KIND: u16 = 2;
+
+/// Job block: compiled program, pin bindings (name + net) and the
+/// dispatcher simulator's force state (fault injection carries into
+/// every worker, matching the in-thread clone semantics).
+fn encode_playback_job(sim: &Simulator, pins: &[String], nets: &[NetId]) -> Vec<u8> {
+    let mut w = wire::WireWriter::new();
+    w.put_block(&wire::encode_program(sim.program()));
+    w.put_usize(pins.len());
+    for (pin, net) in pins.iter().zip(nets) {
+        w.put_str(pin);
+        w.put_u32(net.0);
+    }
+    let forces = sim.export_forces();
+    w.put_usize(forces.len());
+    for (net, mask, values) in forces {
+        w.put_u32(net.0);
+        w.put_u64(mask);
+        w.put_u64(values.ones);
+        w.put_u64(values.unknowns);
+    }
+    w.finish()
+}
+
+/// Unit payload: the cycle rows of up to [`steac_sim::LANES`] patterns
+/// (the pin list lives in the job; rows are STIL-style state characters).
+fn encode_pattern_chunk(chunk: &[&CyclePattern]) -> Vec<u8> {
+    let mut w = wire::WireWriter::new();
+    w.put_usize(chunk.len());
+    for p in chunk {
+        w.put_usize(p.cycles.len());
+        for row in &p.cycles {
+            for state in row {
+                w.put_u8(state.to_char() as u8);
+            }
+        }
+    }
+    w.finish()
+}
+
+fn encode_reports(reports: &[MismatchReport]) -> Vec<u8> {
+    let mut w = wire::WireWriter::new();
+    w.put_usize(reports.len());
+    for r in reports {
+        w.put_u64(r.compares);
+        w.put_usize(r.mismatches.len());
+        for (cycle, pin, expected, observed) in &r.mismatches {
+            w.put_usize(*cycle);
+            w.put_str(pin);
+            w.put_u8(*expected as u8);
+            w.put_u8(*observed as u8);
+        }
+    }
+    w.finish()
+}
+
+fn decode_reports(bytes: &[u8]) -> Result<Vec<MismatchReport>, wire::WireError> {
+    let mut r = wire::WireReader::new(bytes);
+    let count = r.get_count("report count", 16)?;
+    let mut reports = Vec::with_capacity(count);
+    for _ in 0..count {
+        let compares = r.get_u64("report compares")?;
+        let mism_count = r.get_count("mismatch count", 18)?;
+        let mut mismatches = Vec::with_capacity(mism_count);
+        for _ in 0..mism_count {
+            let cycle = r.get_usize("mismatch cycle")?;
+            let pin = r.get_str("mismatch pin")?;
+            let expected = char::from(r.get_u8("mismatch expected")?);
+            let observed = char::from(r.get_u8("mismatch observed")?);
+            mismatches.push((cycle, pin, expected, observed));
+        }
+        reports.push(MismatchReport {
+            mismatches,
+            compares,
+        });
+    }
+    r.finish()?;
+    Ok(reports)
+}
+
+/// Raises, at validation time, exactly the pulse-alignment error
+/// [`play_chunk`] would raise mid-play — scanning cycles then pins,
+/// chunk by chunk — so both dispatch flavours reject misaligned batches
+/// with the same typed [`PatternError::Shape`] before any simulation
+/// runs. (Workers and the in-thread player still check, as defense in
+/// depth against bytes that bypassed validation.)
+fn check_pulse_alignment(chunk: &[&CyclePattern]) -> Result<(), PatternError> {
+    let cycles = chunk.first().map_or(0, |p| p.cycles.len());
+    let pins = chunk.first().map_or(0, |p| p.pins.len());
+    for ci in 0..cycles {
+        for pi in 0..pins {
+            let pulse_lanes = chunk
+                .iter()
+                .filter(|p| p.cycles[ci][pi] == PinState::Pulse)
+                .count();
+            if pulse_lanes != 0 && pulse_lanes != chunk.len() {
+                return Err(PatternError::Shape {
+                    context: "batch pulse alignment",
+                    expected: chunk.len(),
+                    got: pulse_lanes,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// An opened playback job inside a worker process.
+struct PlaybackJob {
+    sim: Simulator,
+    pins: Vec<String>,
+    nets: Vec<NetId>,
+}
+
+impl shard::WireJob for PlaybackJob {
+    fn run_unit(&mut self, unit: &[u8]) -> Result<Vec<u8>, String> {
+        use steac_sim::LANES;
+
+        let fail = |e: wire::WireError| format!("pattern unit: {e}");
+        let mut r = wire::WireReader::new(unit);
+        let count = r.get_count("pattern count", 8).map_err(fail)?;
+        if count > LANES {
+            return Err(format!(
+                "pattern unit has {count} patterns, a pass holds {LANES}"
+            ));
+        }
+        let mut patterns: Vec<CyclePattern> = Vec::with_capacity(count);
+        for _ in 0..count {
+            let cycles = r
+                .get_count("pattern cycles", self.pins.len())
+                .map_err(fail)?;
+            // play_chunk walks every pattern over the first one's
+            // timeline, so a ragged chunk would index out of bounds.
+            if let Some(first) = patterns.first() {
+                if cycles != first.cycles.len() {
+                    return Err(format!(
+                        "pattern unit is ragged: {cycles} cycles vs {} in pattern 0",
+                        first.cycles.len()
+                    ));
+                }
+            }
+            let mut rows = Vec::with_capacity(cycles);
+            for _ in 0..cycles {
+                let mut row = Vec::with_capacity(self.pins.len());
+                for _ in 0..self.pins.len() {
+                    let b = r.get_u8("pattern state").map_err(fail)?;
+                    let state = PinState::from_char(char::from(b))
+                        .ok_or_else(|| format!("invalid pattern state byte {b:#04x}"))?;
+                    row.push(state);
+                }
+                rows.push(row);
+            }
+            patterns.push(CyclePattern {
+                pins: self.pins.clone(),
+                cycles: rows,
+            });
+        }
+        r.finish().map_err(fail)?;
+        let refs: Vec<&CyclePattern> = patterns.iter().collect();
+        let mut wsim = self.sim.clone();
+        wsim.reset_to_x();
+        let reports =
+            play_chunk(&mut wsim, &self.nets, &self.pins, &refs).map_err(|e| e.to_string())?;
+        Ok(encode_reports(&reports))
+    }
+}
+
+/// Decodes a [`WIRE_KIND`] job block into the executable playback job —
+/// the `steac-worker` side of [`apply_cycle_patterns_batch_processes`].
+///
+/// # Errors
+///
+/// A diagnostic on corrupt job bytes.
+pub fn open_wire_job(job: &[u8]) -> Result<Box<dyn shard::WireJob>, String> {
+    let fail = |e: wire::WireError| format!("playback job: {e}");
+    let mut r = wire::WireReader::new(job);
+    let program = wire::decode_program(r.get_block("playback job program").map_err(fail)?)
+        .map_err(|e| format!("playback job program: {e}"))?;
+    let pin_count = r.get_count("playback job pins", 12).map_err(fail)?;
+    let mut pins = Vec::with_capacity(pin_count);
+    let mut nets = Vec::with_capacity(pin_count);
+    for _ in 0..pin_count {
+        pins.push(r.get_str("playback job pin name").map_err(fail)?);
+        let net = r.get_u32("playback job pin net").map_err(fail)?;
+        if net as usize >= program.net_count {
+            return Err(format!("playback job pin net {net} out of range"));
+        }
+        nets.push(NetId(net));
+    }
+    let force_count = r.get_count("playback job forces", 28).map_err(fail)?;
+    let mut forces = Vec::with_capacity(force_count);
+    for _ in 0..force_count {
+        let net = r.get_u32("playback job force net").map_err(fail)?;
+        if net as usize >= program.net_count {
+            return Err(format!("playback job force net {net} out of range"));
+        }
+        let mask = r.get_u64("playback job force mask").map_err(fail)?;
+        let ones = r.get_u64("playback job force ones").map_err(fail)?;
+        let unknowns = r.get_u64("playback job force unknowns").map_err(fail)?;
+        forces.push((NetId(net), mask, steac_sim::PackedLogic { ones, unknowns }));
+    }
+    r.finish().map_err(fail)?;
+    let mut sim = Simulator::from_program(Arc::new(program));
+    sim.import_forces(&forces);
+    Ok(Box::new(PlaybackJob { sim, pins, nets }))
+}
+
+/// [`apply_cycle_patterns_batch`] fanned across `workers` `steac-worker`
+/// processes. Falls back to the in-thread pool when the worker binary
+/// cannot be found or spawned.
+///
+/// # Errors
+///
+/// As [`apply_cycle_patterns_batch`]; a failing worker surfaces as
+/// [`SimError::Worker`] (wrapped in [`PatternError::Sim`]) on the
+/// lowest-indexed failing chunk.
+pub fn apply_cycle_patterns_batch_processes(
+    sim: &Simulator,
+    patterns: &[&CyclePattern],
+    workers: usize,
+) -> Result<Vec<MismatchReport>, PatternError> {
+    match shard::ProcessPool::new(workers) {
+        Some(pool) => apply_cycle_patterns_batch_with_pool(sim, patterns, &pool),
+        None => apply_cycle_patterns_batch_with(sim, patterns, Threads::from_env()),
+    }
+}
+
+/// [`apply_cycle_patterns_batch`] over an explicit
+/// [`shard::ProcessPool`]. Falls back to the in-thread pool only when
+/// spawning fails outright.
+///
+/// # Errors
+///
+/// As [`apply_cycle_patterns_batch_processes`].
+pub fn apply_cycle_patterns_batch_with_pool(
+    sim: &Simulator,
+    patterns: &[&CyclePattern],
+    pool: &shard::ProcessPool,
+) -> Result<Vec<MismatchReport>, PatternError> {
+    use steac_sim::LANES;
+
+    let Some(first) = validate_batch(patterns)? else {
+        return Ok(Vec::new());
+    };
+    let nets = resolve_pins(sim, &first.pins)?;
+    let job = encode_playback_job(sim, &first.pins, &nets);
+    let units: Vec<Vec<u8>> = patterns.chunks(LANES).map(encode_pattern_chunk).collect();
+    match pool.run(WIRE_KIND, &job, &units) {
+        Ok(results) => {
+            let mut reports = Vec::with_capacity(patterns.len());
+            for (unit, (bytes, chunk)) in results.iter().zip(patterns.chunks(LANES)).enumerate() {
+                let chunk_reports = decode_reports(bytes).map_err(|e| {
+                    PatternError::Sim(SimError::Worker {
+                        unit,
+                        diagnostic: format!("result: {e}"),
+                    })
+                })?;
+                // One report per pattern, positionally: a miscounted
+                // result would misattribute every later report, so it
+                // is rejected like any other malformed worker result.
+                if chunk_reports.len() != chunk.len() {
+                    return Err(PatternError::Sim(SimError::Worker {
+                        unit,
+                        diagnostic: format!(
+                            "result has {} reports for {} patterns",
+                            chunk_reports.len(),
+                            chunk.len()
+                        ),
+                    }));
+                }
+                reports.extend(chunk_reports);
+            }
+            Ok(reports)
+        }
+        Err(shard::PoolError::Spawn { .. }) => {
+            apply_cycle_patterns_batch_with(sim, patterns, Threads::from_env())
+        }
+        Err(shard::PoolError::Unit { unit, diagnostic }) => {
+            Err(PatternError::Sim(SimError::Worker { unit, diagnostic }))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -658,6 +984,42 @@ mod tests {
             let sharded = apply_cycle_patterns_batch_with(&sim, &refs, Threads::exact(t)).unwrap();
             assert_eq!(sharded, baseline, "{t} threads");
         }
+    }
+
+    /// A ragged unit (patterns with different cycle counts) must come
+    /// back as a typed unit error from the worker-side decoder, never a
+    /// panic — `play_chunk` walks every pattern over pattern 0's
+    /// timeline. Also pins the report wire codec round trip.
+    #[test]
+    fn worker_rejects_ragged_pattern_units() {
+        use Logic::{One, Zero};
+        let m = flop_module();
+        let sim = Simulator::new(&m).unwrap();
+        let one = flop_pattern(&[One]);
+        let two = flop_pattern(&[One, Zero]);
+        let nets = resolve_pins(&sim, &one.pins).unwrap();
+        let mut job = open_wire_job(&encode_playback_job(&sim, &one.pins, &nets)).unwrap();
+        // Hand-assemble a ragged unit: a 1-cycle pattern followed by a
+        // 2-cycle pattern (the dispatcher's validate_batch would reject
+        // this, so it can only arrive via corrupt or hostile bytes).
+        let mut w = wire::WireWriter::new();
+        w.put_usize(2);
+        for p in [&one, &two] {
+            w.put_usize(p.cycles.len());
+            for row in &p.cycles {
+                for state in row {
+                    w.put_u8(state.to_char() as u8);
+                }
+            }
+        }
+        let err = job.run_unit(&w.finish()).unwrap_err();
+        assert!(err.contains("ragged"), "{err}");
+        // A well-formed unit on the same job round-trips its reports.
+        let unit = encode_pattern_chunk(&[&two, &two]);
+        let reports = decode_reports(&job.run_unit(&unit).unwrap()).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(MismatchReport::passed));
+        assert_eq!(reports[0].compares, 2);
     }
 
     #[test]

@@ -215,6 +215,34 @@ impl Simulator {
         self.buf[net.index()] = cur;
     }
 
+    /// Snapshots every per-lane force as `(net, lane mask, values)`
+    /// triples — the state a remote executor needs to reproduce this
+    /// simulator's fault injection (values are meaningful on the masked
+    /// lanes only). Used by the process-dispatch paths to carry forces
+    /// across the wire.
+    #[must_use]
+    pub fn export_forces(&self) -> Vec<(NetId, u64, PackedLogic)> {
+        self.force_mask
+            .iter()
+            .enumerate()
+            .filter(|&(_, &mask)| mask != 0)
+            .map(|(i, &mask)| (NetId(i as u32), mask, self.force_val[i]))
+            .collect()
+    }
+
+    /// Applies force snapshots from [`export_forces`](Self::export_forces)
+    /// onto this executor, merging with any forces already present (the
+    /// imported lanes win) and taking effect immediately, like
+    /// [`force_lane`](Self::force_lane).
+    pub fn import_forces(&mut self, forces: &[(NetId, u64, PackedLogic)]) {
+        for &(net, mask, values) in forces {
+            let i = net.index();
+            self.force_mask[i] |= mask;
+            self.force_val[i] = values.select(self.force_val[i], mask);
+            self.buf[i] = values.select(self.buf[i], mask);
+        }
+    }
+
     /// Removes all forces from a net.
     pub fn unforce(&mut self, net: NetId) {
         self.force_mask[net.index()] = 0;

@@ -20,6 +20,7 @@ use crate::logic::Logic;
 use crate::packed::{PackedLogic, LANES};
 use crate::program::SimProgram;
 use crate::shard::{self, Threads};
+use crate::wire;
 use crate::SimError;
 use std::fmt;
 use std::sync::Arc;
@@ -140,20 +141,18 @@ fn detection_lanes(obs: PackedLogic) -> u64 {
     }
 }
 
-/// Folds per-pass detection masks (one per [`FAULTS_PER_PASS`] chunk, in
-/// fault-list order) into a [`CoverageReport`]. Because the fold walks
-/// chunks in order, `undetected` keeps exactly the order a
+/// Folds per-fault detection flags (in fault-list order, from
+/// [`shard::grade_in_passes`] or [`shard::flags_from_masks`]) into a
+/// [`CoverageReport`]; `undetected` keeps exactly the order a
 /// single-threaded pass-by-pass loop would produce.
-fn report_from_masks(faults: &[Fault], masks: &[u64]) -> CoverageReport {
+fn report_from_flags(faults: &[Fault], flags: &[bool]) -> CoverageReport {
     let mut detected = 0usize;
     let mut undetected = Vec::new();
-    for (chunk, &mask) in faults.chunks(FAULTS_PER_PASS).zip(masks) {
-        for (i, &f) in chunk.iter().enumerate() {
-            if mask >> (i + 1) & 1 != 0 {
-                detected += 1;
-            } else {
-                undetected.push(f);
-            }
+    for (&f, &hit) in faults.iter().zip(flags) {
+        if hit {
+            detected += 1;
+        } else {
+            undetected.push(f);
         }
     }
     CoverageReport {
@@ -213,11 +212,10 @@ where
     F: Fn(&mut Simulator) -> Result<(), SimError> + Sync,
 {
     let program = Arc::new(SimProgram::compile(m)?);
-    let chunks: Vec<&[Fault]> = faults.chunks(FAULTS_PER_PASS).collect();
-    let masks = shard::run_fallible(threads, chunks.len(), |ci| {
+    let flags = shard::grade_in_passes(threads, faults, FAULTS_PER_PASS, 1, |_, chunk| {
         let mut sim = Simulator::from_program(Arc::clone(&program));
         sim.set_observing(true);
-        for (i, f) in chunks[ci].iter().enumerate() {
+        for (i, f) in chunk.iter().enumerate() {
             sim.force_lane(f.net, i + 1, f.stuck.value());
         }
         run_test(&mut sim)?;
@@ -227,15 +225,20 @@ where
         }
         Ok::<u64, SimError>(mask)
     })?;
-    Ok(report_from_masks(faults, &masks))
+    Ok(report_from_flags(faults, &flags))
 }
 
 /// Packed grading of a static vector set applied to `pins` (set inputs,
 /// settle, compare output ports — the classic combinational grading
-/// loop), sharded across cores with the default thread count
-/// ([`Threads::from_env`]) and with **per-pass fault dropping**: once
-/// every fault of a pass is detected, that worker skips the remaining
-/// vectors and pulls the next pass.
+/// loop), with **per-pass fault dropping**: once every fault of a pass
+/// is detected, that worker skips the remaining vectors and pulls the
+/// next pass.
+///
+/// Dispatch: with `STEAC_WORKERS` set to a positive integer, passes fan
+/// out across that many `steac-worker` **processes**
+/// ([`grade_vectors_processes`]); otherwise across the default in-thread
+/// pool ([`Threads::from_env`]). Both merges are by pass index, so every
+/// flavour reports byte-identical results.
 ///
 /// # Errors
 ///
@@ -246,10 +249,57 @@ pub fn grade_vectors(
     pins: &[NetId],
     vectors: &[Vec<Logic>],
 ) -> Result<CoverageReport, SimError> {
-    grade_vectors_with(m, faults, pins, vectors, Threads::from_env())
+    match shard::env_workers() {
+        Some(workers) => grade_vectors_processes(m, faults, pins, vectors, workers),
+        None => grade_vectors_with(m, faults, pins, vectors, Threads::from_env()),
+    }
 }
 
-/// [`grade_vectors`] with an explicit worker count.
+fn validate_vectors(pins: &[NetId], vectors: &[Vec<Logic>]) -> Result<(), SimError> {
+    for v in vectors {
+        if v.len() != pins.len() {
+            return Err(SimError::VectorLength {
+                expected: pins.len(),
+                got: v.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// One grading pass over a fault chunk — the exact code both the
+/// in-thread pool and the `steac-worker` process execute, so dispatch
+/// flavour can never change a verdict.
+fn grade_chunk(
+    program: &Arc<SimProgram>,
+    pins: &[NetId],
+    vectors: &[Vec<Logic>],
+    chunk: &[Fault],
+) -> Result<u64, SimError> {
+    let mut sim = Simulator::from_program(Arc::clone(program));
+    for (i, f) in chunk.iter().enumerate() {
+        sim.force_lane(f.net, i + 1, f.stuck.value());
+    }
+    // Lane mask with one bit per in-flight fault (≤ 63 of them, so
+    // the shift cannot overflow).
+    let want = ((1u64 << chunk.len()) - 1) << 1;
+    let mut mask = 0u64;
+    for vector in vectors {
+        for (&pin, &v) in pins.iter().zip(vector) {
+            sim.set(pin, v);
+        }
+        sim.settle()?;
+        for &net in &sim.program().output_nets {
+            mask |= detection_lanes(sim.get_packed(net));
+        }
+        if mask & want == want {
+            break; // every fault in this pass dropped
+        }
+    }
+    Ok(mask)
+}
+
+/// [`grade_vectors`] with an explicit in-thread worker count.
 ///
 /// # Errors
 ///
@@ -261,41 +311,180 @@ pub fn grade_vectors_with(
     vectors: &[Vec<Logic>],
     threads: Threads,
 ) -> Result<CoverageReport, SimError> {
+    validate_vectors(pins, vectors)?;
+    let program = Arc::new(SimProgram::compile(m)?);
+    let flags = shard::grade_in_passes(threads, faults, FAULTS_PER_PASS, 1, |_, chunk| {
+        grade_chunk(&program, pins, vectors, chunk)
+    })?;
+    Ok(report_from_flags(faults, &flags))
+}
+
+// ---------- process-level dispatch ----------
+
+/// Work-unit kind the `steac-worker` binary routes to
+/// [`open_wire_job`]: vector grading of a fault chunk.
+pub const WIRE_KIND: u16 = 1;
+
+fn encode_grade_job(program: &SimProgram, pins: &[NetId], vectors: &[Vec<Logic>]) -> Vec<u8> {
+    let mut w = wire::WireWriter::new();
+    w.put_block(&wire::encode_program(program));
+    w.put_usize(pins.len());
+    for pin in pins {
+        w.put_u32(pin.0);
+    }
+    w.put_usize(vectors.len());
     for v in vectors {
-        if v.len() != pins.len() {
-            return Err(SimError::VectorLength {
-                expected: pins.len(),
-                got: v.len(),
-            });
+        w.put_usize(v.len());
+        for &value in v {
+            w.put_logic(value);
         }
     }
-    let program = Arc::new(SimProgram::compile(m)?);
-    let chunks: Vec<&[Fault]> = faults.chunks(FAULTS_PER_PASS).collect();
-    let masks = shard::run_fallible(threads, chunks.len(), |ci| {
-        let chunk = chunks[ci];
-        let mut sim = Simulator::from_program(Arc::clone(&program));
-        for (i, f) in chunk.iter().enumerate() {
-            sim.force_lane(f.net, i + 1, f.stuck.value());
+    w.finish()
+}
+
+/// An opened vector-grading job inside a worker process.
+struct GradeJob {
+    program: Arc<SimProgram>,
+    pins: Vec<NetId>,
+    vectors: Vec<Vec<Logic>>,
+}
+
+impl shard::WireJob for GradeJob {
+    fn run_unit(&mut self, unit: &[u8]) -> Result<Vec<u8>, String> {
+        let chunk = wire::decode_faults(unit).map_err(|e| format!("fault unit: {e}"))?;
+        if chunk.len() > FAULTS_PER_PASS {
+            return Err(format!(
+                "fault unit has {} faults, a pass holds at most {FAULTS_PER_PASS}",
+                chunk.len()
+            ));
         }
-        // Lane mask with one bit per in-flight fault (≤ 63 of them, so
-        // the shift cannot overflow).
-        let want = ((1u64 << chunk.len()) - 1) << 1;
-        let mut mask = 0u64;
-        for vector in vectors {
-            for (&pin, &v) in pins.iter().zip(vector) {
-                sim.set(pin, v);
-            }
-            sim.settle()?;
-            for &net in &sim.program().output_nets {
-                mask |= detection_lanes(sim.get_packed(net));
-            }
-            if mask & want == want {
-                break; // every fault in this pass dropped
+        for f in &chunk {
+            if f.net.index() >= self.program.net_count {
+                return Err(format!("fault net {} out of range", f.net));
             }
         }
-        Ok::<u64, SimError>(mask)
-    })?;
-    Ok(report_from_masks(faults, &masks))
+        let mask = grade_chunk(&self.program, &self.pins, &self.vectors, &chunk)
+            .map_err(|e| e.to_string())?;
+        Ok(mask.to_le_bytes().to_vec())
+    }
+}
+
+/// Decodes a [`WIRE_KIND`] job block (compiled program + pin list +
+/// vector set) into the executable job the worker loop drives — the
+/// `steac-worker` side of [`grade_vectors_processes`].
+///
+/// # Errors
+///
+/// A diagnostic on corrupt job bytes.
+pub fn open_wire_job(job: &[u8]) -> Result<Box<dyn shard::WireJob>, String> {
+    let mut r = wire::WireReader::new(job);
+    let program = wire::decode_program(
+        r.get_block("grade job program")
+            .map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| format!("grade job program: {e}"))?;
+    let fail = |e: wire::WireError| format!("grade job: {e}");
+    let pin_count = r.get_count("grade job pins", 4).map_err(fail)?;
+    let mut pins = Vec::with_capacity(pin_count);
+    for _ in 0..pin_count {
+        let net = r.get_u32("grade job pin").map_err(fail)?;
+        if net as usize >= program.net_count {
+            return Err(format!("grade job pin net {net} out of range"));
+        }
+        pins.push(NetId(net));
+    }
+    let vector_count = r.get_count("grade job vectors", 8).map_err(fail)?;
+    let mut vectors = Vec::with_capacity(vector_count);
+    for _ in 0..vector_count {
+        let len = r.get_count("grade job vector", 1).map_err(fail)?;
+        if len != pins.len() {
+            return Err(format!(
+                "grade job vector has {len} values, pin list has {}",
+                pins.len()
+            ));
+        }
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(r.get_logic("grade job vector value").map_err(fail)?);
+        }
+        vectors.push(v);
+    }
+    r.finish().map_err(fail)?;
+    Ok(Box::new(GradeJob {
+        program: Arc::new(program),
+        pins,
+        vectors,
+    }))
+}
+
+/// [`grade_vectors`] fanned across `workers` `steac-worker` processes.
+/// Falls back to the in-thread pool when the worker binary cannot be
+/// found or spawned (see [`shard::default_worker_binary`]).
+///
+/// # Errors
+///
+/// Propagates engine errors; a failing worker surfaces as
+/// [`SimError::Worker`] on the lowest-indexed failing pass.
+pub fn grade_vectors_processes(
+    m: &Module,
+    faults: &[Fault],
+    pins: &[NetId],
+    vectors: &[Vec<Logic>],
+    workers: usize,
+) -> Result<CoverageReport, SimError> {
+    match shard::ProcessPool::new(workers) {
+        Some(pool) => grade_vectors_with_pool(m, faults, pins, vectors, &pool),
+        None => grade_vectors_with(m, faults, pins, vectors, Threads::from_env()),
+    }
+}
+
+/// [`grade_vectors`] over an explicit [`shard::ProcessPool`] (the
+/// differential tests and the scaling harness pin the binary and width
+/// through this). Falls back to the in-thread pool only when spawning
+/// fails outright.
+///
+/// # Errors
+///
+/// Propagates engine errors; a failing worker surfaces as
+/// [`SimError::Worker`] on the lowest-indexed failing pass.
+pub fn grade_vectors_with_pool(
+    m: &Module,
+    faults: &[Fault],
+    pins: &[NetId],
+    vectors: &[Vec<Logic>],
+    pool: &shard::ProcessPool,
+) -> Result<CoverageReport, SimError> {
+    validate_vectors(pins, vectors)?;
+    let program = SimProgram::compile(m)?;
+    let job = encode_grade_job(&program, pins, vectors);
+    let units: Vec<Vec<u8>> = faults
+        .chunks(FAULTS_PER_PASS)
+        .map(wire::encode_faults)
+        .collect();
+    match pool.run(WIRE_KIND, &job, &units) {
+        Ok(results) => {
+            let mut masks = Vec::with_capacity(results.len());
+            for (unit, bytes) in results.iter().enumerate() {
+                let mask = bytes
+                    .as_slice()
+                    .try_into()
+                    .map(u64::from_le_bytes)
+                    .map_err(|_| SimError::Worker {
+                        unit,
+                        diagnostic: format!("result has {} bytes, expected 8", bytes.len()),
+                    })?;
+                masks.push(mask);
+            }
+            let flags = shard::flags_from_masks(faults.len(), FAULTS_PER_PASS, 1, &masks);
+            Ok(report_from_flags(faults, &flags))
+        }
+        Err(shard::PoolError::Spawn { .. }) => {
+            grade_vectors_with(m, faults, pins, vectors, Threads::from_env())
+        }
+        Err(shard::PoolError::Unit { unit, diagnostic }) => {
+            Err(SimError::Worker { unit, diagnostic })
+        }
+    }
 }
 
 /// Serial reference implementation: one full simulation per fault, as the

@@ -34,6 +34,15 @@
 //!    results are bit-identical at every thread count
 //!    ([`shard::Threads`] auto-detects cores; `STEAC_THREADS`
 //!    overrides).
+//! 4. **Distribute** ([`wire`] + [`shard::ProcessPool`]): the compiled
+//!    program and the work-unit descriptors serialize to a versioned,
+//!    dependency-free binary format, so the same passes fan out across
+//!    `steac-worker` **processes** (`STEAC_WORKERS` opts the default
+//!    entry points in; spawn failure falls back to threads). Results
+//!    still merge by unit index, and failures surface as the
+//!    lowest-indexed failing unit — the determinism contract survives
+//!    every dispatch flavour, which the differential test battery in
+//!    `tests/process_pool.rs` proves bit-for-bit.
 //!
 //! The scalar API below is a lane-0/broadcast view of that kernel, so
 //! single-pattern callers are unchanged. Batch callers fill all 64 lanes
@@ -76,6 +85,7 @@ pub mod packed;
 pub mod program;
 pub mod scan;
 pub mod shard;
+pub mod wire;
 
 pub use engine::Simulator;
 pub use fault::{
@@ -86,7 +96,8 @@ pub use logic::Logic;
 pub use packed::{PackedLogic, LANES};
 pub use program::SimProgram;
 pub use scan::ScanPorts;
-pub use shard::Threads;
+pub use shard::{ProcessPool, Threads};
+pub use wire::WireError;
 
 use std::fmt;
 
@@ -113,6 +124,15 @@ pub enum SimError {
         /// Supplied number.
         got: usize,
     },
+    /// A process-pool work unit failed (the worker reported an error,
+    /// died, or returned malformed results). Deterministic: always the
+    /// lowest-indexed failing unit.
+    Worker {
+        /// Lowest-indexed failing unit.
+        unit: usize,
+        /// Worker- or dispatcher-provided diagnostic.
+        diagnostic: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -125,6 +145,9 @@ impl fmt::Display for SimError {
             SimError::Netlist(e) => write!(f, "netlist error: {e}"),
             SimError::VectorLength { expected, got } => {
                 write!(f, "vector has {got} characters, pin list has {expected}")
+            }
+            SimError::Worker { unit, diagnostic } => {
+                write!(f, "work unit {unit} failed in worker process: {diagnostic}")
             }
         }
     }

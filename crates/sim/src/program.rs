@@ -148,7 +148,7 @@ pub struct PortInfo {
 /// side tables, and the port lookup tables — so it can be shared behind
 /// an [`Arc`](std::sync::Arc) by one [`Simulator`](crate::Simulator) per
 /// core without borrowing the source [`Module`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimProgram {
     /// Source module name (diagnostics).
     pub name: String,
@@ -315,6 +315,39 @@ impl SimProgram {
             output_nets,
             port_index,
         })
+    }
+
+    /// Reassembles a program from decoded parts (the wire decoder's
+    /// constructor), rebuilding the port-name index.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        name: String,
+        net_count: usize,
+        slot_count: usize,
+        comb: Vec<Instr>,
+        flops: Vec<FlopInstr>,
+        latches: Vec<LatchInstr>,
+        seq_order: Vec<SeqInstr>,
+        ports: Vec<PortInfo>,
+        output_nets: Vec<NetId>,
+    ) -> Self {
+        let port_index = ports
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.name.clone(), i as u32))
+            .collect();
+        SimProgram {
+            name,
+            net_count,
+            slot_count,
+            comb,
+            flops,
+            latches,
+            seq_order,
+            ports,
+            output_nets,
+            port_index,
+        }
     }
 
     /// Number of combinational instructions.

@@ -1,23 +1,62 @@
-//! Multi-core fan-out of independent work units over `std::thread::scope`.
+//! Multi-core and multi-process fan-out of independent work units.
 //!
 //! Every batched workload in the platform — PPSFP fault grading, batched
 //! ATE playback, March fault simulation — decomposes into *work units*:
 //! independent 64-lane passes over an immutable compiled program. This
-//! module owns the one pool that fans those units across cores:
+//! module owns the pools that fan those units out:
 //!
-//! * [`Threads`] picks the worker count (auto-detected, capped by the
-//!   `STEAC_THREADS` environment variable or an explicit override);
+//! * [`Threads`] picks the in-process worker count (auto-detected,
+//!   capped by the `STEAC_THREADS` environment variable or an explicit
+//!   override);
 //! * [`run_units`] / [`run_fallible`] execute `unit_count` closure calls
 //!   on a scoped worker pool, handing out unit indices from a shared
 //!   atomic counter (dynamic load balancing — passes that drop all their
 //!   faults early finish early) and merging results **by unit index**,
 //!   never by completion order, so sharded results are bit-identical to
-//!   a single-threaded run at every thread count.
+//!   a single-threaded run at every thread count;
+//! * [`grade_in_passes`] is the shared good+63 pass-partitioning helper:
+//!   it chunks an item list into packed passes, runs each pass to a
+//!   detection mask, and flattens the masks back to per-item verdicts in
+//!   list order — the one place the partition/merge contract lives for
+//!   both gate-level and March fault grading, thread- or process-wide;
+//! * [`ProcessPool`] fans serialized work units across **worker
+//!   processes** (the `steac-worker` binary), the next rung after
+//!   threads: the job (a [`crate::wire`]-encoded program plus workload
+//!   parameters) ships once per worker, units are assigned round-robin
+//!   by index, and results merge by unit index with the exact same
+//!   determinism contract as [`run_units`]. The `STEAC_WORKERS`
+//!   environment variable opts the default workload entry points into
+//!   process mode; when the worker binary cannot be spawned at all,
+//!   callers fall back to the in-thread pool.
 //!
-//! No dependencies beyond `std`: the pool is `std::thread::scope`, so
-//! borrowed inputs (fault lists, pattern sets, the shared
-//! [`SimProgram`](crate::SimProgram)) flow into workers without cloning.
+//! # Worker protocol
+//!
+//! One request per worker process over stdin, one response over stdout,
+//! everything little-endian via [`crate::wire`] primitives:
+//!
+//! ```text
+//! request:  magic b"STWQ", version u16, kind u16, job block,
+//!           unit count u64, then per unit: index u64, unit block
+//! response: magic b"STWR", version u16,
+//!           then per unit: index u64, status u8 (0 = ok, 1 = error),
+//!           payload block (result bytes, or a UTF-8 diagnostic)
+//! ```
+//!
+//! The worker ([`serve_worker`]) opens the job once (`kind` selects the
+//! workload; the job block carries the compiled program and shared
+//! parameters), executes its units in order, and exits 0. Protocol
+//! errors — truncated or version-mismatched requests — make it exit
+//! nonzero with a diagnostic on stderr; the dispatcher surfaces any
+//! worker failure as the **lowest-indexed** affected unit's error, so
+//! failure reporting is as deterministic as success merging.
+//!
+//! No dependencies beyond `std`: the thread pool is
+//! `std::thread::scope`, the process pool is `std::process::Command`.
 
+use crate::wire::{WireReader, WireWriter};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Worker-count configuration for sharded execution.
@@ -155,6 +194,444 @@ where
     F: Fn(usize) -> Result<T, E> + Sync,
 {
     run_units(threads, unit_count, work).into_iter().collect()
+}
+
+/// Flattens per-pass detection masks (one mask per `per_pass` chunk of
+/// the item list, in list order) into one `bool` per item. `first_lane`
+/// is the lane carrying a pass's first item — 1 when lane 0 runs the
+/// good machine (gate-level PPSFP), 0 when every lane carries an item
+/// (March walks).
+///
+/// Because the flattening walks chunks in order, downstream reports keep
+/// exactly the order a single-threaded pass-by-pass loop would produce,
+/// regardless of which thread or process computed each mask.
+#[must_use]
+pub fn flags_from_masks(
+    item_count: usize,
+    per_pass: usize,
+    first_lane: usize,
+    masks: &[u64],
+) -> Vec<bool> {
+    debug_assert!(per_pass + first_lane <= 64, "pass does not fit one word");
+    let mut flags = Vec::with_capacity(item_count);
+    'outer: for &mask in masks {
+        for lane in 0..per_pass {
+            if flags.len() == item_count {
+                break 'outer;
+            }
+            flags.push(mask >> (lane + first_lane) & 1 == 1);
+        }
+    }
+    flags
+}
+
+/// The shared good+63 partition/merge contract: chunks `items` into
+/// packed passes of `per_pass`, runs `run(pass_index, chunk)` for each on
+/// the in-thread pool, and flattens the per-pass detection masks into
+/// per-item flags in list order (see [`flags_from_masks`]).
+///
+/// Both gate-level fault grading ([`crate::fault`]) and March fault
+/// simulation (`steac-membist`) drive their thread-sharded paths through
+/// this helper, and merge their process-pool results through
+/// [`flags_from_masks`], so every dispatch flavour shares one
+/// partitioning implementation.
+///
+/// # Errors
+///
+/// The error of the lowest-indexed failing pass.
+pub fn grade_in_passes<T, E, F>(
+    threads: Threads,
+    items: &[T],
+    per_pass: usize,
+    first_lane: usize,
+    run: F,
+) -> Result<Vec<bool>, E>
+where
+    T: Sync,
+    E: Send,
+    F: Fn(usize, &[T]) -> Result<u64, E> + Sync,
+{
+    let chunks: Vec<&[T]> = items.chunks(per_pass).collect();
+    let masks = run_fallible(threads, chunks.len(), |ci| run(ci, chunks[ci]))?;
+    Ok(flags_from_masks(items.len(), per_pass, first_lane, &masks))
+}
+
+// ---------- process-level fan-out ----------
+
+const REQUEST_MAGIC: [u8; 4] = *b"STWQ";
+const RESPONSE_MAGIC: [u8; 4] = *b"STWR";
+
+/// Version of the worker request/response framing; bumped in lock step
+/// with [`crate::wire::WIRE_VERSION`] discipline (see that module's
+/// versioning rule).
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// One opened job inside a worker process: decoded shared state plus the
+/// per-unit execution step. Implementations live next to their workloads
+/// (`crate::fault`, `steac-pattern`, `steac-membist`); the `steac-worker`
+/// binary routes a request's `kind` to the right `open_wire_job`
+/// constructor.
+pub trait WireJob {
+    /// Executes one serialized work unit and returns the serialized
+    /// result.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable diagnostic; the dispatcher attaches it to this
+    /// unit's index.
+    fn run_unit(&mut self, unit: &[u8]) -> Result<Vec<u8>, String>;
+}
+
+/// The process-worker count requested via the `STEAC_WORKERS`
+/// environment variable (`None` unless set to a positive integer). The
+/// deployment-level knob that opts the default workload entry points
+/// into process dispatch; CI pins it to 2 for one full suite run.
+#[must_use]
+pub fn env_workers() -> Option<usize> {
+    std::env::var("STEAC_WORKERS")
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+}
+
+/// Locates the `steac-worker` binary: the `STEAC_WORKER_BIN` environment
+/// variable if it names an existing file, else a `steac-worker` sitting
+/// next to the current executable or one directory up (which covers
+/// `target/<profile>/` binaries and `target/<profile>/deps/` test
+/// executables). `None` means process dispatch is unavailable and
+/// callers fall back to the in-thread pool.
+#[must_use]
+pub fn default_worker_binary() -> Option<PathBuf> {
+    if let Ok(p) = std::env::var("STEAC_WORKER_BIN") {
+        let p = PathBuf::from(p);
+        return p.is_file().then_some(p);
+    }
+    let exe = std::env::current_exe().ok()?;
+    let dir = exe.parent()?;
+    let mut candidates = vec![dir.join("steac-worker")];
+    if let Some(parent) = dir.parent() {
+        candidates.push(parent.join("steac-worker"));
+    }
+    candidates.into_iter().find(|c| c.is_file())
+}
+
+/// Failure of a [`ProcessPool`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// A worker process could not be spawned at all (missing or broken
+    /// binary). Callers treat this as "process dispatch unavailable" and
+    /// fall back to the in-thread pool.
+    Spawn {
+        /// What failed.
+        diagnostic: String,
+    },
+    /// A work unit failed — the unit itself reported an error, or its
+    /// worker died/misbehaved. Deterministic: always the lowest-indexed
+    /// affected unit.
+    Unit {
+        /// Lowest-indexed failing unit.
+        unit: usize,
+        /// Worker-provided (or dispatcher-derived) diagnostic.
+        diagnostic: String,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::Spawn { diagnostic } => write!(f, "cannot spawn worker: {diagnostic}"),
+            PoolError::Unit { unit, diagnostic } => {
+                write!(f, "work unit {unit} failed: {diagnostic}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Dispatcher that fans serialized work units across `steac-worker`
+/// processes and merges the results **by unit index** — the process-level
+/// sibling of [`run_units`], with the same determinism contract: unit
+/// `i`'s result (or the lowest-indexed unit's error) is identical no
+/// matter how many workers ran or how they interleaved.
+///
+/// Units are assigned round-robin by index (worker `w` of `W` gets units
+/// `w, w+W, w+2W, …`), the job payload ships once per worker, and each
+/// worker streams its results back over stdout.
+#[derive(Debug, Clone)]
+pub struct ProcessPool {
+    binary: PathBuf,
+    workers: usize,
+}
+
+impl ProcessPool {
+    /// A pool over the default worker binary (see
+    /// [`default_worker_binary`]); `None` when no binary can be found —
+    /// callers fall back to the in-thread pool.
+    #[must_use]
+    pub fn new(workers: usize) -> Option<Self> {
+        Some(ProcessPool::with_binary(default_worker_binary()?, workers))
+    }
+
+    /// A pool over an explicit worker binary (clamped to ≥ 1 worker).
+    /// Scaling harnesses and tests use this to pin the binary and width.
+    #[must_use]
+    pub fn with_binary(binary: PathBuf, workers: usize) -> Self {
+        ProcessPool {
+            binary,
+            workers: workers.max(1),
+        }
+    }
+
+    /// Configured worker-process count (≥ 1; runs additionally cap it at
+    /// the unit count).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The worker binary this pool spawns.
+    #[must_use]
+    pub fn binary(&self) -> &Path {
+        &self.binary
+    }
+
+    /// Executes `units` under job `kind`/`job` across the worker
+    /// processes and returns the result payloads in unit order.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::Spawn`] when no worker process could be started
+    /// (callers fall back to threads), [`PoolError::Unit`] for the
+    /// lowest-indexed unit whose execution failed.
+    pub fn run(&self, kind: u16, job: &[u8], units: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, PoolError> {
+        if units.is_empty() {
+            return Ok(Vec::new());
+        }
+        let workers = self.workers.min(units.len());
+        let assignments: Vec<Vec<usize>> = (0..workers)
+            .map(|w| (w..units.len()).step_by(workers).collect())
+            .collect();
+
+        let mut children: Vec<Child> = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            match Command::new(&self.binary)
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped())
+                .spawn()
+            {
+                Ok(child) => children.push(child),
+                Err(e) => {
+                    for mut child in children {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                    }
+                    return Err(PoolError::Spawn {
+                        diagnostic: format!("{}: {e}", self.binary.display()),
+                    });
+                }
+            }
+        }
+
+        let mut feeds = Vec::with_capacity(workers);
+        for (child, assigned) in children.iter_mut().zip(&assignments) {
+            let stdin = child.stdin.take().expect("stdin was piped");
+            feeds.push((stdin, encode_request(kind, job, assigned, units)));
+        }
+        // Writers run on scoped threads so a worker blocked writing its
+        // response never deadlocks against us writing its request.
+        let outputs: Vec<std::io::Result<std::process::Output>> = std::thread::scope(|scope| {
+            let writers: Vec<_> = feeds
+                .into_iter()
+                .map(|(mut stdin, request)| {
+                    scope.spawn(move || {
+                        // A dead worker surfaces via its exit status;
+                        // the broken pipe here is expected then.
+                        let _ = stdin.write_all(&request);
+                    })
+                })
+                .collect();
+            let outs = children.into_iter().map(Child::wait_with_output).collect();
+            for w in writers {
+                let _ = w.join();
+            }
+            outs
+        });
+
+        let mut slots: Vec<Option<Vec<u8>>> = Vec::new();
+        slots.resize_with(units.len(), || None);
+        let mut failures: Vec<(usize, String)> = Vec::new();
+        for (w, (output, assigned)) in outputs.into_iter().zip(&assignments).enumerate() {
+            match output {
+                Err(e) => failures.push((assigned[0], format!("worker {w} I/O error: {e}"))),
+                Ok(output) => {
+                    let (items, parse_error) = parse_response(&output.stdout, units.len());
+                    for (idx, result) in items {
+                        match result {
+                            Ok(bytes) => slots[idx] = Some(bytes),
+                            Err(diagnostic) => failures.push((idx, diagnostic)),
+                        }
+                    }
+                    // Assigned units with neither a result nor a recorded
+                    // failure: the worker died or sent garbage. Attribute
+                    // its diagnostics to its first missing unit (one entry
+                    // is enough — any failure fails the whole run).
+                    if let Some(&idx) = assigned
+                        .iter()
+                        .find(|&&idx| slots[idx].is_none() && !failures.iter().any(|f| f.0 == idx))
+                    {
+                        let stderr = String::from_utf8_lossy(&output.stderr);
+                        let stderr = stderr.trim();
+                        let mut diagnostic = if output.status.success() {
+                            format!("worker {w} returned no result")
+                        } else {
+                            format!("worker {w} exited abnormally ({})", output.status)
+                        };
+                        if let Some(e) = parse_error {
+                            diagnostic = format!("{diagnostic}; response: {e}");
+                        }
+                        if !stderr.is_empty() {
+                            diagnostic = format!("{diagnostic}; stderr: {stderr}");
+                        }
+                        failures.push((idx, diagnostic));
+                    }
+                }
+            }
+        }
+        if let Some((unit, diagnostic)) = failures.into_iter().min_by_key(|f| f.0) {
+            return Err(PoolError::Unit { unit, diagnostic });
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("every unit has a result or a recorded failure"))
+            .collect())
+    }
+}
+
+fn encode_request(kind: u16, job: &[u8], unit_indices: &[usize], units: &[Vec<u8>]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_bytes(&REQUEST_MAGIC);
+    w.put_u16(PROTOCOL_VERSION);
+    w.put_u16(kind);
+    w.put_block(job);
+    w.put_usize(unit_indices.len());
+    for &idx in unit_indices {
+        w.put_usize(idx);
+        w.put_block(&units[idx]);
+    }
+    w.finish()
+}
+
+/// Parses one worker's response stream. Returns the per-unit results
+/// recovered so far plus an optional description of where parsing
+/// stopped (protocol damage after that point).
+#[allow(clippy::type_complexity)]
+fn parse_response(
+    bytes: &[u8],
+    unit_count: usize,
+) -> (Vec<(usize, Result<Vec<u8>, String>)>, Option<String>) {
+    let mut r = WireReader::new(bytes);
+    if let Err(e) = r
+        .expect_magic(&RESPONSE_MAGIC, "response magic")
+        .and_then(|()| r.expect_version(PROTOCOL_VERSION, "response version"))
+    {
+        return (Vec::new(), Some(e.to_string()));
+    }
+    let mut items = Vec::new();
+    while r.remaining() > 0 {
+        let record = (|| {
+            let idx = r.get_usize("result unit index")?;
+            let status = r.get_u8("result status")?;
+            let payload = r.get_block("result payload")?.to_vec();
+            Ok::<_, crate::wire::WireError>((idx, status, payload))
+        })();
+        match record {
+            Ok((idx, status, payload)) if idx < unit_count => {
+                let result = if status == 0 {
+                    Ok(payload)
+                } else {
+                    Err(String::from_utf8_lossy(&payload).into_owned())
+                };
+                items.push((idx, result));
+            }
+            Ok((idx, ..)) => return (items, Some(format!("unit index {idx} out of range"))),
+            Err(e) => return (items, Some(e.to_string())),
+        }
+    }
+    (items, None)
+}
+
+/// The worker half of the protocol: reads one request from `input`,
+/// opens the job via `open` (handed the request's `kind` and job block),
+/// executes every unit in order and writes the response to `output`.
+/// This is the entire main of the `steac-worker` binary.
+///
+/// A job that fails to open (unknown kind, corrupt job bytes) still
+/// produces a well-formed response — every unit reports the open
+/// diagnostic — so the dispatcher can attribute the failure to the
+/// lowest-indexed unit instead of guessing from a dead pipe.
+///
+/// # Errors
+///
+/// A diagnostic when the request itself is unreadable (truncated bytes,
+/// bad magic, version mismatch, I/O failure); the binary prints it to
+/// stderr and exits nonzero.
+pub fn serve_worker<R, W, F>(mut input: R, mut output: W, open: F) -> Result<(), String>
+where
+    R: std::io::Read,
+    W: std::io::Write,
+    F: FnOnce(u16, &[u8]) -> Result<Box<dyn WireJob>, String>,
+{
+    let mut data = Vec::new();
+    input
+        .read_to_end(&mut data)
+        .map_err(|e| format!("reading request: {e}"))?;
+    let mut r = WireReader::new(&data);
+    let protocol = (|| {
+        r.expect_magic(&REQUEST_MAGIC, "request magic")?;
+        r.expect_version(PROTOCOL_VERSION, "request version")?;
+        let kind = r.get_u16("job kind")?;
+        let job = r.get_block("job payload")?;
+        let count = r.get_usize("unit count")?;
+        Ok::<_, crate::wire::WireError>((kind, job, count))
+    })();
+    let (kind, job, count) = protocol.map_err(|e| e.to_string())?;
+    let mut handler = open(kind, job);
+
+    let mut w = WireWriter::new();
+    w.put_bytes(&RESPONSE_MAGIC);
+    w.put_u16(PROTOCOL_VERSION);
+    for _ in 0..count {
+        let unit = (|| {
+            let idx = r.get_usize("unit index")?;
+            let unit = r.get_block("unit payload")?;
+            Ok::<_, crate::wire::WireError>((idx, unit))
+        })();
+        let (idx, unit) = unit.map_err(|e| e.to_string())?;
+        let result = match &mut handler {
+            Ok(job) => job.run_unit(unit),
+            Err(e) => Err(e.clone()),
+        };
+        w.put_usize(idx);
+        match result {
+            Ok(bytes) => {
+                w.put_u8(0);
+                w.put_block(&bytes);
+            }
+            Err(diagnostic) => {
+                w.put_u8(1);
+                w.put_block(diagnostic.as_bytes());
+            }
+        }
+    }
+    r.finish().map_err(|e| e.to_string())?;
+    output
+        .write_all(&w.finish())
+        .and_then(|()| output.flush())
+        .map_err(|e| format!("writing response: {e}"))
 }
 
 #[cfg(test)]

@@ -1,0 +1,328 @@
+//! Differential and negative-path battery for process-level fan-out.
+//!
+//! The SAIBERSOC lesson: a distributed harness is only trustworthy if
+//! the fanned-out workloads produce *verifiably identical* results to
+//! the reference path. These tests pin the `steac-worker` binary Cargo
+//! built for this package and prove that process-pool fault grading,
+//! batched playback and March fault simulation are **byte-identical** —
+//! counts, escape lists, mismatch-log order — to single-threaded
+//! in-thread runs; and that every failure mode (missing binary, dying
+//! worker, corrupt bytes, wrong version) is typed, deterministic and
+//! panic-free.
+
+use std::path::PathBuf;
+use steac_membist::faultsim;
+use steac_membist::{MarchAlgorithm, SramConfig};
+use steac_netlist::{GateKind, NetlistBuilder};
+use steac_pattern::{
+    apply_cycle_patterns_batch_with, apply_cycle_patterns_batch_with_pool, CyclePattern, PinState,
+};
+use steac_sim::shard::{self, PoolError, ProcessPool};
+use steac_sim::{fault, Logic, SimError, Simulator, Threads};
+
+/// The worker binary built alongside this test suite.
+fn worker_binary() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_steac-worker"))
+}
+
+fn pool(workers: usize) -> ProcessPool {
+    ProcessPool::with_binary(worker_binary(), workers)
+}
+
+/// A ~70-gate module whose fault list spans several passes and whose
+/// two-vector test leaves escapes (so `undetected` order is exercised).
+fn mixed_module() -> steac_netlist::Module {
+    let mut b = NetlistBuilder::new("m");
+    let a = b.input("a");
+    let mut cur = a;
+    for i in 0..70 {
+        cur = if i % 3 == 0 {
+            b.gate(GateKind::Inv, &[cur])
+        } else {
+            b.gate(GateKind::Nand2, &[cur, a])
+        };
+    }
+    b.output("y", cur);
+    b.finish().unwrap()
+}
+
+// ---------- differential: byte-identical to in-thread ----------
+
+#[test]
+fn process_grading_matches_in_thread_at_every_worker_count() {
+    let m = mixed_module();
+    let faults = fault::enumerate_faults(&m);
+    let pins = [m.port("a").unwrap().net];
+    let vectors = vec![vec![Logic::Zero], vec![Logic::One]];
+    let baseline =
+        fault::grade_vectors_with(&m, &faults, &pins, &vectors, Threads::single()).unwrap();
+    assert!(baseline.detected < baseline.total, "need escapes to merge");
+    for workers in [1, 2, 3] {
+        let processed =
+            fault::grade_vectors_with_pool(&m, &faults, &pins, &vectors, &pool(workers)).unwrap();
+        assert_eq!(processed, baseline, "{workers} workers");
+    }
+}
+
+fn flop_pattern(bits: &[Logic]) -> CyclePattern {
+    let mut p = CyclePattern::new(vec!["d".to_string(), "ck".to_string(), "q".to_string()]);
+    for &bit in bits {
+        p.push_cycle(vec![
+            PinState::from_drive(bit),
+            PinState::Pulse,
+            PinState::from_expect(bit),
+        ])
+        .unwrap();
+    }
+    p
+}
+
+#[test]
+fn process_playback_matches_in_thread_including_mismatch_order() {
+    use Logic::{One, Zero};
+    let mut b = NetlistBuilder::new("m");
+    let d = b.input("d");
+    let ck = b.input("ck");
+    let q = b.gate(GateKind::Dff, &[d, ck]);
+    b.output("q", q);
+    let m = b.finish().unwrap();
+    let patterns: Vec<CyclePattern> = (0..150u32)
+        .map(|i| {
+            let bits: Vec<Logic> = (0..4)
+                .map(|k| if (i >> (k % 5)) & 1 == 1 { One } else { Zero })
+                .collect();
+            let mut p = flop_pattern(&bits);
+            if i % 49 == 7 {
+                // Deliberately failing patterns, so the mismatch logs
+                // (content AND order) go through the merge.
+                p.cycles[2][2] = PinState::ExpectH;
+                p.cycles[2][0] = PinState::Drive0;
+            }
+            p
+        })
+        .collect();
+    let refs: Vec<&CyclePattern> = patterns.iter().collect();
+    let sim = Simulator::new(&m).unwrap();
+    let baseline = apply_cycle_patterns_batch_with(&sim, &refs, Threads::single()).unwrap();
+    assert!(baseline.iter().any(|r| !r.passed()));
+    for workers in [1, 2, 3] {
+        let processed = apply_cycle_patterns_batch_with_pool(&sim, &refs, &pool(workers)).unwrap();
+        assert_eq!(processed, baseline, "{workers} workers");
+    }
+}
+
+/// Forces on the dispatcher's simulator (fault injection) must carry
+/// into worker processes exactly as they carry into in-thread clones.
+#[test]
+fn process_playback_carries_forces_across_the_wire() {
+    use Logic::{One, Zero};
+    let mut b = NetlistBuilder::new("m");
+    let d = b.input("d");
+    let ck = b.input("ck");
+    let q = b.gate(GateKind::Dff, &[d, ck]);
+    b.output("q", q);
+    let m = b.finish().unwrap();
+    let mut sim = Simulator::new(&m).unwrap();
+    // Stuck-at-0 on the output: every ExpectH pattern must now fail.
+    sim.force(m.port("q").unwrap().net, Logic::Zero);
+    let patterns: Vec<CyclePattern> = (0..70)
+        .map(|i| flop_pattern(&[if i % 2 == 0 { One } else { Zero }]))
+        .collect();
+    let refs: Vec<&CyclePattern> = patterns.iter().collect();
+    let baseline = apply_cycle_patterns_batch_with(&sim, &refs, Threads::single()).unwrap();
+    assert!(baseline.iter().any(|r| !r.passed()), "force must bite");
+    let processed = apply_cycle_patterns_batch_with_pool(&sim, &refs, &pool(2)).unwrap();
+    assert_eq!(processed, baseline);
+}
+
+#[test]
+fn process_march_matches_in_thread_including_escape_order() {
+    use rand::SeedableRng;
+    let cfg = SramConfig::single_port(64, 4);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let faults = faultsim::random_fault_list(&cfg, 40, &mut rng);
+    let alg = MarchAlgorithm::mats_plus(); // leaves escapes to merge
+    let baseline = faultsim::fault_coverage_with(&alg, &cfg, &faults, Threads::single());
+    assert!(baseline.detected < baseline.total, "need escapes to merge");
+    for workers in [1, 2, 3] {
+        let processed = faultsim::fault_coverage_with_pool(&alg, &cfg, &faults, &pool(workers));
+        assert_eq!(processed, baseline, "{workers} workers");
+    }
+}
+
+/// The default-discovery path (`shard::default_worker_binary`) must find
+/// the freshly built worker from a test executable, and the JPEG
+/// playback experiment must report identically through it.
+#[test]
+fn jpeg_playback_processes_matches_in_thread() {
+    assert!(
+        shard::default_worker_binary().is_some(),
+        "worker binary should be discoverable next to the test executable"
+    );
+    let baseline = steac_dsc::jpeg_playback_batch_with(130, Threads::single()).unwrap();
+    let processed = steac_dsc::jpeg_playback_batch_processes(130, 2).unwrap();
+    assert_eq!(processed.patterns, baseline.patterns);
+    assert_eq!(processed.cycles, baseline.cycles);
+    assert_eq!(processed.compares, baseline.compares);
+    assert_eq!(processed.mismatches, baseline.mismatches);
+    assert_eq!(processed.passes, baseline.passes);
+    assert_eq!(processed.threads, 2);
+}
+
+// ---------- negative paths ----------
+
+/// A worker binary that cannot be spawned at all degrades gracefully to
+/// the in-thread pool: same report, no error.
+#[test]
+fn spawn_failure_falls_back_in_thread() {
+    let m = mixed_module();
+    let faults = fault::enumerate_faults(&m);
+    let pins = [m.port("a").unwrap().net];
+    let vectors = vec![vec![Logic::Zero], vec![Logic::One]];
+    let baseline =
+        fault::grade_vectors_with(&m, &faults, &pins, &vectors, Threads::single()).unwrap();
+    let bogus = ProcessPool::with_binary(PathBuf::from("/nonexistent/steac-worker"), 2);
+    let report = fault::grade_vectors_with_pool(&m, &faults, &pins, &vectors, &bogus).unwrap();
+    assert_eq!(report, baseline);
+    // The infallible March API falls back the same way.
+    let cfg = SramConfig::single_port(16, 2);
+    let mfaults = vec![steac_membist::MemFault::stuck_at(3, 0, true)];
+    let alg = MarchAlgorithm::march_c_minus();
+    let march_base = faultsim::fault_coverage_with(&alg, &cfg, &mfaults, Threads::single());
+    assert_eq!(
+        faultsim::fault_coverage_with_pool(&alg, &cfg, &mfaults, &bogus),
+        march_base
+    );
+}
+
+/// A worker that dies without producing results surfaces as the
+/// lowest-indexed unit assigned to it, with its diagnostics attached.
+#[test]
+fn dying_worker_surfaces_as_lowest_indexed_unit_error() {
+    let false_bin = PathBuf::from("/bin/false");
+    if !false_bin.is_file() {
+        eprintln!("skipping: /bin/false not present");
+        return;
+    }
+    let m = mixed_module();
+    let faults = fault::enumerate_faults(&m);
+    let pins = [m.port("a").unwrap().net];
+    let vectors = vec![vec![Logic::Zero]];
+    let dying = ProcessPool::with_binary(false_bin, 2);
+    let err = fault::grade_vectors_with_pool(&m, &faults, &pins, &vectors, &dying).unwrap_err();
+    match err {
+        SimError::Worker { unit, diagnostic } => {
+            assert_eq!(unit, 0, "lowest-indexed unit wins: {diagnostic}");
+        }
+        other => panic!("expected SimError::Worker, got {other:?}"),
+    }
+}
+
+/// An unknown job kind is reported per unit by a healthy worker; the
+/// dispatcher deterministically picks unit 0.
+#[test]
+fn unknown_job_kind_is_a_lowest_indexed_unit_error() {
+    let err = pool(2)
+        .run(999, b"whatever", &[vec![1], vec![2], vec![3]])
+        .unwrap_err();
+    match err {
+        PoolError::Unit { unit, diagnostic } => {
+            assert_eq!(unit, 0);
+            assert!(
+                diagnostic.contains("unknown work-unit kind"),
+                "{diagnostic}"
+            );
+        }
+        other => panic!("expected PoolError::Unit, got {other:?}"),
+    }
+}
+
+/// Corrupt job bytes (valid protocol envelope, garbage payload) come
+/// back as typed unit errors carrying the wire diagnostic — the worker
+/// exits cleanly rather than panicking.
+#[test]
+fn corrupt_job_bytes_are_typed_unit_errors() {
+    for kind in [
+        fault::WIRE_KIND,
+        steac_pattern::cycle::WIRE_KIND,
+        steac_membist::wire::WIRE_KIND,
+    ] {
+        let err = pool(1)
+            .run(kind, &[0xDE, 0xAD, 0xBE, 0xEF], &[vec![0; 4]])
+            .unwrap_err();
+        match err {
+            PoolError::Unit { unit, diagnostic } => {
+                assert_eq!(unit, 0, "kind {kind}");
+                assert!(!diagnostic.is_empty(), "kind {kind}");
+            }
+            other => panic!("kind {kind}: expected PoolError::Unit, got {other:?}"),
+        }
+    }
+}
+
+/// Corrupt *unit* bytes under a valid job: the decode failure is
+/// attributed to exactly the corrupt unit — healthy units before it
+/// still compute, proven by the error index pointing past them.
+#[test]
+fn corrupt_unit_bytes_fail_only_that_unit() {
+    let cfg = SramConfig::single_port(16, 2);
+    let alg = MarchAlgorithm::march_c_minus();
+    let job = steac_membist::wire::encode_march_job(&alg, &cfg);
+    let good =
+        steac_membist::wire::encode_fault_unit(&[steac_membist::MemFault::stuck_at(3, 0, true)]);
+    let corrupt = vec![0xFF; 3];
+    let err = pool(1)
+        .run(
+            steac_membist::wire::WIRE_KIND,
+            &job,
+            &[good.clone(), corrupt, good],
+        )
+        .unwrap_err();
+    match err {
+        PoolError::Unit { unit, diagnostic } => {
+            assert_eq!(unit, 1, "only the corrupt unit fails: {diagnostic}");
+        }
+        other => panic!("expected PoolError::Unit, got {other:?}"),
+    }
+}
+
+/// Truncated and version-bumped program blobs decode to typed errors —
+/// the wire layer's contract, checked here at the integration level on a
+/// realistically sized program (the JPEG core).
+#[test]
+fn jpeg_program_wire_negative_paths_are_typed() {
+    let (module, _) = steac_dsc::jpeg_core().unwrap();
+    let program = steac_sim::SimProgram::compile(&module).unwrap();
+    let bytes = steac_sim::wire::encode_program(&program);
+    let back = steac_sim::wire::decode_program(&bytes).unwrap();
+    assert_eq!(back, program);
+
+    // Wrong version.
+    let mut versioned = bytes.clone();
+    versioned[4] = versioned[4].wrapping_add(1);
+    assert!(matches!(
+        steac_sim::wire::decode_program(&versioned),
+        Err(steac_sim::WireError::UnsupportedVersion { .. })
+    ));
+    // Wrong magic.
+    let mut magicked = bytes.clone();
+    magicked[0] = b'?';
+    assert!(matches!(
+        steac_sim::wire::decode_program(&magicked),
+        Err(steac_sim::WireError::BadMagic { .. })
+    ));
+    // Truncations at a spread of cut points (the exhaustive sweep runs
+    // in the sim crate's unit tests on a small program).
+    for cut in (0..bytes.len()).step_by(997) {
+        assert!(
+            steac_sim::wire::decode_program(&bytes[..cut]).is_err(),
+            "prefix {cut}"
+        );
+    }
+    // Single-byte corruption at a spread of positions never panics.
+    for i in (0..bytes.len()).step_by(613) {
+        let mut corrupt = bytes.clone();
+        corrupt[i] ^= 0x5A;
+        let _ = steac_sim::wire::decode_program(&corrupt);
+    }
+}
