@@ -14,7 +14,7 @@ use steac_dsc::{build_chip, core_stil, dsc_brains, dsc_chip_config, jpeg_core, T
 use steac_membist::faultsim::{fault_coverage, fault_coverage_serial, random_fault_list};
 use steac_membist::{MarchAlgorithm, SramConfig};
 use steac_sched::{schedule_nonsession, schedule_sessions};
-use steac_sim::{enumerate_faults, fault, Logic, Simulator};
+use steac_sim::{enumerate_faults, fault, Exec, Logic, Simulator};
 use steac_stil::{parse_stil, to_stil_string};
 use steac_wrapper::{balance_fixed, WrapOptions};
 
@@ -114,8 +114,9 @@ fn bench_march_faultsim(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(7);
     let faults = random_fault_list(&cfg, 20, &mut rng);
     let alg = MarchAlgorithm::march_c_minus();
+    let exec = Exec::from_env();
     c.bench_function("march_faultsim_packed_64x4_120f", |b| {
-        b.iter(|| fault_coverage(&alg, &cfg, &faults))
+        b.iter(|| fault_coverage(&exec, &alg, &cfg, &faults).expect("grades"))
     });
     c.bench_function("march_faultsim_serial_64x4_120f", |b| {
         b.iter(|| fault_coverage_serial(&alg, &cfg, &faults))
@@ -123,7 +124,11 @@ fn bench_march_faultsim(c: &mut Criterion) {
     report_speedup(
         "march_faultsim packed vs serial",
         || fault_coverage_serial(&alg, &cfg, &faults).detected,
-        || fault_coverage(&alg, &cfg, &faults).detected,
+        || {
+            fault_coverage(&exec, &alg, &cfg, &faults)
+                .expect("grades")
+                .detected
+        },
     );
 }
 
@@ -143,8 +148,9 @@ fn bench_gate_faultsim(c: &mut Criterion) {
         .collect();
     let vectors = jpeg_vectors(&module, 16);
 
+    let exec = Exec::from_env();
     let packed = || {
-        fault::grade_vectors(&module, &faults, &pins, &vectors)
+        fault::grade_vectors(&exec, &module, &faults, &pins, &vectors)
             .expect("packed grading runs")
             .detected
     };
@@ -184,12 +190,14 @@ fn fault_coverage_gate_serial(
 /// patterns through the ATE cycle player.
 fn bench_batched_playback(c: &mut Criterion) {
     let count = 128;
-    let (module, patterns) = steac_dsc::jpeg_functional_patterns(count).expect("patterns build");
+    let exec = Exec::from_env();
+    let (module, patterns) =
+        steac_dsc::jpeg_functional_patterns(&exec, count).expect("patterns build");
     let refs: Vec<&steac_pattern::CyclePattern> = patterns.iter().collect();
     c.bench_function("jpeg_playback_batched_128p", |b| {
         b.iter(|| {
             let sim = Simulator::new(&module).expect("sim builds");
-            steac_pattern::apply_cycle_patterns_batch(&sim, &refs).expect("plays")
+            steac_pattern::apply_cycle_patterns_batch(&exec, &sim, &refs).expect("plays")
         })
     });
     c.bench_function("jpeg_playback_scalar_128p", |b| {

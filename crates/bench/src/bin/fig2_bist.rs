@@ -34,7 +34,10 @@ fn main() {
         design.total_cycles_serial as f64 / design.total_cycles_parallel.max(1) as f64
     );
     println!("\nmeasured fault coverage (sampled fault lists):");
-    for r in brains.evaluate_coverage(25, 2005) {
+    let coverage = brains
+        .evaluate_coverage(&steac_sim::Exec::from_env(), 25, 2005)
+        .expect("coverage dispatches");
+    for r in coverage {
         println!("  {r}");
     }
 }

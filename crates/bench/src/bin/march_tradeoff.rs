@@ -7,12 +7,14 @@ use rand::SeedableRng;
 use steac_bench::header;
 use steac_membist::faultsim::{fault_coverage, random_fault_list};
 use steac_membist::{MarchAlgorithm, SramConfig};
+use steac_sim::Exec;
 
 fn main() {
     println!(
         "{}",
         header("Ablation: March algorithm time/coverage trade-off")
     );
+    let exec = Exec::from_env();
     let cfg = SramConfig::single_port(64, 4);
     let mut rng = StdRng::seed_from_u64(2005);
     let faults = random_fault_list(&cfg, 80, &mut rng);
@@ -21,7 +23,7 @@ fn main() {
         "algorithm", "kN", "cycles@8K", "coverage"
     );
     for alg in MarchAlgorithm::library() {
-        let rep = fault_coverage(&alg, &cfg, &faults);
+        let rep = fault_coverage(&exec, &alg, &cfg, &faults).expect("March grading dispatches");
         let escapes: Vec<String> = rep
             .escapes_by_class
             .iter()

@@ -1,28 +1,23 @@
-//! Threads-vs-throughput scaling of the sharded simulation stack on the
+//! Backend-vs-throughput scaling of the unified execution seam on the
 //! paper's two throughput-bound workloads: PPSFP fault grading of the
 //! JPEG core and batched ATE playback of its functional patterns —
-//! plus the process-mode table: the same playback fanned across
-//! `steac-worker` **processes** at widths 1/2/4, driven by the paper's
-//! full 235,696-pattern JPEG functional set (override the pattern count
-//! with `STEAC_SCALING_PATTERNS` for quick runs).
+//! ending with the paper's full 235,696-pattern JPEG functional set
+//! driven through the process backend (override the pattern count with
+//! `STEAC_SCALING_PATTERNS` for quick runs).
 //!
-//! For each width the same work runs through the same sharded entry
-//! points ([`steac_sim::fault::grade_vectors_with`],
-//! [`steac_pattern::apply_cycle_patterns_batch_with`],
-//! [`steac_pattern::apply_cycle_patterns_batch_with_pool`]); the binary
-//! asserts that coverage and mismatch reports are **bit-identical** at
-//! every width before printing the tables — scaling must never change a
-//! verdict, in-process or across processes.
+//! Every row of every table runs the **same** unified entry point
+//! ([`steac_sim::fault::grade_vectors`],
+//! [`steac_pattern::apply_cycle_patterns_batch`]) — only the [`Exec`]
+//! backend changes: serial, threads 1/2/4/8, worker processes 1/2/4.
+//! Before printing, the binary asserts that coverage and mismatch
+//! reports are **bit-identical** on every backend — scaling must never
+//! change a verdict, in-process or across processes.
 
 use std::time::Instant;
 use steac_bench::{header, splitmix_vectors};
-use steac_dsc::{jpeg_core, jpeg_functional_patterns_with};
-use steac_pattern::{
-    apply_cycle_patterns_batch_with, apply_cycle_patterns_batch_with_pool, CyclePattern,
-};
-use steac_sim::{enumerate_faults, fault, shard, Simulator, Threads};
-
-const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+use steac_dsc::{jpeg_core, jpeg_functional_patterns};
+use steac_pattern::{apply_cycle_patterns_batch, CyclePattern};
+use steac_sim::{enumerate_faults, fault, shard, Exec, Fallback, Simulator, Threads};
 
 fn time<T>(f: impl FnOnce() -> T) -> (f64, T) {
     let t = Instant::now();
@@ -30,11 +25,40 @@ fn time<T>(f: impl FnOnce() -> T) -> (f64, T) {
     (t.elapsed().as_secs_f64(), out)
 }
 
-fn print_row(threads: usize, secs: f64, base_secs: f64, work: f64, unit: &str) {
+fn print_row(backend: &str, secs: f64, base_secs: f64, work: f64, unit: &str) {
     println!(
-        "{threads:>7} {:>10.0} {unit:<12} {:>8.2}x",
+        "{backend:>12} {:>10.0} {unit:<12} {:>8.2}x",
         work / secs.max(1e-12),
         base_secs / secs.max(1e-12),
+    );
+}
+
+/// The backend table every workload iterates: serial, threads at the
+/// scaling widths, and (when the worker binary is discoverable) worker
+/// processes at 1/2/4. Process execs use `Fallback::Fail` so a broken
+/// worker aborts the run instead of silently timing the thread pool.
+fn backends() -> Vec<Exec> {
+    let mut execs = vec![Exec::serial()];
+    execs.extend([1, 2, 4, 8].map(|t| Exec::threads(Threads::exact(t))));
+    if shard::default_worker_binary().is_some() {
+        for workers in [1usize, 2, 4] {
+            if let Some(exec) = Exec::parse(&format!("processes:{workers}")) {
+                execs.push(exec.with_fallback(Fallback::Fail));
+            }
+        }
+    } else {
+        println!(
+            "worker binary not found (build the root package first: `cargo build [--release]`); \
+             process rows are skipped"
+        );
+    }
+    execs
+}
+
+fn table_header() {
+    println!(
+        "{:>12} {:>10} {:<12} {:>9}",
+        "backend", "rate", "", "speedup"
     );
 }
 
@@ -49,15 +73,17 @@ fn main() {
 
     let cores = Threads::auto().get();
     println!("host parallelism: {cores} core(s)");
-    if cores < WIDTHS[WIDTHS.len() - 1] {
+    if cores < 8 {
         println!(
             "note: widths above {cores} time-share the available core(s); \
              speedup columns demonstrate determinism, not throughput, there"
         );
     }
+    let execs = backends();
+
     println!(
         "{}",
-        header("Sharded scaling: JPEG fault grading (PPSFP passes across cores)")
+        header("Exec scaling: JPEG fault grading (PPSFP passes, one API, every backend)")
     );
     println!(
         "{} faults, {} vectors, {} passes",
@@ -65,68 +91,77 @@ fn main() {
         vectors.len(),
         faults.len().div_ceil(fault::FAULTS_PER_PASS)
     );
-    println!(
-        "{:>7} {:>10} {:<12} {:>9}",
-        "threads", "rate", "", "speedup"
-    );
+    table_header();
     let mut baseline: Option<(f64, fault::CoverageReport)> = None;
-    for t in WIDTHS {
+    for exec in &execs {
         let (secs, rep) = time(|| {
-            fault::grade_vectors_with(&module, &faults, &pins, &vectors, Threads::exact(t))
-                .expect("grading runs")
+            fault::grade_vectors(exec, &module, &faults, &pins, &vectors).expect("grading runs")
         });
         if let Some((base_secs, base_rep)) = &baseline {
             assert_eq!(
                 &rep, base_rep,
-                "coverage diverged at {t} threads — sharding changed a verdict"
+                "coverage diverged on {exec} — dispatch changed a verdict"
             );
-            print_row(t, secs, *base_secs, faults.len() as f64, "faults/s");
+            print_row(
+                &exec.to_string(),
+                secs,
+                *base_secs,
+                faults.len() as f64,
+                "faults/s",
+            );
         } else {
-            print_row(t, secs, secs, faults.len() as f64, "faults/s");
+            print_row(
+                &exec.to_string(),
+                secs,
+                secs,
+                faults.len() as f64,
+                "faults/s",
+            );
             baseline = Some((secs, rep));
         }
     }
-    let (_, rep) = baseline.expect("at least one width ran");
-    println!("coverage at every width: {rep}");
+    let (_, rep) = baseline.expect("at least one backend ran");
+    println!("coverage on every backend: {rep}");
 
     let count = 2048;
-    let (_, patterns) =
-        jpeg_functional_patterns_with(count, Threads::auto()).expect("patterns build");
+    let (_, patterns) = jpeg_functional_patterns(&Exec::auto(), count).expect("patterns build");
     let refs: Vec<&CyclePattern> = patterns.iter().collect();
     let sim = Simulator::new(&module).expect("sim builds");
     println!(
         "{}",
-        header("Sharded scaling: batched ATE playback (64-pattern passes across cores)")
+        header("Exec scaling: batched ATE playback (64-pattern passes, one API, every backend)")
     );
     println!(
         "{count} two-cycle functional patterns, {} passes",
         count / 64
     );
-    println!(
-        "{:>7} {:>10} {:<12} {:>9}",
-        "threads", "rate", "", "speedup"
-    );
-    let mut play_base: Option<(f64, Vec<steac_pattern::MismatchReport>)> = None;
-    for t in WIDTHS {
-        let (secs, reports) = time(|| {
-            apply_cycle_patterns_batch_with(&sim, &refs, Threads::exact(t)).expect("plays")
-        });
+    table_header();
+    let mut play_base: Option<(f64, steac_pattern::BatchPlayback)> = None;
+    for exec in &execs {
+        let (secs, reports) =
+            time(|| apply_cycle_patterns_batch(exec, &sim, &refs).expect("plays"));
         if let Some((base_secs, base_reports)) = &play_base {
             assert_eq!(
                 &reports, base_reports,
-                "mismatch reports diverged at {t} threads"
+                "mismatch reports diverged on {exec}"
             );
-            print_row(t, secs, *base_secs, count as f64, "patterns/s");
+            print_row(
+                &exec.to_string(),
+                secs,
+                *base_secs,
+                count as f64,
+                "patterns/s",
+            );
         } else {
-            print_row(t, secs, secs, count as f64, "patterns/s");
+            print_row(&exec.to_string(), secs, secs, count as f64, "patterns/s");
             play_base = Some((secs, reports));
         }
     }
-    let (_, reports) = play_base.expect("at least one width ran");
-    let mismatches: usize = reports.iter().map(|r| r.mismatches.len()).sum();
-    println!("mismatches at every width: {mismatches}");
+    let (_, playback) = play_base.expect("at least one backend ran");
+    let mismatches: usize = playback.reports.iter().map(|r| r.mismatches.len()).sum();
+    println!("mismatches on every backend: {mismatches}");
 
-    // ---- process-mode table: the paper's full JPEG functional set ----
+    // ---- full-set table: the paper's JPEG functional set ----
 
     let full_count: usize = std::env::var("STEAC_SCALING_PATTERNS")
         .ok()
@@ -134,53 +169,54 @@ fn main() {
         .unwrap_or(235_696);
     println!(
         "{}",
-        header("Process-mode scaling: JPEG ATE playback across steac-worker processes")
+        header("Exec scaling: full JPEG ATE playback across steac-worker processes")
     );
     match shard::default_worker_binary() {
         Some(bin) => println!("worker binary: {}", bin.display()),
-        None => println!(
-            "worker binary not found (build the root package first: `cargo build [--release]`); \
-             rows below fall back to the in-thread pool"
-        ),
+        None => println!("worker binary not found; process rows fall back to threads"),
     }
     println!(
         "{full_count} two-cycle functional patterns (paper set: 235,696), {} passes",
         full_count.div_ceil(64)
     );
-    let (gen_secs, (_, full_patterns)) = time(|| {
-        jpeg_functional_patterns_with(full_count, Threads::auto()).expect("patterns build")
-    });
+    let (gen_secs, (_, full_patterns)) =
+        time(|| jpeg_functional_patterns(&Exec::auto(), full_count).expect("patterns build"));
     println!(
         "generated at {:.0} patterns/s",
         full_count as f64 / gen_secs.max(1e-12)
     );
     let full_refs: Vec<&CyclePattern> = full_patterns.iter().collect();
-    let (base_secs, baseline) = time(|| {
-        apply_cycle_patterns_batch_with(&sim, &full_refs, Threads::single()).expect("plays")
-    });
-    println!(
-        "{:>7} {:>10} {:<12} {:>9}",
-        "workers", "rate", "", "speedup"
+    let serial = Exec::threads(Threads::single());
+    let (base_secs, baseline) =
+        time(|| apply_cycle_patterns_batch(&serial, &sim, &full_refs).expect("plays"));
+    table_header();
+    print_row(
+        "threads:1",
+        base_secs,
+        base_secs,
+        full_count as f64,
+        "patterns/s",
     );
-    print_row(1, base_secs, base_secs, full_count as f64, "patterns/s");
-    println!("        ^ in-thread single-threaded reference");
+    println!("             ^ in-thread single-threaded reference");
     for workers in [1usize, 2, 4] {
-        let (secs, reports) = time(|| match shard::ProcessPool::new(workers) {
-            Some(pool) => {
-                apply_cycle_patterns_batch_with_pool(&sim, &full_refs, &pool).expect("plays")
-            }
-            None => apply_cycle_patterns_batch_with(&sim, &full_refs, Threads::from_env())
-                .expect("plays"),
-        });
+        let exec = Exec::parse(&format!("processes:{workers}"))
+            .expect("processes spec parses (falls back to threads without a binary)")
+            .with_fallback(Fallback::Fail);
+        let (secs, reports) =
+            time(|| apply_cycle_patterns_batch(&exec, &sim, &full_refs).expect("plays"));
         assert_eq!(
             reports, baseline,
-            "process-mode reports diverged at {workers} workers — dispatch changed a verdict"
+            "full-set reports diverged on {exec} — dispatch changed a verdict"
         );
-        print_row(workers, secs, base_secs, full_count as f64, "patterns/s");
+        print_row(
+            &exec.to_string(),
+            secs,
+            base_secs,
+            full_count as f64,
+            "patterns/s",
+        );
     }
-    let compares: u64 = baseline.iter().map(|r| r.compares).sum();
-    let mismatches: usize = baseline.iter().map(|r| r.mismatches.len()).sum();
-    println!(
-        "reports identical at every worker count: {compares} compares, {mismatches} mismatches"
-    );
+    let compares: u64 = baseline.reports.iter().map(|r| r.compares).sum();
+    let mismatches: usize = baseline.reports.iter().map(|r| r.mismatches.len()).sum();
+    println!("reports identical on every backend: {compares} compares, {mismatches} mismatches");
 }

@@ -118,7 +118,9 @@ mod tests {
 
     #[test]
     fn coverage_on_the_inventory_is_full() {
-        let reports = dsc_brains().evaluate_coverage(8, 2005);
+        let reports = dsc_brains()
+            .evaluate_coverage(&steac_sim::Exec::from_env(), 8, 2005)
+            .unwrap();
         assert!(!reports.is_empty());
         for r in &reports {
             assert_eq!(r.coverage_percent(), 100.0, "{r}");

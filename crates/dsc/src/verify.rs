@@ -4,19 +4,22 @@
 //! The paper's flow ends with chip-level ATE patterns; verifying them
 //! against the gate-level netlist is a pure simulation workload, and the
 //! batched cycle player ([`steac_pattern::apply_cycle_patterns_batch`])
-//! runs 64 patterns per pass, with 64-pattern passes sharded across
-//! cores — the experiment here is the JPEG core's functional-pattern
-//! verification, the largest single pattern set of Table 1 (235,696
-//! functional patterns on silicon; `examples/jpeg_full_playback.rs`
-//! plays the full set end to end, the tests a sampled subset the same
-//! way). Pattern *generation* shards too: every 64-pattern block is an
-//! independent work unit over the shared compiled program.
+//! runs 64 patterns per pass — the experiment here is the JPEG core's
+//! functional-pattern verification, the largest single pattern set of
+//! Table 1 (235,696 functional patterns on silicon;
+//! `examples/jpeg_full_playback.rs` plays the full set end to end, the
+//! tests a sampled subset the same way). One [`Exec`] value picks the
+//! backend for the whole experiment: playback passes dispatch through
+//! [`Exec::dispatch`] (inline, threads or `steac-worker` processes),
+//! and pattern *generation* — whose expected-response closures cannot
+//! cross a process boundary — shards on the backend's in-process pool.
+//! Reports are byte-identical on every backend.
 
 use crate::cores::jpeg_core;
 use std::sync::Arc;
 use steac_netlist::Module;
-use steac_pattern::{apply_cycle_patterns_batch_with, CyclePattern, PatternError, PinState};
-use steac_sim::{shard, Logic, SimError, SimProgram, Simulator, Threads, LANES};
+use steac_pattern::{apply_cycle_patterns_batch, CyclePattern, PatternError, PinState};
+use steac_sim::{Exec, Logic, SimError, SimProgram, Simulator, LANES};
 
 /// Outcome of a batched playback experiment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,9 +34,13 @@ pub struct PlaybackReport {
     pub mismatches: usize,
     /// Packed passes the player needed (⌈patterns / 64⌉).
     pub passes: usize,
-    /// Worker threads the sharded player actually fanned passes across
-    /// (the configured width, capped at the number of passes).
-    pub threads: usize,
+    /// Times process dispatch fell back to the in-thread pool while
+    /// producing this report (0 unless the `Exec` runs a process
+    /// backend under [`steac_sim::Fallback::InThread`] and that
+    /// dispatch failed); the verdicts are unaffected. Every other field
+    /// is backend-invariant, so healthy reports compare equal across
+    /// serial, thread and process execution.
+    pub process_fallbacks: usize,
 }
 
 /// Deterministic per-pattern stimulus (SplitMix64, so the experiment is
@@ -49,30 +56,20 @@ fn stimulus_bit(pattern: usize, pin: usize) -> bool {
 
 /// Builds `count` two-cycle functional patterns for the JPEG core (drive
 /// PIs + pulse `ck`, then compare every PO), with expected responses
-/// computed by a scalar reference simulation of each pattern, sharded
-/// with the default thread count ([`Threads::from_env`]).
-///
-/// # Errors
-///
-/// Propagates netlist and simulation errors.
-pub fn jpeg_functional_patterns(count: usize) -> Result<(Module, Vec<CyclePattern>), PatternError> {
-    jpeg_functional_patterns_with(count, Threads::from_env())
-}
-
-/// [`jpeg_functional_patterns`] with an explicit worker count: the
+/// computed by a scalar reference simulation of each pattern. The
 /// expected-response simulations are independent per pattern, so
-/// generation fans 64-pattern blocks across workers (each with its own
-/// executor over the shared compiled program). Pattern `k` depends only
-/// on `k`, so the output is identical at every thread count.
+/// generation fans 64-pattern blocks across the backend's in-process
+/// pool ([`Exec::run_fallible`]); pattern `k` depends only on `k`, so
+/// the output is identical on every backend and at every width.
 ///
 /// # Errors
 ///
 /// Propagates netlist and simulation errors.
-pub fn jpeg_functional_patterns_with(
+pub fn jpeg_functional_patterns(
+    exec: &Exec,
     count: usize,
-    threads: Threads,
 ) -> Result<(Module, Vec<CyclePattern>), PatternError> {
-    let (module, program, patterns) = jpeg_patterns_and_program(count, threads)?;
+    let (module, program, patterns) = jpeg_patterns_and_program(exec, count)?;
     drop(program);
     Ok((module, patterns))
 }
@@ -81,8 +78,8 @@ pub fn jpeg_functional_patterns_with(
 /// program alongside the patterns, so playback never recompiles it.
 #[allow(clippy::type_complexity)]
 fn jpeg_patterns_and_program(
+    exec: &Exec,
     count: usize,
-    threads: Threads,
 ) -> Result<(Module, Arc<SimProgram>, Vec<CyclePattern>), PatternError> {
     let (module, params) = jpeg_core().map_err(|e| PatternError::Sim(SimError::Netlist(e)))?;
     let mut pins: Vec<String> = params.pi.clone();
@@ -92,7 +89,7 @@ fn jpeg_patterns_and_program(
 
     let program = Arc::new(SimProgram::compile(&module)?);
     let blocks = count.div_ceil(LANES);
-    let per_block = shard::run_fallible(threads, blocks, |bi| {
+    let per_block = exec.run_fallible(blocks, |bi| {
         let mut sim = Simulator::from_program(Arc::clone(&program));
         let mut block = Vec::with_capacity(LANES);
         for k in (bi * LANES..count).take(LANES) {
@@ -129,100 +126,73 @@ fn jpeg_patterns_and_program(
 }
 
 /// Verifies `count` JPEG functional patterns with the batched cycle
-/// player (64 per pass) and aggregates the result.
-///
-/// Dispatch: with `STEAC_WORKERS` set to a positive integer, playback
-/// passes fan out across that many `steac-worker` **processes**
-/// ([`jpeg_playback_batch_processes`]); otherwise across the default
-/// in-thread pool. Reports are byte-identical either way.
-///
-/// # Errors
-///
-/// Propagates netlist, pattern and simulation errors.
-pub fn jpeg_playback_batch(count: usize) -> Result<PlaybackReport, PatternError> {
-    match shard::env_workers() {
-        Some(workers) => jpeg_playback_batch_processes(count, workers),
-        None => jpeg_playback_batch_with(count, Threads::from_env()),
-    }
-}
-
-/// [`jpeg_playback_batch`] with playback fanned across `workers`
-/// `steac-worker` processes (generation stays on the in-thread pool —
-/// its expected-response simulations feed directly into the patterns the
-/// playback units then ship over the wire). Falls back to in-thread
-/// playback when the worker binary cannot be found or spawned; the
-/// report's `threads` field records the requested process width.
+/// player (64 per pass) and aggregates the result. The single entry
+/// point for every backend: `exec` decides whether playback passes run
+/// inline, across threads or across `steac-worker` processes, and the
+/// report is byte-identical in every flavour.
 ///
 /// # Errors
 ///
 /// Propagates netlist, pattern and simulation errors; a failing worker
-/// surfaces as the lowest-indexed failing chunk's error.
-pub fn jpeg_playback_batch_processes(
-    count: usize,
-    workers: usize,
-) -> Result<PlaybackReport, PatternError> {
-    let (_module, program, patterns) = jpeg_patterns_and_program(count, Threads::from_env())?;
+/// surfaces as the lowest-indexed failing chunk's error (under
+/// [`steac_sim::Fallback::Fail`]).
+pub fn jpeg_playback_batch(exec: &Exec, count: usize) -> Result<PlaybackReport, PatternError> {
+    let (_module, program, patterns) = jpeg_patterns_and_program(exec, count)?;
     let refs: Vec<&CyclePattern> = patterns.iter().collect();
     let sim = Simulator::from_program(program);
-    let reports = steac_pattern::apply_cycle_patterns_batch_processes(&sim, &refs, workers)?;
-    Ok(aggregate_report(&patterns, &reports, count, workers))
+    let playback = apply_cycle_patterns_batch(exec, &sim, &refs)?;
+    Ok(aggregate_report(
+        &patterns,
+        &playback.reports,
+        count,
+        playback.process_fallbacks,
+    ))
 }
 
-/// [`jpeg_playback_batch`] with an explicit worker count (generation and
-/// playback both shard at this width; the report records it).
-///
-/// # Errors
-///
-/// Propagates netlist, pattern and simulation errors.
-pub fn jpeg_playback_batch_with(
-    count: usize,
-    threads: Threads,
-) -> Result<PlaybackReport, PatternError> {
-    let (_module, program, patterns) = jpeg_patterns_and_program(count, threads)?;
-    let refs: Vec<&CyclePattern> = patterns.iter().collect();
-    let sim = Simulator::from_program(program);
-    let reports = apply_cycle_patterns_batch_with(&sim, &refs, threads)?;
-    Ok(aggregate_report(&patterns, &reports, count, threads.get()))
-}
-
-/// Folds per-pattern reports into one [`PlaybackReport`] — shared by the
-/// thread and process flavours so the aggregation can never diverge;
-/// `width` is the requested fan-out (threads or worker processes).
+/// Folds per-pattern reports into one [`PlaybackReport`] — shared by
+/// every backend so the aggregation can never diverge.
 fn aggregate_report(
     patterns: &[CyclePattern],
     reports: &[steac_pattern::MismatchReport],
     count: usize,
-    width: usize,
+    process_fallbacks: usize,
 ) -> PlaybackReport {
-    let passes = count.div_ceil(LANES);
     PlaybackReport {
         patterns: reports.len(),
         cycles: patterns.iter().map(CyclePattern::cycle_count).sum(),
         compares: reports.iter().map(|r| r.compares).sum(),
         mismatches: reports.iter().map(|r| r.mismatches.len()).sum(),
-        passes,
-        threads: width.min(passes.max(1)),
+        passes: count.div_ceil(LANES),
+        process_fallbacks,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use steac_pattern::{apply_cycle_pattern, apply_cycle_patterns_batch_with};
+    use steac_pattern::apply_cycle_pattern;
+    use steac_sim::Threads;
+
+    fn exec() -> Exec {
+        Exec::from_env()
+    }
 
     /// The batched verdict must equal per-pattern scalar playback — and
     /// pass: the expectations were computed from the same netlist.
     #[test]
     fn jpeg_batched_playback_is_clean_and_matches_scalar() {
         let count = 70; // > 64: exercises chunking
-        let (module, patterns) = jpeg_functional_patterns(count).unwrap();
+        let (module, patterns) = jpeg_functional_patterns(&exec(), count).unwrap();
         let refs: Vec<&CyclePattern> = patterns.iter().collect();
         let sim = Simulator::new(&module).unwrap();
-        let batch = apply_cycle_patterns_batch_with(&sim, &refs, Threads::from_env()).unwrap();
+        let batch = apply_cycle_patterns_batch(&exec(), &sim, &refs)
+            .unwrap()
+            .reports;
         assert_eq!(batch.len(), count);
         for (i, p) in patterns.iter().enumerate() {
             let mut scalar_sim = Simulator::new(&module).unwrap();
             let scalar = apply_cycle_pattern(&mut scalar_sim, p).unwrap();
+            assert_eq!(batch[i].compares, scalar.compares, "pattern {i}");
             assert_eq!(batch[i].mismatches, scalar.mismatches, "pattern {i}");
             assert!(batch[i].passed(), "pattern {i}: {}", batch[i]);
         }
@@ -230,36 +200,36 @@ mod tests {
 
     #[test]
     fn playback_report_aggregates() {
-        let rep = jpeg_playback_batch_with(10, Threads::exact(2)).unwrap();
+        let rep = jpeg_playback_batch(&Exec::threads(Threads::exact(2)), 10).unwrap();
         assert_eq!(rep.patterns, 10);
         assert_eq!(rep.cycles, 20);
         assert_eq!(rep.mismatches, 0);
         assert_eq!(rep.passes, 1);
         assert_eq!(rep.compares, 10 * 104); // every PO compared once
-        assert_eq!(rep.threads, 1); // one pass caps the effective width
+        assert_eq!(rep.process_fallbacks, 0);
     }
 
-    /// Sharded generation and playback are bit-identical at every
-    /// thread count (patterns AND reports).
+    /// Generation and the whole playback report are bit-identical on the
+    /// serial backend and at every thread count — every field of
+    /// `PlaybackReport` is backend-invariant now, so the reports compare
+    /// equal as values.
     #[test]
-    fn jpeg_generation_and_playback_are_thread_count_invariant() {
+    fn jpeg_generation_and_playback_are_backend_invariant_in_process() {
         let count = 130; // three blocks
-        let (_, baseline) = jpeg_functional_patterns_with(count, Threads::single()).unwrap();
-        let base_rep = jpeg_playback_batch_with(count, Threads::single()).unwrap();
+        let (_, baseline) = jpeg_functional_patterns(&Exec::serial(), count).unwrap();
+        let base_rep = jpeg_playback_batch(&Exec::serial(), count).unwrap();
         for t in [2, 4] {
-            let (_, sharded) = jpeg_functional_patterns_with(count, Threads::exact(t)).unwrap();
+            let threaded = Exec::threads(Threads::exact(t));
+            let (_, sharded) = jpeg_functional_patterns(&threaded, count).unwrap();
             assert_eq!(sharded, baseline, "{t} threads");
-            let rep = jpeg_playback_batch_with(count, Threads::exact(t)).unwrap();
-            assert_eq!(rep.patterns, base_rep.patterns);
-            assert_eq!(rep.compares, base_rep.compares);
-            assert_eq!(rep.mismatches, base_rep.mismatches);
-            assert_eq!(rep.threads, t.min(rep.passes));
+            let rep = jpeg_playback_batch(&threaded, count).unwrap();
+            assert_eq!(rep, base_rep, "{t} threads");
         }
     }
 
     #[test]
     fn corrupted_expectation_is_caught() {
-        let (module, mut patterns) = jpeg_functional_patterns(3).unwrap();
+        let (module, mut patterns) = jpeg_functional_patterns(&exec(), 3).unwrap();
         // Flip one expectation of pattern 1.
         let row = patterns[1].cycles.len() - 1;
         let col = patterns[1].pins.len() - 1;
@@ -269,7 +239,9 @@ mod tests {
         };
         let refs: Vec<&CyclePattern> = patterns.iter().collect();
         let sim = Simulator::new(&module).unwrap();
-        let reports = apply_cycle_patterns_batch_with(&sim, &refs, Threads::from_env()).unwrap();
+        let reports = apply_cycle_patterns_batch(&exec(), &sim, &refs)
+            .unwrap()
+            .reports;
         assert!(reports[0].passed());
         assert!(!reports[1].passed());
         assert!(reports[2].passed());

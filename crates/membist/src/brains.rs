@@ -228,9 +228,19 @@ impl Brains {
 
     /// Measures coverage of the configured algorithms on each distinct
     /// geometry by fault simulation of a random fault sample (the BRAINS
-    /// "evaluate the memory test efficiency" feature).
-    #[must_use]
-    pub fn evaluate_coverage(&self, per_class: usize, seed: u64) -> Vec<MemCoverageReport> {
+    /// "evaluate the memory test efficiency" feature), dispatched on
+    /// `exec` like every other grading workload.
+    ///
+    /// # Errors
+    ///
+    /// Only under [`steac_sim::Fallback::Fail`] on a process backend
+    /// (see [`fault_coverage`]).
+    pub fn evaluate_coverage(
+        &self,
+        exec: &steac_sim::Exec,
+        per_class: usize,
+        seed: u64,
+    ) -> Result<Vec<MemCoverageReport>, steac_sim::SimError> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut seen: BTreeMap<(usize, usize, String), ()> = BTreeMap::new();
         let mut out = Vec::new();
@@ -248,9 +258,9 @@ impl Brains {
                 ports: m.config.ports,
             };
             let faults = random_fault_list(&sim_cfg, per_class, &mut rng);
-            out.push(fault_coverage(alg, &sim_cfg, &faults));
+            out.push(fault_coverage(exec, alg, &sim_cfg, &faults)?);
         }
-        out
+        Ok(out)
     }
 }
 
@@ -435,7 +445,9 @@ mod tests {
         for m in small_inventory() {
             b.add_memory(m);
         }
-        let reports = b.evaluate_coverage(10, 99);
+        let reports = b
+            .evaluate_coverage(&steac_sim::Exec::from_env(), 10, 99)
+            .unwrap();
         assert_eq!(reports.len(), 2); // two distinct geometries
         for r in &reports {
             assert_eq!(r.coverage_percent(), 100.0, "{r}");

@@ -11,19 +11,23 @@
 //! fault of a pass is caught, the walk stops early.
 //!
 //! Each 64-fault March walk is an independent work unit, so
-//! [`fault_coverage`] fans walks across cores through
-//! [`steac_sim::shard`] — or, with `STEAC_WORKERS` set, across
-//! `steac-worker` processes ([`fault_coverage_processes`], walk
-//! descriptors serialized by [`crate::wire`]) — and merges the per-walk
-//! detection masks in fault-list order — reports are bit-identical at
-//! every thread and worker count.
+//! [`fault_coverage`] describes the walks as a [`steac_sim::ExecWork`]
+//! and hands them to [`Exec::dispatch`] — serial, thread-sharded, or
+//! fanned across `steac-worker` processes (walk descriptors serialized
+//! by [`crate::wire`]) — and merges the per-walk detection masks in
+//! fault-list order: reports are bit-identical on every backend.
+//! Process failures follow the `Exec`'s explicit
+//! [`steac_sim::Fallback`] policy, and an in-thread fallback is
+//! logged and counted in [`MemCoverageReport::process_fallbacks`]
+//! instead of happening silently.
 
 use crate::march::{Direction, MarchAlgorithm, MarchOp};
 use crate::memory::{MemFault, Sram, SramConfig};
 use rand::Rng;
 use std::collections::BTreeMap;
 use std::fmt;
-use steac_sim::shard::{self, Threads};
+use steac_sim::shard::{self, PoolError};
+use steac_sim::{Exec, ExecWork, SimError};
 
 /// Faults graded per packed March walk.
 pub const FAULTS_PER_PASS: usize = 64;
@@ -422,6 +426,13 @@ pub struct MemCoverageReport {
     pub escapes_by_class: BTreeMap<&'static str, usize>,
     /// The escaped faults (for diagnosis).
     pub escaped: Vec<MemFault>,
+    /// Times process dispatch fell back to the in-thread pool while
+    /// producing this report (0 unless the `Exec` runs a process
+    /// backend under [`steac_sim::Fallback::InThread`] and that
+    /// dispatch failed). The verdicts are unaffected — the fallback
+    /// recomputes the identical report — but the degradation is
+    /// recorded instead of silent.
+    pub process_fallbacks: usize,
 }
 
 impl MemCoverageReport {
@@ -453,6 +464,13 @@ impl fmt::Display for MemCoverageReport {
                 write!(f, " {class}={n}")?;
             }
         }
+        if self.process_fallbacks > 0 {
+            write!(
+                f,
+                " [process dispatch fell back in-thread x{}]",
+                self.process_fallbacks
+            )?;
+        }
         Ok(())
     }
 }
@@ -462,6 +480,7 @@ fn report_from_flags(
     config: &SramConfig,
     faults: &[MemFault],
     detected_flags: &[bool],
+    process_fallbacks: usize,
 ) -> MemCoverageReport {
     let mut detected = 0usize;
     let mut escaped = Vec::new();
@@ -481,6 +500,53 @@ fn report_from_flags(
         detected,
         escaped,
         escapes_by_class,
+        process_fallbacks,
+    }
+}
+
+/// The [`ExecWork`] description of March fault grading: one unit per
+/// [`FAULTS_PER_PASS`] walk, a job block carrying geometry + algorithm
+/// ([`crate::wire`]), and `u64` detection masks as unit results. The
+/// walk itself is infallible — errors can only come from dispatch.
+struct MarchWork<'a> {
+    alg: &'a MarchAlgorithm,
+    config: &'a SramConfig,
+    chunks: Vec<&'a [MemFault]>,
+}
+
+impl ExecWork for MarchWork<'_> {
+    type Output = u64;
+    type Error = SimError;
+
+    fn kind(&self) -> u16 {
+        crate::wire::WIRE_KIND
+    }
+
+    fn unit_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    fn encode_job(&self) -> Vec<u8> {
+        crate::wire::encode_march_job(self.alg, self.config)
+    }
+
+    fn encode_unit(&self, unit: usize) -> Vec<u8> {
+        crate::wire::encode_fault_unit(self.chunks[unit])
+    }
+
+    fn run_unit_local(&self, unit: usize) -> Result<u64, SimError> {
+        Ok(run_packed_march(self.alg, self.config, self.chunks[unit]))
+    }
+
+    fn decode_result(&self, _unit: usize, bytes: &[u8]) -> Result<u64, String> {
+        bytes
+            .try_into()
+            .map(u64::from_le_bytes)
+            .map_err(|_| format!("result has {} bytes, expected 8", bytes.len()))
+    }
+
+    fn pool_error(&self, error: PoolError) -> SimError {
+        error.into()
     }
 }
 
@@ -488,94 +554,47 @@ fn report_from_flags(
 /// `alg` and reports coverage. Packed: 64 faults per March walk, with
 /// fault dropping.
 ///
-/// Dispatch: with `STEAC_WORKERS` set to a positive integer, walks fan
-/// out across that many `steac-worker` **processes**
-/// ([`fault_coverage_processes`]); otherwise across the default
-/// in-thread pool ([`Threads::from_env`]). Merging is by walk index
-/// either way, so the report is byte-identical in every flavour.
-#[must_use]
+/// The single entry point for every backend: `exec` decides whether
+/// walks run inline, across threads or across `steac-worker` processes
+/// ([`Exec::dispatch`]). Merging is by walk index in every flavour, so
+/// the report is byte-identical on every backend. The March walk itself
+/// is infallible, so errors can only arise from process dispatch — and
+/// only under [`steac_sim::Fallback::Fail`]; the default
+/// [`steac_sim::Fallback::InThread`] policy recomputes in-thread and
+/// records it in [`MemCoverageReport::process_fallbacks`] (this used to
+/// happen silently — the silent-policy bug).
+///
+/// # Errors
+///
+/// [`SimError::Worker`] on the lowest-indexed failing walk, only under
+/// [`steac_sim::Fallback::Fail`] on a process backend.
 pub fn fault_coverage(
+    exec: &Exec,
     alg: &MarchAlgorithm,
     config: &SramConfig,
     faults: &[MemFault],
-) -> MemCoverageReport {
-    match shard::env_workers() {
-        Some(workers) => fault_coverage_processes(alg, config, faults, workers),
-        None => fault_coverage_with(alg, config, faults, Threads::from_env()),
-    }
-}
-
-/// [`fault_coverage`] with an explicit in-thread worker count. Every
-/// March walk (one [`FAULTS_PER_PASS`] chunk) is one work unit; per-walk
-/// detection masks are merged in fault-list order through the shared
-/// [`shard::grade_in_passes`] partition, so the report is identical at
-/// every thread count.
-#[must_use]
-pub fn fault_coverage_with(
-    alg: &MarchAlgorithm,
-    config: &SramConfig,
-    faults: &[MemFault],
-    threads: Threads,
-) -> MemCoverageReport {
-    let flags = shard::grade_in_passes::<_, std::convert::Infallible, _>(
-        threads,
+) -> Result<MemCoverageReport, SimError> {
+    let work = MarchWork {
+        alg,
+        config,
+        chunks: faults.chunks(FAULTS_PER_PASS).collect(),
+    };
+    let dispatched = exec.dispatch(&work)?;
+    let flags = shard::flags_from_masks(faults.len(), FAULTS_PER_PASS, 0, &dispatched.units);
+    Ok(report_from_flags(
+        alg,
+        config,
         faults,
-        FAULTS_PER_PASS,
-        0,
-        |_, chunk| Ok(run_packed_march(alg, config, chunk)),
-    )
-    .unwrap_or_else(|e| match e {});
-    report_from_flags(alg, config, faults, &flags)
-}
-
-/// [`fault_coverage`] fanned across `workers` `steac-worker` processes
-/// over [`crate::wire`]-serialized walk descriptors. This API is
-/// infallible, so *any* process-level failure — missing binary, spawn
-/// failure, a worker dying — falls back to the in-thread pool, which
-/// computes the identical report (the differential tests pin this).
-#[must_use]
-pub fn fault_coverage_processes(
-    alg: &MarchAlgorithm,
-    config: &SramConfig,
-    faults: &[MemFault],
-    workers: usize,
-) -> MemCoverageReport {
-    match shard::ProcessPool::new(workers) {
-        Some(pool) => fault_coverage_with_pool(alg, config, faults, &pool),
-        None => fault_coverage_with(alg, config, faults, Threads::from_env()),
-    }
-}
-
-/// [`fault_coverage_processes`] over an explicit [`shard::ProcessPool`]
-/// (tests and scaling harnesses pin the binary and width through this).
-#[must_use]
-pub fn fault_coverage_with_pool(
-    alg: &MarchAlgorithm,
-    config: &SramConfig,
-    faults: &[MemFault],
-    pool: &shard::ProcessPool,
-) -> MemCoverageReport {
-    let job = crate::wire::encode_march_job(alg, config);
-    let units: Vec<Vec<u8>> = faults
-        .chunks(FAULTS_PER_PASS)
-        .map(crate::wire::encode_fault_unit)
-        .collect();
-    if let Ok(results) = pool.run(crate::wire::WIRE_KIND, &job, &units) {
-        let masks: Option<Vec<u64>> = results
-            .iter()
-            .map(|bytes| bytes.as_slice().try_into().map(u64::from_le_bytes).ok())
-            .collect();
-        if let Some(masks) = masks {
-            let flags = shard::flags_from_masks(faults.len(), FAULTS_PER_PASS, 0, &masks);
-            return report_from_flags(alg, config, faults, &flags);
-        }
-    }
-    fault_coverage_with(alg, config, faults, Threads::from_env())
+        &flags,
+        dispatched.fallback_count(),
+    ))
 }
 
 /// Serial reference implementation: one full March walk per fault, as
-/// the scalar model does. Kept for benchmarking and differential testing;
-/// prefer [`fault_coverage`].
+/// the scalar model does. Kept strictly as the differential-test and
+/// benchmark oracle — production callers use [`fault_coverage`] with an
+/// [`Exec`].
+#[doc(hidden)]
 #[must_use]
 pub fn fault_coverage_serial(
     alg: &MarchAlgorithm,
@@ -589,7 +608,7 @@ pub fn fault_coverage_serial(
             run_march(alg, &mut mem)
         })
         .collect();
-    report_from_flags(alg, config, faults, &flags)
+    report_from_flags(alg, config, faults, &flags, 0)
 }
 
 /// Generates a random fault list over all classes with `per_class`
@@ -685,6 +704,11 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use steac_sim::Threads;
+
+    fn exec() -> Exec {
+        Exec::from_env()
+    }
 
     const CFG: SramConfig = SramConfig {
         words: 64,
@@ -705,7 +729,7 @@ mod tests {
         let alg = MarchAlgorithm::march_c_minus();
         let mut rng = StdRng::seed_from_u64(42);
         let faults = random_fault_list(&CFG, 60, &mut rng);
-        let rep = fault_coverage(&alg, &CFG, &faults);
+        let rep = fault_coverage(&exec(), &alg, &CFG, &faults).unwrap();
         assert_eq!(
             rep.coverage_percent(),
             100.0,
@@ -718,7 +742,7 @@ mod tests {
         let alg = MarchAlgorithm::march_ss();
         let mut rng = StdRng::seed_from_u64(7);
         let faults = random_fault_list(&CFG, 40, &mut rng);
-        let rep = fault_coverage(&alg, &CFG, &faults);
+        let rep = fault_coverage(&exec(), &alg, &CFG, &faults).unwrap();
         assert_eq!(rep.coverage_percent(), 100.0, "{rep}");
     }
 
@@ -731,14 +755,14 @@ mod tests {
             .into_iter()
             .filter(|f| f.class() == "SAF" || f.class() == "AF")
             .collect();
-        let rep = fault_coverage(&alg, &CFG, &safs);
+        let rep = fault_coverage(&exec(), &alg, &CFG, &safs).unwrap();
         assert_eq!(rep.coverage_percent(), 100.0, "{rep}");
         // Couplings: escapes expected (MATS+ is only 5N).
         let cfs: Vec<MemFault> = random_fault_list(&CFG, 80, &mut rng)
             .into_iter()
             .filter(|f| f.class().starts_with("CF"))
             .collect();
-        let rep = fault_coverage(&alg, &CFG, &cfs);
+        let rep = fault_coverage(&exec(), &alg, &CFG, &cfs).unwrap();
         assert!(
             rep.coverage_percent() < 100.0,
             "MATS+ should not catch every coupling fault: {rep}"
@@ -750,9 +774,9 @@ mod tests {
     fn cheaper_algorithms_never_beat_march_ss() {
         let mut rng = StdRng::seed_from_u64(11);
         let faults = random_fault_list(&CFG, 30, &mut rng);
-        let ss = fault_coverage(&MarchAlgorithm::march_ss(), &CFG, &faults);
+        let ss = fault_coverage(&exec(), &MarchAlgorithm::march_ss(), &CFG, &faults).unwrap();
         for alg in [MarchAlgorithm::mats_plus(), MarchAlgorithm::march_x()] {
-            let rep = fault_coverage(&alg, &CFG, &faults);
+            let rep = fault_coverage(&exec(), &alg, &CFG, &faults).unwrap();
             assert!(
                 rep.detected <= ss.detected,
                 "{} outperformed March SS",
@@ -771,7 +795,7 @@ mod tests {
             for (words, width) in [(16, 1), (64, 4), (9, 8)] {
                 let cfg = SramConfig::single_port(words, width);
                 let faults = random_fault_list(&cfg, 12, &mut rng);
-                let packed = fault_coverage(&alg, &cfg, &faults);
+                let packed = fault_coverage(&exec(), &alg, &cfg, &faults).unwrap();
                 let serial = fault_coverage_serial(&alg, &cfg, &faults);
                 assert_eq!(
                     packed.detected, serial.detected,
@@ -790,7 +814,7 @@ mod tests {
         let mut faults = random_fault_list(&CFG, 30, &mut rng);
         faults.truncate(130); // 64 + 64 + 2: three passes
         let alg = MarchAlgorithm::march_c_minus();
-        let packed = fault_coverage(&alg, &CFG, &faults);
+        let packed = fault_coverage(&exec(), &alg, &CFG, &faults).unwrap();
         let serial = fault_coverage_serial(&alg, &CFG, &faults);
         assert_eq!(packed.detected, serial.detected);
         assert_eq!(packed.escaped, serial.escaped);
@@ -816,7 +840,7 @@ mod tests {
                 alg.name
             );
             // Packed agrees.
-            let rep = fault_coverage(&alg, &CFG, &[fault]);
+            let rep = fault_coverage(&exec(), &alg, &CFG, &[fault]).unwrap();
             assert_eq!(rep.detected, 0, "{} packed disagreement", alg.name);
         }
         // The unmasked polarity (forced value opposite to the written
@@ -830,7 +854,8 @@ mod tests {
         };
         let mut m = Sram::with_fault(CFG, visible);
         assert!(run_march(&MarchAlgorithm::march_c_minus(), &mut m));
-        let rep = fault_coverage(&MarchAlgorithm::march_c_minus(), &CFG, &[visible]);
+        let rep =
+            fault_coverage(&exec(), &MarchAlgorithm::march_c_minus(), &CFG, &[visible]).unwrap();
         assert_eq!(rep.detected, 1);
     }
 
@@ -841,9 +866,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         let faults = random_fault_list(&CFG, 40, &mut rng);
         let alg = MarchAlgorithm::mats_plus(); // leaves escapes to merge
-        let baseline = fault_coverage_with(&alg, &CFG, &faults, Threads::single());
-        for t in 2..=8 {
-            let sharded = fault_coverage_with(&alg, &CFG, &faults, Threads::exact(t));
+        let baseline = fault_coverage(&Exec::serial(), &alg, &CFG, &faults).unwrap();
+        for t in 1..=8 {
+            let threaded = Exec::threads(Threads::exact(t));
+            let sharded = fault_coverage(&threaded, &alg, &CFG, &faults).unwrap();
             assert_eq!(sharded, baseline, "{t} threads");
         }
     }
@@ -857,7 +883,7 @@ mod tests {
             state: true,
             forced: true,
         }];
-        let rep = fault_coverage(&alg, &CFG, &faults);
+        let rep = fault_coverage(&exec(), &alg, &CFG, &faults).unwrap();
         if rep.detected == 0 {
             assert!(rep.to_string().contains("CFst"), "{rep}");
         }

@@ -30,7 +30,9 @@
 //! use steac_membist::march::MarchAlgorithm;
 //! use steac_membist::memory::{MemFault, SramConfig};
 //! use steac_membist::faultsim::fault_coverage;
+//! use steac_sim::Exec;
 //!
+//! # fn main() -> Result<(), steac_sim::SimError> {
 //! let alg = MarchAlgorithm::march_c_minus();
 //! assert_eq!(alg.complexity(), 10); // 10N
 //! let cfg = SramConfig::single_port(1024, 8);
@@ -38,8 +40,11 @@
 //!     MemFault::stuck_at(3, 0, true),
 //!     MemFault::transition_up(17, 2),
 //! ];
-//! let report = fault_coverage(&alg, &cfg, &faults);
+//! // One Exec value picks the backend: serial, threads or processes.
+//! let report = fault_coverage(&Exec::from_env(), &alg, &cfg, &faults)?;
 //! assert_eq!(report.coverage_percent(), 100.0);
+//! # Ok(())
+//! # }
 //! ```
 
 pub mod background;
@@ -60,9 +65,7 @@ pub use background::{
 pub use brains::{BistDesign, Brains, MemorySpec, SequencerPolicy};
 pub use controller::{controller_netlist, BIST_IF_SIGNALS};
 pub use diagnose::{first_failure, implicated_memories, FailureSite};
-pub use faultsim::{
-    fault_coverage, fault_coverage_serial, run_march, MemCoverageReport, FAULTS_PER_PASS,
-};
+pub use faultsim::{fault_coverage, run_march, MemCoverageReport, FAULTS_PER_PASS};
 pub use march::{Direction, MarchAlgorithm, MarchElement, MarchOp};
 pub use memory::{MemFault, PortKind, Sram, SramConfig};
 pub use sequencer::{sequencer_netlist, BistCommand, Sequencer};

@@ -174,7 +174,10 @@ impl Shell {
                     .map(|s| s.parse().map_err(|_| bad("bad sample count")))
                     .transpose()?
                     .unwrap_or(20);
-                let reports = self.brains.evaluate_coverage(n, 2005);
+                let reports = self
+                    .brains
+                    .evaluate_coverage(&steac_sim::Exec::from_env(), n, 2005)
+                    .map_err(|e| bad(&format!("coverage dispatch failed: {e}")))?;
                 let mut out = String::new();
                 for r in reports {
                     out.push_str(&r.to_string());

@@ -286,7 +286,8 @@ impl WireJob for MarchWireJob {
 
 /// Decodes a [`WIRE_KIND`] job block into the executable March job — the
 /// `steac-worker` side of
-/// [`fault_coverage_processes`](crate::faultsim::fault_coverage_processes).
+/// [`fault_coverage`](crate::faultsim::fault_coverage)'s process
+/// backend.
 ///
 /// # Errors
 ///

@@ -1,20 +1,23 @@
 //! Cycle-based patterns and the ATE cycle player.
 //!
 //! The batch player treats every 64-pattern chunk as an independent work
-//! unit over the shared compiled program, fanning chunks across cores
-//! through [`steac_sim::shard`] — or, with `STEAC_WORKERS` set, across
-//! `steac-worker` **processes** ([`apply_cycle_patterns_batch_processes`]):
-//! the compiled program, pin bindings and force state ship once per
-//! worker over the [`steac_sim::wire`] format, pattern chunks are the
-//! unit payloads, and the per-pattern [`MismatchReport`]s merge in
-//! pattern order either way — sharded playback is bit-identical to
-//! single-threaded playback at every thread and worker count.
+//! unit over the shared compiled program and hands the chunks to
+//! [`Exec::dispatch`] as an [`steac_sim::ExecWork`]: the one
+//! [`apply_cycle_patterns_batch`] entry point plays them inline
+//! (`Exec::serial()`), across cores (`Exec::threads(..)`) or across
+//! `steac-worker` **processes** (`Exec::processes(..)`) — in process
+//! mode the compiled program, pin bindings and force state ship once
+//! per worker over the [`steac_sim::wire`] format and pattern chunks
+//! are the unit payloads. The per-pattern [`MismatchReport`]s merge in
+//! pattern order on every backend, so playback is bit-identical to a
+//! serial run at every thread and worker count.
 
 use crate::PatternError;
 use std::fmt;
 use std::sync::Arc;
 use steac_netlist::NetId;
-use steac_sim::{shard, wire, Logic, SimError, Simulator, Threads};
+use steac_sim::shard::{self, PoolError};
+use steac_sim::{wire, Exec, ExecWork, Logic, SimError, Simulator};
 
 /// Per-pin state in one tester cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -197,6 +200,29 @@ impl MismatchReport {
     #[must_use]
     pub fn passed(&self) -> bool {
         self.mismatches.is_empty()
+    }
+}
+
+/// Result of a batched playback run: one [`MismatchReport`] per
+/// pattern, plus the dispatch bookkeeping for the run. Every
+/// verdict-bearing field is backend-invariant; `process_fallbacks` is
+/// nonzero only when a process backend fell back in-thread under
+/// [`steac_sim::Fallback::InThread`] (the verdicts are unaffected, the
+/// degradation is just recorded instead of silent).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BatchPlayback {
+    /// One report per pattern, in batch order.
+    pub reports: Vec<MismatchReport>,
+    /// Times this run's process dispatch fell back to the in-thread
+    /// pool (0 or 1; exactly this call's count, not a shared total).
+    pub process_fallbacks: usize,
+}
+
+impl BatchPlayback {
+    /// `true` when every compare of every pattern passed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.reports.iter().all(MismatchReport::passed)
     }
 }
 
@@ -383,11 +409,12 @@ fn play_chunk(
 }
 
 /// Plays up to 64 cycle patterns per pass, one per simulation lane, and
-/// returns one [`MismatchReport`] per pattern — the batched ATE playback
-/// path (a tester floor applying the same timing program to 64 dies at
+/// returns a [`BatchPlayback`] with one [`MismatchReport`] per pattern —
+/// the batched ATE playback path (a tester floor applying the same timing program to 64 dies at
 /// once). Batches larger than [`steac_sim::LANES`] become independent
-/// 64-pattern chunks fanned across cores with the default thread count
-/// ([`Threads::from_env`]).
+/// 64-pattern chunks dispatched on `exec` — inline, across cores or
+/// across `steac-worker` processes; reports are byte-identical on every
+/// backend.
 ///
 /// All patterns of a batch must share the *shape* that fixes the timing
 /// program: the same pin list, the same cycle count, and `P` (pulse) on
@@ -398,23 +425,40 @@ fn play_chunk(
 /// Every chunk plays on a worker-local clone of `sim`, reset to the
 /// all-`X` state first, so every pattern observes power-on semantics
 /// (reset your patterns' preambles accordingly); forces applied to `sim`
-/// (fault injection) carry into every clone. `sim` itself is not
-/// mutated.
+/// (fault injection) carry into every clone — including across the wire
+/// into worker processes. `sim` itself is not mutated.
 ///
 /// # Errors
 ///
 /// Returns [`PatternError::Shape`] when pin lists, cycle counts or pulse
 /// positions disagree, [`PatternError::UnknownPin`] for pins missing on
 /// the module, and propagates simulator errors (lowest-indexed failing
-/// chunk, deterministically).
+/// chunk, deterministically). Process-backend failures surface as
+/// [`SimError::Worker`] wrapped in [`PatternError::Sim`] under
+/// [`steac_sim::Fallback::Fail`], and are otherwise recomputed
+/// in-thread (counted on the `Exec`).
 pub fn apply_cycle_patterns_batch(
+    exec: &Exec,
     sim: &Simulator,
     patterns: &[&CyclePattern],
-) -> Result<Vec<MismatchReport>, PatternError> {
-    match shard::env_workers() {
-        Some(workers) => apply_cycle_patterns_batch_processes(sim, patterns, workers),
-        None => apply_cycle_patterns_batch_with(sim, patterns, Threads::from_env()),
-    }
+) -> Result<BatchPlayback, PatternError> {
+    use steac_sim::LANES;
+
+    let Some(first) = validate_batch(patterns)? else {
+        return Ok(BatchPlayback::default());
+    };
+    let nets = resolve_pins(sim, &first.pins)?;
+    let work = PlaybackWork {
+        sim,
+        pins: &first.pins,
+        nets: &nets,
+        chunks: patterns.chunks(LANES).collect(),
+    };
+    let dispatched = exec.dispatch(&work)?;
+    Ok(BatchPlayback {
+        process_fallbacks: dispatched.fallback_count(),
+        reports: dispatched.units.into_iter().flatten().collect(),
+    })
 }
 
 /// Checks the batch shares the shape that fixes the timing program —
@@ -463,35 +507,66 @@ fn validate_batch<'a>(
     Ok(Some(first))
 }
 
-/// [`apply_cycle_patterns_batch`] with an explicit in-thread worker
-/// count.
-///
-/// # Errors
-///
-/// As [`apply_cycle_patterns_batch`].
-pub fn apply_cycle_patterns_batch_with(
-    sim: &Simulator,
-    patterns: &[&CyclePattern],
-    threads: Threads,
-) -> Result<Vec<MismatchReport>, PatternError> {
-    use steac_sim::LANES;
-
-    let Some(first) = validate_batch(patterns)? else {
-        return Ok(Vec::new());
-    };
-    let nets = resolve_pins(sim, &first.pins)?;
-    let chunks: Vec<&[&CyclePattern]> = patterns.chunks(LANES).collect();
-    let per_chunk = shard::run_fallible(threads, chunks.len(), |ci| {
-        let mut wsim = sim.clone();
-        wsim.reset_to_x();
-        play_chunk(&mut wsim, &nets, &first.pins, chunks[ci])
-    })?;
-    Ok(per_chunk.into_iter().flatten().collect())
+/// The [`ExecWork`] description of batched playback: one unit per
+/// 64-pattern chunk, a job block carrying the compiled program + pin
+/// bindings + force state, and per-chunk [`MismatchReport`] lists as
+/// unit results.
+struct PlaybackWork<'a> {
+    sim: &'a Simulator,
+    pins: &'a [String],
+    nets: &'a [NetId],
+    chunks: Vec<&'a [&'a CyclePattern]>,
 }
 
-// ---------- process-level dispatch ----------
+impl ExecWork for PlaybackWork<'_> {
+    type Output = Vec<MismatchReport>;
+    type Error = PatternError;
 
-/// Work-unit kind the `steac-worker` binary routes to
+    fn kind(&self) -> u16 {
+        WIRE_KIND
+    }
+
+    fn unit_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    fn encode_job(&self) -> Vec<u8> {
+        encode_playback_job(self.sim, self.pins, self.nets)
+    }
+
+    fn encode_unit(&self, unit: usize) -> Vec<u8> {
+        encode_pattern_chunk(self.chunks[unit])
+    }
+
+    fn run_unit_local(&self, unit: usize) -> Result<Vec<MismatchReport>, PatternError> {
+        let mut wsim = self.sim.clone();
+        wsim.reset_to_x();
+        play_chunk(&mut wsim, self.nets, self.pins, self.chunks[unit])
+    }
+
+    fn decode_result(&self, unit: usize, bytes: &[u8]) -> Result<Vec<MismatchReport>, String> {
+        let reports = decode_reports(bytes).map_err(|e| format!("result: {e}"))?;
+        // One report per pattern, positionally: a miscounted result
+        // would misattribute every later report, so it is rejected like
+        // any other malformed worker result.
+        if reports.len() != self.chunks[unit].len() {
+            return Err(format!(
+                "result has {} reports for {} patterns",
+                reports.len(),
+                self.chunks[unit].len()
+            ));
+        }
+        Ok(reports)
+    }
+
+    fn pool_error(&self, error: PoolError) -> PatternError {
+        PatternError::Sim(SimError::from(error))
+    }
+}
+
+// ---------- wire codecs + worker-side job ----------
+
+/// Work-unit kind the worker-side job registry routes to
 /// [`open_wire_job`]: one 64-pattern playback chunk.
 pub const WIRE_KIND: u16 = 2;
 
@@ -661,7 +736,8 @@ impl shard::WireJob for PlaybackJob {
 }
 
 /// Decodes a [`WIRE_KIND`] job block into the executable playback job —
-/// the `steac-worker` side of [`apply_cycle_patterns_batch_processes`].
+/// the `steac-worker` side of [`apply_cycle_patterns_batch`]'s process
+/// backend.
 ///
 /// # Errors
 ///
@@ -700,86 +776,14 @@ pub fn open_wire_job(job: &[u8]) -> Result<Box<dyn shard::WireJob>, String> {
     Ok(Box::new(PlaybackJob { sim, pins, nets }))
 }
 
-/// [`apply_cycle_patterns_batch`] fanned across `workers` `steac-worker`
-/// processes. Falls back to the in-thread pool when the worker binary
-/// cannot be found or spawned.
-///
-/// # Errors
-///
-/// As [`apply_cycle_patterns_batch`]; a failing worker surfaces as
-/// [`SimError::Worker`] (wrapped in [`PatternError::Sim`]) on the
-/// lowest-indexed failing chunk.
-pub fn apply_cycle_patterns_batch_processes(
-    sim: &Simulator,
-    patterns: &[&CyclePattern],
-    workers: usize,
-) -> Result<Vec<MismatchReport>, PatternError> {
-    match shard::ProcessPool::new(workers) {
-        Some(pool) => apply_cycle_patterns_batch_with_pool(sim, patterns, &pool),
-        None => apply_cycle_patterns_batch_with(sim, patterns, Threads::from_env()),
-    }
-}
-
-/// [`apply_cycle_patterns_batch`] over an explicit
-/// [`shard::ProcessPool`]. Falls back to the in-thread pool only when
-/// spawning fails outright.
-///
-/// # Errors
-///
-/// As [`apply_cycle_patterns_batch_processes`].
-pub fn apply_cycle_patterns_batch_with_pool(
-    sim: &Simulator,
-    patterns: &[&CyclePattern],
-    pool: &shard::ProcessPool,
-) -> Result<Vec<MismatchReport>, PatternError> {
-    use steac_sim::LANES;
-
-    let Some(first) = validate_batch(patterns)? else {
-        return Ok(Vec::new());
-    };
-    let nets = resolve_pins(sim, &first.pins)?;
-    let job = encode_playback_job(sim, &first.pins, &nets);
-    let units: Vec<Vec<u8>> = patterns.chunks(LANES).map(encode_pattern_chunk).collect();
-    match pool.run(WIRE_KIND, &job, &units) {
-        Ok(results) => {
-            let mut reports = Vec::with_capacity(patterns.len());
-            for (unit, (bytes, chunk)) in results.iter().zip(patterns.chunks(LANES)).enumerate() {
-                let chunk_reports = decode_reports(bytes).map_err(|e| {
-                    PatternError::Sim(SimError::Worker {
-                        unit,
-                        diagnostic: format!("result: {e}"),
-                    })
-                })?;
-                // One report per pattern, positionally: a miscounted
-                // result would misattribute every later report, so it
-                // is rejected like any other malformed worker result.
-                if chunk_reports.len() != chunk.len() {
-                    return Err(PatternError::Sim(SimError::Worker {
-                        unit,
-                        diagnostic: format!(
-                            "result has {} reports for {} patterns",
-                            chunk_reports.len(),
-                            chunk.len()
-                        ),
-                    }));
-                }
-                reports.extend(chunk_reports);
-            }
-            Ok(reports)
-        }
-        Err(shard::PoolError::Spawn { .. }) => {
-            apply_cycle_patterns_batch_with(sim, patterns, Threads::from_env())
-        }
-        Err(shard::PoolError::Unit { unit, diagnostic }) => {
-            Err(PatternError::Sim(SimError::Worker { unit, diagnostic }))
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use steac_netlist::{GateKind, NetlistBuilder};
+
+    fn exec() -> Exec {
+        Exec::from_env()
+    }
 
     #[test]
     fn char_round_trip() {
@@ -895,7 +899,9 @@ mod tests {
         let patterns: Vec<CyclePattern> = data.iter().map(|d| flop_pattern(d)).collect();
         let refs: Vec<&CyclePattern> = patterns.iter().collect();
         let sim = Simulator::new(&m).unwrap();
-        let batch = apply_cycle_patterns_batch(&sim, &refs).unwrap();
+        let batch = apply_cycle_patterns_batch(&exec(), &sim, &refs)
+            .unwrap()
+            .reports;
         assert_eq!(batch.len(), patterns.len());
         for (i, p) in patterns.iter().enumerate() {
             let mut scalar_sim = Simulator::new(&m).unwrap();
@@ -915,7 +921,9 @@ mod tests {
         let mut bad = flop_pattern(&[One, Zero]);
         bad.cycles[1][2] = PinState::ExpectH;
         let sim = Simulator::new(&m).unwrap();
-        let reports = apply_cycle_patterns_batch(&sim, &[&good, &bad]).unwrap();
+        let reports = apply_cycle_patterns_batch(&exec(), &sim, &[&good, &bad])
+            .unwrap()
+            .reports;
         assert!(reports[0].passed(), "{}", reports[0]);
         assert!(!reports[1].passed());
         assert_eq!(reports[1].mismatches[0].1, "q");
@@ -929,7 +937,7 @@ mod tests {
         let a = flop_pattern(&[One]);
         let b = flop_pattern(&[One, Zero]);
         assert!(matches!(
-            apply_cycle_patterns_batch(&sim, &[&a, &b]),
+            apply_cycle_patterns_batch(&exec(), &sim, &[&a, &b]),
             Err(PatternError::Shape {
                 context: "batch cycle count",
                 ..
@@ -939,7 +947,7 @@ mod tests {
         let mut c = flop_pattern(&[One]);
         c.cycles[0][1] = PinState::Drive0;
         assert!(matches!(
-            apply_cycle_patterns_batch(&sim, &[&a, &c]),
+            apply_cycle_patterns_batch(&exec(), &sim, &[&a, &c]),
             Err(PatternError::Shape {
                 context: "batch pulse alignment",
                 ..
@@ -951,7 +959,9 @@ mod tests {
     fn batch_player_empty_is_ok() {
         let m = flop_module();
         let sim = Simulator::new(&m).unwrap();
-        assert!(apply_cycle_patterns_batch(&sim, &[]).unwrap().is_empty());
+        let empty = apply_cycle_patterns_batch(&exec(), &sim, &[]).unwrap();
+        assert!(empty.reports.is_empty());
+        assert!(empty.passed());
     }
 
     /// Sharded playback returns the same reports, in the same order, at
@@ -978,10 +988,11 @@ mod tests {
             .collect();
         let refs: Vec<&CyclePattern> = patterns.iter().collect();
         let sim = Simulator::new(&m).unwrap();
-        let baseline = apply_cycle_patterns_batch_with(&sim, &refs, Threads::single()).unwrap();
-        assert!(baseline.iter().any(|r| !r.passed()));
-        for t in 2..=8 {
-            let sharded = apply_cycle_patterns_batch_with(&sim, &refs, Threads::exact(t)).unwrap();
+        let baseline = apply_cycle_patterns_batch(&Exec::serial(), &sim, &refs).unwrap();
+        assert!(!baseline.passed());
+        for t in 1..=8 {
+            let threaded = Exec::threads(steac_sim::Threads::exact(t));
+            let sharded = apply_cycle_patterns_batch(&threaded, &sim, &refs).unwrap();
             assert_eq!(sharded, baseline, "{t} threads");
         }
     }

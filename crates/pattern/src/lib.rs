@@ -23,9 +23,8 @@ pub mod translate;
 pub use ate::{export_ate, AteStats};
 pub use corelevel::ScanVector;
 pub use cycle::{
-    apply_cycle_pattern, apply_cycle_patterns_batch, apply_cycle_patterns_batch_processes,
-    apply_cycle_patterns_batch_with, apply_cycle_patterns_batch_with_pool, CyclePattern,
-    MismatchReport, PinState,
+    apply_cycle_pattern, apply_cycle_patterns_batch, BatchPlayback, CyclePattern, MismatchReport,
+    PinState,
 };
 pub use translate::{
     merge_sessions, scan_to_wrapper, wrapper_vectors_to_cycles, ChipPatternSet, SessionStream,

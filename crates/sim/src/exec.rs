@@ -1,0 +1,561 @@
+//! The unified execution-backend API: one `&Exec` value selects *how*
+//! a batched workload runs — serially, across in-process threads, or
+//! across `steac-worker` processes — while the workload code stays
+//! identical.
+//!
+//! Every batched workload in the platform (PPSFP fault grading, batched
+//! ATE playback, March fault simulation, JPEG pattern playback)
+//! decomposes into independent work units over shared immutable state.
+//! Before this module each workload exposed a family of near-identical
+//! entry points (`_with`, `_processes`, `_with_pool`, env sniffing in
+//! the default); now each exposes exactly one, taking [`&Exec`](Exec):
+//!
+//! ```text
+//! fault::grade_vectors(&exec, …)
+//! fault::fault_coverage(&exec, …)
+//! cycle::apply_cycle_patterns_batch(&exec, …)
+//! membist::faultsim::fault_coverage(&exec, …)
+//! dsc::verify::jpeg_playback_batch(&exec, …)
+//! ```
+//!
+//! A workload describes itself to the dispatcher once, as an
+//! [`ExecWork`] — how to run a unit in-process, and how to serialize
+//! the job/units and decode results for process (and, later, remote)
+//! transports. [`Exec::dispatch`] then owns the one merge-by-unit-index
+//! determinism contract for every backend: unit `i`'s result (or the
+//! lowest-indexed unit's error) is identical no matter which backend
+//! ran it or how execution interleaved. A future `Backend::Remote`
+//! (shipping the same wire bytes over ssh or TCP to `steac-worker`
+//! processes on other hosts) slots into [`Backend`] and the `Processes`
+//! arm of `dispatch` without touching any workload crate — that is the
+//! point of the seam.
+//!
+//! # Fallback policy
+//!
+//! Process dispatch can fail for reasons that have nothing to do with
+//! the workload (worker binary missing, spawn failure, a worker dying).
+//! The [`Fallback`] policy makes the response explicit instead of
+//! per-callsite folklore:
+//!
+//! * [`Fallback::InThread`] (the default): recompute the whole run on
+//!   the in-thread pool. The fallback is **surfaced**, not silent — it
+//!   is logged to stderr, counted on the `Exec`
+//!   ([`Exec::process_fallbacks`]), and returned to the caller in
+//!   [`Dispatch::fallback`] so reports can carry it.
+//! * [`Fallback::Fail`]: surface the failure as the workload's typed
+//!   error (deterministically the lowest-indexed affected unit).
+//!
+//! # Environment resolution
+//!
+//! [`Exec::from_env`] is the deployment knob. Precedence:
+//!
+//! 1. `STEAC_EXEC` — `serial`, `auto`, `threads[:N]`, `processes[:N]`
+//!    (the CI matrix sets this);
+//! 2. `STEAC_WORKERS=N` — process pool of `N` workers (pre-`Exec`
+//!    compatibility knob);
+//! 3. `STEAC_THREADS=N` — in-process pool of `N` threads;
+//! 4. otherwise the detected core count ([`Threads::auto`]).
+
+use crate::shard::{self, PoolError, ProcessPool, Threads};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Where work units physically execute. `#[non_exhaustive]`: the next
+/// rung, `Remote` (a `ProcessPool`-compatible transport to
+/// `steac-worker` processes on other hosts), will be added here without
+/// breaking any workload crate.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Backend {
+    /// Every unit runs inline on the calling thread, in unit order.
+    Serial,
+    /// Units fan across a `std::thread::scope` pool ([`shard::run_units`]).
+    Threads(Threads),
+    /// Units serialize to `steac-worker` processes ([`ProcessPool`]).
+    Processes(ProcessPool),
+}
+
+/// What [`Exec::dispatch`] does when process-level dispatch fails
+/// (spawn failure, a worker dying, malformed results) — the explicit
+/// replacement for the per-callsite behaviour the `_processes` variants
+/// used to hard-code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fallback {
+    /// Recompute in-process, logging and counting the fallback (see
+    /// [`Exec::process_fallbacks`] and [`Dispatch::fallback`]). The
+    /// run still produces exactly the result the in-thread pool would
+    /// have produced — never a silently different one.
+    #[default]
+    InThread,
+    /// Surface the failure as the workload's typed error, attributed to
+    /// the lowest-indexed affected unit.
+    Fail,
+}
+
+/// A single execution-backend value: backend + failure policy. Shared
+/// by reference across workload calls; the only interior state is the
+/// process-fallback counter.
+#[derive(Debug)]
+pub struct Exec {
+    backend: Backend,
+    on_process_failure: Fallback,
+    fallbacks: AtomicUsize,
+}
+
+/// The outcome of a successful [`Exec::dispatch`]: per-unit results in
+/// unit order, plus the fallback diagnostic when process dispatch
+/// failed and the run was recomputed in-thread.
+#[derive(Debug)]
+pub struct Dispatch<T> {
+    /// One result per work unit, merged **by unit index**.
+    pub units: Vec<T>,
+    /// `Some(diagnostic)` when the run fell back from processes to the
+    /// in-thread pool under [`Fallback::InThread`]; `None` otherwise.
+    pub fallback: Option<String>,
+}
+
+/// A batch of independent work units that every backend can execute:
+/// in-process via [`ExecWork::run_unit_local`], or serialized to
+/// `steac-worker` processes (and, later, remote hosts) via the
+/// `kind`/`encode_*`/`decode_result` half, which must agree with the
+/// worker-side [`shard::WireJob`] registered for the same `kind`.
+///
+/// Implementations live next to their workloads (`crate::fault`,
+/// `steac-pattern`, `steac-membist`); [`Exec::dispatch`] is the only
+/// consumer.
+pub trait ExecWork: Sync {
+    /// Per-unit result.
+    type Output: Send;
+    /// Workload error type.
+    type Error: Send;
+
+    /// Work-unit kind routed by the worker-side job registry.
+    fn kind(&self) -> u16;
+
+    /// Number of independent work units.
+    fn unit_count(&self) -> usize;
+
+    /// Serializes the shared job block (shipped once per worker). Only
+    /// called for process-backed dispatch.
+    fn encode_job(&self) -> Vec<u8>;
+
+    /// Serializes one work unit. Only called for process-backed
+    /// dispatch.
+    fn encode_unit(&self, unit: usize) -> Vec<u8>;
+
+    /// Executes one unit in-process — the exact code the worker binary
+    /// runs for the same unit, so dispatch flavour can never change a
+    /// result.
+    ///
+    /// # Errors
+    ///
+    /// The workload's typed error for this unit.
+    fn run_unit_local(&self, unit: usize) -> Result<Self::Output, Self::Error>;
+
+    /// Decodes one worker result payload.
+    ///
+    /// # Errors
+    ///
+    /// A diagnostic for malformed payloads; the dispatcher treats it as
+    /// a process-level failure of that unit (subject to the fallback
+    /// policy).
+    fn decode_result(&self, unit: usize, bytes: &[u8]) -> Result<Self::Output, String>;
+
+    /// Wraps a process-pool failure in the workload's error type (used
+    /// under [`Fallback::Fail`]).
+    fn pool_error(&self, error: PoolError) -> Self::Error;
+}
+
+impl Exec {
+    /// Serial backend: every unit runs inline, in unit order.
+    #[must_use]
+    pub fn serial() -> Self {
+        Exec::with_backend(Backend::Serial)
+    }
+
+    /// In-process thread-pool backend of the given width.
+    #[must_use]
+    pub fn threads(threads: Threads) -> Self {
+        Exec::with_backend(Backend::Threads(threads))
+    }
+
+    /// Process-pool backend over `steac-worker` processes.
+    #[must_use]
+    pub fn processes(pool: ProcessPool) -> Self {
+        Exec::with_backend(Backend::Processes(pool))
+    }
+
+    /// Thread backend over the detected core count (ignores the
+    /// environment).
+    #[must_use]
+    pub fn auto() -> Self {
+        Exec::threads(Threads::auto())
+    }
+
+    /// The deployment-level backend: resolves `STEAC_EXEC`, then the
+    /// pre-`Exec` `STEAC_WORKERS` / `STEAC_THREADS` knobs (in that
+    /// precedence), defaulting to [`Exec::auto`]. Unrecognised specs
+    /// and a requested-but-undiscoverable worker binary degrade to the
+    /// thread backend with a warning on stderr.
+    #[must_use]
+    pub fn from_env() -> Self {
+        if let Ok(spec) = std::env::var("STEAC_EXEC") {
+            if let Some(exec) = Exec::parse(&spec) {
+                return exec;
+            }
+            eprintln!("steac exec: ignoring unrecognised STEAC_EXEC `{spec}`");
+        }
+        if let Some(workers) = shard::env_workers() {
+            if let Some(pool) = ProcessPool::new(workers) {
+                return Exec::processes(pool);
+            }
+            eprintln!(
+                "steac exec: STEAC_WORKERS={workers} but no steac-worker binary found; \
+                 using the thread backend"
+            );
+        }
+        Exec::threads(Threads::from_env())
+    }
+
+    /// Parses a `STEAC_EXEC`-style backend spec: `serial`, `auto`,
+    /// `threads`, `threads:N`, `processes`, `processes:N` (`N` > 0;
+    /// bare forms use the detected core count). `None` for anything
+    /// else. A `processes` spec whose worker binary cannot be found
+    /// degrades to the thread backend with a warning, so a binary-less
+    /// environment still runs.
+    #[must_use]
+    pub fn parse(spec: &str) -> Option<Self> {
+        let spec = spec.trim();
+        let (head, arg) = match spec.split_once(':') {
+            Some((h, a)) => (h.trim(), Some(a.trim())),
+            None => (spec, None),
+        };
+        let width = match arg {
+            None => None,
+            Some(s) => Some(s.parse::<usize>().ok().filter(|&n| n > 0)?),
+        };
+        match head {
+            "serial" if width.is_none() => Some(Exec::serial()),
+            "auto" if width.is_none() => Some(Exec::auto()),
+            "threads" => Some(Exec::threads(match width {
+                Some(n) => Threads::exact(n),
+                None => Threads::auto(),
+            })),
+            "processes" => {
+                let workers = width.unwrap_or_else(|| Threads::auto().get());
+                match ProcessPool::new(workers) {
+                    Some(pool) => Some(Exec::processes(pool)),
+                    None => {
+                        eprintln!(
+                            "steac exec: `{spec}` requested but no steac-worker binary found; \
+                             using the thread backend"
+                        );
+                        Some(Exec::threads(Threads::from_env()))
+                    }
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn with_backend(backend: Backend) -> Self {
+        Exec {
+            backend,
+            on_process_failure: Fallback::default(),
+            fallbacks: AtomicUsize::new(0),
+        }
+    }
+
+    /// Sets the process-failure policy (builder style; the default is
+    /// [`Fallback::InThread`]).
+    #[must_use]
+    pub fn with_fallback(mut self, policy: Fallback) -> Self {
+        self.on_process_failure = policy;
+        self
+    }
+
+    /// The configured backend.
+    #[must_use]
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// The configured process-failure policy.
+    #[must_use]
+    pub fn on_process_failure(&self) -> Fallback {
+        self.on_process_failure
+    }
+
+    /// Configured fan-out width: 1 for serial, the thread count, or the
+    /// worker-process count (runs additionally cap it at the unit
+    /// count).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        match &self.backend {
+            Backend::Serial => 1,
+            Backend::Threads(t) => t.get(),
+            Backend::Processes(p) => p.workers(),
+        }
+    }
+
+    /// The in-process worker count this backend implies — what
+    /// [`Exec::run_units`] / [`Exec::run_fallible`] use, and what
+    /// process dispatch falls back to under [`Fallback::InThread`].
+    /// `Serial` pins it to 1; `Processes` uses [`Threads::from_env`]
+    /// for its local compute.
+    #[must_use]
+    pub fn local_threads(&self) -> Threads {
+        match &self.backend {
+            Backend::Serial => Threads::single(),
+            Backend::Threads(t) => *t,
+            Backend::Processes(_) => Threads::from_env(),
+        }
+    }
+
+    /// How many times process dispatch on this `Exec` has fallen back
+    /// to the in-thread pool (only ever nonzero under
+    /// [`Fallback::InThread`]). Reports fold the per-call count in; this
+    /// is the running total across calls.
+    #[must_use]
+    pub fn process_fallbacks(&self) -> usize {
+        self.fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Runs `work(0..unit_count)` on the backend's **in-process** pool
+    /// and returns results in unit order — for workloads (or workload
+    /// phases, like pattern generation) whose closures cannot cross a
+    /// process boundary. `Serial` runs inline; `Processes` uses the
+    /// local thread width ([`Exec::local_threads`]).
+    pub fn run_units<T, F>(&self, unit_count: usize, work: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        shard::run_units(self.local_threads(), unit_count, work)
+    }
+
+    /// [`Exec::run_units`] for fallible work: all results in unit
+    /// order, or the error of the lowest-indexed failing unit.
+    ///
+    /// # Errors
+    ///
+    /// The error of the lowest-indexed failing unit.
+    pub fn run_fallible<T, E, F>(&self, unit_count: usize, work: F) -> Result<Vec<T>, E>
+    where
+        T: Send,
+        E: Send,
+        F: Fn(usize) -> Result<T, E> + Sync,
+    {
+        shard::run_fallible(self.local_threads(), unit_count, work)
+    }
+
+    /// Executes an [`ExecWork`] on the configured backend and merges
+    /// the per-unit results **by unit index** — the single dispatch
+    /// seam every workload entry point routes through, so the
+    /// determinism contract (unit-order results, lowest-indexed-unit
+    /// errors, bit-identical reports across backends) lives in exactly
+    /// one place.
+    ///
+    /// # Errors
+    ///
+    /// The workload error of the lowest-indexed failing unit; under
+    /// [`Fallback::Fail`], also the wrapped process-pool failure.
+    pub fn dispatch<W: ExecWork>(&self, work: &W) -> Result<Dispatch<W::Output>, W::Error> {
+        let count = work.unit_count();
+        let local =
+            |threads: Threads| shard::run_fallible(threads, count, |i| work.run_unit_local(i));
+        let pool = match &self.backend {
+            Backend::Serial => return Ok(Dispatch::clean(local(Threads::single())?)),
+            Backend::Threads(t) => return Ok(Dispatch::clean(local(*t)?)),
+            Backend::Processes(pool) => pool,
+        };
+        if count == 0 {
+            return Ok(Dispatch::clean(Vec::new()));
+        }
+        let job = work.encode_job();
+        let units: Vec<Vec<u8>> = (0..count).map(|i| work.encode_unit(i)).collect();
+        let failure = match pool.run(work.kind(), &job, &units) {
+            Ok(results) => {
+                let mut decoded = Vec::with_capacity(count);
+                let mut bad = None;
+                for (unit, bytes) in results.iter().enumerate() {
+                    match work.decode_result(unit, bytes) {
+                        Ok(v) => decoded.push(v),
+                        Err(diagnostic) => {
+                            bad = Some(PoolError::Unit { unit, diagnostic });
+                            break;
+                        }
+                    }
+                }
+                match bad {
+                    None => return Ok(Dispatch::clean(decoded)),
+                    Some(failure) => failure,
+                }
+            }
+            Err(failure) => failure,
+        };
+        match self.on_process_failure {
+            Fallback::Fail => Err(work.pool_error(failure)),
+            Fallback::InThread => {
+                let diagnostic = failure.to_string();
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "steac exec: process dispatch failed ({diagnostic}); \
+                     recomputing on the in-thread pool"
+                );
+                Ok(Dispatch {
+                    units: local(self.local_threads())?,
+                    fallback: Some(diagnostic),
+                })
+            }
+        }
+    }
+}
+
+impl<T> Dispatch<T> {
+    fn clean(units: Vec<T>) -> Self {
+        Dispatch {
+            units,
+            fallback: None,
+        }
+    }
+
+    /// 1 when this dispatch fell back from processes to the in-thread
+    /// pool, else 0 — the per-call count reports fold in.
+    #[must_use]
+    pub fn fallback_count(&self) -> usize {
+        usize::from(self.fallback.is_some())
+    }
+}
+
+impl Default for Exec {
+    fn default() -> Self {
+        Exec::from_env()
+    }
+}
+
+impl fmt::Display for Exec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.backend {
+            Backend::Serial => f.write_str("serial"),
+            Backend::Threads(t) => write!(f, "threads:{}", t.get()),
+            Backend::Processes(p) => write!(f, "processes:{}", p.workers()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn spec_parsing_accepts_the_documented_grammar() {
+        assert_eq!(Exec::parse("serial").unwrap().to_string(), "serial");
+        assert_eq!(Exec::parse(" threads:3 ").unwrap().to_string(), "threads:3");
+        assert!(matches!(
+            Exec::parse("auto").unwrap().backend(),
+            Backend::Threads(_)
+        ));
+        assert!(Exec::parse("threads").is_some());
+        for bad in ["", "serial:2", "threads:0", "threads:x", "ssh:2", "auto:4"] {
+            assert!(Exec::parse(bad).is_none(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn widths_and_local_threads_follow_the_backend() {
+        let serial = Exec::serial();
+        assert_eq!(serial.width(), 1);
+        assert_eq!(serial.local_threads().get(), 1);
+        let threads = Exec::threads(Threads::exact(5));
+        assert_eq!(threads.width(), 5);
+        assert_eq!(threads.local_threads().get(), 5);
+        let procs = Exec::processes(ProcessPool::with_binary(PathBuf::from("/nope"), 3));
+        assert_eq!(procs.width(), 3);
+        assert!(procs.local_threads().get() >= 1);
+        assert_eq!(procs.to_string(), "processes:3");
+    }
+
+    #[test]
+    fn in_process_dispatch_is_unit_ordered_on_every_backend() {
+        let expected: Vec<usize> = (0..50).map(|i| i * 3).collect();
+        for exec in [
+            Exec::serial(),
+            Exec::threads(Threads::exact(1)),
+            Exec::threads(Threads::exact(4)),
+        ] {
+            assert_eq!(exec.run_units(50, |i| i * 3), expected, "{exec}");
+            let fallible: Result<Vec<usize>, usize> = exec.run_fallible(50, Ok);
+            assert_eq!(fallible.unwrap().len(), 50, "{exec}");
+        }
+    }
+
+    /// A minimal ExecWork that squares its unit index; the process
+    /// backend has no real worker for it, which exercises both
+    /// fallback policies.
+    struct Squares(usize);
+
+    impl ExecWork for Squares {
+        type Output = usize;
+        type Error = String;
+
+        fn kind(&self) -> u16 {
+            9999
+        }
+        fn unit_count(&self) -> usize {
+            self.0
+        }
+        fn encode_job(&self) -> Vec<u8> {
+            Vec::new()
+        }
+        fn encode_unit(&self, unit: usize) -> Vec<u8> {
+            vec![unit as u8]
+        }
+        fn run_unit_local(&self, unit: usize) -> Result<usize, String> {
+            Ok(unit * unit)
+        }
+        fn decode_result(&self, _unit: usize, _bytes: &[u8]) -> Result<usize, String> {
+            Err("no decoder in this test".to_string())
+        }
+        fn pool_error(&self, error: PoolError) -> String {
+            error.to_string()
+        }
+    }
+
+    #[test]
+    fn dispatch_merges_by_unit_index_on_in_process_backends() {
+        let expected: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for exec in [Exec::serial(), Exec::threads(Threads::exact(4))] {
+            let d = exec.dispatch(&Squares(97)).unwrap();
+            assert_eq!(d.units, expected, "{exec}");
+            assert!(d.fallback.is_none());
+            assert_eq!(d.fallback_count(), 0);
+        }
+    }
+
+    #[test]
+    fn process_failure_honours_the_fallback_policy() {
+        let bogus = || ProcessPool::with_binary(PathBuf::from("/nonexistent/steac-worker"), 2);
+        let forgiving = Exec::processes(bogus());
+        let d = forgiving.dispatch(&Squares(10)).unwrap();
+        assert_eq!(d.units, (0..10).map(|i| i * i).collect::<Vec<_>>());
+        assert!(d.fallback.is_some(), "fallback must be surfaced");
+        assert_eq!(d.fallback_count(), 1);
+        assert_eq!(forgiving.process_fallbacks(), 1);
+
+        let strict = Exec::processes(bogus()).with_fallback(Fallback::Fail);
+        let err = strict.dispatch(&Squares(10)).unwrap_err();
+        assert!(err.contains("cannot spawn worker"), "{err}");
+        assert_eq!(strict.process_fallbacks(), 0);
+    }
+
+    #[test]
+    fn empty_dispatch_never_touches_the_pool() {
+        let exec = Exec::processes(ProcessPool::with_binary(PathBuf::from("/nope"), 2))
+            .with_fallback(Fallback::Fail);
+        let d = exec.dispatch(&Squares(0)).unwrap();
+        assert!(d.units.is_empty());
+        assert!(d.fallback.is_none());
+    }
+}

@@ -4,11 +4,13 @@
 //! ([`Simulator::force_lane`]).
 //!
 //! Passes are independent work units over the shared compiled program,
-//! so [`fault_coverage`] and [`grade_vectors`] fan them across cores
-//! through [`crate::shard`] — good machine + 63 faults per pass *per
-//! worker*, with per-pass fault dropping — and merge the per-pass
-//! verdicts in fault-list order, making the sharded reports bit-identical
-//! to a single-threaded run at every thread count.
+//! so [`grade_vectors`] describes them as an [`ExecWork`] and hands
+//! them to [`Exec::dispatch`] — serial, thread-sharded or fanned across
+//! `steac-worker` processes, the per-pass verdicts merge in fault-list
+//! order and the reports are bit-identical on every backend.
+//! [`fault_coverage`] drives an arbitrary test closure, which cannot
+//! cross a process boundary, so it always runs on the backend's
+//! in-process pool ([`Exec::local_threads`]).
 //!
 //! Used to check that generated DFT structures are themselves testable and
 //! to grade scan/functional pattern sets in the examples and benches. The
@@ -16,10 +18,11 @@
 //! this module covers the logic side.
 
 use crate::engine::Simulator;
+use crate::exec::{Exec, ExecWork};
 use crate::logic::Logic;
 use crate::packed::{PackedLogic, LANES};
 use crate::program::SimProgram;
-use crate::shard::{self, Threads};
+use crate::shard::{self, PoolError};
 use crate::wire;
 use crate::SimError;
 use std::fmt;
@@ -100,6 +103,13 @@ pub struct CoverageReport {
     pub detected: usize,
     /// Faults that escaped, for diagnosis.
     pub undetected: Vec<Fault>,
+    /// Times process dispatch fell back to the in-thread pool while
+    /// producing this report (0 unless the `Exec` runs a process
+    /// backend under [`crate::exec::Fallback::InThread`] and that
+    /// dispatch failed). The verdicts are unaffected — the fallback
+    /// recomputes the identical report — but the degradation is
+    /// recorded instead of silent.
+    pub process_fallbacks: usize,
 }
 
 impl CoverageReport {
@@ -122,7 +132,15 @@ impl fmt::Display for CoverageReport {
             self.detected,
             self.total,
             self.coverage_percent()
-        )
+        )?;
+        if self.process_fallbacks > 0 {
+            write!(
+                f,
+                " [process dispatch fell back in-thread x{}]",
+                self.process_fallbacks
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -145,7 +163,7 @@ fn detection_lanes(obs: PackedLogic) -> u64 {
 /// [`shard::grade_in_passes`] or [`shard::flags_from_masks`]) into a
 /// [`CoverageReport`]; `undetected` keeps exactly the order a
 /// single-threaded pass-by-pass loop would produce.
-fn report_from_flags(faults: &[Fault], flags: &[bool]) -> CoverageReport {
+fn report_from_flags(faults: &[Fault], flags: &[bool], process_fallbacks: usize) -> CoverageReport {
     let mut detected = 0usize;
     let mut undetected = Vec::new();
     for (&f, &hit) in faults.iter().zip(flags) {
@@ -159,12 +177,11 @@ fn report_from_flags(faults: &[Fault], flags: &[bool]) -> CoverageReport {
         total: faults.len(),
         detected,
         undetected,
+        process_fallbacks,
     }
 }
 
-/// Packed (PPSFP-style) fault simulation over an arbitrary test driver,
-/// sharded across cores with the [`crate::shard`] default thread count
-/// ([`Threads::from_env`]).
+/// Packed (PPSFP-style) fault simulation over an arbitrary test driver.
 ///
 /// Faults are processed in groups of [`FAULTS_PER_PASS`]: lane 0 runs the
 /// good machine, lanes 1–63 each run one faulty machine injected with a
@@ -179,6 +196,12 @@ fn report_from_flags(faults: &[Fault], flags: &[bool]) -> CoverageReport {
 /// any observed position differs from lane 0 where both values are
 /// known.
 ///
+/// Because `run_test` is an arbitrary closure, it cannot be serialized
+/// to worker processes: this workload always executes on the backend's
+/// **in-process** pool ([`Exec::local_threads`] — serial for
+/// `Exec::serial()`, the thread width otherwise). Results are
+/// bit-identical at every width.
+///
 /// The simulator handed to `run_test` starts from the all-`X` reset state
 /// on every pass.
 ///
@@ -187,72 +210,35 @@ fn report_from_flags(faults: &[Fault], flags: &[bool]) -> CoverageReport {
 /// Propagates errors from `run_test` and the engine (the lowest-indexed
 /// failing pass wins, deterministically).
 pub fn fault_coverage<F>(
+    exec: &Exec,
     m: &Module,
     faults: &[Fault],
-    run_test: F,
-) -> Result<CoverageReport, SimError>
-where
-    F: Fn(&mut Simulator) -> Result<(), SimError> + Sync,
-{
-    fault_coverage_with(m, faults, Threads::from_env(), run_test)
-}
-
-/// [`fault_coverage`] with an explicit worker count.
-///
-/// # Errors
-///
-/// Propagates errors from `run_test` and the engine.
-pub fn fault_coverage_with<F>(
-    m: &Module,
-    faults: &[Fault],
-    threads: Threads,
     run_test: F,
 ) -> Result<CoverageReport, SimError>
 where
     F: Fn(&mut Simulator) -> Result<(), SimError> + Sync,
 {
     let program = Arc::new(SimProgram::compile(m)?);
-    let flags = shard::grade_in_passes(threads, faults, FAULTS_PER_PASS, 1, |_, chunk| {
-        let mut sim = Simulator::from_program(Arc::clone(&program));
-        sim.set_observing(true);
-        for (i, f) in chunk.iter().enumerate() {
-            sim.force_lane(f.net, i + 1, f.stuck.value());
-        }
-        run_test(&mut sim)?;
-        let mut mask = 0u64;
-        for obs in sim.take_observations() {
-            mask |= detection_lanes(obs);
-        }
-        Ok::<u64, SimError>(mask)
-    })?;
-    Ok(report_from_flags(faults, &flags))
-}
-
-/// Packed grading of a static vector set applied to `pins` (set inputs,
-/// settle, compare output ports — the classic combinational grading
-/// loop), with **per-pass fault dropping**: once every fault of a pass
-/// is detected, that worker skips the remaining vectors and pulls the
-/// next pass.
-///
-/// Dispatch: with `STEAC_WORKERS` set to a positive integer, passes fan
-/// out across that many `steac-worker` **processes**
-/// ([`grade_vectors_processes`]); otherwise across the default in-thread
-/// pool ([`Threads::from_env`]). Both merges are by pass index, so every
-/// flavour reports byte-identical results.
-///
-/// # Errors
-///
-/// Propagates engine errors.
-pub fn grade_vectors(
-    m: &Module,
-    faults: &[Fault],
-    pins: &[NetId],
-    vectors: &[Vec<Logic>],
-) -> Result<CoverageReport, SimError> {
-    match shard::env_workers() {
-        Some(workers) => grade_vectors_processes(m, faults, pins, vectors, workers),
-        None => grade_vectors_with(m, faults, pins, vectors, Threads::from_env()),
-    }
+    let flags = shard::grade_in_passes(
+        exec.local_threads(),
+        faults,
+        FAULTS_PER_PASS,
+        1,
+        |_, chunk| {
+            let mut sim = Simulator::from_program(Arc::clone(&program));
+            sim.set_observing(true);
+            for (i, f) in chunk.iter().enumerate() {
+                sim.force_lane(f.net, i + 1, f.stuck.value());
+            }
+            run_test(&mut sim)?;
+            let mut mask = 0u64;
+            for obs in sim.take_observations() {
+                mask |= detection_lanes(obs);
+            }
+            Ok::<u64, SimError>(mask)
+        },
+    )?;
+    Ok(report_from_flags(faults, &flags, 0))
 }
 
 fn validate_vectors(pins: &[NetId], vectors: &[Vec<Logic>]) -> Result<(), SimError> {
@@ -267,9 +253,9 @@ fn validate_vectors(pins: &[NetId], vectors: &[Vec<Logic>]) -> Result<(), SimErr
     Ok(())
 }
 
-/// One grading pass over a fault chunk — the exact code both the
-/// in-thread pool and the `steac-worker` process execute, so dispatch
-/// flavour can never change a verdict.
+/// One grading pass over a fault chunk — the exact code every backend
+/// executes (inline, on a pool thread, or inside a `steac-worker`
+/// process), so dispatch flavour can never change a verdict.
 fn grade_chunk(
     program: &Arc<SimProgram>,
     pins: &[NetId],
@@ -299,29 +285,98 @@ fn grade_chunk(
     Ok(mask)
 }
 
-/// [`grade_vectors`] with an explicit in-thread worker count.
+/// The [`ExecWork`] description of vector grading: one unit per
+/// [`FAULTS_PER_PASS`] fault chunk, a job block carrying the compiled
+/// program + pin list + vector set, and `u64` detection masks as unit
+/// results.
+struct GradeWork<'a> {
+    program: Arc<SimProgram>,
+    pins: &'a [NetId],
+    vectors: &'a [Vec<Logic>],
+    chunks: Vec<&'a [Fault]>,
+}
+
+impl ExecWork for GradeWork<'_> {
+    type Output = u64;
+    type Error = SimError;
+
+    fn kind(&self) -> u16 {
+        WIRE_KIND
+    }
+
+    fn unit_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    fn encode_job(&self) -> Vec<u8> {
+        encode_grade_job(&self.program, self.pins, self.vectors)
+    }
+
+    fn encode_unit(&self, unit: usize) -> Vec<u8> {
+        wire::encode_faults(self.chunks[unit])
+    }
+
+    fn run_unit_local(&self, unit: usize) -> Result<u64, SimError> {
+        grade_chunk(&self.program, self.pins, self.vectors, self.chunks[unit])
+    }
+
+    fn decode_result(&self, _unit: usize, bytes: &[u8]) -> Result<u64, String> {
+        bytes
+            .try_into()
+            .map(u64::from_le_bytes)
+            .map_err(|_| format!("result has {} bytes, expected 8", bytes.len()))
+    }
+
+    fn pool_error(&self, error: PoolError) -> SimError {
+        error.into()
+    }
+}
+
+/// Packed grading of a static vector set applied to `pins` (set inputs,
+/// settle, compare output ports — the classic combinational grading
+/// loop), with **per-pass fault dropping**: once every fault of a pass
+/// is detected, that worker skips the remaining vectors and pulls the
+/// next pass.
+///
+/// The single entry point for every backend: `exec` decides whether
+/// passes run inline, across threads or across `steac-worker`
+/// processes ([`Exec::dispatch`]). Merging is by pass index in every
+/// flavour, so the reports are byte-identical — the exec-matrix
+/// integration test pins this.
 ///
 /// # Errors
 ///
-/// Propagates engine errors.
-pub fn grade_vectors_with(
+/// Propagates engine errors; process-backend failures surface as
+/// [`SimError::Worker`] on the lowest-indexed failing pass (under
+/// [`crate::exec::Fallback::Fail`]) or are recomputed in-thread and
+/// recorded in [`CoverageReport::process_fallbacks`].
+pub fn grade_vectors(
+    exec: &Exec,
     m: &Module,
     faults: &[Fault],
     pins: &[NetId],
     vectors: &[Vec<Logic>],
-    threads: Threads,
 ) -> Result<CoverageReport, SimError> {
     validate_vectors(pins, vectors)?;
     let program = Arc::new(SimProgram::compile(m)?);
-    let flags = shard::grade_in_passes(threads, faults, FAULTS_PER_PASS, 1, |_, chunk| {
-        grade_chunk(&program, pins, vectors, chunk)
-    })?;
-    Ok(report_from_flags(faults, &flags))
+    let work = GradeWork {
+        program,
+        pins,
+        vectors,
+        chunks: faults.chunks(FAULTS_PER_PASS).collect(),
+    };
+    let dispatched = exec.dispatch(&work)?;
+    let flags = shard::flags_from_masks(faults.len(), FAULTS_PER_PASS, 1, &dispatched.units);
+    Ok(report_from_flags(
+        faults,
+        &flags,
+        dispatched.fallback_count(),
+    ))
 }
 
-// ---------- process-level dispatch ----------
+// ---------- worker-side wire job ----------
 
-/// Work-unit kind the `steac-worker` binary routes to
+/// Work-unit kind the worker-side job registry routes to
 /// [`open_wire_job`]: vector grading of a fault chunk.
 pub const WIRE_KIND: u16 = 1;
 
@@ -371,7 +426,7 @@ impl shard::WireJob for GradeJob {
 
 /// Decodes a [`WIRE_KIND`] job block (compiled program + pin list +
 /// vector set) into the executable job the worker loop drives — the
-/// `steac-worker` side of [`grade_vectors_processes`].
+/// `steac-worker` side of [`grade_vectors`]' process backend.
 ///
 /// # Errors
 ///
@@ -417,79 +472,10 @@ pub fn open_wire_job(job: &[u8]) -> Result<Box<dyn shard::WireJob>, String> {
     }))
 }
 
-/// [`grade_vectors`] fanned across `workers` `steac-worker` processes.
-/// Falls back to the in-thread pool when the worker binary cannot be
-/// found or spawned (see [`shard::default_worker_binary`]).
-///
-/// # Errors
-///
-/// Propagates engine errors; a failing worker surfaces as
-/// [`SimError::Worker`] on the lowest-indexed failing pass.
-pub fn grade_vectors_processes(
-    m: &Module,
-    faults: &[Fault],
-    pins: &[NetId],
-    vectors: &[Vec<Logic>],
-    workers: usize,
-) -> Result<CoverageReport, SimError> {
-    match shard::ProcessPool::new(workers) {
-        Some(pool) => grade_vectors_with_pool(m, faults, pins, vectors, &pool),
-        None => grade_vectors_with(m, faults, pins, vectors, Threads::from_env()),
-    }
-}
-
-/// [`grade_vectors`] over an explicit [`shard::ProcessPool`] (the
-/// differential tests and the scaling harness pin the binary and width
-/// through this). Falls back to the in-thread pool only when spawning
-/// fails outright.
-///
-/// # Errors
-///
-/// Propagates engine errors; a failing worker surfaces as
-/// [`SimError::Worker`] on the lowest-indexed failing pass.
-pub fn grade_vectors_with_pool(
-    m: &Module,
-    faults: &[Fault],
-    pins: &[NetId],
-    vectors: &[Vec<Logic>],
-    pool: &shard::ProcessPool,
-) -> Result<CoverageReport, SimError> {
-    validate_vectors(pins, vectors)?;
-    let program = SimProgram::compile(m)?;
-    let job = encode_grade_job(&program, pins, vectors);
-    let units: Vec<Vec<u8>> = faults
-        .chunks(FAULTS_PER_PASS)
-        .map(wire::encode_faults)
-        .collect();
-    match pool.run(WIRE_KIND, &job, &units) {
-        Ok(results) => {
-            let mut masks = Vec::with_capacity(results.len());
-            for (unit, bytes) in results.iter().enumerate() {
-                let mask = bytes
-                    .as_slice()
-                    .try_into()
-                    .map(u64::from_le_bytes)
-                    .map_err(|_| SimError::Worker {
-                        unit,
-                        diagnostic: format!("result has {} bytes, expected 8", bytes.len()),
-                    })?;
-                masks.push(mask);
-            }
-            let flags = shard::flags_from_masks(faults.len(), FAULTS_PER_PASS, 1, &masks);
-            Ok(report_from_flags(faults, &flags))
-        }
-        Err(shard::PoolError::Spawn { .. }) => {
-            grade_vectors_with(m, faults, pins, vectors, Threads::from_env())
-        }
-        Err(shard::PoolError::Unit { unit, diagnostic }) => {
-            Err(SimError::Worker { unit, diagnostic })
-        }
-    }
-}
-
 /// Serial reference implementation: one full simulation per fault, as the
-/// original interpreter did. Kept for benchmarking the packed kernel
-/// against and for differential testing; prefer [`fault_coverage`].
+/// original interpreter did. Kept strictly as the differential-test and
+/// benchmark oracle — production callers use [`fault_coverage`] /
+/// [`grade_vectors`] with an [`Exec`].
 ///
 /// `run_test` returns the stream of observed lane-0 values; a fault is
 /// detected when any position differs from the good run where both values
@@ -499,6 +485,7 @@ pub fn grade_vectors_with_pool(
 ///
 /// Propagates errors from `run_test`; the good-machine run is performed
 /// first.
+#[doc(hidden)]
 pub fn fault_coverage_serial<F>(
     m: &Module,
     faults: &[Fault],
@@ -529,13 +516,19 @@ where
         total: faults.len(),
         detected,
         undetected,
+        process_fallbacks: 0,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shard::Threads;
     use steac_netlist::{GateKind, NetlistBuilder};
+
+    fn exec() -> Exec {
+        Exec::from_env()
+    }
 
     fn and2() -> Module {
         let mut b = NetlistBuilder::new("m");
@@ -561,7 +554,7 @@ mod tests {
     fn exhaustive_patterns_give_full_coverage_on_and2() {
         let m = and2();
         let faults = enumerate_faults(&m);
-        let rep = fault_coverage(&m, &faults, exhaustive_and2_driver).unwrap();
+        let rep = fault_coverage(&exec(), &m, &faults, exhaustive_and2_driver).unwrap();
         assert_eq!(rep.coverage_percent(), 100.0, "{rep}");
     }
 
@@ -575,7 +568,7 @@ mod tests {
         b.output("y", y);
         let m = b.finish().unwrap();
         let faults = enumerate_faults(&m);
-        let rep = fault_coverage(&m, &faults, |sim| {
+        let rep = fault_coverage(&exec(), &m, &faults, |sim| {
             sim.set_by_name("a", Logic::One)?;
             sim.set_by_name("b", Logic::Zero)?;
             sim.settle()?;
@@ -594,7 +587,7 @@ mod tests {
         let a = b.input("a");
         b.output("y", a);
         let m = b.finish().unwrap();
-        let rep = fault_coverage(&m, &[], |sim| {
+        let rep = fault_coverage(&exec(), &m, &[], |sim| {
             sim.settle()?;
             Ok(())
         })
@@ -607,7 +600,7 @@ mod tests {
     fn packed_matches_serial_reference() {
         let m = and2();
         let faults = enumerate_faults(&m);
-        let packed = fault_coverage(&m, &faults, exhaustive_and2_driver).unwrap();
+        let packed = fault_coverage(&exec(), &m, &faults, exhaustive_and2_driver).unwrap();
         let serial = fault_coverage_serial(&m, &faults, |sim| {
             let mut obs = Vec::new();
             for (va, vb) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
@@ -637,7 +630,7 @@ mod tests {
         let m = b.finish().unwrap();
         let faults = enumerate_faults(&m);
         assert!(faults.len() > 2 * FAULTS_PER_PASS);
-        let rep = fault_coverage(&m, &faults, |sim| {
+        let rep = fault_coverage(&exec(), &m, &faults, |sim| {
             for v in [Logic::Zero, Logic::One] {
                 sim.set_by_name("a", v)?;
                 sim.settle()?;
@@ -661,18 +654,19 @@ mod tests {
             vec![One, Zero],
             vec![One, One],
         ];
-        let rep = grade_vectors(&m, &faults, &pins, &vectors).unwrap();
+        let rep = grade_vectors(&exec(), &m, &faults, &pins, &vectors).unwrap();
         assert_eq!(rep.coverage_percent(), 100.0, "{rep}");
         // Fewer vectors leave escapes, and the report accounts for them.
-        let rep = grade_vectors(&m, &faults, &pins, &vectors[..1]).unwrap();
+        let rep = grade_vectors(&exec(), &m, &faults, &pins, &vectors[..1]).unwrap();
         assert!(rep.detected < rep.total);
         assert_eq!(rep.undetected.len(), rep.total - rep.detected);
     }
 
-    /// Sharded grading is bit-identical (counts AND `undetected` order)
-    /// at every thread count — the merge-by-unit-index contract.
+    /// Grading is bit-identical (counts AND `undetected` order) on the
+    /// serial backend and at every thread count — the merge-by-unit-index
+    /// contract behind one `Exec` seam.
     #[test]
-    fn sharded_grading_is_thread_count_invariant() {
+    fn grading_is_backend_invariant_in_process() {
         let mut b = NetlistBuilder::new("m");
         let a = b.input("a");
         let mut cur = a;
@@ -688,13 +682,19 @@ mod tests {
         let faults = enumerate_faults(&m);
         let pins = [m.port("a").unwrap().net];
         let vectors = vec![vec![Logic::Zero], vec![Logic::One]];
-        let baseline = grade_vectors_with(&m, &faults, &pins, &vectors, Threads::single()).unwrap();
-        for t in 2..=8 {
-            let sharded =
-                grade_vectors_with(&m, &faults, &pins, &vectors, Threads::exact(t)).unwrap();
+        let baseline = grade_vectors(&Exec::serial(), &m, &faults, &pins, &vectors).unwrap();
+        for t in 1..=8 {
+            let sharded = grade_vectors(
+                &Exec::threads(Threads::exact(t)),
+                &m,
+                &faults,
+                &pins,
+                &vectors,
+            )
+            .unwrap();
             assert_eq!(sharded, baseline, "{t} threads");
         }
-        let cov = fault_coverage_with(&m, &faults, Threads::exact(4), |sim| {
+        let cov = fault_coverage(&Exec::threads(Threads::exact(4)), &m, &faults, |sim| {
             for v in [Logic::Zero, Logic::One] {
                 sim.set_by_name("a", v)?;
                 sim.settle()?;
@@ -713,7 +713,7 @@ mod tests {
         let pins = [m.port("a").unwrap().net, m.port("b").unwrap().net];
         let bad = vec![vec![Logic::Zero]];
         assert!(matches!(
-            grade_vectors(&m, &enumerate_faults(&m), &pins, &bad),
+            grade_vectors(&exec(), &m, &enumerate_faults(&m), &pins, &bad),
             Err(SimError::VectorLength { .. })
         ));
     }

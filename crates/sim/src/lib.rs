@@ -9,8 +9,7 @@
 //!
 //! # Compile once, execute everywhere
 //!
-//! Simulation is a three-stage pipeline rather than a netlist
-//! interpreter:
+//! Simulation is a staged pipeline rather than a netlist interpreter:
 //!
 //! 1. **Compile** ([`program`]): the flat module is levelized once into a
 //!    [`program::SimProgram`] — a contiguous instruction stream (opcode +
@@ -27,30 +26,36 @@
 //!    representation carrying **64 independent simulation lanes** whose
 //!    word-parallel AND/OR/XOR/NOT/MUX are lane-exact against the scalar
 //!    [`Logic`] algebra.
-//! 3. **Shard** ([`shard`]): independent 64-lane passes (fault-grading
+//! 3. **Dispatch** ([`exec`]): independent 64-lane passes (fault-grading
 //!    chunks, 64-pattern playback chunks, March walks) are *work units*
-//!    fanned across a `std::thread::scope` pool — one executor per
-//!    worker over the same program — and merged **by unit index**, so
-//!    results are bit-identical at every thread count
-//!    ([`shard::Threads`] auto-detects cores; `STEAC_THREADS`
-//!    overrides).
-//! 4. **Distribute** ([`wire`] + [`shard::ProcessPool`]): the compiled
-//!    program and the work-unit descriptors serialize to a versioned,
-//!    dependency-free binary format, so the same passes fan out across
-//!    `steac-worker` **processes** (`STEAC_WORKERS` opts the default
-//!    entry points in; spawn failure falls back to threads). Results
-//!    still merge by unit index, and failures surface as the
-//!    lowest-indexed failing unit — the determinism contract survives
-//!    every dispatch flavour, which the differential test battery in
-//!    `tests/process_pool.rs` proves bit-for-bit.
+//!    behind one execution-backend value, [`Exec`]:
+//!    `Exec::serial()` runs them inline, `Exec::threads(..)` fans them
+//!    across a `std::thread::scope` pool ([`shard`]), and
+//!    `Exec::processes(..)` serializes them ([`wire`]) to `steac-worker`
+//!    processes ([`shard::ProcessPool`]). Every workload entry point
+//!    takes `&Exec` and routes through [`Exec::dispatch`], so the
+//!    merge-by-unit-index determinism contract — unit-order results,
+//!    lowest-indexed-unit errors, **bit-identical reports on every
+//!    backend** — lives in exactly one place, proven bit-for-bit by
+//!    `tests/exec_matrix.rs`. [`Exec::from_env`] resolves the
+//!    deployment knobs (`STEAC_EXEC`, then `STEAC_WORKERS`, then
+//!    `STEAC_THREADS`), and [`exec::Fallback`] makes the
+//!    process-failure policy explicit (recompute in-thread and record
+//!    it, or fail on the lowest-indexed unit).
+//! 4. **Distribute further** (next rung): the wire format and the worker
+//!    protocol are transport-agnostic — one request over stdin, one
+//!    response over stdout — so a future `Backend::Remote(transport)`
+//!    (ssh or a thin TCP shim to `steac-worker` processes on other
+//!    hosts) drops into [`exec::Backend`] and the process arm of
+//!    [`Exec::dispatch`] without touching any workload crate.
 //!
 //! The scalar API below is a lane-0/broadcast view of that kernel, so
 //! single-pattern callers are unchanged. Batch callers fill all 64 lanes
 //! with distinct patterns ([`Simulator::run_vectors`],
 //! [`Simulator::set_lanes`]) or run PPSFP fault simulation — lane 0 good
 //! machine, lanes 1–63 faulty machines via per-lane forces — through
-//! [`fault::fault_coverage`] and [`fault::grade_vectors`], which shard
-//! their passes across cores, with per-pass fault dropping.
+//! [`fault::fault_coverage`] and [`fault::grade_vectors`], with per-pass
+//! fault dropping.
 //!
 //! # Example
 //!
@@ -79,6 +84,7 @@
 //! ```
 
 pub mod engine;
+pub mod exec;
 pub mod fault;
 pub mod logic;
 pub mod packed;
@@ -88,15 +94,16 @@ pub mod shard;
 pub mod wire;
 
 pub use engine::Simulator;
+pub use exec::{Backend, Dispatch, Exec, ExecWork, Fallback};
 pub use fault::{
-    enumerate_faults, fault_coverage, fault_coverage_serial, grade_vectors, CoverageReport, Fault,
-    StuckAt, FAULTS_PER_PASS,
+    enumerate_faults, fault_coverage, grade_vectors, CoverageReport, Fault, StuckAt,
+    FAULTS_PER_PASS,
 };
 pub use logic::Logic;
 pub use packed::{PackedLogic, LANES};
 pub use program::SimProgram;
 pub use scan::ScanPorts;
-pub use shard::{ProcessPool, Threads};
+pub use shard::{JobRegistry, ProcessPool, Threads};
 pub use wire::WireError;
 
 use std::fmt;
@@ -165,6 +172,21 @@ impl std::error::Error for SimError {
 impl From<steac_netlist::NetlistError> for SimError {
     fn from(e: steac_netlist::NetlistError) -> Self {
         SimError::Netlist(e)
+    }
+}
+
+impl From<shard::PoolError> for SimError {
+    /// The one process-pool-failure mapping every workload shares:
+    /// unit failures keep their index, spawn failures are pinned to
+    /// unit 0 (nothing ran).
+    fn from(e: shard::PoolError) -> Self {
+        match e {
+            shard::PoolError::Spawn { diagnostic } => SimError::Worker {
+                unit: 0,
+                diagnostic: format!("cannot spawn worker: {diagnostic}"),
+            },
+            shard::PoolError::Unit { unit, diagnostic } => SimError::Worker { unit, diagnostic },
+        }
     }
 }
 

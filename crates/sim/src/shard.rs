@@ -24,10 +24,15 @@
 //!   threads: the job (a [`crate::wire`]-encoded program plus workload
 //!   parameters) ships once per worker, units are assigned round-robin
 //!   by index, and results merge by unit index with the exact same
-//!   determinism contract as [`run_units`]. The `STEAC_WORKERS`
-//!   environment variable opts the default workload entry points into
-//!   process mode; when the worker binary cannot be spawned at all,
-//!   callers fall back to the in-thread pool.
+//!   determinism contract as [`run_units`]. Workloads reach it through
+//!   [`crate::exec::Exec`] (`Exec::processes(..)`, or `Exec::from_env`
+//!   with `STEAC_EXEC=processes:N` / `STEAC_WORKERS=N`), whose
+//!   [`crate::exec::Fallback`] policy decides what a spawn failure
+//!   does;
+//! * [`JobRegistry`] is the worker-side routing table: the umbrella
+//!   crate registers every workload's `open_wire_job` under its `kind`
+//!   and the `steac-worker` binary routes requests through that one
+//!   table.
 //!
 //! # Worker protocol
 //!
@@ -95,8 +100,10 @@ impl Threads {
     }
 
     /// [`Threads::auto`], overridden by a positive integer in the
-    /// `STEAC_THREADS` environment variable — the deployment-level knob
-    /// (CI pins it to 1 and 4 to shake out nondeterministic merges).
+    /// `STEAC_THREADS` environment variable. Deployments normally
+    /// configure width through [`crate::exec::Exec::from_env`]
+    /// (`STEAC_EXEC`), which consults this as its compatibility
+    /// fallback.
     #[must_use]
     pub fn from_env() -> Self {
         match std::env::var("STEAC_THREADS")
@@ -280,6 +287,71 @@ pub trait WireJob {
     /// A human-readable diagnostic; the dispatcher attaches it to this
     /// unit's index.
     fn run_unit(&mut self, unit: &[u8]) -> Result<Vec<u8>, String>;
+}
+
+/// How a registry entry constructs its job from the job block.
+pub type OpenJobFn = fn(&[u8]) -> Result<Box<dyn WireJob>, String>;
+
+/// The worker-side job registry: one table mapping a request's `kind`
+/// to the workload that opens it. Replaces the per-crate routing that
+/// `src/bin/steac-worker.rs` used to hand-write — the root crate
+/// registers every workload (`steac_suite::worker_registry`) and the
+/// worker binary, tests and any future remote agent all route through
+/// the same table.
+#[derive(Debug, Default)]
+pub struct JobRegistry {
+    entries: Vec<(u16, &'static str, OpenJobFn)>,
+}
+
+impl JobRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        JobRegistry::default()
+    }
+
+    /// Registers a workload under `kind` with a human-readable `name`
+    /// (used in diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// If `kind` is already registered — kinds are a global protocol
+    /// namespace and a duplicate is a programming error.
+    pub fn register(&mut self, kind: u16, name: &'static str, open: OpenJobFn) {
+        assert!(
+            !self.entries.iter().any(|&(k, ..)| k == kind),
+            "work-unit kind {kind} registered twice ({name})"
+        );
+        self.entries.push((kind, name, open));
+    }
+
+    /// Opens the job registered under `kind` from its job block — the
+    /// single routing point of the worker protocol.
+    ///
+    /// # Errors
+    ///
+    /// A diagnostic for unknown kinds or corrupt job bytes.
+    pub fn open(&self, kind: u16, job: &[u8]) -> Result<Box<dyn WireJob>, String> {
+        match self.entries.iter().find(|&&(k, ..)| k == kind) {
+            Some(&(_, name, open)) => open(job).map_err(|e| format!("opening {name} job: {e}")),
+            None => {
+                let known: Vec<String> = self
+                    .entries
+                    .iter()
+                    .map(|&(k, name, _)| format!("{k}={name}"))
+                    .collect();
+                Err(format!(
+                    "unknown work-unit kind {kind} (known: {})",
+                    known.join(", ")
+                ))
+            }
+        }
+    }
+
+    /// The registered `(kind, name)` pairs, in registration order.
+    pub fn kinds(&self) -> impl Iterator<Item = (u16, &'static str)> + '_ {
+        self.entries.iter().map(|&(k, name, _)| (k, name))
+    }
 }
 
 /// The process-worker count requested via the `STEAC_WORKERS`
@@ -688,5 +760,52 @@ mod tests {
     fn zero_units_is_empty() {
         let got: Vec<u8> = run_units(Threads::exact(4), 0, |_| unreachable!());
         assert!(got.is_empty());
+    }
+
+    struct EchoJob;
+    impl WireJob for EchoJob {
+        fn run_unit(&mut self, unit: &[u8]) -> Result<Vec<u8>, String> {
+            Ok(unit.to_vec())
+        }
+    }
+
+    fn open_echo(_job: &[u8]) -> Result<Box<dyn WireJob>, String> {
+        Ok(Box::new(EchoJob))
+    }
+
+    fn open_broken(job: &[u8]) -> Result<Box<dyn WireJob>, String> {
+        Err(format!("{} bad bytes", job.len()))
+    }
+
+    #[test]
+    fn job_registry_routes_by_kind() {
+        let mut reg = JobRegistry::new();
+        reg.register(7, "echo", open_echo);
+        reg.register(8, "broken", open_broken);
+        assert_eq!(
+            reg.kinds().collect::<Vec<_>>(),
+            [(7, "echo"), (8, "broken")]
+        );
+        let Ok(mut job) = reg.open(7, b"ignored") else {
+            panic!("echo job should open");
+        };
+        assert_eq!(job.run_unit(b"abc").unwrap(), b"abc");
+        let Err(err) = reg.open(8, b"xy") else {
+            panic!("broken job should not open");
+        };
+        assert!(err.contains("opening broken job: 2 bad bytes"), "{err}");
+        let Err(err) = reg.open(9, b"") else {
+            panic!("unknown kind should not open");
+        };
+        assert!(err.contains("unknown work-unit kind 9"), "{err}");
+        assert!(err.contains("7=echo"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn job_registry_rejects_duplicate_kinds() {
+        let mut reg = JobRegistry::new();
+        reg.register(7, "echo", open_echo);
+        reg.register(7, "echo2", open_echo);
     }
 }

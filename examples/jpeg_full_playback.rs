@@ -1,22 +1,25 @@
 //! The paper's headline workload, end to end: play the JPEG core's full
 //! functional-pattern set — 235,696 patterns, the largest entry of
-//! Table 1 — through the sharded batched ATE cycle player.
+//! Table 1 — through the batched ATE cycle player on whatever execution
+//! backend `Exec::from_env()` resolves.
 //!
 //! ```sh
 //! cargo run --release --example jpeg_full_playback           # full set
 //! cargo run --release --example jpeg_full_playback -- 10000  # subset
-//! STEAC_THREADS=4 cargo run --release --example jpeg_full_playback
+//! STEAC_EXEC=threads:4 cargo run --release --example jpeg_full_playback
+//! STEAC_EXEC=processes:2 cargo run --release --example jpeg_full_playback
 //! ```
 //!
-//! Pattern generation (scalar reference simulation per pattern) and
-//! playback (64 patterns per pass) both shard across the configured
-//! thread count; the binary prints the thread count used and the
-//! sustained patterns/sec for each phase.
+//! Pattern generation (scalar reference simulation per pattern) shards
+//! on the backend's in-process pool; playback (64 patterns per pass)
+//! dispatches on the backend itself — threads or `steac-worker`
+//! processes. The binary prints the backend used and the sustained
+//! patterns/sec for each phase.
 
 use std::time::Instant;
-use steac_dsc::{jpeg_functional_patterns_with, TABLE1};
-use steac_pattern::{apply_cycle_patterns_batch_with, CyclePattern};
-use steac_sim::{Simulator, Threads};
+use steac_dsc::{jpeg_functional_patterns, TABLE1};
+use steac_pattern::{apply_cycle_patterns_batch, CyclePattern};
+use steac_sim::{Exec, Simulator};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let full = TABLE1[2].functional_patterns as usize; // 235,696
@@ -25,14 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|s| s.parse::<usize>())
         .transpose()?
         .unwrap_or(full);
-    let threads = Threads::from_env();
-    println!(
-        "JPEG functional playback: {count} of {full} patterns, {} worker thread(s)",
-        threads.get()
-    );
+    let exec = Exec::from_env();
+    println!("JPEG functional playback: {count} of {full} patterns, backend {exec}");
 
     let t = Instant::now();
-    let (module, patterns) = jpeg_functional_patterns_with(count, threads)?;
+    let (module, patterns) = jpeg_functional_patterns(&exec, count)?;
     let gen_secs = t.elapsed().as_secs_f64();
     println!(
         "generated {} two-cycle patterns in {gen_secs:.2}s ({:.0} patterns/s)",
@@ -43,9 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let refs: Vec<&CyclePattern> = patterns.iter().collect();
     let sim = Simulator::new(&module)?;
     let t = Instant::now();
-    let reports = apply_cycle_patterns_batch_with(&sim, &refs, threads)?;
+    let playback = apply_cycle_patterns_batch(&exec, &sim, &refs)?;
     let play_secs = t.elapsed().as_secs_f64();
 
+    let reports = &playback.reports;
     let compares: u64 = reports.iter().map(|r| r.compares).sum();
     let mismatches: usize = reports.iter().map(|r| r.mismatches.len()).sum();
     println!(
@@ -54,6 +55,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         reports.len() as f64 / play_secs.max(1e-9),
         count.div_ceil(steac_sim::LANES),
     );
+    if playback.process_fallbacks > 0 {
+        println!(
+            "note: process dispatch fell back in-thread {} time(s)",
+            playback.process_fallbacks
+        );
+    }
     println!("mismatches: {mismatches}");
     if mismatches != 0 {
         // Per-pattern detail (truncated displays end with a (+N more) tail).

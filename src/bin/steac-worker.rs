@@ -2,37 +2,29 @@
 //!
 //! Reads one job plus its work units from stdin (the versioned protocol
 //! in `steac_sim::shard`), executes every unit, and writes the per-unit
-//! results to stdout. The job `kind` selects the workload:
+//! results to stdout. The job `kind` is routed through the single
+//! worker-side job registry (`steac_suite::worker_registry` — see its
+//! docs for the kind table), so this binary contains no per-workload
+//! knowledge at all.
 //!
-//! | kind | workload | crate |
-//! |------|----------|-------|
-//! | 1 | PPSFP vector grading of a fault chunk | `steac_sim::fault` |
-//! | 2 | 64-pattern ATE playback chunk | `steac_pattern::cycle` |
-//! | 3 | packed March walk over a memory-fault chunk | `steac_membist::wire` |
-//!
-//! Spawned by `steac_sim::shard::ProcessPool` (the dispatcher behind the
-//! `STEAC_WORKERS` environment knob); also runnable by hand or from a
-//! remote shell — any transport that delivers the request bytes to
-//! stdin works, which is what makes the same passes machine-portable.
-//! Protocol errors exit nonzero with a diagnostic on stderr; per-unit
-//! failures are reported in-band so the dispatcher can attribute them to
-//! the lowest-indexed failing unit.
+//! Spawned by `steac_sim::shard::ProcessPool` — the process backend
+//! behind `steac_sim::Exec` (`Exec::processes(..)`, or `Exec::from_env`
+//! with `STEAC_EXEC=processes:N` / `STEAC_WORKERS=N`); also runnable by
+//! hand or from a remote shell — any transport that delivers the
+//! request bytes to stdin works, which is what makes the same passes
+//! machine-portable. Protocol errors exit nonzero with a diagnostic on
+//! stderr; per-unit failures are reported in-band so the dispatcher can
+//! attribute them to the lowest-indexed failing unit.
 
 use std::io::{stdin, stdout};
 use std::process::ExitCode;
-use steac_sim::shard::{serve_worker, WireJob};
-
-fn route(kind: u16, job: &[u8]) -> Result<Box<dyn WireJob>, String> {
-    match kind {
-        steac_sim::fault::WIRE_KIND => steac_sim::fault::open_wire_job(job),
-        steac_pattern::cycle::WIRE_KIND => steac_pattern::cycle::open_wire_job(job),
-        steac_membist::wire::WIRE_KIND => steac_membist::wire::open_wire_job(job),
-        other => Err(format!("unknown work-unit kind {other}")),
-    }
-}
+use steac_sim::shard::serve_worker;
 
 fn main() -> ExitCode {
-    match serve_worker(stdin().lock(), stdout().lock(), route) {
+    let registry = steac_suite::worker_registry();
+    match serve_worker(stdin().lock(), stdout().lock(), |kind, job| {
+        registry.open(kind, job)
+    }) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("steac-worker: {e}");

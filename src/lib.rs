@@ -25,3 +25,58 @@ pub use steac_sim;
 pub use steac_stil;
 pub use steac_tam;
 pub use steac_wrapper;
+
+use steac_sim::shard::JobRegistry;
+
+/// The platform's worker-side job registry: every distributable
+/// workload, keyed by its wire `kind`. This is the one table the
+/// `steac-worker` binary (and any future remote worker agent) routes
+/// requests through — workload crates each contribute a single
+/// `open_wire_job` constructor, and this umbrella crate is the only
+/// place that knows them all.
+///
+/// | kind | workload | crate |
+/// |------|----------|-------|
+/// | 1 | PPSFP vector grading of a fault chunk | `steac_sim::fault` |
+/// | 2 | 64-pattern ATE playback chunk | `steac_pattern::cycle` |
+/// | 3 | packed March walk over a memory-fault chunk | `steac_membist::wire` |
+#[must_use]
+pub fn worker_registry() -> JobRegistry {
+    let mut registry = JobRegistry::new();
+    registry.register(
+        steac_sim::fault::WIRE_KIND,
+        "gate-vector-grading",
+        steac_sim::fault::open_wire_job,
+    );
+    registry.register(
+        steac_pattern::cycle::WIRE_KIND,
+        "ate-playback-chunk",
+        steac_pattern::cycle::open_wire_job,
+    );
+    registry.register(
+        steac_membist::wire::WIRE_KIND,
+        "march-walk",
+        steac_membist::wire::open_wire_job,
+    );
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every workload registers exactly once, under its own kind.
+    #[test]
+    fn registry_covers_every_distributable_workload() {
+        let kinds: Vec<(u16, &str)> = worker_registry().kinds().collect();
+        assert_eq!(
+            kinds,
+            [
+                (1, "gate-vector-grading"),
+                (2, "ate-playback-chunk"),
+                (3, "march-walk"),
+            ]
+        );
+        assert!(worker_registry().open(999, b"").is_err());
+    }
+}

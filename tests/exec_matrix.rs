@@ -1,0 +1,185 @@
+//! The exec-matrix battery: one table of execution backends — `Serial`,
+//! `Threads(1)`, `Threads(4)`, `Processes(1)`, `Processes(2)`,
+//! `Processes(3)` — driven through the **same** unified entry points
+//! for every workload (gate-level vector grading, batched ATE playback,
+//! March fault simulation, JPEG playback), asserting the reports are
+//! **byte-identical** to the serial baseline: counts, escape lists and
+//! mismatch logs *including their order*. This is the determinism
+//! contract behind `steac_sim::Exec::dispatch`, proven across every
+//! backend from a single table of cases.
+//!
+//! Process backends pin the `steac-worker` binary Cargo built for this
+//! package and run with `Fallback::Fail`, so a broken worker fails the
+//! test loudly instead of silently matching via the in-thread fallback.
+
+use std::path::PathBuf;
+use steac_membist::{faultsim, MarchAlgorithm, SramConfig};
+use steac_netlist::{GateKind, NetlistBuilder};
+use steac_pattern::{apply_cycle_patterns_batch, CyclePattern, PinState};
+use steac_sim::{fault, Exec, Fallback, Logic, ProcessPool, Simulator, Threads};
+
+/// The worker binary built alongside this test suite.
+fn worker_binary() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_steac-worker"))
+}
+
+/// The single backend table every workload case runs over. The first
+/// entry (serial) is the baseline the others must match byte-for-byte.
+fn backend_matrix() -> Vec<(String, Exec)> {
+    let mut matrix = vec![
+        ("serial".to_string(), Exec::serial()),
+        ("threads:1".to_string(), Exec::threads(Threads::exact(1))),
+        ("threads:4".to_string(), Exec::threads(Threads::exact(4))),
+    ];
+    for workers in [1usize, 2, 3] {
+        matrix.push((
+            format!("processes:{workers}"),
+            Exec::processes(ProcessPool::with_binary(worker_binary(), workers))
+                .with_fallback(Fallback::Fail),
+        ));
+    }
+    matrix
+}
+
+/// A ~70-gate module whose fault list spans several passes and whose
+/// two-vector test leaves escapes (so `undetected` order is exercised).
+fn mixed_module() -> steac_netlist::Module {
+    let mut b = NetlistBuilder::new("m");
+    let a = b.input("a");
+    let mut cur = a;
+    for i in 0..70 {
+        cur = if i % 3 == 0 {
+            b.gate(GateKind::Inv, &[cur])
+        } else {
+            b.gate(GateKind::Nand2, &[cur, a])
+        };
+    }
+    b.output("y", cur);
+    b.finish().unwrap()
+}
+
+fn flop_pattern(bits: &[Logic]) -> CyclePattern {
+    let mut p = CyclePattern::new(vec!["d".to_string(), "ck".to_string(), "q".to_string()]);
+    for &bit in bits {
+        p.push_cycle(vec![
+            PinState::from_drive(bit),
+            PinState::Pulse,
+            PinState::from_expect(bit),
+        ])
+        .unwrap();
+    }
+    p
+}
+
+/// Multi-chunk playback batch with deliberately failing patterns, so
+/// the mismatch logs (content AND order) go through every merge.
+fn playback_case() -> (steac_netlist::Module, Vec<CyclePattern>) {
+    use Logic::{One, Zero};
+    let mut b = NetlistBuilder::new("m");
+    let d = b.input("d");
+    let ck = b.input("ck");
+    let q = b.gate(GateKind::Dff, &[d, ck]);
+    b.output("q", q);
+    let m = b.finish().unwrap();
+    let patterns: Vec<CyclePattern> = (0..150u32)
+        .map(|i| {
+            let bits: Vec<Logic> = (0..4)
+                .map(|k| if (i >> (k % 5)) & 1 == 1 { One } else { Zero })
+                .collect();
+            let mut p = flop_pattern(&bits);
+            if i % 49 == 7 {
+                p.cycles[2][2] = PinState::ExpectH;
+                p.cycles[2][0] = PinState::Drive0;
+            }
+            p
+        })
+        .collect();
+    (m, patterns)
+}
+
+/// Every workload under every backend, against the serial baseline.
+/// Reports carry `process_fallbacks: 0` everywhere — `Fallback::Fail`
+/// on the process rows guarantees nothing fell back — so plain
+/// `assert_eq!` covers all fields.
+#[test]
+fn all_workloads_report_byte_identical_on_every_backend() {
+    use rand::SeedableRng;
+
+    // Case 1: gate-level vector grading, with escapes.
+    let m = mixed_module();
+    let faults = fault::enumerate_faults(&m);
+    let pins = [m.port("a").unwrap().net];
+    let vectors = vec![vec![Logic::Zero], vec![Logic::One]];
+
+    // Case 2: batched ATE playback, with failing patterns.
+    let (flop_m, patterns) = playback_case();
+    let refs: Vec<&CyclePattern> = patterns.iter().collect();
+    let play_sim = Simulator::new(&flop_m).unwrap();
+
+    // Case 3: March fault simulation, with escapes (MATS+ misses
+    // couplings).
+    let cfg = SramConfig::single_port(64, 4);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let mfaults = faultsim::random_fault_list(&cfg, 40, &mut rng);
+    let alg = MarchAlgorithm::mats_plus();
+
+    let matrix = backend_matrix();
+    let (_, serial) = &matrix[0];
+    let grade_base = fault::grade_vectors(serial, &m, &faults, &pins, &vectors).unwrap();
+    assert!(grade_base.detected < grade_base.total, "need escapes");
+    let play_base = apply_cycle_patterns_batch(serial, &play_sim, &refs).unwrap();
+    assert!(!play_base.passed(), "need mismatches");
+    let march_base = faultsim::fault_coverage(serial, &alg, &cfg, &mfaults).unwrap();
+    assert!(march_base.detected < march_base.total, "need escapes");
+    // Case 4: the JPEG playback experiment end to end (generation +
+    // playback through the same exec).
+    let jpeg_base = steac_dsc::jpeg_playback_batch(serial, 130).unwrap();
+    assert_eq!(jpeg_base.patterns, 130);
+
+    for (name, exec) in &matrix[1..] {
+        let grade = fault::grade_vectors(exec, &m, &faults, &pins, &vectors).unwrap();
+        assert_eq!(grade, grade_base, "grading diverged on {name}");
+        let play = apply_cycle_patterns_batch(exec, &play_sim, &refs).unwrap();
+        assert_eq!(play, play_base, "playback diverged on {name}");
+        let march = faultsim::fault_coverage(exec, &alg, &cfg, &mfaults).unwrap();
+        assert_eq!(march, march_base, "March diverged on {name}");
+        let jpeg = steac_dsc::jpeg_playback_batch(exec, 130).unwrap();
+        assert_eq!(jpeg, jpeg_base, "JPEG playback diverged on {name}");
+        assert_eq!(exec.process_fallbacks(), 0, "{name} must not fall back");
+    }
+}
+
+/// The serial-reference oracles agree with the serial backend, closing
+/// the loop: matrix == serial backend == one-simulation-per-fault
+/// reference.
+#[test]
+fn serial_backend_matches_the_serial_oracles() {
+    let m = mixed_module();
+    let faults = fault::enumerate_faults(&m);
+    let pins = [m.port("a").unwrap().net];
+    let vectors = vec![vec![Logic::Zero], vec![Logic::One]];
+    let graded = fault::grade_vectors(&Exec::serial(), &m, &faults, &pins, &vectors).unwrap();
+    let oracle = fault::fault_coverage_serial(&m, &faults, |sim| {
+        let mut obs = Vec::new();
+        for vector in &vectors {
+            for (&pin, &v) in pins.iter().zip(vector) {
+                sim.set(pin, v);
+            }
+            sim.settle()?;
+            obs.extend(sim.outputs());
+        }
+        Ok(obs)
+    })
+    .unwrap();
+    assert_eq!(graded.detected, oracle.detected);
+    assert_eq!(graded.undetected, oracle.undetected);
+
+    use rand::SeedableRng;
+    let cfg = SramConfig::single_port(32, 4);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mfaults = faultsim::random_fault_list(&cfg, 12, &mut rng);
+    let alg = MarchAlgorithm::mats_plus();
+    let packed = faultsim::fault_coverage(&Exec::serial(), &alg, &cfg, &mfaults).unwrap();
+    let serial = faultsim::fault_coverage_serial(&alg, &cfg, &mfaults);
+    assert_eq!(packed, serial);
+}

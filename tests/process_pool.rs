@@ -1,24 +1,18 @@
-//! Differential and negative-path battery for process-level fan-out.
-//!
-//! The SAIBERSOC lesson: a distributed harness is only trustworthy if
-//! the fanned-out workloads produce *verifiably identical* results to
-//! the reference path. These tests pin the `steac-worker` binary Cargo
-//! built for this package and prove that process-pool fault grading,
-//! batched playback and March fault simulation are **byte-identical** —
-//! counts, escape lists, mismatch-log order — to single-threaded
-//! in-thread runs; and that every failure mode (missing binary, dying
-//! worker, corrupt bytes, wrong version) is typed, deterministic and
-//! panic-free.
+//! Negative-path and policy battery for process-level fan-out behind
+//! the unified `Exec` seam. The differential (byte-identical) half of
+//! the old battery lives in `tests/exec_matrix.rs` now; this file pins
+//! what happens when process dispatch **misbehaves**: every failure
+//! mode (missing binary, dying worker, corrupt bytes, wrong version) is
+//! typed, deterministic and panic-free, and the explicit `Fallback`
+//! policy decides — visibly — between in-thread recomputation and a
+//! typed error.
 
 use std::path::PathBuf;
-use steac_membist::faultsim;
-use steac_membist::{MarchAlgorithm, SramConfig};
+use steac_membist::{faultsim, MarchAlgorithm, SramConfig};
 use steac_netlist::{GateKind, NetlistBuilder};
-use steac_pattern::{
-    apply_cycle_patterns_batch_with, apply_cycle_patterns_batch_with_pool, CyclePattern, PinState,
-};
+use steac_pattern::{apply_cycle_patterns_batch, CyclePattern, PinState};
 use steac_sim::shard::{self, PoolError, ProcessPool};
-use steac_sim::{fault, Logic, SimError, Simulator, Threads};
+use steac_sim::{fault, Exec, Fallback, Logic, SimError, Simulator};
 
 /// The worker binary built alongside this test suite.
 fn worker_binary() -> PathBuf {
@@ -29,8 +23,12 @@ fn pool(workers: usize) -> ProcessPool {
     ProcessPool::with_binary(worker_binary(), workers)
 }
 
+fn bogus_pool() -> ProcessPool {
+    ProcessPool::with_binary(PathBuf::from("/nonexistent/steac-worker"), 2)
+}
+
 /// A ~70-gate module whose fault list spans several passes and whose
-/// two-vector test leaves escapes (so `undetected` order is exercised).
+/// two-vector test leaves escapes.
 fn mixed_module() -> steac_netlist::Module {
     let mut b = NetlistBuilder::new("m");
     let a = b.input("a");
@@ -46,24 +44,6 @@ fn mixed_module() -> steac_netlist::Module {
     b.finish().unwrap()
 }
 
-// ---------- differential: byte-identical to in-thread ----------
-
-#[test]
-fn process_grading_matches_in_thread_at_every_worker_count() {
-    let m = mixed_module();
-    let faults = fault::enumerate_faults(&m);
-    let pins = [m.port("a").unwrap().net];
-    let vectors = vec![vec![Logic::Zero], vec![Logic::One]];
-    let baseline =
-        fault::grade_vectors_with(&m, &faults, &pins, &vectors, Threads::single()).unwrap();
-    assert!(baseline.detected < baseline.total, "need escapes to merge");
-    for workers in [1, 2, 3] {
-        let processed =
-            fault::grade_vectors_with_pool(&m, &faults, &pins, &vectors, &pool(workers)).unwrap();
-        assert_eq!(processed, baseline, "{workers} workers");
-    }
-}
-
 fn flop_pattern(bits: &[Logic]) -> CyclePattern {
     let mut p = CyclePattern::new(vec!["d".to_string(), "ck".to_string(), "q".to_string()]);
     for &bit in bits {
@@ -75,40 +55,6 @@ fn flop_pattern(bits: &[Logic]) -> CyclePattern {
         .unwrap();
     }
     p
-}
-
-#[test]
-fn process_playback_matches_in_thread_including_mismatch_order() {
-    use Logic::{One, Zero};
-    let mut b = NetlistBuilder::new("m");
-    let d = b.input("d");
-    let ck = b.input("ck");
-    let q = b.gate(GateKind::Dff, &[d, ck]);
-    b.output("q", q);
-    let m = b.finish().unwrap();
-    let patterns: Vec<CyclePattern> = (0..150u32)
-        .map(|i| {
-            let bits: Vec<Logic> = (0..4)
-                .map(|k| if (i >> (k % 5)) & 1 == 1 { One } else { Zero })
-                .collect();
-            let mut p = flop_pattern(&bits);
-            if i % 49 == 7 {
-                // Deliberately failing patterns, so the mismatch logs
-                // (content AND order) go through the merge.
-                p.cycles[2][2] = PinState::ExpectH;
-                p.cycles[2][0] = PinState::Drive0;
-            }
-            p
-        })
-        .collect();
-    let refs: Vec<&CyclePattern> = patterns.iter().collect();
-    let sim = Simulator::new(&m).unwrap();
-    let baseline = apply_cycle_patterns_batch_with(&sim, &refs, Threads::single()).unwrap();
-    assert!(baseline.iter().any(|r| !r.passed()));
-    for workers in [1, 2, 3] {
-        let processed = apply_cycle_patterns_batch_with_pool(&sim, &refs, &pool(workers)).unwrap();
-        assert_eq!(processed, baseline, "{workers} workers");
-    }
 }
 
 /// Forces on the dispatcher's simulator (fault injection) must carry
@@ -129,76 +75,104 @@ fn process_playback_carries_forces_across_the_wire() {
         .map(|i| flop_pattern(&[if i % 2 == 0 { One } else { Zero }]))
         .collect();
     let refs: Vec<&CyclePattern> = patterns.iter().collect();
-    let baseline = apply_cycle_patterns_batch_with(&sim, &refs, Threads::single()).unwrap();
-    assert!(baseline.iter().any(|r| !r.passed()), "force must bite");
-    let processed = apply_cycle_patterns_batch_with_pool(&sim, &refs, &pool(2)).unwrap();
+    let baseline = apply_cycle_patterns_batch(&Exec::serial(), &sim, &refs).unwrap();
+    assert!(!baseline.passed(), "force must bite");
+    let procs = Exec::processes(pool(2)).with_fallback(Fallback::Fail);
+    let processed = apply_cycle_patterns_batch(&procs, &sim, &refs).unwrap();
     assert_eq!(processed, baseline);
 }
 
-#[test]
-fn process_march_matches_in_thread_including_escape_order() {
-    use rand::SeedableRng;
-    let cfg = SramConfig::single_port(64, 4);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
-    let faults = faultsim::random_fault_list(&cfg, 40, &mut rng);
-    let alg = MarchAlgorithm::mats_plus(); // leaves escapes to merge
-    let baseline = faultsim::fault_coverage_with(&alg, &cfg, &faults, Threads::single());
-    assert!(baseline.detected < baseline.total, "need escapes to merge");
-    for workers in [1, 2, 3] {
-        let processed = faultsim::fault_coverage_with_pool(&alg, &cfg, &faults, &pool(workers));
-        assert_eq!(processed, baseline, "{workers} workers");
-    }
-}
-
 /// The default-discovery path (`shard::default_worker_binary`) must find
-/// the freshly built worker from a test executable, and the JPEG
-/// playback experiment must report identically through it.
+/// the freshly built worker from a test executable, and an
+/// `Exec::parse("processes:2")` backend must report identically through
+/// it.
 #[test]
-fn jpeg_playback_processes_matches_in_thread() {
+fn default_discovery_finds_the_worker_and_reports_identically() {
     assert!(
         shard::default_worker_binary().is_some(),
         "worker binary should be discoverable next to the test executable"
     );
-    let baseline = steac_dsc::jpeg_playback_batch_with(130, Threads::single()).unwrap();
-    let processed = steac_dsc::jpeg_playback_batch_processes(130, 2).unwrap();
-    assert_eq!(processed.patterns, baseline.patterns);
-    assert_eq!(processed.cycles, baseline.cycles);
-    assert_eq!(processed.compares, baseline.compares);
-    assert_eq!(processed.mismatches, baseline.mismatches);
-    assert_eq!(processed.passes, baseline.passes);
-    assert_eq!(processed.threads, 2);
+    let discovered = Exec::parse("processes:2")
+        .unwrap()
+        .with_fallback(Fallback::Fail);
+    assert_eq!(discovered.to_string(), "processes:2");
+    let baseline = steac_dsc::jpeg_playback_batch(&Exec::serial(), 130).unwrap();
+    let processed = steac_dsc::jpeg_playback_batch(&discovered, 130).unwrap();
+    assert_eq!(processed, baseline);
+    assert_eq!(discovered.process_fallbacks(), 0);
 }
 
-// ---------- negative paths ----------
-
-/// A worker binary that cannot be spawned at all degrades gracefully to
-/// the in-thread pool: same report, no error.
+/// A worker binary that cannot be spawned at all degrades gracefully
+/// under the default `Fallback::InThread` policy: same report, no
+/// error — but the fallback is **surfaced**, counted on the exec and
+/// recorded in the report (the old silent-policy bug, fixed).
 #[test]
-fn spawn_failure_falls_back_in_thread() {
+fn spawn_failure_falls_back_in_thread_and_is_counted() {
     let m = mixed_module();
     let faults = fault::enumerate_faults(&m);
     let pins = [m.port("a").unwrap().net];
     let vectors = vec![vec![Logic::Zero], vec![Logic::One]];
-    let baseline =
-        fault::grade_vectors_with(&m, &faults, &pins, &vectors, Threads::single()).unwrap();
-    let bogus = ProcessPool::with_binary(PathBuf::from("/nonexistent/steac-worker"), 2);
-    let report = fault::grade_vectors_with_pool(&m, &faults, &pins, &vectors, &bogus).unwrap();
-    assert_eq!(report, baseline);
-    // The infallible March API falls back the same way.
+    let baseline = fault::grade_vectors(&Exec::serial(), &m, &faults, &pins, &vectors).unwrap();
+
+    let forgiving = Exec::processes(bogus_pool());
+    let report = fault::grade_vectors(&forgiving, &m, &faults, &pins, &vectors).unwrap();
+    assert_eq!(report.detected, baseline.detected);
+    assert_eq!(report.undetected, baseline.undetected);
+    assert_eq!(report.process_fallbacks, 1, "fallback must be recorded");
+    assert!(
+        report.to_string().contains("fell back in-thread"),
+        "{report}"
+    );
+    assert_eq!(forgiving.process_fallbacks(), 1);
+
+    // March: the workload that used to fall back silently. Same
+    // verdicts, visible degradation.
     let cfg = SramConfig::single_port(16, 2);
     let mfaults = vec![steac_membist::MemFault::stuck_at(3, 0, true)];
     let alg = MarchAlgorithm::march_c_minus();
-    let march_base = faultsim::fault_coverage_with(&alg, &cfg, &mfaults, Threads::single());
-    assert_eq!(
-        faultsim::fault_coverage_with_pool(&alg, &cfg, &mfaults, &bogus),
-        march_base
-    );
+    let march_base = faultsim::fault_coverage(&Exec::serial(), &alg, &cfg, &mfaults).unwrap();
+    let forgiving = Exec::processes(bogus_pool());
+    let march = faultsim::fault_coverage(&forgiving, &alg, &cfg, &mfaults).unwrap();
+    assert_eq!(march.detected, march_base.detected);
+    assert_eq!(march.escaped, march_base.escaped);
+    assert_eq!(march.process_fallbacks, 1);
+    assert_eq!(forgiving.process_fallbacks(), 1);
+}
+
+/// Under `Fallback::Fail` the same spawn failure is a typed error on
+/// unit 0 instead — for every workload, March included (which could
+/// never fail before).
+#[test]
+fn spawn_failure_is_a_typed_error_under_fail_policy() {
+    let m = mixed_module();
+    let faults = fault::enumerate_faults(&m);
+    let pins = [m.port("a").unwrap().net];
+    let vectors = vec![vec![Logic::Zero]];
+    let strict = Exec::processes(bogus_pool()).with_fallback(Fallback::Fail);
+    match fault::grade_vectors(&strict, &m, &faults, &pins, &vectors).unwrap_err() {
+        SimError::Worker { unit, diagnostic } => {
+            assert_eq!(unit, 0);
+            assert!(diagnostic.contains("cannot spawn worker"), "{diagnostic}");
+        }
+        other => panic!("expected SimError::Worker, got {other:?}"),
+    }
+    let cfg = SramConfig::single_port(16, 2);
+    let mfaults = vec![steac_membist::MemFault::stuck_at(3, 0, true)];
+    let alg = MarchAlgorithm::march_c_minus();
+    let strict = Exec::processes(bogus_pool()).with_fallback(Fallback::Fail);
+    match faultsim::fault_coverage(&strict, &alg, &cfg, &mfaults).unwrap_err() {
+        SimError::Worker { unit, .. } => assert_eq!(unit, 0),
+        other => panic!("expected SimError::Worker, got {other:?}"),
+    }
+    assert_eq!(strict.process_fallbacks(), 0);
 }
 
 /// A worker that dies without producing results surfaces as the
-/// lowest-indexed unit assigned to it, with its diagnostics attached.
+/// lowest-indexed unit assigned to it under `Fallback::Fail`, with its
+/// diagnostics attached — and recomputes cleanly under the default
+/// policy.
 #[test]
-fn dying_worker_surfaces_as_lowest_indexed_unit_error() {
+fn dying_worker_follows_the_policy() {
     let false_bin = PathBuf::from("/bin/false");
     if !false_bin.is_file() {
         eprintln!("skipping: /bin/false not present");
@@ -208,18 +182,26 @@ fn dying_worker_surfaces_as_lowest_indexed_unit_error() {
     let faults = fault::enumerate_faults(&m);
     let pins = [m.port("a").unwrap().net];
     let vectors = vec![vec![Logic::Zero]];
-    let dying = ProcessPool::with_binary(false_bin, 2);
-    let err = fault::grade_vectors_with_pool(&m, &faults, &pins, &vectors, &dying).unwrap_err();
-    match err {
+    let dying = || ProcessPool::with_binary(false_bin.clone(), 2);
+
+    let strict = Exec::processes(dying()).with_fallback(Fallback::Fail);
+    match fault::grade_vectors(&strict, &m, &faults, &pins, &vectors).unwrap_err() {
         SimError::Worker { unit, diagnostic } => {
             assert_eq!(unit, 0, "lowest-indexed unit wins: {diagnostic}");
         }
         other => panic!("expected SimError::Worker, got {other:?}"),
     }
+
+    let forgiving = Exec::processes(dying());
+    let baseline = fault::grade_vectors(&Exec::serial(), &m, &faults, &pins, &vectors).unwrap();
+    let report = fault::grade_vectors(&forgiving, &m, &faults, &pins, &vectors).unwrap();
+    assert_eq!(report.detected, baseline.detected);
+    assert_eq!(report.process_fallbacks, 1);
 }
 
-/// An unknown job kind is reported per unit by a healthy worker; the
-/// dispatcher deterministically picks unit 0.
+/// An unknown job kind is reported per unit by a healthy worker — the
+/// registry's diagnostic — and the dispatcher deterministically picks
+/// unit 0.
 #[test]
 fn unknown_job_kind_is_a_lowest_indexed_unit_error() {
     let err = pool(2)

@@ -6,7 +6,7 @@ use steac_membist::faultsim::{fault_coverage, random_fault_list};
 use steac_membist::{MarchAlgorithm, SramConfig};
 use steac_netlist::{stitch_scan, GateKind, NetId, NetlistBuilder, StitchConfig};
 use steac_sched::{allocate_session, schedule_sessions, ChipConfig, TestTask};
-use steac_sim::{fault, Logic, PackedLogic, Simulator, Threads, LANES};
+use steac_sim::{fault, Exec, Logic, PackedLogic, Simulator, Threads, LANES};
 use steac_stil::{parse_stil, to_stil_string};
 use steac_wrapper::{balance_fixed, balance_soft};
 
@@ -193,7 +193,7 @@ proptest! {
         let cfg = SramConfig::single_port(words, width);
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let faults = random_fault_list(&cfg, 8, &mut rng);
-        let rep = fault_coverage(&MarchAlgorithm::march_c_minus(), &cfg, &faults);
+        let rep = fault_coverage(&Exec::from_env(), &MarchAlgorithm::march_c_minus(), &cfg, &faults).unwrap();
         prop_assert_eq!(rep.detected, rep.total, "escapes: {:?}", rep.escaped);
     }
 }
@@ -373,7 +373,7 @@ proptest! {
             .map(|k| (0..4).map(|i| lv(stim[k * 4 + i] % 2)).collect())
             .collect();
         let faults = fault::enumerate_faults(&m);
-        let packed = fault::grade_vectors(&m, &faults, &pins, &vectors).unwrap();
+        let packed = fault::grade_vectors(&Exec::from_env(), &m, &faults, &pins, &vectors).unwrap();
         let serial = fault::fault_coverage_serial(&m, &faults, |sim| {
             let mut obs = Vec::new();
             for vector in &vectors {
@@ -440,11 +440,11 @@ proptest! {
             .collect();
         let faults = fault::enumerate_faults(&m);
         let baseline =
-            fault::grade_vectors_with(&m, &faults, &pins, &vectors, Threads::single()).unwrap();
-        for t in 2..=8 {
+            fault::grade_vectors(&Exec::serial(), &m, &faults, &pins, &vectors).unwrap();
+        for t in 1..=8 {
+            let exec = Exec::threads(Threads::exact(t));
             let sharded =
-                fault::grade_vectors_with(&m, &faults, &pins, &vectors, Threads::exact(t))
-                    .unwrap();
+                fault::grade_vectors(&exec, &m, &faults, &pins, &vectors).unwrap();
             prop_assert_eq!(&sharded, &baseline, "{} threads", t);
         }
     }
@@ -486,11 +486,12 @@ proptest! {
         let refs: Vec<&steac_pattern::CyclePattern> = patterns.iter().collect();
         let sim = Simulator::new(&m).unwrap();
         let baseline =
-            steac_pattern::apply_cycle_patterns_batch_with(&sim, &refs, Threads::single())
+            steac_pattern::apply_cycle_patterns_batch(&Exec::serial(), &sim, &refs)
                 .unwrap();
-        for t in 2..=8 {
+        for t in 1..=8 {
+            let exec = Exec::threads(Threads::exact(t));
             let sharded =
-                steac_pattern::apply_cycle_patterns_batch_with(&sim, &refs, Threads::exact(t))
+                steac_pattern::apply_cycle_patterns_batch(&exec, &sim, &refs)
                     .unwrap();
             prop_assert_eq!(&sharded, &baseline, "{} threads", t);
         }
@@ -509,11 +510,12 @@ proptest! {
         let faults =
             steac_membist::faultsim::random_fault_list(&cfg, per_class, &mut rng);
         let alg = MarchAlgorithm::mats_plus();
-        let baseline = steac_membist::faultsim::fault_coverage_with(
-            &alg, &cfg, &faults, Threads::single());
-        for t in 2..=8 {
-            let sharded = steac_membist::faultsim::fault_coverage_with(
-                &alg, &cfg, &faults, Threads::exact(t));
+        let baseline = steac_membist::faultsim::fault_coverage(
+            &Exec::serial(), &alg, &cfg, &faults).unwrap();
+        for t in 1..=8 {
+            let exec = Exec::threads(Threads::exact(t));
+            let sharded = steac_membist::faultsim::fault_coverage(
+                &exec, &alg, &cfg, &faults).unwrap();
             prop_assert_eq!(&sharded, &baseline, "{} threads", t);
         }
     }
