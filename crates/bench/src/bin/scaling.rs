@@ -2,22 +2,26 @@
 //! paper's two throughput-bound workloads: PPSFP fault grading of the
 //! JPEG core and batched ATE playback of its functional patterns —
 //! ending with the paper's full 235,696-pattern JPEG functional set
-//! driven through the process backend (override the pattern count with
+//! driven through the process backend and a remote fleet over
+//! localhost (override the pattern count with
 //! `STEAC_SCALING_PATTERNS` for quick runs).
 //!
 //! Every row of every table runs the **same** unified entry point
 //! ([`steac_sim::fault::grade_vectors`],
 //! [`steac_pattern::apply_cycle_patterns_batch`]) — only the [`Exec`]
-//! backend changes: serial, threads 1/2/4/8, worker processes 1/2/4.
-//! Before printing, the binary asserts that coverage and mismatch
-//! reports are **bit-identical** on every backend — scaling must never
-//! change a verdict, in-process or across processes.
+//! backend changes: serial, threads 1/2/4/8, worker processes 1/2/4,
+//! remote fleets (spawn transports and `steac-worker --serve` over
+//! localhost TCP). Before printing, the binary asserts that coverage
+//! and mismatch reports are **bit-identical** on every backend —
+//! scaling must never change a verdict, in-process, across processes
+//! or across the wire.
 
 use std::time::Instant;
 use steac_bench::{header, splitmix_vectors};
 use steac_dsc::{jpeg_core, jpeg_functional_patterns};
 use steac_pattern::{apply_cycle_patterns_batch, CyclePattern};
-use steac_sim::{enumerate_faults, fault, shard, Exec, Fallback, Simulator, Threads};
+use steac_sim::remote::{spawn_serve_process, ServeHandle};
+use steac_sim::{enumerate_faults, fault, shard, Exec, Fallback, RemoteFleet, Simulator, Threads};
 
 fn time<T>(f: impl FnOnce() -> T) -> (f64, T) {
     let t = Instant::now();
@@ -42,9 +46,12 @@ fn backends() -> Vec<Exec> {
     execs.extend([1, 2, 4, 8].map(|t| Exec::threads(Threads::exact(t))));
     if shard::default_worker_binary().is_some() {
         for workers in [1usize, 2, 4] {
-            if let Some(exec) = Exec::parse(&format!("processes:{workers}")) {
+            if let Ok(exec) = Exec::parse(&format!("processes:{workers}")) {
                 execs.push(exec.with_fallback(Fallback::Fail));
             }
+        }
+        if let Some(fleet) = RemoteFleet::spawn_local(2) {
+            execs.push(Exec::remote(fleet).with_fallback(Fallback::Fail));
         }
     } else {
         println!(
@@ -215,6 +222,60 @@ fn main() {
             full_count as f64,
             "patterns/s",
         );
+    }
+
+    // Machine-level rows over the same set: the Remote backend through
+    // spawn transports (zero network), then through a two-host TCP
+    // fleet of `steac-worker --serve` listeners on localhost — the
+    // wire-for-wire rehearsal of a real multi-host deployment.
+    if let Some(fleet) = RemoteFleet::spawn_local(2) {
+        let exec = Exec::remote(fleet).with_fallback(Fallback::Fail);
+        let (secs, reports) =
+            time(|| apply_cycle_patterns_batch(&exec, &sim, &full_refs).expect("plays"));
+        assert_eq!(
+            reports, baseline,
+            "full-set reports diverged on {exec} — dispatch changed a verdict"
+        );
+        print_row(
+            "remote:spawn*2",
+            secs,
+            base_secs,
+            full_count as f64,
+            "patterns/s",
+        );
+    }
+    if let Some(bin) = shard::default_worker_binary() {
+        let servers: Vec<ServeHandle> = (0..2)
+            .map_while(|_| spawn_serve_process(&bin).ok())
+            .collect();
+        if servers.len() == 2 {
+            println!(
+                "remote TCP hosts: {}",
+                servers
+                    .iter()
+                    .map(ServeHandle::addr)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            let fleet = RemoteFleet::tcp(servers.iter().map(|s| s.addr().to_string()))
+                .expect("two addresses collected");
+            let exec = Exec::remote(fleet).with_fallback(Fallback::Fail);
+            let (secs, reports) =
+                time(|| apply_cycle_patterns_batch(&exec, &sim, &full_refs).expect("plays"));
+            assert_eq!(
+                reports, baseline,
+                "full-set reports diverged on {exec} — dispatch changed a verdict"
+            );
+            print_row(
+                "remote:tcp*2",
+                secs,
+                base_secs,
+                full_count as f64,
+                "patterns/s",
+            );
+        } else {
+            println!("could not start two --serve workers; remote TCP row skipped");
+        }
     }
     let compares: u64 = baseline.reports.iter().map(|r| r.compares).sum();
     let mismatches: usize = baseline.reports.iter().map(|r| r.mismatches.len()).sum();

@@ -1,7 +1,7 @@
 //! The unified execution-backend API: one `&Exec` value selects *how*
-//! a batched workload runs — serially, across in-process threads, or
-//! across `steac-worker` processes — while the workload code stays
-//! identical.
+//! a batched workload runs — serially, across in-process threads,
+//! across `steac-worker` processes, or across a fleet of remote
+//! `steac-worker` hosts — while the workload code stays identical.
 //!
 //! Every batched workload in the platform (PPSFP fault grading, batched
 //! ATE playback, March fault simulation, JPEG pattern playback)
@@ -24,17 +24,19 @@
 //! transports. [`Exec::dispatch`] then owns the one merge-by-unit-index
 //! determinism contract for every backend: unit `i`'s result (or the
 //! lowest-indexed unit's error) is identical no matter which backend
-//! ran it or how execution interleaved. A future `Backend::Remote`
-//! (shipping the same wire bytes over ssh or TCP to `steac-worker`
-//! processes on other hosts) slots into [`Backend`] and the `Processes`
-//! arm of `dispatch` without touching any workload crate — that is the
-//! point of the seam.
+//! ran it or how execution interleaved. [`Backend::Remote`] is that
+//! seam paying off: the same wire bytes ship over a pluggable
+//! [`crate::remote::Transport`] (TCP to `steac-worker --serve`
+//! listeners on other machines, or spawned local processes) through a
+//! work-stealing [`RemoteFleet`] — and no workload crate changed to
+//! gain it.
 //!
 //! # Fallback policy
 //!
-//! Process dispatch can fail for reasons that have nothing to do with
-//! the workload (worker binary missing, spawn failure, a worker dying).
-//! The [`Fallback`] policy makes the response explicit instead of
+//! Shipped dispatch — processes or remote hosts — can fail for reasons
+//! that have nothing to do with the workload (worker binary missing,
+//! spawn failure, a worker dying, every remote host lost). The
+//! [`Fallback`] policy makes the response explicit instead of
 //! per-callsite folklore:
 //!
 //! * [`Fallback::InThread`] (the default): recompute the whole run on
@@ -45,25 +47,34 @@
 //! * [`Fallback::Fail`]: surface the failure as the workload's typed
 //!   error (deterministically the lowest-indexed affected unit).
 //!
+//! (Transient remote trouble is retried *inside* the fleet first; the
+//! policy only decides what a run that could not be completed remotely
+//! means. See [`crate::remote`] for the retry/requeue model.)
+//!
 //! # Environment resolution
 //!
 //! [`Exec::from_env`] is the deployment knob. Precedence:
 //!
-//! 1. `STEAC_EXEC` — `serial`, `auto`, `threads[:N]`, `processes[:N]`
-//!    (the CI matrix sets this);
-//! 2. `STEAC_WORKERS=N` — process pool of `N` workers (pre-`Exec`
+//! 1. `STEAC_EXEC` — `serial`, `auto`, `threads[:N]`, `processes[:N]`,
+//!    `remote:host:port[,host:port…]` (the CI matrix sets this);
+//! 2. `STEAC_HOSTS=host:port[,host:port…]` — shorthand for the
+//!    `remote:` spec;
+//! 3. `STEAC_WORKERS=N` — process pool of `N` workers (pre-`Exec`
 //!    compatibility knob);
-//! 3. `STEAC_THREADS=N` — in-process pool of `N` threads;
-//! 4. otherwise the detected core count ([`Threads::auto`]).
+//! 4. `STEAC_THREADS=N` — in-process pool of `N` threads;
+//! 5. otherwise the detected core count ([`Threads::auto`]).
+//!
+//! A malformed spec **panics** with the parse diagnostic rather than
+//! silently running some default backend ([`SpecError`]).
 
+use crate::remote::RemoteFleet;
 use crate::shard::{self, PoolError, ProcessPool, Threads};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Where work units physically execute. `#[non_exhaustive]`: the next
-/// rung, `Remote` (a `ProcessPool`-compatible transport to
-/// `steac-worker` processes on other hosts), will be added here without
-/// breaking any workload crate.
+/// Where work units physically execute. `#[non_exhaustive]` so further
+/// rungs can be added without breaking any workload crate — exactly how
+/// [`Backend::Remote`] arrived after `Processes`.
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum Backend {
@@ -73,10 +84,16 @@ pub enum Backend {
     Threads(Threads),
     /// Units serialize to `steac-worker` processes ([`ProcessPool`]).
     Processes(ProcessPool),
+    /// Units serialize to `steac-worker` hosts behind pluggable
+    /// transports ([`crate::remote`]): TCP to `steac-worker --serve`
+    /// listeners on other machines, or spawned local processes — with
+    /// work-stealing and retry/requeue across the fleet.
+    Remote(RemoteFleet),
 }
 
-/// What [`Exec::dispatch`] does when process-level dispatch fails
-/// (spawn failure, a worker dying, malformed results) — the explicit
+/// What [`Exec::dispatch`] does when shipped dispatch — the process
+/// *or* remote backend — fails (spawn failure, a worker dying, a remote
+/// host lost with retries exhausted, malformed results): the explicit
 /// replacement for the per-callsite behaviour the `_processes` variants
 /// used to hard-code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -91,6 +108,29 @@ pub enum Fallback {
     /// the lowest-indexed affected unit.
     Fail,
 }
+
+/// A rejected `STEAC_EXEC` / `STEAC_HOSTS` backend spec — what was
+/// supplied and why it does not parse. [`Exec::from_env`] turns this
+/// into a panic so a misconfigured deployment cannot silently run a
+/// different backend than it asked for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    spec: String,
+    reason: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid exec spec `{}`: {}; expected serial | auto | threads[:N] | processes[:N] \
+             | remote:host:port[,host:port...]",
+            self.spec, self.reason
+        )
+    }
+}
+
+impl std::error::Error for SpecError {}
 
 /// A single execution-backend value: backend + failure policy. Shared
 /// by reference across workload calls; the only interior state is the
@@ -185,6 +225,14 @@ impl Exec {
         Exec::with_backend(Backend::Processes(pool))
     }
 
+    /// Remote backend over a fleet of transport-connected `steac-worker`
+    /// hosts ([`RemoteFleet`]) — machine-level fan-out with
+    /// work-stealing and retry/requeue, same determinism contract.
+    #[must_use]
+    pub fn remote(fleet: RemoteFleet) -> Self {
+        Exec::with_backend(Backend::Remote(fleet))
+    }
+
     /// Thread backend over the detected core count (ignores the
     /// environment).
     #[must_use]
@@ -192,18 +240,46 @@ impl Exec {
         Exec::threads(Threads::auto())
     }
 
-    /// The deployment-level backend: resolves `STEAC_EXEC`, then the
-    /// pre-`Exec` `STEAC_WORKERS` / `STEAC_THREADS` knobs (in that
-    /// precedence), defaulting to [`Exec::auto`]. Unrecognised specs
-    /// and a requested-but-undiscoverable worker binary degrade to the
-    /// thread backend with a warning on stderr.
+    /// The deployment-level backend: resolves `STEAC_EXEC`, then
+    /// `STEAC_HOSTS` (a bare remote host list), then the pre-`Exec`
+    /// `STEAC_WORKERS` / `STEAC_THREADS` knobs (in that precedence),
+    /// defaulting to [`Exec::auto`].
+    ///
+    /// Malformed specs are **loud**: a deployment that sets
+    /// `STEAC_EXEC=threads:0` (or any other spec [`Exec::parse`]
+    /// rejects) asked for a backend it is not getting, and silently
+    /// running a default instead would invalidate whatever that run was
+    /// measuring — so this panics with the parse diagnostic instead.
+    /// The one tolerated degradation is environmental, not syntactic: a
+    /// well-formed `processes` spec whose worker binary cannot be found
+    /// falls back to threads with a warning on stderr.
+    ///
+    /// A variable that is set but blank (`STEAC_EXEC= cmd`, an empty CI
+    /// yaml value) counts as unset — blanking a variable is the shell
+    /// idiom for "without this knob", not a malformed spec.
+    ///
+    /// # Panics
+    ///
+    /// When `STEAC_EXEC` or `STEAC_HOSTS` is non-blank but does not
+    /// parse.
     #[must_use]
     pub fn from_env() -> Self {
-        if let Ok(spec) = std::env::var("STEAC_EXEC") {
-            if let Some(exec) = Exec::parse(&spec) {
-                return exec;
+        let set = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .filter(|value| !value.trim().is_empty())
+        };
+        if let Some(spec) = set("STEAC_EXEC") {
+            match Exec::parse(&spec) {
+                Ok(exec) => return exec,
+                Err(e) => panic!("steac exec: STEAC_EXEC: {e}"),
             }
-            eprintln!("steac exec: ignoring unrecognised STEAC_EXEC `{spec}`");
+        }
+        if let Some(hosts) = set("STEAC_HOSTS") {
+            match Exec::parse(&format!("remote:{hosts}")) {
+                Ok(exec) => return exec,
+                Err(e) => panic!("steac exec: STEAC_HOSTS: {e}"),
+            }
         }
         if let Some(workers) = shard::env_workers() {
             if let Some(pool) = ProcessPool::new(workers) {
@@ -217,44 +293,88 @@ impl Exec {
         Exec::threads(Threads::from_env())
     }
 
-    /// Parses a `STEAC_EXEC`-style backend spec: `serial`, `auto`,
-    /// `threads`, `threads:N`, `processes`, `processes:N` (`N` > 0;
-    /// bare forms use the detected core count). `None` for anything
-    /// else. A `processes` spec whose worker binary cannot be found
-    /// degrades to the thread backend with a warning, so a binary-less
-    /// environment still runs.
-    #[must_use]
-    pub fn parse(spec: &str) -> Option<Self> {
+    /// Parses a `STEAC_EXEC`-style backend spec:
+    ///
+    /// * `serial` | `auto`
+    /// * `threads[:N]` | `processes[:N]` (`N` > 0; bare forms use the
+    ///   detected core count)
+    /// * `remote:host:port[,host:port…]` — a [`RemoteFleet`] of
+    ///   [`crate::remote::TcpTransport`]s, one per address
+    ///
+    /// Anything else is a typed [`SpecError`] naming what was wrong —
+    /// never a silently substituted backend. One environmental (not
+    /// syntactic) degradation remains: a well-formed `processes` spec
+    /// whose worker binary cannot be found falls back to the thread
+    /// backend with a warning, so a binary-less environment still runs.
+    ///
+    /// # Errors
+    ///
+    /// A [`SpecError`] describing the malformed spec.
+    pub fn parse(spec: &str) -> Result<Self, SpecError> {
+        let raw = spec;
+        let err = |reason: String| SpecError {
+            spec: raw.to_string(),
+            reason,
+        };
         let spec = spec.trim();
         let (head, arg) = match spec.split_once(':') {
             Some((h, a)) => (h.trim(), Some(a.trim())),
             None => (spec, None),
         };
-        let width = match arg {
-            None => None,
-            Some(s) => Some(s.parse::<usize>().ok().filter(|&n| n > 0)?),
+        let width = |arg: Option<&str>| -> Result<Option<usize>, SpecError> {
+            match arg {
+                None => Ok(None),
+                Some(s) => match s.parse::<usize>() {
+                    Ok(n) if n > 0 => Ok(Some(n)),
+                    _ => Err(err(format!(
+                        "worker count must be a positive integer, got `{s}`"
+                    ))),
+                },
+            }
         };
         match head {
-            "serial" if width.is_none() => Some(Exec::serial()),
-            "auto" if width.is_none() => Some(Exec::auto()),
-            "threads" => Some(Exec::threads(match width {
+            "serial" | "auto" if arg.is_some() => Err(err(format!("`{head}` takes no `:` suffix"))),
+            "serial" => Ok(Exec::serial()),
+            "auto" => Ok(Exec::auto()),
+            "threads" => Ok(Exec::threads(match width(arg)? {
                 Some(n) => Threads::exact(n),
                 None => Threads::auto(),
             })),
             "processes" => {
-                let workers = width.unwrap_or_else(|| Threads::auto().get());
+                let workers = width(arg)?.unwrap_or_else(|| Threads::auto().get());
                 match ProcessPool::new(workers) {
-                    Some(pool) => Some(Exec::processes(pool)),
+                    Some(pool) => Ok(Exec::processes(pool)),
                     None => {
                         eprintln!(
                             "steac exec: `{spec}` requested but no steac-worker binary found; \
                              using the thread backend"
                         );
-                        Some(Exec::threads(Threads::from_env()))
+                        Ok(Exec::threads(Threads::from_env()))
                     }
                 }
             }
-            _ => None,
+            "remote" => {
+                let Some(list) = arg.filter(|a| !a.is_empty()) else {
+                    return Err(err(
+                        "`remote` needs a comma-separated host:port list".to_string()
+                    ));
+                };
+                let mut addrs = Vec::new();
+                for entry in list.split(',') {
+                    let entry = entry.trim();
+                    let valid = entry.rsplit_once(':').is_some_and(|(host, port)| {
+                        !host.is_empty() && port.parse::<u16>().is_ok()
+                    });
+                    if !valid {
+                        return Err(err(format!("`{entry}` is not a host:port address")));
+                    }
+                    addrs.push(entry.to_string());
+                }
+                Ok(Exec::remote(
+                    RemoteFleet::tcp(addrs).expect("host list verified non-empty"),
+                ))
+            }
+            _ => Err(err(format!("unknown backend `{head}`"))),
         }
     }
 
@@ -286,29 +406,30 @@ impl Exec {
         self.on_process_failure
     }
 
-    /// Configured fan-out width: 1 for serial, the thread count, or the
-    /// worker-process count (runs additionally cap it at the unit
-    /// count).
+    /// Configured fan-out width: 1 for serial, the thread count, the
+    /// worker-process count, or the remote host count (runs additionally
+    /// cap it at the unit count).
     #[must_use]
     pub fn width(&self) -> usize {
         match &self.backend {
             Backend::Serial => 1,
             Backend::Threads(t) => t.get(),
             Backend::Processes(p) => p.workers(),
+            Backend::Remote(f) => f.hosts(),
         }
     }
 
     /// The in-process worker count this backend implies — what
     /// [`Exec::run_units`] / [`Exec::run_fallible`] use, and what
     /// process dispatch falls back to under [`Fallback::InThread`].
-    /// `Serial` pins it to 1; `Processes` uses [`Threads::from_env`]
-    /// for its local compute.
+    /// `Serial` pins it to 1; `Processes` and `Remote` use
+    /// [`Threads::from_env`] for their local compute.
     #[must_use]
     pub fn local_threads(&self) -> Threads {
         match &self.backend {
             Backend::Serial => Threads::single(),
             Backend::Threads(t) => *t,
-            Backend::Processes(_) => Threads::from_env(),
+            Backend::Processes(_) | Backend::Remote(_) => Threads::from_env(),
         }
     }
 
@@ -364,17 +485,22 @@ impl Exec {
         let count = work.unit_count();
         let local =
             |threads: Threads| shard::run_fallible(threads, count, |i| work.run_unit_local(i));
-        let pool = match &self.backend {
+        match &self.backend {
             Backend::Serial => return Ok(Dispatch::clean(local(Threads::single())?)),
             Backend::Threads(t) => return Ok(Dispatch::clean(local(*t)?)),
-            Backend::Processes(pool) => pool,
-        };
+            Backend::Processes(_) | Backend::Remote(_) => {}
+        }
         if count == 0 {
             return Ok(Dispatch::clean(Vec::new()));
         }
         let job = work.encode_job();
         let units: Vec<Vec<u8>> = (0..count).map(|i| work.encode_unit(i)).collect();
-        let failure = match pool.run(work.kind(), &job, &units) {
+        let shipped = match &self.backend {
+            Backend::Processes(pool) => pool.run(work.kind(), &job, &units),
+            Backend::Remote(fleet) => fleet.run(work.kind(), &job, &units),
+            Backend::Serial | Backend::Threads(_) => unreachable!("handled above"),
+        };
+        let failure = match shipped {
             Ok(results) => {
                 let mut decoded = Vec::with_capacity(count);
                 let mut bad = None;
@@ -400,7 +526,7 @@ impl Exec {
                 let diagnostic = failure.to_string();
                 self.fallbacks.fetch_add(1, Ordering::Relaxed);
                 eprintln!(
-                    "steac exec: process dispatch failed ({diagnostic}); \
+                    "steac exec: {self} dispatch failed ({diagnostic}); \
                      recomputing on the in-thread pool"
                 );
                 Ok(Dispatch {
@@ -440,6 +566,7 @@ impl fmt::Display for Exec {
             Backend::Serial => f.write_str("serial"),
             Backend::Threads(t) => write!(f, "threads:{}", t.get()),
             Backend::Processes(p) => write!(f, "processes:{}", p.workers()),
+            Backend::Remote(fleet) => write!(f, "remote:{}", fleet.endpoints().join(",")),
         }
     }
 }
@@ -457,9 +584,46 @@ mod tests {
             Exec::parse("auto").unwrap().backend(),
             Backend::Threads(_)
         ));
-        assert!(Exec::parse("threads").is_some());
-        for bad in ["", "serial:2", "threads:0", "threads:x", "ssh:2", "auto:4"] {
-            assert!(Exec::parse(bad).is_none(), "`{bad}` should not parse");
+        assert!(Exec::parse("threads").is_ok());
+        let remote = Exec::parse("remote:127.0.0.1:7601, 127.0.0.1:7602").unwrap();
+        assert!(matches!(remote.backend(), Backend::Remote(f) if f.hosts() == 2));
+        assert_eq!(
+            remote.to_string(),
+            "remote:127.0.0.1:7601,127.0.0.1:7602",
+            "display round-trips the spec grammar"
+        );
+        assert_eq!(Exec::parse("remote:jpeg-farm-01:9000").unwrap().width(), 1);
+    }
+
+    /// Every malformed spec is a typed `SpecError` naming the offending
+    /// spec — the loud-parse contract `from_env` panics with.
+    #[test]
+    fn malformed_specs_are_typed_errors() {
+        for bad in [
+            "",
+            "serial:2",
+            "auto:4",
+            "threads:0",
+            "threads:x",
+            "threads:",
+            "processes:0",
+            "processes:",
+            "processes:-1",
+            "ssh:2",
+            "remote",
+            "remote:",
+            "remote:,",
+            "remote:hostonly",
+            "remote:127.0.0.1:notaport",
+            "remote::7601",
+            "remote:127.0.0.1:7601,,127.0.0.1:7602",
+        ] {
+            let err = Exec::parse(bad).expect_err(&format!("`{bad}` should not parse"));
+            assert!(err.to_string().contains("invalid exec spec"), "{err}");
+            assert!(
+                err.to_string().contains(&format!("`{bad}`")) || bad.is_empty(),
+                "diagnostic names the spec: {err}"
+            );
         }
     }
 
@@ -547,6 +711,33 @@ mod tests {
         let strict = Exec::processes(bogus()).with_fallback(Fallback::Fail);
         let err = strict.dispatch(&Squares(10)).unwrap_err();
         assert!(err.contains("cannot spawn worker"), "{err}");
+        assert_eq!(strict.process_fallbacks(), 0);
+    }
+
+    /// A fleet whose only host is unreachable: the Remote arm must obey
+    /// the same `Fallback` policy as the process arm, through the same
+    /// dispatch seam.
+    #[test]
+    fn remote_failure_honours_the_fallback_policy() {
+        // Bind-then-drop to get a localhost port with no listener.
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().to_string()
+        };
+        let dead_fleet = || {
+            crate::remote::RemoteFleet::tcp([addr.clone()])
+                .unwrap()
+                .with_max_retries(0)
+        };
+        let forgiving = Exec::remote(dead_fleet());
+        let d = forgiving.dispatch(&Squares(10)).unwrap();
+        assert_eq!(d.units, (0..10).map(|i| i * i).collect::<Vec<_>>());
+        assert!(d.fallback.is_some(), "fallback must be surfaced");
+        assert_eq!(forgiving.process_fallbacks(), 1);
+
+        let strict = Exec::remote(dead_fleet()).with_fallback(Fallback::Fail);
+        let err = strict.dispatch(&Squares(10)).unwrap_err();
+        assert!(err.contains("work unit 0"), "{err}");
         assert_eq!(strict.process_fallbacks(), 0);
     }
 

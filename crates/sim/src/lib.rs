@@ -42,12 +42,23 @@
 //!    `STEAC_THREADS`), and [`exec::Fallback`] makes the
 //!    process-failure policy explicit (recompute in-thread and record
 //!    it, or fail on the lowest-indexed unit).
-//! 4. **Distribute further** (next rung): the wire format and the worker
-//!    protocol are transport-agnostic — one request over stdin, one
-//!    response over stdout — so a future `Backend::Remote(transport)`
-//!    (ssh or a thin TCP shim to `steac-worker` processes on other
-//!    hosts) drops into [`exec::Backend`] and the process arm of
-//!    [`Exec::dispatch`] without touching any workload crate.
+//! 4. **Distribute across machines** ([`remote`]): the wire format and
+//!    the worker protocol are transport-agnostic — one serialized
+//!    request in, one serialized response out — so
+//!    `Exec::remote(RemoteFleet)` ships the *same* bytes over a
+//!    pluggable [`remote::Transport`]: [`remote::TcpTransport`] to
+//!    `steac-worker --serve <addr>` listeners on other hosts (framed by
+//!    a length-prefixed, versioned envelope), or
+//!    [`remote::SpawnTransport`] over spawned local processes (zero
+//!    network — the in-repo test rig). [`remote::RemoteFleet`] adds
+//!    work-stealing across hosts (units handed out from one atomic
+//!    counter, idle hosts steal from the global tail) and a
+//!    retry/requeue policy for lost workers, while [`Exec::dispatch`]
+//!    still owns the merge-by-unit-index contract — so reports stay
+//!    byte-identical to Serial even under injected host loss, proven by
+//!    `tests/remote_chaos.rs`. No workload crate changed to gain this
+//!    backend; that was the point of the seam. `Exec::from_env` reaches
+//!    it via `STEAC_EXEC=remote:host:port,…` or `STEAC_HOSTS`.
 //!
 //! The scalar API below is a lane-0/broadcast view of that kernel, so
 //! single-pattern callers are unchanged. Batch callers fill all 64 lanes
@@ -89,12 +100,13 @@ pub mod fault;
 pub mod logic;
 pub mod packed;
 pub mod program;
+pub mod remote;
 pub mod scan;
 pub mod shard;
 pub mod wire;
 
 pub use engine::Simulator;
-pub use exec::{Backend, Dispatch, Exec, ExecWork, Fallback};
+pub use exec::{Backend, Dispatch, Exec, ExecWork, Fallback, SpecError};
 pub use fault::{
     enumerate_faults, fault_coverage, grade_vectors, CoverageReport, Fault, StuckAt,
     FAULTS_PER_PASS,
@@ -102,6 +114,9 @@ pub use fault::{
 pub use logic::Logic;
 pub use packed::{PackedLogic, LANES};
 pub use program::SimProgram;
+pub use remote::{
+    RemoteFleet, ServeHandle, SpawnTransport, TcpTransport, Transport, TransportError,
+};
 pub use scan::ScanPorts;
 pub use shard::{JobRegistry, ProcessPool, Threads};
 pub use wire::WireError;

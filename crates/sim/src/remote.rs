@@ -1,0 +1,1220 @@
+//! Machine-level fan-out: the transport layer and host fleet behind
+//! [`crate::exec::Backend::Remote`].
+//!
+//! The wire format ([`crate::wire`]) and the worker protocol
+//! ([`crate::shard`]) are transport-agnostic: one serialized request in,
+//! one serialized response out. This module makes "where the bytes go"
+//! pluggable:
+//!
+//! * [`Transport`] is that one-request/one-response contract. A
+//!   transport failure is a typed [`TransportError`] — never a panic —
+//!   and is *retryable* by construction: the fleet may replay the same
+//!   request on the same or another host.
+//! * [`TcpTransport`] ships each request to a `steac-worker --serve
+//!   <addr>` listening loop ([`serve_tcp`]) over one TCP connection,
+//!   framed by the length-prefixed, versioned **envelope** below.
+//! * [`SpawnTransport`] runs each request through a freshly spawned
+//!   local `steac-worker` process over stdin/stdout — today's
+//!   [`crate::shard::ProcessPool`] piping wrapped as a transport — so
+//!   the whole Remote dispatch arm is testable in-repo with zero
+//!   network.
+//! * [`RemoteFleet`] fans work units across N transports with
+//!   work-stealing and a retry/requeue policy for lost hosts, keeping
+//!   the merge-by-unit-index determinism contract of
+//!   [`crate::shard::ProcessPool`]: unit `i`'s result (or the
+//!   lowest-indexed unit's error) is identical no matter which host ran
+//!   it, how execution interleaved, or which responses had to be
+//!   retried.
+//!
+//! # Envelope
+//!
+//! Stdin/stdout framing is the process lifetime (EOF ends the request,
+//! exit ends the response), but a persistent TCP connection needs
+//! explicit framing. Every payload on a stream transport travels inside
+//! the envelope:
+//!
+//! ```text
+//! magic   b"STEV"   (4 bytes)
+//! version u16       (currently 1; reject-on-mismatch, no negotiation)
+//! length  u64       (payload byte count, little-endian)
+//! payload [u8; length]
+//! ```
+//!
+//! [`decode_envelope`] is strict — truncated, corrupt or trailing bytes
+//! are typed [`WireError`]s, property-tested in `tests/proptests.rs`
+//! alongside the program codec sweeps. [`read_envelope`] is the
+//! streaming half used on live sockets; a damaged length there surfaces
+//! as a short or over-long read, which the worker-response parser
+//! rejects — either way a corrupt frame is a typed error on the
+//! dispatcher side, never a panic.
+//!
+//! # Failure model
+//!
+//! The fleet distinguishes two kinds of trouble:
+//!
+//! * **Transport-level loss** (connect refused, dead pipe, truncated or
+//!   corrupt envelope, a response missing some of its units): the
+//!   affected units are re-enqueued and stolen by other hosts, up to
+//!   [`RemoteFleet::with_max_retries`] extra attempts per unit. A host
+//!   that fails `max_retries + 1` calls in a row is declared lost and
+//!   stops taking work. Only when a unit's retries are exhausted — or
+//!   no live host remains — does the run fail, as
+//!   [`PoolError::Unit`] on the **lowest-indexed** unresolved unit.
+//! * **Workload-level unit errors** (the worker ran the unit and
+//!   reported a typed failure, e.g. corrupt unit bytes): deterministic,
+//!   so they are *not* retried; they fail the run exactly as they do on
+//!   the process backend.
+//!
+//! What a failed run *means* is then the [`crate::exec::Fallback`]
+//! policy's decision, made once in [`crate::exec::Exec::dispatch`]:
+//! recompute on the in-thread pool (logged and counted) or surface the
+//! workload's typed error. `tests/remote_chaos.rs` drives every one of
+//! these paths with injected failures.
+
+use crate::shard::{self, PoolError, WireJob};
+use crate::wire::{WireError, WireReader, WireWriter};
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Magic bytes opening every stream-transport envelope.
+pub const ENVELOPE_MAGIC: [u8; 4] = *b"STEV";
+
+/// Envelope version; bumped on any change to the envelope layout, with
+/// the same reject-on-mismatch discipline as [`crate::wire::WIRE_VERSION`].
+pub const ENVELOPE_VERSION: u16 = 1;
+
+/// Byte length of the fixed envelope header (magic + version + length).
+pub const ENVELOPE_HEADER_LEN: usize = 14;
+
+/// Frames a payload for a stream transport (see the module docs for the
+/// layout). Encoding cannot fail.
+#[must_use]
+pub fn encode_envelope(payload: &[u8]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_bytes(&ENVELOPE_MAGIC);
+    w.put_u16(ENVELOPE_VERSION);
+    w.put_block(payload);
+    w.finish()
+}
+
+/// Strictly decodes one envelope from a complete buffer: the payload
+/// must fill the buffer exactly.
+///
+/// # Errors
+///
+/// A typed [`WireError`] for truncated bytes, a bad magic, an
+/// unsupported version, a length that disagrees with the buffer, or
+/// trailing bytes. Never panics, never over-allocates (the length is
+/// checked against the bytes actually present).
+pub fn decode_envelope(bytes: &[u8]) -> Result<Vec<u8>, WireError> {
+    let mut r = WireReader::new(bytes);
+    r.expect_magic(&ENVELOPE_MAGIC, "envelope magic")?;
+    r.expect_version(ENVELOPE_VERSION, "envelope version")?;
+    let payload = r.get_block("envelope payload")?.to_vec();
+    r.finish()?;
+    Ok(payload)
+}
+
+/// Reads one envelope from a live stream: the header is read exactly,
+/// then `length` payload bytes. The allocation grows only as bytes
+/// actually arrive, so a hostile length cannot balloon memory.
+///
+/// # Errors
+///
+/// [`TransportError::Envelope`] for framing damage (truncation, bad
+/// magic, version mismatch), [`TransportError::Io`] for read failures.
+pub fn read_envelope<R: Read>(input: &mut R) -> Result<Vec<u8>, TransportError> {
+    let mut header = [0u8; ENVELOPE_HEADER_LEN];
+    input.read_exact(&mut header).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            TransportError::Envelope {
+                diagnostic: "truncated envelope header".to_string(),
+            }
+        } else {
+            TransportError::Io {
+                diagnostic: format!("reading envelope header: {e}"),
+            }
+        }
+    })?;
+    let mut r = WireReader::new(&header);
+    let len = r
+        .expect_magic(&ENVELOPE_MAGIC, "envelope magic")
+        .and_then(|()| r.expect_version(ENVELOPE_VERSION, "envelope version"))
+        .and_then(|()| r.get_usize("envelope length"))
+        .map_err(|e| TransportError::Envelope {
+            diagnostic: e.to_string(),
+        })?;
+    let mut payload = Vec::new();
+    input
+        .take(len as u64)
+        .read_to_end(&mut payload)
+        .map_err(|e| TransportError::Io {
+            diagnostic: format!("reading envelope payload: {e}"),
+        })?;
+    if payload.len() != len {
+        return Err(TransportError::Envelope {
+            diagnostic: format!(
+                "truncated envelope payload: got {} of {len} bytes",
+                payload.len()
+            ),
+        });
+    }
+    Ok(payload)
+}
+
+/// Failure of a single [`Transport::call`]. Every variant is retryable
+/// at the fleet level: the same request can be replayed on the same or
+/// another host without changing any result (work units are pure
+/// functions of their bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TransportError {
+    /// The host could not be reached at all (connect refused, worker
+    /// binary missing). Nothing ran.
+    Unreachable {
+        /// The endpoint that was tried.
+        endpoint: String,
+        /// What failed.
+        diagnostic: String,
+    },
+    /// The exchange died mid-flight (send/receive error, worker process
+    /// exited abnormally). The request may or may not have executed.
+    Io {
+        /// What failed.
+        diagnostic: String,
+    },
+    /// The response arrived but its framing was damaged (truncated or
+    /// corrupt envelope, bad magic, version mismatch).
+    Envelope {
+        /// What failed.
+        diagnostic: String,
+    },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Unreachable {
+                endpoint,
+                diagnostic,
+            } => write!(f, "host {endpoint} unreachable: {diagnostic}"),
+            TransportError::Io { diagnostic } => write!(f, "transport I/O failed: {diagnostic}"),
+            TransportError::Envelope { diagnostic } => {
+                write!(f, "corrupt response envelope: {diagnostic}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// One request in, one response out — the entire contract between the
+/// dispatcher and a remote `steac-worker`, with the request/response
+/// bytes exactly as the stdin/stdout protocol defines them
+/// ([`crate::shard`]). Implementations own connection management and
+/// framing; they must be callable concurrently from fleet threads.
+pub trait Transport: Send + Sync {
+    /// Ships one request and returns the raw response bytes.
+    ///
+    /// # Errors
+    ///
+    /// A typed, retryable [`TransportError`]; implementations never
+    /// panic on wire damage.
+    fn call(&self, request: &[u8]) -> Result<Vec<u8>, TransportError>;
+
+    /// Human-readable endpoint, used in diagnostics and
+    /// `Exec` display (`remote:endpoint,endpoint`).
+    fn endpoint(&self) -> String;
+}
+
+/// Ships requests to a `steac-worker --serve <addr>` listening loop:
+/// one TCP connection per request, envelope-framed in both directions.
+#[derive(Debug, Clone)]
+pub struct TcpTransport {
+    addr: String,
+    timeout: Option<Duration>,
+}
+
+impl TcpTransport {
+    /// A transport to `addr` (`host:port`), with the default 120 s
+    /// connect/read/write timeout so a hung or blackholed host surfaces
+    /// as a typed error instead of blocking a fleet thread forever.
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> Self {
+        TcpTransport {
+            addr: addr.into(),
+            timeout: Some(Duration::from_secs(120)),
+        }
+    }
+
+    /// Overrides the connect/read/write timeout (`None` disables it).
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.timeout = timeout;
+        self
+    }
+}
+
+impl TcpTransport {
+    /// Connects within the configured timeout (a plain blocking connect
+    /// when the timeout is disabled) — a blackholed host must surface
+    /// as a typed error on our schedule, not the kernel's.
+    fn connect(&self) -> Result<TcpStream, TransportError> {
+        let unreachable = |diagnostic: String| TransportError::Unreachable {
+            endpoint: self.addr.clone(),
+            diagnostic,
+        };
+        let Some(timeout) = self.timeout else {
+            return TcpStream::connect(&self.addr).map_err(|e| unreachable(e.to_string()));
+        };
+        let addrs = self
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| unreachable(e.to_string()))?;
+        let mut last = None;
+        for addr in addrs {
+            match TcpStream::connect_timeout(&addr, timeout) {
+                Ok(stream) => return Ok(stream),
+                Err(e) => last = Some(e.to_string()),
+            }
+        }
+        Err(unreachable(last.unwrap_or_else(|| {
+            "address resolved to nothing".to_string()
+        })))
+    }
+}
+
+impl Transport for TcpTransport {
+    fn call(&self, request: &[u8]) -> Result<Vec<u8>, TransportError> {
+        let mut stream = self.connect()?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(self.timeout);
+        let _ = stream.set_write_timeout(self.timeout);
+        stream
+            .write_all(&encode_envelope(request))
+            .and_then(|()| stream.flush())
+            .map_err(|e| TransportError::Io {
+                diagnostic: format!("sending request to {}: {e}", self.addr),
+            })?;
+        read_envelope(&mut stream)
+    }
+
+    fn endpoint(&self) -> String {
+        self.addr.clone()
+    }
+}
+
+/// Runs each request through a freshly spawned local `steac-worker`
+/// process over stdin/stdout — the [`crate::shard::ProcessPool`] piping
+/// as a transport. No envelope: stdio framing is the process lifetime
+/// (EOF ends the request, exit ends the response). This makes the whole
+/// Remote dispatch arm — fleet, stealing, retries — testable with zero
+/// network.
+#[derive(Debug, Clone)]
+pub struct SpawnTransport {
+    binary: PathBuf,
+}
+
+impl SpawnTransport {
+    /// A transport spawning the given worker binary per call.
+    #[must_use]
+    pub fn new(binary: PathBuf) -> Self {
+        SpawnTransport { binary }
+    }
+
+    /// A transport over the default worker binary (see
+    /// [`crate::shard::default_worker_binary`]); `None` when no binary
+    /// can be found.
+    #[must_use]
+    pub fn discover() -> Option<Self> {
+        shard::default_worker_binary().map(SpawnTransport::new)
+    }
+}
+
+impl Transport for SpawnTransport {
+    fn call(&self, request: &[u8]) -> Result<Vec<u8>, TransportError> {
+        let mut child = Command::new(&self.binary)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .map_err(|e| TransportError::Unreachable {
+                endpoint: self.binary.display().to_string(),
+                diagnostic: e.to_string(),
+            })?;
+        // The worker reads its whole request before writing anything, so
+        // a plain write-then-wait sequence cannot deadlock. A write
+        // failure (worker died early) is diagnosed from the exit status
+        // below, which carries stderr.
+        let write_failed = {
+            let stdin = child.stdin.take().expect("stdin was piped");
+            let mut stdin = stdin;
+            stdin.write_all(request).is_err()
+        };
+        let output = child.wait_with_output().map_err(|e| TransportError::Io {
+            diagnostic: format!("waiting for spawned worker: {e}"),
+        })?;
+        if !output.status.success() {
+            let stderr = String::from_utf8_lossy(&output.stderr);
+            return Err(TransportError::Io {
+                diagnostic: format!(
+                    "spawned worker exited abnormally ({}): {}",
+                    output.status,
+                    stderr.trim()
+                ),
+            });
+        }
+        if write_failed {
+            return Err(TransportError::Io {
+                diagnostic: "spawned worker closed stdin early".to_string(),
+            });
+        }
+        Ok(output.stdout)
+    }
+
+    fn endpoint(&self) -> String {
+        "spawn".to_string()
+    }
+}
+
+/// How many chunks each host's share of the units is split into when the
+/// fleet auto-sizes requests: small enough that idle hosts keep finding
+/// work to steal, large enough that the job block (shipped once per
+/// request) amortizes over many units.
+const CHUNKS_PER_HOST: usize = 8;
+
+/// Default extra attempts a unit gets after a transport-level loss.
+pub const DEFAULT_MAX_RETRIES: usize = 2;
+
+/// A fleet of remote hosts behind [`crate::exec::Backend::Remote`]:
+/// per-host work streams with work-stealing (units are handed out from
+/// one atomic counter per run, so an idle host always steals from the
+/// global tail) and a retry/requeue policy for lost workers.
+///
+/// The determinism contract is [`crate::shard::ProcessPool`]'s: results
+/// merge **by unit index**, failures surface as the **lowest-indexed**
+/// unresolved unit — so reports stay byte-identical to the serial
+/// backend no matter how hosts raced, died or retried.
+pub struct RemoteFleet {
+    hosts: Vec<Box<dyn Transport>>,
+    max_retries: usize,
+    chunk: usize,
+}
+
+impl fmt::Debug for RemoteFleet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RemoteFleet")
+            .field("hosts", &self.endpoints())
+            .field("max_retries", &self.max_retries)
+            .field("chunk", &self.chunk)
+            .finish()
+    }
+}
+
+impl RemoteFleet {
+    /// A fleet over explicit transports, with the default retry budget
+    /// ([`DEFAULT_MAX_RETRIES`]) and auto-sized request chunks.
+    ///
+    /// # Panics
+    ///
+    /// If `hosts` is empty — a fleet with nowhere to send work is a
+    /// programming error, caught at construction.
+    #[must_use]
+    pub fn new(hosts: Vec<Box<dyn Transport>>) -> Self {
+        assert!(!hosts.is_empty(), "remote fleet needs at least one host");
+        RemoteFleet {
+            hosts,
+            max_retries: DEFAULT_MAX_RETRIES,
+            chunk: 0,
+        }
+    }
+
+    /// A fleet of [`TcpTransport`]s, one per address; `None` when the
+    /// iterator is empty.
+    pub fn tcp<I>(addrs: I) -> Option<Self>
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+    {
+        let hosts: Vec<Box<dyn Transport>> = addrs
+            .into_iter()
+            .map(|a| Box::new(TcpTransport::new(a)) as Box<dyn Transport>)
+            .collect();
+        if hosts.is_empty() {
+            None
+        } else {
+            Some(RemoteFleet::new(hosts))
+        }
+    }
+
+    /// A fleet of `hosts` [`SpawnTransport`]s over the default worker
+    /// binary — machine-level dispatch semantics with zero network.
+    /// `None` when no worker binary can be found.
+    #[must_use]
+    pub fn spawn_local(hosts: usize) -> Option<Self> {
+        let binary = shard::default_worker_binary()?;
+        Some(RemoteFleet::new(
+            (0..hosts.max(1))
+                .map(|_| Box::new(SpawnTransport::new(binary.clone())) as Box<dyn Transport>)
+                .collect(),
+        ))
+    }
+
+    /// Sets how many extra attempts a unit gets after a transport-level
+    /// loss before the run fails (builder style; default
+    /// [`DEFAULT_MAX_RETRIES`]). A host is declared lost after
+    /// `max_retries + 1` consecutive call failures.
+    #[must_use]
+    pub fn with_max_retries(mut self, max_retries: usize) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Pins the number of units per request (builder style; 0 — the
+    /// default — auto-sizes to `units / (hosts × 8)`, clamped to ≥ 1).
+    #[must_use]
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = chunk;
+        self
+    }
+
+    /// Number of hosts in the fleet.
+    #[must_use]
+    pub fn hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// The configured retry budget per unit.
+    #[must_use]
+    pub fn max_retries(&self) -> usize {
+        self.max_retries
+    }
+
+    /// The host endpoints, in fleet order.
+    #[must_use]
+    pub fn endpoints(&self) -> Vec<String> {
+        self.hosts.iter().map(|h| h.endpoint()).collect()
+    }
+
+    /// Executes `units` under job `kind`/`job` across the fleet and
+    /// returns the result payloads in unit order — the remote sibling of
+    /// [`crate::shard::ProcessPool::run`], with the same signature and
+    /// the same determinism contract.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::Unit`] for the lowest-indexed unit that could not be
+    /// resolved: a workload-level unit error (never retried), exhausted
+    /// retries after transport-level losses, or no live host left.
+    pub fn run(&self, kind: u16, job: &[u8], units: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, PoolError> {
+        if units.is_empty() {
+            return Ok(Vec::new());
+        }
+        let chunk = if self.chunk > 0 {
+            self.chunk
+        } else {
+            units
+                .len()
+                .div_ceil(self.hosts.len() * CHUNKS_PER_HOST)
+                .max(1)
+        };
+        let run = FleetRun {
+            kind,
+            job,
+            units,
+            chunk,
+            max_retries: self.max_retries,
+            next: AtomicUsize::new(0),
+            pending: AtomicUsize::new(units.len()),
+            alive: (0..self.hosts.len())
+                .map(|_| AtomicBool::new(true))
+                .collect(),
+            retries: Mutex::new(VecDeque::new()),
+            slots: Mutex::new(vec![None; units.len()]),
+            failures: Mutex::new(Vec::new()),
+            lost_hosts: Mutex::new(Vec::new()),
+        };
+        std::thread::scope(|scope| {
+            for (index, host) in self.hosts.iter().enumerate() {
+                let run = &run;
+                scope.spawn(move || run.host_loop(index, host.as_ref()));
+            }
+        });
+
+        let slots = run.slots.into_inner().expect("no panics hold the lock");
+        let mut failures = run.failures.into_inner().expect("no panics hold the lock");
+        let lost = run
+            .lost_hosts
+            .into_inner()
+            .expect("no panics hold the lock");
+        for (unit, slot) in slots.iter().enumerate() {
+            if slot.is_none() && !failures.iter().any(|f| f.0 == unit) {
+                failures.push((
+                    unit,
+                    format!(
+                        "no live remote host left to run this unit ({})",
+                        lost.join("; ")
+                    ),
+                ));
+            }
+        }
+        if let Some((unit, diagnostic)) = failures.into_iter().min_by_key(|f| f.0) {
+            return Err(PoolError::Unit { unit, diagnostic });
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("every unit resolved or failed"))
+            .collect())
+    }
+}
+
+/// One unit in flight or waiting to be retried.
+struct Retry {
+    unit: usize,
+    /// Transport-level failures so far.
+    attempts: usize,
+    /// Hosts that have already failed this unit. Routing prefers hosts
+    /// *not* in this set, so a fast-failing dead host cannot burn the
+    /// unit's whole retry budget while a healthy host never sees it.
+    failed: Vec<usize>,
+}
+
+impl Retry {
+    fn fresh(unit: usize) -> Self {
+        Retry {
+            unit,
+            attempts: 0,
+            failed: Vec::new(),
+        }
+    }
+}
+
+/// Shared state of one fleet run; every host thread drives
+/// [`FleetRun::host_loop`] against it.
+struct FleetRun<'a> {
+    kind: u16,
+    job: &'a [u8],
+    units: &'a [Vec<u8>],
+    chunk: usize,
+    max_retries: usize,
+    /// Work-stealing cursor: hosts grab `chunk` fresh units at a time.
+    next: AtomicUsize,
+    /// Units not yet resolved (no result, no recorded failure).
+    pending: AtomicUsize,
+    /// One flag per host; cleared when the host is declared lost.
+    alive: Vec<AtomicBool>,
+    retries: Mutex<VecDeque<Retry>>,
+    slots: Mutex<Vec<Option<Vec<u8>>>>,
+    failures: Mutex<Vec<(usize, String)>>,
+    lost_hosts: Mutex<Vec<String>>,
+}
+
+impl FleetRun<'_> {
+    /// Whether every host still alive has already failed this unit —
+    /// the point past which routing it to "someone else" is no longer
+    /// possible and retrying anywhere (or giving up, once the budget is
+    /// spent) is all that is left.
+    fn covered(&self, failed: &[usize]) -> bool {
+        self.alive
+            .iter()
+            .enumerate()
+            .all(|(host, alive)| !alive.load(Ordering::Relaxed) || failed.contains(&host))
+    }
+
+    /// The next batch for host `me`: a re-enqueued unit first, else a
+    /// fresh chunk off the stealing cursor. A host skips retry entries
+    /// it has itself failed — unless every live host has already failed
+    /// the entry, at which point anyone may take it (pure transience,
+    /// e.g. a fleet where every host is flaky) — so retries route to
+    /// hosts with a chance of succeeding. `None` when no work is
+    /// currently available.
+    fn next_batch(&self, me: usize) -> Option<Vec<Retry>> {
+        {
+            let mut queue = self.retries.lock().expect("no panics hold the lock");
+            for _ in 0..queue.len() {
+                let entry = queue.pop_front().expect("len checked");
+                if entry.failed.contains(&me) && !self.covered(&entry.failed) {
+                    queue.push_back(entry);
+                } else {
+                    return Some(vec![entry]);
+                }
+            }
+        }
+        let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+        if start >= self.units.len() {
+            return None;
+        }
+        let end = (start + self.chunk).min(self.units.len());
+        Some((start..end).map(Retry::fresh).collect())
+    }
+
+    /// Re-enqueues transport-lost units, or records their permanent
+    /// failure once the retry budget is spent **and** every host still
+    /// alive has had (at least) one shot at them — exhausting a unit
+    /// while an untried healthy host exists would fail runs a live
+    /// fleet could finish.
+    fn requeue(&self, me: usize, lost: Vec<Retry>, diagnostic: &str) {
+        let mut queue = self.retries.lock().expect("no panics hold the lock");
+        let mut failures = self.failures.lock().expect("no panics hold the lock");
+        for mut entry in lost {
+            entry.attempts += 1;
+            if !entry.failed.contains(&me) {
+                entry.failed.push(me);
+            }
+            if entry.attempts > self.max_retries && self.covered(&entry.failed) {
+                failures.push((
+                    entry.unit,
+                    format!(
+                        "lost in transit {} times across {} host(s), retries exhausted: \
+                         {diagnostic}",
+                        entry.attempts,
+                        entry.failed.len()
+                    ),
+                ));
+                self.pending.fetch_sub(1, Ordering::Relaxed);
+            } else {
+                queue.push_back(entry);
+            }
+        }
+    }
+
+    /// Records one response against a batch and returns the entries the
+    /// response did **not** resolve (transport-level loss candidates).
+    /// Duplicate results — same unit delivered twice — are idempotent:
+    /// the first write wins, so replays after a lost response can never
+    /// change a merge.
+    fn record(
+        &self,
+        batch: Vec<Retry>,
+        response: Vec<(usize, Result<Vec<u8>, String>)>,
+    ) -> Vec<Retry> {
+        let mut slots = self.slots.lock().expect("no panics hold the lock");
+        let mut failures = self.failures.lock().expect("no panics hold the lock");
+        for (unit, result) in response {
+            if !batch.iter().any(|e| e.unit == unit) {
+                // A unit this batch never asked for (damaged or
+                // duplicated frame): ignoring it keeps the merge exact.
+                continue;
+            }
+            match result {
+                Ok(bytes) => {
+                    if slots[unit].is_none() {
+                        slots[unit] = Some(bytes);
+                        self.pending.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+                Err(diagnostic) => {
+                    // Workload-level unit error: deterministic, final.
+                    if slots[unit].is_none() && !failures.iter().any(|f| f.0 == unit) {
+                        failures.push((unit, diagnostic));
+                        self.pending.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        batch
+            .into_iter()
+            .filter(|e| slots[e.unit].is_none() && !failures.iter().any(|f| f.0 == e.unit))
+            .collect()
+    }
+
+    /// One host's work loop: steal a batch, ship it, record the
+    /// response; requeue what was lost. The host stops when every unit
+    /// is resolved, or declares itself lost after `max_retries + 1`
+    /// consecutive call failures (its in-flight units having been
+    /// requeued for the surviving hosts).
+    fn host_loop(&self, me: usize, transport: &dyn Transport) {
+        let mut strikes = 0usize;
+        while self.pending.load(Ordering::Relaxed) > 0 {
+            let Some(batch) = self.next_batch(me) else {
+                // Units are in flight on other hosts; wait for them to
+                // resolve (or fail and requeue).
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            };
+            let indices: Vec<usize> = batch.iter().map(|e| e.unit).collect();
+            let request = shard::encode_request(self.kind, self.job, &indices, self.units);
+            let (lost, diagnostic) = match transport.call(&request) {
+                Ok(response) => {
+                    let (items, damage) = shard::parse_response(&response, self.units.len());
+                    let lost = self.record(batch, items);
+                    if lost.is_empty() {
+                        strikes = 0;
+                        continue;
+                    }
+                    let diagnostic = match damage {
+                        Some(e) => format!("response damaged: {e}"),
+                        None => "response missing unit results".to_string(),
+                    };
+                    (lost, diagnostic)
+                }
+                Err(e) => (batch, e.to_string()),
+            };
+            strikes += 1;
+            let dying = strikes > self.max_retries;
+            if dying {
+                // Declare the loss before requeueing the in-flight
+                // units, so their routing immediately stops counting
+                // this host as a viable destination.
+                self.alive[me].store(false, Ordering::Relaxed);
+            }
+            self.requeue(me, lost, &diagnostic);
+            if dying {
+                let lost_line = format!(
+                    "host {me} ({}) lost after {strikes} consecutive failures: {diagnostic}",
+                    transport.endpoint()
+                );
+                eprintln!("steac remote: {lost_line}");
+                self.lost_hosts
+                    .lock()
+                    .expect("no panics hold the lock")
+                    .push(lost_line);
+                return;
+            }
+        }
+    }
+}
+
+/// The TCP serving loop behind `steac-worker --serve <addr>`: accepts
+/// connections forever, and for each one reads a single
+/// envelope-framed request, runs it through the same
+/// [`crate::shard::process_request`] core as the stdio worker (with
+/// `open` routing the job kind — the worker binary passes its
+/// [`crate::shard::JobRegistry`]), and writes the envelope-framed
+/// response. Each connection is served on its own thread, so several
+/// dispatchers can share one worker host.
+///
+/// Connection-level trouble (damaged envelope, unreadable request, dead
+/// peer) is logged to stderr and closes only that connection — a
+/// misbehaving client can never take the server down, which
+/// `tests/remote_chaos.rs` relies on.
+///
+/// # Errors
+///
+/// Only a broken listener (accept failure) ends the loop.
+pub fn serve_tcp<F>(listener: TcpListener, open: F) -> Result<(), String>
+where
+    F: Fn(u16, &[u8]) -> Result<Box<dyn WireJob>, String> + Send + Sync + 'static,
+{
+    let open = Arc::new(open);
+    loop {
+        let (stream, peer) = listener
+            .accept()
+            .map_err(|e| format!("accepting connection: {e}"))?;
+        let open = Arc::clone(&open);
+        std::thread::spawn(move || {
+            if let Err(e) = serve_connection(stream, open.as_ref()) {
+                eprintln!("steac-worker: connection from {peer}: {e}");
+            }
+        });
+    }
+}
+
+/// Serves one envelope-framed request/response exchange on an accepted
+/// connection.
+fn serve_connection<F>(mut stream: TcpStream, open: &F) -> Result<(), String>
+where
+    F: Fn(u16, &[u8]) -> Result<Box<dyn WireJob>, String>,
+{
+    let _ = stream.set_nodelay(true);
+    // A client that stalls mid-request must not pin this thread forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(300)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(300)));
+    let request = read_envelope(&mut stream).map_err(|e| e.to_string())?;
+    let response = shard::process_request(&request, |kind, job| open(kind, job))?;
+    stream
+        .write_all(&encode_envelope(&response))
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("writing response: {e}"))
+}
+
+/// A locally spawned `steac-worker --serve` process: the child plus the
+/// address it announced. Killed (and reaped) on drop. The launch-side
+/// counterpart of [`serve_tcp`], shared by the test batteries and the
+/// scaling harness so the announce-line scraping lives in one place.
+#[derive(Debug)]
+pub struct ServeHandle {
+    child: std::process::Child,
+    addr: String,
+}
+
+impl ServeHandle {
+    /// The `host:port` the worker announced it is listening on.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns `binary --serve 127.0.0.1:0` and scrapes the announced
+/// ephemeral address from its first stdout line.
+///
+/// # Errors
+///
+/// A diagnostic when the process cannot be spawned or does not announce
+/// an address.
+pub fn spawn_serve_process(binary: &std::path::Path) -> Result<ServeHandle, String> {
+    use std::io::BufRead as _;
+    let mut child = Command::new(binary)
+        .args(["--serve", "127.0.0.1:0"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawning {} --serve: {e}", binary.display()))?;
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let mut line = String::new();
+    let announced = std::io::BufReader::new(stdout)
+        .read_line(&mut line)
+        .map_err(|e| format!("reading the serve announcement: {e}"));
+    let addr = announced.and_then(|_| {
+        line.trim()
+            .rsplit(' ')
+            .next()
+            .filter(|a| a.contains(':'))
+            .map(str::to_string)
+            .ok_or_else(|| format!("unexpected serve announcement: {line:?}"))
+    });
+    match addr {
+        Ok(addr) => Ok(ServeHandle { child, addr }),
+        Err(e) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // ---------- envelope codec ----------
+
+    #[test]
+    fn envelope_round_trip_is_identity() {
+        for payload in [&b""[..], b"x", b"hello envelope", &[0u8; 300]] {
+            let framed = encode_envelope(payload);
+            assert_eq!(framed.len(), ENVELOPE_HEADER_LEN + payload.len());
+            assert_eq!(decode_envelope(&framed).unwrap(), payload);
+            let mut cursor = &framed[..];
+            assert_eq!(read_envelope(&mut cursor).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn envelope_truncation_always_errors() {
+        let framed = encode_envelope(b"some payload bytes");
+        for cut in 0..framed.len() {
+            assert!(decode_envelope(&framed[..cut]).is_err(), "prefix {cut}");
+            let mut cursor = &framed[..cut];
+            assert!(read_envelope(&mut cursor).is_err(), "stream prefix {cut}");
+        }
+    }
+
+    #[test]
+    fn envelope_header_corruption_always_errors() {
+        let framed = encode_envelope(b"payload");
+        for pos in 0..ENVELOPE_HEADER_LEN {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut corrupt = framed.clone();
+                corrupt[pos] ^= flip;
+                assert!(
+                    decode_envelope(&corrupt).is_err(),
+                    "header byte {pos} flip {flip:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_version_and_magic_are_typed() {
+        let mut framed = encode_envelope(b"p");
+        framed[0] = b'X';
+        assert!(matches!(
+            decode_envelope(&framed),
+            Err(WireError::BadMagic { .. })
+        ));
+        let mut framed = encode_envelope(b"p");
+        framed[4] = framed[4].wrapping_add(1);
+        assert!(matches!(
+            decode_envelope(&framed),
+            Err(WireError::UnsupportedVersion { .. })
+        ));
+        let mut framed = encode_envelope(b"p");
+        framed.push(0);
+        assert!(matches!(
+            decode_envelope(&framed),
+            Err(WireError::Trailing { .. })
+        ));
+    }
+
+    #[test]
+    fn read_envelope_rejects_hostile_length_without_allocating_it() {
+        let mut framed = encode_envelope(b"tiny");
+        framed[6..14].copy_from_slice(&u64::MAX.to_le_bytes());
+        let mut cursor = &framed[..];
+        assert!(matches!(
+            read_envelope(&mut cursor),
+            Err(TransportError::Envelope { .. })
+        ));
+    }
+
+    // ---------- fleet over an in-memory transport ----------
+
+    /// Runs requests through the real worker-protocol core in-process,
+    /// against a job that echoes each unit's bytes. Failure behaviour is
+    /// injected per call index.
+    struct Loopback<S: Fn(usize) -> Option<TransportError> + Send + Sync> {
+        calls: AtomicUsize,
+        inject: S,
+    }
+
+    struct EchoJob;
+    impl WireJob for EchoJob {
+        fn run_unit(&mut self, unit: &[u8]) -> Result<Vec<u8>, String> {
+            if unit == b"poison" {
+                Err("poisoned unit".to_string())
+            } else {
+                Ok(unit.to_vec())
+            }
+        }
+    }
+
+    impl<S: Fn(usize) -> Option<TransportError> + Send + Sync> Transport for Loopback<S> {
+        fn call(&self, request: &[u8]) -> Result<Vec<u8>, TransportError> {
+            let call = self.calls.fetch_add(1, Ordering::Relaxed);
+            if let Some(e) = (self.inject)(call) {
+                return Err(e);
+            }
+            shard::process_request(request, |_, _| Ok(Box::new(EchoJob)))
+                .map_err(|diagnostic| TransportError::Io { diagnostic })
+        }
+        fn endpoint(&self) -> String {
+            "loopback".to_string()
+        }
+    }
+
+    fn loopback<S: Fn(usize) -> Option<TransportError> + Send + Sync>(
+        inject: S,
+    ) -> Box<Loopback<S>> {
+        Box::new(Loopback {
+            calls: AtomicUsize::new(0),
+            inject,
+        })
+    }
+
+    fn units(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("unit-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn fleet_merges_by_unit_index_across_host_counts() {
+        let expected = units(97);
+        for hosts in 1..=4 {
+            let fleet = RemoteFleet::new(
+                (0..hosts)
+                    .map(|_| loopback(|_| None) as Box<dyn Transport>)
+                    .collect(),
+            );
+            let got = fleet.run(7, b"job", &expected).unwrap();
+            assert_eq!(got, expected, "{hosts} hosts");
+        }
+    }
+
+    #[test]
+    fn transient_failures_are_retried_to_an_identical_merge() {
+        let expected = units(40);
+        let fleet = RemoteFleet::new(vec![
+            loopback(|call| {
+                (call % 3 == 1).then(|| TransportError::Io {
+                    diagnostic: "injected".to_string(),
+                })
+            }) as Box<dyn Transport>,
+            loopback(|_| None) as Box<dyn Transport>,
+        ])
+        .with_chunk(2);
+        let got = fleet.run(7, b"job", &expected).unwrap();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn dead_host_requeues_onto_the_survivor() {
+        let expected = units(30);
+        let fleet = RemoteFleet::new(vec![
+            loopback(|_| {
+                Some(TransportError::Unreachable {
+                    endpoint: "dead".to_string(),
+                    diagnostic: "injected".to_string(),
+                })
+            }) as Box<dyn Transport>,
+            loopback(|_| None) as Box<dyn Transport>,
+        ])
+        .with_chunk(3);
+        let got = fleet.run(7, b"job", &expected).unwrap();
+        assert_eq!(got, expected);
+    }
+
+    /// Regression: fast-failing dead hosts poll the retry queue far
+    /// more often than a busy healthy host, but they must never burn a
+    /// unit's whole retry budget between them — a unit is only
+    /// exhausted once every live host has failed it. Two instant-fail
+    /// hosts plus one healthy host, with the tightest budget, must
+    /// still complete.
+    #[test]
+    fn dead_majority_cannot_exhaust_a_unit_the_healthy_host_never_saw() {
+        let dead = || {
+            loopback(|_| {
+                Some(TransportError::Unreachable {
+                    endpoint: "dead".to_string(),
+                    diagnostic: "injected".to_string(),
+                })
+            }) as Box<dyn Transport>
+        };
+        let expected = units(40);
+        for _ in 0..10 {
+            let fleet = RemoteFleet::new(vec![dead(), dead(), loopback(|_| None)])
+                .with_max_retries(1)
+                .with_chunk(2);
+            let got = fleet.run(7, b"job", &expected).unwrap();
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn all_hosts_dead_is_a_lowest_indexed_unit_error() {
+        let dead = || {
+            loopback(|_| {
+                Some(TransportError::Unreachable {
+                    endpoint: "dead".to_string(),
+                    diagnostic: "injected".to_string(),
+                })
+            }) as Box<dyn Transport>
+        };
+        let fleet = RemoteFleet::new(vec![dead(), dead()]).with_chunk(4);
+        match fleet.run(7, b"job", &units(20)).unwrap_err() {
+            PoolError::Unit { unit, diagnostic } => {
+                assert_eq!(unit, 0, "lowest-indexed unit wins");
+                assert!(!diagnostic.is_empty());
+            }
+            other => panic!("expected PoolError::Unit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn workload_unit_errors_are_final_and_never_retried() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&calls);
+        let host = Box::new(Loopback {
+            calls: AtomicUsize::new(0),
+            inject: move |_| {
+                seen.fetch_add(1, Ordering::Relaxed);
+                None
+            },
+        });
+        let fleet = RemoteFleet::new(vec![host]).with_chunk(64);
+        let mut work = units(5);
+        work[3] = b"poison".to_vec();
+        match fleet.run(7, b"job", &work).unwrap_err() {
+            PoolError::Unit { unit, diagnostic } => {
+                assert_eq!(unit, 3);
+                assert!(diagnostic.contains("poisoned unit"), "{diagnostic}");
+            }
+            other => panic!("expected PoolError::Unit, got {other:?}"),
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "no retry of a unit error");
+    }
+
+    #[test]
+    fn empty_unit_list_never_touches_a_host() {
+        let touched = Arc::new(AtomicBool::new(false));
+        let seen = Arc::clone(&touched);
+        let host = Box::new(Loopback {
+            calls: AtomicUsize::new(0),
+            inject: move |_| {
+                seen.store(true, Ordering::Relaxed);
+                None
+            },
+        });
+        let fleet = RemoteFleet::new(vec![host]);
+        assert!(fleet.run(7, b"job", &[]).unwrap().is_empty());
+        assert!(!touched.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one host")]
+    fn empty_fleet_is_a_construction_error() {
+        let _ = RemoteFleet::new(Vec::new());
+    }
+
+    // ---------- TCP transport negative paths ----------
+
+    #[test]
+    fn tcp_connect_refused_is_unreachable() {
+        // Bind then drop to learn a port that is (momentarily) free.
+        let addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let t = TcpTransport::new(addr.to_string());
+        assert!(matches!(
+            t.call(b"request"),
+            Err(TransportError::Unreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn tcp_rogue_server_is_a_typed_envelope_error() {
+        // A server that answers with garbage, then one that slams the
+        // connection shut: both must be typed errors, never panics.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            for (i, stream) in listener.incoming().take(2).enumerate() {
+                let mut stream = stream.unwrap();
+                if i == 0 {
+                    let _ = read_envelope(&mut stream);
+                    let _ = stream.write_all(b"this is not an envelope at all!!");
+                }
+                // i == 1: drop the connection without reading or replying.
+            }
+        });
+        let t = TcpTransport::new(addr).with_timeout(Some(Duration::from_secs(10)));
+        assert!(matches!(
+            t.call(b"request"),
+            Err(TransportError::Envelope { .. })
+        ));
+        match t.call(b"request") {
+            Err(TransportError::Envelope { .. } | TransportError::Io { .. }) => {}
+            other => panic!("expected a typed transport error, got {other:?}"),
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn serve_tcp_round_trips_through_the_echo_job() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let _ = serve_tcp(listener, |_, _| Ok(Box::new(EchoJob)));
+        });
+        let fleet = RemoteFleet::tcp([addr]).unwrap();
+        let expected = units(12);
+        let got = fleet.run(7, b"job", &expected).unwrap();
+        assert_eq!(got, expected);
+    }
+}

@@ -47,6 +47,12 @@
 //!           payload block (result bytes, or a UTF-8 diagnostic)
 //! ```
 //!
+//! The same request/response bytes travel unchanged over every
+//! transport: stdio frames them by EOF and process exit, remote
+//! transports ([`crate::remote`]) frame them with a length-prefixed
+//! versioned envelope — [`process_request`] is the one execution core
+//! behind both.
+//!
 //! The worker ([`serve_worker`]) opens the job once (`kind` selects the
 //! workload; the job block carries the compiled program and shared
 //! parameters), executes its units in order, and exits 0. Protocol
@@ -583,7 +589,12 @@ impl ProcessPool {
     }
 }
 
-fn encode_request(kind: u16, job: &[u8], unit_indices: &[usize], units: &[Vec<u8>]) -> Vec<u8> {
+pub(crate) fn encode_request(
+    kind: u16,
+    job: &[u8],
+    unit_indices: &[usize],
+    units: &[Vec<u8>],
+) -> Vec<u8> {
     let mut w = WireWriter::new();
     w.put_bytes(&REQUEST_MAGIC);
     w.put_u16(PROTOCOL_VERSION);
@@ -601,7 +612,7 @@ fn encode_request(kind: u16, job: &[u8], unit_indices: &[usize], units: &[Vec<u8
 /// recovered so far plus an optional description of where parsing
 /// stopped (protocol damage after that point).
 #[allow(clippy::type_complexity)]
-fn parse_response(
+pub(crate) fn parse_response(
     bytes: &[u8],
     unit_count: usize,
 ) -> (Vec<(usize, Result<Vec<u8>, String>)>, Option<String>) {
@@ -636,10 +647,13 @@ fn parse_response(
     (items, None)
 }
 
-/// The worker half of the protocol: reads one request from `input`,
-/// opens the job via `open` (handed the request's `kind` and job block),
-/// executes every unit in order and writes the response to `output`.
-/// This is the entire main of the `steac-worker` binary.
+/// The transport-independent worker core: parses one already-delivered
+/// request, opens the job via `open` (handed the request's `kind` and
+/// job block), executes every unit in order, and returns the serialized
+/// response. [`serve_worker`] (stdio framing) and
+/// [`crate::remote::serve_tcp`] (envelope framing) are both thin shells
+/// around this function, so every transport executes requests
+/// identically.
 ///
 /// A job that fails to open (unknown kind, corrupt job bytes) still
 /// produces a well-formed response — every unit reports the open
@@ -649,19 +663,12 @@ fn parse_response(
 /// # Errors
 ///
 /// A diagnostic when the request itself is unreadable (truncated bytes,
-/// bad magic, version mismatch, I/O failure); the binary prints it to
-/// stderr and exits nonzero.
-pub fn serve_worker<R, W, F>(mut input: R, mut output: W, open: F) -> Result<(), String>
+/// bad magic, version mismatch).
+pub fn process_request<F>(data: &[u8], open: F) -> Result<Vec<u8>, String>
 where
-    R: std::io::Read,
-    W: std::io::Write,
     F: FnOnce(u16, &[u8]) -> Result<Box<dyn WireJob>, String>,
 {
-    let mut data = Vec::new();
-    input
-        .read_to_end(&mut data)
-        .map_err(|e| format!("reading request: {e}"))?;
-    let mut r = WireReader::new(&data);
+    let mut r = WireReader::new(data);
     let protocol = (|| {
         r.expect_magic(&REQUEST_MAGIC, "request magic")?;
         r.expect_version(PROTOCOL_VERSION, "request version")?;
@@ -700,8 +707,33 @@ where
         }
     }
     r.finish().map_err(|e| e.to_string())?;
+    Ok(w.finish())
+}
+
+/// The stdio worker shell: reads one request from `input` (framed by
+/// EOF), runs it through [`process_request`], and writes the response to
+/// `output` (framed by process exit). This is the entire main of the
+/// `steac-worker` binary's default mode; `--serve` wraps the same core
+/// in TCP envelopes ([`crate::remote::serve_tcp`]).
+///
+/// # Errors
+///
+/// A diagnostic when the request itself is unreadable (truncated bytes,
+/// bad magic, version mismatch, I/O failure); the binary prints it to
+/// stderr and exits nonzero.
+pub fn serve_worker<R, W, F>(mut input: R, mut output: W, open: F) -> Result<(), String>
+where
+    R: std::io::Read,
+    W: std::io::Write,
+    F: FnOnce(u16, &[u8]) -> Result<Box<dyn WireJob>, String>,
+{
+    let mut data = Vec::new();
+    input
+        .read_to_end(&mut data)
+        .map_err(|e| format!("reading request: {e}"))?;
+    let response = process_request(&data, open)?;
     output
-        .write_all(&w.finish())
+        .write_all(&response)
         .and_then(|()| output.flush())
         .map_err(|e| format!("writing response: {e}"))
 }

@@ -1,23 +1,36 @@
 //! Quickstart for the unified execution-backend API: one `Exec` value
 //! picks *how* every batched workload runs — serially, across
-//! in-process threads, or across `steac-worker` processes — while the
-//! workload calls stay identical.
+//! in-process threads, across `steac-worker` processes, or across a
+//! remote fleet of `steac-worker` hosts — while the workload calls
+//! stay identical.
 //!
 //! ```sh
 //! cargo run --example exec_backends
 //! STEAC_EXEC=serial       cargo run --example exec_backends
 //! STEAC_EXEC=threads:4    cargo run --example exec_backends
 //! STEAC_EXEC=processes:2  cargo run --release --example exec_backends
+//!
+//! # machine-level: start one worker per host of the fleet ...
+//! steac-worker --serve 10.0.0.12:7601 &   # (on each host)
+//! # ... then point a remote spec (or STEAC_HOSTS) at them:
+//! STEAC_EXEC=remote:10.0.0.12:7601,10.0.0.13:7601 \
+//!     cargo run --release --example exec_backends
 //! ```
 //!
-//! (Process backends need the worker binary: `cargo build [--release]`
-//! first. Without it, `Exec` degrades to threads with a warning.)
+//! (Process and local-spawn remote backends need the worker binary:
+//! `cargo build [--release]` first. Without it, `processes` degrades to
+//! threads with a warning; a malformed spec — `threads:0`, a bad host
+//! list — panics loudly instead of silently running something else.)
+//!
+//! When the worker binary is discoverable, this example also runs a
+//! two-host remote fleet over `SpawnTransport` — the Remote dispatch
+//! arm (work-stealing, retries, wire codecs) with zero network.
 
 use rand::SeedableRng;
 use steac_membist::faultsim::{self, random_fault_list};
 use steac_membist::{MarchAlgorithm, SramConfig};
 use steac_netlist::{GateKind, NetlistBuilder};
-use steac_sim::{enumerate_faults, fault, Exec, Logic, Threads};
+use steac_sim::{enumerate_faults, fault, Exec, Logic, RemoteFleet, Threads};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small scan-less circuit: an 80-deep inverter/NAND cone whose
@@ -44,14 +57,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mem_faults = random_fault_list(&cfg, 20, &mut rng);
     let alg = MarchAlgorithm::march_c_minus();
 
-    // Three backends, one API. `Exec::from_env()` honours STEAC_EXEC
-    // (serial | auto | threads[:N] | processes[:N]), then the
-    // STEAC_WORKERS / STEAC_THREADS knobs.
-    let backends = [
+    // Four backend families, one API. `Exec::from_env()` honours
+    // STEAC_EXEC (serial | auto | threads[:N] | processes[:N] |
+    // remote:host:port,…), then STEAC_HOSTS, then the STEAC_WORKERS /
+    // STEAC_THREADS knobs.
+    let mut backends = vec![
         Exec::serial(),
         Exec::threads(Threads::exact(4)),
         Exec::from_env(),
     ];
+    if let Some(fleet) = RemoteFleet::spawn_local(2) {
+        backends.push(Exec::remote(fleet));
+    }
     let mut reference = None;
     for exec in &backends {
         let gate = fault::grade_vectors(exec, &module, &faults, &pins, &vectors)?;

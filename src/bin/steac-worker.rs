@@ -1,30 +1,57 @@
-//! `steac-worker` — the process-pool worker of the STEAC platform.
+//! `steac-worker` — the process-pool and remote-fleet worker of the
+//! STEAC platform.
 //!
-//! Reads one job plus its work units from stdin (the versioned protocol
-//! in `steac_sim::shard`), executes every unit, and writes the per-unit
-//! results to stdout. The job `kind` is routed through the single
-//! worker-side job registry (`steac_suite::worker_registry` — see its
-//! docs for the kind table), so this binary contains no per-workload
-//! knowledge at all.
+//! Two modes, one execution core (`steac_sim::shard::process_request`),
+//! one job table (`steac_suite::worker_registry` — see its docs for the
+//! kind table), so this binary contains no per-workload knowledge at
+//! all:
 //!
-//! Spawned by `steac_sim::shard::ProcessPool` — the process backend
-//! behind `steac_sim::Exec` (`Exec::processes(..)`, or `Exec::from_env`
-//! with `STEAC_EXEC=processes:N` / `STEAC_WORKERS=N`); also runnable by
-//! hand or from a remote shell — any transport that delivers the
-//! request bytes to stdin works, which is what makes the same passes
-//! machine-portable. Protocol errors exit nonzero with a diagnostic on
-//! stderr; per-unit failures are reported in-band so the dispatcher can
-//! attribute them to the lowest-indexed failing unit.
+//! * **stdio (default)**: reads one job plus its work units from stdin
+//!   (the versioned protocol in `steac_sim::shard`), executes every
+//!   unit, writes the per-unit results to stdout and exits. Spawned by
+//!   `steac_sim::shard::ProcessPool` (`STEAC_EXEC=processes:N` /
+//!   `STEAC_WORKERS=N`) and by `steac_sim::remote::SpawnTransport`.
+//! * **`--serve <host:port>`**: binds a TCP listener and serves the
+//!   same requests forever, one envelope-framed request/response per
+//!   connection (`steac_sim::remote::serve_tcp`), each connection on
+//!   its own thread. This is the remote half of
+//!   `STEAC_EXEC=remote:host:port,…` — start one per host of the
+//!   fleet. The bound address is printed to stdout (bind to port 0 for
+//!   an ephemeral port and scrape it from that line).
+//!
+//! Protocol errors exit nonzero with a diagnostic on stderr (stdio
+//! mode) or close the offending connection (serve mode — a misbehaving
+//! client never takes the server down); per-unit failures are reported
+//! in-band so the dispatcher can attribute them to the lowest-indexed
+//! failing unit.
 
-use std::io::{stdin, stdout};
+use std::io::{stdin, stdout, Write as _};
+use std::net::TcpListener;
 use std::process::ExitCode;
+use steac_sim::remote::serve_tcp;
 use steac_sim::shard::serve_worker;
 
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let registry = steac_suite::worker_registry();
-    match serve_worker(stdin().lock(), stdout().lock(), |kind, job| {
-        registry.open(kind, job)
-    }) {
+    let result = match args.as_slice() {
+        [] => serve_worker(stdin().lock(), stdout().lock(), |kind, job| {
+            registry.open(kind, job)
+        }),
+        [flag, addr] if flag == "--serve" => match TcpListener::bind(addr) {
+            Ok(listener) => {
+                match listener.local_addr() {
+                    Ok(bound) => println!("steac-worker: serving on {bound}"),
+                    Err(_) => println!("steac-worker: serving on {addr}"),
+                }
+                let _ = stdout().flush();
+                serve_tcp(listener, move |kind, job| registry.open(kind, job))
+            }
+            Err(e) => Err(format!("binding {addr}: {e}")),
+        },
+        _ => Err("usage: steac-worker [--serve <host:port>]".to_string()),
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("steac-worker: {e}");

@@ -1,0 +1,28 @@
+//! Shared helpers for the integration-test batteries: spawning real
+//! `steac-worker --serve` listeners on ephemeral localhost ports (the
+//! scrape-and-teardown logic lives in `steac_sim::remote`).
+
+#![allow(dead_code)] // each test binary uses its own subset
+
+use std::path::PathBuf;
+use steac_sim::remote::{spawn_serve_process, ServeHandle};
+
+/// The worker binary built alongside this test suite.
+pub fn worker_binary() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_steac-worker"))
+}
+
+/// Starts one TCP-serving worker on `127.0.0.1:0`.
+///
+/// # Panics
+///
+/// If the worker cannot be spawned or does not announce its address —
+/// the test environment is broken and the test should fail loudly.
+pub fn spawn_serve_worker() -> ServeHandle {
+    spawn_serve_process(&worker_binary()).expect("starting steac-worker --serve")
+}
+
+/// Starts `n` TCP-serving workers.
+pub fn spawn_serve_workers(n: usize) -> Vec<ServeHandle> {
+    (0..n).map(|_| spawn_serve_worker()).collect()
+}

@@ -1,31 +1,37 @@
-//! The exec-matrix battery: one table of execution backends — `Serial`,
-//! `Threads(1)`, `Threads(4)`, `Processes(1)`, `Processes(2)`,
-//! `Processes(3)` — driven through the **same** unified entry points
-//! for every workload (gate-level vector grading, batched ATE playback,
-//! March fault simulation, JPEG playback), asserting the reports are
+//! The exec-matrix battery: one table spanning all **five** execution
+//! backends — `Serial`, `Threads(1/4)`, `Processes(1/2/3)`,
+//! `Remote(SpawnTransport)` and `Remote(TcpTransport@localhost)` —
+//! driven through the **same** unified entry points for every workload
+//! (gate-level vector grading, batched ATE playback, March fault
+//! simulation, JPEG playback), asserting the reports are
 //! **byte-identical** to the serial baseline: counts, escape lists and
 //! mismatch logs *including their order*. This is the determinism
 //! contract behind `steac_sim::Exec::dispatch`, proven across every
 //! backend from a single table of cases.
 //!
-//! Process backends pin the `steac-worker` binary Cargo built for this
-//! package and run with `Fallback::Fail`, so a broken worker fails the
-//! test loudly instead of silently matching via the in-thread fallback.
+//! Process and remote backends pin the `steac-worker` binary Cargo
+//! built for this package (the TCP legs run it as real `--serve`
+//! listeners on ephemeral localhost ports) and run with
+//! `Fallback::Fail`, so a broken worker fails the test loudly instead
+//! of silently matching via the in-thread fallback.
 
-use std::path::PathBuf;
+mod common;
+
+use common::{spawn_serve_workers, worker_binary};
 use steac_membist::{faultsim, MarchAlgorithm, SramConfig};
 use steac_netlist::{GateKind, NetlistBuilder};
 use steac_pattern::{apply_cycle_patterns_batch, CyclePattern, PinState};
-use steac_sim::{fault, Exec, Fallback, Logic, ProcessPool, Simulator, Threads};
+use steac_sim::{
+    fault, Exec, Fallback, Logic, ProcessPool, RemoteFleet, ServeHandle, Simulator, SpawnTransport,
+    Threads, Transport,
+};
 
-/// The worker binary built alongside this test suite.
-fn worker_binary() -> PathBuf {
-    PathBuf::from(env!("CARGO_BIN_EXE_steac-worker"))
-}
-
-/// The single backend table every workload case runs over. The first
-/// entry (serial) is the baseline the others must match byte-for-byte.
-fn backend_matrix() -> Vec<(String, Exec)> {
+/// The single backend table every workload case runs over: the five
+/// backend families, with the remote legs shipping real wire bytes
+/// through spawned workers and through `--serve` TCP listeners. The
+/// first entry (serial) is the baseline the others must match
+/// byte-for-byte.
+fn backend_matrix(servers: &[ServeHandle]) -> Vec<(String, Exec)> {
     let mut matrix = vec![
         ("serial".to_string(), Exec::serial()),
         ("threads:1".to_string(), Exec::threads(Threads::exact(1))),
@@ -38,6 +44,23 @@ fn backend_matrix() -> Vec<(String, Exec)> {
                 .with_fallback(Fallback::Fail),
         ));
     }
+    for hosts in [1usize, 2] {
+        let fleet = RemoteFleet::new(
+            (0..hosts)
+                .map(|_| Box::new(SpawnTransport::new(worker_binary())) as Box<dyn Transport>)
+                .collect(),
+        );
+        matrix.push((
+            format!("remote-spawn:{hosts}"),
+            Exec::remote(fleet).with_fallback(Fallback::Fail),
+        ));
+    }
+    let tcp = RemoteFleet::tcp(servers.iter().map(|s| s.addr().to_string()))
+        .expect("at least one serve worker");
+    matrix.push((
+        format!("remote-tcp:{}", servers.len()),
+        Exec::remote(tcp).with_fallback(Fallback::Fail),
+    ));
     matrix
 }
 
@@ -123,7 +146,8 @@ fn all_workloads_report_byte_identical_on_every_backend() {
     let mfaults = faultsim::random_fault_list(&cfg, 40, &mut rng);
     let alg = MarchAlgorithm::mats_plus();
 
-    let matrix = backend_matrix();
+    let servers = spawn_serve_workers(2);
+    let matrix = backend_matrix(&servers);
     let (_, serial) = &matrix[0];
     let grade_base = fault::grade_vectors(serial, &m, &faults, &pins, &vectors).unwrap();
     assert!(grade_base.detected < grade_base.total, "need escapes");

@@ -6,7 +6,7 @@ use steac_membist::faultsim::{fault_coverage, random_fault_list};
 use steac_membist::{MarchAlgorithm, SramConfig};
 use steac_netlist::{stitch_scan, GateKind, NetId, NetlistBuilder, StitchConfig};
 use steac_sched::{allocate_session, schedule_sessions, ChipConfig, TestTask};
-use steac_sim::{fault, Exec, Logic, PackedLogic, Simulator, Threads, LANES};
+use steac_sim::{fault, remote, Exec, Logic, PackedLogic, Simulator, Threads, LANES};
 use steac_stil::{parse_stil, to_stil_string};
 use steac_wrapper::{balance_fixed, balance_soft};
 
@@ -518,5 +518,86 @@ proptest! {
                 &exec, &alg, &cfg, &faults).unwrap();
             prop_assert_eq!(&sharded, &baseline, "{} threads", t);
         }
+    }
+}
+
+// ---------- remote envelope codec ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// encode→decode is the identity over arbitrary payloads — for the
+    /// strict buffer codec and the streaming reader alike — and every
+    /// strict prefix of a frame fails with a typed error, mirroring the
+    /// `wire.rs` truncation sweeps at the transport layer.
+    #[test]
+    fn envelope_round_trips_and_rejects_every_prefix(
+        payload in prop::collection::vec(0u8..=255u8, 0..1500),
+    ) {
+        let framed = remote::encode_envelope(&payload);
+        prop_assert_eq!(remote::decode_envelope(&framed).unwrap(), payload.clone());
+        let mut cursor = &framed[..];
+        prop_assert_eq!(remote::read_envelope(&mut cursor).unwrap(), payload);
+        for cut in 0..framed.len() {
+            prop_assert!(
+                remote::decode_envelope(&framed[..cut]).is_err(),
+                "prefix {} must not decode", cut
+            );
+            let mut cursor = &framed[..cut];
+            prop_assert!(
+                remote::read_envelope(&mut cursor).is_err(),
+                "stream prefix {} must not read", cut
+            );
+        }
+    }
+
+    /// Every single-byte corruption of the header (magic, version,
+    /// length) is a typed error from the strict codec; the streaming
+    /// reader — which cannot see past the bytes it is handed — never
+    /// panics and never reads a damaged frame back as the clean
+    /// payload.
+    #[test]
+    fn envelope_header_corruption_is_always_detected(
+        payload in prop::collection::vec(0u8..=255u8, 0..300),
+        pos in 0usize..14,
+        flip in 1u8..=255u8,
+    ) {
+        let mut framed = remote::encode_envelope(&payload);
+        framed[pos] ^= flip;
+        prop_assert!(
+            remote::decode_envelope(&framed).is_err(),
+            "header byte {} flipped by {:#04x} must not decode", pos, flip
+        );
+        let mut cursor = &framed[..];
+        match remote::read_envelope(&mut cursor) {
+            Err(_) => {}
+            Ok(recovered) => prop_assert!(
+                recovered != payload,
+                "corrupt frame must not stream back clean (byte {}, flip {:#04x})", pos, flip
+            ),
+        }
+    }
+
+    /// Flipping any single byte anywhere in a frame never panics either
+    /// codec; payload flips decode to exactly the altered payload.
+    #[test]
+    fn envelope_corruption_never_panics(
+        payload in prop::collection::vec(0u8..=255u8, 1..200),
+        pos in 0usize..2048,
+        flip in 1u8..=255u8,
+    ) {
+        let mut framed = remote::encode_envelope(&payload);
+        let pos = pos % framed.len();
+        framed[pos] ^= flip;
+        let strict = remote::decode_envelope(&framed);
+        if pos >= 14 {
+            let mut expected = payload.clone();
+            expected[pos - 14] ^= flip;
+            prop_assert_eq!(strict.unwrap(), expected);
+        } else {
+            prop_assert!(strict.is_err());
+        }
+        let mut cursor = &framed[..];
+        let _ = remote::read_envelope(&mut cursor);
     }
 }
