@@ -196,7 +196,7 @@ fn bench_batched_playback(c: &mut Criterion) {
     let refs: Vec<&steac_pattern::CyclePattern> = patterns.iter().collect();
     c.bench_function("jpeg_playback_batched_128p", |b| {
         b.iter(|| {
-            let sim = Simulator::new(&module).expect("sim builds");
+            let sim: Simulator = Simulator::new(&module).expect("sim builds");
             steac_pattern::apply_cycle_patterns_batch(&exec, &sim, &refs).expect("plays")
         })
     });
@@ -204,7 +204,7 @@ fn bench_batched_playback(c: &mut Criterion) {
         b.iter(|| {
             // One compile per iteration, like the batched path: the
             // comparison times the kernel, not repeated compilation.
-            let mut sim = Simulator::new(&module).expect("sim builds");
+            let mut sim: Simulator = Simulator::new(&module).expect("sim builds");
             patterns
                 .iter()
                 .map(|p| {

@@ -319,7 +319,7 @@ mod tests {
         }];
         let report = insert_dft(&mut design, &specs, 2, 1).unwrap();
         let flat = design.flatten(&report.dft_top).unwrap();
-        let mut sim = Simulator::new(&flat).unwrap();
+        let mut sim: Simulator = Simulator::new(&flat).unwrap();
         // Functional mode: test_mode = 0, wrapper transparent.
         for p in [
             "tck",

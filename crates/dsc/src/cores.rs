@@ -369,7 +369,7 @@ mod tests {
     fn usb_scan_chain_shifts() {
         use steac_sim::{scan, Logic, ScanPorts, Simulator};
         let (m, p) = usb_core().unwrap();
-        let mut sim = Simulator::new(&m).unwrap();
+        let mut sim: Simulator = Simulator::new(&m).unwrap();
         // Quiet all inputs.
         for port in m.ports_with_dir(PortDir::Input) {
             let net = port.net;

@@ -32,7 +32,8 @@ pub struct PlaybackReport {
     pub compares: u64,
     /// Total mismatching compares (0 for a healthy netlist).
     pub mismatches: usize,
-    /// Packed passes the player needed (⌈patterns / 64⌉).
+    /// Packed passes the player needed
+    /// (⌈patterns / (64 · [`steac_sim::DEFAULT_LANE_GROUPS`])⌉).
     pub passes: usize,
     /// Times process dispatch fell back to the in-thread pool while
     /// producing this report (0 unless the `Exec` runs a process
@@ -90,7 +91,7 @@ fn jpeg_patterns_and_program(
     let program = Arc::new(SimProgram::compile(&module)?);
     let blocks = count.div_ceil(LANES);
     let per_block = exec.run_fallible(blocks, |bi| {
-        let mut sim = Simulator::from_program(Arc::clone(&program));
+        let mut sim: Simulator = Simulator::from_program(Arc::clone(&program));
         let mut block = Vec::with_capacity(LANES);
         for k in (bi * LANES..count).take(LANES) {
             let drives: Vec<Logic> = (0..n_pi).map(|i| Logic::from(stimulus_bit(k, i))).collect();
@@ -126,7 +127,8 @@ fn jpeg_patterns_and_program(
 }
 
 /// Verifies `count` JPEG functional patterns with the batched cycle
-/// player (64 per pass) and aggregates the result. The single entry
+/// player (one pattern per lane, `64 * DEFAULT_LANE_GROUPS` per pass)
+/// and aggregates the result. The single entry
 /// point for every backend: `exec` decides whether playback passes run
 /// inline, across threads or across `steac-worker` processes, and the
 /// report is byte-identical in every flavour.
@@ -139,7 +141,7 @@ fn jpeg_patterns_and_program(
 pub fn jpeg_playback_batch(exec: &Exec, count: usize) -> Result<PlaybackReport, PatternError> {
     let (_module, program, patterns) = jpeg_patterns_and_program(exec, count)?;
     let refs: Vec<&CyclePattern> = patterns.iter().collect();
-    let sim = Simulator::from_program(program);
+    let sim: Simulator = Simulator::from_program(program);
     let playback = apply_cycle_patterns_batch(exec, &sim, &refs)?;
     Ok(aggregate_report(
         &patterns,
@@ -162,7 +164,7 @@ fn aggregate_report(
         cycles: patterns.iter().map(CyclePattern::cycle_count).sum(),
         compares: reports.iter().map(|r| r.compares).sum(),
         mismatches: reports.iter().map(|r| r.mismatches.len()).sum(),
-        passes: count.div_ceil(LANES),
+        passes: count.div_ceil(LANES * steac_sim::DEFAULT_LANE_GROUPS),
         process_fallbacks,
     }
 }
@@ -184,7 +186,7 @@ mod tests {
         let count = 70; // > 64: exercises chunking
         let (module, patterns) = jpeg_functional_patterns(&exec(), count).unwrap();
         let refs: Vec<&CyclePattern> = patterns.iter().collect();
-        let sim = Simulator::new(&module).unwrap();
+        let sim: Simulator = Simulator::new(&module).unwrap();
         let batch = apply_cycle_patterns_batch(&exec(), &sim, &refs)
             .unwrap()
             .reports;
@@ -238,7 +240,7 @@ mod tests {
             _ => PinState::ExpectH,
         };
         let refs: Vec<&CyclePattern> = patterns.iter().collect();
-        let sim = Simulator::new(&module).unwrap();
+        let sim: Simulator = Simulator::new(&module).unwrap();
         let reports = apply_cycle_patterns_batch(&exec(), &sim, &refs)
             .unwrap()
             .reports;

@@ -106,7 +106,7 @@ mod tests {
     }
 
     fn setup(m: &Module) -> Simulator {
-        let mut sim = Simulator::new(m).unwrap();
+        let mut sim: Simulator = Simulator::new(m).unwrap();
         for p in ["MBS", "MSI", "MBC"] {
             sim.set_by_name(p, Logic::Zero).unwrap();
         }

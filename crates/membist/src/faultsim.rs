@@ -1,21 +1,25 @@
 //! March fault simulation: runs an algorithm against faulty memory
 //! models and grades coverage over a fault list.
 //!
-//! Grading is bit-parallel (PPSFP style): up to 64 faulty machines are
-//! packed into lane planes — one `u64` per memory cell column, one lane
-//! per fault — so a single March walk grades 64 faults at once. March
-//! writes are uniform across machines, so the walk broadcasts them
-//! word-parallel and then applies each lane's fault perturbation as a
-//! constant-time bit fix; reads compare every lane against the analytic
-//! expected value in one XOR. Detected lanes are dropped: once every
-//! fault of a pass is caught, the walk stops early.
+//! Grading is bit-parallel (PPSFP style): faulty machines are packed
+//! into lane planes — one lane-mask word group per memory cell column,
+//! one lane per fault — so a single March walk grades `64 * N` faults
+//! at once (`N` = lane groups, [`steac_sim::DEFAULT_LANE_GROUPS`] by
+//! default). March writes are uniform across machines, so the walk
+//! broadcasts them word-parallel and then applies each lane's fault
+//! perturbation as a constant-time bit fix; reads compare every lane
+//! against the analytic expected value in one XOR per word group.
+//! Detected lanes are dropped: once every fault of a pass is caught,
+//! the walk stops early.
 //!
-//! Each 64-fault March walk is an independent work unit, so
-//! [`fault_coverage`] describes the walks as a [`steac_sim::ExecWork`]
+//! Each walk is an independent work unit, so [`fault_coverage`]
+//! describes the walks as a [`steac_sim::ExecWork`]
 //! and hands them to [`Exec::dispatch`] — serial, thread-sharded, or
 //! fanned across `steac-worker` processes (walk descriptors serialized
 //! by [`crate::wire`]) — and merges the per-walk detection masks in
-//! fault-list order: reports are bit-identical on every backend.
+//! fault-list order: reports are bit-identical on every backend and at
+//! every lane-group width (chunk size only changes how the fault list
+//! is cut).
 //! Process failures follow the `Exec`'s explicit
 //! [`steac_sim::Fallback`] policy, and an in-thread fallback is
 //! logged and counted in [`MemCoverageReport::process_fallbacks`]
@@ -26,11 +30,22 @@ use crate::memory::{MemFault, Sram, SramConfig};
 use rand::Rng;
 use std::collections::BTreeMap;
 use std::fmt;
+use steac_sim::packed::{
+    mask_and, mask_andnot, mask_bit, mask_none, mask_or, mask_range, mask_set_bit, LaneMask,
+};
 use steac_sim::shard::{self, PoolError};
-use steac_sim::{Exec, ExecWork, SimError};
+use steac_sim::{Exec, ExecWork, SimError, DEFAULT_LANE_GROUPS};
 
-/// Faults graded per packed March walk.
+/// Faults graded per single-group (64-lane) packed March walk.
 pub const FAULTS_PER_PASS: usize = 64;
+
+/// Faults graded per packed March walk at `groups` lane groups. Unlike
+/// gate-level PPSFP there is no good-machine lane: every lane holds a
+/// fault, so a walk grades the full `64 * groups`.
+#[must_use]
+pub const fn faults_per_walk(groups: usize) -> usize {
+    FAULTS_PER_PASS * groups
+}
 
 /// Runs `alg` on `mem`; returns `true` if any read mismatches its
 /// expected background value (fault detected). Scalar single-machine
@@ -100,12 +115,12 @@ pub(crate) fn fault_fits(config: &SramConfig, fault: &MemFault) -> bool {
 /// One packed March walk over a (pre-validated) fault chunk — the pass
 /// body shared by the thread-sharded path and the `steac-worker` process
 /// (`crate::wire`). Returns the detected-lane mask.
-pub(crate) fn run_packed_march(
+pub(crate) fn run_packed_march<const N: usize>(
     alg: &MarchAlgorithm,
     config: &SramConfig,
     chunk: &[MemFault],
-) -> u64 {
-    PackedFaultSim::new(*config, chunk).run_march(alg)
+) -> LaneMask<N> {
+    PackedFaultSim::<N>::new(*config, chunk).run_march(alg)
 }
 
 pub(crate) fn word_mask(config: &SramConfig) -> u64 {
@@ -116,13 +131,14 @@ pub(crate) fn word_mask(config: &SramConfig) -> u64 {
     }
 }
 
-/// 64 faulty memories packed into lane planes: `planes[addr * width + bit]`
-/// holds one bit per lane (per fault machine). Lane semantics replicate
-/// [`Sram`]'s scalar fault behaviour exactly (differentially tested).
+/// `64 * N` faulty memories packed into lane planes:
+/// `planes[addr * width + bit]` holds one bit per lane (per fault
+/// machine). Lane semantics replicate [`Sram`]'s scalar fault behaviour
+/// exactly (differentially tested).
 #[derive(Debug, Clone)]
-struct PackedFaultSim {
+struct PackedFaultSim<const N: usize> {
     config: SramConfig,
-    planes: Vec<u64>,
+    planes: Vec<LaneMask<N>>,
     /// `(lane, fault)` pairs of this pass.
     faults: Vec<(usize, MemFault)>,
     /// Per-address indices into `faults` that perturb writes to the
@@ -133,42 +149,40 @@ struct PackedFaultSim {
     read_hooks: Vec<Vec<u32>>,
     /// Per-address lane mask excluded from broadcast writes (decoder
     /// faults that lose or redirect the access).
-    write_exclude: Vec<u64>,
+    write_exclude: Vec<LaneMask<N>>,
     /// Per-address lane mask whose reads need individual evaluation.
-    read_exclude: Vec<u64>,
+    read_exclude: Vec<LaneMask<N>>,
     /// Lanes in use.
-    active: u64,
+    active: LaneMask<N>,
 }
 
-impl PackedFaultSim {
+impl<const N: usize> PackedFaultSim<N> {
     fn new(config: SramConfig, chunk: &[MemFault]) -> Self {
-        assert!(chunk.len() <= FAULTS_PER_PASS, "too many faults per pass");
+        assert!(
+            chunk.len() <= faults_per_walk(N),
+            "too many faults per pass"
+        );
         assert!(config.width <= 64, "model supports widths up to 64 bits");
         assert!(config.words > 0, "memory must have at least one word");
         let mut sim = PackedFaultSim {
             config,
-            planes: vec![0; config.words * config.width],
+            planes: vec![mask_none(); config.words * config.width],
             faults: chunk.iter().copied().enumerate().collect(),
             write_hooks: vec![Vec::new(); config.words],
             read_hooks: vec![Vec::new(); config.words],
-            write_exclude: vec![0; config.words],
-            read_exclude: vec![0; config.words],
-            active: if chunk.len() == 64 {
-                u64::MAX
-            } else {
-                (1u64 << chunk.len()) - 1
-            },
+            write_exclude: vec![mask_none(); config.words],
+            read_exclude: vec![mask_none(); config.words],
+            active: mask_range(0, chunk.len()),
         };
         for (i, &(lane, fault)) in sim.faults.clone().iter().enumerate() {
             // Bounds contract mirrors Sram::with_fault.
             Self::validate(&config, &fault);
             let hi = i as u32;
-            let bit = 1u64 << lane;
             match fault {
                 MemFault::StuckAt { addr, .. } => {
                     sim.write_hooks[addr].push(hi);
                     sim.read_hooks[addr].push(hi);
-                    sim.read_exclude[addr] |= bit;
+                    mask_set_bit(&mut sim.read_exclude[addr], lane);
                 }
                 MemFault::Transition { addr, .. } => {
                     sim.write_hooks[addr].push(hi);
@@ -179,20 +193,20 @@ impl PackedFaultSim {
                     sim.write_hooks[aggressor.0].push(hi);
                 }
                 MemFault::AfNoAccess { addr } => {
-                    sim.write_exclude[addr] |= bit;
+                    mask_set_bit(&mut sim.write_exclude[addr], lane);
                     sim.read_hooks[addr].push(hi);
-                    sim.read_exclude[addr] |= bit;
+                    mask_set_bit(&mut sim.read_exclude[addr], lane);
                 }
                 MemFault::AfMultiAccess { addr, .. } => {
                     sim.write_hooks[addr].push(hi);
                     sim.read_hooks[addr].push(hi);
-                    sim.read_exclude[addr] |= bit;
+                    mask_set_bit(&mut sim.read_exclude[addr], lane);
                 }
                 MemFault::AfOtherAccess { addr, .. } => {
-                    sim.write_exclude[addr] |= bit;
+                    mask_set_bit(&mut sim.write_exclude[addr], lane);
                     sim.write_hooks[addr].push(hi);
                     sim.read_hooks[addr].push(hi);
-                    sim.read_exclude[addr] |= bit;
+                    mask_set_bit(&mut sim.read_exclude[addr], lane);
                 }
             }
         }
@@ -207,22 +221,22 @@ impl PackedFaultSim {
     }
 
     #[inline]
-    fn plane(&self, addr: usize, bit: usize) -> u64 {
+    fn plane(&self, addr: usize, bit: usize) -> LaneMask<N> {
         self.planes[addr * self.config.width + bit]
     }
 
     #[inline]
     fn get_bit(&self, addr: usize, bit: usize, lane: usize) -> bool {
-        self.plane(addr, bit) >> lane & 1 == 1
+        mask_bit(&self.plane(addr, bit), lane)
     }
 
     #[inline]
     fn set_bit(&mut self, addr: usize, bit: usize, lane: usize, v: bool) {
         let p = addr * self.config.width + bit;
         if v {
-            self.planes[p] |= 1 << lane;
+            self.planes[p][lane / 64] |= 1 << (lane % 64);
         } else {
-            self.planes[p] &= !(1 << lane);
+            self.planes[p][lane / 64] &= !(1 << (lane % 64));
         }
     }
 
@@ -247,13 +261,15 @@ impl PackedFaultSim {
         }
         // Broadcast the uniform write to all lanes whose decoder actually
         // reaches `addr`.
-        let wmask = self.active & !self.write_exclude[addr];
+        let wmask = mask_andnot(self.active, self.write_exclude[addr]);
         for bit in 0..self.config.width {
             let p = addr * self.config.width + bit;
-            if value >> bit & 1 == 1 {
-                self.planes[p] |= wmask;
-            } else {
-                self.planes[p] &= !wmask;
+            for (g, &wm) in wmask.iter().enumerate() {
+                if value >> bit & 1 == 1 {
+                    self.planes[p][g] |= wm;
+                } else {
+                    self.planes[p][g] &= !wm;
+                }
             }
         }
         // Per-lane perturbations (each lane holds exactly one fault).
@@ -329,18 +345,17 @@ impl PackedFaultSim {
 
     /// Reads `addr` in every lane and returns the mask of lanes whose
     /// value differs from `expected` (matching `Sram::read` semantics).
-    fn read_mismatch(&self, addr: usize, expected: u64) -> u64 {
+    fn read_mismatch(&self, addr: usize, expected: u64) -> LaneMask<N> {
         let expected = expected & word_mask(&self.config);
-        let mut diff = 0u64;
+        let mut diff = mask_none::<N>();
         for bit in 0..self.config.width {
-            let exp = if expected >> bit & 1 == 1 {
-                u64::MAX
-            } else {
-                0
-            };
-            diff |= self.plane(addr, bit) ^ exp;
+            let exp = if expected >> bit & 1 == 1 { !0u64 } else { 0 };
+            let plane = self.plane(addr, bit);
+            for g in 0..N {
+                diff[g] |= plane[g] ^ exp;
+            }
         }
-        diff &= self.active & !self.read_exclude[addr];
+        diff = mask_and(diff, mask_andnot(self.active, self.read_exclude[addr]));
         // Lanes whose decoder or stuck cell shapes the read individually.
         for &hi in &self.read_hooks[addr] {
             let (lane, fault) = self.faults[hi as usize];
@@ -367,7 +382,7 @@ impl PackedFaultSim {
                 _ => unreachable!("read hooks cover read-affecting faults only"),
             };
             if word != expected {
-                diff |= 1 << lane;
+                mask_set_bit(&mut diff, lane);
             }
         }
         diff
@@ -376,7 +391,7 @@ impl PackedFaultSim {
     fn lane_word(&self, addr: usize, lane: usize) -> u64 {
         let mut w = 0u64;
         for bit in 0..self.config.width {
-            w |= (self.plane(addr, bit) >> lane & 1) << bit;
+            w |= u64::from(mask_bit(&self.plane(addr, bit), lane)) << bit;
         }
         w
     }
@@ -384,10 +399,10 @@ impl PackedFaultSim {
     /// Runs the March walk over all lanes at once; returns the detected
     /// lane mask. Stops early once every active lane is detected (fault
     /// dropping).
-    fn run_march(&mut self, alg: &MarchAlgorithm) -> u64 {
+    fn run_march(&mut self, alg: &MarchAlgorithm) -> LaneMask<N> {
         let words = self.config.words;
         let mask = word_mask(&self.config);
-        let mut detected = 0u64;
+        let mut detected = mask_none::<N>();
         for element in &alg.elements {
             let addrs: Box<dyn Iterator<Item = usize>> = match element.dir {
                 Direction::Up | Direction::Any => Box::new(0..words),
@@ -398,8 +413,12 @@ impl PackedFaultSim {
                     match op {
                         MarchOp::W0 => self.write(addr, 0),
                         MarchOp::W1 => self.write(addr, mask),
-                        MarchOp::R0 => detected |= self.read_mismatch(addr, 0),
-                        MarchOp::R1 => detected |= self.read_mismatch(addr, mask),
+                        MarchOp::R0 => {
+                            detected = mask_or(detected, self.read_mismatch(addr, 0));
+                        }
+                        MarchOp::R1 => {
+                            detected = mask_or(detected, self.read_mismatch(addr, mask));
+                        }
                     }
                     if detected == self.active {
                         return detected; // every fault of this pass dropped
@@ -505,17 +524,18 @@ fn report_from_flags(
 }
 
 /// The [`ExecWork`] description of March fault grading: one unit per
-/// [`FAULTS_PER_PASS`] walk, a job block carrying geometry + algorithm
-/// ([`crate::wire`]), and `u64` detection masks as unit results. The
-/// walk itself is infallible — errors can only come from dispatch.
-struct MarchWork<'a> {
+/// [`faults_per_walk`] walk, a job block carrying geometry, algorithm
+/// and lane-group width ([`crate::wire`]), and lane-mask detection
+/// word groups as unit results. The walk itself is infallible — errors
+/// can only come from dispatch.
+struct MarchWork<'a, const N: usize> {
     alg: &'a MarchAlgorithm,
     config: &'a SramConfig,
     chunks: Vec<&'a [MemFault]>,
 }
 
-impl ExecWork for MarchWork<'_> {
-    type Output = u64;
+impl<const N: usize> ExecWork for MarchWork<'_, N> {
+    type Output = LaneMask<N>;
     type Error = SimError;
 
     fn kind(&self) -> u16 {
@@ -527,22 +547,30 @@ impl ExecWork for MarchWork<'_> {
     }
 
     fn encode_job(&self) -> Vec<u8> {
-        crate::wire::encode_march_job(self.alg, self.config)
+        crate::wire::encode_march_job(self.alg, self.config, N as u8)
     }
 
     fn encode_unit(&self, unit: usize) -> Vec<u8> {
         crate::wire::encode_fault_unit(self.chunks[unit])
     }
 
-    fn run_unit_local(&self, unit: usize) -> Result<u64, SimError> {
+    fn run_unit_local(&self, unit: usize) -> Result<LaneMask<N>, SimError> {
         Ok(run_packed_march(self.alg, self.config, self.chunks[unit]))
     }
 
-    fn decode_result(&self, _unit: usize, bytes: &[u8]) -> Result<u64, String> {
-        bytes
-            .try_into()
-            .map(u64::from_le_bytes)
-            .map_err(|_| format!("result has {} bytes, expected 8", bytes.len()))
+    fn decode_result(&self, _unit: usize, bytes: &[u8]) -> Result<LaneMask<N>, String> {
+        if bytes.len() != N * 8 {
+            return Err(format!(
+                "result has {} bytes, expected {}",
+                bytes.len(),
+                N * 8
+            ));
+        }
+        let mut mask = mask_none::<N>();
+        for (g, word) in bytes.chunks_exact(8).enumerate() {
+            mask[g] = u64::from_le_bytes(word.try_into().expect("8-byte chunk"));
+        }
+        Ok(mask)
     }
 
     fn pool_error(&self, error: PoolError) -> SimError {
@@ -574,13 +602,49 @@ pub fn fault_coverage(
     config: &SramConfig,
     faults: &[MemFault],
 ) -> Result<MemCoverageReport, SimError> {
-    let work = MarchWork {
+    fault_coverage_wide(exec, alg, config, faults, DEFAULT_LANE_GROUPS)
+}
+
+/// [`fault_coverage`] with an explicit lane-group width: each walk
+/// grades `64 * groups` faults. Only the monomorphized widths in
+/// [`steac_sim::SUPPORTED_LANE_GROUPS`] are accepted. The report is
+/// byte-identical across widths — chunking only changes how the fault
+/// list is cut into walks.
+///
+/// # Errors
+///
+/// Everything [`fault_coverage`] raises, plus
+/// [`SimError::UnsupportedWidth`] for widths with no compiled kernel.
+pub fn fault_coverage_wide(
+    exec: &Exec,
+    alg: &MarchAlgorithm,
+    config: &SramConfig,
+    faults: &[MemFault],
+    groups: usize,
+) -> Result<MemCoverageReport, SimError> {
+    match groups {
+        1 => coverage_n::<1>(exec, alg, config, faults),
+        2 => coverage_n::<2>(exec, alg, config, faults),
+        4 => coverage_n::<4>(exec, alg, config, faults),
+        8 => coverage_n::<8>(exec, alg, config, faults),
+        _ => Err(SimError::UnsupportedWidth { groups }),
+    }
+}
+
+fn coverage_n<const N: usize>(
+    exec: &Exec,
+    alg: &MarchAlgorithm,
+    config: &SramConfig,
+    faults: &[MemFault],
+) -> Result<MemCoverageReport, SimError> {
+    let per_walk = faults_per_walk(N);
+    let work = MarchWork::<N> {
         alg,
         config,
-        chunks: faults.chunks(FAULTS_PER_PASS).collect(),
+        chunks: faults.chunks(per_walk).collect(),
     };
     let dispatched = exec.dispatch(&work)?;
-    let flags = shard::flags_from_masks(faults.len(), FAULTS_PER_PASS, 0, &dispatched.units);
+    let flags = shard::flags_from_lane_masks(faults.len(), per_walk, 0, &dispatched.units);
     Ok(report_from_flags(
         alg,
         config,

@@ -65,7 +65,10 @@ pub use background::{
 pub use brains::{BistDesign, Brains, MemorySpec, SequencerPolicy};
 pub use controller::{controller_netlist, BIST_IF_SIGNALS};
 pub use diagnose::{first_failure, implicated_memories, FailureSite};
-pub use faultsim::{fault_coverage, run_march, MemCoverageReport, FAULTS_PER_PASS};
+pub use faultsim::{
+    fault_coverage, fault_coverage_wide, faults_per_walk, run_march, MemCoverageReport,
+    FAULTS_PER_PASS,
+};
 pub use march::{Direction, MarchAlgorithm, MarchElement, MarchOp};
 pub use memory::{MemFault, PortKind, Sram, SramConfig};
 pub use sequencer::{sequencer_netlist, BistCommand, Sequencer};

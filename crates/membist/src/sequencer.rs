@@ -204,7 +204,7 @@ mod tests {
 
         // Drive it: after reset, run for 2 cycles (op counter has 1 bit
         // for max_ops=2) and watch the address counter tick.
-        let mut sim = Simulator::new(&m).unwrap();
+        let mut sim: Simulator = Simulator::new(&m).unwrap();
         sim.set_by_name("bck", Logic::Zero).unwrap();
         sim.set_by_name("run", Logic::Zero).unwrap();
         sim.set_by_name("brst_n", Logic::Zero).unwrap();
@@ -224,7 +224,7 @@ mod tests {
         // done after op x addr wrap = 2 cycles... with 1-bit counters
         // all-ones TC means done after 2*1 cycles of run.
         let m = sequencer_netlist(1, 1, 1).unwrap();
-        let mut sim = Simulator::new(&m).unwrap();
+        let mut sim: Simulator = Simulator::new(&m).unwrap();
         sim.set_by_name("bck", Logic::Zero).unwrap();
         sim.set_by_name("run", Logic::Zero).unwrap();
         sim.set_by_name("brst_n", Logic::Zero).unwrap();

@@ -120,7 +120,7 @@ mod tests {
     fn netlist_fail_flag_is_sticky() {
         let cfg = SramConfig::single_port(16, 4);
         let m = tpg_netlist(&cfg).unwrap();
-        let mut sim = Simulator::new(&m).unwrap();
+        let mut sim: Simulator = Simulator::new(&m).unwrap();
         for p in ["op_read", "op_value", "bck"] {
             sim.set_by_name(p, Logic::Zero).unwrap();
         }

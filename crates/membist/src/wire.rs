@@ -4,12 +4,13 @@
 //! every byte).
 //!
 //! A March job carries what one walk needs besides the fault chunk: the
-//! memory geometry and the algorithm. Unit payloads are fault chunks
-//! (tag byte + fields per fault); results are one `u64` detection mask
-//! per walk, merged in fault-list order by the dispatcher exactly like
-//! the thread-sharded path.
+//! memory geometry, the algorithm and the lane-group width. Unit
+//! payloads are fault chunks (tag byte + fields per fault); results are
+//! one detection lane mask (`groups` little-endian `u64` words) per
+//! walk, merged in fault-list order by the dispatcher exactly like the
+//! thread-sharded path.
 
-use crate::faultsim::{fault_fits, run_packed_march, FAULTS_PER_PASS};
+use crate::faultsim::{fault_fits, faults_per_walk, run_packed_march};
 use crate::march::{Direction, MarchAlgorithm, MarchElement, MarchOp};
 use crate::memory::{MemFault, PortKind, SramConfig};
 use steac_sim::shard::WireJob;
@@ -28,9 +29,10 @@ fn get_cell(r: &mut WireReader<'_>, context: &'static str) -> Result<(usize, usi
     Ok((r.get_usize(context)?, r.get_usize(context)?))
 }
 
-/// Serializes a March job block (geometry + algorithm).
+/// Serializes a March job block (geometry + algorithm + lane-group
+/// width).
 #[must_use]
-pub fn encode_march_job(alg: &MarchAlgorithm, config: &SramConfig) -> Vec<u8> {
+pub fn encode_march_job(alg: &MarchAlgorithm, config: &SramConfig, groups: u8) -> Vec<u8> {
     let mut w = WireWriter::new();
     w.put_usize(config.words);
     w.put_usize(config.width);
@@ -38,6 +40,7 @@ pub fn encode_march_job(alg: &MarchAlgorithm, config: &SramConfig) -> Vec<u8> {
         PortKind::SinglePort => 0,
         PortKind::TwoPort => 1,
     });
+    w.put_u8(groups);
     w.put_str(&alg.name);
     w.put_usize(alg.elements.len());
     for e in &alg.elements {
@@ -64,7 +67,7 @@ pub fn encode_march_job(alg: &MarchAlgorithm, config: &SramConfig) -> Vec<u8> {
 /// # Errors
 ///
 /// A typed [`WireError`] on truncated or corrupted bytes.
-pub fn decode_march_job(bytes: &[u8]) -> Result<(MarchAlgorithm, SramConfig), WireError> {
+pub fn decode_march_job(bytes: &[u8]) -> Result<(MarchAlgorithm, SramConfig, u8), WireError> {
     let mut r = WireReader::new(bytes);
     let words = r.get_usize("memory words")?;
     let width = r.get_usize("memory width")?;
@@ -87,6 +90,7 @@ pub fn decode_march_job(bytes: &[u8]) -> Result<(MarchAlgorithm, SramConfig), Wi
         width,
         ports,
     };
+    let groups = r.get_u8("lane groups")?;
     let name = r.get_str("algorithm name")?;
     let element_count = r.get_count("element count", 9)?;
     let mut elements = Vec::with_capacity(element_count);
@@ -119,7 +123,7 @@ pub fn decode_march_job(bytes: &[u8]) -> Result<(MarchAlgorithm, SramConfig), Wi
         elements.push(MarchElement { dir, ops });
     }
     r.finish()?;
-    Ok((MarchAlgorithm { name, elements }, config))
+    Ok((MarchAlgorithm { name, elements }, config, groups))
 }
 
 /// Serializes one March work unit (a chunk of the fault list).
@@ -259,18 +263,20 @@ pub fn decode_fault_unit(bytes: &[u8]) -> Result<Vec<MemFault>, WireError> {
     Ok(faults)
 }
 
-/// An opened March job inside a worker process.
-struct MarchWireJob {
+/// An opened March job inside a worker process, monomorphized to the
+/// lane-group width the job header requested.
+struct MarchWireJob<const N: usize> {
     alg: MarchAlgorithm,
     config: SramConfig,
 }
 
-impl WireJob for MarchWireJob {
+impl<const N: usize> WireJob for MarchWireJob<N> {
     fn run_unit(&mut self, unit: &[u8]) -> Result<Vec<u8>, String> {
+        let per_walk = faults_per_walk(N);
         let chunk = decode_fault_unit(unit).map_err(|e| format!("march unit: {e}"))?;
-        if chunk.len() > FAULTS_PER_PASS {
+        if chunk.len() > per_walk {
             return Err(format!(
-                "march unit has {} faults, a walk holds at most {FAULTS_PER_PASS}",
+                "march unit has {} faults, a walk holds at most {per_walk}",
                 chunk.len()
             ));
         }
@@ -279,8 +285,12 @@ impl WireJob for MarchWireJob {
                 return Err(format!("fault {f:?} out of range for {}", self.config));
             }
         }
-        let mask = run_packed_march(&self.alg, &self.config, &chunk);
-        Ok(mask.to_le_bytes().to_vec())
+        let mask = run_packed_march::<N>(&self.alg, &self.config, &chunk);
+        let mut out = Vec::with_capacity(N * 8);
+        for word in mask {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+        Ok(out)
     }
 }
 
@@ -291,10 +301,17 @@ impl WireJob for MarchWireJob {
 ///
 /// # Errors
 ///
-/// A diagnostic on corrupt job bytes.
+/// A diagnostic on corrupt job bytes, or an unsupported lane-group
+/// width.
 pub fn open_wire_job(job: &[u8]) -> Result<Box<dyn WireJob>, String> {
-    let (alg, config) = decode_march_job(job).map_err(|e| format!("march job: {e}"))?;
-    Ok(Box::new(MarchWireJob { alg, config }))
+    let (alg, config, groups) = decode_march_job(job).map_err(|e| format!("march job: {e}"))?;
+    match groups as usize {
+        1 => Ok(Box::new(MarchWireJob::<1> { alg, config })),
+        2 => Ok(Box::new(MarchWireJob::<2> { alg, config })),
+        4 => Ok(Box::new(MarchWireJob::<4> { alg, config })),
+        8 => Ok(Box::new(MarchWireJob::<8> { alg, config })),
+        _ => Err(format!("march job lane-group width {groups} unsupported")),
+    }
 }
 
 #[cfg(test)]
@@ -308,13 +325,28 @@ mod tests {
     fn march_job_round_trip() {
         let alg = MarchAlgorithm::march_c_minus();
         let config = SramConfig::two_port(48, 9);
-        let bytes = encode_march_job(&alg, &config);
-        let (alg2, config2) = decode_march_job(&bytes).unwrap();
+        let bytes = encode_march_job(&alg, &config, 4);
+        let (alg2, config2, groups) = decode_march_job(&bytes).unwrap();
         assert_eq!(alg2, alg);
         assert_eq!(config2, config);
+        assert_eq!(groups, 4);
         for cut in 0..bytes.len() {
             assert!(decode_march_job(&bytes[..cut]).is_err(), "prefix {cut}");
         }
+    }
+
+    #[test]
+    fn unsupported_lane_width_is_a_job_error() {
+        let bytes = encode_march_job(
+            &MarchAlgorithm::mats_plus(),
+            &SramConfig::single_port(8, 2),
+            3,
+        );
+        let err = match open_wire_job(&bytes) {
+            Err(e) => e,
+            Ok(_) => panic!("lane-group width 3 must be rejected"),
+        };
+        assert!(err.contains("unsupported"), "{err}");
     }
 
     #[test]
@@ -340,7 +372,7 @@ mod tests {
     #[test]
     fn out_of_range_fault_is_a_unit_error_not_a_panic() {
         let config = SramConfig::single_port(8, 2);
-        let mut job = MarchWireJob {
+        let mut job = MarchWireJob::<1> {
             alg: MarchAlgorithm::mats_plus(),
             config,
         };

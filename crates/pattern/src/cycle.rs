@@ -1,23 +1,29 @@
 //! Cycle-based patterns and the ATE cycle player.
 //!
-//! The batch player treats every 64-pattern chunk as an independent work
-//! unit over the shared compiled program and hands the chunks to
-//! [`Exec::dispatch`] as an [`steac_sim::ExecWork`]: the one
-//! [`apply_cycle_patterns_batch`] entry point plays them inline
-//! (`Exec::serial()`), across cores (`Exec::threads(..)`) or across
-//! `steac-worker` **processes** (`Exec::processes(..)`) — in process
-//! mode the compiled program, pin bindings and force state ship once
-//! per worker over the [`steac_sim::wire`] format and pattern chunks
-//! are the unit payloads. The per-pattern [`MismatchReport`]s merge in
-//! pattern order on every backend, so playback is bit-identical to a
-//! serial run at every thread and worker count.
+//! The batch player treats every pattern chunk — one pattern per
+//! simulation lane, [`steac_sim::DEFAULT_LANE_GROUPS`]` * 64` patterns
+//! per chunk by default — as an independent work unit over the shared
+//! compiled program and hands the chunks to [`Exec::dispatch`] as an
+//! [`steac_sim::ExecWork`]: the one [`apply_cycle_patterns_batch`]
+//! entry point plays them inline (`Exec::serial()`), across cores
+//! (`Exec::threads(..)`) or across `steac-worker` **processes**
+//! (`Exec::processes(..)`) — in process mode the compiled program, the
+//! lane-group width, pin bindings and force state ship once per worker
+//! over the [`steac_sim::wire`] format and pattern chunks are the unit
+//! payloads. The per-pattern [`MismatchReport`]s merge in pattern order
+//! on every backend, so playback is bit-identical to a serial run at
+//! every thread and worker count — and at every lane-group width,
+//! because forces replicate per 64-lane group and padding lanes follow
+//! lane 0.
 
 use crate::PatternError;
 use std::fmt;
 use std::sync::Arc;
 use steac_netlist::NetId;
 use steac_sim::shard::{self, PoolError};
-use steac_sim::{wire, Exec, ExecWork, Logic, SimError, Simulator};
+use steac_sim::{
+    wire, Exec, ExecWork, Logic, PackedLogic, SimError, SimProgram, Simulator, DEFAULT_LANE_GROUPS,
+};
 
 /// Per-pin state in one tester cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -324,17 +330,18 @@ fn resolve_pins(sim: &Simulator, pins: &[String]) -> Result<Vec<NetId>, PatternE
         .collect()
 }
 
-/// Plays one chunk of up to [`steac_sim::LANES`] patterns on one
-/// executor, one pattern per lane, from the state `sim` is currently in.
-/// Returns one report per pattern in chunk order.
-fn play_chunk(
-    sim: &mut Simulator,
+/// Plays one chunk of patterns — up to one per simulation lane of the
+/// `N`-group executor — from the state `sim` is currently in. Returns
+/// one report per pattern in chunk order.
+fn play_chunk<const N: usize>(
+    sim: &mut Simulator<N>,
     nets: &[NetId],
     pins: &[String],
     chunk: &[&CyclePattern],
 ) -> Result<Vec<MismatchReport>, PatternError> {
-    use steac_sim::{PackedLogic, LANES};
+    use steac_sim::packed::{mask_any, mask_bit, mask_none, mask_set_bit};
 
+    let width = Simulator::<N>::WIDTH;
     let mut reports: Vec<MismatchReport> = vec![MismatchReport::default(); chunk.len()];
     let cycles = chunk.first().map_or(0, |p| p.cycles.len());
     for ci in 0..cycles {
@@ -358,22 +365,22 @@ fn play_chunk(
                 pulses.push(net);
                 continue;
             }
-            let mut driven = PackedLogic::ALL_X;
-            let mut drive_mask = 0u64;
+            let mut driven = PackedLogic::<N>::ALL_X;
+            let mut drive_mask = mask_none::<N>();
             for (l, p) in chunk.iter().enumerate() {
                 if let Some(v) = p.cycles[ci][pi].drive() {
                     driven.set_lane(l, v);
-                    drive_mask |= 1 << l;
+                    mask_set_bit(&mut drive_mask, l);
                 }
             }
-            if drive_mask != 0 {
+            if mask_any(&drive_mask) {
                 // Lanes beyond the chunk follow lane 0 so spare lanes
                 // never oscillate differently from real ones.
-                if chunk.len() < LANES && drive_mask & 1 != 0 {
+                if chunk.len() < width && mask_bit(&drive_mask, 0) {
                     let v0 = driven.lane(0);
-                    for l in chunk.len()..LANES {
+                    for l in chunk.len()..width {
                         driven.set_lane(l, v0);
-                        drive_mask |= 1 << l;
+                        mask_set_bit(&mut drive_mask, l);
                     }
                 }
                 let merged = driven.select(sim.get_packed(net), drive_mask);
@@ -408,13 +415,15 @@ fn play_chunk(
     Ok(reports)
 }
 
-/// Plays up to 64 cycle patterns per pass, one per simulation lane, and
+/// Plays cycle patterns one per simulation lane —
+/// [`steac_sim::DEFAULT_LANE_GROUPS`]` * 64` patterns per pass — and
 /// returns a [`BatchPlayback`] with one [`MismatchReport`] per pattern —
-/// the batched ATE playback path (a tester floor applying the same timing program to 64 dies at
-/// once). Batches larger than [`steac_sim::LANES`] become independent
-/// 64-pattern chunks dispatched on `exec` — inline, across cores or
+/// the batched ATE playback path (a tester floor applying the same
+/// timing program to hundreds of dies at once). Larger batches become
+/// independent chunks dispatched on `exec` — inline, across cores or
 /// across `steac-worker` processes; reports are byte-identical on every
-/// backend.
+/// backend and at every lane-group width
+/// (see [`apply_cycle_patterns_batch_wide`]).
 ///
 /// All patterns of a batch must share the *shape* that fixes the timing
 /// program: the same pin list, the same cycle count, and `P` (pulse) on
@@ -442,17 +451,61 @@ pub fn apply_cycle_patterns_batch(
     sim: &Simulator,
     patterns: &[&CyclePattern],
 ) -> Result<BatchPlayback, PatternError> {
-    use steac_sim::LANES;
+    apply_cycle_patterns_batch_wide(exec, sim, patterns, DEFAULT_LANE_GROUPS)
+}
 
-    let Some(first) = validate_batch(patterns)? else {
+/// [`apply_cycle_patterns_batch`] with an explicit lane-group width:
+/// each work unit plays up to `64 * groups` patterns on one
+/// `groups`-wide executor. Only the monomorphized widths in
+/// [`steac_sim::SUPPORTED_LANE_GROUPS`] are accepted. Reports are
+/// byte-identical across widths: chunk size only changes how the work
+/// is cut, forces on `sim` replicate into every 64-lane group, and
+/// padding lanes mirror lane 0.
+///
+/// # Errors
+///
+/// Everything [`apply_cycle_patterns_batch`] raises, plus
+/// [`SimError::UnsupportedWidth`] (wrapped in [`PatternError::Sim`])
+/// for widths with no compiled kernel.
+pub fn apply_cycle_patterns_batch_wide(
+    exec: &Exec,
+    sim: &Simulator,
+    patterns: &[&CyclePattern],
+    groups: usize,
+) -> Result<BatchPlayback, PatternError> {
+    match groups {
+        1 => batch_n::<1>(exec, sim, patterns),
+        2 => batch_n::<2>(exec, sim, patterns),
+        4 => batch_n::<4>(exec, sim, patterns),
+        8 => batch_n::<8>(exec, sim, patterns),
+        _ => Err(PatternError::Sim(SimError::UnsupportedWidth { groups })),
+    }
+}
+
+fn batch_n<const N: usize>(
+    exec: &Exec,
+    sim: &Simulator,
+    patterns: &[&CyclePattern],
+) -> Result<BatchPlayback, PatternError> {
+    let width = Simulator::<N>::WIDTH;
+    let Some(first) = validate_batch(patterns, width)? else {
         return Ok(BatchPlayback::default());
     };
     let nets = resolve_pins(sim, &first.pins)?;
-    let work = PlaybackWork {
+    // The dispatcher simulator is the narrow lane-0 view; its 64-lane
+    // force state replicates into every group of the wide executors so
+    // fault injection means the same thing at every width.
+    let forces: Vec<(NetId, u64, PackedLogic<1>)> = sim
+        .export_forces()
+        .into_iter()
+        .map(|(net, mask, values)| (net, mask[0], values))
+        .collect();
+    let work = PlaybackWork::<N> {
         sim,
+        forces,
         pins: &first.pins,
         nets: &nets,
-        chunks: patterns.chunks(LANES).collect(),
+        chunks: patterns.chunks(width).collect(),
     };
     let dispatched = exec.dispatch(&work)?;
     Ok(BatchPlayback {
@@ -470,9 +523,8 @@ pub fn apply_cycle_patterns_batch(
 /// uniform row widths).
 fn validate_batch<'a>(
     patterns: &[&'a CyclePattern],
+    width: usize,
 ) -> Result<Option<&'a CyclePattern>, PatternError> {
-    use steac_sim::LANES;
-
     let Some(&first) = patterns.first() else {
         return Ok(None);
     };
@@ -501,24 +553,25 @@ fn validate_batch<'a>(
             }
         }
     }
-    for chunk in patterns.chunks(LANES) {
+    for chunk in patterns.chunks(width) {
         check_pulse_alignment(chunk)?;
     }
     Ok(Some(first))
 }
 
 /// The [`ExecWork`] description of batched playback: one unit per
-/// 64-pattern chunk, a job block carrying the compiled program + pin
-/// bindings + force state, and per-chunk [`MismatchReport`] lists as
-/// unit results.
-struct PlaybackWork<'a> {
+/// `64 * N`-pattern chunk, a job block carrying the compiled program +
+/// lane-group width + pin bindings + force state, and per-chunk
+/// [`MismatchReport`] lists as unit results.
+struct PlaybackWork<'a, const N: usize> {
     sim: &'a Simulator,
+    forces: Vec<(NetId, u64, PackedLogic<1>)>,
     pins: &'a [String],
     nets: &'a [NetId],
     chunks: Vec<&'a [&'a CyclePattern]>,
 }
 
-impl ExecWork for PlaybackWork<'_> {
+impl<const N: usize> ExecWork for PlaybackWork<'_, N> {
     type Output = Vec<MismatchReport>;
     type Error = PatternError;
 
@@ -531,7 +584,13 @@ impl ExecWork for PlaybackWork<'_> {
     }
 
     fn encode_job(&self) -> Vec<u8> {
-        encode_playback_job(self.sim, self.pins, self.nets)
+        encode_playback_job(
+            self.sim.program(),
+            N as u8,
+            self.pins,
+            self.nets,
+            &self.forces,
+        )
     }
 
     fn encode_unit(&self, unit: usize) -> Vec<u8> {
@@ -539,8 +598,8 @@ impl ExecWork for PlaybackWork<'_> {
     }
 
     fn run_unit_local(&self, unit: usize) -> Result<Vec<MismatchReport>, PatternError> {
-        let mut wsim = self.sim.clone();
-        wsim.reset_to_x();
+        let mut wsim = Simulator::<N>::from_program(self.sim.program_arc().clone());
+        wsim.import_forces_replicated(&self.forces);
         play_chunk(&mut wsim, self.nets, self.pins, self.chunks[unit])
     }
 
@@ -567,32 +626,40 @@ impl ExecWork for PlaybackWork<'_> {
 // ---------- wire codecs + worker-side job ----------
 
 /// Work-unit kind the worker-side job registry routes to
-/// [`open_wire_job`]: one 64-pattern playback chunk.
+/// [`open_wire_job`]: one playback chunk of up to `64 * groups`
+/// patterns.
 pub const WIRE_KIND: u16 = 2;
 
-/// Job block: compiled program, pin bindings (name + net) and the
-/// dispatcher simulator's force state (fault injection carries into
-/// every worker, matching the in-thread clone semantics).
-fn encode_playback_job(sim: &Simulator, pins: &[String], nets: &[NetId]) -> Vec<u8> {
+/// Job block: compiled program, lane-group width, pin bindings
+/// (name + net) and the dispatcher simulator's 64-lane force state
+/// (fault injection carries into every worker, replicated per lane
+/// group, matching the in-thread semantics).
+fn encode_playback_job(
+    program: &SimProgram,
+    groups: u8,
+    pins: &[String],
+    nets: &[NetId],
+    forces: &[(NetId, u64, PackedLogic<1>)],
+) -> Vec<u8> {
     let mut w = wire::WireWriter::new();
-    w.put_block(&wire::encode_program(sim.program()));
+    w.put_block(&wire::encode_program(program));
+    w.put_u8(groups);
     w.put_usize(pins.len());
     for (pin, net) in pins.iter().zip(nets) {
         w.put_str(pin);
         w.put_u32(net.0);
     }
-    let forces = sim.export_forces();
     w.put_usize(forces.len());
     for (net, mask, values) in forces {
         w.put_u32(net.0);
-        w.put_u64(mask);
-        w.put_u64(values.ones);
-        w.put_u64(values.unknowns);
+        w.put_u64(*mask);
+        w.put_u64(values.ones[0]);
+        w.put_u64(values.unknowns[0]);
     }
     w.finish()
 }
 
-/// Unit payload: the cycle rows of up to [`steac_sim::LANES`] patterns
+/// Unit payload: the cycle rows of up to one chunk's worth of patterns
 /// (the pin list lives in the job; rows are STIL-style state characters).
 fn encode_pattern_chunk(chunk: &[&CyclePattern]) -> Vec<u8> {
     let mut w = wire::WireWriter::new();
@@ -675,23 +742,23 @@ fn check_pulse_alignment(chunk: &[&CyclePattern]) -> Result<(), PatternError> {
     Ok(())
 }
 
-/// An opened playback job inside a worker process.
-struct PlaybackJob {
-    sim: Simulator,
+/// An opened playback job inside a worker process, monomorphized to
+/// the lane-group width the job header requested.
+struct PlaybackJob<const N: usize> {
+    sim: Simulator<N>,
     pins: Vec<String>,
     nets: Vec<NetId>,
 }
 
-impl shard::WireJob for PlaybackJob {
+impl<const N: usize> shard::WireJob for PlaybackJob<N> {
     fn run_unit(&mut self, unit: &[u8]) -> Result<Vec<u8>, String> {
-        use steac_sim::LANES;
-
+        let width = Simulator::<N>::WIDTH;
         let fail = |e: wire::WireError| format!("pattern unit: {e}");
         let mut r = wire::WireReader::new(unit);
         let count = r.get_count("pattern count", 8).map_err(fail)?;
-        if count > LANES {
+        if count > width {
             return Err(format!(
-                "pattern unit has {count} patterns, a pass holds {LANES}"
+                "pattern unit has {count} patterns, a pass holds {width}"
             ));
         }
         let mut patterns: Vec<CyclePattern> = Vec::with_capacity(count);
@@ -747,6 +814,7 @@ pub fn open_wire_job(job: &[u8]) -> Result<Box<dyn shard::WireJob>, String> {
     let mut r = wire::WireReader::new(job);
     let program = wire::decode_program(r.get_block("playback job program").map_err(fail)?)
         .map_err(|e| format!("playback job program: {e}"))?;
+    let groups = r.get_u8("playback job lane groups").map_err(fail)?;
     let pin_count = r.get_count("playback job pins", 12).map_err(fail)?;
     let mut pins = Vec::with_capacity(pin_count);
     let mut nets = Vec::with_capacity(pin_count);
@@ -768,12 +836,37 @@ pub fn open_wire_job(job: &[u8]) -> Result<Box<dyn shard::WireJob>, String> {
         let mask = r.get_u64("playback job force mask").map_err(fail)?;
         let ones = r.get_u64("playback job force ones").map_err(fail)?;
         let unknowns = r.get_u64("playback job force unknowns").map_err(fail)?;
-        forces.push((NetId(net), mask, steac_sim::PackedLogic { ones, unknowns }));
+        forces.push((
+            NetId(net),
+            mask,
+            PackedLogic {
+                ones: [ones],
+                unknowns: [unknowns],
+            },
+        ));
     }
     r.finish().map_err(fail)?;
-    let mut sim = Simulator::from_program(Arc::new(program));
-    sim.import_forces(&forces);
-    Ok(Box::new(PlaybackJob { sim, pins, nets }))
+    let program = Arc::new(program);
+    match groups as usize {
+        1 => Ok(open_job_n::<1>(program, pins, nets, &forces)),
+        2 => Ok(open_job_n::<2>(program, pins, nets, &forces)),
+        4 => Ok(open_job_n::<4>(program, pins, nets, &forces)),
+        8 => Ok(open_job_n::<8>(program, pins, nets, &forces)),
+        _ => Err(format!(
+            "playback job lane-group width {groups} unsupported"
+        )),
+    }
+}
+
+fn open_job_n<const N: usize>(
+    program: Arc<SimProgram>,
+    pins: Vec<String>,
+    nets: Vec<NetId>,
+    forces: &[(NetId, u64, PackedLogic<1>)],
+) -> Box<dyn shard::WireJob> {
+    let mut sim = Simulator::<N>::from_program(program);
+    sim.import_forces_replicated(forces);
+    Box::new(PlaybackJob::<N> { sim, pins, nets })
 }
 
 #[cfg(test)]
@@ -819,7 +912,7 @@ mod tests {
         let q = b.gate(GateKind::Dff, &[d, ck]);
         b.output("q", q);
         let m = b.finish().unwrap();
-        let mut sim = Simulator::new(&m).unwrap();
+        let mut sim: Simulator = Simulator::new(&m).unwrap();
 
         let mut p = CyclePattern::new(vec!["d".to_string(), "ck".to_string(), "q".to_string()]);
         use PinState::*;
@@ -838,7 +931,7 @@ mod tests {
         let y = b.gate(GateKind::Inv, &[a]);
         b.output("y", y);
         let m = b.finish().unwrap();
-        let mut sim = Simulator::new(&m).unwrap();
+        let mut sim: Simulator = Simulator::new(&m).unwrap();
         let mut p = CyclePattern::new(vec!["a".to_string(), "y".to_string()]);
         use PinState::*;
         p.push_cycle(vec![Drive1, ExpectH]).unwrap(); // wrong: INV(1)=0
@@ -854,7 +947,7 @@ mod tests {
         let a = b.input("a");
         b.output("y", a);
         let m = b.finish().unwrap();
-        let mut sim = Simulator::new(&m).unwrap();
+        let mut sim: Simulator = Simulator::new(&m).unwrap();
         let p = CyclePattern::new(vec!["ghost".to_string()]);
         assert!(matches!(
             apply_cycle_pattern(&mut sim, &p),
@@ -898,7 +991,7 @@ mod tests {
             .collect();
         let patterns: Vec<CyclePattern> = data.iter().map(|d| flop_pattern(d)).collect();
         let refs: Vec<&CyclePattern> = patterns.iter().collect();
-        let sim = Simulator::new(&m).unwrap();
+        let sim: Simulator = Simulator::new(&m).unwrap();
         let batch = apply_cycle_patterns_batch(&exec(), &sim, &refs)
             .unwrap()
             .reports;
@@ -920,7 +1013,7 @@ mod tests {
         // Corrupt the second pattern's expectation only.
         let mut bad = flop_pattern(&[One, Zero]);
         bad.cycles[1][2] = PinState::ExpectH;
-        let sim = Simulator::new(&m).unwrap();
+        let sim: Simulator = Simulator::new(&m).unwrap();
         let reports = apply_cycle_patterns_batch(&exec(), &sim, &[&good, &bad])
             .unwrap()
             .reports;
@@ -932,7 +1025,7 @@ mod tests {
     #[test]
     fn batch_player_validates_shape() {
         let m = flop_module();
-        let sim = Simulator::new(&m).unwrap();
+        let sim: Simulator = Simulator::new(&m).unwrap();
         use Logic::{One, Zero};
         let a = flop_pattern(&[One]);
         let b = flop_pattern(&[One, Zero]);
@@ -958,7 +1051,7 @@ mod tests {
     #[test]
     fn batch_player_empty_is_ok() {
         let m = flop_module();
-        let sim = Simulator::new(&m).unwrap();
+        let sim: Simulator = Simulator::new(&m).unwrap();
         let empty = apply_cycle_patterns_batch(&exec(), &sim, &[]).unwrap();
         assert!(empty.reports.is_empty());
         assert!(empty.passed());
@@ -987,7 +1080,7 @@ mod tests {
             })
             .collect();
         let refs: Vec<&CyclePattern> = patterns.iter().collect();
-        let sim = Simulator::new(&m).unwrap();
+        let sim: Simulator = Simulator::new(&m).unwrap();
         let baseline = apply_cycle_patterns_batch(&Exec::serial(), &sim, &refs).unwrap();
         assert!(!baseline.passed());
         for t in 1..=8 {
@@ -1005,11 +1098,18 @@ mod tests {
     fn worker_rejects_ragged_pattern_units() {
         use Logic::{One, Zero};
         let m = flop_module();
-        let sim = Simulator::new(&m).unwrap();
+        let sim: Simulator = Simulator::new(&m).unwrap();
         let one = flop_pattern(&[One]);
         let two = flop_pattern(&[One, Zero]);
         let nets = resolve_pins(&sim, &one.pins).unwrap();
-        let mut job = open_wire_job(&encode_playback_job(&sim, &one.pins, &nets)).unwrap();
+        let mut job = open_wire_job(&encode_playback_job(
+            sim.program(),
+            1,
+            &one.pins,
+            &nets,
+            &[],
+        ))
+        .unwrap();
         // Hand-assemble a ragged unit: a 1-cycle pattern followed by a
         // 2-cycle pattern (the dispatcher's validate_batch would reject
         // this, so it can only arrive via corrupt or hostile bytes).

@@ -23,8 +23,8 @@ pub mod translate;
 pub use ate::{export_ate, AteStats};
 pub use corelevel::ScanVector;
 pub use cycle::{
-    apply_cycle_pattern, apply_cycle_patterns_batch, BatchPlayback, CyclePattern, MismatchReport,
-    PinState,
+    apply_cycle_pattern, apply_cycle_patterns_batch, apply_cycle_patterns_batch_wide,
+    BatchPlayback, CyclePattern, MismatchReport, PinState,
 };
 pub use translate::{
     merge_sessions, scan_to_wrapper, wrapper_vectors_to_cycles, ChipPatternSet, SessionStream,

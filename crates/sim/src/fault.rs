@@ -20,7 +20,10 @@
 use crate::engine::Simulator;
 use crate::exec::{Exec, ExecWork};
 use crate::logic::Logic;
-use crate::packed::{PackedLogic, LANES};
+use crate::packed::{
+    mask_and, mask_bit, mask_none, mask_or, mask_range, LaneMask, PackedLogic, DEFAULT_LANE_GROUPS,
+    LANES,
+};
 use crate::program::SimProgram;
 use crate::shard::{self, PoolError};
 use crate::wire;
@@ -29,8 +32,20 @@ use std::fmt;
 use std::sync::Arc;
 use steac_netlist::{Module, NetId};
 
-/// Faults simulated per packed pass (lane 0 is the good machine).
+/// Faults simulated per classic 64-lane pass (lane 0 is the good
+/// machine). Wide passes carry [`faults_per_pass`]`(groups)` faults.
 pub const FAULTS_PER_PASS: usize = LANES - 1;
+
+/// Faults simulated per `groups`-wide pass: lane 0 is the good machine,
+/// every other one of the `groups`×64 lanes carries a fault (255 at the
+/// default 4-group width).
+#[must_use]
+pub const fn faults_per_pass(groups: usize) -> usize {
+    LANES * groups - 1
+}
+
+/// Lane-group widths the monomorphized grading kernels exist for.
+pub const SUPPORTED_LANE_GROUPS: [usize; 4] = [1, 2, 4, 8];
 
 /// Stuck-at polarity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -147,15 +162,15 @@ impl fmt::Display for CoverageReport {
 /// Accumulates, into a lane mask, the lanes whose observed value provably
 /// differs from the good machine on lane 0 (both values known, values
 /// differ — the masked-compare rule an ATE applies).
-fn detection_lanes(obs: PackedLogic) -> u64 {
-    let good_one = obs.is_one() & 1 != 0;
-    let good_zero = obs.is_zero() & 1 != 0;
-    if good_one {
-        obs.is_zero()
-    } else if good_zero {
-        obs.is_one()
+fn detection_lanes<const N: usize>(obs: PackedLogic<N>) -> LaneMask<N> {
+    let ones = obs.is_one();
+    let zeros = obs.is_zero();
+    if mask_bit(&ones, 0) {
+        zeros
+    } else if mask_bit(&zeros, 0) {
+        ones
     } else {
-        0
+        mask_none()
     }
 }
 
@@ -225,7 +240,7 @@ where
         FAULTS_PER_PASS,
         1,
         |_, chunk| {
-            let mut sim = Simulator::from_program(Arc::clone(&program));
+            let mut sim: Simulator = Simulator::from_program(Arc::clone(&program));
             sim.set_observing(true);
             for (i, f) in chunk.iter().enumerate() {
                 sim.force_lane(f.net, i + 1, f.stuck.value());
@@ -233,7 +248,7 @@ where
             run_test(&mut sim)?;
             let mut mask = 0u64;
             for obs in sim.take_observations() {
-                mask |= detection_lanes(obs);
+                mask |= detection_lanes(obs)[0];
             }
             Ok::<u64, SimError>(mask)
         },
@@ -255,30 +270,31 @@ fn validate_vectors(pins: &[NetId], vectors: &[Vec<Logic>]) -> Result<(), SimErr
 
 /// One grading pass over a fault chunk — the exact code every backend
 /// executes (inline, on a pool thread, or inside a `steac-worker`
-/// process), so dispatch flavour can never change a verdict.
-fn grade_chunk(
+/// process), so dispatch flavour can never change a verdict. Generic
+/// over lane-group width: lane 0 is the good machine, lanes
+/// `1..=chunk.len()` each carry one fault.
+fn grade_chunk<const N: usize>(
     program: &Arc<SimProgram>,
     pins: &[NetId],
     vectors: &[Vec<Logic>],
     chunk: &[Fault],
-) -> Result<u64, SimError> {
-    let mut sim = Simulator::from_program(Arc::clone(program));
+) -> Result<LaneMask<N>, SimError> {
+    let mut sim: Simulator<N> = Simulator::from_program(Arc::clone(program));
     for (i, f) in chunk.iter().enumerate() {
         sim.force_lane(f.net, i + 1, f.stuck.value());
     }
-    // Lane mask with one bit per in-flight fault (≤ 63 of them, so
-    // the shift cannot overflow).
-    let want = ((1u64 << chunk.len()) - 1) << 1;
-    let mut mask = 0u64;
+    // Lane mask with one bit per in-flight fault (≤ N×64 − 1 of them).
+    let want = mask_range::<N>(1, chunk.len());
+    let mut mask = mask_none::<N>();
     for vector in vectors {
         for (&pin, &v) in pins.iter().zip(vector) {
             sim.set(pin, v);
         }
         sim.settle()?;
         for &net in &sim.program().output_nets {
-            mask |= detection_lanes(sim.get_packed(net));
+            mask = mask_or(mask, detection_lanes(sim.get_packed(net)));
         }
-        if mask & want == want {
+        if mask_and(mask, want) == want {
             break; // every fault in this pass dropped
         }
     }
@@ -286,18 +302,18 @@ fn grade_chunk(
 }
 
 /// The [`ExecWork`] description of vector grading: one unit per
-/// [`FAULTS_PER_PASS`] fault chunk, a job block carrying the compiled
-/// program + pin list + vector set, and `u64` detection masks as unit
-/// results.
-struct GradeWork<'a> {
+/// [`faults_per_pass`]`(N)` fault chunk, a job block carrying the
+/// compiled program + lane-group width + pin list + vector set, and
+/// `N`-word detection masks as unit results.
+struct GradeWork<'a, const N: usize> {
     program: Arc<SimProgram>,
     pins: &'a [NetId],
     vectors: &'a [Vec<Logic>],
     chunks: Vec<&'a [Fault]>,
 }
 
-impl ExecWork for GradeWork<'_> {
-    type Output = u64;
+impl<const N: usize> ExecWork for GradeWork<'_, N> {
+    type Output = LaneMask<N>;
     type Error = SimError;
 
     fn kind(&self) -> u16 {
@@ -309,27 +325,49 @@ impl ExecWork for GradeWork<'_> {
     }
 
     fn encode_job(&self) -> Vec<u8> {
-        encode_grade_job(&self.program, self.pins, self.vectors)
+        encode_grade_job(&self.program, N as u8, self.pins, self.vectors)
     }
 
     fn encode_unit(&self, unit: usize) -> Vec<u8> {
         wire::encode_faults(self.chunks[unit])
     }
 
-    fn run_unit_local(&self, unit: usize) -> Result<u64, SimError> {
-        grade_chunk(&self.program, self.pins, self.vectors, self.chunks[unit])
+    fn run_unit_local(&self, unit: usize) -> Result<LaneMask<N>, SimError> {
+        grade_chunk::<N>(&self.program, self.pins, self.vectors, self.chunks[unit])
     }
 
-    fn decode_result(&self, _unit: usize, bytes: &[u8]) -> Result<u64, String> {
-        bytes
-            .try_into()
-            .map(u64::from_le_bytes)
-            .map_err(|_| format!("result has {} bytes, expected 8", bytes.len()))
+    fn decode_result(&self, _unit: usize, bytes: &[u8]) -> Result<LaneMask<N>, String> {
+        decode_lane_mask::<N>(bytes)
     }
 
     fn pool_error(&self, error: PoolError) -> SimError {
         error.into()
     }
+}
+
+/// Serializes an `N`-word detection mask (unit-result payload).
+fn encode_lane_mask<const N: usize>(mask: &LaneMask<N>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(N * 8);
+    for w in mask {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// Deserializes an `N`-word detection mask (unit-result payload).
+fn decode_lane_mask<const N: usize>(bytes: &[u8]) -> Result<LaneMask<N>, String> {
+    if bytes.len() != N * 8 {
+        return Err(format!(
+            "result has {} bytes, expected {}",
+            bytes.len(),
+            N * 8
+        ));
+    }
+    let mut mask = [0u64; N];
+    for (w, c) in mask.iter_mut().zip(bytes.chunks_exact(8)) {
+        *w = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+    }
+    Ok(mask)
 }
 
 /// Packed grading of a static vector set applied to `pins` (set inputs,
@@ -357,16 +395,54 @@ pub fn grade_vectors(
     pins: &[NetId],
     vectors: &[Vec<Logic>],
 ) -> Result<CoverageReport, SimError> {
+    grade_vectors_wide(exec, m, faults, pins, vectors, DEFAULT_LANE_GROUPS)
+}
+
+/// [`grade_vectors`] with an explicit lane-group width: each pass
+/// carries the good machine plus [`faults_per_pass`]`(groups)` faults.
+/// The verdicts (and the whole [`CoverageReport`]) are bit-identical at
+/// every width — only the pass count, and therefore the throughput,
+/// changes.
+///
+/// # Errors
+///
+/// [`SimError::UnsupportedWidth`] unless `groups` is one of
+/// [`SUPPORTED_LANE_GROUPS`]; otherwise as [`grade_vectors`].
+pub fn grade_vectors_wide(
+    exec: &Exec,
+    m: &Module,
+    faults: &[Fault],
+    pins: &[NetId],
+    vectors: &[Vec<Logic>],
+    groups: usize,
+) -> Result<CoverageReport, SimError> {
+    match groups {
+        1 => grade_vectors_n::<1>(exec, m, faults, pins, vectors),
+        2 => grade_vectors_n::<2>(exec, m, faults, pins, vectors),
+        4 => grade_vectors_n::<4>(exec, m, faults, pins, vectors),
+        8 => grade_vectors_n::<8>(exec, m, faults, pins, vectors),
+        _ => Err(SimError::UnsupportedWidth { groups }),
+    }
+}
+
+fn grade_vectors_n<const N: usize>(
+    exec: &Exec,
+    m: &Module,
+    faults: &[Fault],
+    pins: &[NetId],
+    vectors: &[Vec<Logic>],
+) -> Result<CoverageReport, SimError> {
     validate_vectors(pins, vectors)?;
+    let per_pass = faults_per_pass(N);
     let program = Arc::new(SimProgram::compile(m)?);
-    let work = GradeWork {
+    let work = GradeWork::<N> {
         program,
         pins,
         vectors,
-        chunks: faults.chunks(FAULTS_PER_PASS).collect(),
+        chunks: faults.chunks(per_pass).collect(),
     };
     let dispatched = exec.dispatch(&work)?;
-    let flags = shard::flags_from_masks(faults.len(), FAULTS_PER_PASS, 1, &dispatched.units);
+    let flags = shard::flags_from_lane_masks(faults.len(), per_pass, 1, &dispatched.units);
     Ok(report_from_flags(
         faults,
         &flags,
@@ -380,9 +456,15 @@ pub fn grade_vectors(
 /// [`open_wire_job`]: vector grading of a fault chunk.
 pub const WIRE_KIND: u16 = 1;
 
-fn encode_grade_job(program: &SimProgram, pins: &[NetId], vectors: &[Vec<Logic>]) -> Vec<u8> {
+fn encode_grade_job(
+    program: &SimProgram,
+    groups: u8,
+    pins: &[NetId],
+    vectors: &[Vec<Logic>],
+) -> Vec<u8> {
     let mut w = wire::WireWriter::new();
     w.put_block(&wire::encode_program(program));
+    w.put_u8(groups);
     w.put_usize(pins.len());
     for pin in pins {
         w.put_u32(pin.0);
@@ -397,19 +479,21 @@ fn encode_grade_job(program: &SimProgram, pins: &[NetId], vectors: &[Vec<Logic>]
     w.finish()
 }
 
-/// An opened vector-grading job inside a worker process.
-struct GradeJob {
+/// An opened vector-grading job inside a worker process, monomorphized
+/// at the lane-group width the job header requested.
+struct GradeJob<const N: usize> {
     program: Arc<SimProgram>,
     pins: Vec<NetId>,
     vectors: Vec<Vec<Logic>>,
 }
 
-impl shard::WireJob for GradeJob {
+impl<const N: usize> shard::WireJob for GradeJob<N> {
     fn run_unit(&mut self, unit: &[u8]) -> Result<Vec<u8>, String> {
         let chunk = wire::decode_faults(unit).map_err(|e| format!("fault unit: {e}"))?;
-        if chunk.len() > FAULTS_PER_PASS {
+        let per_pass = faults_per_pass(N);
+        if chunk.len() > per_pass {
             return Err(format!(
-                "fault unit has {} faults, a pass holds at most {FAULTS_PER_PASS}",
+                "fault unit has {} faults, a pass holds at most {per_pass}",
                 chunk.len()
             ));
         }
@@ -418,15 +502,16 @@ impl shard::WireJob for GradeJob {
                 return Err(format!("fault net {} out of range", f.net));
             }
         }
-        let mask = grade_chunk(&self.program, &self.pins, &self.vectors, &chunk)
+        let mask = grade_chunk::<N>(&self.program, &self.pins, &self.vectors, &chunk)
             .map_err(|e| e.to_string())?;
-        Ok(mask.to_le_bytes().to_vec())
+        Ok(encode_lane_mask(&mask))
     }
 }
 
-/// Decodes a [`WIRE_KIND`] job block (compiled program + pin list +
-/// vector set) into the executable job the worker loop drives — the
-/// `steac-worker` side of [`grade_vectors`]' process backend.
+/// Decodes a [`WIRE_KIND`] job block (compiled program + lane-group
+/// width + pin list + vector set) into the executable job the worker
+/// loop drives — the `steac-worker` side of [`grade_vectors`]' process
+/// backend.
 ///
 /// # Errors
 ///
@@ -439,6 +524,7 @@ pub fn open_wire_job(job: &[u8]) -> Result<Box<dyn shard::WireJob>, String> {
     )
     .map_err(|e| format!("grade job program: {e}"))?;
     let fail = |e: wire::WireError| format!("grade job: {e}");
+    let groups = r.get_u8("grade job lane groups").map_err(fail)?;
     let pin_count = r.get_count("grade job pins", 4).map_err(fail)?;
     let mut pins = Vec::with_capacity(pin_count);
     for _ in 0..pin_count {
@@ -465,11 +551,30 @@ pub fn open_wire_job(job: &[u8]) -> Result<Box<dyn shard::WireJob>, String> {
         vectors.push(v);
     }
     r.finish().map_err(fail)?;
-    Ok(Box::new(GradeJob {
-        program: Arc::new(program),
-        pins,
-        vectors,
-    }))
+    let program = Arc::new(program);
+    Ok(match groups as usize {
+        1 => Box::new(GradeJob::<1> {
+            program,
+            pins,
+            vectors,
+        }),
+        2 => Box::new(GradeJob::<2> {
+            program,
+            pins,
+            vectors,
+        }),
+        4 => Box::new(GradeJob::<4> {
+            program,
+            pins,
+            vectors,
+        }),
+        8 => Box::new(GradeJob::<8> {
+            program,
+            pins,
+            vectors,
+        }),
+        _ => return Err(format!("grade job lane-group width {groups} unsupported")),
+    })
 }
 
 /// Serial reference implementation: one full simulation per fault, as the
@@ -499,7 +604,7 @@ where
     let mut detected = 0usize;
     let mut undetected = Vec::new();
     for &fault in faults {
-        let mut sim = Simulator::new(m)?;
+        let mut sim: Simulator = Simulator::new(m)?;
         sim.force(fault.net, fault.stuck.value());
         let observed = run_test(&mut sim)?;
         let diff = good

@@ -7,7 +7,7 @@
 //! (including gated and divided clocks), applies scan shift/capture
 //! sequences, and measures single-stuck-at fault coverage of pattern sets.
 //!
-//! # Compile once, execute everywhere
+//! # Compile once, optimize once, execute everywhere
 //!
 //! Simulation is a staged pipeline rather than a netlist interpreter:
 //!
@@ -18,16 +18,36 @@
 //!    the same buffer, plus the port-name lookup tables. The program is
 //!    self-contained: executors never touch the [`steac_netlist::Module`]
 //!    again.
-//! 2. **Execute** ([`engine`]): a [`Simulator`] is an owned, `Send`
+//! 2. **Optimize** ([`opt`]): a compile-time pass pipeline rewrites the
+//!    instruction stream before any executor sees it — constant folding
+//!    from tie cells, hash-consing CSE, dead-code elimination (fault
+//!    sites and force targets declared live via [`opt::OptConfig`]), and
+//!    level-aware slot renumbering for locality. Each pass records its
+//!    deltas in [`opt::OptStats`] (surfaced by
+//!    [`program::SimProgram::stats`] and carried on the wire), and the
+//!    pipeline may only change speed, never a verdict: optimized and
+//!    unoptimized programs produce byte-identical reports on every
+//!    backend (proven by `tests/exec_matrix.rs` and the proptests).
+//!    [`program::SimProgram::compile`] runs the pipeline by default;
+//!    `STEAC_OPT=0` is the escape hatch, and
+//!    [`program::SimProgram::compile_with`] /
+//!    [`program::SimProgram::compile_unoptimized`] pin the choice in
+//!    code.
+//! 3. **Execute** ([`engine`]): a [`Simulator`] is an owned, `Send`
 //!    executor over a shared `Arc<SimProgram>`
 //!    ([`Simulator::from_program`]; [`Simulator::new`] is the
 //!    compile-and-wrap convenience). Each pass runs the instruction
 //!    stream over [`packed::PackedLogic`] words — a two-plane packed
-//!    representation carrying **64 independent simulation lanes** whose
-//!    word-parallel AND/OR/XOR/NOT/MUX are lane-exact against the scalar
-//!    [`Logic`] algebra.
-//! 3. **Dispatch** ([`exec`]): independent 64-lane passes (fault-grading
-//!    chunks, 64-pattern playback chunks, March walks) are *work units*
+//!    representation generic over its lane-group width `N`, carrying
+//!    **`64 * N` independent simulation lanes** (`[u64; N]` per plane)
+//!    whose word-parallel AND/OR/XOR/NOT/MUX are lane-exact against the
+//!    scalar [`Logic`] algebra. The scalar API is the `N = 1` default;
+//!    workload entry points dispatch at
+//!    [`packed::DEFAULT_LANE_GROUPS`] (256 lanes) with monomorphized
+//!    kernels for every width in [`SUPPORTED_LANE_GROUPS`], and reports
+//!    are byte-identical at every width.
+//! 4. **Dispatch** ([`exec`]): independent packed passes (fault-grading
+//!    chunks, width-sized playback chunks, March walks) are *work units*
 //!    behind one execution-backend value, [`Exec`]:
 //!    `Exec::serial()` runs them inline, `Exec::threads(..)` fans them
 //!    across a `std::thread::scope` pool ([`shard`]), and
@@ -39,10 +59,11 @@
 //!    backend** — lives in exactly one place, proven bit-for-bit by
 //!    `tests/exec_matrix.rs`. [`Exec::from_env`] resolves the
 //!    deployment knobs (`STEAC_EXEC`, then `STEAC_WORKERS`, then
-//!    `STEAC_THREADS`), and [`exec::Fallback`] makes the
-//!    process-failure policy explicit (recompute in-thread and record
-//!    it, or fail on the lowest-indexed unit).
-//! 4. **Distribute across machines** ([`remote`]): the wire format and
+//!    `STEAC_THREADS`; `STEAC_OPT` gates stage 2 independently), and
+//!    [`exec::Fallback`] makes the process-failure policy explicit
+//!    (recompute in-thread and record it, or fail on the
+//!    lowest-indexed unit).
+//! 5. **Distribute across machines** ([`remote`]): the wire format and
 //!    the worker protocol are transport-agnostic — one serialized
 //!    request in, one serialized response out — so
 //!    `Exec::remote(RemoteFleet)` ships the *same* bytes over a
@@ -61,12 +82,12 @@
 //!    it via `STEAC_EXEC=remote:host:port,…` or `STEAC_HOSTS`.
 //!
 //! The scalar API below is a lane-0/broadcast view of that kernel, so
-//! single-pattern callers are unchanged. Batch callers fill all 64 lanes
+//! single-pattern callers are unchanged. Batch callers fill all lanes
 //! with distinct patterns ([`Simulator::run_vectors`],
 //! [`Simulator::set_lanes`]) or run PPSFP fault simulation — lane 0 good
-//! machine, lanes 1–63 faulty machines via per-lane forces — through
-//! [`fault::fault_coverage`] and [`fault::grade_vectors`], with per-pass
-//! fault dropping.
+//! machine, the remaining `64 * N - 1` lanes faulty machines via
+//! per-lane forces — through [`fault::fault_coverage`] and
+//! [`fault::grade_vectors`], with per-pass fault dropping.
 //!
 //! # Example
 //!
@@ -84,7 +105,7 @@
 //! b.output("q", q);
 //! let m = b.finish()?;
 //!
-//! let mut sim = Simulator::new(&m)?;
+//! let mut sim: Simulator = Simulator::new(&m)?;
 //! sim.set_by_name("rstn", Logic::Zero)?;
 //! sim.settle()?;
 //! sim.set_by_name("rstn", Logic::One)?;
@@ -98,6 +119,7 @@ pub mod engine;
 pub mod exec;
 pub mod fault;
 pub mod logic;
+pub mod opt;
 pub mod packed;
 pub mod program;
 pub mod remote;
@@ -108,12 +130,13 @@ pub mod wire;
 pub use engine::Simulator;
 pub use exec::{Backend, Dispatch, Exec, ExecWork, Fallback, SpecError};
 pub use fault::{
-    enumerate_faults, fault_coverage, grade_vectors, CoverageReport, Fault, StuckAt,
-    FAULTS_PER_PASS,
+    enumerate_faults, fault_coverage, faults_per_pass, grade_vectors, grade_vectors_wide,
+    CoverageReport, Fault, StuckAt, FAULTS_PER_PASS, SUPPORTED_LANE_GROUPS,
 };
 pub use logic::Logic;
-pub use packed::{PackedLogic, LANES};
-pub use program::SimProgram;
+pub use opt::{OptConfig, OptStats};
+pub use packed::{PackedLogic, DEFAULT_LANE_GROUPS, LANES};
+pub use program::{ProgramStats, SimProgram};
 pub use remote::{
     RemoteFleet, ServeHandle, SpawnTransport, TcpTransport, Transport, TransportError,
 };
@@ -155,6 +178,12 @@ pub enum SimError {
         /// Worker- or dispatcher-provided diagnostic.
         diagnostic: String,
     },
+    /// A lane-group width with no monomorphized kernel was requested
+    /// (see [`fault::SUPPORTED_LANE_GROUPS`]).
+    UnsupportedWidth {
+        /// The requested lane-group count.
+        groups: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -170,6 +199,9 @@ impl fmt::Display for SimError {
             }
             SimError::Worker { unit, diagnostic } => {
                 write!(f, "work unit {unit} failed in worker process: {diagnostic}")
+            }
+            SimError::UnsupportedWidth { groups } => {
+                write!(f, "no simulation kernel for {groups} lane groups")
             }
         }
     }

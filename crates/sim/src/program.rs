@@ -23,15 +23,27 @@
 //! the [`Module`] again: compile once, hand the `Arc<SimProgram>` to as
 //! many [`Simulator`](crate::Simulator)s as there are cores.
 
+use crate::opt::{OptConfig, OptStats};
 use crate::SimError;
 use std::collections::HashMap;
+use std::fmt;
 use steac_netlist::{combinational_order, CellContents, GateKind, Module, NetId, PortDir};
+
+/// Whether the compile-time optimizer is enabled (`STEAC_OPT`, default
+/// on; `0`/`off`/`false` disable it).
+#[must_use]
+pub fn opt_enabled_from_env() -> bool {
+    match std::env::var("STEAC_OPT") {
+        Ok(v) => !matches!(v.trim(), "0" | "off" | "false"),
+        Err(_) => true,
+    }
+}
 
 /// Sentinel for an absent operand slot (e.g. `rstn` on a plain `Dff`).
 pub const NO_SLOT: u32 = u32::MAX;
 
 /// Opcode of one combinational instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum SimOp {
     /// Inverter.
@@ -68,6 +80,41 @@ pub enum SimOp {
     Tie1,
     /// Unrecognised gate kind: evaluates to `X` on every lane.
     Unknown,
+}
+
+impl SimOp {
+    /// Number of leading `ins` entries the engine actually reads.
+    #[must_use]
+    pub fn arity(self) -> usize {
+        match self {
+            SimOp::Tie0 | SimOp::Tie1 | SimOp::Unknown => 0,
+            SimOp::Inv | SimOp::Buf => 1,
+            SimOp::And2 | SimOp::Nand2 | SimOp::Or2 | SimOp::Nor2 | SimOp::Xor2 | SimOp::Xnor2 => 2,
+            SimOp::And3 | SimOp::Nand3 | SimOp::Or3 | SimOp::Nor3 | SimOp::Mux2 => 3,
+            SimOp::Nand4 => 4,
+        }
+    }
+
+    /// All opcodes, in wire order (for per-opcode statistics).
+    pub const ALL: [SimOp; 17] = [
+        SimOp::Inv,
+        SimOp::Buf,
+        SimOp::And2,
+        SimOp::And3,
+        SimOp::Nand2,
+        SimOp::Nand3,
+        SimOp::Nand4,
+        SimOp::Or2,
+        SimOp::Or3,
+        SimOp::Nor2,
+        SimOp::Nor3,
+        SimOp::Xor2,
+        SimOp::Xnor2,
+        SimOp::Mux2,
+        SimOp::Tie0,
+        SimOp::Tie1,
+        SimOp::Unknown,
+    ];
 }
 
 /// One combinational instruction: opcode plus input/output slot offsets.
@@ -169,18 +216,66 @@ pub struct SimProgram {
     pub ports: Vec<PortInfo>,
     /// Output-port nets in port order (the executor's observation set).
     pub output_nets: Vec<NetId>,
+    /// Net → value-buffer-slot permutation (identity when unoptimized;
+    /// see [`crate::opt`]'s renumbering pass). State slots
+    /// (`>= net_count`) are never permuted.
+    pub net_slot: Vec<u32>,
+    /// What the optimizer pipeline did to this program.
+    pub opt: OptStats,
     /// Port-name index into `ports`.
     port_index: HashMap<String, u32>,
+    /// Inverse of `net_slot` (derived; rebuilt after decode/optimize).
+    slot_net: Vec<u32>,
+    /// `output_nets` pre-translated to slots (derived).
+    output_slots: Vec<u32>,
 }
 
 impl SimProgram {
-    /// Compiles a flat module (no hierarchical instances — flatten first).
+    /// Compiles a flat module (no hierarchical instances — flatten first)
+    /// and runs the default optimizer pipeline ([`crate::opt`]) over the
+    /// result, unless the `STEAC_OPT=0` escape hatch is set.
+    ///
+    /// The default [`OptConfig`] treats **every** net as a potential
+    /// force/fault site, so only the unconditionally-sound passes (slot
+    /// renumbering + schedule verification) transform the program; see
+    /// [`SimProgram::compile_with`] to unlock constant folding, CSE and
+    /// dead-code elimination with a declared force surface.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Netlist`] if the module has multiple drivers or
     /// a combinational loop.
     pub fn compile(m: &Module) -> Result<Self, SimError> {
+        if opt_enabled_from_env() {
+            Self::compile_with(m, &OptConfig::default())
+        } else {
+            Self::compile_unoptimized(m)
+        }
+    }
+
+    /// Compiles and optimizes with an explicit pass configuration
+    /// (ignores `STEAC_OPT`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Netlist`] if the module has multiple drivers or
+    /// a combinational loop.
+    pub fn compile_with(m: &Module, cfg: &OptConfig) -> Result<Self, SimError> {
+        let mut p = Self::compile_unoptimized(m)?;
+        crate::opt::optimize(&mut p, cfg);
+        Ok(p)
+    }
+
+    /// Compiles without running any optimizer pass: the raw levelized
+    /// stream, an identity slot permutation, and `opt.scheduled = false`
+    /// (so the engine takes the legacy fixpoint settle). This is the
+    /// `STEAC_OPT=0` path and the honest baseline for benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Netlist`] if the module has multiple drivers or
+    /// a combinational loop.
+    pub fn compile_unoptimized(m: &Module) -> Result<Self, SimError> {
         let order = combinational_order(m)?;
         let net_count = m.nets.len();
 
@@ -244,6 +339,7 @@ impl SimProgram {
 
         // Second pass: lower scheduled combinational cells.
         let mut comb = Vec::with_capacity(order.len());
+        let mut unknown_kinds: Vec<String> = Vec::new();
         for cid in order {
             let CellContents::Gate {
                 kind,
@@ -270,7 +366,13 @@ impl SimProgram {
                 GateKind::Mux2 => SimOp::Mux2,
                 GateKind::Tie0 => SimOp::Tie0,
                 GateKind::Tie1 => SimOp::Tie1,
-                _ => SimOp::Unknown,
+                other => {
+                    let name = format!("{other:?}");
+                    if !unknown_kinds.contains(&name) {
+                        unknown_kinds.push(name);
+                    }
+                    SimOp::Unknown
+                }
             };
             let mut ins = [NO_SLOT; 4];
             for (i, n) in inputs.iter().take(4).enumerate() {
@@ -303,7 +405,19 @@ impl SimProgram {
             .map(|(i, p)| (p.name.clone(), i as u32))
             .collect();
 
-        Ok(SimProgram {
+        if !unknown_kinds.is_empty() {
+            // Once per compile, not per gate: the affected gates evaluate
+            // to all-X, which silently depresses coverage if unnoticed.
+            eprintln!(
+                "steac-sim: module `{}`: {} gate kind(s) not recognised by the \
+                 packed engine, lowered to all-X `SimOp::Unknown`: {}",
+                m.name,
+                unknown_kinds.len(),
+                unknown_kinds.join(", ")
+            );
+        }
+
+        let mut p = SimProgram {
             name: m.name.clone(),
             net_count,
             slot_count: next_slot as usize,
@@ -313,12 +427,19 @@ impl SimProgram {
             seq_order,
             ports,
             output_nets,
+            net_slot: (0..net_count as u32).collect(),
+            opt: OptStats::default(),
             port_index,
-        })
+            slot_net: Vec::new(),
+            output_slots: Vec::new(),
+        };
+        p.rebuild_derived();
+        Ok(p)
     }
 
     /// Reassembles a program from decoded parts (the wire decoder's
-    /// constructor), rebuilding the port-name index.
+    /// constructor), rebuilding the port-name index and the derived slot
+    /// tables.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
         name: String,
@@ -330,13 +451,15 @@ impl SimProgram {
         seq_order: Vec<SeqInstr>,
         ports: Vec<PortInfo>,
         output_nets: Vec<NetId>,
+        net_slot: Vec<u32>,
+        opt: OptStats,
     ) -> Self {
         let port_index = ports
             .iter()
             .enumerate()
             .map(|(i, p)| (p.name.clone(), i as u32))
             .collect();
-        SimProgram {
+        let mut p = SimProgram {
             name,
             net_count,
             slot_count,
@@ -346,14 +469,97 @@ impl SimProgram {
             seq_order,
             ports,
             output_nets,
+            net_slot,
+            opt,
             port_index,
+            slot_net: Vec::new(),
+            output_slots: Vec::new(),
+        };
+        p.rebuild_derived();
+        p
+    }
+
+    /// Rebuilds the derived slot tables (`slot_net`, `output_slots`)
+    /// from `net_slot` — deterministic, so decoded and freshly-compiled
+    /// programs compare equal field-for-field.
+    pub(crate) fn rebuild_derived(&mut self) {
+        let mut slot_net = vec![0u32; self.net_count];
+        for (n, &s) in self.net_slot.iter().enumerate() {
+            slot_net[s as usize] = n as u32;
         }
+        self.slot_net = slot_net;
+        self.output_slots = self
+            .output_nets
+            .iter()
+            .map(|n| self.net_slot[n.index()])
+            .collect();
+    }
+
+    /// The value-buffer slot holding `net` (optimized programs permute
+    /// net slots for locality; unoptimized programs are identity).
+    #[inline]
+    #[must_use]
+    pub fn slot_of(&self, net: NetId) -> u32 {
+        self.net_slot[net.index()]
+    }
+
+    /// The net occupying value-buffer slot `slot` (< `net_count`).
+    #[inline]
+    #[must_use]
+    pub fn net_of_slot(&self, slot: u32) -> NetId {
+        NetId(self.slot_net[slot as usize])
+    }
+
+    /// Output-port slots in port order (pre-translated `output_nets`).
+    #[inline]
+    #[must_use]
+    pub fn output_slots(&self) -> &[u32] {
+        &self.output_slots
     }
 
     /// Number of combinational instructions.
     #[must_use]
     pub fn instruction_count(&self) -> usize {
         self.comb.len()
+    }
+
+    /// Structural statistics: instruction mix, logic depth, buffer size,
+    /// unknown-gate count, and what the optimizer pipeline did.
+    #[must_use]
+    pub fn stats(&self) -> ProgramStats {
+        let mut per_op = Vec::new();
+        for op in SimOp::ALL {
+            let count = self.comb.iter().filter(|i| i.op == op).count();
+            if count > 0 {
+                per_op.push((op, count));
+            }
+        }
+        let unknown_gates = self.comb.iter().filter(|i| i.op == SimOp::Unknown).count();
+        // Longest combinational path, in gates: depth(out) =
+        // 1 + max(depth(ins)). One forward pass suffices on the
+        // topological stream.
+        let mut depth = vec![0u32; self.slot_count];
+        let mut levels = 0;
+        for i in &self.comb {
+            let d = 1
+                + (0..i.op.arity())
+                    .map(|k| depth[i.ins[k] as usize])
+                    .max()
+                    .unwrap_or(0);
+            depth[i.out as usize] = d;
+            levels = levels.max(d as usize);
+        }
+        ProgramStats {
+            name: self.name.clone(),
+            per_op,
+            levels,
+            net_count: self.net_count,
+            slot_count: self.slot_count,
+            flops: self.flops.len(),
+            latches: self.latches.len(),
+            unknown_gates,
+            opt: self.opt,
+        }
     }
 
     /// Looks up a port by name.
@@ -366,6 +572,74 @@ impl SimProgram {
     #[must_use]
     pub fn port_net(&self, name: &str) -> Option<NetId> {
         self.port(name).map(|p| p.net)
+    }
+}
+
+/// Structural statistics for one compiled program (see
+/// [`SimProgram::stats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramStats {
+    /// Source module name.
+    pub name: String,
+    /// Non-zero instruction counts per opcode, in wire order.
+    pub per_op: Vec<(SimOp, usize)>,
+    /// Longest combinational path, in gates.
+    pub levels: usize,
+    /// Net count (leading buffer slots).
+    pub net_count: usize,
+    /// Total value-buffer slots (nets + sequential state).
+    pub slot_count: usize,
+    /// Flip-flop count.
+    pub flops: usize,
+    /// Latch count.
+    pub latches: usize,
+    /// Instructions that evaluate to all-X because their gate kind was
+    /// not recognised at compile time.
+    pub unknown_gates: usize,
+    /// Optimizer pass deltas.
+    pub opt: OptStats,
+}
+
+impl fmt::Display for ProgramStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "program `{}`: {} instrs, {} levels, {} nets, {} slots, {} flops, {} latches",
+            self.name,
+            self.per_op.iter().map(|(_, c)| c).sum::<usize>(),
+            self.levels,
+            self.net_count,
+            self.slot_count,
+            self.flops,
+            self.latches,
+        )?;
+        write!(f, "  ops:")?;
+        for (op, count) in &self.per_op {
+            write!(f, " {op:?}={count}")?;
+        }
+        writeln!(f)?;
+        if self.unknown_gates > 0 {
+            writeln!(
+                f,
+                "  WARNING: {} unknown gate(s) evaluate to all-X",
+                self.unknown_gates
+            )?;
+        }
+        if self.opt.enabled {
+            write!(
+                f,
+                "  opt: {} -> {} instrs (folded {}, cse {}, dce {}, slots reclaimed {}), scheduled={}",
+                self.opt.instrs_before,
+                self.opt.instrs_after,
+                self.opt.folded,
+                self.opt.cse_merged,
+                self.opt.dce_removed,
+                self.opt.slots_reclaimed,
+                self.opt.scheduled,
+            )
+        } else {
+            write!(f, "  opt: disabled (STEAC_OPT=0)")
+        }
     }
 }
 

@@ -146,7 +146,7 @@ mod tests {
     #[test]
     fn shift_through_whole_chain() {
         let m = scan_module();
-        let mut sim = Simulator::new(&m).unwrap();
+        let mut sim: Simulator = Simulator::new(&m).unwrap();
         let mut ports = ScanPorts::conventional(1);
         ports.clock = "ck".to_string();
         sim.set_by_name("d", Logic::Zero).unwrap();
@@ -165,7 +165,7 @@ mod tests {
     #[test]
     fn capture_replaces_chain_contents() {
         let m = scan_module();
-        let mut sim = Simulator::new(&m).unwrap();
+        let mut sim: Simulator = Simulator::new(&m).unwrap();
         let mut ports = ScanPorts::conventional(1);
         ports.clock = "ck".to_string();
         use Logic::{One, Zero};

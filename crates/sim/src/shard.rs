@@ -238,6 +238,63 @@ pub fn flags_from_masks(
     flags
 }
 
+/// [`flags_from_masks`] over `N`-word lane masks (the wide executors'
+/// `N`×64-lane passes): lane `l` of a pass lives in bit `l % 64` of word
+/// `l / 64`. `N = 1` degenerates to the classic single-word flattening.
+#[must_use]
+pub fn flags_from_lane_masks<const N: usize>(
+    item_count: usize,
+    per_pass: usize,
+    first_lane: usize,
+    masks: &[[u64; N]],
+) -> Vec<bool> {
+    debug_assert!(
+        per_pass + first_lane <= 64 * N,
+        "pass does not fit {N} words"
+    );
+    let mut flags = Vec::with_capacity(item_count);
+    'outer: for mask in masks {
+        for lane in 0..per_pass {
+            if flags.len() == item_count {
+                break 'outer;
+            }
+            let bit = lane + first_lane;
+            flags.push(mask[bit / 64] >> (bit % 64) & 1 == 1);
+        }
+    }
+    flags
+}
+
+/// [`grade_in_passes`] over `N`-word lane masks: chunks `items` into
+/// passes of `per_pass` (up to `N`×64 minus `first_lane` items each),
+/// runs them on the in-thread pool, and flattens through
+/// [`flags_from_lane_masks`].
+///
+/// # Errors
+///
+/// The error of the lowest-indexed failing pass.
+pub fn grade_in_lane_passes<const N: usize, T, E, F>(
+    threads: Threads,
+    items: &[T],
+    per_pass: usize,
+    first_lane: usize,
+    run: F,
+) -> Result<Vec<bool>, E>
+where
+    T: Sync,
+    E: Send,
+    F: Fn(usize, &[T]) -> Result<[u64; N], E> + Sync,
+{
+    let chunks: Vec<&[T]> = items.chunks(per_pass).collect();
+    let masks = run_fallible(threads, chunks.len(), |ci| run(ci, chunks[ci]))?;
+    Ok(flags_from_lane_masks(
+        items.len(),
+        per_pass,
+        first_lane,
+        &masks,
+    ))
+}
+
 /// The shared good+63 partition/merge contract: chunks `items` into
 /// packed passes of `per_pass`, runs `run(pass_index, chunk)` for each on
 /// the in-thread pool, and flattens the per-pass detection masks into
@@ -277,7 +334,7 @@ const RESPONSE_MAGIC: [u8; 4] = *b"STWR";
 /// Version of the worker request/response framing; bumped in lock step
 /// with [`crate::wire::WIRE_VERSION`] discipline (see that module's
 /// versioning rule).
-pub const PROTOCOL_VERSION: u16 = 1;
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// One opened job inside a worker process: decoded shared state plus the
 /// per-unit execution step. Implementations live next to their workloads

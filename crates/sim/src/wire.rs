@@ -12,7 +12,7 @@
 //!
 //! ```text
 //! magic   b"SPRG"                        (4 bytes)
-//! version u16                            (currently 1)
+//! version u16                            (currently 2)
 //! name    str
 //! net_count, slot_count                  (u64 each)
 //! comb    u64 count, then per instr:     op u8, ins 4 x u32, out u32
@@ -21,7 +21,15 @@
 //! seq     u64 count, then per element:   tag u8 (0 = flop, 1 = latch), index u32
 //! ports   u64 count, then per port:      name str, net u32, dir u8 (0 = in, 1 = out)
 //! outputs u64 count, then per net:       u32
+//! slots   u64 count (= net_count), then per net: slot u32 (a permutation)
+//! opt     enabled u8, folded/cse/dce/reclaimed/before/after (6 x u32), scheduled u8
 //! ```
+//!
+//! Version 2 added the optimizer metadata (the `slots` permutation and
+//! the `opt` record), so decoded programs carry their slot renumbering
+//! and the engine knows whether the single-sweep settle fast path is
+//! licensed. The `scheduled` flag is re-verified against the decoded
+//! stream — bytes cannot claim a schedule they do not have.
 //!
 //! Work-unit payloads (fault chunks here, pattern chunks in
 //! `steac-pattern`, March chunks in `steac-membist`) carry no magic of
@@ -51,6 +59,7 @@
 
 use crate::fault::{Fault, StuckAt};
 use crate::logic::Logic;
+use crate::opt::OptStats;
 use crate::program::{
     FlopInstr, Instr, LatchInstr, PortInfo, SeqInstr, SimOp, SimProgram, NO_SLOT,
 };
@@ -61,7 +70,7 @@ use steac_netlist::{NetId, PortDir};
 pub const PROGRAM_MAGIC: [u8; 4] = *b"SPRG";
 
 /// Current wire-format version (see the module docs for the bump rule).
-pub const WIRE_VERSION: u16 = 1;
+pub const WIRE_VERSION: u16 = 2;
 
 /// Typed decode failure. Encoding cannot fail.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -439,13 +448,7 @@ fn op_from_code(code: u8) -> Option<SimOp> {
 
 /// Number of leading `ins` entries the engine actually reads for `op`.
 fn op_arity(op: SimOp) -> usize {
-    match op {
-        SimOp::Tie0 | SimOp::Tie1 | SimOp::Unknown => 0,
-        SimOp::Inv | SimOp::Buf => 1,
-        SimOp::And2 | SimOp::Nand2 | SimOp::Or2 | SimOp::Nor2 | SimOp::Xor2 | SimOp::Xnor2 => 2,
-        SimOp::And3 | SimOp::Nand3 | SimOp::Or3 | SimOp::Nor3 | SimOp::Mux2 => 3,
-        SimOp::Nand4 => 4,
-    }
+    op.arity()
 }
 
 /// Serializes a compiled program (see the module docs for the layout).
@@ -505,6 +508,22 @@ pub fn encode_program(p: &SimProgram) -> Vec<u8> {
     for n in &p.output_nets {
         w.put_u32(n.0);
     }
+    w.put_usize(p.net_slot.len());
+    for &s in &p.net_slot {
+        w.put_u32(s);
+    }
+    w.put_bool(p.opt.enabled);
+    for v in [
+        p.opt.folded,
+        p.opt.cse_merged,
+        p.opt.dce_removed,
+        p.opt.slots_reclaimed,
+        p.opt.instrs_before,
+        p.opt.instrs_after,
+    ] {
+        w.put_u32(v);
+    }
+    w.put_bool(p.opt.scheduled);
     w.finish()
 }
 
@@ -538,7 +557,11 @@ pub fn decode_program(bytes: &[u8]) -> Result<SimProgram, WireError> {
     r.expect_magic(&PROGRAM_MAGIC, "program magic")?;
     r.expect_version(WIRE_VERSION, "program version")?;
     let name = r.get_str("program name")?;
-    let net_count = r.get_usize("net count")?;
+    // Every net costs at least a 4-byte net-slot entry later in the
+    // stream, so a net count the remaining bytes cannot possibly hold is
+    // corruption — and must be rejected *before* any count-sized
+    // allocation happens.
+    let net_count = r.get_count("net count", 4)?;
     let slot_count = r.get_usize("slot count")?;
     if slot_count < net_count {
         return Err(WireError::Corrupt {
@@ -614,6 +637,16 @@ pub fn decode_program(bytes: &[u8]) -> Result<SimProgram, WireError> {
         latches.push(l);
     }
 
+    // The compiler lays out slots as nets, then one state slot per
+    // latch, plus state + prev-ck per flop; slot renumbering only ever
+    // shrinks that. A larger claim would make every slot-sized buffer
+    // (engine state, schedule verification) allocate unbounded memory.
+    if slot_count > net_count + 2 * flop_count + latch_count {
+        return Err(WireError::Corrupt {
+            context: "slot count",
+        });
+    }
+
     let seq_count = r.get_count("sequential count", 5)?;
     let mut seq_order = Vec::with_capacity(seq_count);
     for _ in 0..seq_count {
@@ -661,8 +694,40 @@ pub fn decode_program(bytes: &[u8]) -> Result<SimProgram, WireError> {
         output_nets.push(NetId(net));
     }
 
+    let slot_table_count = r.get_count("net-slot count", 4)?;
+    if slot_table_count != net_count {
+        return Err(WireError::Corrupt {
+            context: "net-slot count",
+        });
+    }
+    let mut net_slot = Vec::with_capacity(net_count);
+    let mut seen = vec![false; net_count];
+    for _ in 0..net_count {
+        let slot = r.get_u32("net-slot entry")?;
+        // The table must be a permutation of the net slots: in range and
+        // collision-free, or two nets would share one buffer word.
+        if (slot as usize) >= net_count || seen[slot as usize] {
+            return Err(WireError::Corrupt {
+                context: "net-slot entry",
+            });
+        }
+        seen[slot as usize] = true;
+        net_slot.push(slot);
+    }
+
+    let opt = OptStats {
+        enabled: r.get_bool("opt enabled")?,
+        folded: r.get_u32("opt folded")?,
+        cse_merged: r.get_u32("opt cse")?,
+        dce_removed: r.get_u32("opt dce")?,
+        slots_reclaimed: r.get_u32("opt slots reclaimed")?,
+        instrs_before: r.get_u32("opt instrs before")?,
+        instrs_after: r.get_u32("opt instrs after")?,
+        scheduled: r.get_bool("opt scheduled")?,
+    };
+
     r.finish()?;
-    Ok(SimProgram::assemble(
+    let p = SimProgram::assemble(
         name,
         net_count,
         slot_count,
@@ -672,7 +737,18 @@ pub fn decode_program(bytes: &[u8]) -> Result<SimProgram, WireError> {
         seq_order,
         ports,
         output_nets,
-    ))
+        net_slot,
+        opt,
+    );
+    // A claimed schedule licenses the engine's single-sweep settle fast
+    // path; re-verify it so hostile bytes cannot make the fast path
+    // produce wrong values.
+    if p.opt.scheduled && !crate::opt::stream_is_scheduled(&p) {
+        return Err(WireError::Corrupt {
+            context: "opt scheduled",
+        });
+    }
+    Ok(p)
 }
 
 // ---------- fault work units ----------
@@ -806,6 +882,81 @@ mod tests {
             decode_program(&bytes),
             Err(WireError::Corrupt { .. })
         ));
+    }
+
+    /// Version-1 blobs (pre-optimizer, no slot table) are rejected with
+    /// a typed error rather than misparsed.
+    #[test]
+    fn old_version_is_rejected() {
+        let mut bytes = encode_program(&sample_program());
+        bytes[4..6].copy_from_slice(&1u16.to_le_bytes());
+        assert_eq!(
+            decode_program(&bytes),
+            Err(WireError::UnsupportedVersion {
+                found: 1,
+                supported: WIRE_VERSION
+            })
+        );
+    }
+
+    /// A program with real optimizer effects (folds, CSE, DCE, a
+    /// non-identity slot permutation) round-trips field-for-field,
+    /// including the stats record.
+    #[test]
+    fn optimized_program_round_trips() {
+        use crate::opt::OptConfig;
+        let mut b = NetlistBuilder::new("wire_opt");
+        let a = b.input("a");
+        let t1 = b.tie1();
+        let x = b.gate(GateKind::And2, &[a, t1]);
+        let y = b.gate(GateKind::Inv, &[x]);
+        b.output("y", y);
+        let m = b.finish().unwrap();
+        let ports = vec![m.port("a").unwrap().net, m.port("y").unwrap().net];
+        let p = SimProgram::compile_with(&m, &OptConfig::with_forceable(ports)).unwrap();
+        assert!(p.opt.folded > 0, "test premise: something folded");
+        let back = decode_program(&encode_program(&p)).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.opt, p.opt);
+    }
+
+    /// Bytes may not claim `scheduled` for a stream that is not
+    /// topologically ordered — the claim is re-verified on decode.
+    #[test]
+    fn false_schedule_claim_is_rejected() {
+        let mut p = {
+            let mut b = NetlistBuilder::new("wire_sched");
+            let a = b.input("a");
+            let x = b.gate(GateKind::Inv, &[a]);
+            let y = b.gate(GateKind::Inv, &[x]);
+            b.output("y", y);
+            // compile_with optimizes unconditionally, so this test is
+            // independent of the STEAC_OPT environment.
+            SimProgram::compile_with(&b.finish().unwrap(), &crate::opt::OptConfig::default())
+                .unwrap()
+        };
+        assert!(p.opt.scheduled);
+        p.comb.reverse(); // y's instruction now reads x before it is written
+        assert_eq!(
+            decode_program(&encode_program(&p)),
+            Err(WireError::Corrupt {
+                context: "opt scheduled"
+            })
+        );
+    }
+
+    /// The net-slot table must be a permutation: duplicate slots are
+    /// corrupt, not silently aliased.
+    #[test]
+    fn duplicate_slot_entries_are_corrupt() {
+        let mut p = sample_program();
+        p.net_slot[1] = p.net_slot[0];
+        assert_eq!(
+            decode_program(&encode_program(&p)),
+            Err(WireError::Corrupt {
+                context: "net-slot entry"
+            })
+        );
     }
 
     #[test]

@@ -213,7 +213,7 @@ mod tests {
             ],
         };
         let m = tam_mux_module(&spec).unwrap();
-        let mut sim = Simulator::new(&m).unwrap();
+        let mut sim: Simulator = Simulator::new(&m).unwrap();
         sim.set_by_name("a_wso[0]", Logic::One).unwrap();
         sim.set_by_name("a_wso[1]", Logic::Zero).unwrap();
         sim.set_by_name("b_wso[0]", Logic::Zero).unwrap();
@@ -241,7 +241,7 @@ mod tests {
             }],
         };
         let m = tam_mux_module(&spec).unwrap();
-        let mut sim = Simulator::new(&m).unwrap();
+        let mut sim: Simulator = Simulator::new(&m).unwrap();
         sim.set_by_name("a_wso[0]", Logic::One).unwrap();
         sim.set_by_name("sel[0]", Logic::One).unwrap(); // session 1: nothing
         sim.settle().unwrap();

@@ -294,7 +294,7 @@ mod tests {
     #[test]
     fn sessions_advance_in_order() {
         let m = controller_module(&ControllerSpec::dsc()).unwrap();
-        let mut sim = Simulator::new(&m).unwrap();
+        let mut sim: Simulator = Simulator::new(&m).unwrap();
         setup(&mut sim);
         assert_eq!(sim.get_by_name("session[0]").unwrap(), Logic::One);
         assert_eq!(sim.get_by_name("session[1]").unwrap(), Logic::Zero);
@@ -309,7 +309,7 @@ mod tests {
     #[test]
     fn core_controls_follow_session_membership() {
         let m = controller_module(&ControllerSpec::dsc()).unwrap();
-        let mut sim = Simulator::new(&m).unwrap();
+        let mut sim: Simulator = Simulator::new(&m).unwrap();
         setup(&mut sim);
         sim.set_by_name("test_mode", Logic::One).unwrap();
         sim.set_by_name("t_se", Logic::One).unwrap();
@@ -334,7 +334,7 @@ mod tests {
     #[test]
     fn cycle_counter_counts_only_in_test_mode() {
         let m = controller_module(&ControllerSpec::dsc()).unwrap();
-        let mut sim = Simulator::new(&m).unwrap();
+        let mut sim: Simulator = Simulator::new(&m).unwrap();
         setup(&mut sim);
         for _ in 0..3 {
             sim.clock_cycle_by_name("tck").unwrap();
@@ -353,7 +353,7 @@ mod tests {
     #[test]
     fn ate_driven_controls_pass_through() {
         let m = controller_module(&ControllerSpec::dsc()).unwrap();
-        let mut sim = Simulator::new(&m).unwrap();
+        let mut sim: Simulator = Simulator::new(&m).unwrap();
         setup(&mut sim);
         sim.set_by_name("test_mode", Logic::One).unwrap();
         sim.set_by_name("t_capture", Logic::One).unwrap();

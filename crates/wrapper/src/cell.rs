@@ -141,7 +141,7 @@ mod tests {
     #[test]
     fn transparent_in_normal_mode() {
         let m = wbr_cell_module().unwrap();
-        let mut sim = Simulator::new(&m).unwrap();
+        let mut sim: Simulator = Simulator::new(&m).unwrap();
         cell_sim_setup(&mut sim);
         sim.set_by_name("cfi", Logic::One).unwrap();
         sim.settle().unwrap();
@@ -154,7 +154,7 @@ mod tests {
     #[test]
     fn shift_capture_update_sequence() {
         let m = wbr_cell_module().unwrap();
-        let mut sim = Simulator::new(&m).unwrap();
+        let mut sim: Simulator = Simulator::new(&m).unwrap();
         cell_sim_setup(&mut sim);
 
         // Shift a 1 in: appears on cto after the clock.
@@ -184,7 +184,7 @@ mod tests {
     #[test]
     fn hold_when_idle() {
         let m = wbr_cell_module().unwrap();
-        let mut sim = Simulator::new(&m).unwrap();
+        let mut sim: Simulator = Simulator::new(&m).unwrap();
         cell_sim_setup(&mut sim);
         sim.set_by_name("shift_en", Logic::One).unwrap();
         sim.set_by_name("cti", Logic::One).unwrap();
@@ -199,7 +199,7 @@ mod tests {
     #[test]
     fn safe_value_substitution() {
         let m = wbr_cell_module().unwrap();
-        let mut sim = Simulator::new(&m).unwrap();
+        let mut sim: Simulator = Simulator::new(&m).unwrap();
         cell_sim_setup(&mut sim);
         sim.set_by_name("mode", Logic::One).unwrap();
         sim.set_by_name("safe_en", Logic::One).unwrap();

@@ -319,7 +319,7 @@ mod tests {
         assert_eq!(wrapped.chain_lengths, vec![3]);
 
         let flat = design.flatten(&wrapped.module_name).unwrap();
-        let mut sim = Simulator::new(&flat).unwrap();
+        let mut sim: Simulator = Simulator::new(&flat).unwrap();
         for p in [
             "w_se",
             "w_capture",
@@ -377,7 +377,7 @@ mod tests {
         let plan = balance_fixed(&[], 2, 1, 1);
         let wrapped = wrap_core(&mut design, "and_core", &plan, &WrapOptions::default()).unwrap();
         let flat = design.flatten(&wrapped.module_name).unwrap();
-        let mut sim = Simulator::new(&flat).unwrap();
+        let mut sim: Simulator = Simulator::new(&flat).unwrap();
         for p in [
             "w_se",
             "w_capture",
@@ -431,7 +431,7 @@ mod tests {
         assert_eq!(flat.flop_count(), 5);
 
         // FIFO check through the whole 5-flop path.
-        let mut sim = Simulator::new(&flat).unwrap();
+        let mut sim: Simulator = Simulator::new(&flat).unwrap();
         for p in [
             "w_se",
             "w_capture",
@@ -466,7 +466,7 @@ mod tests {
         let plan = balance_fixed(&[], 2, 1, 1);
         let wrapped = wrap_core(&mut design, "and_core", &plan, &WrapOptions::default()).unwrap();
         let flat = design.flatten(&wrapped.module_name).unwrap();
-        let mut sim = Simulator::new(&flat).unwrap();
+        let mut sim: Simulator = Simulator::new(&flat).unwrap();
         for p in [
             "w_se",
             "w_capture",

@@ -33,7 +33,7 @@ mod tests {
     #[test]
     fn wby_delays_by_one_cycle() {
         let m = wby_module().unwrap();
-        let mut sim = Simulator::new(&m).unwrap();
+        let mut sim: Simulator = Simulator::new(&m).unwrap();
         sim.set_by_name("wck", Logic::Zero).unwrap();
         sim.set_by_name("wsi", Logic::One).unwrap();
         sim.settle().unwrap();

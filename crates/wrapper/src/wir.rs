@@ -139,7 +139,7 @@ mod tests {
     fn decode_is_one_hot_for_every_instruction() {
         let m = wir_module().unwrap();
         for &inst in WirInstruction::all() {
-            let mut sim = Simulator::new(&m).unwrap();
+            let mut sim: Simulator = Simulator::new(&m).unwrap();
             for p in ["wir_si", "wir_shift", "wir_update", "wck"] {
                 sim.set_by_name(p, Logic::Zero).unwrap();
             }
@@ -168,7 +168,7 @@ mod tests {
     #[test]
     fn hold_without_shift() {
         let m = wir_module().unwrap();
-        let mut sim = Simulator::new(&m).unwrap();
+        let mut sim: Simulator = Simulator::new(&m).unwrap();
         for p in ["wir_si", "wir_shift", "wir_update", "wck"] {
             sim.set_by_name(p, Logic::Zero).unwrap();
         }

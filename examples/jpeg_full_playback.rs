@@ -11,10 +11,11 @@
 //! ```
 //!
 //! Pattern generation (scalar reference simulation per pattern) shards
-//! on the backend's in-process pool; playback (64 patterns per pass)
-//! dispatches on the backend itself — threads or `steac-worker`
-//! processes. The binary prints the backend used and the sustained
-//! patterns/sec for each phase.
+//! on the backend's in-process pool; playback (`64 * DEFAULT_LANE_GROUPS`
+//! patterns per pass) dispatches on the backend itself — threads or
+//! `steac-worker` processes. The binary prints the compiled program's
+//! structural statistics (including what the optimizer pipeline did),
+//! the backend used, and the sustained patterns/sec for each phase.
 
 use std::time::Instant;
 use steac_dsc::{jpeg_functional_patterns, TABLE1};
@@ -41,7 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let refs: Vec<&CyclePattern> = patterns.iter().collect();
-    let sim = Simulator::new(&module)?;
+    let sim: Simulator = Simulator::new(&module)?;
+    println!("{}", sim.program().stats());
     let t = Instant::now();
     let playback = apply_cycle_patterns_batch(&exec, &sim, &refs)?;
     let play_secs = t.elapsed().as_secs_f64();
@@ -53,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "played {} patterns in {play_secs:.2}s ({:.0} patterns/s, {} passes, {compares} compares)",
         reports.len(),
         reports.len() as f64 / play_secs.max(1e-9),
-        count.div_ceil(steac_sim::LANES),
+        count.div_ceil(steac_sim::LANES * steac_sim::DEFAULT_LANE_GROUPS),
     );
     if playback.process_fallbacks > 0 {
         println!(

@@ -64,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Play it on the flattened netlist.
     let flat = design.flatten(&wrapped.module_name)?;
-    let mut sim = Simulator::new(&flat)?;
+    let mut sim: Simulator = Simulator::new(&flat)?;
     let report = apply_cycle_pattern(&mut sim, &pattern)?;
     println!("simulation: {report}");
     assert!(report.passed(), "translated patterns must pass on silicon");

@@ -173,6 +173,37 @@ fn all_workloads_report_byte_identical_on_every_backend() {
     }
 }
 
+/// Playback from an explicitly optimized dispatcher program matches the
+/// unoptimized serial baseline byte for byte on every backend — the
+/// optimized instruction stream (and its v2 wire image, on the process
+/// and remote legs) may only change speed, never a verdict.
+/// `compile_with`/`compile_unoptimized` pin the choice on both sides,
+/// so the assertion holds at any `STEAC_OPT` setting.
+#[test]
+fn optimized_program_reports_byte_identical_on_every_backend() {
+    use std::sync::Arc;
+    use steac_sim::{OptConfig, SimProgram};
+
+    let (flop_m, patterns) = playback_case();
+    let refs: Vec<&CyclePattern> = patterns.iter().collect();
+    let raw: Simulator =
+        Simulator::from_program(Arc::new(SimProgram::compile_unoptimized(&flop_m).unwrap()));
+    let opt: Simulator = Simulator::from_program(Arc::new(
+        SimProgram::compile_with(&flop_m, &OptConfig::default()).unwrap(),
+    ));
+    assert!(opt.program().opt.enabled, "optimizer must have run");
+
+    let servers = spawn_serve_workers(1);
+    let matrix = backend_matrix(&servers);
+    let base = apply_cycle_patterns_batch(&matrix[0].1, &raw, &refs).unwrap();
+    assert!(!base.passed(), "need mismatches to compare");
+    for (name, exec) in &matrix {
+        let played = apply_cycle_patterns_batch(exec, &opt, &refs).unwrap();
+        assert_eq!(played, base, "optimized playback diverged on {name}");
+        assert_eq!(exec.process_fallbacks(), 0, "{name} must not fall back");
+    }
+}
+
 /// The serial-reference oracles agree with the serial backend, closing
 /// the loop: matrix == serial backend == one-simulation-per-fault
 /// reference.

@@ -68,7 +68,7 @@ fn process_playback_carries_forces_across_the_wire() {
     let q = b.gate(GateKind::Dff, &[d, ck]);
     b.output("q", q);
     let m = b.finish().unwrap();
-    let mut sim = Simulator::new(&m).unwrap();
+    let mut sim: Simulator = Simulator::new(&m).unwrap();
     // Stuck-at-0 on the output: every ExpectH pattern must now fail.
     sim.force(m.port("q").unwrap().net, Logic::Zero);
     let patterns: Vec<CyclePattern> = (0..70)
@@ -249,7 +249,7 @@ fn corrupt_job_bytes_are_typed_unit_errors() {
 fn corrupt_unit_bytes_fail_only_that_unit() {
     let cfg = SramConfig::single_port(16, 2);
     let alg = MarchAlgorithm::march_c_minus();
-    let job = steac_membist::wire::encode_march_job(&alg, &cfg);
+    let job = steac_membist::wire::encode_march_job(&alg, &cfg, 1);
     let good =
         steac_membist::wire::encode_fault_unit(&[steac_membist::MemFault::stuck_at(3, 0, true)]);
     let corrupt = vec![0xFF; 3];

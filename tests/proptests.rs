@@ -6,7 +6,7 @@ use steac_membist::faultsim::{fault_coverage, random_fault_list};
 use steac_membist::{MarchAlgorithm, SramConfig};
 use steac_netlist::{stitch_scan, GateKind, NetId, NetlistBuilder, StitchConfig};
 use steac_sched::{allocate_session, schedule_sessions, ChipConfig, TestTask};
-use steac_sim::{fault, remote, Exec, Logic, PackedLogic, Simulator, Threads, LANES};
+use steac_sim::{fault, remote, Exec, Logic, PackedLogic, SimProgram, Simulator, Threads, LANES};
 use steac_stil::{parse_stil, to_stil_string};
 use steac_wrapper::{balance_fixed, balance_soft};
 
@@ -295,9 +295,9 @@ proptest! {
         let a_s: Vec<Logic> = avals.iter().map(|&x| lv(x)).collect();
         let b_s: Vec<Logic> = bvals.iter().map(|&x| lv(x)).collect();
         let s_s: Vec<Logic> = svals.iter().map(|&x| lv(x)).collect();
-        let a = PackedLogic::from_lanes(&a_s);
-        let b = PackedLogic::from_lanes(&b_s);
-        let s = PackedLogic::from_lanes(&s_s);
+        let a = PackedLogic::<1>::from_lanes(&a_s);
+        let b = PackedLogic::<1>::from_lanes(&b_s);
+        let s = PackedLogic::<1>::from_lanes(&s_s);
         for lane in 0..LANES {
             let (x, y, z) = (a_s[lane], b_s[lane], s_s[lane]);
             prop_assert_eq!(a.and(b).lane(lane), x.and(y));
@@ -332,7 +332,7 @@ proptest! {
             .map(|l| (0..4).map(|i| lv(stim[l * 4 + i])).collect())
             .collect();
 
-        let mut batch = Simulator::new(&m).unwrap();
+        let mut batch: Simulator = Simulator::new(&m).unwrap();
         batch.set_by_name("ck", Logic::Zero).unwrap();
         for (i, &pin) in pins.iter().enumerate() {
             let lanes: Vec<Logic> = vectors.iter().map(|v| v[i]).collect();
@@ -341,7 +341,7 @@ proptest! {
         batch.settle_batch().unwrap();
         batch.clock_cycle_by_name("ck").unwrap();
         for (lane, vector) in vectors.iter().enumerate() {
-            let mut scalar = Simulator::new(&m).unwrap();
+            let mut scalar: Simulator = Simulator::new(&m).unwrap();
             scalar.set_by_name("ck", Logic::Zero).unwrap();
             for (&pin, &v) in pins.iter().zip(vector) {
                 scalar.set(pin, v);
@@ -391,6 +391,166 @@ proptest! {
     }
 }
 
+// ---------- optimizer equivalence ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The optimizer pipeline (fold + CSE + DCE + slot renumbering) is
+    /// semantics-preserving on arbitrary netlists: an optimized program
+    /// with a declared forceable net produces bit-identical outputs to
+    /// the unoptimized compile on all 64 lanes — including under active
+    /// per-lane forces on that net (the PPSFP fault-injection mechanism)
+    /// and through clock cycles.
+    #[test]
+    fn optimized_program_bit_exact_with_forces(
+        seeds in prop::collection::vec((0u8..7, 0u8..32, 0u8..32, 0u8..32), 3..16),
+        stim in prop::collection::vec(0u8..4, 4 * LANES..4 * LANES + 1),
+        force_pick in 0usize..7,
+        force_mask in 1u64..u64::MAX,
+        force_val in 0u8..2,
+    ) {
+        use std::sync::Arc;
+        let m = random_module(&seeds);
+        let ports: Vec<&str> = vec!["in0", "in1", "in2", "in3", "out0", "out1", "out2"];
+        let force_net = m.port(ports[force_pick % ports.len()]).unwrap().net;
+        let cfg = steac_sim::OptConfig::with_forceable(vec![force_net]);
+        let opt = SimProgram::compile_with(&m, &cfg).unwrap();
+        let raw = SimProgram::compile_unoptimized(&m).unwrap();
+        prop_assert!(opt.opt.enabled && opt.opt.scheduled);
+
+        let pins: Vec<NetId> = (0..4)
+            .map(|i| m.port(&format!("in{i}")).unwrap().net)
+            .collect();
+        let run = |program: Arc<SimProgram>| -> Result<Vec<Vec<Logic>>, steac_sim::SimError> {
+            let mut sim: Simulator = Simulator::from_program(program);
+            sim.set_by_name("ck", Logic::Zero)?;
+            for (i, &pin) in pins.iter().enumerate() {
+                let lanes: Vec<Logic> =
+                    (0..LANES).map(|l| lv(stim[l * 4 + i])).collect();
+                sim.set_lanes(pin, &lanes);
+            }
+            for lane in 0..LANES {
+                if force_mask >> lane & 1 == 1 {
+                    sim.force_lane(force_net, lane, lv(force_val));
+                }
+            }
+            sim.settle_batch()?;
+            let settled: Vec<Vec<Logic>> =
+                (0..LANES).map(|l| sim.outputs_lane(l)).collect();
+            sim.clock_cycle_by_name("ck")?;
+            let clocked: Vec<Vec<Logic>> =
+                (0..LANES).map(|l| sim.outputs_lane(l)).collect();
+            Ok(settled.into_iter().chain(clocked).collect())
+        };
+        prop_assert_eq!(run(Arc::new(opt)).unwrap(), run(Arc::new(raw)).unwrap());
+    }
+}
+
+// ---------- lane-width invariance ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// PPSFP grading reports are byte-identical at every supported
+    /// lane-group width — 64, 128, 256 and 512 lanes per pass — on
+    /// random modules and full fault lists (width only changes how the
+    /// fault list is cut into passes).
+    #[test]
+    fn grading_is_lane_width_invariant(
+        seeds in prop::collection::vec((0u8..7, 0u8..32, 0u8..32, 0u8..32), 3..14),
+        stim in prop::collection::vec(0u8..2, 12..13),
+    ) {
+        let m = random_module(&seeds);
+        let pins: Vec<NetId> = (0..4)
+            .map(|i| m.port(&format!("in{i}")).unwrap().net)
+            .collect();
+        let vectors: Vec<Vec<Logic>> = (0..3)
+            .map(|k| (0..4).map(|i| lv(stim[k * 4 + i] % 2)).collect())
+            .collect();
+        let faults = fault::enumerate_faults(&m);
+        let exec = Exec::serial();
+        let baseline =
+            fault::grade_vectors_wide(&exec, &m, &faults, &pins, &vectors, 1).unwrap();
+        for groups in [2usize, 4, 8] {
+            let wide =
+                fault::grade_vectors_wide(&exec, &m, &faults, &pins, &vectors, groups)
+                    .unwrap();
+            prop_assert_eq!(&wide, &baseline, "{} lane groups", groups);
+        }
+        let unsupported = matches!(
+            fault::grade_vectors_wide(&exec, &m, &faults, &pins, &vectors, 3),
+            Err(steac_sim::SimError::UnsupportedWidth { groups: 3 })
+        );
+        prop_assert!(unsupported, "3 lane groups must be a typed error");
+    }
+
+    /// Batched playback reports are byte-identical at every supported
+    /// lane-group width, including failing expectations.
+    #[test]
+    fn playback_is_lane_width_invariant(
+        seeds in prop::collection::vec((0u8..7, 0u8..32, 0u8..32, 0u8..32), 3..10),
+        data in prop::collection::vec(0u8..4, 150 * 4..150 * 4 + 1),
+    ) {
+        let m = random_module(&seeds);
+        let pins: Vec<String> = (0..4)
+            .map(|i| format!("in{i}"))
+            .chain(std::iter::once("ck".to_string()))
+            .chain(std::iter::once("out0".to_string()))
+            .collect();
+        let patterns: Vec<steac_pattern::CyclePattern> = (0..150)
+            .map(|k| {
+                let mut p = steac_pattern::CyclePattern::new(pins.clone());
+                let mut row: Vec<steac_pattern::PinState> = (0..4)
+                    .map(|i| steac_pattern::PinState::from_drive(lv(data[k * 4 + i] % 2)))
+                    .collect();
+                row.push(steac_pattern::PinState::Pulse);
+                row.push(if data[k * 4] % 2 == 0 {
+                    steac_pattern::PinState::ExpectL
+                } else {
+                    steac_pattern::PinState::ExpectH
+                });
+                p.push_cycle(row).unwrap();
+                p
+            })
+            .collect();
+        let refs: Vec<&steac_pattern::CyclePattern> = patterns.iter().collect();
+        let sim: Simulator = Simulator::new(&m).unwrap();
+        let exec = Exec::serial();
+        let baseline =
+            steac_pattern::apply_cycle_patterns_batch_wide(&exec, &sim, &refs, 1).unwrap();
+        for groups in [2usize, 4, 8] {
+            let wide =
+                steac_pattern::apply_cycle_patterns_batch_wide(&exec, &sim, &refs, groups)
+                    .unwrap();
+            prop_assert_eq!(&wide, &baseline, "{} lane groups", groups);
+        }
+    }
+
+    /// March memory-fault grading is byte-identical at every supported
+    /// lane-group width.
+    #[test]
+    fn march_grading_is_lane_width_invariant(
+        seed in 0u64..1000,
+        per_class in 8usize..20,
+    ) {
+        use rand::SeedableRng;
+        let cfg = SramConfig::single_port(32, 4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let faults = random_fault_list(&cfg, per_class, &mut rng);
+        let alg = MarchAlgorithm::mats_plus();
+        let exec = Exec::serial();
+        let baseline =
+            steac_membist::fault_coverage_wide(&exec, &alg, &cfg, &faults, 1).unwrap();
+        for groups in [2usize, 4, 8] {
+            let wide =
+                steac_membist::fault_coverage_wide(&exec, &alg, &cfg, &faults, groups)
+                    .unwrap();
+            prop_assert_eq!(&wide, &baseline, "{} lane groups", groups);
+        }
+    }
+}
+
 // ---------- wire round trip ----------
 
 proptest! {
@@ -405,6 +565,7 @@ proptest! {
     #[test]
     fn sim_program_wire_round_trip(
         seeds in prop::collection::vec((0u8..7, 0u8..32, 0u8..32, 0u8..32), 1..24),
+        old_version in 0u16..steac_sim::wire::WIRE_VERSION,
     ) {
         let m = random_module(&seeds);
         let p = steac_sim::SimProgram::compile(&m).unwrap();
@@ -415,6 +576,16 @@ proptest! {
         for cut in 0..bytes.len() {
             prop_assert!(steac_sim::wire::decode_program(&bytes[..cut]).is_err(), "prefix {}", cut);
         }
+        // Every older format version is rejected with the typed error —
+        // v2 streams carry slot tables and optimizer records a v1 reader
+        // would misparse, so there is no silent downgrade path.
+        let mut stale = bytes.clone();
+        stale[4..6].copy_from_slice(&old_version.to_le_bytes());
+        let rejected = matches!(
+            steac_sim::wire::decode_program(&stale),
+            Err(steac_sim::WireError::UnsupportedVersion { found, .. }) if found == old_version
+        );
+        prop_assert!(rejected, "version {} must be rejected", old_version);
     }
 }
 
@@ -484,7 +655,7 @@ proptest! {
             })
             .collect();
         let refs: Vec<&steac_pattern::CyclePattern> = patterns.iter().collect();
-        let sim = Simulator::new(&m).unwrap();
+        let sim: Simulator = Simulator::new(&m).unwrap();
         let baseline =
             steac_pattern::apply_cycle_patterns_batch(&Exec::serial(), &sim, &refs)
                 .unwrap();

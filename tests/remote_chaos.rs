@@ -184,7 +184,7 @@ fn mixed_module() -> steac_netlist::Module {
 fn assert_playback_identical(exec: &Exec, patterns: usize) {
     let (m, patterns) = playback_case(patterns);
     let refs: Vec<&CyclePattern> = patterns.iter().collect();
-    let sim = Simulator::new(&m).unwrap();
+    let sim: Simulator = Simulator::new(&m).unwrap();
     let baseline = apply_cycle_patterns_batch(&Exec::serial(), &sim, &refs).unwrap();
     assert!(!baseline.passed(), "the case must carry mismatches");
     let chaotic = apply_cycle_patterns_batch(exec, &sim, &refs).unwrap();
@@ -255,7 +255,7 @@ fn exhausted_retries_fail_on_the_lowest_indexed_unit() {
     let exec = Exec::remote(fleet).with_fallback(Fallback::Fail);
     let (m, patterns) = playback_case(100);
     let refs: Vec<&CyclePattern> = patterns.iter().collect();
-    let sim = Simulator::new(&m).unwrap();
+    let sim: Simulator = Simulator::new(&m).unwrap();
     match apply_cycle_patterns_batch(&exec, &sim, &refs).unwrap_err() {
         steac_pattern::PatternError::Sim(SimError::Worker { unit, diagnostic }) => {
             assert_eq!(unit, 0, "lowest-indexed unit wins: {diagnostic}");
@@ -276,7 +276,7 @@ fn exhausted_retries_fall_back_in_thread_when_allowed() {
     let exec = Exec::remote(fleet);
     let (m, patterns) = playback_case(100);
     let refs: Vec<&CyclePattern> = patterns.iter().collect();
-    let sim = Simulator::new(&m).unwrap();
+    let sim: Simulator = Simulator::new(&m).unwrap();
     let baseline = apply_cycle_patterns_batch(&Exec::serial(), &sim, &refs).unwrap();
     let fallback = apply_cycle_patterns_batch(&exec, &sim, &refs).unwrap();
     assert_eq!(fallback.reports, baseline.reports);

@@ -36,7 +36,7 @@ fn combinational_core_intest_equivalence() {
     }
     let pattern = wrapper_vectors_to_cycles(&vectors, &WrapperPorts::conventional(1));
     let flat = design.flatten(&wrapped.module_name).unwrap();
-    let mut sim = Simulator::new(&flat).unwrap();
+    let mut sim: Simulator = Simulator::new(&flat).unwrap();
     let report = apply_cycle_pattern(&mut sim, &pattern).unwrap();
     assert!(report.passed(), "{report}");
     assert_eq!(report.compares, 4);
@@ -60,7 +60,7 @@ fn corrupted_expectation_fails() {
     let w = scan_to_wrapper(&v, &plan).unwrap();
     let pattern = wrapper_vectors_to_cycles(&[w], &WrapperPorts::conventional(1));
     let flat = design.flatten(&wrapped.module_name).unwrap();
-    let mut sim = Simulator::new(&flat).unwrap();
+    let mut sim: Simulator = Simulator::new(&flat).unwrap();
     let report = apply_cycle_pattern(&mut sim, &pattern).unwrap();
     assert!(!report.passed(), "a wrong expectation must be caught");
 }
@@ -109,7 +109,7 @@ fn sequential_core_with_internal_chain_equivalence() {
     let w = scan_to_wrapper(&v, &plan).unwrap();
     let pattern = wrapper_vectors_to_cycles(&[w], &WrapperPorts::conventional(1));
     let flat = design.flatten(&wrapped.module_name).unwrap();
-    let mut sim = Simulator::new(&flat).unwrap();
+    let mut sim: Simulator = Simulator::new(&flat).unwrap();
     let report = apply_cycle_pattern(&mut sim, &pattern).unwrap();
     assert!(report.passed(), "{report}");
     // 1 PO + 3 internal unload bits compared (input cell masked).
@@ -132,7 +132,7 @@ fn masked_expectations_never_fire() {
     let w = scan_to_wrapper(&v, &plan).unwrap();
     let pattern = wrapper_vectors_to_cycles(&[w], &WrapperPorts::conventional(1));
     let flat = design.flatten(&wrapped.module_name).unwrap();
-    let mut sim = Simulator::new(&flat).unwrap();
+    let mut sim: Simulator = Simulator::new(&flat).unwrap();
     let report = apply_cycle_pattern(&mut sim, &pattern).unwrap();
     assert!(report.passed());
     assert_eq!(report.compares, 0, "everything was masked");
