@@ -1,0 +1,238 @@
+//! Benchmark regression gate: compares a fresh `scaling --json` dump
+//! against a committed baseline and fails loudly on throughput loss.
+//!
+//! ```sh
+//! cargo run --release -p steac-bench --bin bench_gate -- BENCH_6.json BENCH_7.json
+//! cargo run ... -- BENCH_6.json BENCH_7.json --threshold 0.25
+//! ```
+//!
+//! Both files hold the row schema `scaling --json` writes: one JSON
+//! object per line with `workload`, `backend` and a `patterns_per_s` /
+//! `faults_per_s` rate (extra keys are ignored, so schema growth never
+//! breaks old baselines). Rows collapse to their **max rate per
+//! `(workload, backend)` pair** — the per-core sweeps record several
+//! lane/optimizer cells per pair, and the gate guards the best
+//! configuration, not an arbitrary cell. The rules:
+//!
+//! * a pair present in both files must not lose more than the
+//!   threshold (default 25%) of its baseline rate,
+//! * a pair only in the current file is new coverage — reported,
+//!   never failing,
+//! * a pair only in the baseline is a **failure**: a benchmark that
+//!   silently stops running is a regression in disguise.
+//!
+//! Exit code 0 when every pair holds, 1 on any regression or missing
+//! pair, 2 on usage/parse errors.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Max rate per `(workload, backend)`, keyed for deterministic output.
+type RateMap = BTreeMap<(String, String), f64>;
+
+/// Pulls `"key": "value"` out of one JSON object line.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    line[start..]
+        .find('"')
+        .map(|end| line[start..start + end].to_string())
+}
+
+/// Pulls `"key": <number>` out of one JSON object line.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses a `scaling --json` dump into max-rate-per-pair form.
+///
+/// # Errors
+///
+/// A diagnostic naming the offending line when a row carries no
+/// workload, backend or rate — a malformed dump must not pass as "no
+/// regressions".
+fn parse_rates(name: &str, text: &str) -> Result<RateMap, String> {
+    let mut rates = RateMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') {
+            continue;
+        }
+        let workload = str_field(line, "workload")
+            .ok_or_else(|| format!("{name}: row without a workload: {line}"))?;
+        let backend = str_field(line, "backend")
+            .ok_or_else(|| format!("{name}: row without a backend: {line}"))?;
+        let rate = num_field(line, "patterns_per_s")
+            .or_else(|| num_field(line, "faults_per_s"))
+            .ok_or_else(|| format!("{name}: row without a rate: {line}"))?;
+        let slot = rates.entry((workload, backend)).or_insert(f64::MIN);
+        *slot = slot.max(rate);
+    }
+    if rates.is_empty() {
+        return Err(format!("{name}: no benchmark rows found"));
+    }
+    Ok(rates)
+}
+
+/// Applies the gate rules; returns the failure lines (empty = pass)
+/// and prints the per-pair verdicts.
+fn gate(baseline: &RateMap, current: &RateMap, threshold: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for ((workload, backend), &base) in baseline {
+        let key = (workload.clone(), backend.clone());
+        match current.get(&key) {
+            None => {
+                println!("MISSING  {workload} / {backend}: baseline {base:.1}, no current row");
+                failures.push(format!("{workload} / {backend} disappeared from the run"));
+            }
+            Some(&now) => {
+                let floor = base * (1.0 - threshold);
+                let delta = (now - base) / base * 100.0;
+                if now < floor {
+                    println!(
+                        "FAIL     {workload} / {backend}: {base:.1} -> {now:.1} ({delta:+.1}%, \
+                         floor {floor:.1})"
+                    );
+                    failures.push(format!(
+                        "{workload} / {backend} lost {:.1}% (allowed {:.0}%)",
+                        -delta,
+                        threshold * 100.0
+                    ));
+                } else {
+                    println!(
+                        "ok       {workload} / {backend}: {base:.1} -> {now:.1} ({delta:+.1}%)"
+                    );
+                }
+            }
+        }
+    }
+    for ((workload, backend), &now) in current {
+        if !baseline.contains_key(&(workload.clone(), backend.clone())) {
+            println!("new      {workload} / {backend}: {now:.1} (no baseline; informational)");
+        }
+    }
+    failures
+}
+
+fn run() -> Result<Vec<String>, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threshold = 0.25;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--threshold" {
+            threshold = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .filter(|t| (0.0..1.0).contains(t))
+                .ok_or("--threshold needs a value in [0, 1)")?;
+        } else {
+            files.push(arg.clone());
+        }
+    }
+    let [baseline_path, current_path] = files.as_slice() else {
+        return Err("usage: bench_gate <baseline.json> <current.json> [--threshold 0.25]".into());
+    };
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"));
+    let baseline = parse_rates(baseline_path, &read(baseline_path)?)?;
+    let current = parse_rates(current_path, &read(current_path)?)?;
+    println!(
+        "gating {current_path} against {baseline_path} (max {:.0}% loss per workload/backend)",
+        threshold * 100.0
+    );
+    Ok(gate(&baseline, &current, threshold))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(failures) if failures.is_empty() => {
+            println!("benchmark gate: PASS");
+            ExitCode::SUCCESS
+        }
+        Ok(failures) => {
+            eprintln!("benchmark gate: FAIL");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"[
+  {"workload": "play", "backend": "serial", "lanes": 64, "opt": true, "patterns_per_s": 100.0, "compares": 1, "mismatches": 0},
+  {"workload": "play", "backend": "serial", "lanes": 256, "opt": true, "patterns_per_s": 80.0, "compares": 1, "mismatches": 0},
+  {"workload": "grade", "backend": "serial", "lanes": 256, "opt": true, "faults_per_s": 500.0, "compares": 1, "mismatches": 0}
+]"#;
+
+    #[test]
+    fn pairs_collapse_to_their_max_rate() {
+        let rates = parse_rates("base", BASE).unwrap();
+        assert_eq!(
+            rates[&("play".to_string(), "serial".to_string())],
+            100.0,
+            "the 64-lane cell is the pair's best"
+        );
+        assert_eq!(rates[&("grade".to_string(), "serial".to_string())], 500.0);
+    }
+
+    #[test]
+    fn losses_within_threshold_pass_and_beyond_fail() {
+        let base = parse_rates("base", BASE).unwrap();
+        let ok = r#"{"workload": "play", "backend": "serial", "patterns_per_s": 76.0}
+{"workload": "grade", "backend": "serial", "faults_per_s": 1000.0}"#;
+        let current = parse_rates("cur", ok).unwrap();
+        assert!(gate(&base, &current, 0.25).is_empty());
+        let bad = r#"{"workload": "play", "backend": "serial", "patterns_per_s": 74.0}
+{"workload": "grade", "backend": "serial", "faults_per_s": 500.0}"#;
+        let current = parse_rates("cur", bad).unwrap();
+        let failures = gate(&base, &current, 0.25);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("play"), "{failures:?}");
+    }
+
+    #[test]
+    fn new_rows_are_ignored_and_missing_rows_fail() {
+        let base = parse_rates("base", BASE).unwrap();
+        let current = parse_rates(
+            "cur",
+            r#"{"workload": "play", "backend": "serial", "patterns_per_s": 100.0}
+{"workload": "play", "backend": "remote:tcp*2", "patterns_per_s": 5.0}"#,
+        )
+        .unwrap();
+        let failures = gate(&base, &current, 0.25);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("grade"), "{failures:?}");
+    }
+
+    #[test]
+    fn rows_with_extra_keys_still_parse() {
+        let line = r#"{"workload": "play", "backend": "remote:tcp*2", "lanes": 64, "opt": true, "patterns_per_s": 63090.2, "compares": 1, "mismatches": 0, "program_bytes": 59000, "unit_bytes": 1000000, "programs_shipped": 2, "need_program_replies": 0}"#;
+        let rates = parse_rates("cur", line).unwrap();
+        assert_eq!(
+            rates[&("play".to_string(), "remote:tcp*2".to_string())],
+            63090.2
+        );
+    }
+
+    #[test]
+    fn malformed_rows_are_errors_not_passes() {
+        assert!(parse_rates("x", r#"{"workload": "play"}"#).is_err());
+        assert!(parse_rates("x", "[]").is_err());
+    }
+}

@@ -18,22 +18,31 @@
 //!
 //! The closing table holds the backends fixed (single core, serial)
 //! and sweeps the *per-core* axes instead: the optimizer pipeline
-//! (on/off) × the lane-group width (64 vs 256 lanes per pass), again
-//! asserting byte-identical reports in every cell. Pass `--json` to
-//! also write every full-set row to `BENCH_6.json`.
+//! (on/off) × the lane-group width — playback defaults to the narrow
+//! 64-lane width ([`steac_pattern::PLAYBACK_LANE_GROUPS`]) while
+//! grading keeps the wide 256-lane default, a per-workload choice this
+//! binary asserts — again requiring byte-identical reports in every
+//! cell. A sustained-load table closes the remote story: fixed-rate
+//! pattern injection (the SAIBERSOC-style drill — validate the
+//! pipeline under the load you claim it takes, not just at
+//! saturation) against the TCP fleet, with the fleet's bytes-shipped
+//! counters proving the program crossed the wire once per host.
+//! Pass `--json` to also write every full-set row to `BENCH_7.json`.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use steac_bench::{header, splitmix_vectors};
 use steac_dsc::{jpeg_core, jpeg_functional_patterns};
-use steac_pattern::{apply_cycle_patterns_batch, apply_cycle_patterns_batch_wide, CyclePattern};
-use steac_sim::remote::{spawn_serve_process, ServeHandle};
+use steac_pattern::{
+    apply_cycle_patterns_batch, apply_cycle_patterns_batch_wide, CyclePattern, PLAYBACK_LANE_GROUPS,
+};
+use steac_sim::remote::{spawn_serve_process, FleetStatsSnapshot, ServeHandle};
 use steac_sim::{
-    enumerate_faults, fault, shard, Exec, Fallback, OptConfig, RemoteFleet, SimProgram, Simulator,
-    Threads, DEFAULT_LANE_GROUPS, LANES,
+    enumerate_faults, fault, shard, Backend, Exec, Fallback, OptConfig, RemoteFleet, SimProgram,
+    Simulator, Threads, DEFAULT_LANE_GROUPS, LANES,
 };
 
-/// One machine-readable result row for `BENCH_6.json`.
+/// One machine-readable result row for `BENCH_7.json`.
 struct BenchRow {
     workload: &'static str,
     backend: String,
@@ -44,6 +53,9 @@ struct BenchRow {
     unit: &'static str,
     compares: u64,
     mismatches: usize,
+    /// Fleet traffic counters for remote rows (program bytes vs unit
+    /// bytes shipped); `None` on in-process backends.
+    ship: Option<FleetStatsSnapshot>,
 }
 
 fn write_json(path: &str, rows: &[BenchRow]) {
@@ -55,15 +67,31 @@ fn write_json(path: &str, rows: &[BenchRow]) {
         } else {
             "patterns_per_s"
         };
+        let ship = r.ship.as_ref().map_or(String::new(), |s| {
+            format!(
+                ", \"program_bytes\": {}, \"unit_bytes\": {}, \"programs_shipped\": {}, \
+                 \"need_program_replies\": {}",
+                s.program_bytes, s.unit_bytes, s.programs_shipped, s.need_program_replies
+            )
+        });
         out.push_str(&format!(
             "  {{\"workload\": \"{}\", \"backend\": \"{}\", \"lanes\": {}, \"opt\": {}, \
-             \"{rate_key}\": {:.1}, \"compares\": {}, \"mismatches\": {}}}{sep}\n",
+             \"{rate_key}\": {:.1}, \"compares\": {}, \"mismatches\": {}{ship}}}{sep}\n",
             r.workload, r.backend, r.lanes, r.opt, r.rate, r.compares, r.mismatches
         ));
     }
     out.push_str("]\n");
     std::fs::write(path, out).expect("benchmark JSON writes");
     println!("wrote {path}");
+}
+
+/// The fleet inside a remote exec — panics on any other backend, which
+/// would be a bug in this binary's plumbing.
+fn fleet_of(exec: &Exec) -> &RemoteFleet {
+    match exec.backend() {
+        Backend::Remote(fleet) => fleet,
+        _ => panic!("expected a remote backend, got {exec}"),
+    }
 }
 
 fn time<T>(f: impl FnOnce() -> T) -> (f64, T) {
@@ -116,6 +144,12 @@ fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let mut rows: Vec<BenchRow> = Vec::new();
     let default_lanes = LANES * DEFAULT_LANE_GROUPS;
+    let play_lanes = LANES * PLAYBACK_LANE_GROUPS;
+    // The per-workload width choice is part of the measured contract:
+    // settle-bound playback defaults narrow, compare-dense grading
+    // stays wide (BENCH_6 per-core sweep is the evidence).
+    assert_eq!(play_lanes, 64, "playback must default to the narrow width");
+    assert_eq!(default_lanes, 256, "grading must keep the wide default");
     let (module, _) = jpeg_core().expect("jpeg core builds");
     let faults = enumerate_faults(&module);
     let pins: Vec<steac_netlist::NetId> = module
@@ -186,8 +220,8 @@ fn main() {
     );
     println!(
         "{count} two-cycle functional patterns, {} lanes/pass, {} passes",
-        default_lanes,
-        count.div_ceil(default_lanes)
+        play_lanes,
+        count.div_ceil(play_lanes)
     );
     table_header();
     let mut play_base: Option<(f64, steac_pattern::BatchPlayback)> = None;
@@ -231,8 +265,8 @@ fn main() {
     }
     println!(
         "{full_count} two-cycle functional patterns (paper set: 235,696), {} lanes/pass, {} passes",
-        default_lanes,
-        full_count.div_ceil(default_lanes)
+        play_lanes,
+        full_count.div_ceil(play_lanes)
     );
     let (gen_secs, (_, full_patterns)) =
         time(|| jpeg_functional_patterns(&Exec::auto(), full_count).expect("patterns build"));
@@ -259,12 +293,13 @@ fn main() {
     rows.push(BenchRow {
         workload: "jpeg_full_playback",
         backend: "threads:1".to_string(),
-        lanes: default_lanes,
+        lanes: play_lanes,
         opt: sim_opt,
         rate: full_count as f64 / base_secs.max(1e-12),
         unit: "patterns/s",
         compares: full_compares,
         mismatches: full_mismatches,
+        ship: None,
     });
     for workers in [1usize, 2, 4] {
         let exec = Exec::parse(&format!("processes:{workers}"))
@@ -286,12 +321,13 @@ fn main() {
         rows.push(BenchRow {
             workload: "jpeg_full_playback",
             backend: exec.to_string(),
-            lanes: default_lanes,
+            lanes: play_lanes,
             opt: sim_opt,
             rate: full_count as f64 / secs.max(1e-12),
             unit: "patterns/s",
             compares: full_compares,
             mismatches: full_mismatches,
+            ship: None,
         });
     }
 
@@ -314,15 +350,21 @@ fn main() {
             full_count as f64,
             "patterns/s",
         );
+        let ship = fleet_of(&exec).stats();
+        println!(
+            "             ^ shipped {} program bytes ({} ships, one-shot workers) + {} unit bytes",
+            ship.program_bytes, ship.programs_shipped, ship.unit_bytes
+        );
         rows.push(BenchRow {
             workload: "jpeg_full_playback",
             backend: "remote:spawn*2".to_string(),
-            lanes: default_lanes,
+            lanes: play_lanes,
             opt: sim_opt,
             rate: full_count as f64 / secs.max(1e-12),
             unit: "patterns/s",
             compares: full_compares,
             mismatches: full_mismatches,
+            ship: Some(ship),
         });
     }
     if let Some(bin) = shard::default_worker_binary() {
@@ -354,15 +396,113 @@ fn main() {
                 full_count as f64,
                 "patterns/s",
             );
+            let fleet = fleet_of(&exec);
+            let ship = fleet.stats();
+            println!(
+                "             ^ shipped {} program bytes ({} ships for {} hosts) + {} unit bytes \
+                 over {} requests",
+                ship.program_bytes,
+                ship.programs_shipped,
+                fleet.hosts(),
+                ship.unit_bytes,
+                ship.requests
+            );
+            // The content-addressed cache contract, measured, not
+            // assumed: one program ship per host on a clean run.
+            assert_eq!(
+                ship.programs_shipped as usize,
+                fleet.hosts(),
+                "the program must ship exactly once per host: {ship:?}"
+            );
+            assert_eq!(
+                ship.need_program_replies, 0,
+                "a clean run never draws a cache miss: {ship:?}"
+            );
+            for (endpoint, status) in fleet.statuses() {
+                match status {
+                    Ok(status) => println!("worker {endpoint}: {status}"),
+                    Err(e) => println!("worker {endpoint}: status unavailable ({e})"),
+                }
+            }
             rows.push(BenchRow {
                 workload: "jpeg_full_playback",
                 backend: "remote:tcp*2".to_string(),
-                lanes: default_lanes,
+                lanes: play_lanes,
                 opt: sim_opt,
                 rate: full_count as f64 / secs.max(1e-12),
                 unit: "patterns/s",
                 compares: full_compares,
                 mismatches: full_mismatches,
+                ship: Some(ship),
+            });
+
+            // ---- sustained load: fixed-rate injection on the fleet ----
+            //
+            // The burst rows above measure saturation throughput; real
+            // ATE floors (and the SAIBERSOC argument) care whether the
+            // pipeline *sustains* a declared rate. Inject fixed-size
+            // batches on a fixed schedule at 75% of the measured burst
+            // rate and require every batch to clear before its slot
+            // ends — backlog means the claim was false.
+            println!(
+                "{}",
+                header("Sustained load: fixed-rate injection over the TCP fleet")
+            );
+            let burst_rate = full_count as f64 / secs.max(1e-12);
+            let batch = 4096.min(full_count.max(1));
+            let target_rate = burst_rate * 0.75;
+            let interval = Duration::from_secs_f64(batch as f64 / target_rate.max(1e-9));
+            let batches: Vec<&[&CyclePattern]> = full_refs.chunks(batch).collect();
+            println!(
+                "{} batches of {batch} patterns injected every {:.0} ms \
+                 (target {target_rate:.0} patterns/s, 75% of burst)",
+                batches.len(),
+                interval.as_secs_f64() * 1e3
+            );
+            let mut on_time = 0usize;
+            let t0 = Instant::now();
+            for (i, chunk) in batches.iter().enumerate() {
+                let slot = interval * i as u32;
+                if let Some(wait) = slot.checked_sub(t0.elapsed()) {
+                    std::thread::sleep(wait);
+                }
+                let reports = apply_cycle_patterns_batch(&exec, &sim, chunk).expect("plays");
+                assert_eq!(
+                    reports.reports,
+                    baseline.reports[i * batch..(i * batch + chunk.len())],
+                    "sustained-load batch {i} diverged from the serial baseline"
+                );
+                if t0.elapsed() <= slot + interval {
+                    on_time += 1;
+                }
+            }
+            let sustained_secs = t0.elapsed().as_secs_f64();
+            let sustained_rate = full_count as f64 / sustained_secs.max(1e-12);
+            println!(
+                "sustained {sustained_rate:.0} patterns/s over {sustained_secs:.2}s, \
+                 {on_time}/{} batches cleared within their slot",
+                batches.len()
+            );
+            assert_eq!(
+                on_time,
+                batches.len(),
+                "the fleet fell behind the declared injection rate"
+            );
+            let sustained_ship = fleet.stats();
+            assert_eq!(
+                sustained_ship.need_program_replies, 0,
+                "the cache must hold across sustained batches: {sustained_ship:?}"
+            );
+            rows.push(BenchRow {
+                workload: "jpeg_sustained_playback",
+                backend: "remote:tcp*2".to_string(),
+                lanes: play_lanes,
+                opt: sim_opt,
+                rate: sustained_rate,
+                unit: "patterns/s",
+                compares: full_compares,
+                mismatches: full_mismatches,
+                ship: Some(sustained_ship),
             });
         } else {
             println!("could not start two --serve workers; remote TCP row skipped");
@@ -451,6 +591,7 @@ fn main() {
                 unit: "faults/s",
                 compares: faults.len() as u64,
                 mismatches: 0,
+                ship: None,
             });
         }
     }
@@ -515,11 +656,12 @@ fn main() {
                 unit: "patterns/s",
                 compares: full_compares,
                 mismatches: full_mismatches,
+                ship: None,
             });
         }
     }
 
     if json {
-        write_json("BENCH_6.json", &rows);
+        write_json("BENCH_7.json", &rows);
     }
 }

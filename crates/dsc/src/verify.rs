@@ -33,7 +33,7 @@ pub struct PlaybackReport {
     /// Total mismatching compares (0 for a healthy netlist).
     pub mismatches: usize,
     /// Packed passes the player needed
-    /// (⌈patterns / (64 · [`steac_sim::DEFAULT_LANE_GROUPS`])⌉).
+    /// (⌈patterns / (64 · [`steac_pattern::PLAYBACK_LANE_GROUPS`])⌉).
     pub passes: usize,
     /// Times process dispatch fell back to the in-thread pool while
     /// producing this report (0 unless the `Exec` runs a process
@@ -127,7 +127,9 @@ fn jpeg_patterns_and_program(
 }
 
 /// Verifies `count` JPEG functional patterns with the batched cycle
-/// player (one pattern per lane, `64 * DEFAULT_LANE_GROUPS` per pass)
+/// player (one pattern per lane, `64 * PLAYBACK_LANE_GROUPS` per pass —
+/// playback's narrow default width; see
+/// [`steac_pattern::PLAYBACK_LANE_GROUPS`])
 /// and aggregates the result. The single entry
 /// point for every backend: `exec` decides whether playback passes run
 /// inline, across threads or across `steac-worker` processes, and the
@@ -164,7 +166,7 @@ fn aggregate_report(
         cycles: patterns.iter().map(CyclePattern::cycle_count).sum(),
         compares: reports.iter().map(|r| r.compares).sum(),
         mismatches: reports.iter().map(|r| r.mismatches.len()).sum(),
-        passes: count.div_ceil(LANES * steac_sim::DEFAULT_LANE_GROUPS),
+        passes: count.div_ceil(LANES * steac_pattern::PLAYBACK_LANE_GROUPS),
         process_fallbacks,
     }
 }

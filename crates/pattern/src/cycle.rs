@@ -1,8 +1,8 @@
 //! Cycle-based patterns and the ATE cycle player.
 //!
 //! The batch player treats every pattern chunk — one pattern per
-//! simulation lane, [`steac_sim::DEFAULT_LANE_GROUPS`]` * 64` patterns
-//! per chunk by default — as an independent work unit over the shared
+//! simulation lane, [`PLAYBACK_LANE_GROUPS`]` * 64` patterns per chunk
+//! by default — as an independent work unit over the shared
 //! compiled program and hands the chunks to [`Exec::dispatch`] as an
 //! [`steac_sim::ExecWork`]: the one [`apply_cycle_patterns_batch`]
 //! entry point plays them inline (`Exec::serial()`), across cores
@@ -21,9 +21,7 @@ use std::fmt;
 use std::sync::Arc;
 use steac_netlist::NetId;
 use steac_sim::shard::{self, PoolError};
-use steac_sim::{
-    wire, Exec, ExecWork, Logic, PackedLogic, SimError, SimProgram, Simulator, DEFAULT_LANE_GROUPS,
-};
+use steac_sim::{wire, Exec, ExecWork, Logic, PackedLogic, SimError, SimProgram, Simulator};
 
 /// Per-pin state in one tester cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -339,36 +337,54 @@ fn play_chunk<const N: usize>(
     pins: &[String],
     chunk: &[&CyclePattern],
 ) -> Result<Vec<MismatchReport>, PatternError> {
+    let cycles = chunk.first().map_or(0, |p| p.cycles.len());
+    play_cycles(sim, nets, pins, chunk.len(), cycles, |l, ci, pi| {
+        chunk[l].cycles[ci][pi]
+    })
+}
+
+/// The lane-parallel play core: `lanes` patterns of `cycles` cycles
+/// each, with the per-(lane, cycle, pin) state supplied by `state` —
+/// so the dispatcher plays straight out of borrowed [`CyclePattern`]s
+/// while the worker plays out of one flat decode buffer, and neither
+/// materializes the other's representation. Returns one report per
+/// lane in lane order.
+fn play_cycles<const N: usize>(
+    sim: &mut Simulator<N>,
+    nets: &[NetId],
+    pins: &[String],
+    lanes: usize,
+    cycles: usize,
+    state: impl Fn(usize, usize, usize) -> PinState,
+) -> Result<Vec<MismatchReport>, PatternError> {
     use steac_sim::packed::{mask_any, mask_bit, mask_none, mask_set_bit};
 
     let width = Simulator::<N>::WIDTH;
-    let mut reports: Vec<MismatchReport> = vec![MismatchReport::default(); chunk.len()];
-    let cycles = chunk.first().map_or(0, |p| p.cycles.len());
+    let mut reports: Vec<MismatchReport> = vec![MismatchReport::default(); lanes];
     for ci in 0..cycles {
         // Drive phase: build one packed word per pin; lanes that
         // don't drive this cycle keep their previous value.
         let mut pulses = Vec::new();
         for (pi, &net) in nets.iter().enumerate() {
-            let pulse_lanes = chunk
-                .iter()
-                .filter(|p| p.cycles[ci][pi] == PinState::Pulse)
+            let pulse_lanes = (0..lanes)
+                .filter(|&l| state(l, ci, pi) == PinState::Pulse)
                 .count();
-            if pulse_lanes != 0 && pulse_lanes != chunk.len() {
+            if pulse_lanes != 0 && pulse_lanes != lanes {
                 return Err(PatternError::Shape {
                     context: "batch pulse alignment",
-                    expected: chunk.len(),
+                    expected: lanes,
                     got: pulse_lanes,
                 });
             }
-            if pulse_lanes == chunk.len() {
+            if pulse_lanes == lanes {
                 sim.set(net, Logic::Zero);
                 pulses.push(net);
                 continue;
             }
             let mut driven = PackedLogic::<N>::ALL_X;
             let mut drive_mask = mask_none::<N>();
-            for (l, p) in chunk.iter().enumerate() {
-                if let Some(v) = p.cycles[ci][pi].drive() {
+            for l in 0..lanes {
+                if let Some(v) = state(l, ci, pi).drive() {
                     driven.set_lane(l, v);
                     mask_set_bit(&mut drive_mask, l);
                 }
@@ -376,9 +392,9 @@ fn play_chunk<const N: usize>(
             if mask_any(&drive_mask) {
                 // Lanes beyond the chunk follow lane 0 so spare lanes
                 // never oscillate differently from real ones.
-                if chunk.len() < width && mask_bit(&drive_mask, 0) {
+                if lanes < width && mask_bit(&drive_mask, 0) {
                     let v0 = driven.lane(0);
-                    for l in chunk.len()..width {
+                    for l in lanes..width {
                         driven.set_lane(l, v0);
                         mask_set_bit(&mut drive_mask, l);
                     }
@@ -395,9 +411,8 @@ fn play_chunk<const N: usize>(
         // Compare phase, per lane.
         for (pi, &net) in nets.iter().enumerate() {
             let packed = sim.get_packed(net);
-            for (l, p) in chunk.iter().enumerate() {
-                if let Some(expected) = p.cycles[ci][pi].expect() {
-                    let report = &mut reports[l];
+            for (l, report) in reports.iter_mut().enumerate() {
+                if let Some(expected) = state(l, ci, pi).expect() {
                     report.compares += 1;
                     let observed = packed.lane(l);
                     if !observed.is_known() || observed != expected {
@@ -415,8 +430,18 @@ fn play_chunk<const N: usize>(
     Ok(reports)
 }
 
+/// The default lane-group width for cycle playback: 1 group = 64
+/// lanes. Playback is settle-bound, not compare-bound, and benchmarks
+/// (BENCH_6 `serial_playback`) show the narrow width beats
+/// [`steac_sim::DEFAULT_LANE_GROUPS`] (256 lanes) by ~18% on the JPEG
+/// workload — wide words only pay off when most lanes carry work
+/// per instruction, which fault grading guarantees and playback does
+/// not. Grading keeps [`steac_sim::DEFAULT_LANE_GROUPS`]; use
+/// [`apply_cycle_patterns_batch_wide`] to pin a different width.
+pub const PLAYBACK_LANE_GROUPS: usize = 1;
+
 /// Plays cycle patterns one per simulation lane —
-/// [`steac_sim::DEFAULT_LANE_GROUPS`]` * 64` patterns per pass — and
+/// [`PLAYBACK_LANE_GROUPS`]` * 64` patterns per pass — and
 /// returns a [`BatchPlayback`] with one [`MismatchReport`] per pattern —
 /// the batched ATE playback path (a tester floor applying the same
 /// timing program to hundreds of dies at once). Larger batches become
@@ -451,7 +476,7 @@ pub fn apply_cycle_patterns_batch(
     sim: &Simulator,
     patterns: &[&CyclePattern],
 ) -> Result<BatchPlayback, PatternError> {
-    apply_cycle_patterns_batch_wide(exec, sim, patterns, DEFAULT_LANE_GROUPS)
+    apply_cycle_patterns_batch_wide(exec, sim, patterns, PLAYBACK_LANE_GROUPS)
 }
 
 /// [`apply_cycle_patterns_batch`] with an explicit lane-group width:
@@ -663,6 +688,8 @@ fn encode_playback_job(
 /// (the pin list lives in the job; rows are STIL-style state characters).
 fn encode_pattern_chunk(chunk: &[&CyclePattern]) -> Vec<u8> {
     let mut w = wire::WireWriter::new();
+    let states: usize = chunk.iter().map(|p| p.cycles.len() * p.pins.len()).sum();
+    w.reserve(8 * (1 + chunk.len()) + states);
     w.put_usize(chunk.len());
     for p in chunk {
         w.put_usize(p.cycles.len());
@@ -744,15 +771,24 @@ fn check_pulse_alignment(chunk: &[&CyclePattern]) -> Result<(), PatternError> {
 
 /// An opened playback job inside a worker process, monomorphized to
 /// the lane-group width the job header requested.
+///
+/// Units decode into one flat pattern-major scratch buffer reused
+/// across units — no [`CyclePattern`] (and no per-pattern pin-list
+/// clone, ~hundreds of `String`s on real designs) is ever materialized
+/// on the worker side; [`play_cycles`] reads states straight out of
+/// the buffer.
 struct PlaybackJob<const N: usize> {
     sim: Simulator<N>,
     pins: Vec<String>,
     nets: Vec<NetId>,
+    /// `[pattern][cycle][pin]`, reused across units.
+    scratch: Vec<PinState>,
 }
 
 impl<const N: usize> shard::WireJob for PlaybackJob<N> {
     fn run_unit(&mut self, unit: &[u8]) -> Result<Vec<u8>, String> {
         let width = Simulator::<N>::WIDTH;
+        let pin_count = self.pins.len();
         let fail = |e: wire::WireError| format!("pattern unit: {e}");
         let mut r = wire::WireReader::new(unit);
         let count = r.get_count("pattern count", 8).map_err(fail)?;
@@ -761,43 +797,41 @@ impl<const N: usize> shard::WireJob for PlaybackJob<N> {
                 "pattern unit has {count} patterns, a pass holds {width}"
             ));
         }
-        let mut patterns: Vec<CyclePattern> = Vec::with_capacity(count);
-        for _ in 0..count {
-            let cycles = r
-                .get_count("pattern cycles", self.pins.len())
-                .map_err(fail)?;
-            // play_chunk walks every pattern over the first one's
+        self.scratch.clear();
+        let mut chunk_cycles = 0;
+        for lane in 0..count {
+            let cycles = r.get_count("pattern cycles", pin_count).map_err(fail)?;
+            // play_cycles walks every pattern over the first one's
             // timeline, so a ragged chunk would index out of bounds.
-            if let Some(first) = patterns.first() {
-                if cycles != first.cycles.len() {
-                    return Err(format!(
-                        "pattern unit is ragged: {cycles} cycles vs {} in pattern 0",
-                        first.cycles.len()
-                    ));
-                }
+            if lane == 0 {
+                chunk_cycles = cycles;
+                self.scratch.reserve(count * cycles * pin_count);
+            } else if cycles != chunk_cycles {
+                return Err(format!(
+                    "pattern unit is ragged: {cycles} cycles vs {chunk_cycles} in pattern 0"
+                ));
             }
-            let mut rows = Vec::with_capacity(cycles);
-            for _ in 0..cycles {
-                let mut row = Vec::with_capacity(self.pins.len());
-                for _ in 0..self.pins.len() {
-                    let b = r.get_u8("pattern state").map_err(fail)?;
-                    let state = PinState::from_char(char::from(b))
-                        .ok_or_else(|| format!("invalid pattern state byte {b:#04x}"))?;
-                    row.push(state);
-                }
-                rows.push(row);
+            for _ in 0..cycles * pin_count {
+                let b = r.get_u8("pattern state").map_err(fail)?;
+                let state = PinState::from_char(char::from(b))
+                    .ok_or_else(|| format!("invalid pattern state byte {b:#04x}"))?;
+                self.scratch.push(state);
             }
-            patterns.push(CyclePattern {
-                pins: self.pins.clone(),
-                cycles: rows,
-            });
         }
         r.finish().map_err(fail)?;
-        let refs: Vec<&CyclePattern> = patterns.iter().collect();
         let mut wsim = self.sim.clone();
         wsim.reset_to_x();
-        let reports =
-            play_chunk(&mut wsim, &self.nets, &self.pins, &refs).map_err(|e| e.to_string())?;
+        let stride = chunk_cycles * pin_count;
+        let scratch = &self.scratch;
+        let reports = play_cycles(
+            &mut wsim,
+            &self.nets,
+            &self.pins,
+            count,
+            chunk_cycles,
+            |l, ci, pi| scratch[l * stride + ci * pin_count + pi],
+        )
+        .map_err(|e| e.to_string())?;
         Ok(encode_reports(&reports))
     }
 }
@@ -866,7 +900,12 @@ fn open_job_n<const N: usize>(
 ) -> Box<dyn shard::WireJob> {
     let mut sim = Simulator::<N>::from_program(program);
     sim.import_forces_replicated(forces);
-    Box::new(PlaybackJob::<N> { sim, pins, nets })
+    Box::new(PlaybackJob::<N> {
+        sim,
+        pins,
+        nets,
+        scratch: Vec::new(),
+    })
 }
 
 #[cfg(test)]

@@ -67,16 +67,26 @@
 //!    the worker protocol are transport-agnostic — one serialized
 //!    request in, one serialized response out — so
 //!    `Exec::remote(RemoteFleet)` ships the *same* bytes over a
-//!    pluggable [`remote::Transport`]: [`remote::TcpTransport`] to
-//!    `steac-worker --serve <addr>` listeners on other hosts (framed by
-//!    a length-prefixed, versioned envelope), or
-//!    [`remote::SpawnTransport`] over spawned local processes (zero
-//!    network — the in-repo test rig). [`remote::RemoteFleet`] adds
-//!    work-stealing across hosts (units handed out from one atomic
-//!    counter, idle hosts steal from the global tail) and a
-//!    retry/requeue policy for lost workers, while [`Exec::dispatch`]
-//!    still owns the merge-by-unit-index contract — so reports stay
-//!    byte-identical to Serial even under injected host loss, proven by
+//!    pluggable [`remote::Transport`]. [`remote::TcpTransport`] keeps
+//!    **one persistent, pipelined session** per `steac-worker --serve
+//!    <addr>` host: the address is resolved once per session, requests
+//!    are framed by a versioned envelope (v2) carrying a request id,
+//!    several ride in flight under a bounded window, and responses are
+//!    matched back by id. The worker keeps a content-addressed
+//!    **program cache** (FNV-1a 64 over the job bytes), so the fleet
+//!    ships the serialized program once per host and references it by
+//!    hash after that — a worker that restarted answers "need program"
+//!    and the bytes are re-shipped transparently. A status request
+//!    (`steac-worker --status`, [`remote::query_status`]) surfaces the
+//!    cache and traffic counters. [`remote::SpawnTransport`] runs the
+//!    same protocol over spawned local processes (zero network — the
+//!    in-repo test rig; one-shot workers, so the job always ships
+//!    inline). [`remote::RemoteFleet`] adds work-stealing across hosts
+//!    and streams (units handed out from one atomic counter, idle
+//!    streams steal from the global tail) and a retry/requeue policy
+//!    for lost workers, while [`Exec::dispatch`] still owns the
+//!    merge-by-unit-index contract — so reports stay byte-identical to
+//!    Serial even under injected host loss or cache loss, proven by
 //!    `tests/remote_chaos.rs`. No workload crate changed to gain this
 //!    backend; that was the point of the seam. `Exec::from_env` reaches
 //!    it via `STEAC_EXEC=remote:host:port,…` or `STEAC_HOSTS`.
@@ -138,10 +148,11 @@ pub use opt::{OptConfig, OptStats};
 pub use packed::{PackedLogic, DEFAULT_LANE_GROUPS, LANES};
 pub use program::{ProgramStats, SimProgram};
 pub use remote::{
-    RemoteFleet, ServeHandle, SpawnTransport, TcpTransport, Transport, TransportError,
+    query_status, FleetStatsSnapshot, RemoteFleet, ServeHandle, SpawnTransport, TcpTransport,
+    Transport, TransportError, DEFAULT_TCP_STREAMS, DEFAULT_TCP_WINDOW,
 };
 pub use scan::ScanPorts;
-pub use shard::{JobRegistry, ProcessPool, Threads};
+pub use shard::{JobRegistry, ProcessPool, Threads, WorkerState, WorkerStatus};
 pub use wire::WireError;
 
 use std::fmt;

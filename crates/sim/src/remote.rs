@@ -10,11 +10,15 @@
 //!   transport failure is a typed [`TransportError`] — never a panic —
 //!   and is *retryable* by construction: the fleet may replay the same
 //!   request on the same or another host.
-//! * [`TcpTransport`] ships each request to a `steac-worker --serve
-//!   <addr>` listening loop ([`serve_tcp`]) over one TCP connection,
-//!   framed by the length-prefixed, versioned **envelope** below.
+//! * [`TcpTransport`] keeps **one long-lived session** per host: the
+//!   target address is resolved once per session, the connection is
+//!   established lazily and reconnected lazily after a loss, and
+//!   multiple requests are **pipelined** in flight on the one socket
+//!   under a bounded window ([`TcpTransport::with_window`]) — a
+//!   dedicated reader thread routes responses back to callers by the
+//!   envelope's request id, so responses may return in any order.
 //! * [`SpawnTransport`] runs each request through a freshly spawned
-//!   local `steac-worker` process over stdin/stdout — today's
+//!   local `steac-worker` process over stdin/stdout — the
 //!   [`crate::shard::ProcessPool`] piping wrapped as a transport — so
 //!   the whole Remote dispatch arm is testable in-repo with zero
 //!   network.
@@ -24,36 +28,61 @@
 //!   [`crate::shard::ProcessPool`]: unit `i`'s result (or the
 //!   lowest-indexed unit's error) is identical no matter which host ran
 //!   it, how execution interleaved, or which responses had to be
-//!   retried.
+//!   retried. On transports that keep a persistent worker alive
+//!   ([`Transport::caches_programs`]) the fleet references the job by
+//!   its content hash after the first successful inline ship, so the
+//!   serialized program crosses the wire **once per host per run**
+//!   instead of once per request — a worker that lost its cache
+//!   (restart, eviction) answers "need program" and the fleet
+//!   transparently re-ships inline. [`RemoteFleet::stats`] counts
+//!   exactly what was shipped.
 //!
-//! # Envelope
+//! # Envelope (version 2)
 //!
 //! Stdin/stdout framing is the process lifetime (EOF ends the request,
-//! exit ends the response), but a persistent TCP connection needs
-//! explicit framing. Every payload on a stream transport travels inside
-//! the envelope:
+//! exit ends the response), but a persistent TCP session needs explicit
+//! framing — and pipelining needs each frame to say which request it
+//! answers. Every payload on a stream transport travels inside the
+//! envelope:
 //!
 //! ```text
-//! magic   b"STEV"   (4 bytes)
-//! version u16       (currently 1; reject-on-mismatch, no negotiation)
-//! length  u64       (payload byte count, little-endian)
-//! payload [u8; length]
+//! magic      b"STEV"   (4 bytes)
+//! version    u16       (currently 2; reject-on-mismatch, no negotiation)
+//! request id u64       (echoed verbatim in the response's envelope)
+//! length     u64       (payload byte count, little-endian)
+//! payload    [u8; length]
 //! ```
 //!
-//! [`decode_envelope`] is strict — truncated, corrupt or trailing bytes
-//! are typed [`WireError`]s, property-tested in `tests/proptests.rs`
-//! alongside the program codec sweeps. [`read_envelope`] is the
-//! streaming half used on live sockets; a damaged length there surfaces
-//! as a short or over-long read, which the worker-response parser
-//! rejects — either way a corrupt frame is a typed error on the
-//! dispatcher side, never a panic.
+//! Version 2 added the request id (version 1 frames are rejected with a
+//! typed [`WireError::UnsupportedVersion`], loudly — a mixed-version
+//! fleet upgrades in lock step). [`decode_envelope`] is strict —
+//! truncated, corrupt or trailing bytes are typed [`WireError`]s,
+//! property-tested in `tests/proptests.rs` alongside the program codec
+//! sweeps. [`read_envelope`] is the streaming half used on live
+//! sockets; a damaged length there surfaces as a short or over-long
+//! read, which the worker-response parser rejects — either way a
+//! corrupt frame is a typed error on the dispatcher side, never a
+//! panic.
+//!
+//! # Program cache and status
+//!
+//! The payloads themselves are worker-protocol frames
+//! ([`crate::shard`], version 3): run requests reference the job by
+//! FNV-1a content hash and ship its bytes only when the worker's LRU
+//! ([`crate::shard::WorkerState`]) might not hold them; a status
+//! request ([`query_status`], `steac-worker --status <addr>`) returns
+//! the worker's uptime and cache/traffic counters
+//! ([`crate::shard::WorkerStatus`]) for fleet observability.
+//! [`serve_tcp`] keeps one `WorkerState` per listener, shared by every
+//! connection, and serves each request on its own thread so pipelined
+//! requests complete out of order.
 //!
 //! # Failure model
 //!
 //! The fleet distinguishes two kinds of trouble:
 //!
-//! * **Transport-level loss** (connect refused, dead pipe, truncated or
-//!   corrupt envelope, a response missing some of its units): the
+//! * **Transport-level loss** (connect refused, dead session, truncated
+//!   or corrupt envelope, a response missing some of its units): the
 //!   affected units are re-enqueued and stolen by other hosts, up to
 //!   [`RemoteFleet::with_max_retries`] extra attempts per unit. A host
 //!   that fails `max_retries + 1` calls in a row is declared lost and
@@ -61,26 +90,31 @@
 //!   no live host remains — does the run fail, as
 //!   [`PoolError::Unit`] on the **lowest-indexed** unresolved unit.
 //! * **Workload-level unit errors** (the worker ran the unit and
-//!   reported a typed failure, e.g. corrupt unit bytes): deterministic,
-//!   so they are *not* retried; they fail the run exactly as they do on
-//!   the process backend.
+//!   reported a typed failure, e.g. corrupt unit bytes or a program
+//!   hash mismatch): deterministic, so they are *not* retried; they
+//!   fail the run exactly as they do on the process backend.
+//!
+//! A "need program" reply is neither: it is part of the normal cache
+//! protocol, answered by re-sending the same units with the job inline
+//! (counted in [`FleetStats`], invisible to callers).
 //!
 //! What a failed run *means* is then the [`crate::exec::Fallback`]
 //! policy's decision, made once in [`crate::exec::Exec::dispatch`]:
 //! recompute on the in-thread pool (logged and counted) or surface the
 //! workload's typed error. `tests/remote_chaos.rs` drives every one of
-//! these paths with injected failures.
+//! these paths with injected failures — including a worker restarted
+//! mid-run (cache wiped) and a corrupted inline program.
 
-use crate::shard::{self, PoolError, WireJob};
-use crate::wire::{WireError, WireReader, WireWriter};
-use std::collections::VecDeque;
+use crate::shard::{self, PoolError, Reply, WireJob, WorkerState, WorkerStatus};
+use crate::wire::{fnv1a64, WireError, WireReader, WireWriter};
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::io::{Read, Write};
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::process::{Command, Stdio};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::Duration;
 
 /// Magic bytes opening every stream-transport envelope.
@@ -88,24 +122,30 @@ pub const ENVELOPE_MAGIC: [u8; 4] = *b"STEV";
 
 /// Envelope version; bumped on any change to the envelope layout, with
 /// the same reject-on-mismatch discipline as [`crate::wire::WIRE_VERSION`].
-pub const ENVELOPE_VERSION: u16 = 1;
+/// Version 2 added the request id that pipelined sessions match
+/// responses by.
+pub const ENVELOPE_VERSION: u16 = 2;
 
-/// Byte length of the fixed envelope header (magic + version + length).
-pub const ENVELOPE_HEADER_LEN: usize = 14;
+/// Byte length of the fixed envelope header (magic + version +
+/// request id + length).
+pub const ENVELOPE_HEADER_LEN: usize = 22;
 
-/// Frames a payload for a stream transport (see the module docs for the
-/// layout). Encoding cannot fail.
+/// Frames a payload for a stream transport under `request_id` (see the
+/// module docs for the layout). Responses echo the request's id.
+/// Encoding cannot fail.
 #[must_use]
-pub fn encode_envelope(payload: &[u8]) -> Vec<u8> {
+pub fn encode_envelope(request_id: u64, payload: &[u8]) -> Vec<u8> {
     let mut w = WireWriter::new();
+    w.reserve(ENVELOPE_HEADER_LEN + payload.len());
     w.put_bytes(&ENVELOPE_MAGIC);
     w.put_u16(ENVELOPE_VERSION);
+    w.put_u64(request_id);
     w.put_block(payload);
     w.finish()
 }
 
 /// Strictly decodes one envelope from a complete buffer: the payload
-/// must fill the buffer exactly.
+/// must fill the buffer exactly. Returns `(request_id, payload)`.
 ///
 /// # Errors
 ///
@@ -113,24 +153,26 @@ pub fn encode_envelope(payload: &[u8]) -> Vec<u8> {
 /// unsupported version, a length that disagrees with the buffer, or
 /// trailing bytes. Never panics, never over-allocates (the length is
 /// checked against the bytes actually present).
-pub fn decode_envelope(bytes: &[u8]) -> Result<Vec<u8>, WireError> {
+pub fn decode_envelope(bytes: &[u8]) -> Result<(u64, Vec<u8>), WireError> {
     let mut r = WireReader::new(bytes);
     r.expect_magic(&ENVELOPE_MAGIC, "envelope magic")?;
     r.expect_version(ENVELOPE_VERSION, "envelope version")?;
+    let request_id = r.get_u64("envelope request id")?;
     let payload = r.get_block("envelope payload")?.to_vec();
     r.finish()?;
-    Ok(payload)
+    Ok((request_id, payload))
 }
 
 /// Reads one envelope from a live stream: the header is read exactly,
-/// then `length` payload bytes. The allocation grows only as bytes
-/// actually arrive, so a hostile length cannot balloon memory.
+/// then `length` payload bytes. Returns `(request_id, payload)`. The
+/// allocation grows only as bytes actually arrive, so a hostile length
+/// cannot balloon memory.
 ///
 /// # Errors
 ///
 /// [`TransportError::Envelope`] for framing damage (truncation, bad
 /// magic, version mismatch), [`TransportError::Io`] for read failures.
-pub fn read_envelope<R: Read>(input: &mut R) -> Result<Vec<u8>, TransportError> {
+pub fn read_envelope<R: Read>(input: &mut R) -> Result<(u64, Vec<u8>), TransportError> {
     let mut header = [0u8; ENVELOPE_HEADER_LEN];
     input.read_exact(&mut header).map_err(|e| {
         if e.kind() == std::io::ErrorKind::UnexpectedEof {
@@ -144,10 +186,11 @@ pub fn read_envelope<R: Read>(input: &mut R) -> Result<Vec<u8>, TransportError> 
         }
     })?;
     let mut r = WireReader::new(&header);
-    let len = r
+    let (request_id, len) = r
         .expect_magic(&ENVELOPE_MAGIC, "envelope magic")
         .and_then(|()| r.expect_version(ENVELOPE_VERSION, "envelope version"))
-        .and_then(|()| r.get_usize("envelope length"))
+        .and_then(|()| r.get_u64("envelope request id"))
+        .and_then(|id| r.get_usize("envelope length").map(|len| (id, len)))
         .map_err(|e| TransportError::Envelope {
             diagnostic: e.to_string(),
         })?;
@@ -166,7 +209,7 @@ pub fn read_envelope<R: Read>(input: &mut R) -> Result<Vec<u8>, TransportError> 
             ),
         });
     }
-    Ok(payload)
+    Ok((request_id, payload))
 }
 
 /// Failure of a single [`Transport::call`]. Every variant is retryable
@@ -232,25 +275,204 @@ pub trait Transport: Send + Sync {
     /// Human-readable endpoint, used in diagnostics and
     /// `Exec` display (`remote:endpoint,endpoint`).
     fn endpoint(&self) -> String;
+
+    /// Whether requests reach a *persistent* worker whose program cache
+    /// outlives a single call. When `true` the fleet references the job
+    /// by content hash after its first successful inline ship; when
+    /// `false` (the default — one-shot workers like [`SpawnTransport`])
+    /// every request carries the job inline.
+    fn caches_programs(&self) -> bool {
+        false
+    }
+
+    /// How many fleet threads should drive this transport concurrently
+    /// — the request-pipelining width. The default of 1 preserves the
+    /// classic one-request-at-a-time behaviour; [`TcpTransport`]
+    /// returns its configured stream count.
+    fn streams(&self) -> usize {
+        1
+    }
 }
 
-/// Ships requests to a `steac-worker --serve <addr>` listening loop:
-/// one TCP connection per request, envelope-framed in both directions.
-#[derive(Debug, Clone)]
+/// Default pipelining width of a [`TcpTransport`]: fleet threads
+/// driving one session concurrently.
+pub const DEFAULT_TCP_STREAMS: usize = 2;
+
+/// Default bounded in-flight window of a [`TcpTransport`] session:
+/// requests written but not yet answered. A caller needing a slot past
+/// the window blocks until one frees — backpressure, not an unbounded
+/// queue.
+pub const DEFAULT_TCP_WINDOW: usize = 4;
+
+/// The channel a caller waits on for its routed response.
+type ResponseSender = mpsc::Sender<Result<Vec<u8>, TransportError>>;
+
+/// One live pipelined session: a connected socket, the response router
+/// state, and the in-flight window. Requests are written under
+/// `write_lock` (frames must not interleave); a dedicated reader thread
+/// ([`Session::reader_loop`]) routes each response envelope to the
+/// caller registered under its request id. Any read or write failure
+/// marks the whole session dead and fails every outstanding caller —
+/// the owning [`TcpTransport`] then reconnects lazily on the next call.
+struct Session {
+    stream: TcpStream,
+    write_lock: Mutex<()>,
+    pending: Mutex<HashMap<u64, ResponseSender>>,
+    inflight: Mutex<usize>,
+    slot_freed: Condvar,
+    dead: AtomicBool,
+}
+
+impl Session {
+    fn new(stream: TcpStream) -> Self {
+        Session {
+            stream,
+            write_lock: Mutex::new(()),
+            pending: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(0),
+            slot_freed: Condvar::new(),
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    /// Marks the session dead, fails every outstanding caller with a
+    /// clone of `error` (keeping its type — an envelope error stays an
+    /// envelope error), and wakes anyone blocked on the window.
+    fn die(&self, error: &TransportError) {
+        self.dead.store(true, Ordering::SeqCst);
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        let drained: Vec<_> = self
+            .pending
+            .lock()
+            .expect("no panics hold the lock")
+            .drain()
+            .collect();
+        for (_, tx) in drained {
+            let _ = tx.send(Err(error.clone()));
+        }
+        self.slot_freed.notify_all();
+    }
+
+    /// The reader half: drains response envelopes off the socket and
+    /// routes them by request id until the session dies. A response to
+    /// an id nobody is waiting on (a caller that already timed out) is
+    /// dropped — late duplicates can never corrupt a later exchange.
+    fn reader_loop(self: &Arc<Self>) {
+        let mut stream = &self.stream;
+        loop {
+            match read_envelope(&mut stream) {
+                Ok((id, payload)) => {
+                    let tx = self
+                        .pending
+                        .lock()
+                        .expect("no panics hold the lock")
+                        .remove(&id);
+                    if let Some(tx) = tx {
+                        let _ = tx.send(Ok(payload));
+                    }
+                }
+                Err(e) => {
+                    self.die(&e);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Releases one in-flight window slot on every exit path.
+struct SlotGuard<'a>(&'a Session);
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        let mut inflight = self.0.inflight.lock().expect("no panics hold the lock");
+        *inflight = inflight.saturating_sub(1);
+        self.0.slot_freed.notify_one();
+    }
+}
+
+/// Ships requests to a `steac-worker --serve <addr>` listening loop
+/// over **one persistent TCP session**: the address is resolved once
+/// per session, the connection is established lazily (and
+/// re-established lazily after a loss — every failure stays a typed
+/// [`TransportError`]), and up to [`TcpTransport::with_window`]
+/// requests are pipelined in flight at a time, matched to their
+/// responses by the envelope request id.
 pub struct TcpTransport {
     addr: String,
     timeout: Option<Duration>,
+    streams: usize,
+    window: usize,
+    /// Socket addresses resolved for the current session; dropped when
+    /// every one of them fails to connect, so a DNS change can heal a
+    /// moved host.
+    resolved: Mutex<Option<Vec<SocketAddr>>>,
+    /// How many times the address was actually resolved (unit-tested:
+    /// a session resolves once, not once per request).
+    resolutions: AtomicUsize,
+    session: Mutex<Option<Arc<Session>>>,
+    next_id: AtomicU64,
+}
+
+impl fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("addr", &self.addr)
+            .field("timeout", &self.timeout)
+            .field("streams", &self.streams)
+            .field("window", &self.window)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Clone for TcpTransport {
+    /// Clones the configuration; the clone starts with a fresh (lazy)
+    /// session of its own.
+    fn clone(&self) -> Self {
+        TcpTransport {
+            addr: self.addr.clone(),
+            timeout: self.timeout,
+            streams: self.streams,
+            window: self.window,
+            resolved: Mutex::new(None),
+            resolutions: AtomicUsize::new(0),
+            session: Mutex::new(None),
+            next_id: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        // Kill the live session so its reader thread exits promptly
+        // instead of waiting out a read timeout.
+        if let Ok(slot) = self.session.lock() {
+            if let Some(session) = slot.as_ref() {
+                session.die(&TransportError::Io {
+                    diagnostic: "transport dropped".to_string(),
+                });
+            }
+        }
+    }
 }
 
 impl TcpTransport {
     /// A transport to `addr` (`host:port`), with the default 120 s
     /// connect/read/write timeout so a hung or blackholed host surfaces
-    /// as a typed error instead of blocking a fleet thread forever.
+    /// as a typed error instead of blocking a fleet thread forever, and
+    /// the default pipelining width ([`DEFAULT_TCP_STREAMS`]) and
+    /// in-flight window ([`DEFAULT_TCP_WINDOW`]).
     #[must_use]
     pub fn new(addr: impl Into<String>) -> Self {
         TcpTransport {
             addr: addr.into(),
             timeout: Some(Duration::from_secs(120)),
+            streams: DEFAULT_TCP_STREAMS,
+            window: DEFAULT_TCP_WINDOW,
+            resolved: Mutex::new(None),
+            resolutions: AtomicUsize::new(0),
+            session: Mutex::new(None),
+            next_id: AtomicU64::new(0),
         }
     }
 
@@ -260,54 +482,223 @@ impl TcpTransport {
         self.timeout = timeout;
         self
     }
-}
 
-impl TcpTransport {
+    /// Sets how many fleet threads drive this transport concurrently
+    /// (clamped to ≥ 1; default [`DEFAULT_TCP_STREAMS`]).
+    #[must_use]
+    pub fn with_streams(mut self, streams: usize) -> Self {
+        self.streams = streams.max(1);
+        self
+    }
+
+    /// Sets the bounded in-flight window per session (clamped to ≥ 1;
+    /// default [`DEFAULT_TCP_WINDOW`]). Callers past the window block
+    /// until a response frees a slot.
+    #[must_use]
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// How many times the target address has been resolved so far —
+    /// one per session, not one per request.
+    #[must_use]
+    pub fn resolutions(&self) -> usize {
+        self.resolutions.load(Ordering::Relaxed)
+    }
+
+    fn unreachable(&self, diagnostic: String) -> TransportError {
+        TransportError::Unreachable {
+            endpoint: self.addr.clone(),
+            diagnostic,
+        }
+    }
+
+    /// The session's resolved addresses, resolving (and caching) on
+    /// first use.
+    fn resolve(&self) -> Result<Vec<SocketAddr>, TransportError> {
+        let mut cached = self.resolved.lock().expect("no panics hold the lock");
+        if let Some(addrs) = cached.as_ref() {
+            return Ok(addrs.clone());
+        }
+        self.resolutions.fetch_add(1, Ordering::Relaxed);
+        let addrs: Vec<SocketAddr> = self
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| self.unreachable(e.to_string()))?
+            .collect();
+        if addrs.is_empty() {
+            return Err(self.unreachable("address resolved to nothing".to_string()));
+        }
+        *cached = Some(addrs.clone());
+        Ok(addrs)
+    }
+
     /// Connects within the configured timeout (a plain blocking connect
     /// when the timeout is disabled) — a blackholed host must surface
     /// as a typed error on our schedule, not the kernel's.
     fn connect(&self) -> Result<TcpStream, TransportError> {
-        let unreachable = |diagnostic: String| TransportError::Unreachable {
-            endpoint: self.addr.clone(),
-            diagnostic,
-        };
-        let Some(timeout) = self.timeout else {
-            return TcpStream::connect(&self.addr).map_err(|e| unreachable(e.to_string()));
-        };
-        let addrs = self
-            .addr
-            .to_socket_addrs()
-            .map_err(|e| unreachable(e.to_string()))?;
+        let addrs = self.resolve()?;
         let mut last = None;
-        for addr in addrs {
-            match TcpStream::connect_timeout(&addr, timeout) {
+        for addr in &addrs {
+            let attempt = match self.timeout {
+                Some(timeout) => TcpStream::connect_timeout(addr, timeout),
+                None => TcpStream::connect(addr),
+            };
+            match attempt {
                 Ok(stream) => return Ok(stream),
                 Err(e) => last = Some(e.to_string()),
             }
         }
-        Err(unreachable(last.unwrap_or_else(|| {
-            "address resolved to nothing".to_string()
-        })))
+        // Every resolved address refused: forget them so the next
+        // attempt re-resolves (the host may have moved).
+        *self.resolved.lock().expect("no panics hold the lock") = None;
+        Err(self.unreachable(last.unwrap_or_else(|| "no address to try".to_string())))
+    }
+
+    /// The current live session, lazily (re)connecting when there is
+    /// none or the last one died. Concurrent callers share one
+    /// reconnect instead of racing their own.
+    fn ensure_session(&self) -> Result<Arc<Session>, TransportError> {
+        let mut slot = self.session.lock().expect("no panics hold the lock");
+        if let Some(session) = slot.as_ref() {
+            if !session.dead.load(Ordering::SeqCst) {
+                return Ok(Arc::clone(session));
+            }
+        }
+        let stream = self.connect()?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(self.timeout);
+        let _ = stream.set_write_timeout(self.timeout);
+        let session = Arc::new(Session::new(stream));
+        let reader = Arc::clone(&session);
+        std::thread::spawn(move || reader.reader_loop());
+        *slot = Some(Arc::clone(&session));
+        Ok(session)
+    }
+
+    /// One attempt on one session. `Err((error, retryable))`:
+    /// `retryable` is `true` only when the request was never delivered
+    /// (dead session found before the write completed), so the caller
+    /// may transparently try a fresh session without risking duplicate
+    /// execution semantics at this layer.
+    fn call_on(
+        &self,
+        session: &Arc<Session>,
+        request: &[u8],
+    ) -> Result<Vec<u8>, (TransportError, bool)> {
+        // Acquire an in-flight window slot (backpressure).
+        {
+            let mut inflight = session.inflight.lock().expect("no panics hold the lock");
+            loop {
+                if session.dead.load(Ordering::SeqCst) {
+                    return Err((
+                        TransportError::Io {
+                            diagnostic: "session died before the request was sent".to_string(),
+                        },
+                        true,
+                    ));
+                }
+                if *inflight < self.window {
+                    *inflight += 1;
+                    break;
+                }
+                inflight = session
+                    .slot_freed
+                    .wait(inflight)
+                    .expect("no panics hold the lock");
+            }
+        }
+        let _slot = SlotGuard(session);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        session
+            .pending
+            .lock()
+            .expect("no panics hold the lock")
+            .insert(id, tx);
+        let framed = encode_envelope(id, request);
+        let written = {
+            let _write = session.write_lock.lock().expect("no panics hold the lock");
+            (&session.stream)
+                .write_all(&framed)
+                .and_then(|()| (&session.stream).flush())
+        };
+        if let Err(e) = written {
+            let never_sent = session
+                .pending
+                .lock()
+                .expect("no panics hold the lock")
+                .remove(&id)
+                .is_some();
+            let error = TransportError::Io {
+                diagnostic: format!("sending request to {}: {e}", self.addr),
+            };
+            session.die(&error);
+            return Err((error, never_sent));
+        }
+        let response = match self.timeout {
+            Some(timeout) => rx.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => {
+                    // Give up on this exchange and the whole session: a
+                    // stalled socket must not absorb further requests.
+                    let _ = session
+                        .pending
+                        .lock()
+                        .expect("no panics hold the lock")
+                        .remove(&id);
+                    let error = TransportError::Io {
+                        diagnostic: format!("response from {} timed out", self.addr),
+                    };
+                    session.die(&error);
+                    error
+                }
+                mpsc::RecvTimeoutError::Disconnected => TransportError::Io {
+                    diagnostic: format!("session to {} closed", self.addr),
+                },
+            }),
+            None => rx.recv().map_err(|_| TransportError::Io {
+                diagnostic: format!("session to {} closed", self.addr),
+            }),
+        };
+        match response {
+            Ok(Ok(payload)) => Ok(payload),
+            Ok(Err(e)) | Err(e) => Err((e, false)),
+        }
     }
 }
 
 impl Transport for TcpTransport {
     fn call(&self, request: &[u8]) -> Result<Vec<u8>, TransportError> {
-        let mut stream = self.connect()?;
-        let _ = stream.set_nodelay(true);
-        let _ = stream.set_read_timeout(self.timeout);
-        let _ = stream.set_write_timeout(self.timeout);
-        stream
-            .write_all(&encode_envelope(request))
-            .and_then(|()| stream.flush())
-            .map_err(|e| TransportError::Io {
-                diagnostic: format!("sending request to {}: {e}", self.addr),
-            })?;
-        read_envelope(&mut stream)
+        // A session that died while idle (server restart, idle timeout)
+        // is only discovered on first use: retry once, transparently,
+        // when the request provably never left this machine.
+        let mut last = None;
+        for _ in 0..2 {
+            let session = self.ensure_session()?;
+            match self.call_on(&session, request) {
+                Ok(response) => return Ok(response),
+                Err((e, retryable)) => {
+                    last = Some(e);
+                    if !retryable {
+                        break;
+                    }
+                }
+            }
+        }
+        Err(last.expect("loop ran at least once"))
     }
 
     fn endpoint(&self) -> String {
         self.addr.clone()
+    }
+
+    fn caches_programs(&self) -> bool {
+        true
+    }
+
+    fn streams(&self) -> usize {
+        self.streams
     }
 }
 
@@ -384,14 +775,117 @@ impl Transport for SpawnTransport {
     }
 }
 
-/// How many chunks each host's share of the units is split into when the
-/// fleet auto-sizes requests: small enough that idle hosts keep finding
-/// work to steal, large enough that the job block (shipped once per
-/// request) amortizes over many units.
-const CHUNKS_PER_HOST: usize = 8;
+/// How many chunks each work stream's share of the units is split into
+/// when the fleet auto-sizes requests: small enough that idle streams
+/// keep finding work to steal, large enough that the per-request header
+/// amortizes over many units.
+const CHUNKS_PER_STREAM: usize = 8;
 
 /// Default extra attempts a unit gets after a transport-level loss.
 pub const DEFAULT_MAX_RETRIES: usize = 2;
+
+/// Hashes a host is remembered to hold; bounded like the worker-side
+/// cache so the two cannot drift unboundedly.
+const KNOWN_HASHES_PER_HOST: usize = 8;
+
+/// One fleet host: its transport plus the program hashes its worker is
+/// believed to have cached (confirmed by a successful inline ship).
+/// The belief is allowed to be stale — a worker that restarted or
+/// evicted answers "need program" and the fleet re-ships — so this is
+/// an optimization ledger, never a correctness input.
+struct HostSlot {
+    transport: Box<dyn Transport>,
+    known: Mutex<Vec<u64>>,
+}
+
+impl HostSlot {
+    fn new(transport: Box<dyn Transport>) -> Self {
+        HostSlot {
+            transport,
+            known: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn knows(&self, hash: u64) -> bool {
+        self.known
+            .lock()
+            .expect("no panics hold the lock")
+            .contains(&hash)
+    }
+
+    fn mark_known(&self, hash: u64) {
+        let mut known = self.known.lock().expect("no panics hold the lock");
+        if let Some(pos) = known.iter().position(|&h| h == hash) {
+            known.remove(pos);
+        }
+        known.push(hash);
+        if known.len() > KNOWN_HASHES_PER_HOST {
+            known.remove(0);
+        }
+    }
+
+    fn forget(&self, hash: u64) {
+        self.known
+            .lock()
+            .expect("no panics hold the lock")
+            .retain(|&h| h != hash);
+    }
+}
+
+/// Wire-traffic counters a fleet accumulates across its lifetime, split
+/// so the program-cache win is measurable: `program_bytes` is what the
+/// serialized job cost on the wire, `unit_bytes` what the work units
+/// cost. With caching transports a multi-request run ships the program
+/// once per host, so `programs_shipped` stays at the host count while
+/// `requests` keeps growing.
+#[derive(Debug, Default)]
+pub struct FleetStats {
+    requests: AtomicU64,
+    program_bytes: AtomicU64,
+    unit_bytes: AtomicU64,
+    programs_shipped: AtomicU64,
+    need_program_replies: AtomicU64,
+}
+
+impl FleetStats {
+    fn count_request(&self, inline_job_bytes: Option<usize>, unit_bytes: usize) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.unit_bytes
+            .fetch_add(unit_bytes as u64, Ordering::Relaxed);
+        if let Some(job_bytes) = inline_job_bytes {
+            self.program_bytes
+                .fetch_add(job_bytes as u64, Ordering::Relaxed);
+            self.programs_shipped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of the counters.
+    #[must_use]
+    pub fn snapshot(&self) -> FleetStatsSnapshot {
+        FleetStatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            program_bytes: self.program_bytes.load(Ordering::Relaxed),
+            unit_bytes: self.unit_bytes.load(Ordering::Relaxed),
+            programs_shipped: self.programs_shipped.load(Ordering::Relaxed),
+            need_program_replies: self.need_program_replies.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a fleet's [`FleetStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FleetStatsSnapshot {
+    /// Run requests sent (including cache re-ships and retries).
+    pub requests: u64,
+    /// Serialized-program bytes that crossed a transport.
+    pub program_bytes: u64,
+    /// Work-unit bytes that crossed a transport.
+    pub unit_bytes: u64,
+    /// Requests that carried the program inline.
+    pub programs_shipped: u64,
+    /// "Need program" round trips (worker cache cold or wiped).
+    pub need_program_replies: u64,
+}
 
 /// A fleet of remote hosts behind [`crate::exec::Backend::Remote`]:
 /// per-host work streams with work-stealing (units are handed out from
@@ -403,9 +897,10 @@ pub const DEFAULT_MAX_RETRIES: usize = 2;
 /// unresolved unit — so reports stay byte-identical to the serial
 /// backend no matter how hosts raced, died or retried.
 pub struct RemoteFleet {
-    hosts: Vec<Box<dyn Transport>>,
+    hosts: Vec<HostSlot>,
     max_retries: usize,
     chunk: usize,
+    stats: FleetStats,
 }
 
 impl fmt::Debug for RemoteFleet {
@@ -430,9 +925,10 @@ impl RemoteFleet {
     pub fn new(hosts: Vec<Box<dyn Transport>>) -> Self {
         assert!(!hosts.is_empty(), "remote fleet needs at least one host");
         RemoteFleet {
-            hosts,
+            hosts: hosts.into_iter().map(HostSlot::new).collect(),
             max_retries: DEFAULT_MAX_RETRIES,
             chunk: 0,
+            stats: FleetStats::default(),
         }
     }
 
@@ -478,7 +974,8 @@ impl RemoteFleet {
     }
 
     /// Pins the number of units per request (builder style; 0 — the
-    /// default — auto-sizes to `units / (hosts × 8)`, clamped to ≥ 1).
+    /// default — auto-sizes to `units / (total streams × 8)`, clamped
+    /// to ≥ 1, where a host contributes [`Transport::streams`] streams).
     #[must_use]
     pub fn with_chunk(mut self, chunk: usize) -> Self {
         self.chunk = chunk;
@@ -500,7 +997,24 @@ impl RemoteFleet {
     /// The host endpoints, in fleet order.
     #[must_use]
     pub fn endpoints(&self) -> Vec<String> {
-        self.hosts.iter().map(|h| h.endpoint()).collect()
+        self.hosts.iter().map(|h| h.transport.endpoint()).collect()
+    }
+
+    /// The wire-traffic counters accumulated across this fleet's runs.
+    #[must_use]
+    pub fn stats(&self) -> FleetStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Queries every host's worker status ([`query_status`]), in fleet
+    /// order. Hosts that cannot answer report the failure as a string —
+    /// observability must never take a fleet down.
+    #[must_use]
+    pub fn statuses(&self) -> Vec<(String, Result<WorkerStatus, String>)> {
+        self.hosts
+            .iter()
+            .map(|h| (h.transport.endpoint(), query_status(h.transport.as_ref())))
+            .collect()
     }
 
     /// Executes `units` under job `kind`/`job` across the fleet and
@@ -517,25 +1031,33 @@ impl RemoteFleet {
         if units.is_empty() {
             return Ok(Vec::new());
         }
+        let total_streams: usize = self
+            .hosts
+            .iter()
+            .map(|h| h.transport.streams().max(1))
+            .sum();
         let chunk = if self.chunk > 0 {
             self.chunk
         } else {
             units
                 .len()
-                .div_ceil(self.hosts.len() * CHUNKS_PER_HOST)
+                .div_ceil(total_streams * CHUNKS_PER_STREAM)
                 .max(1)
         };
         let run = FleetRun {
             kind,
             job,
+            job_hash: fnv1a64(job),
             units,
             chunk,
             max_retries: self.max_retries,
+            stats: &self.stats,
             next: AtomicUsize::new(0),
             pending: AtomicUsize::new(units.len()),
             alive: (0..self.hosts.len())
                 .map(|_| AtomicBool::new(true))
                 .collect(),
+            prime: (0..self.hosts.len()).map(|_| PrimeGate::new()).collect(),
             retries: Mutex::new(VecDeque::new()),
             slots: Mutex::new(vec![None; units.len()]),
             failures: Mutex::new(Vec::new()),
@@ -543,8 +1065,10 @@ impl RemoteFleet {
         };
         std::thread::scope(|scope| {
             for (index, host) in self.hosts.iter().enumerate() {
-                let run = &run;
-                scope.spawn(move || run.host_loop(index, host.as_ref()));
+                for _ in 0..host.transport.streams().max(1) {
+                    let run = &run;
+                    scope.spawn(move || run.stream_loop(index, host));
+                }
             }
         });
 
@@ -601,19 +1125,75 @@ impl Retry {
 struct FleetRun<'a> {
     kind: u16,
     job: &'a [u8],
+    job_hash: u64,
     units: &'a [Vec<u8>],
     chunk: usize,
     max_retries: usize,
+    stats: &'a FleetStats,
     /// Work-stealing cursor: hosts grab `chunk` fresh units at a time.
     next: AtomicUsize,
     /// Units not yet resolved (no result, no recorded failure).
     pending: AtomicUsize,
     /// One flag per host; cleared when the host is declared lost.
     alive: Vec<AtomicBool>,
+    /// One gate per host serializing the first program ship, so a host
+    /// served by several streams still receives the bytes exactly once.
+    prime: Vec<PrimeGate>,
     retries: Mutex<VecDeque<Retry>>,
     slots: Mutex<Vec<Option<Vec<u8>>>>,
     failures: Mutex<Vec<(usize, String)>>,
     lost_hosts: Mutex<Vec<String>>,
+}
+
+/// Serializes the "first inline ship" to a caching host across its
+/// streams: the first stream to arrive claims the gate and sends the
+/// program inline; the others wait, then proceed by-hash. Without the
+/// gate, two streams racing on a cold cache would both observe
+/// "host does not know the hash" and both ship the program —
+/// correct, but it would break the ships-once-per-host invariant
+/// the bytes-shipped counters assert.
+struct PrimeGate {
+    /// 0 = unclaimed, 1 = a stream is priming, 2 = primed (or the
+    /// priming attempt failed — in which case claimants retry).
+    state: Mutex<u8>,
+    done: Condvar,
+}
+
+impl PrimeGate {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(0),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Returns `true` when the caller must prime (ship inline); `false`
+    /// once another stream has already primed. Blocks while a peer's
+    /// priming attempt is in flight.
+    fn claim(&self) -> bool {
+        let mut state = self.state.lock().expect("no panics hold the lock");
+        loop {
+            match *state {
+                0 => {
+                    *state = 1;
+                    return true;
+                }
+                1 => {
+                    state = self.done.wait(state).expect("no panics hold the lock");
+                }
+                _ => return false,
+            }
+        }
+    }
+
+    /// Resolves a claim: `primed` when the inline ship succeeded (peers
+    /// may proceed by-hash), otherwise the gate reopens for the next
+    /// claimant.
+    fn release(&self, primed: bool) {
+        let mut state = self.state.lock().expect("no panics hold the lock");
+        *state = if primed { 2 } else { 0 };
+        self.done.notify_all();
+    }
 }
 
 impl FleetRun<'_> {
@@ -725,14 +1305,99 @@ impl FleetRun<'_> {
             .collect()
     }
 
-    /// One host's work loop: steal a batch, ship it, record the
-    /// response; requeue what was lost. The host stops when every unit
-    /// is resolved, or declares itself lost after `max_retries + 1`
-    /// consecutive call failures (its in-flight units having been
-    /// requeued for the surviving hosts).
-    fn host_loop(&self, me: usize, transport: &dyn Transport) {
+    /// Total unit payload bytes a batch of `indices` puts on the wire.
+    fn unit_payload_bytes(&self, indices: &[usize]) -> usize {
+        indices.iter().map(|&i| self.units[i].len()).sum()
+    }
+
+    /// Ships one batch inline (program bytes included) and parses the
+    /// reply. The worker has everything it needs, so a `NeedProgram`
+    /// answer here is a protocol violation, not a cache miss.
+    fn exchange_inline(
+        &self,
+        transport: &dyn Transport,
+        indices: &[usize],
+    ) -> Result<RunReply, String> {
+        let request = shard::encode_request(
+            self.kind,
+            Some(self.job),
+            self.job_hash,
+            indices,
+            self.units,
+        );
+        self.stats
+            .count_request(Some(self.job.len()), self.unit_payload_bytes(indices));
+        let response = transport.call(&request).map_err(|e| e.to_string())?;
+        match shard::parse_reply(&response, self.units.len()) {
+            Reply::Results(items, damage) => Ok((items, damage)),
+            Reply::NeedProgram(_) => {
+                Err("worker requested the program despite an inline ship".to_string())
+            }
+            Reply::Status(_) => {
+                Err("worker answered a run request with a status reply".to_string())
+            }
+        }
+    }
+
+    /// Ships one batch to a caching host, deciding inline vs by-hash
+    /// from the slot's ledger and the host's prime gate. A `NeedProgram`
+    /// reply (worker restarted, or its LRU evicted us) is healed
+    /// transparently with one inline re-ship of the same batch.
+    fn exchange_cached(
+        &self,
+        me: usize,
+        slot: &HostSlot,
+        indices: &[usize],
+    ) -> Result<RunReply, String> {
+        let transport = slot.transport.as_ref();
+        let priming = !slot.knows(self.job_hash) && self.prime[me].claim();
+        if priming {
+            let result = self.exchange_inline(transport, indices);
+            if result.is_ok() {
+                slot.mark_known(self.job_hash);
+            }
+            self.prime[me].release(result.is_ok());
+            return result;
+        }
+        let request = shard::encode_request(self.kind, None, self.job_hash, indices, self.units);
+        self.stats
+            .count_request(None, self.unit_payload_bytes(indices));
+        let response = transport.call(&request).map_err(|e| e.to_string())?;
+        match shard::parse_reply(&response, self.units.len()) {
+            Reply::Results(items, damage) => Ok((items, damage)),
+            Reply::NeedProgram(_) => {
+                // The ledger was stale — the worker lost the program.
+                // Re-ship inline once; the batch is identical, so the
+                // merge cannot drift.
+                self.stats
+                    .need_program_replies
+                    .fetch_add(1, Ordering::Relaxed);
+                slot.forget(self.job_hash);
+                let result = self.exchange_inline(transport, indices);
+                if result.is_ok() {
+                    slot.mark_known(self.job_hash);
+                }
+                result
+            }
+            Reply::Status(_) => {
+                Err("worker answered a run request with a status reply".to_string())
+            }
+        }
+    }
+
+    /// One stream's work loop: steal a batch, ship it (by hash when the
+    /// host caches programs and already holds this one), record the
+    /// response; requeue what was lost. The stream stops when every
+    /// unit is resolved, when a sibling stream declares the host lost,
+    /// or after `max_retries + 1` consecutive call failures of its own
+    /// (its in-flight units having been requeued for the survivors).
+    fn stream_loop(&self, me: usize, slot: &HostSlot) {
+        let transport = slot.transport.as_ref();
         let mut strikes = 0usize;
         while self.pending.load(Ordering::Relaxed) > 0 {
+            if !self.alive[me].load(Ordering::Relaxed) {
+                return;
+            }
             let Some(batch) = self.next_batch(me) else {
                 // Units are in flight on other hosts; wait for them to
                 // resolve (or fail and requeue).
@@ -740,10 +1405,13 @@ impl FleetRun<'_> {
                 continue;
             };
             let indices: Vec<usize> = batch.iter().map(|e| e.unit).collect();
-            let request = shard::encode_request(self.kind, self.job, &indices, self.units);
-            let (lost, diagnostic) = match transport.call(&request) {
-                Ok(response) => {
-                    let (items, damage) = shard::parse_response(&response, self.units.len());
+            let reply = if transport.caches_programs() {
+                self.exchange_cached(me, slot, &indices)
+            } else {
+                self.exchange_inline(transport, &indices)
+            };
+            let (lost, diagnostic) = match reply {
+                Ok((items, damage)) => {
                     let lost = self.record(batch, items);
                     if lost.is_empty() {
                         strikes = 0;
@@ -755,41 +1423,75 @@ impl FleetRun<'_> {
                     };
                     (lost, diagnostic)
                 }
-                Err(e) => (batch, e.to_string()),
+                Err(e) => (batch, e),
             };
             strikes += 1;
             let dying = strikes > self.max_retries;
-            if dying {
-                // Declare the loss before requeueing the in-flight
-                // units, so their routing immediately stops counting
-                // this host as a viable destination.
-                self.alive[me].store(false, Ordering::Relaxed);
-            }
+            // Declare the loss before requeueing the in-flight units,
+            // so their routing immediately stops counting this host as
+            // a viable destination. `swap` elects exactly one stream to
+            // write the host's obituary.
+            let first_to_declare = dying && self.alive[me].swap(false, Ordering::Relaxed);
             self.requeue(me, lost, &diagnostic);
             if dying {
-                let lost_line = format!(
-                    "host {me} ({}) lost after {strikes} consecutive failures: {diagnostic}",
-                    transport.endpoint()
-                );
-                eprintln!("steac remote: {lost_line}");
-                self.lost_hosts
-                    .lock()
-                    .expect("no panics hold the lock")
-                    .push(lost_line);
+                if first_to_declare {
+                    let lost_line = format!(
+                        "host {me} ({}) lost after {strikes} consecutive failures: {diagnostic}",
+                        transport.endpoint()
+                    );
+                    eprintln!("steac remote: {lost_line}");
+                    self.lost_hosts
+                        .lock()
+                        .expect("no panics hold the lock")
+                        .push(lost_line);
+                }
                 return;
             }
         }
     }
 }
 
+/// Unit results plus the optional damage diagnostic from one shipped
+/// batch — the payload of a successful run exchange.
+type RunReply = (Vec<(usize, Result<Vec<u8>, String>)>, Option<String>);
+
+/// Asks a worker for its status counters over `transport` (see
+/// [`WorkerStatus`]). Used by `steac-worker --status` and the scaling
+/// harness to surface cache behaviour after a run.
+///
+/// # Errors
+///
+/// A diagnostic when the transport fails or the worker answers with
+/// anything but a status reply.
+pub fn query_status(transport: &dyn Transport) -> Result<WorkerStatus, String> {
+    let request = shard::encode_status_request();
+    let response = transport.call(&request).map_err(|e| e.to_string())?;
+    match shard::parse_reply(&response, 0) {
+        Reply::Status(status) => Ok(status),
+        Reply::Results(_, damage) => Err(match damage {
+            Some(e) => format!("status reply damaged: {e}"),
+            None => "worker answered a status request with run results".to_string(),
+        }),
+        Reply::NeedProgram(_) => {
+            Err("worker answered a status request with a program request".to_string())
+        }
+    }
+}
+
 /// The TCP serving loop behind `steac-worker --serve <addr>`: accepts
-/// connections forever, and for each one reads a single
-/// envelope-framed request, runs it through the same
-/// [`crate::shard::process_request`] core as the stdio worker (with
-/// `open` routing the job kind — the worker binary passes its
-/// [`crate::shard::JobRegistry`]), and writes the envelope-framed
-/// response. Each connection is served on its own thread, so several
-/// dispatchers can share one worker host.
+/// connections forever and serves each on its own thread. Every
+/// connection is a **session**: frames are read in a loop until the
+/// client closes, each request runs on its own thread through the same
+/// [`crate::shard::process_request_with`] core as the stdio worker
+/// (with `open` routing the job kind — the worker binary passes its
+/// [`crate::shard::JobRegistry`]), and responses are written back under
+/// a per-connection write lock as they finish — possibly out of request
+/// order, which is what the envelope's request id is for.
+///
+/// One [`WorkerState`] is shared by every connection the listener ever
+/// accepts, so the program cache survives reconnects and its counters
+/// describe the whole process lifetime — exactly what the status
+/// request reports.
 ///
 /// Connection-level trouble (damaged envelope, unreadable request, dead
 /// peer) is logged to stderr and closes only that connection — a
@@ -804,35 +1506,77 @@ where
     F: Fn(u16, &[u8]) -> Result<Box<dyn WireJob>, String> + Send + Sync + 'static,
 {
     let open = Arc::new(open);
+    let state = Arc::new(WorkerState::new());
     loop {
         let (stream, peer) = listener
             .accept()
             .map_err(|e| format!("accepting connection: {e}"))?;
         let open = Arc::clone(&open);
+        let state = Arc::clone(&state);
         std::thread::spawn(move || {
-            if let Err(e) = serve_connection(stream, open.as_ref()) {
+            if let Err(e) = serve_connection(stream, &open, &state) {
                 eprintln!("steac-worker: connection from {peer}: {e}");
             }
         });
     }
 }
 
-/// Serves one envelope-framed request/response exchange on an accepted
-/// connection.
-fn serve_connection<F>(mut stream: TcpStream, open: &F) -> Result<(), String>
+/// Serves one session: envelope-framed requests in a loop until the
+/// client closes the connection at a frame boundary (clean EOF) or a
+/// frame proves unreadable (the stream is desynchronized beyond repair,
+/// so the connection is dropped and the client's retry path takes
+/// over). Each request is answered on its own thread; the shared write
+/// lock keeps concurrently finishing responses from interleaving
+/// mid-frame.
+fn serve_connection<F>(
+    stream: TcpStream,
+    open: &Arc<F>,
+    state: &Arc<WorkerState>,
+) -> Result<(), String>
 where
-    F: Fn(u16, &[u8]) -> Result<Box<dyn WireJob>, String>,
+    F: Fn(u16, &[u8]) -> Result<Box<dyn WireJob>, String> + Send + Sync + 'static,
 {
     let _ = stream.set_nodelay(true);
     // A client that stalls mid-request must not pin this thread forever.
     let _ = stream.set_read_timeout(Some(Duration::from_secs(300)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(300)));
-    let request = read_envelope(&mut stream).map_err(|e| e.to_string())?;
-    let response = shard::process_request(&request, |kind, job| open(kind, job))?;
-    stream
-        .write_all(&encode_envelope(&response))
-        .and_then(|()| stream.flush())
-        .map_err(|e| format!("writing response: {e}"))
+    let stream = Arc::new(stream);
+    let write_lock = Arc::new(Mutex::new(()));
+    loop {
+        // Peek the first byte by hand so a close between frames reads
+        // as a clean end-of-session rather than a truncated envelope.
+        let mut first = [0u8; 1];
+        match (&*stream).read(&mut first) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {}
+            Err(e) => return Err(format!("reading request: {e}")),
+        }
+        let (request_id, request) = read_envelope(&mut (&first[..]).chain(&*stream))
+            .map_err(|e| format!("request frame: {e}"))?;
+        let open = Arc::clone(open);
+        let state = Arc::clone(state);
+        let stream = Arc::clone(&stream);
+        let write_lock = Arc::clone(&write_lock);
+        std::thread::spawn(move || {
+            let outcome =
+                shard::process_request_with(&request, |kind, job| open(kind, job), &state)
+                    .and_then(|response| {
+                        let frame = encode_envelope(request_id, &response);
+                        let _guard = write_lock.lock().expect("no panics hold the lock");
+                        (&*stream)
+                            .write_all(&frame)
+                            .and_then(|()| (&*stream).flush())
+                            .map_err(|e| format!("writing response: {e}"))
+                    });
+            if let Err(e) = outcome {
+                // An unanswerable request would strand the client's
+                // pending entry until its timeout; dropping the whole
+                // connection fails it over to the retry path instead.
+                eprintln!("steac-worker: request {request_id}: {e}");
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+        });
+    }
 }
 
 /// A locally spawned `steac-worker --serve` process: the child plus the
@@ -868,9 +1612,21 @@ impl Drop for ServeHandle {
 /// A diagnostic when the process cannot be spawned or does not announce
 /// an address.
 pub fn spawn_serve_process(binary: &std::path::Path) -> Result<ServeHandle, String> {
+    spawn_serve_process_at(binary, "127.0.0.1:0")
+}
+
+/// [`spawn_serve_process`] with an explicit bind address — port 0 for
+/// ephemeral, or a concrete port to restart a worker on the address a
+/// fleet already points at (the cache-loss drill).
+///
+/// # Errors
+///
+/// A diagnostic when the process cannot be spawned or does not announce
+/// an address.
+pub fn spawn_serve_process_at(binary: &std::path::Path, bind: &str) -> Result<ServeHandle, String> {
     use std::io::BufRead as _;
     let mut child = Command::new(binary)
-        .args(["--serve", "127.0.0.1:0"])
+        .args(["--serve", bind])
         .stdin(Stdio::null())
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
@@ -907,18 +1663,23 @@ mod tests {
 
     #[test]
     fn envelope_round_trip_is_identity() {
-        for payload in [&b""[..], b"x", b"hello envelope", &[0u8; 300]] {
-            let framed = encode_envelope(payload);
+        for (id, payload) in [
+            (0u64, &b""[..]),
+            (1, b"x"),
+            (u64::MAX, b"hello envelope"),
+            (42, &[0u8; 300]),
+        ] {
+            let framed = encode_envelope(id, payload);
             assert_eq!(framed.len(), ENVELOPE_HEADER_LEN + payload.len());
-            assert_eq!(decode_envelope(&framed).unwrap(), payload);
+            assert_eq!(decode_envelope(&framed).unwrap(), (id, payload.to_vec()));
             let mut cursor = &framed[..];
-            assert_eq!(read_envelope(&mut cursor).unwrap(), payload);
+            assert_eq!(read_envelope(&mut cursor).unwrap(), (id, payload.to_vec()));
         }
     }
 
     #[test]
     fn envelope_truncation_always_errors() {
-        let framed = encode_envelope(b"some payload bytes");
+        let framed = encode_envelope(9, b"some payload bytes");
         for cut in 0..framed.len() {
             assert!(decode_envelope(&framed[..cut]).is_err(), "prefix {cut}");
             let mut cursor = &framed[..cut];
@@ -926,36 +1687,45 @@ mod tests {
         }
     }
 
+    /// Corrupting the magic, version, or length always errors; the
+    /// request-id bytes (6..14) are payload-like — a flip there decodes
+    /// cleanly but under a *different* id, which the session router
+    /// drops (nobody is pending under it), so it still cannot corrupt
+    /// an exchange.
     #[test]
-    fn envelope_header_corruption_always_errors() {
-        let framed = encode_envelope(b"payload");
+    fn envelope_header_corruption_is_detected_or_changes_only_the_id() {
+        let framed = encode_envelope(7, b"payload");
         for pos in 0..ENVELOPE_HEADER_LEN {
             for flip in [0x01u8, 0x80, 0xFF] {
                 let mut corrupt = framed.clone();
                 corrupt[pos] ^= flip;
-                assert!(
-                    decode_envelope(&corrupt).is_err(),
-                    "header byte {pos} flip {flip:#x}"
-                );
+                let decoded = decode_envelope(&corrupt);
+                if (6..14).contains(&pos) {
+                    let (id, payload) = decoded.expect("id flips still decode");
+                    assert_ne!(id, 7, "header byte {pos} flip {flip:#x}");
+                    assert_eq!(payload, b"payload");
+                } else {
+                    assert!(decoded.is_err(), "header byte {pos} flip {flip:#x}");
+                }
             }
         }
     }
 
     #[test]
     fn envelope_version_and_magic_are_typed() {
-        let mut framed = encode_envelope(b"p");
+        let mut framed = encode_envelope(0, b"p");
         framed[0] = b'X';
         assert!(matches!(
             decode_envelope(&framed),
             Err(WireError::BadMagic { .. })
         ));
-        let mut framed = encode_envelope(b"p");
+        let mut framed = encode_envelope(0, b"p");
         framed[4] = framed[4].wrapping_add(1);
         assert!(matches!(
             decode_envelope(&framed),
             Err(WireError::UnsupportedVersion { .. })
         ));
-        let mut framed = encode_envelope(b"p");
+        let mut framed = encode_envelope(0, b"p");
         framed.push(0);
         assert!(matches!(
             decode_envelope(&framed),
@@ -963,10 +1733,31 @@ mod tests {
         ));
     }
 
+    /// A v1 envelope (no request id; length directly after the version)
+    /// must be rejected loudly, not misparsed.
+    #[test]
+    fn envelope_v1_frames_are_rejected() {
+        let payload = b"old-style";
+        let mut framed = Vec::new();
+        framed.extend_from_slice(&ENVELOPE_MAGIC);
+        framed.extend_from_slice(&1u16.to_le_bytes());
+        framed.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        framed.extend_from_slice(payload);
+        assert!(matches!(
+            decode_envelope(&framed),
+            Err(WireError::UnsupportedVersion { .. })
+        ));
+        let mut cursor = &framed[..];
+        assert!(matches!(
+            read_envelope(&mut cursor),
+            Err(TransportError::Envelope { .. })
+        ));
+    }
+
     #[test]
     fn read_envelope_rejects_hostile_length_without_allocating_it() {
-        let mut framed = encode_envelope(b"tiny");
-        framed[6..14].copy_from_slice(&u64::MAX.to_le_bytes());
+        let mut framed = encode_envelope(3, b"tiny");
+        framed[14..22].copy_from_slice(&u64::MAX.to_le_bytes());
         let mut cursor = &framed[..];
         assert!(matches!(
             read_envelope(&mut cursor),
@@ -1216,5 +2007,197 @@ mod tests {
         let expected = units(12);
         let got = fleet.run(7, b"job", &expected).unwrap();
         assert_eq!(got, expected);
+    }
+
+    // ---------- program cache + session semantics ----------
+
+    /// A loopback transport backed by a *persistent* [`WorkerState`],
+    /// so by-hash requests exercise the real cache path in-process. The
+    /// state handle is shared with the test, which can swap in a fresh
+    /// one to simulate a worker restart.
+    struct CachingLoopback {
+        state: Arc<Mutex<Arc<WorkerState>>>,
+        streams: usize,
+    }
+
+    impl CachingLoopback {
+        fn new(streams: usize) -> (Box<Self>, Arc<Mutex<Arc<WorkerState>>>) {
+            let state = Arc::new(Mutex::new(Arc::new(WorkerState::new())));
+            let transport = Box::new(CachingLoopback {
+                state: Arc::clone(&state),
+                streams,
+            });
+            (transport, state)
+        }
+    }
+
+    impl Transport for CachingLoopback {
+        fn call(&self, request: &[u8]) -> Result<Vec<u8>, TransportError> {
+            let state = Arc::clone(&self.state.lock().expect("no panics hold the lock"));
+            shard::process_request_with(request, |_, _| Ok(Box::new(EchoJob)), &state)
+                .map_err(|diagnostic| TransportError::Io { diagnostic })
+        }
+        fn endpoint(&self) -> String {
+            "caching-loopback".to_string()
+        }
+        fn caches_programs(&self) -> bool {
+            true
+        }
+        fn streams(&self) -> usize {
+            self.streams
+        }
+    }
+
+    #[test]
+    fn caching_transport_ships_the_program_once_then_goes_by_hash() {
+        let job = b"a-reasonably-long-program-blob".to_vec();
+        let expected = units(40);
+        let (host, _state) = CachingLoopback::new(2);
+        let fleet = RemoteFleet::new(vec![host]).with_chunk(2);
+        let got = fleet.run(7, &job, &expected).unwrap();
+        assert_eq!(got, expected);
+        let stats = fleet.stats();
+        assert!(stats.requests >= 20, "chunk 2 over 40 units: {stats:?}");
+        assert_eq!(stats.programs_shipped, 1, "{stats:?}");
+        assert_eq!(stats.program_bytes, job.len() as u64, "{stats:?}");
+        assert_eq!(stats.need_program_replies, 0, "{stats:?}");
+        assert!(stats.unit_bytes > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn worker_restart_mid_run_heals_via_need_program() {
+        let expected = units(60);
+        let (host, state) = CachingLoopback::new(1);
+        let fleet = RemoteFleet::new(vec![host]).with_chunk(2);
+        // Prime the cache with a first run, restart the "worker", then
+        // run again: the fleet's ledger is now stale and must heal.
+        let got = fleet.run(7, b"job-bytes", &expected).unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(fleet.stats().programs_shipped, 1);
+        *state.lock().unwrap() = Arc::new(WorkerState::new());
+        let got = fleet.run(7, b"job-bytes", &expected).unwrap();
+        assert_eq!(got, expected);
+        let stats = fleet.stats();
+        assert_eq!(
+            stats.need_program_replies, 1,
+            "stale ledger must surface as NeedProgram: {stats:?}"
+        );
+        assert_eq!(stats.programs_shipped, 2, "one re-ship heals it: {stats:?}");
+    }
+
+    #[test]
+    fn non_caching_transport_always_ships_inline() {
+        let expected = units(10);
+        let fleet = RemoteFleet::new(vec![loopback(|_| None)]).with_chunk(5);
+        let got = fleet.run(7, b"job", &expected).unwrap();
+        assert_eq!(got, expected);
+        let stats = fleet.stats();
+        assert_eq!(stats.programs_shipped, stats.requests, "{stats:?}");
+    }
+
+    /// The whole point of persistent sessions: a fleet run over a
+    /// 2-stream TCP transport uses exactly one connection.
+    #[test]
+    fn tcp_fleet_run_uses_one_connection_per_transport() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let accepts = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&accepts);
+        std::thread::spawn(move || {
+            let open = Arc::new(|_: u16, _: &[u8]| Ok(Box::new(EchoJob) as Box<dyn WireJob>));
+            let state = Arc::new(WorkerState::new());
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { break };
+                seen.fetch_add(1, Ordering::Relaxed);
+                let open = Arc::clone(&open);
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || {
+                    let _ = serve_connection(stream, &open, &state);
+                });
+            }
+        });
+        let fleet = RemoteFleet::tcp([addr]).unwrap().with_chunk(2);
+        let expected = units(30);
+        let got = fleet.run(7, b"job", &expected).unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(accepts.load(Ordering::Relaxed), 1);
+        let stats = fleet.stats();
+        assert_eq!(stats.programs_shipped, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn tcp_transport_reconnects_lazily_after_a_session_loss() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let state = Arc::new(WorkerState::new());
+            for (i, stream) in listener.incoming().enumerate() {
+                let Ok(stream) = stream else { break };
+                if i == 0 {
+                    // First session: answer one frame, then slam the
+                    // connection shut.
+                    let mut reader = stream.try_clone().unwrap();
+                    if let Ok((id, payload)) = read_envelope(&mut reader) {
+                        let response =
+                            shard::process_request(&payload, |_, _| Ok(Box::new(EchoJob))).unwrap();
+                        let mut w = &stream;
+                        let _ = w.write_all(&encode_envelope(id, &response));
+                    }
+                    drop(stream);
+                } else {
+                    let open =
+                        Arc::new(|_: u16, _: &[u8]| Ok(Box::new(EchoJob) as Box<dyn WireJob>));
+                    let state = Arc::clone(&state);
+                    std::thread::spawn(move || {
+                        let _ = serve_connection(stream, &open, &state);
+                    });
+                }
+            }
+        });
+        let t = TcpTransport::new(addr).with_timeout(Some(Duration::from_secs(10)));
+        let request = shard::encode_request(7, Some(b"job"), fnv1a64(b"job"), &[0], &units(1));
+        assert!(t.call(&request).is_ok(), "first session works");
+        // Give the reader thread a moment to notice the server-side
+        // close, then call again: the transport must reconnect on its
+        // own rather than erroring or panicking.
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(t.call(&request).is_ok(), "reconnected session works");
+    }
+
+    #[test]
+    fn hostname_targets_resolve_once_per_session() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = listener.local_addr().unwrap().port();
+        std::thread::spawn(move || {
+            let _ = serve_tcp(listener, |_, _| Ok(Box::new(EchoJob)));
+        });
+        // A *hostname* target (not a literal IP), so `to_socket_addrs`
+        // does real resolution work worth caching.
+        let t = TcpTransport::new(format!("localhost:{port}"));
+        assert_eq!(t.resolutions(), 0, "resolution is lazy");
+        let request = shard::encode_request(7, Some(b"job"), fnv1a64(b"job"), &[0], &units(1));
+        for _ in 0..3 {
+            t.call(&request).unwrap();
+        }
+        assert_eq!(t.resolutions(), 1, "one session, one resolution");
+    }
+
+    #[test]
+    fn status_round_trips_over_tcp_and_counts_the_cache() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let _ = serve_tcp(listener, |_, _| Ok(Box::new(EchoJob)));
+        });
+        let fleet = RemoteFleet::tcp([addr]).unwrap().with_chunk(4);
+        let expected = units(12);
+        assert_eq!(fleet.run(7, b"job", &expected).unwrap(), expected);
+        let statuses = fleet.statuses();
+        assert_eq!(statuses.len(), 1);
+        let status = statuses[0].1.as_ref().expect("status reply");
+        assert_eq!(status.units_served, 12, "{status:?}");
+        assert_eq!(status.cache_entries, 1, "{status:?}");
+        assert!(status.requests_served >= 1, "{status:?}");
+        assert!(status.bytes_received > 0, "{status:?}");
     }
 }

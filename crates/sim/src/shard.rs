@@ -34,41 +34,66 @@
 //!   and the `steac-worker` binary routes requests through that one
 //!   table.
 //!
-//! # Worker protocol
+//! # Worker protocol (version 3)
 //!
-//! One request per worker process over stdin, one response over stdout,
-//! everything little-endian via [`crate::wire`] primitives:
+//! One request in, one response out, everything little-endian via
+//! [`crate::wire`] primitives. Requests and responses are *tagged*:
 //!
 //! ```text
-//! request:  magic b"STWQ", version u16, kind u16, job block,
-//!           unit count u64, then per unit: index u64, unit block
-//! response: magic b"STWR", version u16,
-//!           then per unit: index u64, status u8 (0 = ok, 1 = error),
-//!           payload block (result bytes, or a UTF-8 diagnostic)
+//! request:  magic b"STWQ", version u16, tag u8
+//!   tag 0 (run):    kind u16, job hash u64 (FNV-1a 64 of the job
+//!                   bytes), job-present u8 (0 = by hash, 1 = inline),
+//!                   [job block when inline], unit count u64,
+//!                   then per unit: index u64, unit block
+//!   tag 1 (status): nothing further
+//! response: magic b"STWR", version u16, tag u8
+//!   tag 0 (results):      per unit: index u64, status u8 (0 = ok,
+//!                         1 = error), payload block (result bytes, or
+//!                         a UTF-8 diagnostic)
+//!   tag 1 (need program): job hash u64 — the worker has no cached
+//!                         program under that hash; the dispatcher
+//!                         re-sends the same units with the job inline
+//!   tag 2 (status):       uptime ms, cache entries/hits/misses/
+//!                         evictions, requests served, units served,
+//!                         bytes received (u64 each)
 //! ```
 //!
-//! The same request/response bytes travel unchanged over every
-//! transport: stdio frames them by EOF and process exit, remote
-//! transports ([`crate::remote`]) frame them with a length-prefixed
-//! versioned envelope — [`process_request`] is the one execution core
-//! behind both.
+//! The **program cache** is what makes tag-0-by-hash worthwhile: a
+//! persistent worker ([`WorkerState`]) keeps a small LRU of recently
+//! seen job blocks keyed by their content hash, so a fleet run ships
+//! the serialized program *once per host* and every subsequent request
+//! is a 26-byte header plus unit bytes. An inline job whose bytes do
+//! not hash to the declared value is never executed or cached — every
+//! unit reports the mismatch, deterministically, so a corrupted
+//! program can fail a run but never produce a wrong answer.
 //!
-//! The worker ([`serve_worker`]) opens the job once (`kind` selects the
-//! workload; the job block carries the compiled program and shared
-//! parameters), executes its units in order, and exits 0. Protocol
-//! errors — truncated or version-mismatched requests — make it exit
-//! nonzero with a diagnostic on stderr; the dispatcher surfaces any
-//! worker failure as the **lowest-indexed** affected unit's error, so
-//! failure reporting is as deterministic as success merging.
+//! The same request/response bytes travel unchanged over every
+//! transport: stdio frames them by EOF and process exit (one fresh
+//! [`WorkerState`] per process, so a by-hash request correctly draws
+//! "need program"), remote transports ([`crate::remote`]) frame them
+//! with a length-prefixed versioned envelope and share one
+//! [`WorkerState`] across connections — [`process_request_with`] is
+//! the one execution core behind both.
+//!
+//! The worker opens the job once (`kind` selects the workload; the job
+//! block carries the compiled program and shared parameters) and
+//! executes its units in order. Protocol errors — truncated or
+//! version-mismatched requests — surface as a typed diagnostic; the
+//! dispatcher reports any worker failure as the **lowest-indexed**
+//! affected unit's error, so failure reporting is as deterministic as
+//! success merging.
 //!
 //! No dependencies beyond `std`: the thread pool is
 //! `std::thread::scope`, the process pool is `std::process::Command`.
 
-use crate::wire::{WireReader, WireWriter};
+use crate::wire::{fnv1a64, WireReader, WireWriter};
+use std::fmt;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Worker-count configuration for sharded execution.
 ///
@@ -333,8 +358,171 @@ const RESPONSE_MAGIC: [u8; 4] = *b"STWR";
 
 /// Version of the worker request/response framing; bumped in lock step
 /// with [`crate::wire::WIRE_VERSION`] discipline (see that module's
-/// versioning rule).
-pub const PROTOCOL_VERSION: u16 = 2;
+/// versioning rule). Version 3 added request/response tags, the
+/// content-addressed program reference (hash + optional inline block)
+/// and the status exchange.
+pub const PROTOCOL_VERSION: u16 = 3;
+
+/// Request tags (see the module docs for the full frame layouts).
+const REQ_RUN: u8 = 0;
+const REQ_STATUS: u8 = 1;
+
+/// Response tags.
+const REPLY_RESULTS: u8 = 0;
+const REPLY_NEED_PROGRAM: u8 = 1;
+const REPLY_STATUS: u8 = 2;
+
+/// Byte offset of the first job-block byte inside an inline run
+/// request: magic (4) + version (2) + tag (1) + kind (2) + hash (8) +
+/// present flag (1) + block length (8). The hash-corruption chaos test
+/// flips bytes from here on to prove a damaged program is a typed
+/// error, never a wrong answer.
+#[doc(hidden)]
+pub const RUN_REQUEST_JOB_OFFSET: usize = 26;
+
+/// Programs a persistent worker keeps decoded-job *bytes* for, most
+/// recently used last. Small on purpose: a fleet serves one or a
+/// handful of distinct programs at a time, and a stale entry costs one
+/// extra round trip, not a wrong answer.
+const PROGRAM_CACHE_CAPACITY: usize = 8;
+
+/// The content-addressed LRU of job blocks a persistent worker serves
+/// by-hash requests from. Caches the wire *bytes*, not opened jobs:
+/// [`WireJob`]s are stateful (`run_unit` takes `&mut self`), so each
+/// request opens its own job from the cached bytes — decode cost is
+/// noise next to executing even one unit.
+#[derive(Debug, Default)]
+struct ProgramCache {
+    /// `(hash, job bytes)`, least recently used first.
+    entries: Vec<(u64, Vec<u8>)>,
+}
+
+impl ProgramCache {
+    /// Returns the cached bytes for `hash`, refreshing its LRU slot.
+    fn get(&mut self, hash: u64) -> Option<Vec<u8>> {
+        let pos = self.entries.iter().position(|&(h, _)| h == hash)?;
+        let entry = self.entries.remove(pos);
+        let bytes = entry.1.clone();
+        self.entries.push(entry);
+        Some(bytes)
+    }
+
+    /// Inserts (or refreshes) an entry; returns `true` when a victim
+    /// was evicted to make room.
+    fn insert(&mut self, hash: u64, bytes: Vec<u8>) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&(h, _)| h == hash) {
+            let _ = self.entries.remove(pos);
+            self.entries.push((hash, bytes));
+            return false;
+        }
+        self.entries.push((hash, bytes));
+        if self.entries.len() > PROGRAM_CACHE_CAPACITY {
+            let _ = self.entries.remove(0);
+            return true;
+        }
+        false
+    }
+}
+
+/// The persistent state of one worker: the program cache plus the
+/// counters behind the status exchange. One per `--serve` listener
+/// (shared across connections and requests), one fresh per stdio
+/// request (where nothing can persist anyway).
+#[derive(Debug)]
+pub struct WorkerState {
+    started: Instant,
+    cache: Mutex<ProgramCache>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
+    requests_served: AtomicU64,
+    units_served: AtomicU64,
+    bytes_received: AtomicU64,
+}
+
+impl Default for WorkerState {
+    fn default() -> Self {
+        WorkerState::new()
+    }
+}
+
+impl WorkerState {
+    /// A fresh state with an empty cache and zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        WorkerState {
+            started: Instant::now(),
+            cache: Mutex::new(ProgramCache::default()),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_evictions: AtomicU64::new(0),
+            requests_served: AtomicU64::new(0),
+            units_served: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+        }
+    }
+
+    /// A point-in-time snapshot of the counters — the payload of the
+    /// status exchange.
+    #[must_use]
+    pub fn status(&self) -> WorkerStatus {
+        WorkerStatus {
+            uptime_ms: self.started.elapsed().as_millis().min(u128::from(u64::MAX)) as u64,
+            cache_entries: self
+                .cache
+                .lock()
+                .expect("no panics hold the lock")
+                .entries
+                .len() as u64,
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            requests_served: self.requests_served.load(Ordering::Relaxed),
+            units_served: self.units_served.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One worker's self-reported counters, as returned by the status
+/// exchange ([`crate::remote::query_status`], `steac-worker --status`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerStatus {
+    /// Milliseconds since the worker state was created.
+    pub uptime_ms: u64,
+    /// Programs currently held by the cache.
+    pub cache_entries: u64,
+    /// By-hash requests served from the cache.
+    pub cache_hits: u64,
+    /// By-hash requests answered "need program".
+    pub cache_misses: u64,
+    /// Cache entries evicted to make room.
+    pub cache_evictions: u64,
+    /// Requests processed (run and status alike).
+    pub requests_served: u64,
+    /// Work units executed.
+    pub units_served: u64,
+    /// Request bytes received (after transport framing).
+    pub bytes_received: u64,
+}
+
+impl fmt::Display for WorkerStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "up {:.1}s · programs cached {} (hits {}, misses {}, evictions {}) · \
+             requests {} · units {} · bytes received {}",
+            self.uptime_ms as f64 / 1000.0,
+            self.cache_entries,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.requests_served,
+            self.units_served,
+            self.bytes_received,
+        )
+    }
+}
 
 /// One opened job inside a worker process: decoded shared state plus the
 /// per-unit execution step. Implementations live next to their workloads
@@ -545,6 +733,7 @@ impl ProcessPool {
         if units.is_empty() {
             return Ok(Vec::new());
         }
+        let job_hash = fnv1a64(job);
         let workers = self.workers.min(units.len());
         let assignments: Vec<Vec<usize>> = (0..workers)
             .map(|w| (w..units.len()).step_by(workers).collect())
@@ -574,7 +763,12 @@ impl ProcessPool {
         let mut feeds = Vec::with_capacity(workers);
         for (child, assigned) in children.iter_mut().zip(&assignments) {
             let stdin = child.stdin.take().expect("stdin was piped");
-            feeds.push((stdin, encode_request(kind, job, assigned, units)));
+            // A spawned worker lives for exactly one request, so its
+            // cache can never be warm: always ship the job inline.
+            feeds.push((
+                stdin,
+                encode_request(kind, Some(job), job_hash, assigned, units),
+            ));
         }
         // Writers run on scoped threads so a worker blocked writing its
         // response never deadlocks against us writing its request.
@@ -603,7 +797,18 @@ impl ProcessPool {
             match output {
                 Err(e) => failures.push((assigned[0], format!("worker {w} I/O error: {e}"))),
                 Ok(output) => {
-                    let (items, parse_error) = parse_response(&output.stdout, units.len());
+                    let (items, parse_error) = match parse_reply(&output.stdout, units.len()) {
+                        Reply::Results(items, damage) => (items, damage),
+                        Reply::NeedProgram(h) => (
+                            Vec::new(),
+                            Some(format!(
+                                "worker demanded program {h:#018x} despite an inline job"
+                            )),
+                        ),
+                        Reply::Status(_) => {
+                            (Vec::new(), Some("unexpected status reply".to_string()))
+                        }
+                    };
                     for (idx, result) in items {
                         match result {
                             Ok(bytes) => slots[idx] = Some(bytes),
@@ -646,17 +851,37 @@ impl ProcessPool {
     }
 }
 
+/// Encodes one run request. `job` is `Some(bytes)` to ship the program
+/// inline (its FNV-1a hash must be `job_hash`) or `None` to reference
+/// the worker's cache by `job_hash` alone.
 pub(crate) fn encode_request(
     kind: u16,
-    job: &[u8],
+    job: Option<&[u8]>,
+    job_hash: u64,
     unit_indices: &[usize],
     units: &[Vec<u8>],
 ) -> Vec<u8> {
+    let unit_bytes: usize = unit_indices.iter().map(|&idx| units[idx].len()).sum();
     let mut w = WireWriter::new();
+    w.reserve(
+        RUN_REQUEST_JOB_OFFSET
+            + job.map_or(0, <[u8]>::len)
+            + unit_bytes
+            + 24 * unit_indices.len()
+            + 8,
+    );
     w.put_bytes(&REQUEST_MAGIC);
     w.put_u16(PROTOCOL_VERSION);
+    w.put_u8(REQ_RUN);
     w.put_u16(kind);
-    w.put_block(job);
+    w.put_u64(job_hash);
+    match job {
+        Some(job) => {
+            w.put_u8(1);
+            w.put_block(job);
+        }
+        None => w.put_u8(0),
+    }
     w.put_usize(unit_indices.len());
     for &idx in unit_indices {
         w.put_usize(idx);
@@ -665,81 +890,246 @@ pub(crate) fn encode_request(
     w.finish()
 }
 
-/// Parses one worker's response stream. Returns the per-unit results
-/// recovered so far plus an optional description of where parsing
-/// stopped (protocol damage after that point).
-#[allow(clippy::type_complexity)]
-pub(crate) fn parse_response(
-    bytes: &[u8],
-    unit_count: usize,
-) -> (Vec<(usize, Result<Vec<u8>, String>)>, Option<String>) {
+/// Encodes a status request.
+pub(crate) fn encode_status_request() -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_bytes(&REQUEST_MAGIC);
+    w.put_u16(PROTOCOL_VERSION);
+    w.put_u8(REQ_STATUS);
+    w.finish()
+}
+
+fn encode_need_program(hash: u64) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_bytes(&RESPONSE_MAGIC);
+    w.put_u16(PROTOCOL_VERSION);
+    w.put_u8(REPLY_NEED_PROGRAM);
+    w.put_u64(hash);
+    w.finish()
+}
+
+fn encode_status_reply(status: &WorkerStatus) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_bytes(&RESPONSE_MAGIC);
+    w.put_u16(PROTOCOL_VERSION);
+    w.put_u8(REPLY_STATUS);
+    for field in [
+        status.uptime_ms,
+        status.cache_entries,
+        status.cache_hits,
+        status.cache_misses,
+        status.cache_evictions,
+        status.requests_served,
+        status.units_served,
+        status.bytes_received,
+    ] {
+        w.put_u64(field);
+    }
+    w.finish()
+}
+
+/// One parsed worker response.
+pub(crate) enum Reply {
+    /// Per-unit results recovered so far, plus an optional description
+    /// of where parsing stopped (protocol damage after that point).
+    Results(Vec<(usize, Result<Vec<u8>, String>)>, Option<String>),
+    /// The worker has no cached program under this hash; re-send the
+    /// same units with the job inline.
+    NeedProgram(u64),
+    /// The worker's status counters.
+    Status(WorkerStatus),
+}
+
+/// Parses one worker's response bytes. Damage anywhere — header,
+/// unknown tag, malformed record — degrades to
+/// [`Reply::Results`] carrying whatever was recovered plus the
+/// diagnostic, so every caller handles damage through one path.
+pub(crate) fn parse_reply(bytes: &[u8], unit_count: usize) -> Reply {
     let mut r = WireReader::new(bytes);
-    if let Err(e) = r
-        .expect_magic(&RESPONSE_MAGIC, "response magic")
-        .and_then(|()| r.expect_version(PROTOCOL_VERSION, "response version"))
-    {
-        return (Vec::new(), Some(e.to_string()));
-    }
-    let mut items = Vec::new();
-    while r.remaining() > 0 {
-        let record = (|| {
-            let idx = r.get_usize("result unit index")?;
-            let status = r.get_u8("result status")?;
-            let payload = r.get_block("result payload")?.to_vec();
-            Ok::<_, crate::wire::WireError>((idx, status, payload))
-        })();
-        match record {
-            Ok((idx, status, payload)) if idx < unit_count => {
-                let result = if status == 0 {
-                    Ok(payload)
-                } else {
-                    Err(String::from_utf8_lossy(&payload).into_owned())
-                };
-                items.push((idx, result));
+    let header = (|| {
+        r.expect_magic(&RESPONSE_MAGIC, "response magic")?;
+        r.expect_version(PROTOCOL_VERSION, "response version")?;
+        r.get_u8("response tag")
+    })();
+    let tag = match header {
+        Ok(tag) => tag,
+        Err(e) => return Reply::Results(Vec::new(), Some(e.to_string())),
+    };
+    match tag {
+        REPLY_RESULTS => {
+            let mut items = Vec::new();
+            while r.remaining() > 0 {
+                let record = (|| {
+                    let idx = r.get_usize("result unit index")?;
+                    let status = r.get_u8("result status")?;
+                    let payload = r.get_block("result payload")?.to_vec();
+                    Ok::<_, crate::wire::WireError>((idx, status, payload))
+                })();
+                match record {
+                    Ok((idx, status, payload)) if idx < unit_count => {
+                        let result = if status == 0 {
+                            Ok(payload)
+                        } else {
+                            Err(String::from_utf8_lossy(&payload).into_owned())
+                        };
+                        items.push((idx, result));
+                    }
+                    Ok((idx, ..)) => {
+                        return Reply::Results(
+                            items,
+                            Some(format!("unit index {idx} out of range")),
+                        )
+                    }
+                    Err(e) => return Reply::Results(items, Some(e.to_string())),
+                }
             }
-            Ok((idx, ..)) => return (items, Some(format!("unit index {idx} out of range"))),
-            Err(e) => return (items, Some(e.to_string())),
+            Reply::Results(items, None)
         }
+        REPLY_NEED_PROGRAM => {
+            let hash = (|| {
+                let hash = r.get_u64("needed program hash")?;
+                r.finish()?;
+                Ok::<_, crate::wire::WireError>(hash)
+            })();
+            match hash {
+                Ok(hash) => Reply::NeedProgram(hash),
+                Err(e) => Reply::Results(Vec::new(), Some(e.to_string())),
+            }
+        }
+        REPLY_STATUS => {
+            let status = (|| {
+                let mut fields = [0u64; 8];
+                for field in &mut fields {
+                    *field = r.get_u64("status field")?;
+                }
+                r.finish()?;
+                Ok::<_, crate::wire::WireError>(WorkerStatus {
+                    uptime_ms: fields[0],
+                    cache_entries: fields[1],
+                    cache_hits: fields[2],
+                    cache_misses: fields[3],
+                    cache_evictions: fields[4],
+                    requests_served: fields[5],
+                    units_served: fields[6],
+                    bytes_received: fields[7],
+                })
+            })();
+            match status {
+                Ok(status) => Reply::Status(status),
+                Err(e) => Reply::Results(Vec::new(), Some(e.to_string())),
+            }
+        }
+        other => Reply::Results(Vec::new(), Some(format!("unknown response tag {other}"))),
     }
-    (items, None)
 }
 
 /// The transport-independent worker core: parses one already-delivered
-/// request, opens the job via `open` (handed the request's `kind` and
-/// job block), executes every unit in order, and returns the serialized
-/// response. [`serve_worker`] (stdio framing) and
-/// [`crate::remote::serve_tcp`] (envelope framing) are both thin shells
-/// around this function, so every transport executes requests
-/// identically.
+/// request against persistent `state`, opens the job via `open` (handed
+/// the request's `kind` and job bytes — inline from the request, or
+/// served from the program cache on a by-hash reference), executes
+/// every unit in order, and returns the serialized response.
+/// [`serve_worker`] (stdio framing, fresh state) and
+/// [`crate::remote::serve_tcp`] (envelope framing, one shared state per
+/// listener) are both thin shells around this function, so every
+/// transport executes requests identically.
 ///
-/// A job that fails to open (unknown kind, corrupt job bytes) still
-/// produces a well-formed response — every unit reports the open
-/// diagnostic — so the dispatcher can attribute the failure to the
-/// lowest-indexed unit instead of guessing from a dead pipe.
+/// Three non-fatal outcomes still produce a well-formed response:
+///
+/// * a by-hash request missing the cache returns "need program"
+///   (counted as a miss) — the dispatcher re-ships the job inline;
+/// * an inline job whose bytes do not match the declared hash makes
+///   every unit report the mismatch — a corrupted program fails
+///   deterministically, it never runs;
+/// * a job that fails to open (unknown kind, corrupt job bytes) makes
+///   every unit report the open diagnostic.
 ///
 /// # Errors
 ///
 /// A diagnostic when the request itself is unreadable (truncated bytes,
-/// bad magic, version mismatch).
-pub fn process_request<F>(data: &[u8], open: F) -> Result<Vec<u8>, String>
+/// bad magic, version mismatch, unknown tag).
+pub fn process_request_with<F>(data: &[u8], open: F, state: &WorkerState) -> Result<Vec<u8>, String>
 where
     F: FnOnce(u16, &[u8]) -> Result<Box<dyn WireJob>, String>,
 {
+    state
+        .bytes_received
+        .fetch_add(data.len() as u64, Ordering::Relaxed);
+    state.requests_served.fetch_add(1, Ordering::Relaxed);
     let mut r = WireReader::new(data);
-    let protocol = (|| {
+    let header = (|| {
         r.expect_magic(&REQUEST_MAGIC, "request magic")?;
         r.expect_version(PROTOCOL_VERSION, "request version")?;
-        let kind = r.get_u16("job kind")?;
-        let job = r.get_block("job payload")?;
-        let count = r.get_usize("unit count")?;
-        Ok::<_, crate::wire::WireError>((kind, job, count))
+        r.get_u8("request tag")
     })();
-    let (kind, job, count) = protocol.map_err(|e| e.to_string())?;
-    let mut handler = open(kind, job);
+    let tag = header.map_err(|e| e.to_string())?;
+    if tag == REQ_STATUS {
+        r.finish().map_err(|e| e.to_string())?;
+        return Ok(encode_status_reply(&state.status()));
+    }
+    if tag != REQ_RUN {
+        return Err(format!("unknown request tag {tag}"));
+    }
+    let run_header = (|| {
+        let kind = r.get_u16("job kind")?;
+        let hash = r.get_u64("job hash")?;
+        let present = r.get_u8("job present flag")?;
+        Ok::<_, crate::wire::WireError>((kind, hash, present))
+    })();
+    let (kind, hash, present) = run_header.map_err(|e| e.to_string())?;
+    let mut hash_error = None;
+    let cached: Vec<u8>;
+    let job: &[u8] = match present {
+        1 => {
+            let job = r.get_block("job payload").map_err(|e| e.to_string())?;
+            let computed = fnv1a64(job);
+            if computed == hash {
+                let evicted = state
+                    .cache
+                    .lock()
+                    .expect("no panics hold the lock")
+                    .insert(hash, job.to_vec());
+                if evicted {
+                    state.cache_evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            } else {
+                hash_error = Some(format!(
+                    "program hash mismatch: declared {hash:#018x}, computed {computed:#018x} \
+                     over {} job bytes",
+                    job.len()
+                ));
+            }
+            job
+        }
+        0 => {
+            let hit = state
+                .cache
+                .lock()
+                .expect("no panics hold the lock")
+                .get(hash);
+            match hit {
+                Some(bytes) => {
+                    state.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    cached = bytes;
+                    &cached
+                }
+                None => {
+                    state.cache_misses.fetch_add(1, Ordering::Relaxed);
+                    return Ok(encode_need_program(hash));
+                }
+            }
+        }
+        other => return Err(format!("bad job-present flag {other}")),
+    };
+    let count = r.get_usize("unit count").map_err(|e| e.to_string())?;
+    let mut handler = match hash_error {
+        Some(e) => Err(e),
+        None => open(kind, job),
+    };
 
     let mut w = WireWriter::new();
     w.put_bytes(&RESPONSE_MAGIC);
     w.put_u16(PROTOCOL_VERSION);
+    w.put_u8(REPLY_RESULTS);
     for _ in 0..count {
         let unit = (|| {
             let idx = r.get_usize("unit index")?;
@@ -764,7 +1154,25 @@ where
         }
     }
     r.finish().map_err(|e| e.to_string())?;
+    state
+        .units_served
+        .fetch_add(count as u64, Ordering::Relaxed);
     Ok(w.finish())
+}
+
+/// [`process_request_with`] against a fresh, throwaway [`WorkerState`] —
+/// the right core for one-shot workers (stdio, spawned processes) where
+/// nothing can persist between requests. A by-hash request here
+/// correctly draws "need program".
+///
+/// # Errors
+///
+/// As [`process_request_with`].
+pub fn process_request<F>(data: &[u8], open: F) -> Result<Vec<u8>, String>
+where
+    F: FnOnce(u16, &[u8]) -> Result<Box<dyn WireJob>, String>,
+{
+    process_request_with(data, open, &WorkerState::new())
 }
 
 /// The stdio worker shell: reads one request from `input` (framed by
@@ -896,5 +1304,139 @@ mod tests {
         let mut reg = JobRegistry::new();
         reg.register(7, "echo", open_echo);
         reg.register(7, "echo2", open_echo);
+    }
+
+    // ---------- protocol v3: cache, hash verification, status ----------
+
+    /// The kind-routing shape `process_request*` expects (the registry
+    /// adds the kind itself; here we take both).
+    fn open_any(_kind: u16, _job: &[u8]) -> Result<Box<dyn WireJob>, String> {
+        Ok(Box::new(EchoJob))
+    }
+
+    fn unit_list(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("u{i}").into_bytes()).collect()
+    }
+
+    fn run_results(reply: &[u8], count: usize) -> Vec<(usize, Result<Vec<u8>, String>)> {
+        match parse_reply(reply, count) {
+            Reply::Results(items, None) => items,
+            Reply::Results(_, Some(e)) => panic!("damaged reply: {e}"),
+            _ => panic!("expected results"),
+        }
+    }
+
+    #[test]
+    fn by_hash_request_misses_then_hits_a_persistent_cache() {
+        let state = WorkerState::new();
+        let units = unit_list(3);
+        let job = b"the job bytes";
+        let hash = fnv1a64(job);
+
+        // Cold cache: by-hash draws "need program", nothing runs.
+        let req = encode_request(7, None, hash, &[0, 1, 2], &units);
+        let reply = process_request_with(&req, open_any, &state).unwrap();
+        assert!(matches!(parse_reply(&reply, 3), Reply::NeedProgram(h) if h == hash));
+        assert_eq!(state.status().cache_misses, 1);
+        assert_eq!(state.status().units_served, 0);
+
+        // Inline ship: runs, and primes the cache.
+        let req = encode_request(7, Some(job), hash, &[0, 1, 2], &units);
+        let reply = process_request_with(&req, open_any, &state).unwrap();
+        assert_eq!(run_results(&reply, 3).len(), 3);
+        assert_eq!(state.status().cache_entries, 1);
+
+        // Warm cache: by-hash now runs without the job bytes.
+        let req = encode_request(7, None, hash, &[1], &units);
+        let reply = process_request_with(&req, open_any, &state).unwrap();
+        let items = run_results(&reply, 3);
+        assert_eq!(items, vec![(1, Ok(b"u1".to_vec()))]);
+        let status = state.status();
+        assert_eq!(status.cache_hits, 1);
+        assert_eq!(status.cache_misses, 1);
+        assert_eq!(status.units_served, 4);
+        assert_eq!(status.requests_served, 3);
+        assert!(status.bytes_received > 0);
+    }
+
+    #[test]
+    fn hash_mismatch_fails_every_unit_and_never_caches() {
+        let state = WorkerState::new();
+        let units = unit_list(2);
+        let job = b"honest bytes";
+        let wrong = fnv1a64(job) ^ 0xdead_beef;
+        let req = encode_request(7, Some(job), wrong, &[0, 1], &units);
+        let reply = process_request_with(&req, open_any, &state).unwrap();
+        let items = run_results(&reply, 2);
+        assert_eq!(items.len(), 2);
+        for (_, result) in items {
+            let e = result.unwrap_err();
+            assert!(e.contains("program hash mismatch"), "{e}");
+        }
+        // The poisoned program must not have entered the cache.
+        assert_eq!(state.status().cache_entries, 0);
+        let req = encode_request(7, None, wrong, &[0], &units);
+        let reply = process_request_with(&req, open_any, &state).unwrap();
+        assert!(matches!(parse_reply(&reply, 2), Reply::NeedProgram(_)));
+    }
+
+    #[test]
+    fn program_cache_evicts_least_recently_used() {
+        let state = WorkerState::new();
+        let units = unit_list(1);
+        let jobs: Vec<Vec<u8>> = (0..=PROGRAM_CACHE_CAPACITY)
+            .map(|i| format!("job {i}").into_bytes())
+            .collect();
+        for job in &jobs {
+            let req = encode_request(7, Some(job), fnv1a64(job), &[0], &units);
+            let _ = process_request_with(&req, open_any, &state).unwrap();
+        }
+        let status = state.status();
+        assert_eq!(status.cache_entries, PROGRAM_CACHE_CAPACITY as u64);
+        assert_eq!(status.cache_evictions, 1);
+        // The first program was the victim; the last is still warm.
+        let req = encode_request(7, None, fnv1a64(&jobs[0]), &[0], &units);
+        let reply = process_request_with(&req, open_any, &state).unwrap();
+        assert!(matches!(parse_reply(&reply, 1), Reply::NeedProgram(_)));
+        let req = encode_request(7, None, fnv1a64(jobs.last().unwrap()), &[0], &units);
+        let reply = process_request_with(&req, open_any, &state).unwrap();
+        assert_eq!(run_results(&reply, 1).len(), 1);
+    }
+
+    #[test]
+    fn status_exchange_round_trips() {
+        let state = WorkerState::new();
+        let reply = process_request_with(&encode_status_request(), open_any, &state).unwrap();
+        match parse_reply(&reply, 0) {
+            Reply::Status(status) => {
+                assert_eq!(status.requests_served, 1);
+                assert_eq!(status.units_served, 0);
+                assert!(status.bytes_received >= 7);
+                // The Display form is the `--status` output; smoke it.
+                assert!(status.to_string().contains("requests 1"));
+            }
+            _ => panic!("expected a status reply"),
+        }
+    }
+
+    #[test]
+    fn inline_job_bytes_start_at_the_documented_offset() {
+        let units = unit_list(1);
+        let job = b"locate me";
+        let req = encode_request(7, Some(job), fnv1a64(job), &[0], &units);
+        assert_eq!(
+            &req[RUN_REQUEST_JOB_OFFSET..RUN_REQUEST_JOB_OFFSET + job.len()],
+            job
+        );
+    }
+
+    #[test]
+    fn one_shot_core_answers_by_hash_with_need_program() {
+        // process_request (fresh state per call) can never have a warm
+        // cache: the by-hash fast path must degrade loudly, not panic.
+        let units = unit_list(2);
+        let req = encode_request(7, None, 0x1234, &[0, 1], &units);
+        let reply = process_request(&req, open_any).unwrap();
+        assert!(matches!(parse_reply(&reply, 2), Reply::NeedProgram(0x1234)));
     }
 }

@@ -69,6 +69,23 @@ use steac_netlist::{NetId, PortDir};
 /// Magic bytes opening a serialized [`SimProgram`].
 pub const PROGRAM_MAGIC: [u8; 4] = *b"SPRG";
 
+/// FNV-1a 64-bit hash over a byte slice — the content address used by
+/// the worker program cache (see [`crate::shard`]). Dependency-free,
+/// stable across platforms (the wire bytes it digests are already
+/// little-endian), and fast enough that hashing a multi-megabyte
+/// program blob is noise next to serializing it.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET_BASIS;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
 /// Current wire-format version (see the module docs for the bump rule).
 pub const WIRE_VERSION: u16 = 2;
 
@@ -147,6 +164,12 @@ impl WireWriter {
     /// Appends raw bytes (no length prefix).
     pub fn put_bytes(&mut self, bytes: &[u8]) {
         self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pre-allocates room for `additional` more bytes, so hot encoders
+    /// with a known payload size append without reallocation churn.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
     }
 
     /// Appends one byte.
@@ -811,6 +834,21 @@ mod tests {
         let z = b.gate(GateKind::Mux2, &[q, l, a]);
         b.output("z", z);
         SimProgram::compile(&b.finish().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+        // Content addressing: same bytes, same hash; different bytes,
+        // different hash (for these inputs).
+        let p = encode_program(&sample_program());
+        assert_eq!(fnv1a64(&p), fnv1a64(&p.clone()));
+        let mut q = p.clone();
+        q[p.len() / 2] ^= 1;
+        assert_ne!(fnv1a64(&p), fnv1a64(&q));
     }
 
     #[test]

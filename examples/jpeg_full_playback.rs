@@ -11,8 +11,9 @@
 //! ```
 //!
 //! Pattern generation (scalar reference simulation per pattern) shards
-//! on the backend's in-process pool; playback (`64 * DEFAULT_LANE_GROUPS`
-//! patterns per pass) dispatches on the backend itself — threads or
+//! on the backend's in-process pool; playback (`64 *
+//! PLAYBACK_LANE_GROUPS` patterns per pass — playback's narrow default
+//! width) dispatches on the backend itself — threads or
 //! `steac-worker` processes. The binary prints the compiled program's
 //! structural statistics (including what the optimizer pipeline did),
 //! the backend used, and the sustained patterns/sec for each phase.
@@ -55,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "played {} patterns in {play_secs:.2}s ({:.0} patterns/s, {} passes, {compares} compares)",
         reports.len(),
         reports.len() as f64 / play_secs.max(1e-9),
-        count.div_ceil(steac_sim::LANES * steac_sim::DEFAULT_LANE_GROUPS),
+        count.div_ceil(steac_sim::LANES * steac_pattern::PLAYBACK_LANE_GROUPS),
     );
     if playback.process_fallbacks > 0 {
         println!(

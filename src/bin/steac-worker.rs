@@ -1,23 +1,31 @@
 //! `steac-worker` — the process-pool and remote-fleet worker of the
 //! STEAC platform.
 //!
-//! Two modes, one execution core (`steac_sim::shard::process_request`),
-//! one job table (`steac_suite::worker_registry` — see its docs for the
-//! kind table), so this binary contains no per-workload knowledge at
-//! all:
+//! Three modes, one execution core (`steac_sim::shard::process_request`
+//! / `process_request_with`), one job table
+//! (`steac_suite::worker_registry` — see its docs for the kind table),
+//! so this binary contains no per-workload knowledge at all:
 //!
 //! * **stdio (default)**: reads one job plus its work units from stdin
 //!   (the versioned protocol in `steac_sim::shard`), executes every
 //!   unit, writes the per-unit results to stdout and exits. Spawned by
 //!   `steac_sim::shard::ProcessPool` (`STEAC_EXEC=processes:N` /
 //!   `STEAC_WORKERS=N`) and by `steac_sim::remote::SpawnTransport`.
+//!   The worker state is fresh per process, so by-hash requests
+//!   correctly draw "need program".
 //! * **`--serve <host:port>`**: binds a TCP listener and serves the
-//!   same requests forever, one envelope-framed request/response per
-//!   connection (`steac_sim::remote::serve_tcp`), each connection on
-//!   its own thread. This is the remote half of
-//!   `STEAC_EXEC=remote:host:port,…` — start one per host of the
-//!   fleet. The bound address is printed to stdout (bind to port 0 for
-//!   an ephemeral port and scrape it from that line).
+//!   same requests forever over persistent, pipelined sessions
+//!   (`steac_sim::remote::serve_tcp`): each connection is a framed
+//!   request loop, each request runs on its own thread, and one shared
+//!   worker state carries the program cache and status counters across
+//!   every connection the process ever accepts. This is the remote
+//!   half of `STEAC_EXEC=remote:host:port,…` — start one per host of
+//!   the fleet. The bound address is printed to stdout (bind to port 0
+//!   for an ephemeral port and scrape it from that line).
+//! * **`--status <host:port>`**: queries a serving worker's status
+//!   counters (uptime, program-cache entries/hits/misses/evictions,
+//!   requests and units served, bytes received) and prints them — the
+//!   observability half of the protocol's status request.
 //!
 //! Protocol errors exit nonzero with a diagnostic on stderr (stdio
 //! mode) or close the offending connection (serve mode — a misbehaving
@@ -28,7 +36,7 @@
 use std::io::{stdin, stdout, Write as _};
 use std::net::TcpListener;
 use std::process::ExitCode;
-use steac_sim::remote::serve_tcp;
+use steac_sim::remote::{query_status, serve_tcp, TcpTransport};
 use steac_sim::shard::serve_worker;
 
 fn main() -> ExitCode {
@@ -49,7 +57,11 @@ fn main() -> ExitCode {
             }
             Err(e) => Err(format!("binding {addr}: {e}")),
         },
-        _ => Err("usage: steac-worker [--serve <host:port>]".to_string()),
+        [flag, addr] if flag == "--status" => {
+            let transport = TcpTransport::new(addr.clone());
+            query_status(&transport).map(|status| println!("{addr}: {status}"))
+        }
+        _ => Err("usage: steac-worker [--serve <host:port> | --status <host:port>]".to_string()),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -697,18 +697,26 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// encode→decode is the identity over arbitrary payloads — for the
-    /// strict buffer codec and the streaming reader alike — and every
-    /// strict prefix of a frame fails with a typed error, mirroring the
-    /// `wire.rs` truncation sweeps at the transport layer.
+    /// encode→decode is the identity over arbitrary ids and payloads —
+    /// for the strict buffer codec and the streaming reader alike — and
+    /// every strict prefix of a frame fails with a typed error,
+    /// mirroring the `wire.rs` truncation sweeps at the transport
+    /// layer.
     #[test]
     fn envelope_round_trips_and_rejects_every_prefix(
+        request_id in 0u64..u64::MAX,
         payload in prop::collection::vec(0u8..=255u8, 0..1500),
     ) {
-        let framed = remote::encode_envelope(&payload);
-        prop_assert_eq!(remote::decode_envelope(&framed).unwrap(), payload.clone());
+        let framed = remote::encode_envelope(request_id, &payload);
+        prop_assert_eq!(
+            remote::decode_envelope(&framed).unwrap(),
+            (request_id, payload.clone())
+        );
         let mut cursor = &framed[..];
-        prop_assert_eq!(remote::read_envelope(&mut cursor).unwrap(), payload);
+        prop_assert_eq!(
+            remote::read_envelope(&mut cursor).unwrap(),
+            (request_id, payload)
+        );
         for cut in 0..framed.len() {
             prop_assert!(
                 remote::decode_envelope(&framed[..cut]).is_err(),
@@ -722,28 +730,37 @@ proptest! {
         }
     }
 
-    /// Every single-byte corruption of the header (magic, version,
-    /// length) is a typed error from the strict codec; the streaming
-    /// reader — which cannot see past the bytes it is handed — never
-    /// panics and never reads a damaged frame back as the clean
-    /// payload.
+    /// Every single-byte corruption of the magic, version, or length
+    /// fields is a typed error from the strict codec. The request-id
+    /// bytes (6..14) are payload-like: a flip there decodes cleanly but
+    /// under a *different* id — which the session's response router
+    /// drops on the floor (no caller is pending under it), so it still
+    /// cannot corrupt an exchange. The streaming reader never panics
+    /// and never reads a damaged frame back as the clean payload under
+    /// the clean id.
     #[test]
     fn envelope_header_corruption_is_always_detected(
+        request_id in 0u64..u64::MAX,
         payload in prop::collection::vec(0u8..=255u8, 0..300),
-        pos in 0usize..14,
+        pos in 0usize..22,
         flip in 1u8..=255u8,
     ) {
-        let mut framed = remote::encode_envelope(&payload);
+        let mut framed = remote::encode_envelope(request_id, &payload);
         framed[pos] ^= flip;
-        prop_assert!(
-            remote::decode_envelope(&framed).is_err(),
-            "header byte {} flipped by {:#04x} must not decode", pos, flip
-        );
+        let id_field = (6..14).contains(&pos);
+        match remote::decode_envelope(&framed) {
+            Ok((id, body)) => {
+                prop_assert!(id_field, "byte {} flip {:#04x} must not decode", pos, flip);
+                prop_assert_ne!(id, request_id);
+                prop_assert_eq!(body, payload.clone());
+            }
+            Err(_) => prop_assert!(!id_field, "id flips decode under a new id"),
+        }
         let mut cursor = &framed[..];
         match remote::read_envelope(&mut cursor) {
             Err(_) => {}
-            Ok(recovered) => prop_assert!(
-                recovered != payload,
+            Ok((id, recovered)) => prop_assert!(
+                id != request_id || recovered != payload,
                 "corrupt frame must not stream back clean (byte {}, flip {:#04x})", pos, flip
             ),
         }
@@ -753,18 +770,23 @@ proptest! {
     /// codec; payload flips decode to exactly the altered payload.
     #[test]
     fn envelope_corruption_never_panics(
+        request_id in 0u64..u64::MAX,
         payload in prop::collection::vec(0u8..=255u8, 1..200),
         pos in 0usize..2048,
         flip in 1u8..=255u8,
     ) {
-        let mut framed = remote::encode_envelope(&payload);
+        let mut framed = remote::encode_envelope(request_id, &payload);
         let pos = pos % framed.len();
         framed[pos] ^= flip;
         let strict = remote::decode_envelope(&framed);
-        if pos >= 14 {
+        if pos >= remote::ENVELOPE_HEADER_LEN {
             let mut expected = payload.clone();
-            expected[pos - 14] ^= flip;
-            prop_assert_eq!(strict.unwrap(), expected);
+            expected[pos - remote::ENVELOPE_HEADER_LEN] ^= flip;
+            prop_assert_eq!(strict.unwrap(), (request_id, expected));
+        } else if (6..14).contains(&pos) {
+            let (id, body) = strict.unwrap();
+            prop_assert_ne!(id, request_id);
+            prop_assert_eq!(body, payload.clone());
         } else {
             prop_assert!(strict.is_err());
         }

@@ -21,9 +21,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 use steac_netlist::{GateKind, NetlistBuilder};
 use steac_pattern::{apply_cycle_patterns_batch, CyclePattern, PinState};
+use steac_sim::remote::spawn_serve_process_at;
 use steac_sim::{
-    fault, Exec, Fallback, Logic, RemoteFleet, SimError, Simulator, SpawnTransport, TcpTransport,
-    Transport, TransportError,
+    fault, shard, Backend, Exec, Fallback, Logic, RemoteFleet, SimError, Simulator, SpawnTransport,
+    TcpTransport, Transport, TransportError,
 };
 
 /// Chaos amplification knob: multiplies pattern counts and how long the
@@ -343,6 +344,99 @@ fn rogue_tcp_peer_is_survived_and_typed() {
     let vectors = vec![vec![Logic::Zero]];
     match fault::grade_vectors(&exec, &m, &faults, &pins, &vectors).unwrap_err() {
         SimError::Worker { unit, .. } => assert_eq!(unit, 0),
+        other => panic!("expected SimError::Worker, got {other:?}"),
+    }
+}
+
+/// The program-cache loss drill: the fleet primes a real `--serve`
+/// worker once, the worker is killed and restarted on the same port
+/// (fresh process, empty cache), and the next batch — which goes
+/// by hash, because the fleet's ledger still lists the program as
+/// known there — draws a `NeedProgram` reply and heals by
+/// transparently re-shipping the bytes. Both reports stay
+/// byte-identical to serial, and the fleet stats pin the exact
+/// resupply story: two ships, one need-program reply.
+#[test]
+fn worker_restart_reships_the_program_transparently() {
+    let server = spawn_serve_worker();
+    let addr = server.addr().to_string();
+    // One stream so exactly one exchange discovers the cache loss.
+    let fleet = RemoteFleet::new(vec![
+        Box::new(TcpTransport::new(addr.clone()).with_streams(1)) as Box<dyn Transport>,
+    ])
+    .with_max_retries(3);
+    let exec = Exec::remote(fleet).with_fallback(Fallback::Fail);
+
+    let (m, patterns) = playback_case(150 * chaos_scale());
+    let refs: Vec<&CyclePattern> = patterns.iter().collect();
+    let sim: Simulator = Simulator::new(&m).unwrap();
+    let baseline = apply_cycle_patterns_batch(&Exec::serial(), &sim, &refs).unwrap();
+    assert!(!baseline.passed(), "the case must carry mismatches");
+
+    let first = apply_cycle_patterns_batch(&exec, &sim, &refs).unwrap();
+    assert_eq!(first, baseline);
+
+    // Kill the worker and restart one on the same port: the session
+    // is lost and the new worker's cache is empty, but the client has
+    // no way to know either yet.
+    drop(server);
+    let _server = spawn_serve_process_at(&worker_binary(), &addr).expect("restarting the worker");
+
+    let second = apply_cycle_patterns_batch(&exec, &sim, &refs).unwrap();
+    assert_eq!(second, baseline, "the healed run must stay byte-identical");
+
+    let Backend::Remote(fleet) = exec.backend() else {
+        unreachable!("the exec was built remote")
+    };
+    let stats = fleet.stats();
+    assert_eq!(
+        stats.programs_shipped, 2,
+        "primed once, resupplied once: {stats:?}"
+    );
+    assert_eq!(stats.need_program_replies, 1, "{stats:?}");
+    assert_eq!(exec.process_fallbacks(), 0, "healing must not fall back");
+}
+
+/// A peer that flips one byte inside the job block of every run
+/// request: the declared FNV-1a hash no longer matches the received
+/// bytes, and the worker must refuse to execute anything — a typed
+/// hash-mismatch error on the lowest-indexed unit under
+/// `Fallback::Fail`. Corrupted program bytes must never produce a
+/// wrong answer.
+#[test]
+fn corrupted_program_hash_is_a_typed_error_never_a_wrong_answer() {
+    struct JobCorruptingTransport {
+        inner: Box<dyn Transport>,
+    }
+    impl Transport for JobCorruptingTransport {
+        fn call(&self, request: &[u8]) -> Result<Vec<u8>, TransportError> {
+            let mut request = request.to_vec();
+            // Spawn transports always carry the job inline; 16 bytes
+            // past the job offset is safely inside the program bytes
+            // (past any structure a decoder would reject outright).
+            if let Some(byte) = request.get_mut(shard::RUN_REQUEST_JOB_OFFSET + 16) {
+                *byte ^= 0xFF;
+            }
+            self.inner.call(&request)
+        }
+        fn endpoint(&self) -> String {
+            format!("job-corrupting({})", self.inner.endpoint())
+        }
+    }
+
+    let fleet = RemoteFleet::new(vec![
+        Box::new(JobCorruptingTransport { inner: spawn() }) as Box<dyn Transport>
+    ])
+    .with_max_retries(1);
+    let exec = Exec::remote(fleet).with_fallback(Fallback::Fail);
+    let (m, patterns) = playback_case(100);
+    let refs: Vec<&CyclePattern> = patterns.iter().collect();
+    let sim: Simulator = Simulator::new(&m).unwrap();
+    match apply_cycle_patterns_batch(&exec, &sim, &refs).unwrap_err() {
+        steac_pattern::PatternError::Sim(SimError::Worker { unit, diagnostic }) => {
+            assert_eq!(unit, 0, "lowest-indexed unit wins: {diagnostic}");
+            assert!(diagnostic.contains("hash mismatch"), "{diagnostic}");
+        }
         other => panic!("expected SimError::Worker, got {other:?}"),
     }
 }
