@@ -2,14 +2,14 @@
 //! against a committed baseline and fails loudly on throughput loss.
 //!
 //! ```sh
-//! cargo run --release -p steac-bench --bin bench_gate -- BENCH_6.json BENCH_7.json
-//! cargo run ... -- BENCH_6.json BENCH_7.json --threshold 0.25
+//! cargo run --release -p steac-bench --bin bench_gate -- BENCH_7.json BENCH_8.json
+//! cargo run ... -- BENCH_7.json BENCH_8.json --threshold 0.25
 //! ```
 //!
 //! Both files hold the row schema `scaling --json` writes: one JSON
 //! object per line with `workload`, `backend` and a `patterns_per_s` /
-//! `faults_per_s` rate (extra keys are ignored, so schema growth never
-//! breaks old baselines). Rows collapse to their **max rate per
+//! `faults_per_s` / `tasks_per_s` rate (extra keys are ignored, so
+//! schema growth never breaks old baselines). Rows collapse to their **max rate per
 //! `(workload, backend)` pair** — the per-core sweeps record several
 //! lane/optimizer cells per pair, and the gate guards the best
 //! configuration, not an arbitrary cell. The rules:
@@ -70,6 +70,7 @@ fn parse_rates(name: &str, text: &str) -> Result<RateMap, String> {
             .ok_or_else(|| format!("{name}: row without a backend: {line}"))?;
         let rate = num_field(line, "patterns_per_s")
             .or_else(|| num_field(line, "faults_per_s"))
+            .or_else(|| num_field(line, "tasks_per_s"))
             .ok_or_else(|| format!("{name}: row without a rate: {line}"))?;
         let slot = rates.entry((workload, backend)).or_insert(f64::MIN);
         *slot = slot.max(rate);
@@ -177,7 +178,8 @@ mod tests {
     const BASE: &str = r#"[
   {"workload": "play", "backend": "serial", "lanes": 64, "opt": true, "patterns_per_s": 100.0, "compares": 1, "mismatches": 0},
   {"workload": "play", "backend": "serial", "lanes": 256, "opt": true, "patterns_per_s": 80.0, "compares": 1, "mismatches": 0},
-  {"workload": "grade", "backend": "serial", "lanes": 256, "opt": true, "faults_per_s": 500.0, "compares": 1, "mismatches": 0}
+  {"workload": "grade", "backend": "serial", "lanes": 256, "opt": true, "faults_per_s": 500.0, "compares": 1, "mismatches": 0},
+  {"workload": "zoo", "backend": "serial", "lanes": 0, "opt": true, "tasks_per_s": 40.0, "compares": 1, "mismatches": 0}
 ]"#;
 
     #[test]
@@ -195,11 +197,13 @@ mod tests {
     fn losses_within_threshold_pass_and_beyond_fail() {
         let base = parse_rates("base", BASE).unwrap();
         let ok = r#"{"workload": "play", "backend": "serial", "patterns_per_s": 76.0}
-{"workload": "grade", "backend": "serial", "faults_per_s": 1000.0}"#;
+{"workload": "grade", "backend": "serial", "faults_per_s": 1000.0}
+{"workload": "zoo", "backend": "serial", "tasks_per_s": 40.0}"#;
         let current = parse_rates("cur", ok).unwrap();
         assert!(gate(&base, &current, 0.25).is_empty());
         let bad = r#"{"workload": "play", "backend": "serial", "patterns_per_s": 74.0}
-{"workload": "grade", "backend": "serial", "faults_per_s": 500.0}"#;
+{"workload": "grade", "backend": "serial", "faults_per_s": 500.0}
+{"workload": "zoo", "backend": "serial", "tasks_per_s": 40.0}"#;
         let current = parse_rates("cur", bad).unwrap();
         let failures = gate(&base, &current, 0.25);
         assert_eq!(failures.len(), 1);
@@ -212,6 +216,7 @@ mod tests {
         let current = parse_rates(
             "cur",
             r#"{"workload": "play", "backend": "serial", "patterns_per_s": 100.0}
+{"workload": "zoo", "backend": "serial", "tasks_per_s": 40.0}
 {"workload": "play", "backend": "remote:tcp*2", "patterns_per_s": 5.0}"#,
         )
         .unwrap();

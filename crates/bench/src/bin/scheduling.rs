@@ -10,9 +10,9 @@ fn main() {
     println!("{}", header("§3 scheduling: session-based vs non-session"));
     let tasks = dsc_test_tasks();
     let config = dsc_chip_config();
-    let s = schedule_sessions(&tasks, &config);
-    let ns = schedule_nonsession(&tasks, &config);
-    let serial = schedule_serial(&tasks, &config);
+    let s = schedule_sessions(&tasks, &config).expect("DSC instance is feasible");
+    let ns = schedule_nonsession(&tasks, &config).expect("DSC instance is feasible");
+    let serial = schedule_serial(&tasks, &config).expect("DSC instance is feasible");
 
     println!("{}", render_sessions(&s, &tasks));
     println!("{}", render_nonsession(&ns, &tasks));

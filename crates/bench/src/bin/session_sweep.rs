@@ -20,15 +20,13 @@ fn main() {
             max_sessions,
             ..dsc_chip_config()
         };
-        let s = schedule_sessions(&tasks, &config);
-        if s.total_cycles == u64::MAX {
-            println!("{max_sessions:>12} {:>14} {:>10}", "infeasible", "-");
-        } else {
-            println!(
+        match schedule_sessions(&tasks, &config) {
+            Err(_) => println!("{max_sessions:>12} {:>14} {:>10}", "infeasible", "-"),
+            Ok(s) => println!(
                 "{max_sessions:>12} {:>14} {:>10}",
                 s.total_cycles,
                 s.sessions.len()
-            );
+            ),
         }
     }
     println!("\n(the paper's chosen point is 3 sessions)");

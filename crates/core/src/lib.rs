@@ -84,8 +84,9 @@ pub enum FlowError {
     Netlist(steac_netlist::NetlistError),
     /// BIST compilation failed.
     Bist(steac_membist::BistError),
-    /// The scheduler found no feasible schedule.
-    Infeasible,
+    /// The scheduler found no feasible schedule; the payload says why
+    /// (which tasks do not fit, or which budget ran out).
+    Infeasible(steac_sched::ScheduleError),
 }
 
 impl fmt::Display for FlowError {
@@ -96,8 +97,8 @@ impl fmt::Display for FlowError {
             }
             FlowError::Netlist(e) => write!(f, "netlist: {e}"),
             FlowError::Bist(e) => write!(f, "BIST: {e}"),
-            FlowError::Infeasible => {
-                write!(f, "no feasible test schedule under the given constraints")
+            FlowError::Infeasible(e) => {
+                write!(f, "no feasible test schedule: {e}")
             }
         }
     }
@@ -109,8 +110,14 @@ impl std::error::Error for FlowError {
             FlowError::Stil { source, .. } => Some(source),
             FlowError::Netlist(e) => Some(e),
             FlowError::Bist(e) => Some(e),
-            FlowError::Infeasible => None,
+            FlowError::Infeasible(e) => Some(e),
         }
+    }
+}
+
+impl From<steac_sched::ScheduleError> for FlowError {
+    fn from(e: steac_sched::ScheduleError) -> Self {
+        FlowError::Infeasible(e)
     }
 }
 

@@ -18,8 +18,20 @@ pub fn render_flow(result: &FlowResult) -> String {
     }
     let _ = writeln!(out, "-- schedules (Core Test Scheduler) --");
     out.push_str(&render_sessions(&result.schedule, &result.tasks));
-    out.push_str(&render_nonsession(&result.nonsession, &result.tasks));
-    let _ = writeln!(out, "serial reference: {} cycles", result.serial.makespan);
+    match &result.nonsession {
+        Ok(ns) => out.push_str(&render_nonsession(ns, &result.tasks)),
+        Err(e) => {
+            let _ = writeln!(out, "non-session schedule: infeasible ({e})");
+        }
+    }
+    match &result.serial {
+        Ok(s) => {
+            let _ = writeln!(out, "serial reference: {} cycles", s.makespan);
+        }
+        Err(e) => {
+            let _ = writeln!(out, "serial reference: infeasible ({e})");
+        }
+    }
     if let Some(bist) = &result.bist {
         let _ = writeln!(out, "-- BRAINS (Fig. 4 integration) --");
         out.push_str(&bist.to_string());

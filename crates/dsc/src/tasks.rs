@@ -151,9 +151,9 @@ mod tests {
     fn session_schedule_reproduces_paper_shape() {
         let tasks = dsc_test_tasks();
         let config = dsc_chip_config();
-        let s = schedule_sessions(&tasks, &config);
+        let s = schedule_sessions(&tasks, &config).expect("feasible");
         assert_eq!(s.sessions.len(), 3, "paper: three test sessions");
-        let ns = schedule_nonsession(&tasks, &config);
+        let ns = schedule_nonsession(&tasks, &config).expect("feasible");
         assert!(
             s.total_cycles < ns.makespan,
             "session {} must beat non-session {}",
@@ -182,8 +182,8 @@ mod tests {
     fn serial_is_worst() {
         let tasks = dsc_test_tasks();
         let config = dsc_chip_config();
-        let s = schedule_sessions(&tasks, &config);
-        let serial = schedule_serial(&tasks, &config);
+        let s = schedule_sessions(&tasks, &config).expect("feasible");
+        let serial = schedule_serial(&tasks, &config).expect("feasible");
         assert!(serial.makespan > s.total_cycles);
     }
 }

@@ -51,6 +51,15 @@ fn fixed_pin_cost(tasks: &[&TestTask]) -> usize {
     cost
 }
 
+/// Data pins the minimum allocations of `tasks` need to run
+/// concurrently: per-task minimum widths plus shared-interface fixed
+/// pins (each pin group counted once). [`allocate_session`] succeeds
+/// exactly when this fits the budget.
+#[must_use]
+pub fn min_pins_needed(tasks: &[&TestTask]) -> usize {
+    tasks.iter().map(|t| t.min_pins()).sum::<usize>() + fixed_pin_cost(tasks)
+}
+
 /// Allocates `data_pins` among `tasks` running concurrently.
 ///
 /// Returns `None` if even the minimum allocations do not fit.

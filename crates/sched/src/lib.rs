@@ -33,9 +33,19 @@
 //!     TestTask::bist("sram_bank", 1_000_000),
 //! ];
 //! let config = ChipConfig::default();
-//! let schedule = schedule_sessions(&tasks, &config);
+//! let schedule = schedule_sessions(&tasks, &config).expect("feasible under defaults");
 //! assert!(schedule.total_cycles > 0);
 //! assert!(schedule.sessions.len() <= config.max_sessions);
+//! ```
+//!
+//! Infeasibility is a typed error, not a sentinel:
+//!
+//! ```
+//! use steac_sched::{ChipConfig, ScheduleError, TestTask, schedule_sessions};
+//!
+//! let hot = vec![TestTask::bist("hot", 100).with_power(9.0)];
+//! let err = schedule_sessions(&hot, &ChipConfig::default()).unwrap_err();
+//! assert_eq!(err, ScheduleError::Infeasible { tasks: vec![0] });
 //! ```
 
 pub mod alloc;
@@ -44,9 +54,12 @@ pub mod report;
 pub mod session;
 pub mod task;
 
-pub use alloc::{allocate_session, Allocation};
+pub use alloc::{allocate_session, min_pins_needed, Allocation};
 pub use nonsession::{schedule_nonsession, schedule_serial, NonSessionSchedule, Placement};
-pub use session::{schedule_sessions, ScheduledSession, ScheduledTask, SessionSchedule};
+pub use session::{
+    schedule_sessions, schedule_sessions_with, ScheduleError, ScheduledSession, ScheduledTask,
+    SessionSchedule, Strategy, EXHAUSTIVE_LIMIT,
+};
 pub use task::{ChipConfig, TestKind, TestTask};
 
 #[cfg(test)]
@@ -60,8 +73,8 @@ mod tests {
     fn session_based_beats_nonsession_on_dsc_like_instance() {
         let tasks = task::dsc_like_tasks();
         let config = ChipConfig::default();
-        let s = schedule_sessions(&tasks, &config);
-        let ns = schedule_nonsession(&tasks, &config);
+        let s = schedule_sessions(&tasks, &config).expect("feasible");
+        let ns = schedule_nonsession(&tasks, &config).expect("feasible");
         assert!(
             s.total_cycles < ns.makespan,
             "session {} >= non-session {}",

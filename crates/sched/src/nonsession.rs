@@ -16,7 +16,8 @@
 //! (4,371,194 cycles) beat the non-session one (4,713,935 cycles) on the
 //! DSC chip.
 
-use crate::alloc::allocate_session;
+use crate::alloc::{allocate_session, min_pins_needed};
+use crate::session::ScheduleError;
 use crate::task::{ChipConfig, TestTask};
 use steac_tam::{share_controls, ControlSignal};
 
@@ -34,10 +35,11 @@ pub struct Placement {
 }
 
 impl Placement {
-    /// End cycle (exclusive).
+    /// End cycle (exclusive); saturates instead of wrapping on
+    /// zoo-scale cycle counts.
     #[must_use]
     pub fn end(&self) -> u64 {
-        self.start + self.cycles
+        self.start.saturating_add(self.cycles)
     }
 }
 
@@ -71,17 +73,31 @@ fn static_budget(tasks: &[TestTask], config: &ChipConfig) -> (usize, usize) {
 /// Schedules the non-session baseline: static widths via water-filling
 /// over the whole task set, then earliest-feasible placement (longest
 /// first) under the power cap.
-#[must_use]
-pub fn schedule_nonsession(tasks: &[TestTask], config: &ChipConfig) -> NonSessionSchedule {
+///
+/// An empty task set is a valid (empty) schedule with zero makespan.
+///
+/// # Errors
+///
+/// [`ScheduleError::Infeasible`] when a task exceeds the power cap on
+/// its own; [`ScheduleError::StaticBudget`] when the minimum widths of
+/// all tasks together do not fit the static data budget.
+pub fn schedule_nonsession(
+    tasks: &[TestTask],
+    config: &ChipConfig,
+) -> Result<NonSessionSchedule, ScheduleError> {
     let (control_pins, data) = static_budget(tasks, config);
+    let overpowered: Vec<usize> = (0..tasks.len())
+        .filter(|&i| tasks[i].power > config.power_limit + 1e-9)
+        .collect();
+    if !overpowered.is_empty() {
+        return Err(ScheduleError::Infeasible { tasks: overpowered });
+    }
     let refs: Vec<&TestTask> = tasks.iter().collect();
     let Some(alloc) = allocate_session(&refs, data) else {
-        return NonSessionSchedule {
-            placements: vec![],
-            makespan: u64::MAX,
-            control_pins,
-            data_pins_available: data,
-        };
+        return Err(ScheduleError::StaticBudget {
+            needed: min_pins_needed(&refs),
+            available: data,
+        });
     };
 
     let mut order: Vec<usize> = (0..tasks.len()).collect();
@@ -91,14 +107,6 @@ pub fn schedule_nonsession(tasks: &[TestTask], config: &ChipConfig) -> NonSessio
     for &ti in &order {
         let cycles = alloc.times[ti];
         let power = tasks[ti].power;
-        if power > config.power_limit + 1e-9 {
-            return NonSessionSchedule {
-                placements: vec![],
-                makespan: u64::MAX,
-                control_pins,
-                data_pins_available: data,
-            };
-        }
         let mut candidates: Vec<u64> = vec![0];
         candidates.extend(placed.iter().map(Placement::end));
         candidates.sort_unstable();
@@ -114,13 +122,15 @@ pub fn schedule_nonsession(tasks: &[TestTask], config: &ChipConfig) -> NonSessio
             pins: alloc.pins[ti],
         });
     }
+    // The empty-placement case (no tasks) yields a zero makespan
+    // instead of panicking on `max()` of an empty iterator.
     let makespan = placed.iter().map(Placement::end).max().unwrap_or(0);
-    NonSessionSchedule {
+    Ok(NonSessionSchedule {
         placements: placed,
         makespan,
         control_pins,
         data_pins_available: data,
-    }
+    })
 }
 
 fn power_fits(
@@ -131,7 +141,7 @@ fn power_fits(
     power: f64,
     config: &ChipConfig,
 ) -> bool {
-    let end = start + cycles;
+    let end = start.saturating_add(cycles);
     let mut boundaries: Vec<u64> = vec![start];
     for p in placed {
         if p.start < end && p.end() > start {
@@ -155,18 +165,27 @@ fn power_fits(
 /// Pure-serial reference: one test at a time, each receiving every
 /// available data pin (an idealised fully-reconfigurable serial tester),
 /// under the same static control allocation.
-#[must_use]
-pub fn schedule_serial(tasks: &[TestTask], config: &ChipConfig) -> NonSessionSchedule {
+///
+/// # Errors
+///
+/// [`ScheduleError::Infeasible`] naming every task that cannot run even
+/// alone — too wide for the data budget or over the power cap.
+pub fn schedule_serial(
+    tasks: &[TestTask],
+    config: &ChipConfig,
+) -> Result<NonSessionSchedule, ScheduleError> {
     let (control_pins, data) = static_budget(tasks, config);
+    let lone: Vec<usize> = (0..tasks.len())
+        .filter(|&i| data < tasks[i].min_pins() || tasks[i].power > config.power_limit + 1e-9)
+        .collect();
+    if !lone.is_empty() {
+        return Err(ScheduleError::Infeasible { tasks: lone });
+    }
     let mut placements = Vec::with_capacity(tasks.len());
     let mut clock = 0u64;
     for (i, t) in tasks.iter().enumerate() {
         let pins = t.max_pins().min(data).max(t.min_pins());
-        let cycles = if data >= t.min_pins() {
-            t.time(pins.max(1))
-        } else {
-            u64::MAX
-        };
+        let cycles = t.time(pins.max(1));
         placements.push(Placement {
             task_index: i,
             start: clock,
@@ -175,12 +194,12 @@ pub fn schedule_serial(tasks: &[TestTask], config: &ChipConfig) -> NonSessionSch
         });
         clock = clock.saturating_add(cycles);
     }
-    NonSessionSchedule {
+    Ok(NonSessionSchedule {
         placements,
         makespan: clock,
         control_pins,
         data_pins_available: data,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -192,8 +211,7 @@ mod tests {
     fn static_widths_fit_the_dedicated_budget() {
         let tasks = dsc_like_tasks();
         let config = ChipConfig::default();
-        let s = schedule_nonsession(&tasks, &config);
-        assert!(s.makespan < u64::MAX, "feasible schedule expected");
+        let s = schedule_nonsession(&tasks, &config).expect("feasible schedule expected");
         let total: usize = s.placements.iter().map(|p| p.pins).sum();
         assert!(
             total + 7 <= s.data_pins_available + 7,
@@ -206,7 +224,7 @@ mod tests {
     fn power_cap_respected_at_all_times() {
         let tasks = dsc_like_tasks();
         let config = ChipConfig::default();
-        let s = schedule_nonsession(&tasks, &config);
+        let s = schedule_nonsession(&tasks, &config).expect("feasible");
         for p in &s.placements {
             let t0 = p.start;
             let pw: f64 = s
@@ -222,7 +240,7 @@ mod tests {
     #[test]
     fn all_tasks_placed_once() {
         let tasks = dsc_like_tasks();
-        let s = schedule_nonsession(&tasks, &ChipConfig::default());
+        let s = schedule_nonsession(&tasks, &ChipConfig::default()).expect("feasible");
         let mut seen: Vec<usize> = s.placements.iter().map(|p| p.task_index).collect();
         seen.sort_unstable();
         assert_eq!(seen, (0..tasks.len()).collect::<Vec<_>>());
@@ -234,7 +252,7 @@ mod tests {
         let tasks = dsc_like_tasks();
         let config = ChipConfig::default();
         let (ctl, _) = static_budget(&tasks, &config);
-        let s = crate::session::schedule_sessions(&tasks, &config);
+        let s = crate::session::schedule_sessions(&tasks, &config).expect("feasible");
         for sess in &s.sessions {
             assert!(
                 sess.control_pins <= ctl,
@@ -251,23 +269,61 @@ mod tests {
         // though serial gets full width per test.
         let tasks = dsc_like_tasks();
         let config = ChipConfig::default();
-        let ns = schedule_nonsession(&tasks, &config);
-        let serial = schedule_serial(&tasks, &config);
+        let ns = schedule_nonsession(&tasks, &config).expect("feasible");
+        let serial = schedule_serial(&tasks, &config).expect("feasible");
         assert!(ns.makespan <= serial.makespan);
     }
 
     #[test]
     fn makespan_is_last_end() {
         let tasks = dsc_like_tasks();
-        let s = schedule_nonsession(&tasks, &ChipConfig::default());
+        let s = schedule_nonsession(&tasks, &ChipConfig::default()).expect("feasible");
         let last = s.placements.iter().map(Placement::end).max().unwrap();
         assert_eq!(s.makespan, last);
     }
 
     #[test]
-    fn overpowered_single_task_is_infeasible() {
+    fn empty_task_set_is_an_empty_schedule() {
+        let s = schedule_nonsession(&[], &ChipConfig::default()).expect("empty is feasible");
+        assert!(s.placements.is_empty());
+        assert_eq!(s.makespan, 0);
+        let s = schedule_serial(&[], &ChipConfig::default()).expect("empty is feasible");
+        assert_eq!(s.makespan, 0);
+    }
+
+    #[test]
+    fn overpowered_single_task_is_a_typed_error() {
         let tasks = vec![crate::task::TestTask::bist("b", 10).with_power(99.0)];
-        let s = schedule_nonsession(&tasks, &ChipConfig::default());
-        assert_eq!(s.makespan, u64::MAX);
+        let err = schedule_nonsession(&tasks, &ChipConfig::default()).unwrap_err();
+        assert_eq!(err, ScheduleError::Infeasible { tasks: vec![0] });
+        let err = schedule_serial(&tasks, &ChipConfig::default()).unwrap_err();
+        assert_eq!(err, ScheduleError::Infeasible { tasks: vec![0] });
+    }
+
+    #[test]
+    fn static_budget_overflow_is_a_typed_error() {
+        // 60 functional tasks want 8 pins each statically: 480 > the
+        // default data budget.
+        let tasks: Vec<_> = (0..60)
+            .map(|i| crate::task::TestTask::functional(&format!("f{i}"), 100, 16, 16))
+            .collect();
+        let err = schedule_nonsession(&tasks, &ChipConfig::default()).unwrap_err();
+        match err {
+            ScheduleError::StaticBudget { needed, available } => {
+                assert!(needed > available, "{needed} <= {available}");
+            }
+            other => panic!("expected StaticBudget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn placement_end_saturates() {
+        let p = Placement {
+            task_index: 0,
+            start: u64::MAX - 5,
+            cycles: 10,
+            pins: 1,
+        };
+        assert_eq!(p.end(), u64::MAX);
     }
 }

@@ -13,10 +13,81 @@
 
 use crate::alloc::{allocate_session, Allocation};
 use crate::task::{ChipConfig, TestTask};
+use std::fmt;
 use steac_tam::{share_controls, ControlSignal};
 
 /// Exhaustive partition search is used up to this many tasks.
 pub const EXHAUSTIVE_LIMIT: usize = 9;
+
+/// Why no schedule exists for a task set under a configuration.
+///
+/// Infeasibility used to be reported in-band (an empty schedule with
+/// `total_cycles == u64::MAX`), which any caller summing totals over a
+/// corpus would silently add up; it is now a typed error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// These tasks (indices into the input slice) cannot run even in a
+    /// session of their own: their minimum pin needs or power exceed
+    /// the chip budget.
+    Infeasible {
+        /// Indices of the tasks that do not fit alone.
+        tasks: Vec<usize>,
+    },
+    /// Every task fits in a session alone, but no partition into at
+    /// most `max_sessions` sessions satisfies the pin and power
+    /// constraints (within the search budget).
+    NoPartition {
+        /// The session budget the search ran under.
+        max_sessions: usize,
+    },
+    /// Non-session static width split: the minimum widths of all tasks
+    /// together exceed the static data-pin budget.
+    StaticBudget {
+        /// Data pins the minimum allocations need.
+        needed: usize,
+        /// Data pins available after static control allocation.
+        available: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Infeasible { tasks } => {
+                write!(
+                    f,
+                    "task(s) {tasks:?} cannot run even in a session of their own"
+                )
+            }
+            ScheduleError::NoPartition { max_sessions } => write!(
+                f,
+                "no feasible partition into at most {max_sessions} session(s)"
+            ),
+            ScheduleError::StaticBudget { needed, available } => write!(
+                f,
+                "static width split needs {needed} data pins but only {available} are available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Which partition search [`schedule_sessions_with`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Exhaustive up to [`EXHAUSTIVE_LIMIT`] tasks, greedy + local
+    /// search beyond — what [`schedule_sessions`] does.
+    #[default]
+    Auto,
+    /// Exhaustive set-partition search regardless of size. Optimal, but
+    /// exponential: callers (differential tests, mostly) must keep the
+    /// instance small.
+    Exhaustive,
+    /// Greedy seeding plus move-based local search regardless of size.
+    Greedy,
+}
 
 /// One task inside a scheduled session.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,7 +128,9 @@ pub struct SessionSchedule {
 impl SessionSchedule {
     fn from_sessions(mut sessions: Vec<ScheduledSession>) -> Self {
         sessions.sort_by_key(|s| std::cmp::Reverse(s.makespan));
-        let total_cycles = sessions.iter().map(|s| s.makespan).sum();
+        let total_cycles = sessions
+            .iter()
+            .fold(0u64, |acc, s| acc.saturating_add(s.makespan));
         SessionSchedule {
             sessions,
             total_cycles,
@@ -104,28 +177,61 @@ fn eval_session(
 /// Schedules `tasks` into at most `config.max_sessions` sessions,
 /// minimising total test time under pin and power constraints.
 ///
-/// Falls back to one-task-per-session serialisation if a partition-level
-/// search finds nothing feasible (a single task that does not fit alone
-/// is reported as an empty schedule with `total_cycles == u64::MAX`).
-#[must_use]
-pub fn schedule_sessions(tasks: &[TestTask], config: &ChipConfig) -> SessionSchedule {
+/// An empty task set is a valid (empty) schedule with zero cycles.
+///
+/// # Errors
+///
+/// [`ScheduleError::Infeasible`] when some task cannot run even in a
+/// session of its own; [`ScheduleError::NoPartition`] when every task
+/// fits alone but no partition within `config.max_sessions` sessions
+/// satisfies the constraints.
+pub fn schedule_sessions(
+    tasks: &[TestTask],
+    config: &ChipConfig,
+) -> Result<SessionSchedule, ScheduleError> {
+    schedule_sessions_with(tasks, config, Strategy::Auto)
+}
+
+/// [`schedule_sessions`] with an explicit partition-search [`Strategy`].
+///
+/// The zoo's differential tests use this to run `Exhaustive` and
+/// `Greedy` on the same instance and compare totals.
+///
+/// # Errors
+///
+/// Same contract as [`schedule_sessions`].
+pub fn schedule_sessions_with(
+    tasks: &[TestTask],
+    config: &ChipConfig,
+    strategy: Strategy,
+) -> Result<SessionSchedule, ScheduleError> {
     if tasks.is_empty() {
-        return SessionSchedule {
+        return Ok(SessionSchedule {
             sessions: vec![],
             total_cycles: 0,
-        };
+        });
     }
-    let best = if tasks.len() <= EXHAUSTIVE_LIMIT {
-        exhaustive(tasks, config)
-    } else {
-        greedy_local(tasks, config)
+    let best = match strategy {
+        Strategy::Auto if tasks.len() <= EXHAUSTIVE_LIMIT => exhaustive(tasks, config),
+        Strategy::Auto => greedy_local(tasks, config),
+        Strategy::Exhaustive => exhaustive(tasks, config),
+        Strategy::Greedy => greedy_local(tasks, config),
     };
-    match best {
-        Some(s) => s,
-        None => SessionSchedule {
-            sessions: vec![],
-            total_cycles: u64::MAX,
-        },
+    best.ok_or_else(|| diagnose_infeasibility(tasks, config))
+}
+
+/// Explains a failed partition search: names the tasks that do not fit
+/// even alone, or blames the session budget when every task does.
+fn diagnose_infeasibility(tasks: &[TestTask], config: &ChipConfig) -> ScheduleError {
+    let lone: Vec<usize> = (0..tasks.len())
+        .filter(|&i| eval_session(&[i], tasks, config).is_none())
+        .collect();
+    if lone.is_empty() {
+        ScheduleError::NoPartition {
+            max_sessions: config.max_sessions,
+        }
+    } else {
+        ScheduleError::Infeasible { tasks: lone }
     }
 }
 
@@ -133,8 +239,11 @@ fn exhaustive(tasks: &[TestTask], config: &ChipConfig) -> Option<SessionSchedule
     struct Ctx<'a> {
         tasks: &'a [TestTask],
         config: &'a ChipConfig,
-        best_total: u64,
-        best: Option<Vec<ScheduledSession>>,
+        // (total, sessions). The total rides inside the Option rather
+        // than starting from a `u64::MAX` sentinel: a real schedule
+        // whose saturated total *equals* `u64::MAX` must still beat
+        // "nothing found yet".
+        best: Option<(u64, Vec<ScheduledSession>)>,
     }
     fn rec(ctx: &mut Ctx<'_>, i: usize, blocks: &mut Vec<Vec<usize>>) {
         if i == ctx.tasks.len() {
@@ -149,9 +258,8 @@ fn exhaustive(tasks: &[TestTask], config: &ChipConfig) -> Option<SessionSchedule
                     None => return,
                 }
             }
-            if total < ctx.best_total {
-                ctx.best_total = total;
-                ctx.best = Some(sessions);
+            if ctx.best.as_ref().is_none_or(|(t, _)| total < *t) {
+                ctx.best = Some((total, sessions));
             }
             return;
         }
@@ -169,12 +277,12 @@ fn exhaustive(tasks: &[TestTask], config: &ChipConfig) -> Option<SessionSchedule
     let mut ctx = Ctx {
         tasks,
         config,
-        best_total: u64::MAX,
         best: None,
     };
     let mut blocks: Vec<Vec<usize>> = Vec::new();
     rec(&mut ctx, 0, &mut blocks);
-    ctx.best.map(SessionSchedule::from_sessions)
+    ctx.best
+        .map(|(_, sessions)| SessionSchedule::from_sessions(sessions))
 }
 
 fn greedy_local(tasks: &[TestTask], config: &ChipConfig) -> Option<SessionSchedule> {
@@ -333,7 +441,7 @@ mod tests {
 
     #[test]
     fn empty_input_is_empty_schedule() {
-        let s = schedule_sessions(&[], &ChipConfig::default());
+        let s = schedule_sessions(&[], &ChipConfig::default()).expect("empty is feasible");
         assert_eq!(s.total_cycles, 0);
         assert!(s.sessions.is_empty());
     }
@@ -341,7 +449,7 @@ mod tests {
     #[test]
     fn single_task_single_session() {
         let tasks = vec![TestTask::bist("b", 1000)];
-        let s = schedule_sessions(&tasks, &ChipConfig::default());
+        let s = schedule_sessions(&tasks, &ChipConfig::default()).expect("feasible");
         assert_eq!(s.sessions.len(), 1);
         assert_eq!(s.total_cycles, 1000);
     }
@@ -349,7 +457,7 @@ mod tests {
     #[test]
     fn all_tasks_scheduled_exactly_once() {
         let tasks = dsc_like_tasks();
-        let s = schedule_sessions(&tasks, &ChipConfig::default());
+        let s = schedule_sessions(&tasks, &ChipConfig::default()).expect("feasible");
         let mut seen: Vec<usize> = s
             .sessions
             .iter()
@@ -363,7 +471,7 @@ mod tests {
     fn constraints_hold_in_every_session() {
         let tasks = dsc_like_tasks();
         let config = ChipConfig::default();
-        let s = schedule_sessions(&tasks, &config);
+        let s = schedule_sessions(&tasks, &config).expect("feasible");
         for sess in &s.sessions {
             assert!(sess.power <= config.power_limit + 1e-9);
             let used: usize = sess.tasks.iter().map(|t| t.pins).sum();
@@ -381,13 +489,25 @@ mod tests {
 
     #[test]
     fn respects_max_sessions() {
+        // Regression: the DSC set draws 5.8 power total, so two
+        // 2.2-capped sessions can never hold it — the sentinel-era
+        // version of this test "passed" on the empty infeasible
+        // schedule (0 sessions <= 2). The typed result makes the
+        // infeasibility visible; three sessions are the real floor.
         let tasks = dsc_like_tasks();
         let config = ChipConfig {
             max_sessions: 2,
             ..ChipConfig::default()
         };
-        let s = schedule_sessions(&tasks, &config);
-        assert!(s.sessions.len() <= 2);
+        let err = schedule_sessions(&tasks, &config).expect_err("5.8 power cannot fit 2 x 2.2");
+        assert_eq!(err, ScheduleError::NoPartition { max_sessions: 2 });
+
+        let config = ChipConfig {
+            max_sessions: 3,
+            ..ChipConfig::default()
+        };
+        let s = schedule_sessions(&tasks, &config).expect("feasible in 3 sessions");
+        assert!((1..=3).contains(&s.sessions.len()));
     }
 
     #[test]
@@ -401,7 +521,7 @@ mod tests {
             power_limit: 3.0,
             ..ChipConfig::default()
         };
-        let s = schedule_sessions(&tasks, &config);
+        let s = schedule_sessions(&tasks, &config).expect("feasible");
         assert_eq!(s.sessions.len(), 2);
         assert_eq!(s.total_cycles, 200);
     }
@@ -411,9 +531,72 @@ mod tests {
         // Two small BIST banks share the interface: parallel in one
         // session halves the time.
         let tasks = vec![TestTask::bist("a", 500), TestTask::bist("b", 500)];
-        let s = schedule_sessions(&tasks, &ChipConfig::default());
+        let s = schedule_sessions(&tasks, &ChipConfig::default()).expect("feasible");
         assert_eq!(s.sessions.len(), 1);
         assert_eq!(s.total_cycles, 500);
+    }
+
+    #[test]
+    fn overpowered_task_is_a_typed_infeasible_error() {
+        // Task 1 alone exceeds the power cap: the old code reported an
+        // empty schedule with `total_cycles == u64::MAX`; now the error
+        // names the offender.
+        let tasks = vec![
+            TestTask::bist("ok", 100).with_power(1.0),
+            TestTask::bist("hot", 100).with_power(9.0),
+        ];
+        let config = ChipConfig {
+            power_limit: 2.0,
+            ..ChipConfig::default()
+        };
+        let err = schedule_sessions(&tasks, &config).unwrap_err();
+        assert_eq!(err, ScheduleError::Infeasible { tasks: vec![1] });
+        assert!(err.to_string().contains("[1]"), "{err}");
+    }
+
+    #[test]
+    fn session_budget_too_small_is_no_partition() {
+        // Three tasks that each fit alone but pairwise exceed the power
+        // cap need three sessions; cap the budget at two.
+        let tasks = vec![
+            TestTask::bist("a", 100).with_power(1.5),
+            TestTask::bist("b", 100).with_power(1.5),
+            TestTask::bist("c", 100).with_power(1.5),
+        ];
+        let config = ChipConfig {
+            power_limit: 2.0,
+            max_sessions: 2,
+            ..ChipConfig::default()
+        };
+        let err = schedule_sessions(&tasks, &config).unwrap_err();
+        assert_eq!(err, ScheduleError::NoPartition { max_sessions: 2 });
+    }
+
+    #[test]
+    fn explicit_strategies_agree_on_small_instances() {
+        let tasks = dsc_like_tasks();
+        let config = ChipConfig::default();
+        let exact =
+            schedule_sessions_with(&tasks, &config, Strategy::Exhaustive).expect("feasible");
+        let greedy = schedule_sessions_with(&tasks, &config, Strategy::Greedy).expect("feasible");
+        assert!(exact.total_cycles <= greedy.total_cycles);
+    }
+
+    #[test]
+    fn totals_saturate_instead_of_overflowing() {
+        // Two near-max BIST sessions (forced apart by power) must sum
+        // with saturation, not wrap.
+        let tasks = vec![
+            TestTask::bist("a", u64::MAX - 1).with_power(2.0),
+            TestTask::bist("b", u64::MAX - 1).with_power(2.0),
+        ];
+        let config = ChipConfig {
+            power_limit: 3.0,
+            ..ChipConfig::default()
+        };
+        let s = schedule_sessions(&tasks, &config).expect("feasible");
+        assert_eq!(s.sessions.len(), 2);
+        assert_eq!(s.total_cycles, u64::MAX);
     }
 
     #[test]
@@ -441,7 +624,7 @@ mod tests {
     #[test]
     fn scan_tasks_get_even_pin_counts() {
         let tasks = dsc_like_tasks();
-        let s = schedule_sessions(&tasks, &ChipConfig::default());
+        let s = schedule_sessions(&tasks, &ChipConfig::default()).expect("feasible");
         for sess in &s.sessions {
             for st in &sess.tasks {
                 if matches!(tasks[st.task_index].kind, TestKind::Scan { .. }) {

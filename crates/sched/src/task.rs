@@ -200,7 +200,7 @@ impl TestTask {
             TestKind::Functional { patterns, pi, po } => {
                 assert!(pins > 0, "functional task needs pins");
                 let per = ((pi + po) as u64).div_ceil(pins as u64).max(1);
-                patterns * per
+                patterns.saturating_mul(per)
             }
             TestKind::Bist { cycles } => *cycles,
         }

@@ -113,7 +113,10 @@ impl WrapperPlan {
         }
         let si = self.si_max() as u64;
         let so = self.so_max() as u64;
-        (1 + si.max(so)) * patterns + si.min(so)
+        si.max(so)
+            .saturating_add(1)
+            .saturating_mul(patterns)
+            .saturating_add(si.min(so))
     }
 }
 

@@ -1,0 +1,66 @@
+//! Budget-sweep invariants over zoo instances: TAM-width monotonicity
+//! on the exhaustive path, and water-filling allocation bounds, plus a
+//! property test over freshly-seeded corpora.
+
+use proptest::prelude::*;
+use steac_sched::TestTask;
+use steac_sim::exec::Exec;
+use steac_zoo::{check_alloc, check_schedule, check_tam_monotone, run_soc, RunOptions, ZooParams};
+
+const WIDENINGS: [usize; 5] = [0, 8, 16, 32, 64];
+
+#[test]
+fn total_time_is_monotone_in_tam_width_on_the_exact_path() {
+    // 16 SOCs keeps the partition enumeration (Bell-number growth)
+    // affordable in debug builds while still sweeping 5 widths per SOC.
+    let params = ZooParams {
+        socs: 16,
+        ..ZooParams::tiny()
+    };
+    for index in 0..params.socs {
+        let soc = params.soc(index);
+        if soc.tasks.len() > steac_sched::EXHAUSTIVE_LIMIT {
+            continue;
+        }
+        let violations = check_tam_monotone(&soc, &WIDENINGS);
+        assert!(violations.is_empty(), "{}: {violations:?}", soc.name);
+    }
+}
+
+#[test]
+fn water_filling_respects_bounds_across_budget_sweeps() {
+    let params = ZooParams {
+        socs: 30,
+        ..ZooParams::smoke()
+    };
+    for index in 0..params.socs {
+        let soc = params.soc(index);
+        let refs: Vec<&TestTask> = soc.tasks.iter().take(12).collect();
+        let floor: usize = refs.iter().map(|t| t.min_pins()).sum();
+        let budgets: Vec<usize> = (0..10).map(|k| floor + 1 + k * 7).collect();
+        let violations = check_alloc(&refs, &budgets);
+        assert!(violations.is_empty(), "{}: {violations:?}", soc.name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any freshly-seeded small corpus schedules clean: the generator's
+    /// feasibility-by-construction sizing and the scheduler's
+    /// invariants hold for arbitrary seeds, not just the smoke seed.
+    #[test]
+    fn random_seeds_schedule_clean(seed in 0u64..u64::MAX) {
+        let params = ZooParams { seed, socs: 3, ..ZooParams::tiny() };
+        let opts = RunOptions { grade: false, ..RunOptions::default() };
+        for index in 0..params.socs {
+            let soc = params.soc(index);
+            let run = run_soc(&soc, &Exec::serial(), &opts)
+                .unwrap_or_else(|e| panic!("{} (seed {seed:#x}): {e}", soc.name));
+            prop_assert!(run.violations.is_empty(), "{} (seed {seed:#x}): {:?}",
+                soc.name, run.violations);
+            let check = check_schedule(&soc, &run.schedule);
+            prop_assert!(check.is_empty(), "{} (seed {seed:#x}): {check:?}", soc.name);
+        }
+    }
+}

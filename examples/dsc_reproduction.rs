@@ -13,8 +13,8 @@ fn main() {
     let tasks = dsc_test_tasks();
     let config = dsc_chip_config();
 
-    let session = schedule_sessions(&tasks, &config);
-    let nonsession = schedule_nonsession(&tasks, &config);
+    let session = schedule_sessions(&tasks, &config).expect("DSC instance is feasible");
+    let nonsession = schedule_nonsession(&tasks, &config).expect("DSC instance is feasible");
 
     println!("{}", render_sessions(&session, &tasks));
     println!("{}", render_nonsession(&nonsession, &tasks));

@@ -13,7 +13,9 @@
 //! * [`steac_pattern`] — pattern translation and the ATE cycle player,
 //! * [`steac_netlist`] / [`steac_sim`] — the gate-level substrate,
 //! * [`steac_dsc`] — the DSC test-chip model and the calibrated paper
-//!   experiments.
+//!   experiments,
+//! * [`steac_zoo`] — the seeded synthetic-SOC corpus and scheduler
+//!   invariant checks (the standing stress workload).
 
 pub use steac;
 pub use steac_dsc;
@@ -25,6 +27,7 @@ pub use steac_sim;
 pub use steac_stil;
 pub use steac_tam;
 pub use steac_wrapper;
+pub use steac_zoo;
 
 use steac_sim::shard::JobRegistry;
 

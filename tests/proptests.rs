@@ -92,8 +92,9 @@ proptest! {
             .map(|(i, (k, p, s, pw))| arb_task(i, *k, *p, *s, *pw))
             .collect();
         let config = ChipConfig::default();
-        let schedule = schedule_sessions(&tasks, &config);
-        prop_assume!(schedule.total_cycles != u64::MAX);
+        let result = schedule_sessions(&tasks, &config);
+        prop_assume!(result.is_ok());
+        let schedule = result.unwrap();
         let mut seen: Vec<usize> = schedule
             .sessions
             .iter()
@@ -110,7 +111,10 @@ proptest! {
                 sess.tasks.iter().map(|t| t.cycles).max().unwrap_or(0)
             );
         }
-        let total: u64 = schedule.sessions.iter().map(|s| s.makespan).sum();
+        let total = schedule
+            .sessions
+            .iter()
+            .fold(0u64, |acc, s| acc.saturating_add(s.makespan));
         prop_assert_eq!(schedule.total_cycles, total);
     }
 

@@ -1,0 +1,29 @@
+//! Root-level zoo smoke: a small fixed-seed slice of the corpus runs
+//! the whole flow — wrap, share, schedule, patterns, grade — through
+//! the umbrella crate, with every scheduler invariant checked.
+
+use steac_sim::Exec;
+use steac_suite::steac_zoo::{run_corpus, RunOptions, ZooParams};
+
+#[test]
+fn zoo_slice_runs_the_full_flow_clean() {
+    let params = ZooParams {
+        socs: 6,
+        max_cores: 32,
+        ..ZooParams::smoke()
+    };
+    let opts = RunOptions {
+        grade: true,
+        vectors: 32,
+        check: true,
+    };
+    let report = match run_corpus(&params, &Exec::from_env(), &opts) {
+        Ok(r) => r,
+        Err((index, e)) => panic!("soc{index:03} infeasible: {e}"),
+    };
+    assert_eq!(report.violations(), 0, "invariant violations:\n{report}");
+    for row in &report.rows {
+        assert!(row.coverage.expect("graded") > 0.0, "{}", row.name);
+        assert!(row.sessions >= 1, "{}", row.name);
+    }
+}
