@@ -28,20 +28,29 @@
 //! saturation) against the TCP fleet, with the fleet's bytes-shipped
 //! counters proving the program crossed the wire once per host.
 //!
+//! A fault-model table follows: the registry's other members —
+//! transition/delay grading, bridging grading, and March inter-cell
+//! coupling simulation — each timed through its unified entry point on
+//! the serial backend, publishing one throughput row per model next to
+//! the stuck-at headline.
+//!
 //! A final table runs the fixed-seed SOC-zoo smoke corpus through the
 //! full flow (wrap → share → schedule → grade) and publishes the
 //! corpus-wide scheduling / test-time / coverage summary — the
-//! standing stress workload's throughput row (`STEAC_ZOO_SOCS`
-//! overrides the corpus size for quick runs).
-//! Pass `--json` to also write every full-set row to `BENCH_8.json`.
+//! standing stress workload's throughput row, on the serial backend
+//! and again with grading dispatched through a two-worker spawn fleet
+//! (`STEAC_ZOO_SOCS` overrides the corpus size for quick runs).
+//! Pass `--json` to also write every full-set row to `BENCH_9.json`.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use steac_bench::{header, splitmix_vectors};
 use steac_dsc::{jpeg_core, jpeg_functional_patterns};
+use steac_membist::{enumerate_inter_cell_couplings, fault_coverage, MarchAlgorithm, SramConfig};
 use steac_pattern::{
     apply_cycle_patterns_batch, apply_cycle_patterns_batch_wide, CyclePattern, PLAYBACK_LANE_GROUPS,
 };
+use steac_sim::models::{bridging, transition};
 use steac_sim::remote::{spawn_serve_process, FleetStatsSnapshot, ServeHandle};
 use steac_sim::{
     enumerate_faults, fault, shard, Backend, Exec, Fallback, OptConfig, RemoteFleet, SimProgram,
@@ -692,6 +701,96 @@ fn main() {
         }
     }
 
+    // ---- fault-model registry: per-model grading throughput ----
+    //
+    // The registry's other members, each through its own unified entry
+    // point on the serial backend at the wide grading default:
+    // transition/delay and bridging on the JPEG core, inter-cell
+    // coupling March simulation on an SRAM sized so the fault list is
+    // comparable. One committed row per model sits next to the
+    // stuck-at headline above.
+    println!(
+        "{}",
+        header("Fault-model registry: per-model grading throughput (serial backend)")
+    );
+    println!(
+        "{:>12} {:>10} {:<12} {:>9}",
+        "model", "rate", "", "detected"
+    );
+    let tfaults = transition::enumerate_transition_faults(&module);
+    let (tsecs, trep) = time(|| {
+        transition::grade_transitions(&serial_exec, &module, &tfaults, &pins, &vectors)
+            .expect("transition grading runs")
+    });
+    println!(
+        "{:>12} {:>10.0} {:<12} {:>6}/{}",
+        "transition",
+        tfaults.len() as f64 / tsecs.max(1e-12),
+        "faults/s",
+        trep.detected,
+        trep.total
+    );
+    rows.push(BenchRow {
+        workload: "transition_grading",
+        backend: "serial".to_string(),
+        lanes: default_lanes,
+        opt: sim_opt,
+        rate: tfaults.len() as f64 / tsecs.max(1e-12),
+        unit: "faults/s",
+        compares: tfaults.len() as u64,
+        mismatches: 0,
+        ship: None,
+    });
+    let bfaults = bridging::enumerate_bridges(&module).expect("jpeg core compiles");
+    let (bsecs, brep) = time(|| {
+        bridging::grade_bridges(&serial_exec, &module, &bfaults, &pins, &vectors)
+            .expect("bridging grading runs")
+    });
+    println!(
+        "{:>12} {:>10.0} {:<12} {:>6}/{}",
+        "bridging",
+        bfaults.len() as f64 / bsecs.max(1e-12),
+        "faults/s",
+        brep.detected,
+        brep.total
+    );
+    rows.push(BenchRow {
+        workload: "bridging_grading",
+        backend: "serial".to_string(),
+        lanes: default_lanes,
+        opt: sim_opt,
+        rate: bfaults.len() as f64 / bsecs.max(1e-12),
+        unit: "faults/s",
+        compares: bfaults.len() as u64,
+        mismatches: 0,
+        ship: None,
+    });
+    let sram = SramConfig::single_port(256, 8);
+    let couplings = enumerate_inter_cell_couplings(&sram);
+    let march = MarchAlgorithm::march_c_minus();
+    let (csecs, crep) = time(|| {
+        fault_coverage(&serial_exec, &march, &sram, &couplings).expect("coupling march runs")
+    });
+    println!(
+        "{:>12} {:>10.0} {:<12} {:>6}/{}",
+        "coupling",
+        couplings.len() as f64 / csecs.max(1e-12),
+        "faults/s",
+        crep.detected,
+        crep.total
+    );
+    rows.push(BenchRow {
+        workload: "coupling_march",
+        backend: "serial".to_string(),
+        lanes: default_lanes,
+        opt: sim_opt,
+        rate: couplings.len() as f64 / csecs.max(1e-12),
+        unit: "faults/s",
+        compares: couplings.len() as u64,
+        mismatches: 0,
+        ship: None,
+    });
+
     // ---- SOC zoo: the corpus-wide scheduling / test-time / coverage
     // table, and the standing stress workload's throughput row ----
     //
@@ -715,7 +814,7 @@ fn main() {
     let zoo_opts = RunOptions {
         grade: true,
         vectors: 48,
-        check: true,
+        ..RunOptions::default()
     };
     let (zoo_secs, zoo_report) =
         time(
@@ -749,7 +848,45 @@ fn main() {
         ship: None,
     });
 
+    // The same corpus with grading dispatched through a two-worker
+    // spawn fleet — the standing stress workload as a *remote*
+    // customer of the exec seam. Scheduling stays in-process (it is
+    // not an Exec workload); only the grading inner loops ship to the
+    // fleet, and the corpus summary must come back identical.
+    if let Some(fleet) = RemoteFleet::spawn_local(2) {
+        let remote = Exec::remote(fleet).with_fallback(Fallback::Fail);
+        let (rsecs, rreport) = time(|| match run_corpus(&zoo_params, &remote, &zoo_opts) {
+            Ok(r) => r,
+            Err((index, e)) => panic!("zoo soc{index:03} infeasible on {remote}: {e}"),
+        });
+        assert_eq!(rreport.violations(), 0);
+        let serial_cov: Vec<Option<f64>> = zoo_report.rows.iter().map(|r| r.coverage).collect();
+        let remote_cov: Vec<Option<f64>> = rreport.rows.iter().map(|r| r.coverage).collect();
+        assert_eq!(
+            remote_cov, serial_cov,
+            "remote grading changed a corpus coverage verdict"
+        );
+        let remote_rate = zoo_tasks as f64 / rsecs.max(1e-12);
+        println!(
+            "remote fleet: {zoo_tasks} tasks in {rsecs:.2}s \
+             ({remote_rate:.0} tasks/s, remote:spawn*2, identical coverage)"
+        );
+        rows.push(BenchRow {
+            workload: "zoo_scheduling",
+            backend: "remote:spawn*2".to_string(),
+            lanes: 0,
+            opt: sim_opt,
+            rate: remote_rate,
+            unit: "tasks/s",
+            compares: zoo_tasks as u64,
+            mismatches: 0,
+            ship: None,
+        });
+    } else {
+        println!("worker binary not found; the remote zoo row is skipped");
+    }
+
     if json {
-        write_json("BENCH_8.json", &rows);
+        write_json("BENCH_9.json", &rows);
     }
 }

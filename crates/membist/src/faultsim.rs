@@ -675,6 +675,57 @@ pub fn fault_coverage_serial(
     report_from_flags(alg, config, faults, &flags, 0)
 }
 
+/// Enumerates the inter-cell coupling faults between vertically
+/// adjacent cells — same bit column, consecutive word addresses, the
+/// physical neighbours of a folded SRAM array. Each unordered neighbour
+/// pair yields both aggressor directions, and each direction six
+/// classically distinguished couplings: CFin on the rising and falling
+/// aggressor edge, plus CFid and CFst in the two polarities whose
+/// forced value tracks the trigger (the anti-tracking polarities are
+/// the data-complement mirrors of these and add no diagnostic
+/// resolution under solid backgrounds). `12 * width * (words - 1)`
+/// faults total, in deterministic address-major order, ready for
+/// [`fault_coverage`] or [`crate::diagnose::coupling_dictionary`].
+#[must_use]
+pub fn enumerate_inter_cell_couplings(config: &SramConfig) -> Vec<MemFault> {
+    let mut out = Vec::new();
+    if config.words < 2 {
+        return out;
+    }
+    for addr in 0..config.words - 1 {
+        for bit in 0..config.width {
+            let lo = (addr, bit);
+            let hi = (addr + 1, bit);
+            for (aggressor, victim) in [(lo, hi), (hi, lo)] {
+                for rising in [true, false] {
+                    out.push(MemFault::CouplingInversion {
+                        aggressor,
+                        victim,
+                        rising,
+                    });
+                }
+                for (rising, forced) in [(true, true), (false, false)] {
+                    out.push(MemFault::CouplingIdempotent {
+                        aggressor,
+                        victim,
+                        rising,
+                        forced,
+                    });
+                }
+                for (state, forced) in [(true, true), (false, false)] {
+                    out.push(MemFault::CouplingState {
+                        aggressor,
+                        victim,
+                        state,
+                        forced,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Generates a random fault list over all classes with `per_class`
 /// faults each (deduplicated cells are not required — the single-fault
 /// assumption means every entry is simulated independently).

@@ -64,10 +64,13 @@ pub use background::{
 };
 pub use brains::{BistDesign, Brains, MemorySpec, SequencerPolicy};
 pub use controller::{controller_netlist, BIST_IF_SIGNALS};
-pub use diagnose::{first_failure, implicated_memories, FailureSite};
+pub use diagnose::{
+    coupling_dictionary, failure_log, first_failure, implicated_memories, march_signature,
+    rank_candidates, signature_distance, FailureSite, MemDictionary,
+};
 pub use faultsim::{
-    fault_coverage, fault_coverage_wide, faults_per_walk, run_march, MemCoverageReport,
-    FAULTS_PER_PASS,
+    enumerate_inter_cell_couplings, fault_coverage, fault_coverage_wide, faults_per_walk,
+    run_march, MemCoverageReport, FAULTS_PER_PASS,
 };
 pub use march::{Direction, MarchAlgorithm, MarchElement, MarchOp};
 pub use memory::{MemFault, PortKind, Sram, SramConfig};

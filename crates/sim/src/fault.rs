@@ -162,7 +162,7 @@ impl fmt::Display for CoverageReport {
 /// Accumulates, into a lane mask, the lanes whose observed value provably
 /// differs from the good machine on lane 0 (both values known, values
 /// differ — the masked-compare rule an ATE applies).
-fn detection_lanes<const N: usize>(obs: PackedLogic<N>) -> LaneMask<N> {
+pub(crate) fn detection_lanes<const N: usize>(obs: PackedLogic<N>) -> LaneMask<N> {
     let ones = obs.is_one();
     let zeros = obs.is_zero();
     if mask_bit(&ones, 0) {
@@ -256,7 +256,7 @@ where
     Ok(report_from_flags(faults, &flags, 0))
 }
 
-fn validate_vectors(pins: &[NetId], vectors: &[Vec<Logic>]) -> Result<(), SimError> {
+pub(crate) fn validate_vectors(pins: &[NetId], vectors: &[Vec<Logic>]) -> Result<(), SimError> {
     for v in vectors {
         if v.len() != pins.len() {
             return Err(SimError::VectorLength {
@@ -346,7 +346,7 @@ impl<const N: usize> ExecWork for GradeWork<'_, N> {
 }
 
 /// Serializes an `N`-word detection mask (unit-result payload).
-fn encode_lane_mask<const N: usize>(mask: &LaneMask<N>) -> Vec<u8> {
+pub(crate) fn encode_lane_mask<const N: usize>(mask: &LaneMask<N>) -> Vec<u8> {
     let mut out = Vec::with_capacity(N * 8);
     for w in mask {
         out.extend_from_slice(&w.to_le_bytes());
@@ -355,7 +355,7 @@ fn encode_lane_mask<const N: usize>(mask: &LaneMask<N>) -> Vec<u8> {
 }
 
 /// Deserializes an `N`-word detection mask (unit-result payload).
-fn decode_lane_mask<const N: usize>(bytes: &[u8]) -> Result<LaneMask<N>, String> {
+pub(crate) fn decode_lane_mask<const N: usize>(bytes: &[u8]) -> Result<LaneMask<N>, String> {
     if bytes.len() != N * 8 {
         return Err(format!(
             "result has {} bytes, expected {}",

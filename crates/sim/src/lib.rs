@@ -5,7 +5,8 @@
 //! role of the silicon + ATE: it evaluates flattened
 //! [`steac_netlist::Module`]s under 0/1/X/Z logic, detects clock edges
 //! (including gated and divided clocks), applies scan shift/capture
-//! sequences, and measures single-stuck-at fault coverage of pattern sets.
+//! sequences, and grades pattern sets against a registry of fault
+//! models — stuck-at, transition/delay, and bridging (see [`models`]).
 //!
 //! # Compile once, optimize once, execute everywhere
 //!
@@ -96,8 +97,28 @@
 //! with distinct patterns ([`Simulator::run_vectors`],
 //! [`Simulator::set_lanes`]) or run PPSFP fault simulation — lane 0 good
 //! machine, the remaining `64 * N - 1` lanes faulty machines via
-//! per-lane forces — through [`fault::fault_coverage`] and
-//! [`fault::grade_vectors`], with per-pass fault dropping.
+//! per-lane forces.
+//!
+//! # The fault-model registry
+//!
+//! PPSFP grading is not a single workload but a *family*: every fault
+//! model in [`models`] describes itself as an [`exec::ExecWork`] and so
+//! inherits stages 1–5 above wholesale — the optimizer, the wide lane
+//! groups, all five backends, and the byte-identical-reports contract.
+//! Stuck-at grading ([`fault::fault_coverage`] /
+//! [`fault::grade_vectors`], work-unit kind 1) is simply the founding
+//! member; [`models::transition`] (kind 4) grades slow-to-rise/fall
+//! faults with launch–capture vector pairs, [`models::bridging`]
+//! (kind 5) grades AND/OR shorts between topologically adjacent nets,
+//! and inter-cell memory coupling rides `steac-membist`'s March walks
+//! (kind 3). The gate-level models can emit a **fault dictionary**
+//! (per-fault detecting-pattern/output signatures,
+//! [`models::dictionary`]), and [`models::dictionary::diagnose`]
+//! (kind 6) consumes a dictionary plus an observed failure signature to
+//! rank candidate fault sites — localization dispatched through the
+//! same `Exec` seam as grading. Flows that grade "with the configured
+//! model" select it via `STEAC_MODEL`
+//! ([`models::ModelKind::from_env`]).
 //!
 //! # Example
 //!
@@ -129,6 +150,7 @@ pub mod engine;
 pub mod exec;
 pub mod fault;
 pub mod logic;
+pub mod models;
 pub mod opt;
 pub mod packed;
 pub mod program;
@@ -144,6 +166,15 @@ pub use fault::{
     CoverageReport, Fault, StuckAt, FAULTS_PER_PASS, SUPPORTED_LANE_GROUPS,
 };
 pub use logic::Logic;
+pub use models::bridging::{
+    enumerate_bridges, grade_bridges, grade_bridges_wide, BridgeKind, BridgingFault, BridgingReport,
+};
+pub use models::dictionary::{diagnose, Diagnosis, DictEntry, FaultDictionary};
+pub use models::transition::{
+    enumerate_transition_faults, grade_transitions, grade_transitions_wide, SlowEdge,
+    TransitionFault, TransitionReport,
+};
+pub use models::ModelKind;
 pub use opt::{OptConfig, OptStats};
 pub use packed::{PackedLogic, DEFAULT_LANE_GROUPS, LANES};
 pub use program::{ProgramStats, SimProgram};

@@ -1,0 +1,425 @@
+//! Fault dictionaries and the `Exec`-dispatched `diagnose` workload.
+//!
+//! A **fault dictionary** is the localization artifact a dictionary-
+//! producing grading run emits: per candidate fault, the first
+//! detecting pattern plus a packed **detection signature** — one bit
+//! per (pattern, output) position where the faulty machine provably
+//! differs from the good machine, bit `p * outputs + o` of a
+//! `ceil(patterns * outputs / 64)`-word little-endian vector. The
+//! signature of a transition fault indexes launch–capture *pairs*; a
+//! bridging or stuck-at signature indexes vectors.
+//!
+//! # Wire format (`SDCT` block)
+//!
+//! [`encode_dictionary`] / [`decode_dictionary`] persist a dictionary
+//! as: magic `SDCT`, [`wire::WIRE_VERSION`] (`u16`), `patterns` (u32),
+//! `outputs` (u32), entry count (u64), then per entry the first
+//! detecting pattern (`u32`, `u32::MAX` = never detected) and the
+//! signature words (`u64` each, count implied by patterns × outputs).
+//! The same per-entry layout (with an explicit count) is the unit
+//! *result* payload of dictionary-mode grading jobs, so a remote worker
+//! ships signatures back in exactly the bytes the dictionary stores.
+//!
+//! # Diagnosis
+//!
+//! [`diagnose`] is the consumer: given a dictionary and the observed
+//! signature of a failing device (the tester's failure log compacted
+//! the same way), it ranks every candidate by Hamming distance between
+//! signatures — the classic dictionary lookup, distance 0 meaning the
+//! candidate explains the observation exactly. Scoring is fanned out
+//! through [`Exec`] as work-unit chunks of candidates (kind
+//! [`WIRE_KIND`]), so a large dictionary diagnoses across the same
+//! five backends as grading, with the same byte-identical-results
+//! contract.
+
+use crate::exec::{Exec, ExecWork};
+use crate::shard::{self, PoolError};
+use crate::wire;
+use crate::SimError;
+
+/// One dictionary entry: how one candidate fault shows up under the
+/// pattern set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DictEntry {
+    /// First detecting pattern (pair index for transition faults,
+    /// vector index otherwise); `None` if the fault is never detected.
+    pub first_pattern: Option<u32>,
+    /// Packed per-(pattern, output) detection bits; see the module
+    /// docs for the bit layout.
+    pub signature: Vec<u64>,
+}
+
+/// A fault dictionary: per-candidate detection signatures over one
+/// pattern set, in fault-list order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultDictionary {
+    /// Patterns the signatures index (pairs for transition faults).
+    pub patterns: u32,
+    /// Observed outputs per pattern.
+    pub outputs: u32,
+    /// Per-candidate entries, in the grading fault-list order.
+    pub entries: Vec<DictEntry>,
+}
+
+impl FaultDictionary {
+    /// Signature length in 64-bit words.
+    #[must_use]
+    pub fn words_per_signature(&self) -> usize {
+        signature_words(self.patterns as usize, self.outputs as usize)
+    }
+
+    /// Entries with at least one detection (the usable candidates).
+    #[must_use]
+    pub fn detected_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.first_pattern.is_some())
+            .count()
+    }
+}
+
+/// Words needed to hold one bit per (pattern, output) position.
+#[must_use]
+pub fn signature_words(patterns: usize, outputs: usize) -> usize {
+    (patterns * outputs).div_ceil(64)
+}
+
+/// Sentinel encoding [`DictEntry::first_pattern`] `== None`.
+const NO_PATTERN: u32 = u32::MAX;
+
+/// Serializes a dictionary as an `SDCT` block (see the module docs).
+#[must_use]
+pub fn encode_dictionary(dict: &FaultDictionary) -> Vec<u8> {
+    let words = dict.words_per_signature();
+    let mut w = wire::WireWriter::new();
+    w.put_bytes(b"SDCT");
+    w.put_u16(wire::WIRE_VERSION);
+    w.put_u32(dict.patterns);
+    w.put_u32(dict.outputs);
+    w.put_usize(dict.entries.len());
+    for e in &dict.entries {
+        debug_assert_eq!(e.signature.len(), words, "signature width mismatch");
+        w.put_u32(e.first_pattern.unwrap_or(NO_PATTERN));
+        for &word in &e.signature {
+            w.put_u64(word);
+        }
+    }
+    w.finish()
+}
+
+/// Deserializes an `SDCT` block.
+///
+/// # Errors
+///
+/// [`wire::WireError`] on bad magic, wrong version, truncation, or a
+/// signature that does not match the header's pattern × output shape.
+pub fn decode_dictionary(bytes: &[u8]) -> Result<FaultDictionary, wire::WireError> {
+    let mut r = wire::WireReader::new(bytes);
+    r.expect_magic(b"SDCT", "dictionary magic")?;
+    r.expect_version(wire::WIRE_VERSION, "dictionary version")?;
+    let patterns = r.get_u32("dictionary patterns")?;
+    let outputs = r.get_u32("dictionary outputs")?;
+    let words = signature_words(patterns as usize, outputs as usize);
+    let count = r.get_count("dictionary entries", 4 + words * 8)?;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        entries.push(read_entry(&mut r, words)?);
+    }
+    r.finish()?;
+    Ok(FaultDictionary {
+        patterns,
+        outputs,
+        entries,
+    })
+}
+
+fn read_entry(r: &mut wire::WireReader<'_>, words: usize) -> Result<DictEntry, wire::WireError> {
+    let first = r.get_u32("dictionary first pattern")?;
+    let mut signature = Vec::with_capacity(words);
+    for _ in 0..words {
+        signature.push(r.get_u64("dictionary signature word")?);
+    }
+    Ok(DictEntry {
+        first_pattern: (first != NO_PATTERN).then_some(first),
+        signature,
+    })
+}
+
+/// Serializes a dictionary-mode unit result: entry count, then each
+/// entry as first pattern + explicit word count + signature words.
+pub(crate) fn encode_dict_entries(entries: &[DictEntry]) -> Vec<u8> {
+    let mut w = wire::WireWriter::new();
+    w.put_usize(entries.len());
+    for e in entries {
+        w.put_u32(e.first_pattern.unwrap_or(NO_PATTERN));
+        w.put_usize(e.signature.len());
+        for &word in &e.signature {
+            w.put_u64(word);
+        }
+    }
+    w.finish()
+}
+
+/// Deserializes a dictionary-mode unit result (diagnostic-string errors
+/// because this runs inside [`crate::exec::ExecWork::decode_result`]).
+pub(crate) fn decode_dict_entries(bytes: &[u8]) -> Result<Vec<DictEntry>, String> {
+    let mut r = wire::WireReader::new(bytes);
+    let fail = |e: wire::WireError| format!("dictionary unit result: {e}");
+    let count = r.get_count("dictionary entry count", 12).map_err(fail)?;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let first = r.get_u32("dictionary entry first").map_err(fail)?;
+        let words = r.get_count("dictionary entry words", 8).map_err(fail)?;
+        let mut signature = Vec::with_capacity(words);
+        for _ in 0..words {
+            signature.push(r.get_u64("dictionary entry word").map_err(fail)?);
+        }
+        entries.push(DictEntry {
+            first_pattern: (first != NO_PATTERN).then_some(first),
+            signature,
+        });
+    }
+    r.finish().map_err(fail)?;
+    Ok(entries)
+}
+
+// ---------- the diagnose workload ----------
+
+/// Work-unit kind the worker-side job registry routes to
+/// [`open_wire_job`]: signature-distance scoring of a candidate chunk.
+pub const WIRE_KIND: u16 = 6;
+
+/// Candidates scored per work unit. Small enough to shard a zoo-sized
+/// dictionary across a fleet, large enough that the unit payload
+/// dominates the envelope.
+const DIAG_CHUNK: usize = 512;
+
+/// A ranked diagnosis: candidate indexes into the dictionary's entry
+/// list, most plausible first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnosis {
+    /// `(entry index, Hamming distance)` sorted by distance, ties by
+    /// index — deterministic on every backend.
+    pub ranked: Vec<(usize, u32)>,
+}
+
+impl Diagnosis {
+    /// The `k` most plausible candidates (fewer if the dictionary is
+    /// smaller).
+    #[must_use]
+    pub fn top(&self, k: usize) -> &[(usize, u32)] {
+        &self.ranked[..k.min(self.ranked.len())]
+    }
+
+    /// Where a given candidate landed (0 = most plausible).
+    #[must_use]
+    pub fn rank_of(&self, entry: usize) -> Option<usize> {
+        self.ranked.iter().position(|&(i, _)| i == entry)
+    }
+}
+
+/// Hamming distance between two packed signatures of equal width.
+fn distance(a: &[u64], b: &[u64]) -> u32 {
+    a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones()).sum()
+}
+
+/// The [`ExecWork`] description of diagnosis: the observed signature as
+/// the job block, candidate-signature chunks as units, per-candidate
+/// distances as unit results.
+struct DiagnoseWork<'a> {
+    words: usize,
+    observed: &'a [u64],
+    chunks: Vec<&'a [DictEntry]>,
+}
+
+impl ExecWork for DiagnoseWork<'_> {
+    type Output = Vec<u32>;
+    type Error = SimError;
+
+    fn kind(&self) -> u16 {
+        WIRE_KIND
+    }
+
+    fn unit_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    fn encode_job(&self) -> Vec<u8> {
+        let mut w = wire::WireWriter::new();
+        w.put_usize(self.words);
+        for &word in self.observed {
+            w.put_u64(word);
+        }
+        w.finish()
+    }
+
+    fn encode_unit(&self, unit: usize) -> Vec<u8> {
+        encode_dict_entries(self.chunks[unit])
+    }
+
+    fn run_unit_local(&self, unit: usize) -> Result<Vec<u32>, SimError> {
+        Ok(self.chunks[unit]
+            .iter()
+            .map(|e| distance(&e.signature, self.observed))
+            .collect())
+    }
+
+    fn decode_result(&self, _unit: usize, bytes: &[u8]) -> Result<Vec<u32>, String> {
+        let mut r = wire::WireReader::new(bytes);
+        let fail = |e: wire::WireError| format!("diagnose unit result: {e}");
+        let count = r.get_count("diagnose distance count", 4).map_err(fail)?;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(r.get_u32("diagnose distance").map_err(fail)?);
+        }
+        r.finish().map_err(fail)?;
+        Ok(out)
+    }
+
+    fn pool_error(&self, error: PoolError) -> SimError {
+        error.into()
+    }
+}
+
+/// Ranks every dictionary candidate against an observed failure
+/// signature by Hamming distance (ties broken by entry index), fanned
+/// out through `exec` in [`DIAG_CHUNK`]-candidate units — localization
+/// as a first-class `Exec` workload, byte-identical on every backend.
+///
+/// # Errors
+///
+/// [`SimError::VectorLength`] if `observed` does not match the
+/// dictionary's signature width; worker/dispatch failures as
+/// [`SimError::Worker`].
+pub fn diagnose(
+    exec: &Exec,
+    dict: &FaultDictionary,
+    observed: &[u64],
+) -> Result<Diagnosis, SimError> {
+    let words = dict.words_per_signature();
+    if observed.len() != words {
+        return Err(SimError::VectorLength {
+            expected: words,
+            got: observed.len(),
+        });
+    }
+    let work = DiagnoseWork {
+        words,
+        observed,
+        chunks: dict.entries.chunks(DIAG_CHUNK.max(1)).collect(),
+    };
+    let dispatched = exec.dispatch(&work)?;
+    let mut ranked: Vec<(usize, u32)> =
+        dispatched.units.into_iter().flatten().enumerate().collect();
+    ranked.sort_by_key(|&(i, d)| (d, i));
+    Ok(Diagnosis { ranked })
+}
+
+// ---------- worker-side wire job ----------
+
+/// An opened diagnose job inside a worker process.
+struct DiagnoseJob {
+    words: usize,
+    observed: Vec<u64>,
+}
+
+impl shard::WireJob for DiagnoseJob {
+    fn run_unit(&mut self, unit: &[u8]) -> Result<Vec<u8>, String> {
+        let entries = decode_dict_entries(unit)?;
+        let mut w = wire::WireWriter::new();
+        w.put_usize(entries.len());
+        for e in &entries {
+            if e.signature.len() != self.words {
+                return Err(format!(
+                    "diagnose candidate has {} signature words, observed has {}",
+                    e.signature.len(),
+                    self.words
+                ));
+            }
+            w.put_u32(distance(&e.signature, &self.observed));
+        }
+        Ok(w.finish())
+    }
+}
+
+/// Decodes a [`WIRE_KIND`] job block (signature width + observed
+/// signature) into the executable job the worker loop drives — the
+/// `steac-worker` side of [`diagnose`].
+///
+/// # Errors
+///
+/// A diagnostic on corrupt job bytes.
+pub fn open_wire_job(job: &[u8]) -> Result<Box<dyn shard::WireJob>, String> {
+    let mut r = wire::WireReader::new(job);
+    let fail = |e: wire::WireError| format!("diagnose job: {e}");
+    let words = r.get_count("diagnose job words", 8).map_err(fail)?;
+    let mut observed = Vec::with_capacity(words);
+    for _ in 0..words {
+        observed.push(r.get_u64("diagnose job observed word").map_err(fail)?);
+    }
+    r.finish().map_err(fail)?;
+    Ok(Box::new(DiagnoseJob { words, observed }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(first: Option<u32>, signature: Vec<u64>) -> DictEntry {
+        DictEntry {
+            first_pattern: first,
+            signature,
+        }
+    }
+
+    fn dict() -> FaultDictionary {
+        FaultDictionary {
+            patterns: 96,
+            outputs: 2,
+            entries: vec![
+                entry(None, vec![0, 0, 0]),
+                entry(Some(0), vec![0b101, 0, 1]),
+                entry(Some(2), vec![0b100, 0, 0]),
+            ],
+        }
+    }
+
+    #[test]
+    fn dictionary_block_round_trips() {
+        let d = dict();
+        let bytes = encode_dictionary(&d);
+        assert_eq!(decode_dictionary(&bytes).unwrap(), d);
+        assert!(decode_dictionary(&bytes[..bytes.len() - 1]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            decode_dictionary(&bad),
+            Err(wire::WireError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn entry_unit_codec_round_trips() {
+        let d = dict();
+        let bytes = encode_dict_entries(&d.entries);
+        assert_eq!(decode_dict_entries(&bytes).unwrap(), d.entries);
+    }
+
+    #[test]
+    fn exact_match_ranks_first() {
+        let d = dict();
+        let diag = diagnose(&Exec::serial(), &d, &[0b101, 0, 1]).unwrap();
+        assert_eq!(diag.ranked[0], (1, 0));
+        assert_eq!(diag.rank_of(1), Some(0));
+        assert_eq!(diag.top(2).len(), 2);
+    }
+
+    #[test]
+    fn wrong_signature_width_is_rejected() {
+        let d = dict();
+        assert!(matches!(
+            diagnose(&Exec::serial(), &d, &[0]),
+            Err(SimError::VectorLength { .. })
+        ));
+    }
+}

@@ -1,0 +1,122 @@
+//! The fault-model subsystem: every model is a registered [`ExecWork`].
+//!
+//! Stuck-at grading ([`crate::fault`]) was the repo's founding workload;
+//! this module generalises it into a *registry of fault models*, each of
+//! which inherits the whole platform for free by speaking the same
+//! `ExecWork` contract: all five backends (serial / threads / processes
+//! / remote-spawn / remote-tcp), the optimizer pipeline, wide lane
+//! groups, per-pass fault dropping, and the byte-identical-reports
+//! differential-test pattern.
+//!
+//! | model | module | work-unit kind | fault site |
+//! |---|---|---|---|
+//! | stuck-at | [`crate::fault`] | 1 | net stuck at 0/1 |
+//! | transition/delay | [`transition`] | 4 | net slow-to-rise/fall |
+//! | bridging | [`bridging`] | 5 | AND/OR short between adjacent nets |
+//! | dictionary diagnosis | [`dictionary`] | 6 | — (consumes dictionaries) |
+//!
+//! (Inter-cell memory coupling is the fourth model; its faults are
+//! `steac-membist` [`MemFault`]s and ride that crate's March walk
+//! workload, kind 3.)
+//!
+//! Each gate-level model can emit an optional **fault dictionary**
+//! ([`dictionary::FaultDictionary`]): per fault, the first detecting
+//! pattern and a packed per-(pattern, output) detection signature. The
+//! [`dictionary::diagnose`] workload consumes a dictionary plus an
+//! observed failure signature and ranks candidate fault sites by
+//! signature distance — localization as an `Exec`-dispatched workload
+//! rather than a post-processing script.
+//!
+//! # Model selection
+//!
+//! Flows that grade "with the configured model" (the zoo corpus, the
+//! scaling bench) select it via [`ModelKind`]: `STEAC_MODEL=stuck-at`
+//! (default) / `transition` / `bridging`, parsed by
+//! [`ModelKind::from_env`].
+//!
+//! [`ExecWork`]: crate::exec::ExecWork
+//! [`MemFault`]: https://docs.rs/steac-membist
+
+pub mod bridging;
+pub mod dictionary;
+pub mod transition;
+
+use std::fmt;
+
+/// Gate-level fault models a vector-grading flow can select between.
+///
+/// This is the registry key the zoo corpus and the benches dispatch on;
+/// the memory coupling model lives in `steac-membist` and is selected
+/// by algorithm, not by this enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ModelKind {
+    /// Single stuck-at faults ([`crate::fault::grade_vectors`]).
+    #[default]
+    StuckAt,
+    /// Transition/delay faults ([`transition::grade_transitions`]).
+    Transition,
+    /// AND/OR bridging faults ([`bridging::grade_bridges`]).
+    Bridging,
+}
+
+impl ModelKind {
+    /// Every selectable model, in registry order.
+    pub const ALL: [ModelKind; 3] = [
+        ModelKind::StuckAt,
+        ModelKind::Transition,
+        ModelKind::Bridging,
+    ];
+
+    /// Parses a `STEAC_MODEL` value. Accepts the canonical names
+    /// `stuck-at`, `transition` and `bridging` (plus the common
+    /// `stuckat`/`sa` spellings).
+    #[must_use]
+    pub fn parse(spec: &str) -> Option<ModelKind> {
+        match spec.trim().to_ascii_lowercase().as_str() {
+            "stuck-at" | "stuckat" | "sa" => Some(ModelKind::StuckAt),
+            "transition" | "delay" => Some(ModelKind::Transition),
+            "bridging" | "bridge" => Some(ModelKind::Bridging),
+            _ => None,
+        }
+    }
+
+    /// Resolves the model from `STEAC_MODEL`, defaulting to stuck-at.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognised `STEAC_MODEL` value — a misspelled
+    /// model silently grading stuck-at would invalidate whatever the
+    /// caller thought it measured.
+    #[must_use]
+    pub fn from_env() -> ModelKind {
+        match std::env::var("STEAC_MODEL") {
+            Ok(spec) => ModelKind::parse(&spec)
+                .unwrap_or_else(|| panic!("STEAC_MODEL={spec}: unknown fault model")),
+            Err(_) => ModelKind::StuckAt,
+        }
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ModelKind::StuckAt => "stuck-at",
+            ModelKind::Transition => "transition",
+            ModelKind::Bridging => "bridging",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_names_round_trip_through_parse() {
+        for kind in ModelKind::ALL {
+            assert_eq!(ModelKind::parse(&kind.to_string()), Some(kind));
+        }
+        assert_eq!(ModelKind::parse("delay"), Some(ModelKind::Transition));
+        assert_eq!(ModelKind::parse("qqq"), None);
+    }
+}

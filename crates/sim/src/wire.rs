@@ -12,7 +12,7 @@
 //!
 //! ```text
 //! magic   b"SPRG"                        (4 bytes)
-//! version u16                            (currently 2)
+//! version u16                            (currently 3)
 //! name    str
 //! net_count, slot_count                  (u64 each)
 //! comb    u64 count, then per instr:     op u8, ins 4 x u32, out u32
@@ -29,7 +29,12 @@
 //! the `opt` record), so decoded programs carry their slot renumbering
 //! and the engine knows whether the single-sweep settle fast path is
 //! licensed. The `scheduled` flag is re-verified against the decoded
-//! stream — bytes cannot claim a schedule they do not have.
+//! stream — bytes cannot claim a schedule they do not have. Version 3
+//! added the fault-model subsystem's payloads (transition and bridging
+//! job/unit layouts, the `SDCT` dictionary block and the diagnose
+//! job — see [`crate::models`]); the program layout itself is
+//! unchanged, but the whole family moves in lock step per the rule
+//! below.
 //!
 //! Work-unit payloads (fault chunks here, pattern chunks in
 //! `steac-pattern`, March chunks in `steac-membist`) carry no magic of
@@ -87,7 +92,7 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 }
 
 /// Current wire-format version (see the module docs for the bump rule).
-pub const WIRE_VERSION: u16 = 2;
+pub const WIRE_VERSION: u16 = 3;
 
 /// Typed decode failure. Encoding cannot fail.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -51,6 +51,11 @@ pub struct ZooParams {
     /// Pin-budget headroom over the per-session minimum-pin share
     /// (band).
     pub pin_headroom: (f64, f64),
+    /// Probability a task's power draw spikes to several times the
+    /// typical roll — pathological power profiles that force the
+    /// scheduler to serialize around hot tasks. 0 in the standard
+    /// presets; the [`ZooParams::adversarial`] preset turns it on.
+    pub spiky_power: f64,
 }
 
 impl ZooParams {
@@ -71,6 +76,7 @@ impl ZooParams {
             max_sessions: (2, 5),
             power_headroom: (1.6, 2.4),
             pin_headroom: (1.5, 2.5),
+            spiky_power: 0.0,
         }
     }
 
@@ -91,6 +97,35 @@ impl ZooParams {
             max_sessions: (2, 4),
             power_headroom: (1.4, 2.2),
             pin_headroom: (1.5, 2.5),
+            spiky_power: 0.0,
+        }
+    }
+
+    /// The adversarial corpus: pathological power profiles (a sampled
+    /// fraction of tasks spike to 4x the typical draw) combined with
+    /// near-zero power and pin headroom, so sessions serialize around
+    /// hot tasks and scan grants collapse toward single-wire TAMs.
+    /// Budgets are still sized to keep every instance feasible: the
+    /// lone-task floors hold regardless of headroom, and with spikes
+    /// on, the power sizing adds the first-fit sufficiency term (see
+    /// `size_config`) so outliers pressure schedule *quality* and the
+    /// invariant checks, not feasibility. Fixed seed: CI runs this
+    /// corpus every merge.
+    #[must_use]
+    pub fn adversarial() -> Self {
+        ZooParams {
+            seed: 0xD5C_2005 ^ 0xAD5A,
+            socs: 40,
+            min_cores: 4,
+            max_cores: 80,
+            memory_ratio: 0.25,
+            soft_ratio: 0.5,
+            functional_ratio: 0.35,
+            mbist_groups: (1, 3),
+            max_sessions: (2, 5),
+            power_headroom: (1.02, 1.15),
+            pin_headroom: (1.0, 1.08),
+            spiky_power: 0.15,
         }
     }
 
@@ -126,8 +161,12 @@ impl ZooParams {
                 memories += 1;
                 let cycles = log_uniform(&mut rng, 10_000, 3_000_000);
                 let group = rng.gen_range(0..mbist_groups);
-                let mut t =
-                    TestTask::bist(&format!("m{c}"), cycles).with_power(rng.gen_range(0.2..1.0));
+                let mut t = TestTask::bist(&format!("m{c}"), cycles).with_power(roll_power(
+                    &mut rng,
+                    self.spiky_power,
+                    0.2,
+                    1.0,
+                ));
                 t.pin_group = Some(format!("mbist{group}"));
                 tasks.push(t);
             } else {
@@ -149,7 +188,7 @@ impl ZooParams {
                 tasks.push(
                     TestTask::scan(&core, patterns, &chains, inputs, outputs, soft)
                         .with_controls(controls.clone())
-                        .with_power(rng.gen_range(0.2..1.0)),
+                        .with_power(roll_power(&mut rng, self.spiky_power, 0.2, 1.0)),
                 );
                 if rng.gen_bool(self.functional_ratio) {
                     let func_controls = controls
@@ -170,7 +209,12 @@ impl ZooParams {
                             rng.gen_range(8usize..=100),
                         )
                         .with_controls(func_controls)
-                        .with_power(rng.gen_range(0.4..1.2)),
+                        .with_power(roll_power(
+                            &mut rng,
+                            self.spiky_power,
+                            0.4,
+                            1.2,
+                        )),
                     );
                 }
             }
@@ -194,6 +238,20 @@ impl ZooParams {
     }
 }
 
+/// One task's power draw: a uniform roll from the band, spiked to 4x
+/// with probability `spiky` (the adversarial preset's pathological
+/// profile). The spike roll is skipped entirely at `spiky == 0` so the
+/// standard presets' RNG streams — and therefore their corpora — stay
+/// byte-identical.
+fn roll_power(rng: &mut StdRng, spiky: f64, lo: f64, hi: f64) -> f64 {
+    let p = rng.gen_range(lo..hi);
+    if spiky > 0.0 && rng.gen_bool(spiky) {
+        p * 4.0
+    } else {
+        p
+    }
+}
+
 /// Sizes the chip budget around the rolled tasks: the power cap and pin
 /// budget get the per-session share of the totals plus sampled
 /// headroom, so every corpus SOC is *intended* to be schedulable while
@@ -213,7 +271,19 @@ fn size_config(
     let total_power: f64 = tasks.iter().map(|t| t.power).sum();
     let max_power = tasks.iter().map(|t| t.power).fold(0.0f64, f64::max);
     let headroom = rng.gen_range(params.power_headroom.0..params.power_headroom.1);
-    let power_limit = (total_power / max_sessions as f64 * headroom).max(max_power * 1.05);
+    let balanced = total_power / max_sessions as f64 * headroom;
+    // With spiky power on, the near-balanced-partition assumption
+    // behind the tight per-session share no longer holds: a 4x outlier
+    // can make every partition exceed `total/k * headroom` no matter
+    // how the rest is arranged. Mirror the pin sizing's `+ max_single`
+    // term — capacity `total/k + max` is the classic first-fit
+    // sufficiency bound, so a partition always exists and the pressure
+    // stays on schedule quality, not feasibility.
+    let power_limit = if params.spiky_power > 0.0 {
+        (balanced + max_power).max(max_power * 1.05)
+    } else {
+        balanced.max(max_power * 1.05)
+    };
 
     // Upper bound on any session's control pins: sharing the whole
     // inventory (a session's subset can only form fewer groups).
@@ -323,6 +393,23 @@ mod tests {
         let min = corpus.iter().map(|s| s.cores).min().unwrap();
         assert!(max >= 100, "largest SOC has {max} cores");
         assert!(min < 20, "smallest SOC has {min} cores");
+    }
+
+    #[test]
+    fn adversarial_preset_is_deterministic_and_actually_spikes() {
+        let p = ZooParams::adversarial();
+        assert_eq!(p.soc(5), p.soc(5));
+        // The pathological profile must really appear: some rolled task
+        // exceeds the nominal band's ceiling.
+        let spiked = (0..10).flat_map(|i| p.soc(i).tasks).any(|t| t.power > 1.25);
+        assert!(spiked, "no spiky power profile in 10 adversarial SOCs");
+        // Standard presets stay spike-free and byte-identical to their
+        // historical corpora (spiky_power must not perturb their RNG).
+        assert!(ZooParams::smoke()
+            .soc(3)
+            .tasks
+            .iter()
+            .all(|t| t.power <= 1.2));
     }
 
     #[test]

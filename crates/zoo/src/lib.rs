@@ -30,7 +30,15 @@
 //! [`ZooParams::smoke`] is the fixed-seed CI corpus (120 SOCs, 4–150
 //! cores); [`ZooParams::tiny`] generates small instances whose task
 //! counts fit under [`steac_sched::EXHAUSTIVE_LIMIT`], for differential
-//! exhaustive-vs-greedy testing.
+//! exhaustive-vs-greedy testing; [`ZooParams::adversarial`] rolls
+//! pathological power profiles (`spiky_power`) under near-zero
+//! headroom, pressing schedules toward single-wire TAM grants.
+//!
+//! The grading stage is model-parameterized: [`RunOptions::model`]
+//! selects the gate-level fault model (stuck-at, transition or
+//! bridging — `STEAC_MODEL` by default, see
+//! [`steac_sim::models::ModelKind`]), and the per-SOC
+//! [`GradeSummary`] records which model produced the coverage figure.
 //!
 //! ## Invariants checked
 //!
@@ -52,6 +60,8 @@ pub mod gen;
 pub mod invariants;
 
 pub use corpus::{run_corpus, CorpusReport, CorpusRow};
-pub use flow::{glue_netlist, run_soc, seeded_vectors, RunOptions, SocRun};
+pub use flow::{
+    glue_netlist, grade_glue, run_soc, seeded_vectors, GradeSummary, RunOptions, SocRun,
+};
 pub use gen::{splitmix, SyntheticSoc, ZooParams};
 pub use invariants::{check_alloc, check_schedule, check_tam_monotone, Violation};

@@ -14,7 +14,7 @@ fn smoke_corpus_runs_end_to_end_clean() {
     let opts = RunOptions {
         grade: true,
         vectors: 48,
-        check: true,
+        ..RunOptions::default()
     };
     let report = match run_corpus(&params, &Exec::from_env(), &opts) {
         Ok(r) => r,
@@ -35,6 +35,31 @@ fn smoke_corpus_runs_end_to_end_clean() {
             "{}: session schedule slower than serial",
             row.name
         );
+    }
+}
+
+/// The adversarial corpus: pathological spiky power under near-zero
+/// pin/power headroom. Feasibility and invariants must hold on every
+/// instance even when the schedule is forced down to single-wire TAM
+/// grants. Fixed seed — the CI zoo job runs this with
+/// `--include-ignored`.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow in debug: run with --release")]
+fn adversarial_corpus_runs_end_to_end_clean() {
+    let params = ZooParams::adversarial();
+    let opts = RunOptions {
+        grade: true,
+        vectors: 32,
+        ..RunOptions::default()
+    };
+    let report = match run_corpus(&params, &Exec::from_env(), &opts) {
+        Ok(r) => r,
+        Err((index, e)) => panic!("adversarial soc{index:03} infeasible: {e}"),
+    };
+    assert_eq!(report.rows.len(), 40);
+    assert_eq!(report.violations(), 0, "invariant violations:\n{report}");
+    for row in &report.rows {
+        assert!(row.coverage.expect("graded") > 0.0, "{}", row.name);
     }
 }
 

@@ -41,9 +41,12 @@ use steac_sim::shard::JobRegistry;
 ///
 /// | kind | workload | crate |
 /// |------|----------|-------|
-/// | 1 | PPSFP vector grading of a fault chunk | `steac_sim::fault` |
+/// | 1 | PPSFP vector grading of a stuck-at fault chunk | `steac_sim::fault` |
 /// | 2 | 64-pattern ATE playback chunk | `steac_pattern::cycle` |
 /// | 3 | packed March walk over a memory-fault chunk | `steac_membist::wire` |
+/// | 4 | transition-fault grading / dictionary chunk | `steac_sim::models::transition` |
+/// | 5 | bridging-fault grading / dictionary chunk | `steac_sim::models::bridging` |
+/// | 6 | fault-dictionary diagnosis chunk | `steac_sim::models::dictionary` |
 #[must_use]
 pub fn worker_registry() -> JobRegistry {
     let mut registry = JobRegistry::new();
@@ -62,6 +65,21 @@ pub fn worker_registry() -> JobRegistry {
         "march-walk",
         steac_membist::wire::open_wire_job,
     );
+    registry.register(
+        steac_sim::models::transition::WIRE_KIND,
+        "transition-grading",
+        steac_sim::models::transition::open_wire_job,
+    );
+    registry.register(
+        steac_sim::models::bridging::WIRE_KIND,
+        "bridging-grading",
+        steac_sim::models::bridging::open_wire_job,
+    );
+    registry.register(
+        steac_sim::models::dictionary::WIRE_KIND,
+        "dictionary-diagnose",
+        steac_sim::models::dictionary::open_wire_job,
+    );
     registry
 }
 
@@ -79,6 +97,9 @@ mod tests {
                 (1, "gate-vector-grading"),
                 (2, "ate-playback-chunk"),
                 (3, "march-walk"),
+                (4, "transition-grading"),
+                (5, "bridging-grading"),
+                (6, "dictionary-diagnose"),
             ]
         );
         assert!(worker_registry().open(999, b"").is_err());

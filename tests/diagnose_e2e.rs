@@ -1,0 +1,95 @@
+//! End-to-end fault-dictionary diagnosis on a seeded zoo instance:
+//! build a glue netlist, produce a fault dictionary through the
+//! `Exec::from_env` backend, observe the failure signature of one
+//! injected fault, and diagnose it back — the true site must land in
+//! the top-3 ranked candidates. The CI dictionary leg runs this with
+//! `STEAC_MODEL=transition` (and the matrix re-runs it per backend);
+//! `STEAC_MODEL=bridging` drives the same loop through the bridging
+//! dictionary, and stuck-at (the default, which has no dictionary
+//! mode) falls back to the transition dictionary so the test is
+//! meaningful under every model setting.
+
+use steac_suite::steac_netlist::NetId;
+use steac_suite::steac_sim::models::{bridging, dictionary, transition, ModelKind};
+use steac_suite::steac_sim::{Exec, Logic};
+use steac_suite::steac_zoo::{glue_netlist, seeded_vectors, ZooParams};
+
+fn glue_case() -> (
+    steac_suite::steac_netlist::Module,
+    Vec<NetId>,
+    Vec<Vec<Logic>>,
+) {
+    let soc = ZooParams::smoke().soc(1);
+    let m = glue_netlist(&soc);
+    let pins: Vec<NetId> = m
+        .ports_with_dir(steac_suite::steac_netlist::PortDir::Input)
+        .map(|p| p.net)
+        .collect();
+    let vectors = seeded_vectors(soc.seed, pins.len(), 48);
+    (m, pins, vectors)
+}
+
+/// The first detected dictionary entry whose signature is unique — a
+/// deterministic pick, and the uniqueness makes top-3 a meaningful
+/// claim rather than a tie-break accident.
+fn unique_detected_entry(dict: &dictionary::FaultDictionary) -> usize {
+    dict.entries
+        .iter()
+        .enumerate()
+        .position(|(i, e)| {
+            e.first_pattern.is_some()
+                && dict
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .all(|(j, o)| j == i || o.signature != e.signature)
+        })
+        .expect("some detected fault has a unique signature")
+}
+
+#[test]
+fn dictionary_diagnosis_ranks_the_injected_fault_top3() {
+    let (m, pins, vectors) = glue_case();
+    let exec = Exec::from_env();
+    let (dict, observed, truth) = match ModelKind::from_env() {
+        ModelKind::Bridging => {
+            let faults = bridging::enumerate_bridges(&m).expect("glue compiles");
+            let dict = bridging::bridging_dictionary(&exec, &m, &faults, &pins, &vectors)
+                .expect("dictionary build");
+            let truth = unique_detected_entry(&dict);
+            // The "silicon" observation: the dictionary's own simulation
+            // of the injected bridge.
+            let observed = dict.entries[truth].signature.clone();
+            (dict, observed, truth)
+        }
+        ModelKind::StuckAt | ModelKind::Transition => {
+            let faults = transition::enumerate_transition_faults(&m);
+            let dict = transition::transition_dictionary(&exec, &m, &faults, &pins, &vectors)
+                .expect("dictionary build");
+            let truth = unique_detected_entry(&dict);
+            // The "silicon" observation: an independent scalar
+            // simulation of the injected fault, not the dictionary row.
+            let observed =
+                transition::observed_transition_signature(&m, faults[truth], &pins, &vectors)
+                    .expect("observation");
+            (dict, observed, truth)
+        }
+    };
+    assert!(dict.detected_count() > 0, "dictionary must detect faults");
+    let diagnosis = dictionary::diagnose(&exec, &dict, &observed).expect("diagnose");
+    let rank = diagnosis.rank_of(truth).expect("candidate present");
+    assert!(
+        rank < 3,
+        "injected fault ranked #{} (distance {}), top-3 required",
+        rank + 1,
+        diagnosis.ranked[rank].1
+    );
+    assert_eq!(
+        diagnosis.ranked[rank].1, 0,
+        "the injected fault's observation must match its own signature"
+    );
+    // The dictionary round-trips through its persistent SDCT form.
+    let bytes = dictionary::encode_dictionary(&dict);
+    let back = dictionary::decode_dictionary(&bytes).expect("SDCT decode");
+    assert_eq!(back, dict);
+}

@@ -2,8 +2,10 @@
 //! backends — `Serial`, `Threads(1/4)`, `Processes(1/2/3)`,
 //! `Remote(SpawnTransport)` and `Remote(TcpTransport@localhost)` —
 //! driven through the **same** unified entry points for every workload
-//! (gate-level vector grading, batched ATE playback, March fault
-//! simulation, JPEG playback), asserting the reports are
+//! (gate-level vector grading under the stuck-at, transition and
+//! bridging fault models, dictionary building and diagnosis, batched
+//! ATE playback, March fault simulation including inter-cell
+//! couplings, JPEG playback), asserting the reports are
 //! **byte-identical** to the serial baseline: counts, escape lists and
 //! mismatch logs *including their order*. This is the determinism
 //! contract behind `steac_sim::Exec::dispatch`, proven across every
@@ -201,6 +203,88 @@ fn optimized_program_reports_byte_identical_on_every_backend() {
         let played = apply_cycle_patterns_batch(exec, &opt, &refs).unwrap();
         assert_eq!(played, base, "optimized playback diverged on {name}");
         assert_eq!(exec.process_fallbacks(), 0, "{name} must not fall back");
+    }
+}
+
+/// The fault-model subsystem under the full matrix: transition/delay
+/// grading, bridging grading, inter-cell memory-coupling grading,
+/// transition dictionary building and dictionary diagnosis all report
+/// byte-identical to the serial baseline on every backend AND at every
+/// supported lane-group width (chunking may only change how the fault
+/// list is cut, never a verdict).
+#[test]
+fn fault_models_report_byte_identical_on_every_backend_and_width() {
+    use steac_sim::models::{bridging, dictionary, transition};
+    use Logic::{One, Zero};
+
+    // Transition + bridging share the mixed module; the 5-vector walk
+    // launches both edges on the single input and leaves escapes.
+    let m = mixed_module();
+    let pins = [m.port("a").unwrap().net];
+    let vectors = vec![vec![Zero], vec![One], vec![Zero], vec![One], vec![Zero]];
+    let tfaults = transition::enumerate_transition_faults(&m);
+    let bfaults = bridging::enumerate_bridges(&m).unwrap();
+    assert!(!bfaults.is_empty(), "mixed module must have bridge sites");
+
+    // Memory coupling: the full inter-cell enumeration under MATS+
+    // (which misses couplings, so escape lists merge).
+    let cfg = SramConfig::single_port(24, 4);
+    let cfaults = faultsim::enumerate_inter_cell_couplings(&cfg);
+    let alg = MarchAlgorithm::mats_plus();
+
+    let servers = spawn_serve_workers(2);
+    let matrix = backend_matrix(&servers);
+    let (_, serial) = &matrix[0];
+
+    let t_base = transition::grade_transitions(serial, &m, &tfaults, &pins, &vectors).unwrap();
+    assert!(t_base.detected > 0, "need detections");
+    assert!(t_base.detected < t_base.total, "need escapes");
+    let b_base = bridging::grade_bridges(serial, &m, &bfaults, &pins, &vectors).unwrap();
+    assert!(b_base.detected > 0, "need detections");
+    let c_base = faultsim::fault_coverage(serial, &alg, &cfg, &cfaults).unwrap();
+    assert!(c_base.detected < c_base.total, "need coupling escapes");
+    let dict_base =
+        transition::transition_dictionary(serial, &m, &tfaults, &pins, &vectors).unwrap();
+    assert!(dict_base.detected_count() > 0);
+    // Diagnose an observed failure that is a real dictionary signature.
+    let truth = dict_base
+        .entries
+        .iter()
+        .position(|e| e.first_pattern.is_some())
+        .unwrap();
+    let observed = dict_base.entries[truth].signature.clone();
+    let diag_base = dictionary::diagnose(serial, &dict_base, &observed).unwrap();
+    assert_eq!(diag_base.ranked[0].1, 0, "true fault matches itself");
+
+    for (name, exec) in &matrix[1..] {
+        let t = transition::grade_transitions(exec, &m, &tfaults, &pins, &vectors).unwrap();
+        assert_eq!(t, t_base, "transition grading diverged on {name}");
+        let b = bridging::grade_bridges(exec, &m, &bfaults, &pins, &vectors).unwrap();
+        assert_eq!(b, b_base, "bridging grading diverged on {name}");
+        let c = faultsim::fault_coverage(exec, &alg, &cfg, &cfaults).unwrap();
+        assert_eq!(c, c_base, "coupling grading diverged on {name}");
+        let dict = transition::transition_dictionary(exec, &m, &tfaults, &pins, &vectors).unwrap();
+        assert_eq!(dict, dict_base, "dictionary diverged on {name}");
+        let diag = dictionary::diagnose(exec, &dict, &observed).unwrap();
+        assert_eq!(diag, diag_base, "diagnosis diverged on {name}");
+        assert_eq!(exec.process_fallbacks(), 0, "{name} must not fall back");
+    }
+
+    // Lane-width invariance on the serial backend (the matrix already
+    // proves backend invariance at the default width).
+    for groups in [1usize, 2, 4, 8] {
+        let t = transition::grade_transitions_wide(serial, &m, &tfaults, &pins, &vectors, groups)
+            .unwrap();
+        assert_eq!(t, t_base, "transition grading diverged at width {groups}");
+        let b =
+            bridging::grade_bridges_wide(serial, &m, &bfaults, &pins, &vectors, groups).unwrap();
+        assert_eq!(b, b_base, "bridging grading diverged at width {groups}");
+        let c = faultsim::fault_coverage_wide(serial, &alg, &cfg, &cfaults, groups).unwrap();
+        assert_eq!(c, c_base, "coupling grading diverged at width {groups}");
+        let dict =
+            transition::transition_dictionary_wide(serial, &m, &tfaults, &pins, &vectors, groups)
+                .unwrap();
+        assert_eq!(dict, dict_base, "dictionary diverged at width {groups}");
     }
 }
 

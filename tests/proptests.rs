@@ -395,6 +395,64 @@ proptest! {
     }
 }
 
+// ---------- fault models vs scalar oracles ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Packed transition/delay grading (launch–capture pairs, lane-0
+    /// good machine, conditional stale forces) reports exactly the
+    /// faults the one-scalar-simulation-per-fault reference reports, on
+    /// random modules — including sequential ones — and random
+    /// launch/capture walks.
+    #[test]
+    fn packed_transition_grading_equals_serial(
+        seeds in prop::collection::vec((0u8..7, 0u8..32, 0u8..32, 0u8..32), 3..14),
+        stim in prop::collection::vec(0u8..2, 16..17),
+    ) {
+        use steac_sim::models::transition;
+        let m = random_module(&seeds);
+        let pins: Vec<NetId> = (0..4)
+            .map(|i| m.port(&format!("in{i}")).unwrap().net)
+            .collect();
+        let vectors: Vec<Vec<Logic>> = (0..4)
+            .map(|k| (0..4).map(|i| lv(stim[k * 4 + i] % 2)).collect())
+            .collect();
+        let faults = transition::enumerate_transition_faults(&m);
+        let packed =
+            transition::grade_transitions(&Exec::from_env(), &m, &faults, &pins, &vectors)
+                .unwrap();
+        let serial =
+            transition::grade_transitions_serial(&m, &faults, &pins, &vectors).unwrap();
+        prop_assert_eq!(packed.detected, serial.detected);
+        prop_assert_eq!(&packed.undetected, &serial.undetected);
+    }
+
+    /// Packed bridging grading (good-machine wired values, paired
+    /// per-lane forces) matches its scalar reference the same way.
+    #[test]
+    fn packed_bridging_grading_equals_serial(
+        seeds in prop::collection::vec((0u8..7, 0u8..32, 0u8..32, 0u8..32), 3..14),
+        stim in prop::collection::vec(0u8..2, 12..13),
+    ) {
+        use steac_sim::models::bridging;
+        let m = random_module(&seeds);
+        let pins: Vec<NetId> = (0..4)
+            .map(|i| m.port(&format!("in{i}")).unwrap().net)
+            .collect();
+        let vectors: Vec<Vec<Logic>> = (0..3)
+            .map(|k| (0..4).map(|i| lv(stim[k * 4 + i] % 2)).collect())
+            .collect();
+        let faults = bridging::enumerate_bridges(&m).unwrap();
+        prop_assume!(!faults.is_empty());
+        let packed =
+            bridging::grade_bridges(&Exec::from_env(), &m, &faults, &pins, &vectors).unwrap();
+        let serial = bridging::grade_bridges_serial(&m, &faults, &pins, &vectors).unwrap();
+        prop_assert_eq!(packed.detected, serial.detected);
+        prop_assert_eq!(&packed.undetected, &serial.undetected);
+    }
+}
+
 // ---------- optimizer equivalence ----------
 
 proptest! {

@@ -15,7 +15,7 @@ fn zoo_slice_runs_the_full_flow_clean() {
     let opts = RunOptions {
         grade: true,
         vectors: 32,
-        check: true,
+        ..RunOptions::default()
     };
     let report = match run_corpus(&params, &Exec::from_env(), &opts) {
         Ok(r) => r,
