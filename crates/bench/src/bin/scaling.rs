@@ -40,12 +40,20 @@
 //! standing stress workload's throughput row, on the serial backend
 //! and again with grading dispatched through a two-worker spawn fleet
 //! (`STEAC_ZOO_SOCS` overrides the corpus size for quick runs).
-//! Pass `--json` to also write every full-set row to `BENCH_9.json`.
+//!
+//! Before any of the materialized tables, a **streaming** table plays
+//! the full set — and a 10x synthetic set — through the generate→play
+//! pipeline ([`steac_dsc::jpeg_playback_stream`]) without ever holding
+//! the pattern set, and records the peak RSS (`VmHWM`) per row: since
+//! the high-water mark is monotonic, the streaming rows running first
+//! is what makes their small numbers evidence of the bounded-queue
+//! memory contract. Every row carries `peak_rss_kib`.
+//! Pass `--json` to also write every full-set row to `BENCH_10.json`.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use steac_bench::{header, splitmix_vectors};
-use steac_dsc::{jpeg_core, jpeg_functional_patterns};
+use steac_dsc::{jpeg_core, jpeg_functional_patterns, jpeg_playback_stream};
 use steac_membist::{enumerate_inter_cell_couplings, fault_coverage, MarchAlgorithm, SramConfig};
 use steac_pattern::{
     apply_cycle_patterns_batch, apply_cycle_patterns_batch_wide, CyclePattern, PLAYBACK_LANE_GROUPS,
@@ -58,7 +66,7 @@ use steac_sim::{
 };
 use steac_zoo::{run_corpus, RunOptions, ZooParams};
 
-/// One machine-readable result row for `BENCH_8.json`.
+/// One machine-readable result row for `BENCH_10.json`.
 struct BenchRow {
     workload: &'static str,
     backend: String,
@@ -73,6 +81,18 @@ struct BenchRow {
     /// Fleet traffic counters for remote rows (program bytes vs unit
     /// bytes shipped); `None` on in-process backends.
     ship: Option<FleetStatsSnapshot>,
+    /// Peak resident set (`VmHWM`) when the row was produced. The mark
+    /// is process-lifetime monotonic, so the streaming rows — which run
+    /// before anything materializes the full set — bound the pipeline's
+    /// memory, while later rows carry the materialized set's footprint.
+    peak_rss_kib: Option<u64>,
+}
+
+/// Peak resident set of this process so far (`VmHWM`), in KiB.
+fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
 }
 
 fn write_json(path: &str, rows: &[BenchRow]) {
@@ -91,9 +111,12 @@ fn write_json(path: &str, rows: &[BenchRow]) {
                 s.program_bytes, s.unit_bytes, s.programs_shipped, s.need_program_replies
             )
         });
+        let rss = r
+            .peak_rss_kib
+            .map_or(String::new(), |kib| format!(", \"peak_rss_kib\": {kib}"));
         out.push_str(&format!(
             "  {{\"workload\": \"{}\", \"backend\": \"{}\", \"lanes\": {}, \"opt\": {}, \
-             \"{rate_key}\": {:.1}, \"compares\": {}, \"mismatches\": {}{ship}}}{sep}\n",
+             \"{rate_key}\": {:.1}, \"compares\": {}, \"mismatches\": {}{ship}{rss}}}{sep}\n",
             r.workload, r.backend, r.lanes, r.opt, r.rate, r.compares, r.mismatches
         ));
     }
@@ -281,12 +304,59 @@ fn main() {
     let mismatches: usize = playback.reports.iter().map(|r| r.mismatches.len()).sum();
     println!("mismatches on every backend: {mismatches}");
 
-    // ---- full-set table: the paper's JPEG functional set ----
-
     let full_count: usize = std::env::var("STEAC_SCALING_PATTERNS")
         .ok()
         .and_then(|s| s.trim().parse().ok())
         .unwrap_or(235_696);
+
+    // ---- streaming pipeline: generate→play under bounded queues ----
+    //
+    // These rows run BEFORE anything materializes the full set: `VmHWM`
+    // is a process-lifetime high-water mark, so sampling the streaming
+    // rows first is what makes their peak-RSS numbers evidence that
+    // pipeline memory is bounded by queue depth — the materialized
+    // tables below push the mark to the full set's footprint and it
+    // never comes back down. The 10x synthetic set (same generator,
+    // ten times the pattern count) proves the bound does not move with
+    // set size.
+    println!(
+        "{}",
+        header("Streaming pipeline: generate->play, bounded queues, nothing materialized")
+    );
+    let sim_opt = sim.program().opt.enabled;
+    let stream_exec = Exec::threads(Threads::exact(4));
+    for (workload, n) in [
+        ("jpeg_streaming_playback", full_count),
+        ("jpeg_streaming_playback_10x", full_count * 10),
+    ] {
+        let (secs, rep) = time(|| jpeg_playback_stream(&stream_exec, n).expect("streams"));
+        assert_eq!(rep.patterns, n, "streaming must play the whole set");
+        assert_eq!(rep.mismatches, 0, "streaming playback must be clean");
+        let rss = peak_rss_kib();
+        println!(
+            "{workload:>28}: {n} patterns in {secs:.2}s ({:.0} patterns/s), peak RSS {}",
+            n as f64 / secs.max(1e-12),
+            rss.map_or("n/a".to_string(), |k| format!(
+                "{:.1} MiB",
+                k as f64 / 1024.0
+            )),
+        );
+        rows.push(BenchRow {
+            workload,
+            backend: stream_exec.to_string(),
+            lanes: play_lanes,
+            opt: sim_opt,
+            rate: n as f64 / secs.max(1e-12),
+            unit: "patterns/s",
+            compares: rep.compares,
+            mismatches: rep.mismatches,
+            ship: None,
+            peak_rss_kib: rss,
+        });
+    }
+
+    // ---- full-set table: the paper's JPEG functional set ----
+
     println!(
         "{}",
         header("Exec scaling: full JPEG ATE playback across steac-worker processes")
@@ -325,7 +395,6 @@ fn main() {
         "patterns/s",
     );
     println!("             ^ in-thread single-threaded reference");
-    let sim_opt = sim.program().opt.enabled;
     rows.push(BenchRow {
         workload: "jpeg_full_playback",
         backend: "threads:1".to_string(),
@@ -336,6 +405,7 @@ fn main() {
         compares: full_compares,
         mismatches: full_mismatches,
         ship: None,
+        peak_rss_kib: peak_rss_kib(),
     });
     for workers in [1usize, 2, 4] {
         let exec = Exec::parse(&format!("processes:{workers}"))
@@ -365,6 +435,7 @@ fn main() {
             compares: full_compares,
             mismatches: full_mismatches,
             ship: None,
+            peak_rss_kib: peak_rss_kib(),
         });
     }
 
@@ -402,6 +473,7 @@ fn main() {
             compares: full_compares,
             mismatches: full_mismatches,
             ship: Some(ship),
+            peak_rss_kib: peak_rss_kib(),
         });
     }
     if let Some(bin) = shard::default_worker_binary() {
@@ -471,6 +543,7 @@ fn main() {
                 compares: full_compares,
                 mismatches: full_mismatches,
                 ship: Some(ship),
+                peak_rss_kib: peak_rss_kib(),
             });
 
             // ---- sustained load: fixed-rate injection on the fleet ----
@@ -543,6 +616,7 @@ fn main() {
                 compares: full_compares,
                 mismatches: full_mismatches,
                 ship: Some(sustained_ship),
+                peak_rss_kib: peak_rss_kib(),
             });
         } else {
             println!("could not start two --serve workers; remote TCP row skipped");
@@ -632,6 +706,7 @@ fn main() {
                 compares: faults.len() as u64,
                 mismatches: 0,
                 ship: None,
+                peak_rss_kib: peak_rss_kib(),
             });
         }
     }
@@ -697,6 +772,7 @@ fn main() {
                 compares: full_compares,
                 mismatches: full_mismatches,
                 ship: None,
+                peak_rss_kib: peak_rss_kib(),
             });
         }
     }
@@ -740,6 +816,7 @@ fn main() {
         compares: tfaults.len() as u64,
         mismatches: 0,
         ship: None,
+        peak_rss_kib: peak_rss_kib(),
     });
     let bfaults = bridging::enumerate_bridges(&module).expect("jpeg core compiles");
     let (bsecs, brep) = time(|| {
@@ -764,6 +841,7 @@ fn main() {
         compares: bfaults.len() as u64,
         mismatches: 0,
         ship: None,
+        peak_rss_kib: peak_rss_kib(),
     });
     let sram = SramConfig::single_port(256, 8);
     let couplings = enumerate_inter_cell_couplings(&sram);
@@ -789,6 +867,7 @@ fn main() {
         compares: couplings.len() as u64,
         mismatches: 0,
         ship: None,
+        peak_rss_kib: peak_rss_kib(),
     });
 
     // ---- SOC zoo: the corpus-wide scheduling / test-time / coverage
@@ -846,6 +925,7 @@ fn main() {
         compares: zoo_tasks as u64,
         mismatches: 0,
         ship: None,
+        peak_rss_kib: peak_rss_kib(),
     });
 
     // The same corpus with grading dispatched through a two-worker
@@ -881,12 +961,13 @@ fn main() {
             compares: zoo_tasks as u64,
             mismatches: 0,
             ship: None,
+            peak_rss_kib: peak_rss_kib(),
         });
     } else {
         println!("worker binary not found; the remote zoo row is skipped");
     }
 
     if json {
-        write_json("BENCH_9.json", &rows);
+        write_json("BENCH_10.json", &rows);
     }
 }

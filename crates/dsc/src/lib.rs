@@ -32,7 +32,9 @@ pub use cores::{jpeg_core, tv_core, usb_core, CoreParams, Table1Row, TABLE1};
 pub use memories::{dsc_brains, dsc_memory_inventory};
 pub use stilgen::core_stil;
 pub use tasks::{dsc_chip_config, dsc_test_tasks, PAPER_NONSESSION_CYCLES, PAPER_SESSION_CYCLES};
-pub use verify::{jpeg_functional_patterns, jpeg_playback_batch, PlaybackReport};
+pub use verify::{
+    jpeg_functional_patterns, jpeg_playback_batch, jpeg_playback_stream, PlaybackReport,
+};
 
 #[cfg(test)]
 mod tests {

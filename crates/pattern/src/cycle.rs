@@ -15,13 +15,33 @@
 //! every thread and worker count — and at every lane-group width,
 //! because forces replicate per 64-lane group and padding lanes follow
 //! lane 0.
+//!
+//! Real ATE flows never hold a full pattern set in memory — patterns
+//! are translated and applied as they arrive — so next to the
+//! materialized batch entry sits the **streaming player**:
+//! [`stream_cycle_patterns`] pulls owned [`CyclePattern`]s from an
+//! iterator (typically the receiving end of a bounded channel fed by a
+//! generator thread), validates them incrementally against the shape
+//! the first pattern fixed, groups them into lane-width chunks, and
+//! plays them through [`steac_sim::Exec::dispatch_stream`] on the same
+//! five backends. Reports reach the caller's sink strictly in pattern
+//! order and are byte-identical to the materialized flow — chunk
+//! boundaries are invisible because every verdict is per-pattern and
+//! cycle indices are pattern-local — while peak memory is bounded by
+//! the pipeline depth, never the set size. The streaming path encodes
+//! the *same* job block as the materialized one, so a worker's
+//! content-addressed program cache (and the remote fleet's
+//! one-program-per-host guarantee) covers both flavours of the same
+//! job.
 
 use crate::PatternError;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use steac_netlist::NetId;
 use steac_sim::shard::{self, PoolError};
-use steac_sim::{wire, Exec, ExecWork, Logic, PackedLogic, SimError, SimProgram, Simulator};
+use steac_sim::{
+    wire, Exec, ExecWork, Logic, PackedLogic, SimError, SimProgram, Simulator, StreamWork,
+};
 
 /// Per-pin state in one tester cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -537,6 +557,318 @@ fn batch_n<const N: usize>(
         process_fallbacks: dispatched.fallback_count(),
         reports: dispatched.units.into_iter().flatten().collect(),
     })
+}
+
+/// Bookkeeping of a streaming playback run — the reports themselves
+/// were handed to the sink, one per pattern, in pattern order, as
+/// chunks finished. The verdict-bearing stream is backend-invariant
+/// and byte-identical to [`apply_cycle_patterns_batch`] on the same
+/// patterns; only `process_fallbacks` reflects how the run went.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StreamPlayback {
+    /// Patterns played (= reports delivered to the sink).
+    pub patterns: usize,
+    /// Shipped batches this run recomputed in-thread under
+    /// [`steac_sim::Fallback::InThread`] (a streaming run ships many
+    /// batches, so unlike [`BatchPlayback`] this can exceed 1).
+    pub process_fallbacks: usize,
+}
+
+/// Plays cycle patterns **as they are produced**, without ever
+/// materializing the set: the streaming sibling of
+/// [`apply_cycle_patterns_batch`]. Patterns are pulled from `patterns`
+/// (typically the receiving end of a bounded channel fed by a
+/// generator thread), validated incrementally, grouped into lane-width
+/// chunks, and dispatched through [`Exec::dispatch_stream`]; `sink`
+/// receives one [`MismatchReport`] per pattern, **strictly in pattern
+/// order**, byte-identical to what the materialized flow would have
+/// put in [`BatchPlayback::reports`] — on every backend, at any chunk
+/// size. Peak memory follows the pipeline depth (bounded windows of
+/// owned patterns in flight), never the stream length.
+///
+/// The first pattern fixes the shape — pin list, cycle count, pulse
+/// timeline — that the materialized validator enforces batch-wide;
+/// every later pattern is checked against it as it is pulled, raising
+/// the same typed [`PatternError::Shape`] values.
+///
+/// # Errors
+///
+/// Everything [`apply_cycle_patterns_batch`] raises, with streaming
+/// delivery semantics: the sink has already received an in-order
+/// prefix of the reports when an error surfaces (a mid-stream shape
+/// violation truncates the stream at the offending pattern's chunk).
+pub fn stream_cycle_patterns<I, S>(
+    exec: &Exec,
+    sim: &Simulator,
+    patterns: I,
+    sink: S,
+) -> Result<StreamPlayback, PatternError>
+where
+    I: Iterator<Item = CyclePattern> + Send,
+    S: FnMut(MismatchReport),
+{
+    stream_cycle_patterns_wide(exec, sim, patterns, PLAYBACK_LANE_GROUPS, usize::MAX, sink)
+}
+
+/// [`stream_cycle_patterns`] with an explicit lane-group width and
+/// chunk size: each work unit plays up to `chunk` patterns (clamped to
+/// the `64 * groups` lanes one pass holds) on one `groups`-wide
+/// executor. Reports are byte-identical across chunk sizes and widths —
+/// chunk boundaries only change how the stream is cut, never a
+/// verdict — which `tests/exec_matrix.rs` and the proptests pin down.
+///
+/// # Errors
+///
+/// Everything [`stream_cycle_patterns`] raises, plus
+/// [`SimError::UnsupportedWidth`] (wrapped in [`PatternError::Sim`])
+/// for widths with no compiled kernel.
+pub fn stream_cycle_patterns_wide<I, S>(
+    exec: &Exec,
+    sim: &Simulator,
+    patterns: I,
+    groups: usize,
+    chunk: usize,
+    sink: S,
+) -> Result<StreamPlayback, PatternError>
+where
+    I: Iterator<Item = CyclePattern> + Send,
+    S: FnMut(MismatchReport),
+{
+    match groups {
+        1 => stream_n::<1, _, _>(exec, sim, patterns, chunk, sink),
+        2 => stream_n::<2, _, _>(exec, sim, patterns, chunk, sink),
+        4 => stream_n::<4, _, _>(exec, sim, patterns, chunk, sink),
+        8 => stream_n::<8, _, _>(exec, sim, patterns, chunk, sink),
+        _ => Err(PatternError::Sim(SimError::UnsupportedWidth { groups })),
+    }
+}
+
+fn stream_n<const N: usize, I, S>(
+    exec: &Exec,
+    sim: &Simulator,
+    mut patterns: I,
+    chunk: usize,
+    mut sink: S,
+) -> Result<StreamPlayback, PatternError>
+where
+    I: Iterator<Item = CyclePattern> + Send,
+    S: FnMut(MismatchReport),
+{
+    let width = Simulator::<N>::WIDTH;
+    let chunk = chunk.clamp(1, width);
+    // The first pattern fixes the shape every later one must share —
+    // and names the pins, which the job block binds to nets once.
+    let Some(first) = patterns.next() else {
+        return Ok(StreamPlayback::default());
+    };
+    for row in &first.cycles {
+        if row.len() != first.pins.len() {
+            return Err(PatternError::Shape {
+                context: "cycle row",
+                expected: first.pins.len(),
+                got: row.len(),
+            });
+        }
+    }
+    let pins = first.pins.clone();
+    let cycles = first.cycles.len();
+    let nets = resolve_pins(sim, &pins)?;
+    // Same force export as the materialized path: the dispatcher
+    // simulator's 64-lane force state replicates into every group.
+    let forces: Vec<(NetId, u64, PackedLogic<1>)> = sim
+        .export_forces()
+        .into_iter()
+        .map(|(net, mask, values)| (net, mask[0], values))
+        .collect();
+    let work = StreamPlaybackWork::<N> {
+        sim,
+        forces,
+        pins: &pins,
+        nets: &nets,
+    };
+    // A mid-stream shape violation cannot surface through the unit
+    // iterator (units are infallible values), so the chunker records it
+    // here and truncates the stream; checked after dispatch drains.
+    let poisoned: Mutex<Option<PatternError>> = Mutex::new(None);
+    let feed = ValidatedChunks {
+        patterns,
+        pins: &pins,
+        cycles,
+        chunk,
+        pending: Some(first),
+        poisoned: &poisoned,
+        done: false,
+    };
+    let mut delivered = 0usize;
+    let dispatched = exec.dispatch_stream(&work, feed, |reports: Vec<MismatchReport>| {
+        for report in reports {
+            sink(report);
+            delivered += 1;
+        }
+    });
+    // A dispatch error always precedes the truncation point, so it is
+    // the lower-indexed failure and wins over a validation poison.
+    let dispatched = dispatched?;
+    if let Some(e) = poisoned.into_inner().expect("no panics hold the lock") {
+        return Err(e);
+    }
+    Ok(StreamPlayback {
+        patterns: delivered,
+        process_fallbacks: dispatched.fallback_count(),
+    })
+}
+
+/// The streaming chunker/validator: groups pulled patterns into
+/// `chunk`-sized units, checking each against the shape the first
+/// pattern fixed (same typed [`PatternError::Shape`] contexts as
+/// [`validate_batch`]) and each chunk's pulse alignment — *before* any
+/// simulation, exactly like the materialized validator. The first
+/// violation poisons the shared cell and ends the stream.
+struct ValidatedChunks<'a, I> {
+    patterns: I,
+    pins: &'a [String],
+    cycles: usize,
+    chunk: usize,
+    pending: Option<CyclePattern>,
+    poisoned: &'a Mutex<Option<PatternError>>,
+    done: bool,
+}
+
+impl<I> ValidatedChunks<'_, I> {
+    fn check(&self, p: &CyclePattern) -> Result<(), PatternError> {
+        if p.pins != self.pins {
+            return Err(PatternError::Shape {
+                context: "batch pin list",
+                expected: self.pins.len(),
+                got: p.pins.len(),
+            });
+        }
+        if p.cycles.len() != self.cycles {
+            return Err(PatternError::Shape {
+                context: "batch cycle count",
+                expected: self.cycles,
+                got: p.cycles.len(),
+            });
+        }
+        for row in &p.cycles {
+            if row.len() != p.pins.len() {
+                return Err(PatternError::Shape {
+                    context: "cycle row",
+                    expected: p.pins.len(),
+                    got: row.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn poison(&mut self, e: PatternError) {
+        *self.poisoned.lock().expect("no panics hold the lock") = Some(e);
+        self.done = true;
+    }
+}
+
+impl<I: Iterator<Item = CyclePattern>> Iterator for ValidatedChunks<'_, I> {
+    type Item = Vec<CyclePattern>;
+
+    fn next(&mut self) -> Option<Vec<CyclePattern>> {
+        if self.done {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.chunk);
+        if let Some(p) = self.pending.take() {
+            out.push(p);
+        }
+        while out.len() < self.chunk {
+            let Some(p) = self.patterns.next() else {
+                self.done = true;
+                break;
+            };
+            if let Err(e) = self.check(&p) {
+                self.poison(e);
+                break;
+            }
+            out.push(p);
+        }
+        if out.is_empty() {
+            return None;
+        }
+        let refs: Vec<&CyclePattern> = out.iter().collect();
+        if let Err(e) = check_pulse_alignment(&refs) {
+            // The materialized validator rejects before playing; the
+            // streaming one rejects the offending chunk whole.
+            self.poison(e);
+            return None;
+        }
+        Some(out)
+    }
+}
+
+/// The [`StreamWork`] description of streaming playback: one unit per
+/// owned pattern chunk, the *same* job block as [`PlaybackWork`] (so
+/// the worker program cache and the fleet's one-program-per-host
+/// guarantee cover both flavours), per-chunk [`MismatchReport`] lists
+/// as unit results.
+struct StreamPlaybackWork<'a, const N: usize> {
+    sim: &'a Simulator,
+    forces: Vec<(NetId, u64, PackedLogic<1>)>,
+    pins: &'a [String],
+    nets: &'a [NetId],
+}
+
+impl<const N: usize> StreamWork for StreamPlaybackWork<'_, N> {
+    type Unit = Vec<CyclePattern>;
+    type Output = Vec<MismatchReport>;
+    type Error = PatternError;
+
+    fn kind(&self) -> u16 {
+        WIRE_KIND
+    }
+
+    fn encode_job(&self) -> Vec<u8> {
+        encode_playback_job(
+            self.sim.program(),
+            N as u8,
+            self.pins,
+            self.nets,
+            &self.forces,
+        )
+    }
+
+    fn encode_unit(&self, unit: &Vec<CyclePattern>) -> Vec<u8> {
+        let refs: Vec<&CyclePattern> = unit.iter().collect();
+        encode_pattern_chunk(&refs)
+    }
+
+    fn run_unit_local(
+        &self,
+        unit: &Vec<CyclePattern>,
+    ) -> Result<Vec<MismatchReport>, PatternError> {
+        let mut wsim = Simulator::<N>::from_program(self.sim.program_arc().clone());
+        wsim.import_forces_replicated(&self.forces);
+        let refs: Vec<&CyclePattern> = unit.iter().collect();
+        play_chunk(&mut wsim, self.nets, self.pins, &refs)
+    }
+
+    fn decode_result(
+        &self,
+        unit: &Vec<CyclePattern>,
+        bytes: &[u8],
+    ) -> Result<Vec<MismatchReport>, String> {
+        let reports = decode_reports(bytes).map_err(|e| format!("result: {e}"))?;
+        if reports.len() != unit.len() {
+            return Err(format!(
+                "result has {} reports for {} patterns",
+                reports.len(),
+                unit.len()
+            ));
+        }
+        Ok(reports)
+    }
+
+    fn pool_error(&self, error: PoolError) -> PatternError {
+        PatternError::Sim(SimError::from(error))
+    }
 }
 
 /// Checks the batch shares the shape that fixes the timing program —
@@ -1170,6 +1502,102 @@ mod tests {
         assert_eq!(reports.len(), 2);
         assert!(reports.iter().all(MismatchReport::passed));
         assert_eq!(reports[0].compares, 2);
+    }
+
+    /// The streaming player's reports are byte-identical to the
+    /// materialized batch at every chunk size — chunk boundaries must
+    /// be invisible in the report stream.
+    #[test]
+    fn streaming_matches_materialized_at_every_chunk_size() {
+        use Logic::{One, Zero};
+        let m = flop_module();
+        let patterns: Vec<CyclePattern> = (0..150u32)
+            .map(|i| {
+                let bits: Vec<Logic> = (0..4)
+                    .map(|k| if (i >> (k % 5)) & 1 == 1 { One } else { Zero })
+                    .collect();
+                let mut p = flop_pattern(&bits);
+                if i % 49 == 7 {
+                    p.cycles[2][2] = PinState::ExpectH;
+                    p.cycles[2][0] = PinState::Drive0;
+                }
+                p
+            })
+            .collect();
+        let refs: Vec<&CyclePattern> = patterns.iter().collect();
+        let sim: Simulator = Simulator::new(&m).unwrap();
+        let baseline = apply_cycle_patterns_batch(&Exec::serial(), &sim, &refs).unwrap();
+        assert!(!baseline.passed());
+        for exec in [Exec::serial(), Exec::threads(steac_sim::Threads::exact(3))] {
+            for chunk in [1, 7, 64, usize::MAX] {
+                let mut streamed = Vec::new();
+                let run = stream_cycle_patterns_wide(
+                    &exec,
+                    &sim,
+                    patterns.iter().cloned(),
+                    PLAYBACK_LANE_GROUPS,
+                    chunk,
+                    |r| streamed.push(r),
+                )
+                .unwrap();
+                assert_eq!(run.patterns, patterns.len(), "{exec} chunk {chunk}");
+                assert_eq!(streamed, baseline.reports, "{exec} chunk {chunk}");
+            }
+        }
+    }
+
+    /// Mid-stream shape violations raise the same typed errors the
+    /// materialized validator raises, after an in-order prefix of clean
+    /// reports has already been delivered.
+    #[test]
+    fn streaming_validates_incrementally() {
+        use Logic::{One, Zero};
+        let m = flop_module();
+        let sim: Simulator = Simulator::new(&m).unwrap();
+        let good = flop_pattern(&[One, Zero]);
+        let short = flop_pattern(&[One]);
+        let mut sunk = 0usize;
+        let err = stream_cycle_patterns(
+            &Exec::serial(),
+            &sim,
+            vec![good.clone(), good.clone(), short].into_iter(),
+            |_| sunk += 1,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PatternError::Shape {
+                    context: "batch cycle count",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert!(sunk <= 2, "only the clean prefix may be delivered");
+        // Misaligned pulse inside a chunk: rejected before simulation.
+        let mut unclocked = flop_pattern(&[One, Zero]);
+        unclocked.cycles[0][1] = PinState::Drive0;
+        let err = stream_cycle_patterns(
+            &Exec::serial(),
+            &sim,
+            vec![good.clone(), unclocked].into_iter(),
+            |_| {},
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PatternError::Shape {
+                    context: "batch pulse alignment",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        // An empty stream is a clean no-op.
+        let run = stream_cycle_patterns(&Exec::serial(), &sim, std::iter::empty(), |_| {}).unwrap();
+        assert_eq!(run, StreamPlayback::default());
     }
 
     #[test]

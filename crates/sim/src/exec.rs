@@ -31,6 +31,15 @@
 //! work-stealing [`RemoteFleet`] — and no workload crate changed to
 //! gain it.
 //!
+//! Flows whose unit list is *produced* rather than materialized — the
+//! streaming generate→play pipeline — use the sibling seam: a
+//! [`StreamWork`] pulls owned units from an iterator (typically a
+//! bounded channel fed by a generator thread) and
+//! [`Exec::dispatch_stream`] plays them through the same backends under
+//! the same determinism contract, holding only a bounded window of
+//! units in flight so peak memory follows pipeline depth, not stream
+//! length.
+//!
 //! # Fallback policy
 //!
 //! Shipped dispatch — processes or remote hosts — can fail for reasons
@@ -69,8 +78,10 @@
 
 use crate::remote::RemoteFleet;
 use crate::shard::{self, PoolError, ProcessPool, Threads};
+use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
 
 /// Where work units physically execute. `#[non_exhaustive]` so further
 /// rungs can be added without breaking any workload crate — exactly how
@@ -154,6 +165,39 @@ pub struct Dispatch<T> {
     pub fallback: Option<String>,
 }
 
+/// The outcome of a successful [`Exec::dispatch_stream`]: how many
+/// outputs reached the sink, plus fallback accounting. A streaming run
+/// ships many batches, so unlike [`Dispatch`] it can fall back more
+/// than once.
+#[derive(Debug)]
+pub struct StreamDispatch {
+    /// Outputs delivered to the sink, in unit order.
+    pub units: usize,
+    /// `Some(first diagnostic)` when any shipped batch fell back to the
+    /// in-thread pull loop under [`Fallback::InThread`]; `None`
+    /// otherwise.
+    pub fallback: Option<String>,
+    /// Number of shipped batches recomputed in-thread.
+    pub fallbacks: usize,
+}
+
+impl StreamDispatch {
+    fn clean(units: usize) -> Self {
+        StreamDispatch {
+            units,
+            fallback: None,
+            fallbacks: 0,
+        }
+    }
+
+    /// Number of per-batch in-thread fallbacks this streaming dispatch
+    /// folded in — the per-call count reports fold into their totals.
+    #[must_use]
+    pub fn fallback_count(&self) -> usize {
+        self.fallbacks
+    }
+}
+
 /// A batch of independent work units that every backend can execute:
 /// in-process via [`ExecWork::run_unit_local`], or serialized to
 /// `steac-worker` processes (and, later, remote hosts) via the
@@ -202,6 +246,64 @@ pub trait ExecWork: Sync {
     fn decode_result(&self, unit: usize, bytes: &[u8]) -> Result<Self::Output, String>;
 
     /// Wraps a process-pool failure in the workload's error type (used
+    /// under [`Fallback::Fail`]).
+    fn pool_error(&self, error: PoolError) -> Self::Error;
+}
+
+/// Units a streaming dispatcher pulls from the producer per shipped
+/// batch (process / remote backends). This bounds in-flight memory: at
+/// most `dispatchers × STREAM_BATCH_UNITS` owned units (plus their
+/// encoded wire bytes) sit between the producer and the wire at any
+/// moment, independent of how many units the stream eventually yields.
+pub const STREAM_BATCH_UNITS: usize = 32;
+
+/// The producer-driven sibling of [`ExecWork`]: a workload whose units
+/// are **owned values pulled from an iterator** (typically the
+/// receiving end of a bounded channel fed by a generator thread)
+/// rather than indices into a materialized batch.
+/// [`Exec::dispatch_stream`] is the only consumer; the wire half must
+/// agree with the same worker-side [`shard::WireJob`] kind as the
+/// materialized path, so a worker cannot tell the flavours apart — and
+/// the program cache dedupes both by the same job hash.
+pub trait StreamWork: Sync {
+    /// One owned work unit (`Sync` because the in-process pool fans a
+    /// pulled window across threads by reference).
+    type Unit: Send + Sync;
+    /// Per-unit result.
+    type Output: Send;
+    /// Workload error type.
+    type Error: Send;
+
+    /// Work-unit kind routed by the worker-side job registry.
+    fn kind(&self) -> u16;
+
+    /// Serializes the shared job block. It is encoded once for the
+    /// whole stream: every shipped batch reuses it, and the worker
+    /// program cache dedupes the batches on its hash.
+    fn encode_job(&self) -> Vec<u8>;
+
+    /// Serializes one work unit for the wire.
+    fn encode_unit(&self, unit: &Self::Unit) -> Vec<u8>;
+
+    /// Executes one unit in-process — the exact code the worker binary
+    /// runs for the same unit, so dispatch flavour can never change a
+    /// result.
+    ///
+    /// # Errors
+    ///
+    /// The workload's typed error for this unit.
+    fn run_unit_local(&self, unit: &Self::Unit) -> Result<Self::Output, Self::Error>;
+
+    /// Decodes one worker result payload for `unit`.
+    ///
+    /// # Errors
+    ///
+    /// A diagnostic for malformed payloads; the dispatcher treats it as
+    /// a shipped-level failure of that unit (subject to the fallback
+    /// policy).
+    fn decode_result(&self, unit: &Self::Unit, bytes: &[u8]) -> Result<Self::Output, String>;
+
+    /// Wraps a pool/fleet failure in the workload's error type (used
     /// under [`Fallback::Fail`]).
     fn pool_error(&self, error: PoolError) -> Self::Error;
 }
@@ -536,6 +638,264 @@ impl Exec {
             }
         }
     }
+
+    /// Executes a [`StreamWork`] over units pulled from `units` as they
+    /// become available, delivering outputs to `sink` **strictly in
+    /// unit order** — the streaming sibling of [`Exec::dispatch`], for
+    /// flows whose unit list is produced incrementally (a generator
+    /// thread feeding a bounded channel) instead of materialized up
+    /// front.
+    ///
+    /// Memory stays bounded by pipeline depth, never by stream length:
+    /// the serial and thread backends pull a window of `4 × threads`
+    /// units at a time; the process and remote backends pull
+    /// [`STREAM_BATCH_UNITS`]-unit batches on dispatcher threads and a
+    /// merge loop re-orders finished batches back into unit order. The
+    /// remote path reuses the in-flight window and content-addressed
+    /// program cache of [`crate::remote`]: concurrent batches of the
+    /// same job still ship the program to each host exactly once (the
+    /// host-level prime gate), and every later batch goes by hash.
+    ///
+    /// Determinism contract: on success the sink sees exactly the
+    /// outputs the materialized path would have produced, in unit
+    /// order, regardless of backend, batch boundaries, or interleaving.
+    /// On error the sink has seen an in-order prefix of those outputs
+    /// (a backend may withhold outputs from the failing unit's own
+    /// window or batch) and the error is the lowest-indexed failing
+    /// unit's.
+    ///
+    /// # Errors
+    ///
+    /// The workload error of the lowest-indexed failing unit; under
+    /// [`Fallback::Fail`], also the wrapped pool/fleet failure.
+    pub fn dispatch_stream<W, I, S>(
+        &self,
+        work: &W,
+        units: I,
+        sink: S,
+    ) -> Result<StreamDispatch, W::Error>
+    where
+        W: StreamWork,
+        I: Iterator<Item = W::Unit> + Send,
+        S: FnMut(W::Output),
+    {
+        match &self.backend {
+            Backend::Serial | Backend::Threads(_) => {
+                self.stream_local(work, units, sink, self.local_threads())
+            }
+            Backend::Processes(_) | Backend::Remote(_) => self.stream_shipped(work, units, sink),
+        }
+    }
+
+    /// Serial/thread streaming: pull a bounded window off the producer,
+    /// fan it across the in-process pool ([`shard::run_fallible`] — the
+    /// same lowest-index error rule as materialized dispatch), sink it
+    /// in order, repeat.
+    fn stream_local<W, I, S>(
+        &self,
+        work: &W,
+        mut units: I,
+        mut sink: S,
+        threads: Threads,
+    ) -> Result<StreamDispatch, W::Error>
+    where
+        W: StreamWork,
+        I: Iterator<Item = W::Unit>,
+        S: FnMut(W::Output),
+    {
+        let window = threads.get() * 4;
+        let mut delivered = 0usize;
+        loop {
+            let batch: Vec<W::Unit> = units.by_ref().take(window).collect();
+            if batch.is_empty() {
+                return Ok(StreamDispatch::clean(delivered));
+            }
+            let outputs =
+                shard::run_fallible(threads, batch.len(), |i| work.run_unit_local(&batch[i]))?;
+            for output in outputs {
+                sink(output);
+                delivered += 1;
+            }
+        }
+    }
+
+    /// Process/remote streaming: dispatcher threads pull bounded
+    /// batches off the shared producer and ship each one through the
+    /// pool/fleet as a sub-run of the same job, while a merge loop on
+    /// the calling thread re-orders finished batches back into unit
+    /// order before sinking. In-flight state is bounded by the
+    /// dispatcher count and the result-channel depth — never by the
+    /// stream length.
+    fn stream_shipped<W, I, S>(
+        &self,
+        work: &W,
+        units: I,
+        mut sink: S,
+    ) -> Result<StreamDispatch, W::Error>
+    where
+        W: StreamWork,
+        I: Iterator<Item = W::Unit> + Send,
+        S: FnMut(W::Output),
+    {
+        struct Feed<I> {
+            units: I,
+            next_seq: usize,
+        }
+        // Two dispatchers keep a remote fleet's pipeline full (one batch
+        // on the wire while the next is pulled and encoded); the process
+        // pool spawns workers per run, so a second concurrent batch
+        // would double the process count instead of overlapping it.
+        let dispatchers = match &self.backend {
+            Backend::Remote(_) => 2,
+            _ => 1,
+        };
+        let kind = work.kind();
+        let job = work.encode_job();
+        let feed = Mutex::new(Feed { units, next_seq: 0 });
+        let abort = AtomicBool::new(false);
+        let (tx, rx) = mpsc::sync_channel(dispatchers * 2);
+        std::thread::scope(|scope| {
+            for _ in 0..dispatchers {
+                let tx = tx.clone();
+                let (feed, abort, job) = (&feed, &abort, &job);
+                scope.spawn(move || {
+                    while !abort.load(Ordering::Relaxed) {
+                        let (start, batch) = {
+                            let mut feed = feed.lock().expect("no panics hold the lock");
+                            let start = feed.next_seq;
+                            let batch: Vec<W::Unit> =
+                                feed.units.by_ref().take(STREAM_BATCH_UNITS).collect();
+                            feed.next_seq += batch.len();
+                            (start, batch)
+                        };
+                        if batch.is_empty() {
+                            break;
+                        }
+                        let done = self.ship_stream_batch(work, kind, job, start, &batch);
+                        if done.is_err() {
+                            // Terminal under Fallback::Fail: stop pulling.
+                            abort.store(true, Ordering::Relaxed);
+                        }
+                        if tx.send((start, batch.len(), done)).is_err() {
+                            break; // the merge loop saw an earlier error
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            let mut pending = BTreeMap::new();
+            let mut head = 0usize;
+            let mut delivered = 0usize;
+            let mut fallbacks = 0usize;
+            let mut fallback: Option<String> = None;
+            let mut error: Option<W::Error> = None;
+            'merge: for (start, len, done) in rx {
+                pending.insert(start, (len, done));
+                while let Some((len, done)) = pending.remove(&head) {
+                    match done {
+                        Ok((results, diagnostic)) => {
+                            head += len;
+                            if let Some(diagnostic) = diagnostic {
+                                fallbacks += 1;
+                                fallback.get_or_insert(diagnostic);
+                            }
+                            for result in results {
+                                match result {
+                                    Ok(output) => {
+                                        sink(output);
+                                        delivered += 1;
+                                    }
+                                    Err(e) => {
+                                        error = Some(e);
+                                        abort.store(true, Ordering::Relaxed);
+                                        break 'merge;
+                                    }
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            error = Some(e);
+                            break 'merge;
+                        }
+                    }
+                }
+            }
+            match error {
+                Some(e) => Err(e),
+                None => Ok(StreamDispatch {
+                    units: delivered,
+                    fallback,
+                    fallbacks,
+                }),
+            }
+        })
+    }
+
+    /// Ships one streamed batch (units `start..start + batch.len()`)
+    /// through the pool/fleet and decodes it, applying the fallback
+    /// policy per batch: `Ok` carries per-unit results in batch order
+    /// (recomputed in-thread under [`Fallback::InThread`], with the
+    /// diagnostic), `Err` is terminal under [`Fallback::Fail`].
+    #[allow(clippy::type_complexity)]
+    fn ship_stream_batch<W: StreamWork>(
+        &self,
+        work: &W,
+        kind: u16,
+        job: &[u8],
+        start: usize,
+        batch: &[W::Unit],
+    ) -> Result<(Vec<Result<W::Output, W::Error>>, Option<String>), W::Error> {
+        let encoded: Vec<Vec<u8>> = batch.iter().map(|u| work.encode_unit(u)).collect();
+        let shipped = match &self.backend {
+            Backend::Processes(pool) => pool.run(kind, job, &encoded),
+            Backend::Remote(fleet) => fleet.run(kind, job, &encoded),
+            Backend::Serial | Backend::Threads(_) => {
+                unreachable!("in-process backends stream locally")
+            }
+        };
+        let failure = match shipped {
+            Ok(results) => {
+                let mut decoded = Vec::with_capacity(batch.len());
+                let mut bad = None;
+                for (offset, (unit, bytes)) in batch.iter().zip(&results).enumerate() {
+                    match work.decode_result(unit, bytes) {
+                        Ok(v) => decoded.push(Ok(v)),
+                        Err(diagnostic) => {
+                            bad = Some(PoolError::Unit {
+                                unit: start + offset,
+                                diagnostic,
+                            });
+                            break;
+                        }
+                    }
+                }
+                match bad {
+                    None => return Ok((decoded, None)),
+                    Some(failure) => failure,
+                }
+            }
+            // Re-key unit-level failures from batch-local to stream
+            // indices so diagnostics name the true unit.
+            Err(PoolError::Unit { unit, diagnostic }) => PoolError::Unit {
+                unit: start + unit,
+                diagnostic,
+            },
+            Err(failure) => failure,
+        };
+        match self.on_process_failure {
+            Fallback::Fail => Err(work.pool_error(failure)),
+            Fallback::InThread => {
+                let diagnostic = failure.to_string();
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "steac exec: {self} stream dispatch failed ({diagnostic}); \
+                     recomputing the batch in-thread"
+                );
+                let recomputed = batch.iter().map(|u| work.run_unit_local(u)).collect();
+                Ok((recomputed, Some(diagnostic)))
+            }
+        }
+    }
 }
 
 impl<T> Dispatch<T> {
@@ -747,6 +1107,111 @@ mod tests {
             .with_fallback(Fallback::Fail);
         let d = exec.dispatch(&Squares(0)).unwrap();
         assert!(d.units.is_empty());
+        assert!(d.fallback.is_none());
+    }
+
+    /// Streaming sibling of `Squares`: owned `usize` units, squared;
+    /// `usize::MAX` poisons the local path for error-order tests.
+    struct SquareStream;
+
+    impl StreamWork for SquareStream {
+        type Unit = usize;
+        type Output = usize;
+        type Error = String;
+
+        fn kind(&self) -> u16 {
+            9999
+        }
+        fn encode_job(&self) -> Vec<u8> {
+            Vec::new()
+        }
+        fn encode_unit(&self, unit: &usize) -> Vec<u8> {
+            vec![*unit as u8]
+        }
+        fn run_unit_local(&self, unit: &usize) -> Result<usize, String> {
+            if *unit == usize::MAX {
+                return Err("poisoned unit".to_string());
+            }
+            Ok(unit * unit)
+        }
+        fn decode_result(&self, _unit: &usize, _bytes: &[u8]) -> Result<usize, String> {
+            Err("no decoder in this test".to_string())
+        }
+        fn pool_error(&self, error: PoolError) -> String {
+            error.to_string()
+        }
+    }
+
+    #[test]
+    fn stream_dispatch_sinks_in_unit_order_on_in_process_backends() {
+        let expected: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for exec in [
+            Exec::serial(),
+            Exec::threads(Threads::exact(1)),
+            Exec::threads(Threads::exact(4)),
+        ] {
+            let mut got = Vec::new();
+            let d = exec
+                .dispatch_stream(&SquareStream, 0..97, |o| got.push(o))
+                .unwrap();
+            assert_eq!(got, expected, "{exec}");
+            assert_eq!(d.units, 97, "{exec}");
+            assert!(d.fallback.is_none());
+            assert_eq!(d.fallback_count(), 0);
+        }
+    }
+
+    #[test]
+    fn stream_dispatch_surfaces_the_lowest_indexed_unit_error() {
+        for exec in [Exec::serial(), Exec::threads(Threads::exact(4))] {
+            let units = (0..40).map(|i| if i >= 17 { usize::MAX } else { i });
+            let mut got = Vec::new();
+            let err = exec
+                .dispatch_stream(&SquareStream, units, |o| got.push(o))
+                .unwrap_err();
+            assert_eq!(err, "poisoned unit", "{exec}");
+            assert!(got.len() <= 17, "{exec}: sink saw past the failing unit");
+            assert_eq!(
+                got,
+                (0..got.len()).map(|i| i * i).collect::<Vec<_>>(),
+                "{exec}: delivered prefix must be in unit order"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_dispatch_honours_the_fallback_policy_on_shipped_backends() {
+        // No real worker binary: every shipped batch fails. InThread
+        // recomputes per batch (so the count tracks batches), Fail
+        // surfaces the wrapped pool error.
+        let bogus = || ProcessPool::with_binary(PathBuf::from("/nonexistent/steac-worker"), 2);
+        let forgiving = Exec::processes(bogus());
+        let mut got = Vec::new();
+        let d = forgiving
+            .dispatch_stream(&SquareStream, 0..100, |o| got.push(o))
+            .unwrap();
+        assert_eq!(got, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(d.units, 100);
+        assert!(d.fallback.is_some(), "fallback must be surfaced");
+        assert_eq!(d.fallback_count(), 100usize.div_ceil(STREAM_BATCH_UNITS));
+        assert_eq!(forgiving.process_fallbacks(), d.fallback_count());
+
+        let strict = Exec::processes(bogus()).with_fallback(Fallback::Fail);
+        let err = strict
+            .dispatch_stream(&SquareStream, 0..100, |_| {})
+            .unwrap_err();
+        assert!(err.contains("cannot spawn worker"), "{err}");
+        assert_eq!(strict.process_fallbacks(), 0);
+    }
+
+    #[test]
+    fn empty_stream_never_touches_the_pool() {
+        let exec = Exec::processes(ProcessPool::with_binary(PathBuf::from("/nope"), 2))
+            .with_fallback(Fallback::Fail);
+        let d = exec
+            .dispatch_stream(&SquareStream, std::iter::empty(), |_: usize| {})
+            .unwrap();
+        assert_eq!(d.units, 0);
         assert!(d.fallback.is_none());
     }
 }

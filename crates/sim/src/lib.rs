@@ -58,7 +58,15 @@
 //!    merge-by-unit-index determinism contract — unit-order results,
 //!    lowest-indexed-unit errors, **bit-identical reports on every
 //!    backend** — lives in exactly one place, proven bit-for-bit by
-//!    `tests/exec_matrix.rs`. [`Exec::from_env`] resolves the
+//!    `tests/exec_matrix.rs`. Workloads whose units are *produced*
+//!    rather than materialized (the streaming generate→play pipeline)
+//!    describe themselves as an [`exec::StreamWork`] instead and route
+//!    through [`Exec::dispatch_stream`]: units are pulled from an
+//!    iterator — typically a bounded channel fed by a generator
+//!    thread — played through the same backends in bounded windows,
+//!    and sunk strictly in unit order, so peak memory follows pipeline
+//!    depth (not stream length) while reports stay byte-identical to
+//!    the materialized flow. [`Exec::from_env`] resolves the
 //!    deployment knobs (`STEAC_EXEC`, then `STEAC_WORKERS`, then
 //!    `STEAC_THREADS`; `STEAC_OPT` gates stage 2 independently), and
 //!    [`exec::Fallback`] makes the process-failure policy explicit
@@ -77,7 +85,12 @@
 //!    **program cache** (FNV-1a 64 over the job bytes), so the fleet
 //!    ships the serialized program once per host and references it by
 //!    hash after that — a worker that restarted answers "need program"
-//!    and the bytes are re-shipped transparently. A status request
+//!    and the bytes are re-shipped transparently. Streaming dispatch
+//!    leans on the same ledger: the concurrent sub-runs of one job
+//!    that [`Exec::dispatch_stream`] ships are serialized through a
+//!    per-host prime gate, so the program still crosses the wire
+//!    exactly once per host no matter how many batches race. A status
+//!    request
 //!    (`steac-worker --status`, [`remote::query_status`]) surfaces the
 //!    cache and traffic counters. [`remote::SpawnTransport`] runs the
 //!    same protocol over spawned local processes (zero network — the
@@ -160,7 +173,10 @@ pub mod shard;
 pub mod wire;
 
 pub use engine::Simulator;
-pub use exec::{Backend, Dispatch, Exec, ExecWork, Fallback, SpecError};
+pub use exec::{
+    Backend, Dispatch, Exec, ExecWork, Fallback, SpecError, StreamDispatch, StreamWork,
+    STREAM_BATCH_UNITS,
+};
 pub use fault::{
     enumerate_faults, fault_coverage, faults_per_pass, grade_vectors, grade_vectors_wide,
     CoverageReport, Fault, StuckAt, FAULTS_PER_PASS, SUPPORTED_LANE_GROUPS,

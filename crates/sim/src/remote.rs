@@ -793,9 +793,20 @@ const KNOWN_HASHES_PER_HOST: usize = 8;
 /// The belief is allowed to be stale — a worker that restarted or
 /// evicted answers "need program" and the fleet re-ships — so this is
 /// an optimization ledger, never a correctness input.
+///
+/// The slot also owns the **prime gate** for each program: the first
+/// caller to ship a given hash inline claims it here, and every other
+/// stream — of the same run *or a concurrent one* (streaming dispatch
+/// issues many small sub-runs of one job against the same fleet) —
+/// waits, then proceeds by-hash. Keying the gate by hash on the slot,
+/// rather than per run, is what keeps "the program crosses the wire
+/// once per host" true when sub-runs overlap.
 struct HostSlot {
     transport: Box<dyn Transport>,
     known: Mutex<Vec<u64>>,
+    /// Hashes whose first inline ship is currently in flight.
+    priming: Mutex<Vec<u64>>,
+    primed: Condvar,
 }
 
 impl HostSlot {
@@ -803,6 +814,8 @@ impl HostSlot {
         HostSlot {
             transport,
             known: Mutex::new(Vec::new()),
+            priming: Mutex::new(Vec::new()),
+            primed: Condvar::new(),
         }
     }
 
@@ -829,6 +842,36 @@ impl HostSlot {
             .lock()
             .expect("no panics hold the lock")
             .retain(|&h| h != hash);
+    }
+
+    /// Returns `true` when the caller must prime the host (ship the
+    /// program inline); `false` once the host is believed to hold
+    /// `hash`. Blocks while a peer's priming attempt for the same hash
+    /// is in flight — if that attempt fails, the next waiter claims.
+    fn claim_prime(&self, hash: u64) -> bool {
+        let mut priming = self.priming.lock().expect("no panics hold the lock");
+        loop {
+            if self.knows(hash) {
+                return false;
+            }
+            if !priming.contains(&hash) {
+                priming.push(hash);
+                return true;
+            }
+            priming = self.primed.wait(priming).expect("no panics hold the lock");
+        }
+    }
+
+    /// Resolves a [`HostSlot::claim_prime`] claim: on success the hash
+    /// enters the known ledger (waiters proceed by-hash), on failure
+    /// the gate reopens for the next claimant.
+    fn release_prime(&self, hash: u64, shipped: bool) {
+        if shipped {
+            self.mark_known(hash);
+        }
+        let mut priming = self.priming.lock().expect("no panics hold the lock");
+        priming.retain(|&h| h != hash);
+        self.primed.notify_all();
     }
 }
 
@@ -1057,7 +1100,6 @@ impl RemoteFleet {
             alive: (0..self.hosts.len())
                 .map(|_| AtomicBool::new(true))
                 .collect(),
-            prime: (0..self.hosts.len()).map(|_| PrimeGate::new()).collect(),
             retries: Mutex::new(VecDeque::new()),
             slots: Mutex::new(vec![None; units.len()]),
             failures: Mutex::new(Vec::new()),
@@ -1136,64 +1178,10 @@ struct FleetRun<'a> {
     pending: AtomicUsize,
     /// One flag per host; cleared when the host is declared lost.
     alive: Vec<AtomicBool>,
-    /// One gate per host serializing the first program ship, so a host
-    /// served by several streams still receives the bytes exactly once.
-    prime: Vec<PrimeGate>,
     retries: Mutex<VecDeque<Retry>>,
     slots: Mutex<Vec<Option<Vec<u8>>>>,
     failures: Mutex<Vec<(usize, String)>>,
     lost_hosts: Mutex<Vec<String>>,
-}
-
-/// Serializes the "first inline ship" to a caching host across its
-/// streams: the first stream to arrive claims the gate and sends the
-/// program inline; the others wait, then proceed by-hash. Without the
-/// gate, two streams racing on a cold cache would both observe
-/// "host does not know the hash" and both ship the program —
-/// correct, but it would break the ships-once-per-host invariant
-/// the bytes-shipped counters assert.
-struct PrimeGate {
-    /// 0 = unclaimed, 1 = a stream is priming, 2 = primed (or the
-    /// priming attempt failed — in which case claimants retry).
-    state: Mutex<u8>,
-    done: Condvar,
-}
-
-impl PrimeGate {
-    fn new() -> Self {
-        Self {
-            state: Mutex::new(0),
-            done: Condvar::new(),
-        }
-    }
-
-    /// Returns `true` when the caller must prime (ship inline); `false`
-    /// once another stream has already primed. Blocks while a peer's
-    /// priming attempt is in flight.
-    fn claim(&self) -> bool {
-        let mut state = self.state.lock().expect("no panics hold the lock");
-        loop {
-            match *state {
-                0 => {
-                    *state = 1;
-                    return true;
-                }
-                1 => {
-                    state = self.done.wait(state).expect("no panics hold the lock");
-                }
-                _ => return false,
-            }
-        }
-    }
-
-    /// Resolves a claim: `primed` when the inline ship succeeded (peers
-    /// may proceed by-hash), otherwise the gate reopens for the next
-    /// claimant.
-    fn release(&self, primed: bool) {
-        let mut state = self.state.lock().expect("no panics hold the lock");
-        *state = if primed { 2 } else { 0 };
-        self.done.notify_all();
-    }
 }
 
 impl FleetRun<'_> {
@@ -1340,23 +1328,16 @@ impl FleetRun<'_> {
     }
 
     /// Ships one batch to a caching host, deciding inline vs by-hash
-    /// from the slot's ledger and the host's prime gate. A `NeedProgram`
-    /// reply (worker restarted, or its LRU evicted us) is healed
-    /// transparently with one inline re-ship of the same batch.
-    fn exchange_cached(
-        &self,
-        me: usize,
-        slot: &HostSlot,
-        indices: &[usize],
-    ) -> Result<RunReply, String> {
+    /// from the slot's ledger and per-hash prime gate (which serializes
+    /// the first inline ship across every stream and every concurrent
+    /// sub-run of this job). A `NeedProgram` reply (worker restarted,
+    /// or its LRU evicted us) is healed transparently with one inline
+    /// re-ship of the same batch.
+    fn exchange_cached(&self, slot: &HostSlot, indices: &[usize]) -> Result<RunReply, String> {
         let transport = slot.transport.as_ref();
-        let priming = !slot.knows(self.job_hash) && self.prime[me].claim();
-        if priming {
+        if slot.claim_prime(self.job_hash) {
             let result = self.exchange_inline(transport, indices);
-            if result.is_ok() {
-                slot.mark_known(self.job_hash);
-            }
-            self.prime[me].release(result.is_ok());
+            slot.release_prime(self.job_hash, result.is_ok());
             return result;
         }
         let request = shard::encode_request(self.kind, None, self.job_hash, indices, self.units);
@@ -1406,7 +1387,7 @@ impl FleetRun<'_> {
             };
             let indices: Vec<usize> = batch.iter().map(|e| e.unit).collect();
             let reply = if transport.caches_programs() {
-                self.exchange_cached(me, slot, &indices)
+                self.exchange_cached(slot, &indices)
             } else {
                 self.exchange_inline(transport, &indices)
             };
@@ -1505,8 +1486,28 @@ pub fn serve_tcp<F>(listener: TcpListener, open: F) -> Result<(), String>
 where
     F: Fn(u16, &[u8]) -> Result<Box<dyn WireJob>, String> + Send + Sync + 'static,
 {
+    serve_tcp_with_state(listener, open, Arc::new(WorkerState::new()))
+}
+
+/// [`serve_tcp`] over an explicit [`WorkerState`] — the hook behind
+/// `steac-worker --serve --cache-cap N` / `STEAC_CACHE_CAP`, which
+/// builds the state with [`WorkerState::with_cache_capacity`] so an
+/// interleaved streaming workload mix (grading + playback + March
+/// against one fleet) stops thrashing the default 8-entry program
+/// cache.
+///
+/// # Errors
+///
+/// Only a broken listener (accept failure) ends the loop.
+pub fn serve_tcp_with_state<F>(
+    listener: TcpListener,
+    open: F,
+    state: Arc<WorkerState>,
+) -> Result<(), String>
+where
+    F: Fn(u16, &[u8]) -> Result<Box<dyn WireJob>, String> + Send + Sync + 'static,
+{
     let open = Arc::new(open);
-    let state = Arc::new(WorkerState::new());
     loop {
         let (stream, peer) = listener
             .accept()
@@ -1989,8 +1990,16 @@ mod tests {
             t.call(b"request"),
             Err(TransportError::Envelope { .. })
         ));
+        // The slammed connection may race the write: when the request
+        // provably never left, `call` transparently retries on a fresh
+        // connection — and by then the `take(2)` listener is gone, so
+        // the retry can legitimately land on `Unreachable`.
         match t.call(b"request") {
-            Err(TransportError::Envelope { .. } | TransportError::Io { .. }) => {}
+            Err(
+                TransportError::Envelope { .. }
+                | TransportError::Io { .. }
+                | TransportError::Unreachable { .. },
+            ) => {}
             other => panic!("expected a typed transport error, got {other:?}"),
         }
         server.join().unwrap();
@@ -2062,6 +2071,32 @@ mod tests {
         assert_eq!(stats.program_bytes, job.len() as u64, "{stats:?}");
         assert_eq!(stats.need_program_replies, 0, "{stats:?}");
         assert!(stats.unit_bytes > 0, "{stats:?}");
+    }
+
+    /// Streaming dispatch issues many small sub-runs of one job
+    /// against the same fleet, possibly overlapping in time. The prime
+    /// gate lives on the host slot keyed by job hash — not per run —
+    /// precisely so racing sub-runs on a cold host cannot each decide
+    /// to ship the program inline.
+    #[test]
+    fn concurrent_sub_runs_of_one_job_still_ship_the_program_once() {
+        let job = b"shared-program-blob".to_vec();
+        let (host, _state) = CachingLoopback::new(2);
+        let fleet = RemoteFleet::new(vec![host]).with_chunk(2);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let (fleet, job) = (&fleet, &job);
+                scope.spawn(move || {
+                    let expected = units(12);
+                    let got = fleet.run(7, job, &expected).unwrap();
+                    assert_eq!(got, expected);
+                });
+            }
+        });
+        let stats = fleet.stats();
+        assert_eq!(stats.programs_shipped, 1, "{stats:?}");
+        assert_eq!(stats.program_bytes, job.len() as u64, "{stats:?}");
+        assert_eq!(stats.need_program_replies, 0, "{stats:?}");
     }
 
     #[test]

@@ -53,9 +53,9 @@
 //!   tag 1 (need program): job hash u64 — the worker has no cached
 //!                         program under that hash; the dispatcher
 //!                         re-sends the same units with the job inline
-//!   tag 2 (status):       uptime ms, cache entries/hits/misses/
-//!                         evictions, requests served, units served,
-//!                         bytes received (u64 each)
+//!   tag 2 (status):       uptime ms, cache entries/capacity/hits/
+//!                         misses/evictions, requests served, units
+//!                         served, bytes received (u64 each)
 //! ```
 //!
 //! The **program cache** is what makes tag-0-by-hash worthwhile: a
@@ -380,24 +380,60 @@ const REPLY_STATUS: u8 = 2;
 #[doc(hidden)]
 pub const RUN_REQUEST_JOB_OFFSET: usize = 26;
 
-/// Programs a persistent worker keeps decoded-job *bytes* for, most
-/// recently used last. Small on purpose: a fleet serves one or a
-/// handful of distinct programs at a time, and a stale entry costs one
-/// extra round trip, not a wrong answer.
-const PROGRAM_CACHE_CAPACITY: usize = 8;
+/// Default number of programs a persistent worker keeps decoded-job
+/// *bytes* for, most recently used last. Small on purpose: a fleet
+/// serves one or a handful of distinct programs at a time, and a stale
+/// entry costs one extra round trip, not a wrong answer. Interleaved
+/// streaming workloads (grading + playback + March against one fleet)
+/// can outgrow it — `steac-worker --serve` takes `--cache-cap N` /
+/// `STEAC_CACHE_CAP` to widen the cache, and the status exchange
+/// reports capacity next to the eviction counter so thrash is visible.
+pub const DEFAULT_PROGRAM_CACHE_CAPACITY: usize = 8;
+
+/// The program-cache capacity requested via the `STEAC_CACHE_CAP`
+/// environment variable (`None` unless set to a positive integer).
+/// Consulted by `steac-worker --serve` when no `--cache-cap` flag is
+/// given.
+#[must_use]
+pub fn env_cache_capacity() -> Option<usize> {
+    std::env::var("STEAC_CACHE_CAP")
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+}
 
 /// The content-addressed LRU of job blocks a persistent worker serves
 /// by-hash requests from. Caches the wire *bytes*, not opened jobs:
 /// [`WireJob`]s are stateful (`run_unit` takes `&mut self`), so each
 /// request opens its own job from the cached bytes — decode cost is
 /// noise next to executing even one unit.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct ProgramCache {
     /// `(hash, job bytes)`, least recently used first.
     entries: Vec<(u64, Vec<u8>)>,
+    /// Entries kept before the LRU victim is dropped (≥ 1).
+    capacity: usize,
+}
+
+impl Default for ProgramCache {
+    fn default() -> Self {
+        ProgramCache::with_capacity(DEFAULT_PROGRAM_CACHE_CAPACITY)
+    }
 }
 
 impl ProgramCache {
+    /// An empty cache holding at most `capacity` programs (clamped to
+    /// at least 1 — a worker that cannot cache the program it is
+    /// currently running would need-program forever).
+    fn with_capacity(capacity: usize) -> Self {
+        ProgramCache {
+            entries: Vec::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
     /// Returns the cached bytes for `hash`, refreshing its LRU slot.
     fn get(&mut self, hash: u64) -> Option<Vec<u8>> {
         let pos = self.entries.iter().position(|&(h, _)| h == hash)?;
@@ -416,7 +452,7 @@ impl ProgramCache {
             return false;
         }
         self.entries.push((hash, bytes));
-        if self.entries.len() > PROGRAM_CACHE_CAPACITY {
+        if self.entries.len() > self.capacity {
             let _ = self.entries.remove(0);
             return true;
         }
@@ -447,12 +483,21 @@ impl Default for WorkerState {
 }
 
 impl WorkerState {
-    /// A fresh state with an empty cache and zeroed counters.
+    /// A fresh state with an empty default-capacity cache and zeroed
+    /// counters.
     #[must_use]
     pub fn new() -> Self {
+        WorkerState::with_cache_capacity(DEFAULT_PROGRAM_CACHE_CAPACITY)
+    }
+
+    /// A fresh state whose program cache holds at most `capacity`
+    /// programs (clamped to ≥ 1). `steac-worker --serve --cache-cap N`
+    /// builds its shared state through this.
+    #[must_use]
+    pub fn with_cache_capacity(capacity: usize) -> Self {
         WorkerState {
             started: Instant::now(),
-            cache: Mutex::new(ProgramCache::default()),
+            cache: Mutex::new(ProgramCache::with_capacity(capacity)),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             cache_evictions: AtomicU64::new(0),
@@ -466,14 +511,13 @@ impl WorkerState {
     /// status exchange.
     #[must_use]
     pub fn status(&self) -> WorkerStatus {
+        let cache = self.cache.lock().expect("no panics hold the lock");
+        let (cache_entries, cache_capacity) = (cache.entries.len() as u64, cache.capacity as u64);
+        drop(cache);
         WorkerStatus {
             uptime_ms: self.started.elapsed().as_millis().min(u128::from(u64::MAX)) as u64,
-            cache_entries: self
-                .cache
-                .lock()
-                .expect("no panics hold the lock")
-                .entries
-                .len() as u64,
+            cache_entries,
+            cache_capacity,
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
@@ -492,6 +536,10 @@ pub struct WorkerStatus {
     pub uptime_ms: u64,
     /// Programs currently held by the cache.
     pub cache_entries: u64,
+    /// Programs the cache can hold before evicting — reported next to
+    /// the eviction counter so cache thrash under interleaved
+    /// streaming workloads is visible from `--status`.
+    pub cache_capacity: u64,
     /// By-hash requests served from the cache.
     pub cache_hits: u64,
     /// By-hash requests answered "need program".
@@ -510,13 +558,21 @@ impl fmt::Display for WorkerStatus {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "up {:.1}s · programs cached {} (hits {}, misses {}, evictions {}) · \
+            "up {:.1}s · programs cached {}/{} (hits {}, misses {}, evictions {}{}) · \
              requests {} · units {} · bytes received {}",
             self.uptime_ms as f64 / 1000.0,
             self.cache_entries,
+            self.cache_capacity,
             self.cache_hits,
             self.cache_misses,
             self.cache_evictions,
+            // A full cache that has already evicted is thrashing:
+            // every additional distinct program costs a round trip.
+            if self.cache_evictions > 0 && self.cache_entries == self.cache_capacity {
+                " — cache under pressure, consider --cache-cap"
+            } else {
+                ""
+            },
             self.requests_served,
             self.units_served,
             self.bytes_received,
@@ -916,6 +972,7 @@ fn encode_status_reply(status: &WorkerStatus) -> Vec<u8> {
     for field in [
         status.uptime_ms,
         status.cache_entries,
+        status.cache_capacity,
         status.cache_hits,
         status.cache_misses,
         status.cache_evictions,
@@ -998,7 +1055,7 @@ pub(crate) fn parse_reply(bytes: &[u8], unit_count: usize) -> Reply {
         }
         REPLY_STATUS => {
             let status = (|| {
-                let mut fields = [0u64; 8];
+                let mut fields = [0u64; 9];
                 for field in &mut fields {
                     *field = r.get_u64("status field")?;
                 }
@@ -1006,12 +1063,13 @@ pub(crate) fn parse_reply(bytes: &[u8], unit_count: usize) -> Reply {
                 Ok::<_, crate::wire::WireError>(WorkerStatus {
                     uptime_ms: fields[0],
                     cache_entries: fields[1],
-                    cache_hits: fields[2],
-                    cache_misses: fields[3],
-                    cache_evictions: fields[4],
-                    requests_served: fields[5],
-                    units_served: fields[6],
-                    bytes_received: fields[7],
+                    cache_capacity: fields[2],
+                    cache_hits: fields[3],
+                    cache_misses: fields[4],
+                    cache_evictions: fields[5],
+                    requests_served: fields[6],
+                    units_served: fields[7],
+                    bytes_received: fields[8],
                 })
             })();
             match status {
@@ -1384,7 +1442,7 @@ mod tests {
     fn program_cache_evicts_least_recently_used() {
         let state = WorkerState::new();
         let units = unit_list(1);
-        let jobs: Vec<Vec<u8>> = (0..=PROGRAM_CACHE_CAPACITY)
+        let jobs: Vec<Vec<u8>> = (0..=DEFAULT_PROGRAM_CACHE_CAPACITY)
             .map(|i| format!("job {i}").into_bytes())
             .collect();
         for job in &jobs {
@@ -1392,8 +1450,11 @@ mod tests {
             let _ = process_request_with(&req, open_any, &state).unwrap();
         }
         let status = state.status();
-        assert_eq!(status.cache_entries, PROGRAM_CACHE_CAPACITY as u64);
+        assert_eq!(status.cache_entries, DEFAULT_PROGRAM_CACHE_CAPACITY as u64);
+        assert_eq!(status.cache_capacity, DEFAULT_PROGRAM_CACHE_CAPACITY as u64);
         assert_eq!(status.cache_evictions, 1);
+        // A full cache that has evicted reads as thrash in --status.
+        assert!(status.to_string().contains("cache under pressure"));
         // The first program was the victim; the last is still warm.
         let req = encode_request(7, None, fnv1a64(&jobs[0]), &[0], &units);
         let reply = process_request_with(&req, open_any, &state).unwrap();
@@ -1401,6 +1462,37 @@ mod tests {
         let req = encode_request(7, None, fnv1a64(jobs.last().unwrap()), &[0], &units);
         let reply = process_request_with(&req, open_any, &state).unwrap();
         assert_eq!(run_results(&reply, 1).len(), 1);
+    }
+
+    #[test]
+    fn program_cache_capacity_is_configurable() {
+        // A widened cache keeps every program an interleaved workload
+        // mix ships; the default-capacity state above would have
+        // evicted. Capacity 0 clamps to 1 so the running program
+        // always fits.
+        let state = WorkerState::with_cache_capacity(32);
+        let units = unit_list(1);
+        let jobs: Vec<Vec<u8>> = (0..=DEFAULT_PROGRAM_CACHE_CAPACITY)
+            .map(|i| format!("job {i}").into_bytes())
+            .collect();
+        for job in &jobs {
+            let req = encode_request(7, Some(job), fnv1a64(job), &[0], &units);
+            let _ = process_request_with(&req, open_any, &state).unwrap();
+        }
+        let status = state.status();
+        assert_eq!(status.cache_entries, jobs.len() as u64);
+        assert_eq!(status.cache_capacity, 32);
+        assert_eq!(status.cache_evictions, 0);
+        assert!(!status.to_string().contains("cache under pressure"));
+        // The oldest program is still warm — no need-program round trip.
+        let req = encode_request(7, None, fnv1a64(&jobs[0]), &[0], &units);
+        let reply = process_request_with(&req, open_any, &state).unwrap();
+        assert_eq!(run_results(&reply, 1).len(), 1);
+
+        assert_eq!(
+            WorkerState::with_cache_capacity(0).status().cache_capacity,
+            1
+        );
     }
 
     #[test]

@@ -1,75 +1,83 @@
 //! The paper's headline workload, end to end: play the JPEG core's full
 //! functional-pattern set — 235,696 patterns, the largest entry of
-//! Table 1 — through the batched ATE cycle player on whatever execution
-//! backend `Exec::from_env()` resolves.
+//! Table 1 — through the **streaming** generate→play pipeline on
+//! whatever execution backend `Exec::from_env()` resolves.
 //!
 //! ```sh
 //! cargo run --release --example jpeg_full_playback           # full set
 //! cargo run --release --example jpeg_full_playback -- 10000  # subset
 //! STEAC_EXEC=threads:4 cargo run --release --example jpeg_full_playback
 //! STEAC_EXEC=processes:2 cargo run --release --example jpeg_full_playback
+//! cargo run --release --example jpeg_full_playback -- 235696 --materialize
 //! ```
 //!
-//! Pattern generation (scalar reference simulation per pattern) shards
-//! on the backend's in-process pool; playback (`64 *
-//! PLAYBACK_LANE_GROUPS` patterns per pass — playback's narrow default
-//! width) dispatches on the backend itself — threads or
-//! `steac-worker` processes. The binary prints the compiled program's
-//! structural statistics (including what the optimizer pipeline did),
-//! the backend used, and the sustained patterns/sec for each phase.
+//! By default the set is never materialized: generator threads produce
+//! 64-pattern blocks into a bounded queue while the cycle player
+//! (`64 * PLAYBACK_LANE_GROUPS` patterns per pass) consumes them
+//! through `Exec::dispatch_stream`, so generation — the slow phase —
+//! overlaps playback and peak memory follows the queue depth, not the
+//! set size. `--materialize` switches to the old generate-everything-
+//! then-play flow; the two print byte-identical reports. The binary
+//! prints the backend, the sustained patterns/sec and the peak RSS, so
+//! the constant-memory claim is checkable from the output alone.
 
 use std::time::Instant;
-use steac_dsc::{jpeg_functional_patterns, TABLE1};
-use steac_pattern::{apply_cycle_patterns_batch, CyclePattern};
-use steac_sim::{Exec, Simulator};
+use steac_dsc::{jpeg_playback_batch, jpeg_playback_stream, TABLE1};
+use steac_sim::Exec;
+
+/// Peak resident set of this process so far (`VmHWM`), in bytes.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let full = TABLE1[2].functional_patterns as usize; // 235,696
-    let count = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let materialize = args.iter().any(|a| a == "--materialize");
+    let count = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
         .map(|s| s.parse::<usize>())
         .transpose()?
         .unwrap_or(full);
     let exec = Exec::from_env();
-    println!("JPEG functional playback: {count} of {full} patterns, backend {exec}");
+    let flavour = if materialize {
+        "materialized"
+    } else {
+        "streaming"
+    };
+    println!("JPEG functional playback ({flavour}): {count} of {full} patterns, backend {exec}");
 
     let t = Instant::now();
-    let (module, patterns) = jpeg_functional_patterns(&exec, count)?;
-    let gen_secs = t.elapsed().as_secs_f64();
-    println!(
-        "generated {} two-cycle patterns in {gen_secs:.2}s ({:.0} patterns/s)",
-        patterns.len(),
-        patterns.len() as f64 / gen_secs.max(1e-9),
-    );
+    let report = if materialize {
+        jpeg_playback_batch(&exec, count)?
+    } else {
+        jpeg_playback_stream(&exec, count)?
+    };
+    let secs = t.elapsed().as_secs_f64();
 
-    let refs: Vec<&CyclePattern> = patterns.iter().collect();
-    let sim: Simulator = Simulator::new(&module)?;
-    println!("{}", sim.program().stats());
-    let t = Instant::now();
-    let playback = apply_cycle_patterns_batch(&exec, &sim, &refs)?;
-    let play_secs = t.elapsed().as_secs_f64();
-
-    let reports = &playback.reports;
-    let compares: u64 = reports.iter().map(|r| r.compares).sum();
-    let mismatches: usize = reports.iter().map(|r| r.mismatches.len()).sum();
     println!(
-        "played {} patterns in {play_secs:.2}s ({:.0} patterns/s, {} passes, {compares} compares)",
-        reports.len(),
-        reports.len() as f64 / play_secs.max(1e-9),
-        count.div_ceil(steac_sim::LANES * steac_pattern::PLAYBACK_LANE_GROUPS),
+        "played {} patterns ({} cycles) in {secs:.2}s ({:.0} patterns/s, {} passes, {} compares)",
+        report.patterns,
+        report.cycles,
+        report.patterns as f64 / secs.max(1e-9),
+        report.passes,
+        report.compares,
     );
-    if playback.process_fallbacks > 0 {
+    if let Some(rss) = peak_rss_bytes() {
+        println!("peak RSS: {:.1} MiB", rss as f64 / (1024.0 * 1024.0));
+    }
+    if report.process_fallbacks > 0 {
         println!(
             "note: process dispatch fell back in-thread {} time(s)",
-            playback.process_fallbacks
+            report.process_fallbacks
         );
     }
-    println!("mismatches: {mismatches}");
-    if mismatches != 0 {
-        // Per-pattern detail (truncated displays end with a (+N more) tail).
-        for (i, r) in reports.iter().enumerate().filter(|(_, r)| !r.passed()) {
-            println!("pattern {i}: {r}");
-        }
+    println!("mismatches: {}", report.mismatches);
+    if report.mismatches != 0 {
         return Err("playback mismatches".into());
     }
     println!("PASS: netlist matches all expected responses");

@@ -13,19 +13,26 @@
 //!   `STEAC_WORKERS=N`) and by `steac_sim::remote::SpawnTransport`.
 //!   The worker state is fresh per process, so by-hash requests
 //!   correctly draw "need program".
-//! * **`--serve <host:port>`**: binds a TCP listener and serves the
-//!   same requests forever over persistent, pipelined sessions
-//!   (`steac_sim::remote::serve_tcp`): each connection is a framed
-//!   request loop, each request runs on its own thread, and one shared
-//!   worker state carries the program cache and status counters across
-//!   every connection the process ever accepts. This is the remote
-//!   half of `STEAC_EXEC=remote:host:port,…` — start one per host of
-//!   the fleet. The bound address is printed to stdout (bind to port 0
-//!   for an ephemeral port and scrape it from that line).
+//! * **`--serve <host:port> [--cache-cap N]`**: binds a TCP listener
+//!   and serves the same requests forever over persistent, pipelined
+//!   sessions (`steac_sim::remote::serve_tcp_with_state`): each
+//!   connection is a framed request loop, each request runs on its own
+//!   thread, and one shared worker state carries the program cache and
+//!   status counters across every connection the process ever accepts.
+//!   This is the remote half of `STEAC_EXEC=remote:host:port,…` — start
+//!   one per host of the fleet. The bound address is printed to stdout
+//!   (bind to port 0 for an ephemeral port and scrape it from that
+//!   line). The program cache holds 8 entries by default — enough for a
+//!   single campaign, but interleaved streaming workloads (grading +
+//!   playback + March) cycle more distinct jobs than that and thrash;
+//!   size it with `--cache-cap N` (or `STEAC_CACHE_CAP=N`, flag wins)
+//!   when a fleet serves mixed campaigns.
 //! * **`--status <host:port>`**: queries a serving worker's status
-//!   counters (uptime, program-cache entries/hits/misses/evictions,
-//!   requests and units served, bytes received) and prints them — the
-//!   observability half of the protocol's status request.
+//!   counters (uptime, program-cache entries/capacity/hits/misses/
+//!   evictions, requests and units served, bytes received) and prints
+//!   them — the observability half of the protocol's status request.
+//!   Evictions while the cache sits full are flagged as pressure, the
+//!   signal to raise `--cache-cap`.
 //!
 //! Protocol errors exit nonzero with a diagnostic on stderr (stdio
 //! mode) or close the offending connection (serve mode — a misbehaving
@@ -53,8 +60,27 @@
 use std::io::{stdin, stdout, Write as _};
 use std::net::TcpListener;
 use std::process::ExitCode;
-use steac_sim::remote::{query_status, serve_tcp, TcpTransport};
-use steac_sim::shard::serve_worker;
+use std::sync::Arc;
+use steac_sim::remote::{query_status, serve_tcp_with_state, TcpTransport};
+use steac_sim::shard::{
+    env_cache_capacity, serve_worker, WorkerState, DEFAULT_PROGRAM_CACHE_CAPACITY,
+};
+
+const USAGE: &str =
+    "usage: steac-worker [--serve <host:port> [--cache-cap N] | --status <host:port>]";
+
+/// Program-cache capacity for `--serve`: the `--cache-cap` flag when
+/// given, else `STEAC_CACHE_CAP`, else the built-in default.
+fn serve_cache_capacity(rest: &[String]) -> Result<usize, String> {
+    match rest {
+        [] => Ok(env_cache_capacity().unwrap_or(DEFAULT_PROGRAM_CACHE_CAPACITY)),
+        [flag, n] if flag == "--cache-cap" => match n.parse::<usize>() {
+            Ok(cap) if cap > 0 => Ok(cap),
+            _ => Err(format!("--cache-cap must be a positive integer, got `{n}`")),
+        },
+        _ => Err(USAGE.to_string()),
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -63,22 +89,29 @@ fn main() -> ExitCode {
         [] => serve_worker(stdin().lock(), stdout().lock(), |kind, job| {
             registry.open(kind, job)
         }),
-        [flag, addr] if flag == "--serve" => match TcpListener::bind(addr) {
-            Ok(listener) => {
-                match listener.local_addr() {
-                    Ok(bound) => println!("steac-worker: serving on {bound}"),
-                    Err(_) => println!("steac-worker: serving on {addr}"),
+        [flag, addr, rest @ ..] if flag == "--serve" => match serve_cache_capacity(rest) {
+            Ok(capacity) => match TcpListener::bind(addr) {
+                Ok(listener) => {
+                    match listener.local_addr() {
+                        Ok(bound) => println!("steac-worker: serving on {bound}"),
+                        Err(_) => println!("steac-worker: serving on {addr}"),
+                    }
+                    let _ = stdout().flush();
+                    serve_tcp_with_state(
+                        listener,
+                        move |kind, job| registry.open(kind, job),
+                        Arc::new(WorkerState::with_cache_capacity(capacity)),
+                    )
                 }
-                let _ = stdout().flush();
-                serve_tcp(listener, move |kind, job| registry.open(kind, job))
-            }
-            Err(e) => Err(format!("binding {addr}: {e}")),
+                Err(e) => Err(format!("binding {addr}: {e}")),
+            },
+            Err(e) => Err(e),
         },
         [flag, addr] if flag == "--status" => {
             let transport = TcpTransport::new(addr.clone());
             query_status(&transport).map(|status| println!("{addr}: {status}"))
         }
-        _ => Err("usage: steac-worker [--serve <host:port> | --status <host:port>]".to_string()),
+        _ => Err(USAGE.to_string()),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -8,8 +8,10 @@
 //! couplings, JPEG playback), asserting the reports are
 //! **byte-identical** to the serial baseline: counts, escape lists and
 //! mismatch logs *including their order*. This is the determinism
-//! contract behind `steac_sim::Exec::dispatch`, proven across every
-//! backend from a single table of cases.
+//! contract behind `steac_sim::Exec::dispatch` — and behind
+//! `Exec::dispatch_stream`, whose differential leg proves streaming
+//! playback byte-identical to the materialized flow at every chunk
+//! size — proven across every backend from a single table of cases.
 //!
 //! Process and remote backends pin the `steac-worker` binary Cargo
 //! built for this package (the TCP legs run it as real `--serve`
@@ -158,9 +160,15 @@ fn all_workloads_report_byte_identical_on_every_backend() {
     let march_base = faultsim::fault_coverage(serial, &alg, &cfg, &mfaults).unwrap();
     assert!(march_base.detected < march_base.total, "need escapes");
     // Case 4: the JPEG playback experiment end to end (generation +
-    // playback through the same exec).
+    // playback through the same exec), in both flavours: materialized
+    // and the streaming pipeline, which must agree with each other.
     let jpeg_base = steac_dsc::jpeg_playback_batch(serial, 130).unwrap();
     assert_eq!(jpeg_base.patterns, 130);
+    assert_eq!(
+        steac_dsc::jpeg_playback_stream(serial, 130).unwrap(),
+        jpeg_base,
+        "streaming flavour diverged from materialized on serial"
+    );
 
     for (name, exec) in &matrix[1..] {
         let grade = fault::grade_vectors(exec, &m, &faults, &pins, &vectors).unwrap();
@@ -171,6 +179,54 @@ fn all_workloads_report_byte_identical_on_every_backend() {
         assert_eq!(march, march_base, "March diverged on {name}");
         let jpeg = steac_dsc::jpeg_playback_batch(exec, 130).unwrap();
         assert_eq!(jpeg, jpeg_base, "JPEG playback diverged on {name}");
+        let jpeg_stream = steac_dsc::jpeg_playback_stream(exec, 130).unwrap();
+        assert_eq!(
+            jpeg_stream, jpeg_base,
+            "streaming JPEG playback diverged on {name}"
+        );
+        assert_eq!(exec.process_fallbacks(), 0, "{name} must not fall back");
+    }
+}
+
+/// The streaming/materialized differential: playback through
+/// `Exec::dispatch_stream` is byte-identical to the materialized batch
+/// player at every chunk size — including content AND order of the
+/// mismatch logs — on every backend of the matrix. Chunk boundaries
+/// must be invisible in the report; this is the determinism contract
+/// behind the streaming seam.
+#[test]
+fn streaming_playback_reports_byte_identical_at_every_chunk_size() {
+    use steac_pattern::{stream_cycle_patterns_wide, PLAYBACK_LANE_GROUPS};
+
+    let (flop_m, patterns) = playback_case();
+    let refs: Vec<&CyclePattern> = patterns.iter().collect();
+    let sim = Simulator::new(&flop_m).unwrap();
+
+    let servers = spawn_serve_workers(2);
+    let matrix = backend_matrix(&servers);
+    let base = apply_cycle_patterns_batch(&matrix[0].1, &sim, &refs).unwrap();
+    assert!(!base.passed(), "need mismatches to compare");
+
+    // usize::MAX clamps to the full pass width — the "one chunk per
+    // pass" flavour the materialized player uses.
+    for (name, exec) in &matrix {
+        for chunk in [1usize, 7, 64, usize::MAX] {
+            let mut streamed = Vec::new();
+            let run = stream_cycle_patterns_wide(
+                exec,
+                &sim,
+                patterns.iter().cloned(),
+                PLAYBACK_LANE_GROUPS,
+                chunk,
+                |r| streamed.push(r),
+            )
+            .unwrap();
+            assert_eq!(run.patterns, patterns.len(), "{name} chunk {chunk}");
+            assert_eq!(
+                streamed, base.reports,
+                "streamed reports diverged on {name} at chunk {chunk}"
+            );
+        }
         assert_eq!(exec.process_fallbacks(), 0, "{name} must not fall back");
     }
 }

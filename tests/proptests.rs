@@ -567,7 +567,7 @@ proptest! {
                     .map(|i| steac_pattern::PinState::from_drive(lv(data[k * 4 + i] % 2)))
                     .collect();
                 row.push(steac_pattern::PinState::Pulse);
-                row.push(if data[k * 4] % 2 == 0 {
+                row.push(if data[k * 4].is_multiple_of(2) {
                     steac_pattern::PinState::ExpectL
                 } else {
                     steac_pattern::PinState::ExpectH
@@ -653,6 +653,34 @@ proptest! {
 
 // ---------- sharded / single-thread bit-exactness ----------
 
+/// 130 playback patterns (3 chunks) for a `random_module`: drive
+/// in0..3, pulse ck and expect fixed values on out0 — some expectations
+/// fail, and the failure logs must merge identically at every width and
+/// at every chunking.
+fn expect_playback_patterns(data: &[u8]) -> Vec<steac_pattern::CyclePattern> {
+    let pins: Vec<String> = (0..4)
+        .map(|i| format!("in{i}"))
+        .chain(std::iter::once("ck".to_string()))
+        .chain(std::iter::once("out0".to_string()))
+        .collect();
+    (0..130)
+        .map(|k| {
+            let mut p = steac_pattern::CyclePattern::new(pins.clone());
+            let mut row: Vec<steac_pattern::PinState> = (0..4)
+                .map(|i| steac_pattern::PinState::from_drive(lv(data[k * 4 + i] % 2)))
+                .collect();
+            row.push(steac_pattern::PinState::Pulse);
+            row.push(if data[k * 4].is_multiple_of(2) {
+                steac_pattern::PinState::ExpectL
+            } else {
+                steac_pattern::PinState::ExpectH
+            });
+            p.push_cycle(row).unwrap();
+            p
+        })
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -691,31 +719,8 @@ proptest! {
         data in prop::collection::vec(0u8..4, 130 * 4..130 * 4 + 1),
     ) {
         let m = random_module(&seeds);
-        // Three output ports out0..2 exist on every random module; build
-        // 130 patterns (3 chunks) driving in0..3, pulsing ck and
-        // expecting fixed values on out0 — some expectations fail, and
-        // the failure logs must merge identically at every width.
-        let pins: Vec<String> = (0..4)
-            .map(|i| format!("in{i}"))
-            .chain(std::iter::once("ck".to_string()))
-            .chain(std::iter::once("out0".to_string()))
-            .collect();
-        let patterns: Vec<steac_pattern::CyclePattern> = (0..130)
-            .map(|k| {
-                let mut p = steac_pattern::CyclePattern::new(pins.clone());
-                let mut row: Vec<steac_pattern::PinState> = (0..4)
-                    .map(|i| steac_pattern::PinState::from_drive(lv(data[k * 4 + i] % 2)))
-                    .collect();
-                row.push(steac_pattern::PinState::Pulse);
-                row.push(if data[k * 4] % 2 == 0 {
-                    steac_pattern::PinState::ExpectL
-                } else {
-                    steac_pattern::PinState::ExpectH
-                });
-                p.push_cycle(row).unwrap();
-                p
-            })
-            .collect();
+        // Three output ports out0..2 exist on every random module.
+        let patterns = expect_playback_patterns(&data);
         let refs: Vec<&steac_pattern::CyclePattern> = patterns.iter().collect();
         let sim: Simulator = Simulator::new(&m).unwrap();
         let baseline =
@@ -728,6 +733,42 @@ proptest! {
                     .unwrap();
             prop_assert_eq!(&sharded, &baseline, "{} threads", t);
         }
+    }
+
+    /// Streaming playback at an **arbitrary** chunk size produces
+    /// byte-identical `MismatchReport`s — content AND order — to the
+    /// materialized batch player: a chunk boundary can never move, add,
+    /// drop or reorder a mismatch-log entry or an escape, at any thread
+    /// count.
+    #[test]
+    fn streaming_chunk_boundaries_never_change_report_order(
+        seeds in prop::collection::vec((0u8..7, 0u8..32, 0u8..32, 0u8..32), 3..12),
+        data in prop::collection::vec(0u8..4, 130 * 4..130 * 4 + 1),
+        chunk in 1usize..300,
+        threads in 1usize..5,
+    ) {
+        let m = random_module(&seeds);
+        let patterns = expect_playback_patterns(&data);
+        let refs: Vec<&steac_pattern::CyclePattern> = patterns.iter().collect();
+        let sim: Simulator = Simulator::new(&m).unwrap();
+        let baseline =
+            steac_pattern::apply_cycle_patterns_batch(&Exec::serial(), &sim, &refs)
+                .unwrap();
+        let exec = Exec::threads(Threads::exact(threads));
+        let mut streamed = Vec::new();
+        let run = steac_pattern::stream_cycle_patterns_wide(
+            &exec,
+            &sim,
+            patterns.iter().cloned(),
+            steac_pattern::PLAYBACK_LANE_GROUPS,
+            chunk,
+            |r| streamed.push(r),
+        ).unwrap();
+        prop_assert_eq!(run.patterns, patterns.len());
+        prop_assert_eq!(
+            &streamed, &baseline.reports,
+            "chunk {} on {} threads", chunk, threads
+        );
     }
 
     /// Sharded March fault grading matches the single-threaded walk —
